@@ -1,0 +1,34 @@
+//! Criterion bench: the basic CKKS functions (the functional analogue of
+//! Fig. 2a) on the small test ring.
+
+use ckks::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ops(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::test_small());
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1]);
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(i as f64 * 1e-3, 0.0))
+        .collect();
+    let pt = enc.encode(&msg, ctx.max_level());
+    let ct = keys.public.encrypt(&pt, &mut rng);
+
+    let mut g = c.benchmark_group("ckks_functions");
+    g.bench_function("hadd", |b| b.iter(|| ev.add(&ct, &ct)));
+    g.bench_function("pmult", |b| b.iter(|| ev.mul_plain(&ct, &pt)));
+    g.bench_function("hmult", |b| b.iter(|| ev.mul_relin(&ct, &ct, &keys.relin)));
+    g.bench_function("hrot", |b| b.iter(|| ev.rotate(&ct, 1, &keys)));
+    g.bench_function("rescale", |b| {
+        let t = ev.mul_plain(&ct, &pt);
+        b.iter(|| ev.rescale(&t))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the negacyclic NTT (the compute-intensive op prior
+//! work fixates on, §I), across ring degrees.
+
+use ckks_math::modulus::Modulus;
+use ckks_math::ntt::NttContext;
+use ckks_math::prime::generate_ntt_primes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt");
+    for log_n in [10u32, 12, 13] {
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(55, 1, 2 * n as u64)[0];
+        let ctx = NttContext::new(n, Modulus::new(q));
+        let data: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % q).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                ctx.forward(&mut a);
+                a
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            let mut f = data.clone();
+            ctx.forward(&mut f);
+            b.iter(|| {
+                let mut a = f.clone();
+                ctx.inverse(&mut a);
+                a
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: the functional PIM MMAC datapath (Table II) — modular
+//! throughput of the Montgomery lanes per instruction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pim::isa::PimInstruction;
+use pim::mmac::PimUnit;
+
+const Q: u32 = 268369921;
+
+fn bench_unit(c: &mut Criterion) {
+    let unit = PimUnit::new(Q, 32);
+    let n = 4096usize;
+    let mk = |seed: u32| -> Vec<u32> {
+        (0..n as u32).map(|i| (seed.wrapping_mul(2654435761).wrapping_add(i * 97)) % Q).collect()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    let p = mk(3);
+    let cd = mk(4);
+    let mut g = c.benchmark_group("pim_unit");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("add", |bch| {
+        bch.iter(|| unit.execute(PimInstruction::Add, &[&a, &b], &[]))
+    });
+    g.bench_function("mult", |bch| {
+        bch.iter(|| unit.execute(PimInstruction::Mult, &[&a, &b], &[]))
+    });
+    g.bench_function("pmac", |bch| {
+        bch.iter(|| unit.execute(PimInstruction::PMac, &[&a, &b, &p, &cd, &cd], &[]))
+    });
+    g.bench_function("tensor", |bch| {
+        bch.iter(|| unit.execute(PimInstruction::Tensor, &[&a, &b, &p, &cd], &[]))
+    });
+    let refs: Vec<&[u32]> = vec![&a, &b, &p, &cd, &a, &b, &p, &cd, &a, &b, &p, &cd];
+    g.bench_function("paccum4", |bch| {
+        bch.iter(|| unit.execute(PimInstruction::PAccum(4), &refs, &[]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_unit);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (§IV, §VII, §VIII) from the reproduction's models.
+//!
+//! Each `figN` module returns structured rows so the `figures` binary can
+//! print them and the integration tests can assert the paper's *shape*
+//! targets (who wins, by roughly what factor, where crossovers fall — see
+//! DESIGN.md §4).
+
+pub mod figures;
+
+pub use figures::*;

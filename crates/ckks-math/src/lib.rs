@@ -1,0 +1,36 @@
+//! Low-level arithmetic for RNS-CKKS: prime moduli, negacyclic NTT, RNS
+//! polynomials, fast basis conversion (BConv), and randomness sampling.
+//!
+//! This crate is the numerical substrate of the Anaheim reproduction. The
+//! `ckks` scheme crate builds keys, ciphertexts, and homomorphic evaluation
+//! on top of these primitives; the `pim` crate reuses [`modulus::Modulus`] for
+//! the functional model of the PIM MMAC units.
+//!
+//! # Example
+//!
+//! ```
+//! use ckks_math::modulus::Modulus;
+//! use ckks_math::prime::generate_ntt_primes;
+//! use ckks_math::ntt::NttContext;
+//!
+//! let n = 1024;
+//! let primes = generate_ntt_primes(50, 1, 2 * n as u64);
+//! let ctx = NttContext::new(n, Modulus::new(primes[0]));
+//! let mut a: Vec<u64> = (0..n as u64).collect();
+//! let orig = a.clone();
+//! ctx.forward(&mut a);
+//! ctx.inverse(&mut a);
+//! assert_eq!(a, orig);
+//! ```
+
+pub mod modulus;
+pub mod ntt;
+pub mod poly;
+pub mod prime;
+pub mod rns;
+pub mod sampling;
+
+pub use modulus::Modulus;
+pub use ntt::NttContext;
+pub use poly::{Format, Poly};
+pub use rns::{BasisConverter, RnsBasis};

@@ -1,0 +1,432 @@
+//! Negacyclic number-theoretic transform (NTT) over `Z_q[X]/(X^N + 1)`.
+//!
+//! The forward transform uses Cooley–Tukey butterflies with twiddle factors
+//! stored in bit-reversed order (the classic Harvey/SEAL layout); the inverse
+//! replays the forward stages backwards with inverted twiddles, so the pair
+//! is an exact inverse by construction. All twiddle multiplications use
+//! Shoup's precomputed-quotient trick to avoid 128-bit division in the hot
+//! loop.
+//!
+//! Besides the transforms, the context exposes the *evaluation-domain Galois
+//! permutation* used by HROT: applying the automorphism `X ↦ X^g` in the
+//! evaluation domain is a pure slot permutation, which this module derives
+//! from first principles (by transforming the monomial `X` and reading off
+//! which power of ψ each output slot evaluates at).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::modulus::Modulus;
+
+/// Per-prime NTT context: twiddle tables and Galois permutation support for a
+/// fixed ring degree `n` (a power of two) and prime `q ≡ 1 (mod 2n)`.
+///
+/// # Example
+///
+/// ```
+/// use ckks_math::{Modulus, NttContext};
+/// use ckks_math::prime::generate_ntt_primes;
+///
+/// let n = 64;
+/// let q = generate_ntt_primes(40, 1, 2 * n as u64)[0];
+/// let ctx = NttContext::new(n as usize, Modulus::new(q));
+/// let mut a = vec![1u64; n as usize];
+/// let orig = a.clone();
+/// ctx.forward(&mut a);
+/// ctx.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// ```
+#[derive(Debug)]
+pub struct NttContext {
+    n: usize,
+    log_n: u32,
+    modulus: Modulus,
+    psi: u64,
+    /// `root_powers[i] = ψ^{bitrev(i)}` for `i ∈ [1, n)`, CT layout.
+    root_powers: Vec<u64>,
+    root_powers_shoup: Vec<u64>,
+    /// Inverses of `root_powers`, same indexing.
+    inv_root_powers: Vec<u64>,
+    inv_root_powers_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+    /// Lazily derived: exponent `e_j` such that output slot `j` of the
+    /// forward transform holds `a(ψ^{e_j})`, plus the inverse map.
+    galois: OnceLock<GaloisTables>,
+}
+
+#[derive(Debug)]
+struct GaloisTables {
+    /// `exponent[j]` = the (odd) power of ψ evaluated at output slot `j`.
+    exponent: Vec<u32>,
+    /// `slot_of[e]` = the output slot evaluating ψ^e (only odd `e` occur).
+    slot_of: Vec<u32>,
+}
+
+impl NttContext {
+    /// Builds the context, finding a primitive `2n`-th root of unity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4, or if `q ≢ 1 (mod 2n)`.
+    pub fn new(n: usize, modulus: Modulus) -> Self {
+        assert!(n >= 4 && n.is_power_of_two(), "n must be a power of two >= 4");
+        let q = modulus.value();
+        assert!(
+            (q - 1) % (2 * n as u64) == 0,
+            "modulus must be 1 mod 2n for the negacyclic NTT"
+        );
+        let psi = find_primitive_2n_root(&modulus, n as u64);
+        let log_n = n.trailing_zeros();
+
+        let mut root_powers = vec![0u64; n];
+        root_powers[0] = 1;
+        // root_powers[i] = psi^{bitrev_{log_n}(i)}
+        let mut psi_pows = vec![0u64; n];
+        psi_pows[0] = 1;
+        for i in 1..n {
+            psi_pows[i] = modulus.mul(psi_pows[i - 1], psi);
+        }
+        for i in 1..n {
+            root_powers[i] = psi_pows[bitrev(i as u32, log_n) as usize];
+        }
+        let inv_root_powers: Vec<u64> = root_powers.iter().map(|&w| modulus.inv(w)).collect();
+        let root_powers_shoup = root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let inv_root_powers_shoup = inv_root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let n_inv = modulus.inv(n as u64);
+        let n_inv_shoup = modulus.shoup(n_inv);
+        Self {
+            n,
+            log_n,
+            modulus,
+            psi,
+            root_powers,
+            root_powers_shoup,
+            inv_root_powers,
+            inv_root_powers_shoup,
+            n_inv,
+            n_inv_shoup,
+            galois: OnceLock::new(),
+        }
+    }
+
+    /// The ring degree `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The prime modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The primitive `2n`-th root of unity in use.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// In-place forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let m = &self.modulus;
+        let mut t = self.n;
+        let mut stage = 1usize;
+        while stage < self.n {
+            t >>= 1;
+            for i in 0..stage {
+                let w = self.root_powers[stage + i];
+                let ws = self.root_powers_shoup[stage + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = m.mul_shoup(a[j + t], w, ws);
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.sub(u, v);
+                }
+            }
+            stage <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (exact inverse of [`Self::forward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let m = &self.modulus;
+        let mut t = 1usize;
+        let mut stage = self.n >> 1;
+        while stage >= 1 {
+            for i in 0..stage {
+                let w = self.inv_root_powers[stage + i];
+                let ws = self.inv_root_powers_shoup[stage + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.mul_shoup(m.sub(u, v), w, ws);
+                }
+            }
+            t <<= 1;
+            stage >>= 1;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
+        }
+    }
+
+    fn galois_tables(&self) -> &GaloisTables {
+        self.galois.get_or_init(|| {
+            // Transform the monomial X: output slot j then holds ψ^{e_j}.
+            let mut x = vec![0u64; self.n];
+            x[1] = 1;
+            self.forward(&mut x);
+            // Map each ψ power value back to its exponent.
+            let mut value_to_exp = HashMap::with_capacity(2 * self.n);
+            let mut p = 1u64;
+            for e in 0..(2 * self.n as u32) {
+                value_to_exp.insert(p, e);
+                p = self.modulus.mul(p, self.psi);
+            }
+            let mut exponent = vec![0u32; self.n];
+            let mut slot_of = vec![u32::MAX; 2 * self.n];
+            for (j, v) in x.iter().enumerate() {
+                let e = *value_to_exp
+                    .get(v)
+                    .expect("NTT output of X must be a power of psi");
+                exponent[j] = e;
+                slot_of[e as usize] = j as u32;
+            }
+            GaloisTables { exponent, slot_of }
+        })
+    }
+
+    /// Returns the evaluation-domain permutation for the automorphism
+    /// `X ↦ X^g` (`g` odd): `out[j] = in[perm[j]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even (such maps are not ring automorphisms here).
+    pub fn galois_permutation(&self, g: u64) -> Vec<u32> {
+        assert!(g % 2 == 1, "galois element must be odd");
+        let tables = self.galois_tables();
+        let two_n = 2 * self.n as u64;
+        let g = g % two_n;
+        (0..self.n)
+            .map(|j| {
+                let e = tables.exponent[j] as u64;
+                let src_e = (e * g) % two_n;
+                tables.slot_of[src_e as usize]
+            })
+            .collect()
+    }
+
+    /// Applies the automorphism `X ↦ X^g` to a coefficient-domain vector.
+    ///
+    /// Coefficient `i` moves to position `i*g mod 2n`, negated when the
+    /// destination wraps past `n` (since `X^n = -1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or `g` is even.
+    pub fn galois_coeff(&self, a: &[u64], g: u64) -> Vec<u64> {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        assert!(g % 2 == 1, "galois element must be odd");
+        let two_n = 2 * self.n as u64;
+        let g = g % two_n;
+        let mut out = vec![0u64; self.n];
+        for (i, &c) in a.iter().enumerate() {
+            let e = (i as u64 * g) % two_n;
+            if e < self.n as u64 {
+                out[e as usize] = c;
+            } else {
+                out[(e - self.n as u64) as usize] = self.modulus.neg(c);
+            }
+        }
+        out
+    }
+
+    /// Applies the automorphism `X ↦ X^g` in the evaluation domain via the
+    /// slot permutation from [`Self::galois_permutation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n` or `g` is even.
+    pub fn galois_eval(&self, a: &[u64], g: u64) -> Vec<u64> {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let perm = self.galois_permutation(g);
+        perm.iter().map(|&src| a[src as usize]).collect()
+    }
+
+    /// log2 of the ring degree.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+}
+
+/// Bit-reverses the low `bits` bits of `x`.
+#[inline]
+pub fn bitrev(x: u32, bits: u32) -> u32 {
+    if bits == 0 {
+        0
+    } else {
+        x.reverse_bits() >> (32 - bits)
+    }
+}
+
+fn find_primitive_2n_root(m: &Modulus, n: u64) -> u64 {
+    let q = m.value();
+    let exp = (q - 1) / (2 * n);
+    // Deterministic scan: psi = c^exp has order dividing 2n; order is exactly
+    // 2n iff psi^n = -1.
+    for c in 2..q {
+        let psi = m.pow(c, exp);
+        if m.pow(psi, n) == q - 1 {
+            return psi;
+        }
+    }
+    unreachable!("a primitive root always exists for prime q ≡ 1 mod 2n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+
+    fn ctx(n: usize, bits: u32) -> NttContext {
+        let q = generate_ntt_primes(bits, 1, 2 * n as u64)[0];
+        NttContext::new(n, Modulus::new(q))
+    }
+
+    fn negacyclic_convolution(ctx: &NttContext, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = ctx.n();
+        let m = ctx.modulus();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = m.mul(a[i], b[j]);
+                let k = i + j;
+                if k < n {
+                    out[k] = m.add(out[k], p);
+                } else {
+                    out[k - n] = m.sub(out[k - n], p);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [8usize, 64, 256] {
+            let ctx = ctx(n, 50);
+            let mut a: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+            let orig = a.clone();
+            ctx.forward(&mut a);
+            assert_ne!(a, orig, "transform must change the data");
+            ctx.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn pointwise_mul_is_negacyclic_convolution() {
+        let n = 32;
+        let ctx = ctx(n, 40);
+        let m = ctx.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 1) % m.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % m.value()).collect();
+        let want = negacyclic_convolution(&ctx, &a, &b);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        ctx.forward(&mut fa);
+        ctx.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
+        ctx.inverse(&mut fc);
+        assert_eq!(fc, want);
+    }
+
+    #[test]
+    fn x_to_the_n_is_minus_one() {
+        // Multiplying X^(n-1) by X must produce -1 (negacyclic wrap).
+        let n = 16;
+        let ctx = ctx(n, 40);
+        let m = ctx.modulus();
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        ctx.forward(&mut a);
+        ctx.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.mul(x, y)).collect();
+        ctx.inverse(&mut c);
+        assert_eq!(c[0], m.value() - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn galois_eval_matches_coeff_path() {
+        let n = 64;
+        let ctx = ctx(n, 40);
+        let a: Vec<u64> = (0..n as u64).map(|i| i * 13 + 1).collect();
+        for g in [3u64, 5, 2 * n as u64 - 1, 9, 65] {
+            // Reference: coefficient-domain automorphism then NTT.
+            let mut want = ctx.galois_coeff(&a, g);
+            ctx.forward(&mut want);
+            // Eval-domain permutation path.
+            let mut fa = a.clone();
+            ctx.forward(&mut fa);
+            let got = ctx.galois_eval(&fa, g);
+            assert_eq!(got, want, "galois element {g}");
+        }
+    }
+
+    #[test]
+    fn galois_composition() {
+        // φ_g ∘ φ_h = φ_{gh}.
+        let n = 32;
+        let ctx = ctx(n, 40);
+        let a: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
+        let g = 5u64;
+        let h = 9u64;
+        let gh = (g * h) % (2 * n as u64);
+        let step = ctx.galois_coeff(&ctx.galois_coeff(&a, h), g);
+        let direct = ctx.galois_coeff(&a, gh);
+        assert_eq!(step, direct);
+    }
+
+    #[test]
+    fn bitrev_basics() {
+        assert_eq!(bitrev(0b001, 3), 0b100);
+        assert_eq!(bitrev(0b110, 3), 0b011);
+        assert_eq!(bitrev(1, 1), 1);
+        assert_eq!(bitrev(0, 0), 0);
+    }
+
+    #[test]
+    fn psi_has_order_2n() {
+        let n = 128;
+        let ctx = ctx(n, 45);
+        let m = ctx.modulus();
+        assert_eq!(m.pow(ctx.psi(), n as u64), m.value() - 1);
+        assert_eq!(m.pow(ctx.psi(), 2 * n as u64), 1);
+    }
+
+    #[test]
+    fn log_n_accessor_consistent() {
+        let ctx = ctx(64, 40);
+        assert_eq!(1usize << ctx.log_n(), ctx.n());
+    }
+}

@@ -1,0 +1,529 @@
+//! RNS polynomials in `R_Q = Z_Q[X]/(X^N + 1)`.
+//!
+//! A [`Poly`] is a list of *limbs*, one per RNS prime: limb `i` holds the
+//! polynomial's coefficients reduced modulo `q_i` (§II-A of the paper). With
+//! RNS, every polynomial op is limb-wise, which is exactly the property the
+//! Anaheim PIM exploits: element-wise ops decompose into `L × N` independent
+//! modular ops.
+
+use std::sync::Arc;
+
+use crate::ntt::NttContext;
+
+/// Whether coefficients are stored in the coefficient (power basis) or
+/// evaluation (NTT) domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Power-basis coefficients; required for BConv and rescaling.
+    Coeff,
+    /// NTT point values; required for polynomial multiplication.
+    Eval,
+}
+
+/// One RNS limb: `n` residues modulo a single prime.
+#[derive(Debug, Clone)]
+pub struct Limb {
+    ctx: Arc<NttContext>,
+    data: Vec<u64>,
+}
+
+impl Limb {
+    /// Creates a zero limb for the given prime context.
+    pub fn zero(ctx: Arc<NttContext>) -> Self {
+        let n = ctx.n();
+        Self {
+            ctx,
+            data: vec![0; n],
+        }
+    }
+
+    /// Creates a limb from raw residues (must already be reduced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != ctx.n()` or any value is out of range.
+    pub fn from_data(ctx: Arc<NttContext>, data: Vec<u64>) -> Self {
+        assert_eq!(data.len(), ctx.n(), "limb length mismatch");
+        debug_assert!(data.iter().all(|&x| x < ctx.modulus().value()));
+        Self { ctx, data }
+    }
+
+    /// The prime context of this limb.
+    #[inline]
+    pub fn ctx(&self) -> &Arc<NttContext> {
+        &self.ctx
+    }
+
+    /// Residues as a slice.
+    #[inline]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Residues as a mutable slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+}
+
+/// An RNS polynomial: `L` limbs of `N` residues, plus a domain tag.
+///
+/// # Example
+///
+/// ```
+/// use ckks_math::{Modulus, NttContext, Poly, Format};
+/// use ckks_math::prime::generate_ntt_primes;
+/// use std::sync::Arc;
+///
+/// let n = 64;
+/// let basis: Vec<_> = generate_ntt_primes(40, 2, 2 * n as u64)
+///     .into_iter()
+///     .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+///     .collect();
+/// let mut a = Poly::from_coeff_i64(&basis, &vec![1i64; n]);
+/// let b = a.clone();
+/// a.add_assign(&b);
+/// assert_eq!(a.limb(0).data()[0], 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Poly {
+    format: Format,
+    limbs: Vec<Limb>,
+}
+
+impl Poly {
+    /// Creates the zero polynomial over `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` is empty or the contexts disagree on `n`.
+    pub fn zero(basis: &[Arc<NttContext>], format: Format) -> Self {
+        assert!(!basis.is_empty(), "empty RNS basis");
+        let n = basis[0].n();
+        assert!(basis.iter().all(|c| c.n() == n), "mixed ring degrees");
+        Self {
+            format,
+            limbs: basis.iter().map(|c| Limb::zero(c.clone())).collect(),
+        }
+    }
+
+    /// Builds a coefficient-domain polynomial from signed coefficients,
+    /// reducing each into every limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn from_coeff_i64(basis: &[Arc<NttContext>], coeffs: &[i64]) -> Self {
+        let mut p = Self::zero(basis, Format::Coeff);
+        for limb in &mut p.limbs {
+            let m = *limb.ctx.modulus();
+            assert_eq!(coeffs.len(), limb.data.len(), "coefficient count mismatch");
+            for (dst, &c) in limb.data.iter_mut().zip(coeffs) {
+                *dst = m.from_i64(c);
+            }
+        }
+        p
+    }
+
+    /// Assembles a polynomial from explicit limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs` is empty or limb lengths disagree.
+    pub fn from_limbs(limbs: Vec<Limb>, format: Format) -> Self {
+        assert!(!limbs.is_empty(), "empty limb list");
+        let n = limbs[0].data.len();
+        assert!(limbs.iter().all(|l| l.data.len() == n), "ragged limbs");
+        Self { format, limbs }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.limbs[0].data.len()
+    }
+
+    /// Number of RNS limbs `L`.
+    #[inline]
+    pub fn num_limbs(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Current domain.
+    #[inline]
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// Limb accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn limb(&self, i: usize) -> &Limb {
+        &self.limbs[i]
+    }
+
+    /// Mutable limb accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn limb_mut(&mut self, i: usize) -> &mut Limb {
+        &mut self.limbs[i]
+    }
+
+    /// Iterates over limbs.
+    pub fn limbs(&self) -> impl Iterator<Item = &Limb> {
+        self.limbs.iter()
+    }
+
+    /// The RNS basis (prime contexts) of this polynomial.
+    pub fn basis(&self) -> Vec<Arc<NttContext>> {
+        self.limbs.iter().map(|l| l.ctx.clone()).collect()
+    }
+
+    fn assert_compatible(&self, other: &Poly) {
+        assert_eq!(self.format, other.format, "domain mismatch");
+        assert_eq!(self.num_limbs(), other.num_limbs(), "limb count mismatch");
+        for (a, b) in self.limbs.iter().zip(&other.limbs) {
+            assert_eq!(
+                a.ctx.modulus().value(),
+                b.ctx.modulus().value(),
+                "modulus mismatch"
+            );
+        }
+    }
+
+    /// `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if domains, limb counts, or moduli differ.
+    pub fn add_assign(&mut self, other: &Poly) {
+        self.assert_compatible(other);
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            let m = *a.ctx.modulus();
+            for (x, &y) in a.data.iter_mut().zip(&b.data) {
+                *x = m.add(*x, y);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if domains, limb counts, or moduli differ.
+    pub fn sub_assign(&mut self, other: &Poly) {
+        self.assert_compatible(other);
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            let m = *a.ctx.modulus();
+            for (x, &y) in a.data.iter_mut().zip(&b.data) {
+                *x = m.sub(*x, y);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn neg_assign(&mut self) {
+        for a in &mut self.limbs {
+            let m = *a.ctx.modulus();
+            for x in &mut a.data {
+                *x = m.neg(*x);
+            }
+        }
+    }
+
+    /// Element-wise (Hadamard) product, i.e. ring multiplication when both
+    /// operands are in the evaluation domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in the coefficient domain, or on
+    /// basis mismatch.
+    pub fn mul_assign(&mut self, other: &Poly) {
+        assert_eq!(self.format, Format::Eval, "multiplication requires Eval");
+        self.assert_compatible(other);
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            let m = *a.ctx.modulus();
+            for (x, &y) in a.data.iter_mut().zip(&b.data) {
+                *x = m.mul(*x, y);
+            }
+        }
+    }
+
+    /// Fused multiply-accumulate `self += a * b` (evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is in the coefficient domain or bases differ.
+    pub fn mac_assign(&mut self, a: &Poly, b: &Poly) {
+        assert_eq!(self.format, Format::Eval, "MAC requires Eval");
+        self.assert_compatible(a);
+        a.assert_compatible(b);
+        for ((dst, x), y) in self.limbs.iter_mut().zip(&a.limbs).zip(&b.limbs) {
+            let m = *dst.ctx.modulus();
+            for ((d, &u), &v) in dst.data.iter_mut().zip(&x.data).zip(&y.data) {
+                *d = m.reduce_u128(u as u128 * v as u128 + *d as u128);
+            }
+        }
+    }
+
+    /// Multiplies each limb by a per-limb scalar (already reduced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != num_limbs()`.
+    pub fn mul_scalar_per_limb(&mut self, scalars: &[u64]) {
+        assert_eq!(scalars.len(), self.num_limbs(), "scalar count mismatch");
+        for (a, &s) in self.limbs.iter_mut().zip(scalars) {
+            let m = *a.ctx.modulus();
+            let s = m.reduce(s);
+            let ss = m.shoup(s);
+            for x in &mut a.data {
+                *x = m.mul_shoup(*x, s, ss);
+            }
+        }
+    }
+
+    /// Multiplies the whole polynomial by a signed integer scalar.
+    pub fn mul_scalar_i64(&mut self, s: i64) {
+        for a in &mut self.limbs {
+            let m = *a.ctx.modulus();
+            let sv = m.from_i64(s);
+            let ss = m.shoup(sv);
+            for x in &mut a.data {
+                *x = m.mul_shoup(*x, sv, ss);
+            }
+        }
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g`, in whichever domain the
+    /// polynomial currently is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even.
+    pub fn automorphism(&self, g: u64) -> Poly {
+        let limbs = self
+            .limbs
+            .iter()
+            .map(|l| {
+                let data = match self.format {
+                    Format::Coeff => l.ctx.galois_coeff(&l.data, g),
+                    Format::Eval => l.ctx.galois_eval(&l.data, g),
+                };
+                Limb {
+                    ctx: l.ctx.clone(),
+                    data,
+                }
+            })
+            .collect();
+        Poly {
+            format: self.format,
+            limbs,
+        }
+    }
+
+    /// Converts to the evaluation domain in place (no-op if already there).
+    pub fn to_eval(&mut self) {
+        if self.format == Format::Eval {
+            return;
+        }
+        for l in &mut self.limbs {
+            l.ctx.clone().forward(&mut l.data);
+        }
+        self.format = Format::Eval;
+    }
+
+    /// Converts to the coefficient domain in place (no-op if already there).
+    pub fn to_coeff(&mut self) {
+        if self.format == Format::Coeff {
+            return;
+        }
+        for l in &mut self.limbs {
+            l.ctx.clone().inverse(&mut l.data);
+        }
+        self.format = Format::Coeff;
+    }
+
+    /// Removes and returns the last limb (used by rescaling / ModDown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn pop_limb(&mut self) -> Limb {
+        assert!(self.num_limbs() > 1, "cannot drop the last remaining limb");
+        self.limbs.pop().expect("non-empty")
+    }
+
+    /// Truncates to the first `k` limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > num_limbs()`.
+    pub fn truncate_limbs(&mut self, k: usize) {
+        assert!(k >= 1 && k <= self.num_limbs(), "invalid limb count");
+        self.limbs.truncate(k);
+    }
+
+    /// Appends limbs (used when extending to the PQ basis).
+    pub fn extend_limbs(&mut self, limbs: Vec<Limb>) {
+        let n = self.n();
+        assert!(limbs.iter().all(|l| l.data.len() == n), "ragged limbs");
+        self.limbs.extend(limbs);
+    }
+
+    /// Splits off limbs starting at index `at`, returning the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at == 0` or `at > num_limbs()`.
+    pub fn split_off_limbs(&mut self, at: usize) -> Vec<Limb> {
+        assert!(at >= 1 && at <= self.num_limbs(), "invalid split point");
+        self.limbs.split_off(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::Modulus;
+    use crate::prime::generate_ntt_primes;
+
+    fn basis(n: usize, l: usize) -> Vec<Arc<NttContext>> {
+        generate_ntt_primes(45, l, 2 * n as u64)
+            .into_iter()
+            .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+            .collect()
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let b = basis(32, 3);
+        let coeffs: Vec<i64> = (0..32).map(|i| i - 16).collect();
+        let a = Poly::from_coeff_i64(&b, &coeffs);
+        let mut s = a.clone();
+        s.add_assign(&a);
+        s.sub_assign(&a);
+        for (la, ls) in a.limbs().zip(s.limbs()) {
+            assert_eq!(la.data(), ls.data());
+        }
+        let mut neg = a.clone();
+        neg.neg_assign();
+        neg.add_assign(&a);
+        assert!(neg.limbs().all(|l| l.data().iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn eval_mul_equals_ring_mul() {
+        let n = 16;
+        let b = basis(n, 2);
+        // a = X + 2, c = X - 1  =>  a*c = X^2 + X - 2
+        let mut ac = vec![0i64; n];
+        ac[0] = 2;
+        ac[1] = 1;
+        let mut cc = vec![0i64; n];
+        cc[0] = -1;
+        cc[1] = 1;
+        let mut a = Poly::from_coeff_i64(&b, &ac);
+        let mut c = Poly::from_coeff_i64(&b, &cc);
+        a.to_eval();
+        c.to_eval();
+        a.mul_assign(&c);
+        a.to_coeff();
+        let mut want = vec![0i64; n];
+        want[0] = -2;
+        want[1] = 1;
+        want[2] = 1;
+        let expect = Poly::from_coeff_i64(&b, &want);
+        for (la, le) in a.limbs().zip(expect.limbs()) {
+            assert_eq!(la.data(), le.data());
+        }
+    }
+
+    #[test]
+    fn mac_matches_mul_then_add() {
+        let n = 16;
+        let b = basis(n, 2);
+        let mut x = Poly::from_coeff_i64(&b, &vec![3i64; n]);
+        let mut y = Poly::from_coeff_i64(&b, &vec![5i64; n]);
+        x.to_eval();
+        y.to_eval();
+        let mut acc = Poly::zero(&b, Format::Eval);
+        acc.mac_assign(&x, &y);
+        let mut want = x.clone();
+        want.mul_assign(&y);
+        for (l, w) in acc.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+    }
+
+    #[test]
+    fn scalar_mul() {
+        let n = 8;
+        let b = basis(n, 2);
+        let mut a = Poly::from_coeff_i64(&b, &vec![1i64; n]);
+        a.mul_scalar_i64(-3);
+        let want = Poly::from_coeff_i64(&b, &vec![-3i64; n]);
+        for (l, w) in a.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+    }
+
+    #[test]
+    fn automorphism_consistent_across_domains() {
+        let n = 32;
+        let b = basis(n, 2);
+        let coeffs: Vec<i64> = (0..n as i64).collect();
+        let a = Poly::from_coeff_i64(&b, &coeffs);
+        let g = 5u64;
+        // coeff-domain automorphism, then NTT
+        let mut via_coeff = a.automorphism(g);
+        via_coeff.to_eval();
+        // NTT, then eval-domain automorphism
+        let mut ae = a.clone();
+        ae.to_eval();
+        let via_eval = ae.automorphism(g);
+        for (l, w) in via_eval.limbs().zip(via_coeff.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+    }
+
+    #[test]
+    fn limb_management() {
+        let b = basis(8, 4);
+        let mut a = Poly::zero(&b, Format::Coeff);
+        assert_eq!(a.num_limbs(), 4);
+        let tail = a.split_off_limbs(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(a.num_limbs(), 2);
+        a.extend_limbs(tail);
+        assert_eq!(a.num_limbs(), 4);
+        a.pop_limb();
+        a.truncate_limbs(1);
+        assert_eq!(a.num_limbs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn mixed_domain_add_panics() {
+        let b = basis(8, 1);
+        let mut a = Poly::zero(&b, Format::Coeff);
+        let c = Poly::zero(&b, Format::Eval);
+        a.add_assign(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplication requires Eval")]
+    fn coeff_mul_panics() {
+        let b = basis(8, 1);
+        let mut a = Poly::zero(&b, Format::Coeff);
+        let c = Poly::zero(&b, Format::Coeff);
+        a.mul_assign(&c);
+    }
+}

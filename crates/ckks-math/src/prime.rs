@@ -1,0 +1,208 @@
+//! Prime generation for NTT-friendly RNS bases.
+//!
+//! CKKS needs primes `q ≡ 1 (mod 2N)` so that `Z_q` contains a primitive
+//! `2N`-th root of unity, enabling the negacyclic NTT (the paper exploits the
+//! same property to build the Montgomery reduction circuit of the MMAC units,
+//! §VI-A).
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the standard 12-base witness set which is known to be sufficient for
+/// all 64-bit integers.
+///
+/// # Example
+///
+/// ```
+/// assert!(ckks_math::prime::is_prime(1_000_000_007));
+/// assert!(!ckks_math::prime::is_prime(1_000_000_008));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    a %= m;
+    let mut r = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mul_mod(r, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    r
+}
+
+/// Generates `count` distinct primes of exactly `bits` bits satisfying
+/// `p ≡ 1 (mod step)`, searching downward from `2^bits`.
+///
+/// `step` is typically `2N` for ring degree `N`. Primes are returned in
+/// descending order.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `[20, 62]`, if `step` is not a power of two,
+/// or if fewer than `count` primes exist in the range (practically impossible
+/// for CKKS-sized inputs).
+///
+/// # Example
+///
+/// ```
+/// let ps = ckks_math::prime::generate_ntt_primes(40, 3, 2048);
+/// assert_eq!(ps.len(), 3);
+/// for p in ps {
+///     assert!(ckks_math::prime::is_prime(p));
+///     assert_eq!(p % 2048, 1);
+/// }
+/// ```
+pub fn generate_ntt_primes(bits: u32, count: usize, step: u64) -> Vec<u64> {
+    assert!((20..=62).contains(&bits), "prime size out of range");
+    assert!(step.is_power_of_two(), "step must be a power of two");
+    let hi = 1u64 << bits;
+    let lo = 1u64 << (bits - 1);
+    let mut out = Vec::with_capacity(count);
+    // Largest candidate ≡ 1 mod step below 2^bits.
+    let mut cand = hi - step + 1;
+    while out.len() < count && cand > lo {
+        if is_prime(cand) {
+            out.push(cand);
+        }
+        cand -= step;
+    }
+    assert!(
+        out.len() == count,
+        "not enough {bits}-bit primes congruent to 1 mod {step}"
+    );
+    out
+}
+
+/// Generates primes close to a target value (used for rescaling primes whose
+/// value should approximate the scaling factor Δ).
+///
+/// Returns `count` distinct primes `≡ 1 (mod step)` nearest to `target`,
+/// alternating above/below. Primes already present in `exclude` are skipped.
+///
+/// # Panics
+///
+/// Panics if `step` is not a power of two or the search space is exhausted.
+pub fn generate_primes_near(target: u64, count: usize, step: u64, exclude: &[u64]) -> Vec<u64> {
+    assert!(step.is_power_of_two(), "step must be a power of two");
+    let base = (target / step) * step + 1;
+    let mut out = Vec::with_capacity(count);
+    let mut k = 0u64;
+    while out.len() < count {
+        for cand in [base.wrapping_add(k * step), base.wrapping_sub(k * step)] {
+            if out.len() >= count {
+                break;
+            }
+            if cand > (1 << 20)
+                && cand < (1 << 62)
+                && is_prime(cand)
+                && !exclude.contains(&cand)
+                && !out.contains(&cand)
+            {
+                out.push(cand);
+            }
+        }
+        k += 1;
+        assert!(k < (1 << 40), "prime search space exhausted");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 6, 9, 15, 91, 7917];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Known strong pseudoprimes to small bases.
+        for c in [2047u64, 1373653, 25326001, 3215031751] {
+            assert!(!is_prime(c), "{c} must be rejected");
+        }
+    }
+
+    #[test]
+    fn ntt_primes_have_right_form() {
+        let n = 1u64 << 16;
+        let ps = generate_ntt_primes(54, 4, 2 * n);
+        assert_eq!(ps.len(), 4);
+        let mut prev = u64::MAX;
+        for p in ps {
+            assert!(is_prime(p));
+            assert_eq!(p % (2 * n), 1);
+            assert_eq!(64 - p.leading_zeros(), 54);
+            assert!(p < prev, "descending order");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn primes_near_target() {
+        let target = 1u64 << 40;
+        let ps = generate_primes_near(target, 3, 2048, &[]);
+        assert_eq!(ps.len(), 3);
+        for p in &ps {
+            assert!(is_prime(*p));
+            assert_eq!(p % 2048, 1);
+            let ratio = *p as f64 / target as f64;
+            assert!((0.99..1.01).contains(&ratio), "close to target");
+        }
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let target = 1u64 << 40;
+        let first = generate_primes_near(target, 1, 2048, &[]);
+        let second = generate_primes_near(target, 1, 2048, &first);
+        assert_ne!(first[0], second[0]);
+    }
+}

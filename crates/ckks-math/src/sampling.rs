@@ -1,0 +1,147 @@
+//! Randomness sampling for CKKS key generation and encryption.
+//!
+//! Three distributions are needed (§II-A): uniform polynomials (the `a`
+//! component of ciphertexts and keys), sparse/dense ternary secrets with a
+//! prescribed Hamming weight (Table IV: `H_d`, `H_s`), and discrete-Gaussian
+//! errors.
+
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ntt::NttContext;
+use crate::poly::{Format, Limb, Poly};
+
+/// Samples a polynomial with independently uniform residues in every limb.
+///
+/// This matches how implementations sample the public randomness `a`: a
+/// uniform element of `R_Q` has independent uniform residues by CRT.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, basis: &[Arc<NttContext>], format: Format) -> Poly {
+    let limbs = basis
+        .iter()
+        .map(|c| {
+            let q = c.modulus().value();
+            let data = (0..c.n()).map(|_| rng.gen_range(0..q)).collect();
+            Limb::from_data(c.clone(), data)
+        })
+        .collect();
+    Poly::from_limbs(limbs, format)
+}
+
+/// Samples a ternary secret with exactly `hamming_weight` nonzero
+/// coefficients, each ±1 with equal probability. Returned in the coefficient
+/// domain.
+///
+/// # Panics
+///
+/// Panics if `hamming_weight` exceeds the ring degree.
+pub fn ternary<R: Rng + ?Sized>(
+    rng: &mut R,
+    basis: &[Arc<NttContext>],
+    hamming_weight: usize,
+) -> Poly {
+    let n = basis[0].n();
+    assert!(hamming_weight <= n, "hamming weight exceeds ring degree");
+    let mut signs = vec![0i64; n];
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    for &i in idx.iter().take(hamming_weight) {
+        signs[i] = if rng.gen_bool(0.5) { 1 } else { -1 };
+    }
+    Poly::from_coeff_i64(basis, &signs)
+}
+
+/// Samples a discrete-Gaussian error polynomial (σ ≈ 3.2 by convention),
+/// returned in the coefficient domain.
+///
+/// Uses rounded Box–Muller sampling, adequate for functional evaluation (we
+/// are not claiming constant-time or provable statistical distance here).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, basis: &[Arc<NttContext>], sigma: f64) -> Poly {
+    let n = basis[0].n();
+    let mut coeffs = vec![0i64; n];
+    for pair in coeffs.chunks_mut(2) {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        pair[0] = (r * u2.cos()).round() as i64;
+        if pair.len() > 1 {
+            pair[1] = (r * u2.sin()).round() as i64;
+        }
+    }
+    Poly::from_coeff_i64(basis, &coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::Modulus;
+    use crate::prime::generate_ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn basis(n: usize, l: usize) -> Vec<Arc<NttContext>> {
+        generate_ntt_primes(40, l, 2 * n as u64)
+            .into_iter()
+            .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_in_range_and_nontrivial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = basis(64, 2);
+        let p = uniform(&mut rng, &b, Format::Eval);
+        assert_eq!(p.format(), Format::Eval);
+        for l in p.limbs() {
+            let q = l.ctx().modulus().value();
+            assert!(l.data().iter().all(|&x| x < q));
+            // Overwhelmingly unlikely to be all equal.
+            assert!(l.data().windows(2).any(|w| w[0] != w[1]));
+        }
+    }
+
+    #[test]
+    fn ternary_has_exact_weight() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = basis(64, 2);
+        let s = ternary(&mut rng, &b, 16);
+        let m = b[0].modulus();
+        let nonzero = s.limb(0).data().iter().filter(|&&x| x != 0).count();
+        assert_eq!(nonzero, 16);
+        for &x in s.limb(0).data() {
+            assert!(x == 0 || x == 1 || x == m.value() - 1, "ternary values only");
+        }
+        // Limbs must agree on the underlying signed value.
+        let m1 = b[1].modulus();
+        for k in 0..64 {
+            assert_eq!(
+                m.to_centered(s.limb(0).data()[k]),
+                m1.to_centered(s.limb(1).data()[k])
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_is_small_and_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = basis(256, 1);
+        let e = gaussian(&mut rng, &b, 3.2);
+        let m = b[0].modulus();
+        let vals: Vec<i64> = e.limb(0).data().iter().map(|&x| m.to_centered(x)).collect();
+        assert!(vals.iter().all(|&v| v.abs() < 40), "tail bound ~ 12σ");
+        let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 1.0, "roughly centered, got {mean}");
+        let var: f64 =
+            vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((var - 3.2f64.powi(2)).abs() < 5.0, "variance near σ², got {var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let b = basis(32, 1);
+        let p1 = uniform(&mut StdRng::seed_from_u64(7), &b, Format::Coeff);
+        let p2 = uniform(&mut StdRng::seed_from_u64(7), &b, Format::Coeff);
+        assert_eq!(p1.limb(0).data(), p2.limb(0).data());
+    }
+}

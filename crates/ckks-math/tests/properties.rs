@@ -1,0 +1,196 @@
+//! Property-based tests for the arithmetic substrate.
+
+use std::sync::Arc;
+
+use ckks_math::modulus::Modulus;
+use ckks_math::ntt::NttContext;
+use ckks_math::poly::{Format, Poly};
+use ckks_math::prime::generate_ntt_primes;
+use ckks_math::rns::{BasisConverter, CrtReconstructor, UBig};
+use proptest::prelude::*;
+
+fn test_modulus() -> Modulus {
+    Modulus::new(generate_ntt_primes(50, 1, 1 << 11)[0])
+}
+
+fn basis(n: usize, l: usize) -> Vec<Arc<NttContext>> {
+    generate_ntt_primes(45, l, 2 * n as u64)
+        .into_iter()
+        .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn field_laws(a in 0u64..u64::MAX, b in 0u64..u64::MAX, c in 0u64..u64::MAX) {
+        let m = test_modulus();
+        let (a, b, c) = (m.reduce(a), m.reduce(b), m.reduce(c));
+        // Commutativity
+        prop_assert_eq!(m.add(a, b), m.add(b, a));
+        prop_assert_eq!(m.mul(a, b), m.mul(b, a));
+        // Associativity
+        prop_assert_eq!(m.add(m.add(a, b), c), m.add(a, m.add(b, c)));
+        prop_assert_eq!(m.mul(m.mul(a, b), c), m.mul(a, m.mul(b, c)));
+        // Distributivity
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+        // Additive inverse
+        prop_assert_eq!(m.add(a, m.neg(a)), 0);
+        // mul_add coherence
+        prop_assert_eq!(m.mul_add(a, b, c), m.add(m.mul(a, b), c));
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in 1u64..u64::MAX) {
+        let m = test_modulus();
+        let a = m.reduce(a);
+        prop_assume!(a != 0);
+        prop_assert_eq!(m.mul(a, m.inv(a)), 1);
+    }
+
+    #[test]
+    fn ntt_roundtrip(seed in any::<u64>()) {
+        let n = 128usize;
+        let q = generate_ntt_primes(45, 1, 2 * n as u64)[0];
+        let ctx = NttContext::new(n, Modulus::new(q));
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state % q
+        };
+        let mut a: Vec<u64> = (0..n).map(|_| next()).collect();
+        let orig = a.clone();
+        ctx.forward(&mut a);
+        ctx.inverse(&mut a);
+        prop_assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ntt_is_linear(seed in any::<u64>()) {
+        let n = 64usize;
+        let q = generate_ntt_primes(45, 1, 2 * n as u64)[0];
+        let m = Modulus::new(q);
+        let ctx = NttContext::new(n, m);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            state % q
+        };
+        let a: Vec<u64> = (0..n).map(|_| next()).collect();
+        let b: Vec<u64> = (0..n).map(|_| next()).collect();
+        let mut sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
+        ctx.forward(&mut sum);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        ctx.forward(&mut fa);
+        ctx.forward(&mut fb);
+        let fsum: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.add(x, y)).collect();
+        prop_assert_eq!(sum, fsum);
+    }
+
+    #[test]
+    fn galois_permutation_is_bijective(g_idx in 0usize..32) {
+        let n = 64usize;
+        let q = generate_ntt_primes(40, 1, 2 * n as u64)[0];
+        let ctx = NttContext::new(n, Modulus::new(q));
+        let g = (2 * g_idx as u64 + 1) % (2 * n as u64);
+        prop_assume!(g % 2 == 1);
+        let perm = ctx.galois_permutation(g);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            prop_assert!(!seen[p as usize], "permutation must be injective");
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn poly_ring_axioms(vals in prop::collection::vec(-1000i64..1000, 16)) {
+        let b = basis(16, 2);
+        let a = Poly::from_coeff_i64(&b, &vals);
+        let zero = Poly::zero(&b, Format::Coeff);
+        // a + 0 = a
+        let mut s = a.clone();
+        s.add_assign(&zero);
+        for (l, w) in s.limbs().zip(a.limbs()) {
+            prop_assert_eq!(l.data(), w.data());
+        }
+        // a - a = 0
+        let mut d = a.clone();
+        d.sub_assign(&a);
+        prop_assert!(d.limbs().all(|l| l.data().iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn eval_mul_commutes(v1 in prop::collection::vec(-50i64..50, 16),
+                         v2 in prop::collection::vec(-50i64..50, 16)) {
+        let b = basis(16, 2);
+        let mut a = Poly::from_coeff_i64(&b, &v1);
+        let mut c = Poly::from_coeff_i64(&b, &v2);
+        a.to_eval();
+        c.to_eval();
+        let mut ac = a.clone();
+        ac.mul_assign(&c);
+        let mut ca = c.clone();
+        ca.mul_assign(&a);
+        for (l, w) in ac.limbs().zip(ca.limbs()) {
+            prop_assert_eq!(l.data(), w.data());
+        }
+    }
+
+    #[test]
+    fn bconv_exact_matches_crt(vals in prop::collection::vec(-100_000i64..100_000, 8)) {
+        let n = 8;
+        let all = basis(n, 4);
+        let from = all[..2].to_vec();
+        let to = all[2..].to_vec();
+        let conv = BasisConverter::new(&from, &to);
+        let src = Poly::from_coeff_i64(&from, &vals);
+        let refs: Vec<&[u64]> = (0..2).map(|i| src.limb(i).data()).collect();
+        let out = conv.convert_exact(&refs);
+        let want = Poly::from_coeff_i64(&to, &vals);
+        for (l, w) in out.iter().zip(want.limbs()) {
+            prop_assert_eq!(l.data(), w.data());
+        }
+    }
+
+    #[test]
+    fn crt_roundtrip(vals in prop::collection::vec(-1_000_000i64..1_000_000, 8)) {
+        let b = basis(8, 3);
+        let crt = CrtReconstructor::new(&b);
+        let p = Poly::from_coeff_i64(&b, &vals);
+        for k in 0..8 {
+            let residues: Vec<u64> = (0..3).map(|i| p.limb(i).data()[k]).collect();
+            prop_assert_eq!(crt.reconstruct_centered_f64(&residues), vals[k] as f64);
+        }
+    }
+
+    #[test]
+    fn ubig_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>(), m in 1u64..u64::MAX) {
+        let mut x = UBig::from_u64(a).mul_small(b);
+        let y = UBig::from_u64(b).mul_small(37);
+        let orig = x.clone();
+        x.add_assign(&y);
+        x.sub_assign(&y);
+        prop_assert_eq!(&x, &orig);
+        // mod_small consistency with u128
+        let val = a as u128 * b as u128;
+        prop_assert_eq!(orig.mod_small(m), (val % m as u128) as u64);
+    }
+
+    #[test]
+    fn automorphism_preserves_addition(v1 in prop::collection::vec(-100i64..100, 16),
+                                       v2 in prop::collection::vec(-100i64..100, 16),
+                                       g_idx in 0usize..16) {
+        let b = basis(16, 1);
+        let g = 2 * g_idx as u64 + 1;
+        let a = Poly::from_coeff_i64(&b, &v1);
+        let c = Poly::from_coeff_i64(&b, &v2);
+        let mut sum = a.clone();
+        sum.add_assign(&c);
+        let phi_sum = sum.automorphism(g);
+        let mut sum_phi = a.automorphism(g);
+        sum_phi.add_assign(&c.automorphism(g));
+        for (l, w) in phi_sum.limbs().zip(sum_phi.limbs()) {
+            prop_assert_eq!(l.data(), w.data());
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Chebyshev interpolation and low-depth homomorphic polynomial evaluation.
+//!
+//! Bootstrapping's EvalMod step approximates the modular-reduction function
+//! with a trigonometric polynomial; we represent such approximations in the
+//! Chebyshev basis and evaluate them homomorphically with the baby-step
+//! giant-step (Paterson–Stockmeyer) recursion, giving multiplicative depth
+//! `O(log d)` instead of `O(d)`.
+
+use crate::ciphertext::Ciphertext;
+use crate::eval::Evaluator;
+use crate::keys::EvalKey;
+
+/// A polynomial in the Chebyshev basis over an interval `[a, b]`:
+/// `p(x) = Σ_k c_k · T_k(u)`, `u = (2x − a − b)/(b − a) ∈ [−1, 1]`.
+#[derive(Debug, Clone)]
+pub struct ChebyshevSeries {
+    coeffs: Vec<f64>,
+    a: f64,
+    b: f64,
+}
+
+impl ChebyshevSeries {
+    /// Builds a series from explicit Chebyshev coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or the interval is degenerate.
+    pub fn new(coeffs: Vec<f64>, a: f64, b: f64) -> Self {
+        assert!(!coeffs.is_empty(), "need at least one coefficient");
+        assert!(b > a, "degenerate interval");
+        Self { coeffs, a, b }
+    }
+
+    /// Interpolates `f` on `[a, b]` at the `d+1` Chebyshev nodes,
+    /// producing a degree-`d` series.
+    pub fn interpolate(f: impl Fn(f64) -> f64, a: f64, b: f64, degree: usize) -> Self {
+        let n = degree + 1;
+        // Sample at Chebyshev nodes of the first kind.
+        let fx: Vec<f64> = (0..n)
+            .map(|j| {
+                let theta = std::f64::consts::PI * (j as f64 + 0.5) / n as f64;
+                let u = theta.cos();
+                let x = 0.5 * ((b - a) * u + (b + a));
+                f(x)
+            })
+            .collect();
+        let coeffs: Vec<f64> = (0..n)
+            .map(|k| {
+                let scale = if k == 0 { 1.0 } else { 2.0 } / n as f64;
+                scale
+                    * (0..n)
+                        .map(|j| {
+                            let theta = std::f64::consts::PI * (j as f64 + 0.5) / n as f64;
+                            fx[j] * (k as f64 * theta).cos()
+                        })
+                        .sum::<f64>()
+            })
+            .collect();
+        Self { coeffs, a, b }
+    }
+
+    /// The Chebyshev coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Multiplicative depth consumed by [`Self::eval_homomorphic`]:
+    /// 1 (normalization) + ⌈log2(degree+1)⌉ for the power ladder and
+    /// recombination.
+    pub fn depth(&self) -> usize {
+        1 + (usize::BITS - self.coeffs.len().leading_zeros()) as usize + 1
+    }
+
+    /// Plaintext evaluation by Clenshaw's algorithm.
+    pub fn eval_plain(&self, x: f64) -> f64 {
+        let u = (2.0 * x - self.a - self.b) / (self.b - self.a);
+        let mut b1 = 0.0f64;
+        let mut b2 = 0.0f64;
+        for &c in self.coeffs.iter().rev() {
+            let t = 2.0 * u * b1 - b2 + c;
+            b2 = b1;
+            b1 = t;
+        }
+        // Clenshaw final step (the recurrence above already consumed c_0).
+        b1 - u * b2
+    }
+
+    /// Homomorphic evaluation with the Paterson–Stockmeyer recursion.
+    ///
+    /// The ciphertext must encode values within `[a, b]` (approximately); the
+    /// result encodes `p(x)` per slot. Consumes `O(log degree)` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext level is too shallow for the recursion.
+    pub fn eval_homomorphic(
+        &self,
+        ev: &Evaluator<'_>,
+        ct: &Ciphertext,
+        relin: &EvalKey,
+    ) -> Ciphertext {
+        // Normalize to [-1, 1]: u = (2x − a − b)/(b − a).
+        let scale_f = 2.0 / (self.b - self.a);
+        let shift = -(self.a + self.b) / (self.b - self.a);
+        let mut u = ev.mul_scalar(ct, scale_f);
+        u = ev.rescale(&u);
+        u = ev.add_scalar(&u, shift);
+
+        // Baby-step size m: power of two near sqrt(d+1).
+        let d = self.degree();
+        let mut m = 1usize;
+        while m * m < d + 1 {
+            m *= 2;
+        }
+        let m = m.max(2);
+
+        // Baby powers T_1..T_m.
+        let mut baby: Vec<Option<Ciphertext>> = vec![None; m + 1];
+        baby[1] = Some(u.clone());
+        let mut k = 1;
+        while 2 * k <= m {
+            // T_{2k} = 2·T_k² − 1
+            let t2k = {
+                let tk = baby[k].as_ref().expect("computed");
+                let sq = ev.rescale(&ev.square_relin(tk, relin));
+                let doubled = ev.mul_integer(&sq, 2);
+                ev.add_scalar(&doubled, -1.0)
+            };
+            baby[2 * k] = Some(t2k);
+            // T_{2k+1} = 2·T_k·T_{k+1} − T_1 (when needed)
+            if 2 * k + 1 <= m {
+                if let (Some(tk), Some(tk1)) = (baby[k].clone(), baby[k + 1].clone()) {
+                    let (x, y) = ev.align_levels(&tk, &tk1);
+                    let prod = ev.rescale(&ev.mul_relin(&x, &y, relin));
+                    let doubled = ev.mul_integer(&prod, 2);
+                    let (p, q) = ev.align_levels(&doubled, &u);
+                    baby[2 * k + 1] = Some(ev.sub(&p, &q));
+                }
+            }
+            k *= 2;
+        }
+        // Fill the remaining powers with balanced splits so the depth stays
+        // logarithmic: T_{a+b} = 2·T_a·T_b − T_{a−b} with a = ⌈j/2⌉, b = ⌊j/2⌋.
+        for j in 2..=m {
+            if baby[j].is_none() {
+                let a = j.div_ceil(2);
+                let b = j / 2;
+                let ta = baby[a].clone().expect("smaller power filled");
+                let tb = baby[b].clone().expect("smaller power filled");
+                let (x, y) = ev.align_levels(&ta, &tb);
+                let prod = ev.rescale(&ev.mul_relin(&x, &y, relin));
+                let doubled = ev.mul_integer(&prod, 2);
+                let tj = if a == b {
+                    // T_{a−b} = T_0 = 1
+                    ev.add_scalar(&doubled, -1.0)
+                } else {
+                    // a − b = 1
+                    let (p, q) = ev.align_levels(&doubled, &u);
+                    ev.sub(&p, &q)
+                };
+                baby[j] = Some(tj);
+            }
+        }
+
+        // Giant powers T_m, T_{2m}, T_{4m}, ...
+        let mut giants: Vec<Ciphertext> = vec![baby[m].clone().expect("T_m")];
+        let mut span = m;
+        while span * 2 <= d {
+            let last = giants.last().expect("non-empty");
+            let sq = ev.rescale(&ev.square_relin(last, relin));
+            let doubled = ev.mul_integer(&sq, 2);
+            giants.push(ev.add_scalar(&doubled, -1.0));
+            span *= 2;
+        }
+
+        self.eval_recursive(ev, relin, &self.coeffs, m, &baby, &giants)
+    }
+
+    /// Recursive PS evaluation of a Chebyshev coefficient vector.
+    fn eval_recursive(
+        &self,
+        ev: &Evaluator<'_>,
+        relin: &EvalKey,
+        coeffs: &[f64],
+        m: usize,
+        baby: &[Option<Ciphertext>],
+        giants: &[Ciphertext],
+    ) -> Ciphertext {
+        let deg = coeffs.len() - 1;
+        if deg < m {
+            // Direct: c_0 + Σ c_k·T_k with scalar multiplications.
+            let mut acc: Option<Ciphertext> = None;
+            for (k, &c) in coeffs.iter().enumerate().skip(1) {
+                if c.abs() < 1e-14 {
+                    continue;
+                }
+                let t = baby[k].as_ref().expect("baby power");
+                let term = ev.rescale(&ev.mul_scalar(t, c));
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => ev.add_aligned(&a, &term),
+                });
+            }
+            let base = match acc {
+                Some(a) => a,
+                None => {
+                    // Constant polynomial: encode c_0 on a zero-ish ladder.
+                    let t = baby[1].as_ref().expect("T_1");
+                    let z = ev.rescale(&ev.mul_scalar(t, 0.0));
+                    z
+                }
+            };
+            return ev.add_scalar(&base, coeffs[0]);
+        }
+        // Split at the largest giant power ≤ deg: s = m·2^i.
+        let mut gi = 0usize;
+        let mut s = m;
+        while s * 2 <= deg && gi + 1 < giants.len() {
+            s *= 2;
+            gi += 1;
+        }
+        // Chebyshev division: coeffs = q·T_s + r.
+        let mut rem = coeffs.to_vec();
+        let mut quo = vec![0.0f64; deg - s + 1];
+        for n in (s..=deg).rev() {
+            let c = rem[n];
+            if c == 0.0 {
+                continue;
+            }
+            rem[n] = 0.0;
+            if n == s {
+                quo[0] += c;
+            } else {
+                quo[n - s] += 2.0 * c;
+                let other = if n >= 2 * s { n - 2 * s } else { 2 * s - n };
+                rem[other] -= c;
+            }
+        }
+        while rem.len() > 1 && rem.last() == Some(&0.0) {
+            rem.pop();
+        }
+        let q_ct = self.eval_recursive(ev, relin, &quo, m, baby, giants);
+        let r_ct = self.eval_recursive(ev, relin, &rem, m, baby, giants);
+        let (g, qc) = ev.align_levels(&giants[gi], &q_ct);
+        let prod = ev.rescale(&ev.mul_relin(&g, &qc, relin));
+        ev.add_aligned(&prod, &r_ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::context::CkksContext;
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interpolation_accuracy_plain() {
+        let s = ChebyshevSeries::interpolate(f64::exp, -1.0, 1.0, 15);
+        for i in 0..50 {
+            let x = -1.0 + 2.0 * i as f64 / 49.0;
+            assert!((s.eval_plain(x) - x.exp()).abs() < 1e-10, "x = {x}");
+        }
+        assert_eq!(s.degree(), 15);
+    }
+
+    #[test]
+    fn interpolation_of_sine() {
+        let s = ChebyshevSeries::interpolate(|x| (2.0 * std::f64::consts::PI * x).sin(), -2.0, 2.0, 40);
+        for i in 0..80 {
+            let x = -2.0 + 4.0 * i as f64 / 79.0;
+            let want = (2.0 * std::f64::consts::PI * x).sin();
+            assert!((s.eval_plain(x) - want).abs() < 1e-8, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn clenshaw_matches_direct_basis() {
+        // T_3(u) = 4u³ − 3u over [-1,1]
+        let s = ChebyshevSeries::new(vec![0.0, 0.0, 0.0, 1.0], -1.0, 1.0);
+        for u in [-1.0, -0.4, 0.0, 0.3, 1.0] {
+            assert!((s.eval_plain(u) - (4.0 * u * u * u - 3.0 * u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn homomorphic_eval_matches_plain() {
+        let params = CkksParams::builder()
+            .log_n(10)
+            .levels(9)
+            .alpha(2)
+            .scale_bits(40)
+            .build();
+        let ctx = CkksContext::new(params);
+        let mut rng = StdRng::seed_from_u64(51);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+
+        // f(x) = exp(x) on [-1, 1], degree 7 (depth ~ 4).
+        let series = ChebyshevSeries::interpolate(f64::exp, -1.0, 1.0, 7);
+        let m = ctx.slots();
+        let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+        let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+
+        let out_ct = series.eval_homomorphic(&ev, &ct, &keys.relin);
+        let out = enc.decode(&keys.secret.decrypt(&out_ct));
+        let mut max_err = 0.0f64;
+        for (i, &x) in xs.iter().enumerate() {
+            max_err = max_err.max((out[i].re - x.exp()).abs());
+        }
+        assert!(max_err < 1e-2, "homomorphic Chebyshev error: {max_err}");
+    }
+
+    #[test]
+    fn homomorphic_eval_higher_degree() {
+        let params = CkksParams::builder()
+            .log_n(10)
+            .levels(11)
+            .alpha(3)
+            .scale_bits(40)
+            .build();
+        let ctx = CkksContext::new(params);
+        let mut rng = StdRng::seed_from_u64(52);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+
+        // Degree 31 sine on [-1, 1].
+        let series = ChebyshevSeries::interpolate(
+            |x| (std::f64::consts::PI * x).sin(),
+            -1.0,
+            1.0,
+            31,
+        );
+        let m = ctx.slots();
+        let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+        let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+
+        let out_ct = series.eval_homomorphic(&ev, &ct, &keys.relin);
+        let out = enc.decode(&keys.secret.decrypt(&out_ct));
+        let mut max_err = 0.0f64;
+        for (i, &x) in xs.iter().enumerate() {
+            let want = (std::f64::consts::PI * x).sin();
+            max_err = max_err.max((out[i].re - want).abs());
+        }
+        assert!(max_err < 2e-2, "degree-31 homomorphic error: {max_err}");
+    }
+}

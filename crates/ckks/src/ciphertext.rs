@@ -1,0 +1,168 @@
+//! Plaintext and ciphertext containers.
+//!
+//! A plaintext is a single polynomial carrying a scale; a ciphertext
+//! `[⟨u⟩] = (b, a) ∈ R_Q²` is a pair (§II-A). Both track their *level*
+//! (number of active `Q` primes) and the CKKS scaling factor attached to the
+//! encoded message.
+
+use ckks_math::poly::{Format, Poly};
+
+/// An encoded (but unencrypted) message: `⟨u⟩` in the paper's notation.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    poly: Poly,
+    scale: f64,
+    level: usize,
+}
+
+impl Plaintext {
+    /// Wraps an evaluation-domain polynomial with its scale metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` has a limb count different from `level`.
+    pub fn new(poly: Poly, scale: f64, level: usize) -> Self {
+        assert_eq!(poly.num_limbs(), level, "limb count must equal level");
+        Self { poly, scale, level }
+    }
+
+    /// The underlying polynomial.
+    pub fn poly(&self) -> &Poly {
+        &self.poly
+    }
+
+    /// Mutable access to the underlying polynomial.
+    pub fn poly_mut(&mut self) -> &mut Poly {
+        &mut self.poly
+    }
+
+    /// The scale Δ attached to the encoding.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The level (number of active `Q` primes).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Consumes into the inner polynomial.
+    pub fn into_poly(self) -> Poly {
+        self.poly
+    }
+}
+
+/// An encryption `[⟨u⟩] = (b, a)` of a plaintext.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    b: Poly,
+    a: Poly,
+    scale: f64,
+    level: usize,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from its two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components disagree in limb count or domain, or the
+    /// limb count differs from `level`.
+    pub fn new(b: Poly, a: Poly, scale: f64, level: usize) -> Self {
+        assert_eq!(b.num_limbs(), level, "b limb count must equal level");
+        assert_eq!(a.num_limbs(), level, "a limb count must equal level");
+        assert_eq!(b.format(), Format::Eval, "ciphertexts live in Eval domain");
+        assert_eq!(a.format(), Format::Eval, "ciphertexts live in Eval domain");
+        Self { b, a, scale, level }
+    }
+
+    /// The `b` component (`−a·s + m + e`).
+    pub fn b(&self) -> &Poly {
+        &self.b
+    }
+
+    /// The `a` component (uniform randomness).
+    pub fn a(&self) -> &Poly {
+        &self.a
+    }
+
+    /// Mutable access to both components at once.
+    pub fn parts_mut(&mut self) -> (&mut Poly, &mut Poly) {
+        (&mut self.b, &mut self.a)
+    }
+
+    /// The current scale of the encoded message.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Overrides the tracked scale (used after rescaling).
+    pub fn set_scale(&mut self, scale: f64) {
+        self.scale = scale;
+    }
+
+    /// The level (number of active `Q` primes).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Decomposes into `(b, a, scale, level)`.
+    pub fn into_parts(self) -> (Poly, Poly, f64, usize) {
+        (self.b, self.a, self.scale, self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckks_math::modulus::Modulus;
+    use ckks_math::ntt::NttContext;
+    use ckks_math::prime::generate_ntt_primes;
+    use std::sync::Arc;
+
+    fn basis(n: usize, l: usize) -> Vec<Arc<NttContext>> {
+        generate_ntt_primes(40, l, 2 * n as u64)
+            .into_iter()
+            .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+            .collect()
+    }
+
+    #[test]
+    fn plaintext_accessors() {
+        let b = basis(8, 2);
+        let p = Poly::zero(&b, Format::Eval);
+        let pt = Plaintext::new(p, 2f64.powi(40), 2);
+        assert_eq!(pt.level(), 2);
+        assert_eq!(pt.scale(), 2f64.powi(40));
+        assert_eq!(pt.poly().num_limbs(), 2);
+    }
+
+    #[test]
+    fn ciphertext_accessors() {
+        let b = basis(8, 3);
+        let ct = Ciphertext::new(
+            Poly::zero(&b, Format::Eval),
+            Poly::zero(&b, Format::Eval),
+            1e12,
+            3,
+        );
+        assert_eq!(ct.level(), 3);
+        let (pb, pa, s, l) = ct.into_parts();
+        assert_eq!(pb.num_limbs(), 3);
+        assert_eq!(pa.num_limbs(), 3);
+        assert_eq!(s, 1e12);
+        assert_eq!(l, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "Eval domain")]
+    fn coeff_ciphertext_rejected() {
+        let b = basis(8, 1);
+        let _ = Ciphertext::new(
+            Poly::zero(&b, Format::Coeff),
+            Poly::zero(&b, Format::Coeff),
+            1.0,
+            1,
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Homomorphic comparison: the building block of the paper's **Sort**
+//! workload [35] (§VII-A).
+//!
+//! CKKS has no native comparisons; the standard technique evaluates a
+//! composite polynomial approximation of the sign function
+//! (Cheon et al.): iterating `f(x) = (3x − x³)/2` drives any
+//! `x ∈ [−1, −ε] ∪ [ε, 1]` toward ±1. From sign, element-wise min/max and
+//! two-way compare-exchange follow:
+//!
+//! `min(a,b) = (a+b)/2 − |a−b|/2`, `|d| = d·sign(d)`.
+
+use crate::ciphertext::Ciphertext;
+use crate::eval::Evaluator;
+use crate::keys::EvalKey;
+
+/// Iterates `f(x) = (3x − x³)/2` homomorphically `iterations` times.
+///
+/// Inputs must lie in `[−1, 1]`; values at least `ε` from zero converge to
+/// ±1 at rate `~(3/2)^k·ε` per the composite-sign analysis. Consumes three
+/// levels per iteration.
+pub fn sign_approx(
+    ev: &Evaluator<'_>,
+    ct: &Ciphertext,
+    relin: &EvalKey,
+    iterations: usize,
+) -> Ciphertext {
+    let mut x = ct.clone();
+    for _ in 0..iterations {
+        // x³ = x²·x
+        let sq = ev.rescale(&ev.square_relin(&x, relin));
+        let (a, b) = ev.align_levels(&sq, &x);
+        let cube = ev.rescale(&ev.mul_relin(&a, &b, relin));
+        // (3x − x³)/2 = 1.5·x − 0.5·x³
+        let t1 = ev.rescale(&ev.mul_scalar(&x, 1.5));
+        let t2 = ev.rescale(&ev.mul_scalar(&cube, 0.5));
+        let (t1, t2) = ev.align_levels(&t1, &t2);
+        x = ev.sub(&t1, &t2);
+    }
+    x
+}
+
+/// Element-wise `(min, max)` of two ciphertexts with values in `[−1, 1]`.
+///
+/// Uses `sign_iterations` rounds of the composite sign. Consumes
+/// `3·sign_iterations + 2` levels.
+pub fn min_max(
+    ev: &Evaluator<'_>,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    relin: &EvalKey,
+    sign_iterations: usize,
+) -> (Ciphertext, Ciphertext) {
+    // mean = (a+b)/2, half-diff d = (a−b)/2 ∈ [−1, 1].
+    let mean = ev.rescale(&ev.mul_scalar(&ev.add(a, b), 0.5));
+    let d = ev.rescale(&ev.mul_scalar(&ev.sub(a, b), 0.5));
+    let s = sign_approx(ev, &d, relin, sign_iterations);
+    // |d| = d·sign(d)
+    let (dd, ss) = ev.align_levels(&d, &s);
+    let absd = ev.rescale(&ev.mul_relin(&dd, &ss, relin));
+    let (m, ad) = ev.align_levels(&mean, &absd);
+    (ev.sub(&m, &ad), ev.add(&m, &ad))
+}
+
+/// Element-wise comparison `a ≷ b` as values near `{0, ½, 1}`:
+/// `(sign(a−b)+1)/2` → 1 where `a > b`, 0 where `a < b`.
+pub fn compare(
+    ev: &Evaluator<'_>,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    relin: &EvalKey,
+    sign_iterations: usize,
+) -> Ciphertext {
+    let d = ev.rescale(&ev.mul_scalar(&ev.sub(a, b), 0.5));
+    let s = sign_approx(ev, &d, relin, sign_iterations);
+    let half = ev.rescale(&ev.mul_scalar(&s, 0.5));
+    ev.add_scalar(&half, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::context::CkksContext;
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(levels: usize) -> CkksContext {
+        CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .levels(levels)
+                .alpha(3)
+                .scale_bits(40)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn sign_converges_away_from_zero() {
+        let ctx = setup(14);
+        let mut rng = StdRng::seed_from_u64(91);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        // Four composite iterations amplify a margin ε by ~1.5× each round,
+        // so ε = 0.4 lands within 0.25 of ±1; smaller margins need more
+        // rounds (Sort uses deeper composites).
+        let xs: Vec<f64> = (0..m)
+            .map(|i| {
+                let v = -1.0 + 2.0 * i as f64 / (m - 1) as f64;
+                if v.abs() < 0.4 {
+                    if v >= 0.0 {
+                        0.4
+                    } else {
+                        -0.4
+                    }
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let s = sign_approx(&ev, &ct, &keys.relin, 4);
+        let out = enc.decode(&keys.secret.decrypt(&s));
+        for (i, &x) in xs.iter().enumerate() {
+            let want = x.signum();
+            assert!(
+                (out[i].re - want).abs() < 0.25,
+                "sign({x}) ≈ {want}, got {}",
+                out[i].re
+            );
+            assert!(out[i].re.signum() == want, "sign must at least match");
+        }
+    }
+
+    #[test]
+    fn min_max_orders_random_pairs() {
+        let ctx = setup(12);
+        let mut rng = StdRng::seed_from_u64(92);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let mut rng2 = StdRng::seed_from_u64(93);
+        let a: Vec<f64> = (0..m).map(|_| rng2.gen_range(-0.9..0.9)).collect();
+        let b: Vec<f64> = (0..m)
+            .map(|i| {
+                let mut v = rng2.gen_range(-0.9..0.9);
+                // keep pairs separated so the sign margin holds
+                while (v - a[i]).abs() < 0.2 {
+                    v = rng2.gen_range(-0.9..0.9);
+                }
+                v
+            })
+            .collect();
+        let enc_v = |v: &[f64], rng: &mut StdRng| {
+            let msg: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            keys.public.encrypt(&enc.encode(&msg, ctx.max_level()), rng)
+        };
+        let ca = enc_v(&a, &mut rng);
+        let cb = enc_v(&b, &mut rng);
+        let (mn, mx) = min_max(&ev, &ca, &cb, &keys.relin, 3);
+        let out_mn = enc.decode(&keys.secret.decrypt(&mn));
+        let out_mx = enc.decode(&keys.secret.decrypt(&mx));
+        for i in 0..m {
+            let (wmn, wmx) = (a[i].min(b[i]), a[i].max(b[i]));
+            assert!(
+                (out_mn[i].re - wmn).abs() < 0.08,
+                "min({}, {}) = {wmn}, got {}",
+                a[i],
+                b[i],
+                out_mn[i].re
+            );
+            assert!(
+                (out_mx[i].re - wmx).abs() < 0.08,
+                "max({}, {}) = {wmx}, got {}",
+                a[i],
+                b[i],
+                out_mx[i].re
+            );
+        }
+    }
+
+    #[test]
+    fn compare_outputs_indicator() {
+        let ctx = setup(15);
+        let mut rng = StdRng::seed_from_u64(94);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let a: Vec<Complex> = (0..m)
+            .map(|i| Complex::new(if i % 2 == 0 { 0.7 } else { -0.4 }, 0.0))
+            .collect();
+        let b: Vec<Complex> = vec![Complex::new(0.1, 0.0); m];
+        let ca = keys.public.encrypt(&enc.encode(&a, ctx.max_level()), &mut rng);
+        let cb = keys.public.encrypt(&enc.encode(&b, ctx.max_level()), &mut rng);
+        let cmp = compare(&ev, &ca, &cb, &keys.relin, 4);
+        let out = enc.decode(&keys.secret.decrypt(&cmp));
+        for (i, o) in out.iter().enumerate() {
+            let want = if i % 2 == 0 { 1.0 } else { 0.0 };
+            assert!((o.re - want).abs() < 0.15, "slot {i}: want {want}, got {}", o.re);
+        }
+    }
+}

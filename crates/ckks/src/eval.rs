@@ -1,0 +1,643 @@
+//! Homomorphic evaluation: the basic CKKS functions of §II-A.
+//!
+//! - HADD / HSUB — element-wise ciphertext addition;
+//! - PMULT — plaintext-ciphertext multiplication;
+//! - HMULT — ciphertext multiplication (tensor + relinearization);
+//! - HROT — slot rotation (automorphism + key switching, hoisted form);
+//! - rescaling and level management.
+//!
+//! Rotations use the hoisted "automorphism last" evk structure [8] generated
+//! by [`crate::keys::KeyGenerator::gen_rotation`]: the key switch runs on
+//! `a` directly and the automorphism is applied to the two output
+//! polynomials, which is what lets Anaheim reorder automorphism past the
+//! element-wise block (§V-B).
+
+use ckks_math::rns::rescale_in_place;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::keys::{galois_for_rotation, EvalKey, KeySet};
+use crate::keyswitch::{HoistedDigits, KeySwitcher};
+use crate::opcount;
+
+/// Relative tolerance for scale compatibility checks.
+///
+/// Rescale primes sit within ~2^-26 (relative) of Δ, so deep circuits
+/// accumulate a small scale drift between operands that reach an addition by
+/// different paths; the drift shows up as multiplicative message error of the
+/// same relative size, far below CKKS noise at our parameters. The deepest
+/// circuit we run (a 26-level decomposed bootstrap) accumulates ~1e-5 of
+/// drift, so the gate sits at 1e-4.
+const SCALE_RTOL: f64 = 1e-4;
+
+/// Homomorphic evaluator bound to a context.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    ctx: &'a CkksContext,
+    ks: KeySwitcher<'a>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Binds a context.
+    pub fn new(ctx: &'a CkksContext) -> Self {
+        Self {
+            ctx,
+            ks: KeySwitcher::new(ctx),
+        }
+    }
+
+    /// The underlying key switcher (exposed for hoisted linear transforms).
+    pub fn key_switcher(&self) -> &KeySwitcher<'a> {
+        &self.ks
+    }
+
+    /// The context.
+    pub fn context(&self) -> &'a CkksContext {
+        self.ctx
+    }
+
+    fn assert_aligned(&self, x: &Ciphertext, y: &Ciphertext) {
+        assert_eq!(x.level(), y.level(), "level mismatch: align levels first");
+        let rel = (x.scale() - y.scale()).abs() / x.scale().max(y.scale());
+        assert!(rel < SCALE_RTOL, "scale mismatch: {} vs {}", x.scale(), y.scale());
+    }
+
+    /// HADD: element-wise ciphertext addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn add(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
+        self.assert_aligned(x, y);
+        let mut b = x.b().clone();
+        b.add_assign(y.b());
+        let mut a = x.a().clone();
+        a.add_assign(y.a());
+        opcount::count_ew(2 * x.level());
+        Ciphertext::new(b, a, x.scale(), x.level())
+    }
+
+    /// HSUB: element-wise ciphertext subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn sub(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
+        self.assert_aligned(x, y);
+        let mut b = x.b().clone();
+        b.sub_assign(y.b());
+        let mut a = x.a().clone();
+        a.sub_assign(y.a());
+        opcount::count_ew(2 * x.level());
+        Ciphertext::new(b, a, x.scale(), x.level())
+    }
+
+    /// Negation.
+    pub fn negate(&self, x: &Ciphertext) -> Ciphertext {
+        let mut b = x.b().clone();
+        b.neg_assign();
+        let mut a = x.a().clone();
+        a.neg_assign();
+        opcount::count_ew(2 * x.level());
+        Ciphertext::new(b, a, x.scale(), x.level())
+    }
+
+    /// Adds a plaintext (levels and scales must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or scale mismatch.
+    pub fn add_plain(&self, x: &Ciphertext, p: &Plaintext) -> Ciphertext {
+        assert_eq!(x.level(), p.level(), "level mismatch");
+        let rel = (x.scale() - p.scale()).abs() / x.scale().max(p.scale());
+        assert!(rel < SCALE_RTOL, "scale mismatch");
+        let mut b = x.b().clone();
+        b.add_assign(p.poly());
+        opcount::count_ew(x.level());
+        Ciphertext::new(b, x.a().clone(), x.scale(), x.level())
+    }
+
+    /// PMULT: plaintext-ciphertext multiplication. The output scale is the
+    /// product of the scales; rescale afterwards to restore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch.
+    pub fn mul_plain(&self, x: &Ciphertext, p: &Plaintext) -> Ciphertext {
+        assert_eq!(x.level(), p.level(), "level mismatch");
+        let mut b = x.b().clone();
+        b.mul_assign(p.poly());
+        let mut a = x.a().clone();
+        a.mul_assign(p.poly());
+        opcount::count_ew(2 * x.level());
+        Ciphertext::new(b, a, x.scale() * p.scale(), x.level())
+    }
+
+    /// Multiplies by a real scalar, consuming one level's worth of scale
+    /// (encodes the scalar at the default Δ; rescale afterwards).
+    pub fn mul_scalar(&self, x: &Ciphertext, c: f64) -> Ciphertext {
+        let delta = self.ctx.params().scale();
+        let v = (c * delta).round() as i64;
+        let mut b = x.b().clone();
+        b.mul_scalar_i64(v);
+        let mut a = x.a().clone();
+        a.mul_scalar_i64(v);
+        opcount::count_ew(2 * x.level());
+        Ciphertext::new(b, a, x.scale() * delta, x.level())
+    }
+
+    /// Multiplies by a small integer without changing the scale.
+    pub fn mul_integer(&self, x: &Ciphertext, v: i64) -> Ciphertext {
+        let mut b = x.b().clone();
+        b.mul_scalar_i64(v);
+        let mut a = x.a().clone();
+        a.mul_scalar_i64(v);
+        opcount::count_ew(2 * x.level());
+        Ciphertext::new(b, a, x.scale(), x.level())
+    }
+
+    /// Adds the real constant `c` to every slot.
+    pub fn add_scalar(&self, x: &Ciphertext, c: f64) -> Ciphertext {
+        // A constant vector encodes to the constant polynomial c·Δ, which in
+        // the evaluation domain is c·Δ in every residue.
+        let mut b = x.b().clone();
+        for i in 0..b.num_limbs() {
+            let limb = b.limb_mut(i);
+            let m = *limb.ctx().modulus();
+            let v = m.from_i64((c * x.scale()).round() as i64);
+            for r in limb.data_mut() {
+                *r = m.add(*r, v);
+            }
+        }
+        opcount::count_ew(x.level());
+        Ciphertext::new(b, x.a().clone(), x.scale(), x.level())
+    }
+
+    /// Rescales by the last prime: drops one level and divides the scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is at level 1.
+    pub fn rescale(&self, x: &Ciphertext) -> Ciphertext {
+        assert!(x.level() > 1, "cannot rescale below level 1");
+        let q_last = self
+            .ctx
+            .basis_q(x.level())
+            .last()
+            .expect("non-empty basis")
+            .modulus()
+            .value();
+        let mut b = x.b().clone();
+        let mut a = x.a().clone();
+        rescale_in_place(&mut b);
+        rescale_in_place(&mut a);
+        // 2 × (1 INTT + (level−1) NTT + elementwise fix-up)
+        opcount::count_intt(2);
+        opcount::count_ntt(2 * (x.level() - 1));
+        opcount::count_ew(2 * (x.level() - 1));
+        Ciphertext::new(b, a, x.scale() / q_last as f64, x.level() - 1)
+    }
+
+    /// Forces the scale to an exact target by multiplying with a constant
+    /// `≈1` encoded at a compensating scale, then rescaling. Costs one level;
+    /// the value is unchanged up to ~2^-40 relative rounding.
+    ///
+    /// Used at the end of bootstrapping to return the ciphertext to the
+    /// canonical scale Δ regardless of the scale drift accumulated through
+    /// CoeffToSlot/EvalMod/SlotToCoeff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is at level 1 or the correction constant is
+    /// out of the representable range.
+    pub fn rescale_to_exact_scale(&self, x: &Ciphertext, target: f64) -> Ciphertext {
+        assert!(x.level() > 1, "need a spare level for the exact rescale");
+        let q_drop = self
+            .ctx
+            .basis_q(x.level())
+            .last()
+            .expect("non-empty")
+            .modulus()
+            .value() as f64;
+        let c = target * q_drop / x.scale();
+        assert!(c >= 1.0 && c < 4.6e18, "correction constant out of range");
+        let vi = c.round() as i64;
+        let mut t = self.mul_integer(x, vi);
+        t.set_scale(x.scale() * vi as f64);
+        let mut out = self.rescale(&t);
+        out.set_scale(target);
+        out
+    }
+
+    /// Drops to a lower level without rescaling (modulus switching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or above the current level.
+    pub fn mod_switch_to(&self, x: &Ciphertext, level: usize) -> Ciphertext {
+        assert!(level >= 1 && level <= x.level(), "invalid target level");
+        let mut b = x.b().clone();
+        let mut a = x.a().clone();
+        b.truncate_limbs(level);
+        a.truncate_limbs(level);
+        Ciphertext::new(b, a, x.scale(), level)
+    }
+
+    /// Brings two ciphertexts to a common (minimum) level so they can be
+    /// added or multiplied.
+    pub fn align_levels(&self, x: &Ciphertext, y: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let level = x.level().min(y.level());
+        (self.mod_switch_to(x, level), self.mod_switch_to(y, level))
+    }
+
+    /// Addition after aligning levels (scales must still agree within
+    /// tolerance).
+    pub fn add_aligned(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
+        let (a, b) = self.align_levels(x, y);
+        self.add(&a, &b)
+    }
+
+    /// HMULT: ciphertext multiplication with relinearization. The output
+    /// scale is the product of scales; rescale afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level/scale mismatch.
+    pub fn mul_relin(&self, x: &Ciphertext, y: &Ciphertext, relin: &EvalKey) -> Ciphertext {
+        self.assert_aligned_mul(x, y);
+        let level = x.level();
+        // Tensor: (d0, d1, d2) = (b1·b2, b1·a2 + a1·b2, a1·a2).
+        let mut d0 = x.b().clone();
+        d0.mul_assign(y.b());
+        let mut d1 = x.b().clone();
+        d1.mul_assign(y.a());
+        d1.mac_assign(x.a(), y.b());
+        let mut d2 = x.a().clone();
+        d2.mul_assign(y.a());
+        opcount::count_ew(4 * level);
+        // Relinearize d2 down to (b, a).
+        let (kb, ka) = self.ks.switch(&d2, relin, level);
+        let mut b = d0;
+        b.add_assign(&kb);
+        let mut a = d1;
+        a.add_assign(&ka);
+        opcount::count_ew(2 * level);
+        Ciphertext::new(b, a, x.scale() * y.scale(), level)
+    }
+
+    fn assert_aligned_mul(&self, x: &Ciphertext, y: &Ciphertext) {
+        assert_eq!(x.level(), y.level(), "level mismatch: align levels first");
+    }
+
+    /// HMULT followed by rescale (the common composite).
+    pub fn mul_relin_rescale(
+        &self,
+        x: &Ciphertext,
+        y: &Ciphertext,
+        relin: &EvalKey,
+    ) -> Ciphertext {
+        let t = self.mul_relin(x, y, relin);
+        self.rescale(&t)
+    }
+
+    /// Squares a ciphertext (TensorSq of Table II) with relinearization.
+    pub fn square_relin(&self, x: &Ciphertext, relin: &EvalKey) -> Ciphertext {
+        let level = x.level();
+        let mut d0 = x.b().clone();
+        d0.mul_assign(x.b());
+        let mut d1 = x.b().clone();
+        d1.mul_assign(x.a());
+        let two = d1.clone();
+        d1.add_assign(&two);
+        let mut d2 = x.a().clone();
+        d2.mul_assign(x.a());
+        opcount::count_ew(3 * level);
+        let (kb, ka) = self.ks.switch(&d2, relin, level);
+        let mut b = d0;
+        b.add_assign(&kb);
+        let mut a = d1;
+        a.add_assign(&ka);
+        opcount::count_ew(2 * level);
+        Ciphertext::new(b, a, x.scale() * x.scale(), level)
+    }
+
+    /// HROT: rotates slots left by `r`, using the hoisted-form rotation key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key set lacks the rotation key for `r`.
+    pub fn rotate(&self, x: &Ciphertext, r: isize, keys: &KeySet) -> Ciphertext {
+        let r_norm = r.rem_euclid(self.ctx.slots() as isize);
+        if r_norm == 0 {
+            return x.clone();
+        }
+        let evk = keys
+            .rotation(r_norm, self.ctx.slots())
+            .unwrap_or_else(|| panic!("missing rotation key for distance {r_norm}"));
+        let g = galois_for_rotation(self.ctx.n(), r_norm);
+        self.apply_galois(x, g, evk)
+    }
+
+    /// Conjugates every slot.
+    pub fn conjugate(&self, x: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let g = 2 * self.ctx.n() as u64 - 1;
+        self.apply_galois(x, g, &keys.conjugation)
+    }
+
+    /// Applies an arbitrary Galois map with a hoisted-form key: key-switch
+    /// `a` first, then apply the automorphism to both output polynomials.
+    pub fn apply_galois(&self, x: &Ciphertext, g: u64, evk: &EvalKey) -> Ciphertext {
+        let level = x.level();
+        let (kb, ka) = self.ks.switch(x.a(), evk, level);
+        let mut b = x.b().clone();
+        b.add_assign(&kb);
+        opcount::count_ew(level);
+        let b = b.automorphism(g);
+        let a = ka.automorphism(g);
+        opcount::count_automorphism(2 * level);
+        Ciphertext::new(b, a, x.scale(), level)
+    }
+
+    /// Hoisted rotation: reuses a precomputed decomposition of `x.a()`.
+    /// `hoisted` must come from [`KeySwitcher::decompose_mod_up`] on the same
+    /// ciphertext.
+    pub fn rotate_hoisted(
+        &self,
+        x: &Ciphertext,
+        hoisted: &HoistedDigits,
+        r: isize,
+        keys: &KeySet,
+    ) -> Ciphertext {
+        let r_norm = r.rem_euclid(self.ctx.slots() as isize);
+        if r_norm == 0 {
+            return x.clone();
+        }
+        let evk = keys
+            .rotation(r_norm, self.ctx.slots())
+            .unwrap_or_else(|| panic!("missing rotation key for distance {r_norm}"));
+        let level = x.level();
+        opcount::count_keyswitch();
+        let (kb, ka) = self.ks.key_mult(hoisted, evk);
+        let (mut b, a) = self.ks.mod_down_pair(&kb, &ka, level);
+        b.add_assign(x.b());
+        opcount::count_ew(level);
+        let g = galois_for_rotation(self.ctx.n(), r_norm);
+        let b = b.automorphism(g);
+        let a = a.automorphism(g);
+        opcount::count_automorphism(2 * level);
+        Ciphertext::new(b, a, x.scale(), level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{max_error, Complex};
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        ctx: CkksContext,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            ctx: CkksContext::new(CkksParams::test_small()),
+        }
+    }
+
+    fn keys(ctx: &CkksContext) -> crate::keys::KeySet {
+        let mut rng = StdRng::seed_from_u64(21);
+        KeyGenerator::new(ctx, &mut rng).generate(&[1, 2, 3, 5])
+    }
+
+    fn msg(m: usize, f: impl Fn(usize) -> Complex) -> Vec<Complex> {
+        (0..m).map(f).collect()
+    }
+
+    #[test]
+    fn add_sub_negate() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(i as f64 * 1e-3, -0.5));
+        let zb = msg(m, |i| Complex::new(0.25, i as f64 * -2e-3));
+        let mut rng = StdRng::seed_from_u64(5);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let cb = ks.public.encrypt(&enc.encode(&zb, f.ctx.max_level()), &mut rng);
+
+        let sum = enc.decode(&ks.secret.decrypt(&ev.add(&ca, &cb)));
+        let want_sum: Vec<Complex> = za.iter().zip(&zb).map(|(&x, &y)| x + y).collect();
+        assert!(max_error(&want_sum, &sum) < 1e-6);
+
+        let diff = enc.decode(&ks.secret.decrypt(&ev.sub(&ca, &cb)));
+        let want_diff: Vec<Complex> = za.iter().zip(&zb).map(|(&x, &y)| x - y).collect();
+        assert!(max_error(&want_diff, &diff) < 1e-6);
+
+        let neg = enc.decode(&ks.secret.decrypt(&ev.negate(&ca)));
+        let want_neg: Vec<Complex> = za.iter().map(|&x| -x).collect();
+        assert!(max_error(&want_neg, &neg) < 1e-6);
+    }
+
+    #[test]
+    fn plain_ops() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new((i % 7) as f64 * 0.1, 0.02));
+        let zp = msg(m, |i| Complex::new(0.5, (i % 3) as f64 * 0.1));
+        let mut rng = StdRng::seed_from_u64(6);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let pp = enc.encode(&zp, f.ctx.max_level());
+
+        let prod = ev.rescale(&ev.mul_plain(&ca, &pp));
+        let out = enc.decode(&ks.secret.decrypt(&prod));
+        let want: Vec<Complex> = za.iter().zip(&zp).map(|(&x, &y)| x * y).collect();
+        assert!(max_error(&want, &out) < 1e-5);
+
+        let sum = ev.add_plain(&ca, &enc.encode(&zp, f.ctx.max_level()));
+        let out2 = enc.decode(&ks.secret.decrypt(&sum));
+        let want2: Vec<Complex> = za.iter().zip(&zp).map(|(&x, &y)| x + y).collect();
+        assert!(max_error(&want2, &out2) < 1e-6);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(0.1 * (i % 5) as f64, -0.3));
+        let mut rng = StdRng::seed_from_u64(8);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+
+        let scaled = ev.rescale(&ev.mul_scalar(&ca, -1.5));
+        let out = enc.decode(&ks.secret.decrypt(&scaled));
+        let want: Vec<Complex> = za.iter().map(|&x| x.scale(-1.5)).collect();
+        assert!(max_error(&want, &out) < 1e-5);
+
+        let tripled = ev.mul_integer(&ca, 3);
+        let out = enc.decode(&ks.secret.decrypt(&tripled));
+        let want: Vec<Complex> = za.iter().map(|&x| x.scale(3.0)).collect();
+        assert!(max_error(&want, &out) < 1e-5);
+
+        let shifted = ev.add_scalar(&ca, 0.75);
+        let out = enc.decode(&ks.secret.decrypt(&shifted));
+        let want: Vec<Complex> = za.iter().map(|&x| x + Complex::new(0.75, 0.0)).collect();
+        assert!(max_error(&want, &out) < 1e-5);
+    }
+
+    #[test]
+    fn hmult_matches_plain_product() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(((i % 11) as f64 - 5.0) * 0.1, 0.2));
+        let zb = msg(m, |i| Complex::new(0.3, ((i % 7) as f64 - 3.0) * 0.1));
+        let mut rng = StdRng::seed_from_u64(13);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let cb = ks.public.encrypt(&enc.encode(&zb, f.ctx.max_level()), &mut rng);
+
+        let prod = ev.mul_relin_rescale(&ca, &cb, &ks.relin);
+        assert_eq!(prod.level(), f.ctx.max_level() - 1);
+        let out = enc.decode(&ks.secret.decrypt(&prod));
+        let want: Vec<Complex> = za.iter().zip(&zb).map(|(&x, &y)| x * y).collect();
+        let err = max_error(&want, &out);
+        assert!(err < 1e-4, "HMULT error too large: {err}");
+    }
+
+    #[test]
+    fn square_matches_mul_self() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(((i % 9) as f64 - 4.0) * 0.1, -0.1));
+        let mut rng = StdRng::seed_from_u64(14);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let sq = ev.rescale(&ev.square_relin(&ca, &ks.relin));
+        let out = enc.decode(&ks.secret.decrypt(&sq));
+        let want: Vec<Complex> = za.iter().map(|&x| x * x).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+    }
+
+    #[test]
+    fn rotation_shifts_slots() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(i as f64 * 1e-3, (m - i) as f64 * 1e-3));
+        let mut rng = StdRng::seed_from_u64(15);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        for r in [1isize, 2, 5] {
+            let rot = ev.rotate(&ca, r, &ks);
+            let out = enc.decode(&ks.secret.decrypt(&rot));
+            let want: Vec<Complex> = (0..m).map(|j| za[(j + r as usize) % m]).collect();
+            let err = max_error(&want, &out);
+            assert!(err < 1e-4, "rotation {r} error: {err}");
+        }
+    }
+
+    #[test]
+    fn hoisted_rotation_matches_direct() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new((i as f64).cos() * 0.3, 0.0));
+        let mut rng = StdRng::seed_from_u64(16);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let hoisted = ev.key_switcher().decompose_mod_up(ca.a(), ca.level());
+        for r in [1isize, 3] {
+            let direct = ev.rotate(&ca, r, &ks);
+            let viah = ev.rotate_hoisted(&ca, &hoisted, r, &ks);
+            let d1 = enc.decode(&ks.secret.decrypt(&direct));
+            let d2 = enc.decode(&ks.secret.decrypt(&viah));
+            assert!(max_error(&d1, &d2) < 1e-5, "hoisted must match direct");
+        }
+    }
+
+    #[test]
+    fn conjugation() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(0.1, i as f64 * 1e-3));
+        let mut rng = StdRng::seed_from_u64(17);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let conj = ev.conjugate(&ca, &ks);
+        let out = enc.decode(&ks.secret.decrypt(&conj));
+        let want: Vec<Complex> = za.iter().map(|z| z.conj()).collect();
+        assert!(max_error(&want, &out) < 1e-4);
+    }
+
+    #[test]
+    fn depth_chain_multiplications() {
+        // Exercise the whole level chain: ((x²)²)… down to level 1.
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |_| Complex::new(0.9, 0.0));
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut ct = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let mut expect = 0.9f64;
+        while ct.level() > 1 {
+            ct = ev.rescale(&ev.square_relin(&ct, &ks.relin));
+            expect = expect * expect;
+            let out = enc.decode(&ks.secret.decrypt(&ct));
+            assert!(
+                (out[0].re - expect).abs() < 1e-3,
+                "level {}: got {} want {expect}",
+                ct.level(),
+                out[0].re
+            );
+        }
+    }
+
+    #[test]
+    fn mod_switch_preserves_message() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let m = f.ctx.slots();
+        let za = msg(m, |i| Complex::new(i as f64 * 1e-4, 0.5));
+        let mut rng = StdRng::seed_from_u64(19);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let dropped = ev.mod_switch_to(&ca, 2);
+        assert_eq!(dropped.level(), 2);
+        let out = enc.decode(&ks.secret.decrypt(&dropped));
+        assert!(max_error(&za, &out) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing rotation key")]
+    fn missing_rotation_key_panics() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let za = msg(f.ctx.slots(), |_| Complex::ZERO);
+        let mut rng = StdRng::seed_from_u64(20);
+        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let _ = ev.rotate(&ca, 7, &ks);
+    }
+}

@@ -1,0 +1,249 @@
+//! Encrypted matrix–vector products — the linear-algebra entry point the
+//! Anaheim framework's high-level library advertises (§V-C) and the
+//! workhorse of the RNN workload [67] (two 128×128 matrix–vector products
+//! per cell).
+//!
+//! A `d × d` matrix acting on `d`-element vectors replicated across the
+//! slot blocks is exactly a [`LinearTransform`] whose diagonals repeat with
+//! period `d`; this module builds that transform from a dense matrix and
+//! offers batched application (many vectors per ciphertext, one per block).
+
+use crate::ciphertext::Ciphertext;
+use crate::complex::Complex;
+use crate::encoding::Encoder;
+use crate::eval::Evaluator;
+use crate::keys::KeySet;
+use crate::lintrans::LinearTransform;
+
+/// A dense real matrix bound to a block size for batched encrypted
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct EncryptedMatVec {
+    dim: usize,
+    transform: LinearTransform,
+    rows: Vec<Vec<f64>>,
+}
+
+impl EncryptedMatVec {
+    /// Builds the batched transform for a `dim × dim` matrix over a
+    /// ciphertext of `slots` slots (`slots` must be a multiple of `dim`):
+    /// each `dim`-slot block holds one input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with side `dim`, or `dim` does
+    /// not divide `slots`.
+    pub fn new(slots: usize, rows: Vec<Vec<f64>>) -> Self {
+        let dim = rows.len();
+        assert!(dim >= 1, "empty matrix");
+        assert!(rows.iter().all(|r| r.len() == dim), "matrix must be square");
+        assert!(
+            slots % dim == 0,
+            "block size {dim} must divide the slot count {slots}"
+        );
+        // Batched diagonal construction with the classic two-diagonal wrap
+        // split: within a block, row `i` needs column `(i+r) mod dim`. The
+        // non-wrapping part (`i + r < dim`) comes from slot rotation `r`;
+        // the wrapping part needs the element `r − dim` slots away, i.e.
+        // slot rotation `slots − (dim − r)` — each block's wrap must reach
+        // back into *its own* vector, not the neighbour's.
+        let mut transform = LinearTransform::new(slots);
+        let mut add_diag = |rot: usize, diag: Vec<Complex>| {
+            if diag.iter().any(|z| z.abs() > 0.0) {
+                // Merge with anything already on this rotation index.
+                let mut merged = diag;
+                if let Some(existing) = transform.diagonals().get(&rot) {
+                    for (m, e) in merged.iter_mut().zip(existing) {
+                        *m += *e;
+                    }
+                }
+                transform.set_diagonal(rot, merged);
+            }
+        };
+        for r in 0..dim {
+            // Non-wrapping entries at rotation r.
+            let mut straight = vec![Complex::ZERO; slots];
+            for (j, d) in straight.iter_mut().enumerate() {
+                let row = j % dim;
+                if row + r < dim {
+                    *d = Complex::new(rows[row][row + r], 0.0);
+                }
+            }
+            add_diag(r, straight);
+            // Wrapping entries at rotation slots − (dim − r).
+            if r > 0 {
+                let rot = slots - (dim - r);
+                let mut wrapped = vec![Complex::ZERO; slots];
+                for (j, d) in wrapped.iter_mut().enumerate() {
+                    let row = j % dim;
+                    if row + r >= dim {
+                        *d = Complex::new(rows[row][row + r - dim], 0.0);
+                    }
+                }
+                add_diag(rot, wrapped);
+            }
+        }
+        Self {
+            dim,
+            transform,
+            rows,
+        }
+    }
+
+    /// The matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The rotation distances the key set must cover (for
+    /// [`Self::apply`]'s hoisted evaluation).
+    pub fn required_rotations(&self) -> Vec<isize> {
+        self.transform.required_rotations()
+    }
+
+    /// Plain reference: applies the matrix to each `dim`-block of `x`.
+    pub fn apply_plain(&self, x: &[f64]) -> Vec<f64> {
+        assert!(x.len() % self.dim == 0, "input not block-aligned");
+        let mut out = vec![0.0; x.len()];
+        for (b, block) in x.chunks(self.dim).enumerate() {
+            for i in 0..self.dim {
+                out[b * self.dim + i] = (0..self.dim)
+                    .map(|j| self.rows[i][j] * block[j])
+                    .sum();
+            }
+        }
+        out
+    }
+
+    /// Applies the matrix homomorphically to every block of the ciphertext
+    /// (hoisted evaluation + rescale). The input blocks must each hold one
+    /// vector; batching comes for free.
+    ///
+    /// **Note**: the wrap-around sourcing assumes each block holds the same
+    /// *layout*, which is the standard batched-matvec packing.
+    pub fn apply(
+        &self,
+        ev: &Evaluator<'_>,
+        enc: &Encoder<'_>,
+        ct: &Ciphertext,
+        keys: &KeySet,
+    ) -> Ciphertext {
+        ev.rescale(&self.transform.eval_hoisted(ev, enc, ct, keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(rotations: &[isize]) -> (CkksContext, crate::keys::KeySet) {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(151);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(rotations);
+        (ctx, keys)
+    }
+
+    #[test]
+    fn batched_matvec_matches_plain() {
+        let dim = 8;
+        let mut rng = StdRng::seed_from_u64(152);
+        let rows: Vec<Vec<f64>> = (0..dim)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-0.4..0.4)).collect())
+            .collect();
+        let ctx_probe = CkksContext::new(CkksParams::test_small());
+        let slots = ctx_probe.slots();
+        let mv = EncryptedMatVec::new(slots, rows);
+        let (ctx, keys) = setup(&mv.required_rotations());
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+
+        // 64 batched vectors, one per 8-slot block.
+        let x: Vec<f64> = (0..slots).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let msg: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut rng2 = StdRng::seed_from_u64(153);
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng2);
+        let y_ct = mv.apply(&ev, &enc, &ct, &keys);
+        let out = enc.decode(&keys.secret.decrypt(&y_ct));
+        let want = mv.apply_plain(&x);
+        for j in 0..slots {
+            assert!(
+                (out[j].re - want[j]).abs() < 1e-3,
+                "slot {j}: want {}, got {}",
+                want[j],
+                out[j].re
+            );
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_identity() {
+        let dim = 4;
+        let rows: Vec<Vec<f64>> = (0..dim)
+            .map(|i| (0..dim).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let ctx_probe = CkksContext::new(CkksParams::test_small());
+        let mv = EncryptedMatVec::new(ctx_probe.slots(), rows);
+        // Identity has only diagonal 0 → no rotations needed.
+        assert!(mv.required_rotations().is_empty());
+        let x: Vec<f64> = (0..ctx_probe.slots()).map(|i| i as f64 * 0.001).collect();
+        assert_eq!(mv.apply_plain(&x), x);
+    }
+
+    #[test]
+    fn rnn_cell_shape() {
+        // The RNN workload's per-cell structure: h' = W_h·h + W_x·x
+        // (activation tested separately in `polyeval`).
+        let dim = 16;
+        let mut rng = StdRng::seed_from_u64(154);
+        let mk = |rng: &mut StdRng| -> Vec<Vec<f64>> {
+            (0..dim)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-0.2..0.2)).collect())
+                .collect()
+        };
+        let ctx_probe = CkksContext::new(CkksParams::test_small());
+        let slots = ctx_probe.slots();
+        let wh = EncryptedMatVec::new(slots, mk(&mut rng));
+        let wx = EncryptedMatVec::new(slots, mk(&mut rng));
+        let mut rots = wh.required_rotations();
+        rots.extend(wx.required_rotations());
+        let (ctx, keys) = setup(&rots);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+
+        let h: Vec<f64> = (0..slots).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let x: Vec<f64> = (0..slots).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let e = |v: &[f64], rng: &mut StdRng| {
+            let m: Vec<Complex> = v.iter().map(|&t| Complex::new(t, 0.0)).collect();
+            keys.public.encrypt(&enc.encode(&m, ctx.max_level()), rng)
+        };
+        let ch = e(&h, &mut rng);
+        let cx = e(&x, &mut rng);
+        let th = wh.apply(&ev, &enc, &ch, &keys);
+        let tx = wx.apply(&ev, &enc, &cx, &keys);
+        let sum = ev.add(&th, &tx);
+        let out = enc.decode(&keys.secret.decrypt(&sum));
+        let want: Vec<f64> = wh
+            .apply_plain(&h)
+            .iter()
+            .zip(wx.apply_plain(&x))
+            .map(|(&a, b)| a + b)
+            .collect();
+        for j in 0..slots {
+            assert!((out[j].re - want[j]).abs() < 2e-3, "slot {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn misaligned_block_rejected() {
+        let rows = vec![vec![1.0, 0.0, 0.0]; 3];
+        let _ = EncryptedMatVec::new(512, rows);
+    }
+}

@@ -1,0 +1,227 @@
+//! Heuristic noise tracking for CKKS ciphertexts.
+//!
+//! CKKS is approximate: every operation adds bounded error to the encoded
+//! values. Production libraries expose a *noise estimator* so applications
+//! can pick parameters and know when to bootstrap; this module provides one
+//! in message (value) space: a [`NoiseTracker`] carries an upper bound on
+//! the slot magnitude and a heuristic bound on the accumulated error,
+//! updated alongside each evaluator call.
+//!
+//! The constants are calibrated empirically against this library (see the
+//! tests, which enforce *soundness* — measured error never exceeds the
+//! prediction — and *usefulness* — the prediction is not absurdly loose).
+
+use crate::params::CkksParams;
+
+/// Tracks magnitude and error bounds for one ciphertext, in value space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseTracker {
+    /// Upper bound on `max_j |value_j|`.
+    pub magnitude: f64,
+    /// Heuristic upper bound on `max_j |error_j|`.
+    pub error: f64,
+}
+
+/// Per-parameter constants of the heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Fresh encryption + encoding error bound.
+    fresh: f64,
+    /// Error added by one rescale (rounding in value space).
+    rescale: f64,
+    /// Error added by one key switch (relinearization / rotation).
+    keyswitch: f64,
+    /// Relative error of plaintext encoding (quantization at Δ).
+    encode_rel: f64,
+}
+
+impl NoiseModel {
+    /// Builds the model for a parameter set.
+    pub fn new(params: &CkksParams) -> Self {
+        let n = params.n() as f64;
+        let delta = params.scale();
+        let sigma = params.sigma;
+        // Fresh: encryption error e + v·e_pk ≈ σ·√(2N)·(1 + √H) scaled by
+        // 1/Δ in value space, plus the coefficient-rounding term √(N/12)/Δ;
+        // the leading constant absorbs the canonical-embedding expansion.
+        let h = params.hamming_weight as f64;
+        let fresh = 16.0 * sigma * (2.0 * n).sqrt() * (1.0 + h.sqrt()) / delta;
+        // Rescale: rounding by ≤ 1/2 per coefficient → ~√(N/12)·c/Δ in
+        // value space.
+        let rescale = 8.0 * (n / 12.0).sqrt() / delta;
+        // Key switching: ModUp/ModDown approximation noise, ≈ α·√N·c/Δ
+        // (the P modulus suppresses the gadget term below this).
+        let keyswitch = 16.0 * params.alpha as f64 * n.sqrt() / delta;
+        let encode_rel = (n / 12.0).sqrt() / delta;
+        Self {
+            fresh,
+            rescale,
+            keyswitch,
+            encode_rel,
+        }
+    }
+
+    /// Tracker for a fresh encryption of values bounded by `magnitude`.
+    pub fn fresh(&self, magnitude: f64) -> NoiseTracker {
+        NoiseTracker {
+            magnitude,
+            error: self.fresh + self.encode_rel * magnitude,
+        }
+    }
+
+    /// Tracker after `x + y` / `x − y`.
+    pub fn add(&self, x: NoiseTracker, y: NoiseTracker) -> NoiseTracker {
+        NoiseTracker {
+            magnitude: x.magnitude + y.magnitude,
+            error: x.error + y.error,
+        }
+    }
+
+    /// Tracker after HMULT (+relinearize +rescale).
+    pub fn mul(&self, x: NoiseTracker, y: NoiseTracker) -> NoiseTracker {
+        NoiseTracker {
+            magnitude: x.magnitude * y.magnitude,
+            error: x.error * y.magnitude
+                + y.error * x.magnitude
+                + x.error * y.error
+                + self.keyswitch
+                + self.rescale,
+        }
+    }
+
+    /// Tracker after multiplying by a plaintext of magnitude `p` (+rescale).
+    pub fn mul_plain(&self, x: NoiseTracker, p: f64) -> NoiseTracker {
+        NoiseTracker {
+            magnitude: x.magnitude * p,
+            error: x.error * p + self.encode_rel * x.magnitude * p + self.rescale,
+        }
+    }
+
+    /// Tracker after a rotation (key switch only).
+    pub fn rotate(&self, x: NoiseTracker) -> NoiseTracker {
+        NoiseTracker {
+            magnitude: x.magnitude,
+            error: x.error + self.keyswitch,
+        }
+    }
+
+    /// Remaining precision in bits: `log2(magnitude / error)`, the
+    /// signal-to-noise the application still has.
+    pub fn precision_bits(&self, t: NoiseTracker) -> f64 {
+        if t.error <= 0.0 {
+            return f64::INFINITY;
+        }
+        (t.magnitude.max(1e-300) / t.error).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{max_error, Complex};
+    use crate::context::CkksContext;
+    use crate::encoding::Encoder;
+    use crate::eval::Evaluator;
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (CkksContext, crate::keys::KeySet) {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .levels(8)
+                .alpha(2)
+                .scale_bits(40)
+                .build(),
+        );
+        let mut rng = StdRng::seed_from_u64(141);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1]);
+        (ctx, keys)
+    }
+
+    /// Runs a squaring chain, checking the prediction is sound (measured ≤
+    /// predicted) and useful (predicted within a factor 10^5 of measured).
+    #[test]
+    fn squaring_chain_prediction_sound_and_useful() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let model = NoiseModel::new(ctx.params());
+        let m = ctx.slots();
+        let mut rng = StdRng::seed_from_u64(142);
+        let vals: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.9..0.9)).collect();
+        let msg: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let mut tracker = model.fresh(0.9);
+        let mut plain = vals.clone();
+
+        for depth in 0..5 {
+            ct = ev.rescale(&ev.square_relin(&ct, &keys.relin));
+            tracker = model.mul(tracker, tracker);
+            for p in plain.iter_mut() {
+                *p = *p * *p;
+            }
+            let out = enc.decode(&keys.secret.decrypt(&ct));
+            let want: Vec<Complex> = plain.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let measured = max_error(&want, &out);
+            assert!(
+                measured <= tracker.error,
+                "depth {depth}: measured {measured:.3e} exceeds predicted {:.3e}",
+                tracker.error
+            );
+            assert!(
+                tracker.error <= measured.max(1e-300) * 1e5 + 1e-6,
+                "depth {depth}: prediction uselessly loose: {:.3e} vs {measured:.3e}",
+                tracker.error
+            );
+        }
+    }
+
+    #[test]
+    fn rotations_and_adds_tracked() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let model = NoiseModel::new(ctx.params());
+        let m = ctx.slots();
+        let msg: Vec<Complex> = (0..m).map(|i| Complex::new(0.3 - (i % 7) as f64 * 0.05, 0.0)).collect();
+        let mut rng = StdRng::seed_from_u64(143);
+        let mut ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let mut tracker = model.fresh(0.3);
+        let mut plain = msg.clone();
+        for _ in 0..6 {
+            let rot = ev.rotate(&ct, 1, &keys);
+            ct = ev.add(&ct, &rot);
+            tracker = model.add(model.rotate(tracker), tracker);
+            let rotated: Vec<Complex> = (0..m).map(|j| plain[(j + 1) % m]).collect();
+            plain = plain.iter().zip(&rotated).map(|(&a, &b)| a + b).collect();
+        }
+        let out = enc.decode(&keys.secret.decrypt(&ct));
+        let measured = max_error(&plain, &out);
+        assert!(measured <= tracker.error, "{measured:.3e} vs {:.3e}", tracker.error);
+        assert!(
+            model.precision_bits(tracker) > 10.0,
+            "plenty of precision must remain"
+        );
+    }
+
+    #[test]
+    fn precision_bits_decrease_with_depth() {
+        let (ctx, _) = setup();
+        let model = NoiseModel::new(ctx.params());
+        let mut t = model.fresh(1.0);
+        let mut prev = model.precision_bits(t);
+        assert!(prev > 20.0, "fresh precision must be high: {prev:.1}");
+        for _ in 0..6 {
+            t = model.mul(t, t);
+            let now = model.precision_bits(t);
+            assert!(now < prev, "precision must shrink with depth");
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Global op-count instrumentation.
+//!
+//! The Anaheim cost model (in `anaheim-core`) predicts, per CKKS function,
+//! how many (I)NTT limb-transforms, BConv limb-pair products, element-wise
+//! limb ops, and automorphism limb permutations occur. These counters let us
+//! *measure* the same quantities in the functional library and assert the
+//! two agree (the validation behind the Fig. 1 table).
+//!
+//! Counters are process-global atomics: cheap, thread-safe, and adequate for
+//! single-scenario measurements in tests and benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NTT_LIMBS: AtomicU64 = AtomicU64::new(0);
+static INTT_LIMBS: AtomicU64 = AtomicU64::new(0);
+static BCONV_LIMB_PRODUCTS: AtomicU64 = AtomicU64::new(0);
+static EW_LIMB_OPS: AtomicU64 = AtomicU64::new(0);
+static AUTOMORPHISM_LIMBS: AtomicU64 = AtomicU64::new(0);
+static KEYSWITCHES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of all counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Forward NTTs, counted per limb.
+    pub ntt_limbs: u64,
+    /// Inverse NTTs, counted per limb.
+    pub intt_limbs: u64,
+    /// BConv work, counted as source-limb × target-limb products.
+    pub bconv_limb_products: u64,
+    /// Element-wise limb operations (add/sub/mult/MAC on a full limb).
+    pub ew_limb_ops: u64,
+    /// Automorphism applications, counted per limb.
+    pub automorphism_limbs: u64,
+    /// Number of key-switching operations (ModUp→KeyMult→ModDown bundles).
+    pub keyswitches: u64,
+}
+
+impl OpCounts {
+    /// Total (I)NTT limb count, the headline quantity of the Fig. 1 table.
+    pub fn total_ntt_limbs(&self) -> u64 {
+        self.ntt_limbs + self.intt_limbs
+    }
+
+    /// Difference against an earlier snapshot.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            ntt_limbs: self.ntt_limbs - earlier.ntt_limbs,
+            intt_limbs: self.intt_limbs - earlier.intt_limbs,
+            bconv_limb_products: self.bconv_limb_products - earlier.bconv_limb_products,
+            ew_limb_ops: self.ew_limb_ops - earlier.ew_limb_ops,
+            automorphism_limbs: self.automorphism_limbs - earlier.automorphism_limbs,
+            keyswitches: self.keyswitches - earlier.keyswitches,
+        }
+    }
+}
+
+/// Takes a snapshot of the global counters.
+pub fn snapshot() -> OpCounts {
+    OpCounts {
+        ntt_limbs: NTT_LIMBS.load(Ordering::Relaxed),
+        intt_limbs: INTT_LIMBS.load(Ordering::Relaxed),
+        bconv_limb_products: BCONV_LIMB_PRODUCTS.load(Ordering::Relaxed),
+        ew_limb_ops: EW_LIMB_OPS.load(Ordering::Relaxed),
+        automorphism_limbs: AUTOMORPHISM_LIMBS.load(Ordering::Relaxed),
+        keyswitches: KEYSWITCHES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets all counters to zero.
+pub fn reset() {
+    NTT_LIMBS.store(0, Ordering::Relaxed);
+    INTT_LIMBS.store(0, Ordering::Relaxed);
+    BCONV_LIMB_PRODUCTS.store(0, Ordering::Relaxed);
+    EW_LIMB_OPS.store(0, Ordering::Relaxed);
+    AUTOMORPHISM_LIMBS.store(0, Ordering::Relaxed);
+    KEYSWITCHES.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn count_ntt(limbs: usize) {
+    NTT_LIMBS.fetch_add(limbs as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn count_intt(limbs: usize) {
+    INTT_LIMBS.fetch_add(limbs as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn count_bconv(source_limbs: usize, target_limbs: usize) {
+    BCONV_LIMB_PRODUCTS.fetch_add((source_limbs * target_limbs) as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn count_ew(limb_ops: usize) {
+    EW_LIMB_OPS.fetch_add(limb_ops as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn count_automorphism(limbs: usize) {
+    AUTOMORPHISM_LIMBS.fetch_add(limbs as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn count_keyswitch() {
+    KEYSWITCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let before = snapshot();
+        count_ntt(3);
+        count_intt(2);
+        count_bconv(4, 5);
+        count_ew(7);
+        count_automorphism(2);
+        count_keyswitch();
+        let after = snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.ntt_limbs, 3);
+        assert_eq!(d.intt_limbs, 2);
+        assert_eq!(d.total_ntt_limbs(), 5);
+        assert_eq!(d.bconv_limb_products, 20);
+        assert_eq!(d.ew_limb_ops, 7);
+        assert_eq!(d.automorphism_limbs, 2);
+        assert_eq!(d.keyswitches, 1);
+    }
+}

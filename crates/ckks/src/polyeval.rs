@@ -1,0 +1,233 @@
+//! Arbitrary polynomial evaluation in the power basis — the "advanced
+//! feature" routines the Anaheim framework's high-level library exposes
+//! (§V-C mentions arbitrary polynomial evaluation and DNN support).
+//!
+//! Low-degree activations (AESPA [64] uses degree-2 polynomials, HELR's
+//! sigmoid a cubic) evaluate directly; higher degrees use the
+//! Paterson–Stockmeyer baby-step/giant-step split for `O(√d)`
+//! multiplications at `O(log d)` depth.
+
+use crate::ciphertext::Ciphertext;
+use crate::eval::Evaluator;
+use crate::keys::EvalKey;
+
+/// A polynomial `Σ c_k·x^k` with real coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSeries {
+    coeffs: Vec<f64>,
+}
+
+impl PowerSeries {
+    /// Creates from coefficients `c_0, c_1, …` (low degree first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "need at least a constant term");
+        Self { coeffs }
+    }
+
+    /// The AESPA-style square activation `ax² + bx + c` [64].
+    pub fn quadratic(a: f64, b: f64, c: f64) -> Self {
+        Self::new(vec![c, b, a])
+    }
+
+    /// The degree of the polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficients (low degree first).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Plain evaluation (Horner).
+    pub fn eval_plain(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Homomorphic evaluation via baby-step/giant-step: computes
+    /// `x^1..x^m` (`m ≈ √d`, log depth), then giant powers `x^{m·2^i}`,
+    /// and recombines. Consumes `O(log d)` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext level is too shallow for the depth.
+    pub fn eval_homomorphic(
+        &self,
+        ev: &Evaluator<'_>,
+        ct: &Ciphertext,
+        relin: &EvalKey,
+    ) -> Ciphertext {
+        let d = self.degree();
+        if d == 0 {
+            // Constant polynomial: 0·x + c on the input's ladder.
+            let z = ev.rescale(&ev.mul_scalar(ct, 0.0));
+            return ev.add_scalar(&z, self.coeffs[0]);
+        }
+        // Baby-step size: power of two near √(d+1).
+        let mut m = 1usize;
+        while m * m < d + 1 {
+            m *= 2;
+        }
+        let m = m.max(2);
+        // Baby powers x^1..x^m with balanced splits (log depth).
+        let mut pow: Vec<Option<Ciphertext>> = vec![None; m + 1];
+        pow[1] = Some(ct.clone());
+        for j in 2..=m {
+            let a = j.div_ceil(2);
+            let b = j / 2;
+            let (xa, xb) = ev.align_levels(
+                pow[a].as_ref().expect("filled"),
+                pow[b].as_ref().expect("filled"),
+            );
+            pow[j] = Some(ev.rescale(&ev.mul_relin(&xa, &xb, relin)));
+        }
+        // Giant powers x^m, x^2m, x^4m, ...
+        let mut giants = vec![pow[m].clone().expect("x^m")];
+        let mut span = m;
+        while span * 2 <= d {
+            let last = giants.last().expect("non-empty");
+            giants.push(ev.rescale(&ev.square_relin(last, relin)));
+            span *= 2;
+        }
+        self.eval_chunks(ev, relin, &self.coeffs, m, &pow, &giants)
+    }
+
+    /// Recursive giant-step recombination.
+    fn eval_chunks(
+        &self,
+        ev: &Evaluator<'_>,
+        relin: &EvalKey,
+        coeffs: &[f64],
+        m: usize,
+        pow: &[Option<Ciphertext>],
+        giants: &[Ciphertext],
+    ) -> Ciphertext {
+        let d = coeffs.len() - 1;
+        if d < m {
+            // Direct: Σ c_k·x^k via scalar multiplications.
+            let mut acc: Option<Ciphertext> = None;
+            for (k, &c) in coeffs.iter().enumerate().skip(1) {
+                if c.abs() < 1e-15 {
+                    continue;
+                }
+                let term = ev.rescale(&ev.mul_scalar(pow[k].as_ref().expect("power"), c));
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => ev.add_aligned(&a, &term),
+                });
+            }
+            let base = match acc {
+                Some(a) => a,
+                None => {
+                    let z = ev.rescale(&ev.mul_scalar(pow[1].as_ref().expect("x"), 0.0));
+                    z
+                }
+            };
+            return ev.add_scalar(&base, coeffs[0]);
+        }
+        // Split at the largest giant power s = m·2^i ≤ d:
+        // p(x) = q(x)·x^s + r(x).
+        let mut gi = 0usize;
+        let mut s = m;
+        while s * 2 <= d && gi + 1 < giants.len() {
+            s *= 2;
+            gi += 1;
+        }
+        let (r, q) = coeffs.split_at(s);
+        let q_ct = self.eval_chunks(ev, relin, q, m, pow, giants);
+        let r_ct = self.eval_chunks(ev, relin, r, m, pow, giants);
+        let (g, qc) = ev.align_levels(&giants[gi], &q_ct);
+        let prod = ev.rescale(&ev.mul_relin(&g, &qc, relin));
+        ev.add_aligned(&prod, &r_ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::context::CkksContext;
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(levels: usize) -> CkksContext {
+        CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .levels(levels)
+                .alpha(3)
+                .scale_bits(40)
+                .build(),
+        )
+    }
+
+    fn eval_and_check(series: &PowerSeries, levels: usize, tol: f64) {
+        let ctx = setup(levels);
+        let mut rng = StdRng::seed_from_u64(111);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+        let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let out_ct = series.eval_homomorphic(&ev, &ct, &keys.relin);
+        let out = enc.decode(&keys.secret.decrypt(&out_ct));
+        for (i, &x) in xs.iter().enumerate() {
+            let want = series.eval_plain(x);
+            assert!(
+                (out[i].re - want).abs() < tol,
+                "p({x}) = {want}, got {} (deg {})",
+                out[i].re,
+                series.degree()
+            );
+        }
+    }
+
+    #[test]
+    fn horner_reference() {
+        let p = PowerSeries::new(vec![1.0, -2.0, 3.0]); // 3x² − 2x + 1
+        assert_eq!(p.eval_plain(0.0), 1.0);
+        assert_eq!(p.eval_plain(1.0), 2.0);
+        assert_eq!(p.eval_plain(2.0), 9.0);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn aespa_quadratic_activation() {
+        // AESPA [64]: degree-2 polynomial activations.
+        eval_and_check(&PowerSeries::quadratic(0.25, 0.5, 0.1), 6, 1e-4);
+    }
+
+    #[test]
+    fn helr_sigmoid_cubic() {
+        // HELR's sigmoid approximation 0.5 + 0.15x − 0.0015x³.
+        eval_and_check(&PowerSeries::new(vec![0.5, 0.15, 0.0, -0.0015]), 8, 1e-4);
+    }
+
+    #[test]
+    fn degree_seven() {
+        let p = PowerSeries::new(vec![0.1, -0.3, 0.0, 0.2, 0.05, 0.0, -0.01, 0.02]);
+        eval_and_check(&p, 9, 1e-3);
+    }
+
+    #[test]
+    fn degree_fifteen_bsgs() {
+        let coeffs: Vec<f64> = (0..16).map(|k| 0.5f64.powi(k) * if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        eval_and_check(&PowerSeries::new(coeffs), 12, 1e-3);
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        eval_and_check(&PowerSeries::new(vec![0.75]), 4, 1e-5);
+    }
+}

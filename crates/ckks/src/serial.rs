@@ -1,0 +1,367 @@
+//! Binary serialization of ciphertexts and plaintexts.
+//!
+//! Ciphertexts travel between client and server in any real FHE deployment,
+//! so the library provides a compact framed format. Deserialization
+//! *reattaches* the polynomial limbs to a [`CkksContext`] — the NTT tables
+//! and modulus chain are public parameters both sides share, so only the
+//! residue data and metadata cross the wire.
+//!
+//! Format (little-endian): magic `b"ANHM"`, version u16, kind u8,
+//! `log2 N` u8, limb count u16, format u8, scale f64, then per limb the
+//! modulus u64 followed by `N` residues u64.
+
+use std::fmt;
+
+use ckks_math::poly::{Format, Limb, Poly};
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+
+const MAGIC: &[u8; 4] = b"ANHM";
+const VERSION: u16 = 1;
+
+/// Errors from deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// The buffer is shorter than the header or payload requires.
+    Truncated,
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// The payload kind differs from what the caller asked for.
+    WrongKind,
+    /// The ring degree does not match the context.
+    DegreeMismatch,
+    /// A limb's modulus is not part of the context's chain (in order).
+    ModulusMismatch,
+    /// A residue was not reduced modulo its prime.
+    ResidueOutOfRange,
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SerialError::Truncated => "buffer truncated",
+            SerialError::BadHeader => "bad magic or unsupported version",
+            SerialError::WrongKind => "payload kind mismatch",
+            SerialError::DegreeMismatch => "ring degree does not match the context",
+            SerialError::ModulusMismatch => "limb modulus not in the context chain",
+            SerialError::ResidueOutOfRange => "residue not reduced modulo its prime",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ciphertext = 1,
+    Plaintext = 2,
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SerialError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SerialError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SerialError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+    fn u64(&mut self) -> Result<u64, SerialError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+    fn f64(&mut self) -> Result<f64, SerialError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+}
+
+fn write_poly(w: &mut Writer, p: &Poly) {
+    w.u16(p.num_limbs() as u16);
+    w.u8(match p.format() {
+        Format::Coeff => 0,
+        Format::Eval => 1,
+    });
+    for i in 0..p.num_limbs() {
+        let l = p.limb(i);
+        w.u64(l.ctx().modulus().value());
+        for &x in l.data() {
+            w.u64(x);
+        }
+    }
+}
+
+fn read_poly(r: &mut Reader<'_>, ctx: &CkksContext) -> Result<Poly, SerialError> {
+    let limbs = r.u16()? as usize;
+    let format = match r.u8()? {
+        0 => Format::Coeff,
+        1 => Format::Eval,
+        _ => return Err(SerialError::BadHeader),
+    };
+    if limbs == 0 || limbs > ctx.max_level() {
+        return Err(SerialError::ModulusMismatch);
+    }
+    let n = ctx.n();
+    let chain = ctx.basis_q(ctx.max_level());
+    let mut out = Vec::with_capacity(limbs);
+    for i in 0..limbs {
+        let q = r.u64()?;
+        let prime_ctx = &chain[i];
+        if prime_ctx.modulus().value() != q {
+            return Err(SerialError::ModulusMismatch);
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = r.u64()?;
+            if x >= q {
+                return Err(SerialError::ResidueOutOfRange);
+            }
+            data.push(x);
+        }
+        out.push(Limb::from_data(prime_ctx.clone(), data));
+    }
+    Ok(Poly::from_limbs(out, format))
+}
+
+fn write_header(w: &mut Writer, kind: Kind, log_n: u8) {
+    w.0.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    w.u8(kind as u8);
+    w.u8(log_n);
+}
+
+fn read_header(r: &mut Reader<'_>, want: Kind) -> Result<u8, SerialError> {
+    if r.take(4)? != MAGIC {
+        return Err(SerialError::BadHeader);
+    }
+    if r.u16()? != VERSION {
+        return Err(SerialError::BadHeader);
+    }
+    let kind = r.u8()?;
+    if kind != want as u8 {
+        return Err(SerialError::WrongKind);
+    }
+    r.u8()
+}
+
+/// Serializes a ciphertext.
+pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    let log_n = ct.b().n().trailing_zeros() as u8;
+    write_header(&mut w, Kind::Ciphertext, log_n);
+    w.f64(ct.scale());
+    write_poly(&mut w, ct.b());
+    write_poly(&mut w, ct.a());
+    w.0
+}
+
+/// Deserializes a ciphertext against a context.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when the buffer is malformed, the ring degree or
+/// modulus chain disagrees with `ctx`, or residues are out of range.
+pub fn deserialize_ciphertext(
+    ctx: &CkksContext,
+    bytes: &[u8],
+) -> Result<Ciphertext, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let log_n = read_header(&mut r, Kind::Ciphertext)?;
+    if 1usize << log_n != ctx.n() {
+        return Err(SerialError::DegreeMismatch);
+    }
+    let scale = r.f64()?;
+    let b = read_poly(&mut r, ctx)?;
+    let a = read_poly(&mut r, ctx)?;
+    if b.num_limbs() != a.num_limbs() {
+        return Err(SerialError::ModulusMismatch);
+    }
+    let level = b.num_limbs();
+    Ok(Ciphertext::new(b, a, scale, level))
+}
+
+/// Serializes a plaintext.
+pub fn serialize_plaintext(pt: &Plaintext) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    let log_n = pt.poly().n().trailing_zeros() as u8;
+    write_header(&mut w, Kind::Plaintext, log_n);
+    w.f64(pt.scale());
+    write_poly(&mut w, pt.poly());
+    w.0
+}
+
+/// Deserializes a plaintext against a context.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] on malformed or mismatching input.
+pub fn deserialize_plaintext(
+    ctx: &CkksContext,
+    bytes: &[u8],
+) -> Result<Plaintext, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let log_n = read_header(&mut r, Kind::Plaintext)?;
+    if 1usize << log_n != ctx.n() {
+        return Err(SerialError::DegreeMismatch);
+    }
+    let scale = r.f64()?;
+    let poly = read_poly(&mut r, ctx)?;
+    let level = poly.num_limbs();
+    Ok(Plaintext::new(poly, scale, level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{max_error, Complex};
+    use crate::encoding::Encoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, crate::keys::KeySet) {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(131);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        (ctx, keys)
+    }
+
+    #[test]
+    fn ciphertext_roundtrip() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(132);
+        let msg: Vec<Complex> = (0..ctx.slots())
+            .map(|i| Complex::new(i as f64 * 1e-3, -0.2))
+            .collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let bytes = serialize_ciphertext(&ct);
+        let back = deserialize_ciphertext(&ctx, &bytes).expect("roundtrip");
+        assert_eq!(back.level(), ct.level());
+        assert_eq!(back.scale(), ct.scale());
+        let out = enc.decode(&keys.secret.decrypt(&back));
+        assert!(max_error(&msg, &out) < 1e-6);
+    }
+
+    #[test]
+    fn plaintext_roundtrip() {
+        let (ctx, _) = setup();
+        let enc = Encoder::new(&ctx);
+        let msg: Vec<Complex> = vec![Complex::new(0.5, 0.25); ctx.slots()];
+        let pt = enc.encode(&msg, 3);
+        let bytes = serialize_plaintext(&pt);
+        let back = deserialize_plaintext(&ctx, &bytes).expect("roundtrip");
+        assert_eq!(back.level(), 3);
+        let out = enc.decode(&back);
+        assert!(max_error(&msg, &out) < 1e-6);
+    }
+
+    #[test]
+    fn reduced_level_ciphertext_roundtrips() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = crate::eval::Evaluator::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(133);
+        let msg: Vec<Complex> = vec![Complex::new(0.1, 0.0); ctx.slots()];
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let low = ev.mod_switch_to(&ct, 2);
+        let back =
+            deserialize_ciphertext(&ctx, &serialize_ciphertext(&low)).expect("roundtrip");
+        assert_eq!(back.level(), 2);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(134);
+        let msg: Vec<Complex> = vec![Complex::ZERO; ctx.slots()];
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let bytes = serialize_ciphertext(&ct);
+
+        // Truncation.
+        assert_eq!(
+            deserialize_ciphertext(&ctx, &bytes[..bytes.len() / 2]).unwrap_err(),
+            SerialError::Truncated
+        );
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            deserialize_ciphertext(&ctx, &bad).unwrap_err(),
+            SerialError::BadHeader
+        );
+        // Wrong kind.
+        let pt = enc.encode(&msg, 2);
+        assert_eq!(
+            deserialize_ciphertext(&ctx, &serialize_plaintext(&pt)).unwrap_err(),
+            SerialError::WrongKind
+        );
+        // Out-of-range residue: overwrite one residue with u64::MAX.
+        let mut oor = bytes.clone();
+        let header = 4 + 2 + 1 + 1 + 8 + 2 + 1 + 8; // up to the first residue
+        for (i, b) in u64::MAX.to_le_bytes().iter().enumerate() {
+            oor[header + i] = *b;
+        }
+        assert_eq!(
+            deserialize_ciphertext(&ctx, &oor).unwrap_err(),
+            SerialError::ResidueOutOfRange
+        );
+        // Wrong context (different degree).
+        let other = CkksContext::new(
+            CkksParams::builder()
+                .log_n(11)
+                .levels(4)
+                .alpha(2)
+                .scale_bits(40)
+                .build(),
+        );
+        assert_eq!(
+            deserialize_ciphertext(&other, &bytes).unwrap_err(),
+            SerialError::DegreeMismatch
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SerialError::ModulusMismatch;
+        assert!(format!("{e}").contains("modulus"));
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().len() > 5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Slot-vector utilities: rotate-and-sum reductions, inner products, and
+//! masking — the linear-algebra helpers the Anaheim framework's high-level
+//! library provides (§V-C) and that HELR/RNN-style workloads lean on.
+
+use crate::ciphertext::Ciphertext;
+use crate::complex::Complex;
+use crate::encoding::Encoder;
+use crate::eval::Evaluator;
+use crate::keys::KeySet;
+
+/// Sums a contiguous block of `block` slots into every slot of the block
+/// (the classic log-depth rotate-and-sum): after the call, slot `j` holds
+/// `Σ_{i in block(j)} x_i`.
+///
+/// Requires rotation keys for the powers of two `1, 2, …, block/2`.
+///
+/// # Panics
+///
+/// Panics if `block` is not a power of two, exceeds the slot count, or a
+/// rotation key is missing.
+pub fn sum_block(
+    ev: &Evaluator<'_>,
+    ct: &Ciphertext,
+    block: usize,
+    keys: &KeySet,
+) -> Ciphertext {
+    assert!(block.is_power_of_two(), "block must be a power of two");
+    assert!(block <= ev.context().slots(), "block exceeds slot count");
+    let mut acc = ct.clone();
+    let mut step = 1usize;
+    while step < block {
+        let rot = ev.rotate(&acc, step as isize, keys);
+        acc = ev.add(&acc, &rot);
+        step <<= 1;
+    }
+    acc
+}
+
+/// The rotation distances [`sum_block`] needs.
+pub fn sum_block_rotations(block: usize) -> Vec<isize> {
+    let mut v = Vec::new();
+    let mut step = 1usize;
+    while step < block {
+        v.push(step as isize);
+        step <<= 1;
+    }
+    v
+}
+
+/// Element-wise product followed by a full-block sum: the encrypted inner
+/// product `⟨x, y⟩` replicated across each block. Consumes one
+/// multiplicative level plus the rotations.
+///
+/// # Panics
+///
+/// Panics on level mismatch or missing keys.
+pub fn inner_product(
+    ev: &Evaluator<'_>,
+    x: &Ciphertext,
+    y: &Ciphertext,
+    block: usize,
+    keys: &KeySet,
+) -> Ciphertext {
+    let prod = ev.mul_relin_rescale(x, y, &keys.relin);
+    sum_block(ev, &prod, block, keys)
+}
+
+/// Multiplies by a 0/1 mask (an encoded plaintext), zeroing the slots where
+/// `mask[j]` is false. Consumes one level.
+pub fn apply_mask(
+    ev: &Evaluator<'_>,
+    enc: &Encoder<'_>,
+    ct: &Ciphertext,
+    mask: &[bool],
+) -> Ciphertext {
+    assert_eq!(mask.len(), ev.context().slots(), "mask length mismatch");
+    let mv: Vec<Complex> = mask
+        .iter()
+        .map(|&b| Complex::new(if b { 1.0 } else { 0.0 }, 0.0))
+        .collect();
+    let pt = enc.encode_with_scale(&mv, ct.level(), ev.context().params().scale());
+    ev.rescale(&ev.mul_plain(ct, &pt))
+}
+
+/// Replicates slot 0 of each block across the whole block:
+/// mask to slot 0, then rotate-and-sum *backwards*. Consumes one level.
+///
+/// Requires rotation keys for `−1, −2, …, −block/2` (equivalently
+/// `slots − 2^i`).
+pub fn replicate_first(
+    ev: &Evaluator<'_>,
+    enc: &Encoder<'_>,
+    ct: &Ciphertext,
+    block: usize,
+    keys: &KeySet,
+) -> Ciphertext {
+    assert!(block.is_power_of_two(), "block must be a power of two");
+    let slots = ev.context().slots();
+    let mask: Vec<bool> = (0..slots).map(|j| j % block == 0).collect();
+    let mut acc = apply_mask(ev, enc, ct, &mask);
+    let mut step = 1usize;
+    while step < block {
+        let rot = ev.rotate(&acc, -(step as isize), keys);
+        acc = ev.add(&acc, &rot);
+        step <<= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (CkksContext, crate::keys::KeySet) {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rots = sum_block_rotations(64);
+        rots.extend(sum_block_rotations(64).iter().map(|r| -r));
+        let mut rng = StdRng::seed_from_u64(121);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&rots);
+        (ctx, keys)
+    }
+
+    #[test]
+    fn sum_block_totals_each_block() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let block = 16;
+        let mut rng = StdRng::seed_from_u64(122);
+        let xs: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let summed = sum_block(&ev, &ct, block, &keys);
+        let out = enc.decode(&keys.secret.decrypt(&summed));
+        for j in 0..m {
+            // Rotate-and-sum yields a cyclic windowed sum: slot j holds
+            // Σ_{i<block} x_{(j+i) mod m}.
+            let want: f64 = (0..block).map(|i| xs[(j + i) % m]).sum();
+            assert!(
+                (out[j].re - want).abs() < 1e-4,
+                "slot {j}: want {want}, got {}",
+                out[j].re
+            );
+        }
+    }
+
+    #[test]
+    fn inner_product_matches_plain() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let block = 64;
+        let mut rng = StdRng::seed_from_u64(123);
+        let xs: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let ys: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let e = |v: &[f64], rng: &mut StdRng| {
+            let msg: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            keys.public.encrypt(&enc.encode(&msg, ctx.max_level()), rng)
+        };
+        let cx = e(&xs, &mut rng);
+        let cy = e(&ys, &mut rng);
+        let ip = inner_product(&ev, &cx, &cy, block, &keys);
+        let out = enc.decode(&keys.secret.decrypt(&ip));
+        // Check at block starts, where the cyclic window aligns.
+        for j in (0..m).step_by(block) {
+            let want: f64 = (0..block).map(|i| xs[(j + i) % m] * ys[(j + i) % m]).sum();
+            assert!(
+                (out[j].re - want).abs() < 1e-3,
+                "block {j}: want {want}, got {}",
+                out[j].re
+            );
+        }
+    }
+
+    #[test]
+    fn mask_zeroes_outside() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let msg: Vec<Complex> = (0..m).map(|i| Complex::new(0.2 + i as f64 * 1e-4, 0.0)).collect();
+        let mut rng = StdRng::seed_from_u64(124);
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let mask: Vec<bool> = (0..m).map(|j| j % 4 == 1).collect();
+        let masked = apply_mask(&ev, &enc, &ct, &mask);
+        let out = enc.decode(&keys.secret.decrypt(&masked));
+        for j in 0..m {
+            let want = if mask[j] { msg[j].re } else { 0.0 };
+            assert!((out[j].re - want).abs() < 1e-4, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn replicate_first_broadcasts() {
+        let (ctx, keys) = setup();
+        let enc = Encoder::new(&ctx);
+        let ev = Evaluator::new(&ctx);
+        let m = ctx.slots();
+        let block = 8;
+        let msg: Vec<Complex> = (0..m)
+            .map(|i| Complex::new((i / block) as f64 * 0.01 + 0.05, 0.0))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(125);
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        let rep = replicate_first(&ev, &enc, &ct, block, &keys);
+        let out = enc.decode(&keys.secret.decrypt(&rep));
+        for j in 0..m {
+            let want = msg[j / block * block].re;
+            assert!(
+                (out[j].re - want).abs() < 1e-3,
+                "slot {j}: want {want}, got {}",
+                out[j].re
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_helper_lists_powers_of_two() {
+        assert_eq!(sum_block_rotations(8), vec![1, 2, 4]);
+        assert!(sum_block_rotations(1).is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! The "special FFT" underlying CKKS encoding, decomposed into butterfly
+//! stages (HEAAN-style), and the extraction of fftIter-grouped sparse
+//! linear-transform factors for decomposed bootstrapping (MAD [2], Fig. 3).
+//!
+//! Decoding evaluates the plaintext polynomial at the rotation-group roots
+//! `ζ^{5^j}`. That map factors into `log2(M)` butterfly stages plus a
+//! bit-reversal permutation. Homomorphic CoeffToSlot applies the *inverse*
+//! stages; the bit-reversal cancels against SlotToCoeff because EvalMod is
+//! slot-pointwise (the classical trick of Cheon et al.'s bootstrapping):
+//! CoeffToSlot leaves the coefficients in bit-reversed slot order and
+//! SlotToCoeff consumes them in that order.
+//!
+//! Grouping consecutive stages into `fftIter` factors yields sparse
+//! matrices with ≈ `2·2^(log M / fftIter)` diagonals each — the paper's
+//! CoeffToSlot decomposition knob (§IV-C).
+
+use crate::complex::Complex;
+use crate::lintrans::LinearTransform;
+
+/// Butterfly-stage machinery for ring degree `n` (message space `M = n/2`).
+#[derive(Debug)]
+pub struct SpecialFft {
+    m: usize,
+    two_n: usize,
+    /// `5^j mod 2N`.
+    rot: Vec<usize>,
+    /// `exp(2πi·t/2N)`.
+    ksi: Vec<Complex>,
+}
+
+impl SpecialFft {
+    /// Builds the tables for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 8.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 8 && n.is_power_of_two(), "invalid ring degree");
+        let m = n / 2;
+        let two_n = 2 * n;
+        let mut rot = Vec::with_capacity(m);
+        let mut g = 1usize;
+        for _ in 0..m {
+            rot.push(g);
+            g = (g * 5) % two_n;
+        }
+        let ksi = (0..two_n)
+            .map(|t| Complex::from_angle(2.0 * std::f64::consts::PI * t as f64 / two_n as f64))
+            .collect();
+        Self { m, two_n, rot, ksi }
+    }
+
+    /// Message slots `M`.
+    pub fn slots(&self) -> usize {
+        self.m
+    }
+
+    /// Number of butterfly stages (`log2 M`).
+    pub fn num_stages(&self) -> usize {
+        self.m.trailing_zeros() as usize
+    }
+
+    /// One inverse butterfly level at block length `len` (lazy: no 1/2
+    /// scaling).
+    fn inv_stage(&self, vals: &mut [Complex], len: usize) {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let gap = self.two_n / lenq;
+        let mut i = 0;
+        while i < self.m {
+            for j in 0..lenh {
+                let idx = (lenq - (self.rot[j] % lenq)) * gap;
+                let u = vals[i + j] + vals[i + j + lenh];
+                let v = (vals[i + j] - vals[i + j + lenh]) * self.ksi[idx % self.two_n];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+            i += len;
+        }
+    }
+
+    /// One forward butterfly level at block length `len`.
+    fn fwd_stage(&self, vals: &mut [Complex], len: usize) {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let gap = self.two_n / lenq;
+        let mut i = 0;
+        while i < self.m {
+            for j in 0..lenh {
+                let idx = (self.rot[j] % lenq) * gap;
+                let u = vals[i + j];
+                let v = vals[i + j + lenh] * self.ksi[idx % self.two_n];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+            i += len;
+        }
+    }
+
+    /// Bit-reverses a slot vector in place.
+    pub fn bit_reverse(vals: &mut [Complex]) {
+        let n = vals.len();
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i as u32).reverse_bits() >> (32 - bits);
+            let j = j as usize;
+            if i < j {
+                vals.swap(i, j);
+            }
+        }
+    }
+
+    /// The full inverse special FFT: slots → (bit-reversed) coefficient
+    /// packing, including the bit reversal and the `1/M` scale — the map
+    /// CKKS *encoding* applies to the message.
+    pub fn inv_full(&self, vals: &mut [Complex]) {
+        assert_eq!(vals.len(), self.m, "slot count mismatch");
+        let mut len = self.m;
+        while len >= 2 {
+            self.inv_stage(vals, len);
+            len >>= 1;
+        }
+        Self::bit_reverse(vals);
+        let s = 1.0 / self.m as f64;
+        for v in vals.iter_mut() {
+            *v = v.scale(s);
+        }
+    }
+
+    /// The full forward special FFT: coefficient packing → slots — the map
+    /// CKKS *decoding* applies.
+    pub fn fwd_full(&self, vals: &mut [Complex]) {
+        assert_eq!(vals.len(), self.m, "slot count mismatch");
+        Self::bit_reverse(vals);
+        let mut len = 2;
+        while len <= self.m {
+            self.fwd_stage(vals, len);
+            len <<= 1;
+        }
+    }
+
+    /// Applies only the inverse stages (no bit reversal, no scale): the
+    /// *homomorphic* CoeffToSlot map, leaving bit-reversed order.
+    pub fn inv_stages_only(&self, vals: &mut [Complex]) {
+        let mut len = self.m;
+        while len >= 2 {
+            self.inv_stage(vals, len);
+            len >>= 1;
+        }
+    }
+
+    /// Applies only the forward stages (consuming bit-reversed order): the
+    /// homomorphic SlotToCoeff map.
+    pub fn fwd_stages_only(&self, vals: &mut [Complex]) {
+        let mut len = 2;
+        while len <= self.m {
+            self.fwd_stage(vals, len);
+            len <<= 1;
+        }
+    }
+
+    /// Groups the `log2 M` inverse stages into `groups` factors (first
+    /// applied first) and extracts each factor as a sparse
+    /// [`LinearTransform`]. A `1/2` scale is folded into every stage so the
+    /// factors compose to the properly scaled inverse map (without the bit
+    /// reversal); `extra_scale` is additionally folded into the first
+    /// factor (used to carry θ = Δ/q0 in bootstrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is 0 or exceeds the stage count.
+    pub fn inv_factors(&self, groups: usize, extra_scale: f64) -> Vec<LinearTransform> {
+        let stages = self.num_stages();
+        assert!(groups >= 1 && groups <= stages, "invalid group count");
+        // Partition stage indices 0..stages into `groups` contiguous runs.
+        let lens: Vec<usize> = (0..stages).map(|t| self.m >> t).collect();
+        self.extract_factors(groups, &lens, extra_scale, true)
+    }
+
+    /// Groups the forward stages into `groups` factors (first applied
+    /// first), for SlotToCoeff.
+    pub fn fwd_factors(&self, groups: usize, extra_scale: f64) -> Vec<LinearTransform> {
+        let stages = self.num_stages();
+        assert!(groups >= 1 && groups <= stages, "invalid group count");
+        let lens: Vec<usize> = (0..stages).map(|t| 2usize << t).collect();
+        self.extract_factors(groups, &lens, extra_scale, false)
+    }
+
+    fn extract_factors(
+        &self,
+        groups: usize,
+        lens: &[usize],
+        extra_scale: f64,
+        inverse: bool,
+    ) -> Vec<LinearTransform> {
+        let stages = lens.len();
+        let per = stages.div_ceil(groups);
+        let mut out = Vec::with_capacity(groups);
+        let mut t0 = 0;
+        let mut first = true;
+        while t0 < stages {
+            let t1 = (t0 + per).min(stages);
+            // Build this factor's matrix column by column.
+            let mut mat = vec![vec![Complex::ZERO; self.m]; self.m];
+            for k in 0..self.m {
+                let mut v = vec![Complex::ZERO; self.m];
+                v[k] = Complex::ONE;
+                for &len in &lens[t0..t1] {
+                    if inverse {
+                        self.inv_stage(&mut v, len);
+                    } else {
+                        self.fwd_stage(&mut v, len);
+                    }
+                }
+                // Per-stage 1/2 for the inverse direction (Σ over logM
+                // stages gives the 1/M), plus the caller's extra factor on
+                // the first group.
+                let mut s = if inverse {
+                    0.5f64.powi((t1 - t0) as i32)
+                } else {
+                    1.0
+                };
+                if first {
+                    s *= extra_scale;
+                }
+                for (j, row) in mat.iter_mut().enumerate() {
+                    row[k] = v[j].scale(s);
+                }
+            }
+            out.push(LinearTransform::from_matrix(self.m, &mat));
+            first = false;
+            t0 = t1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_slots(m: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn forward_inverts_inverse() {
+        let fft = SpecialFft::new(256);
+        let z = random_slots(fft.slots(), 1);
+        let mut w = z.clone();
+        fft.inv_full(&mut w);
+        fft.fwd_full(&mut w);
+        assert!(max_error(&z, &w) < 1e-10);
+    }
+
+    #[test]
+    fn stages_only_differ_by_bitrev_and_scale() {
+        let fft = SpecialFft::new(128);
+        let z = random_slots(fft.slots(), 2);
+        let mut a = z.clone();
+        fft.inv_full(&mut a);
+        let mut b = z.clone();
+        fft.inv_stages_only(&mut b);
+        SpecialFft::bit_reverse(&mut b);
+        let m = fft.slots() as f64;
+        let b_scaled: Vec<Complex> = b.iter().map(|v| v.scale(1.0 / m)).collect();
+        assert!(max_error(&a, &b_scaled) < 1e-10);
+    }
+
+    #[test]
+    fn matches_encoder_embedding() {
+        // inv_full must produce exactly the coefficient packing the
+        // Encoder's canonical embedding computes: c_k = Re(w_k),
+        // c_{k+M} = Im(w_k).
+        use crate::context::CkksContext;
+        use crate::encoding::Encoder;
+        use crate::params::CkksParams;
+        let params = CkksParams::builder()
+            .log_n(9)
+            .levels(2)
+            .alpha(1)
+            .scale_bits(40)
+            .build();
+        let ctx = CkksContext::new(params);
+        let enc = Encoder::new(&ctx);
+        let fft = SpecialFft::new(ctx.n());
+        let m = ctx.slots();
+        let z = random_slots(m, 3);
+        let delta = 2f64.powi(40);
+        let coeffs = enc.embed(&z, delta);
+        let mut w = z.clone();
+        fft.inv_full(&mut w);
+        let mut max_err = 0.0f64;
+        for k in 0..m {
+            max_err = max_err.max((coeffs[k] as f64 / delta - w[k].re).abs());
+            max_err = max_err.max((coeffs[k + m] as f64 / delta - w[k].im).abs());
+        }
+        assert!(
+            max_err < 1e-9,
+            "stage decomposition must equal the canonical embedding: {max_err}"
+        );
+    }
+
+    #[test]
+    fn factors_compose_to_stages() {
+        let fft = SpecialFft::new(128);
+        let m = fft.slots();
+        for groups in [1usize, 2, 3] {
+            let factors = fft.inv_factors(groups, 1.0);
+            assert_eq!(factors.len(), groups);
+            let z = random_slots(m, 4);
+            // Apply factors in order.
+            let mut via_factors = z.clone();
+            for f in &factors {
+                via_factors = f.apply_plain(&via_factors);
+            }
+            // Reference: stages only, scaled by 1/M.
+            let mut want = z.clone();
+            fft.inv_stages_only(&mut want);
+            let want: Vec<Complex> = want.iter().map(|v| v.scale(1.0 / m as f64)).collect();
+            assert!(
+                max_error(&via_factors, &want) < 1e-9,
+                "groups = {groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_factors_compose() {
+        let fft = SpecialFft::new(128);
+        let m = fft.slots();
+        let factors = fft.fwd_factors(3, 1.0);
+        let z = random_slots(m, 5);
+        let mut via = z.clone();
+        for f in &factors {
+            via = f.apply_plain(&via);
+        }
+        let mut want = z.clone();
+        fft.fwd_stages_only(&mut want);
+        assert!(max_error(&via, &want) < 1e-9);
+    }
+
+    #[test]
+    fn factors_are_sparse() {
+        // The whole point of fftIter: a 3-group split of a 128-slot FFT has
+        // far fewer diagonals per factor than the dense map's 128.
+        let fft = SpecialFft::new(256);
+        for f in fft.inv_factors(3, 1.0) {
+            assert!(
+                f.num_diagonals() <= 40,
+                "factor too dense: {} diagonals",
+                f.num_diagonals()
+            );
+        }
+        // Fewer groups → denser factors (the Fig. 3 trade-off).
+        let d2: usize = fft
+            .inv_factors(2, 1.0)
+            .iter()
+            .map(|f| f.num_diagonals())
+            .max()
+            .unwrap();
+        let d4: usize = fft
+            .inv_factors(4, 1.0)
+            .iter()
+            .map(|f| f.num_diagonals())
+            .max()
+            .unwrap();
+        assert!(d2 > d4, "more groups must mean sparser factors");
+    }
+
+    #[test]
+    fn extra_scale_lands_on_first_factor_only() {
+        let fft = SpecialFft::new(64);
+        let m = fft.slots();
+        let plain = fft.inv_factors(2, 1.0);
+        let scaled = fft.inv_factors(2, 7.0);
+        let z = random_slots(m, 6);
+        let mut a = z.clone();
+        for f in &plain {
+            a = f.apply_plain(&a);
+        }
+        let mut b = z.clone();
+        for f in &scaled {
+            b = f.apply_plain(&b);
+        }
+        let a7: Vec<Complex> = a.iter().map(|v| v.scale(7.0)).collect();
+        assert!(max_error(&a7, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,1080 @@
+//! Op-sequence builders for the CKKS functions of §II and the optimized
+//! flows of §III/§V: HADD, PMULT, HMULT, HROT, linear transforms
+//! (baseline / hoisting / MinKS, with and without the automorphism
+//! reordering of Fig. 5), and fftIter-decomposed bootstrapping.
+//!
+//! The emitted op streams match the functional library's instrumentation
+//! ([`ckks::opcount`]) op-for-op on the key-switching structure, which the
+//! integration tests verify — this is what ties the performance model to
+//! the real algorithm.
+
+use pim::isa::PimInstruction;
+
+use crate::ir::{FuseTag, ObjAlloc, ObjKind, ObjRef, Op, OpKind, OpSequence};
+use crate::params::ParamSet;
+
+/// Linear-transform evaluation strategies (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinTransStyle {
+    /// K independent HROTs (no optimization).
+    Base,
+    /// Shared ModUp + single hoisted ModDown (Fig. 1 right / Fig. 5).
+    Hoisting,
+    /// Iterated rotation by 1 with a single evk (§III-B MinKS).
+    MinKS,
+}
+
+/// Builds op sequences under a parameter set.
+#[derive(Debug)]
+pub struct Builder {
+    params: ParamSet,
+    alloc: ObjAlloc,
+    fuse_group: u32,
+    /// Shared evk object ids for MinKS (the whole point: one evk reused).
+    minks_evk: Option<Vec<(ObjRef, ObjRef)>>,
+}
+
+/// The result of a ModUp: the decomposition digit objects, reusable across
+/// rotations when hoisting.
+#[derive(Debug, Clone)]
+struct Digits {
+    objs: Vec<ObjRef>,
+    level: usize,
+}
+
+impl Builder {
+    /// A builder for the given parameters.
+    pub fn new(params: ParamSet) -> Self {
+        Self {
+            params,
+            alloc: ObjAlloc::new(),
+            fuse_group: 0,
+            minks_evk: None,
+        }
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn next_group(&mut self) -> u32 {
+        self.fuse_group += 1;
+        self.fuse_group
+    }
+
+    fn poly(&mut self, kind: ObjKind, limbs: usize) -> ObjRef {
+        self.alloc
+            .fresh(kind, self.params.poly_bytes(limbs) as u64)
+    }
+
+    fn fresh_evk(&mut self, level: usize) -> Vec<(ObjRef, ObjRef)> {
+        let limbs = level + self.params.alpha;
+        (0..self.params.digits_at(level))
+            .map(|_| {
+                (
+                    self.poly(ObjKind::Evk, limbs),
+                    self.poly(ObjKind::Evk, limbs),
+                )
+            })
+            .collect()
+    }
+
+    /// ModUp: INTT (shared) + per-digit BConv + NTT (§II-B).
+    fn mod_up(&mut self, seq: &mut OpSequence, ct_a: ObjRef, level: usize) -> Digits {
+        let p = self.params.clone();
+        let coeff = self.poly(ObjKind::Temp, level);
+        seq.push(
+            Op::new(OpKind::Intt { limbs: level }, "ModUp INTT")
+                .read(ct_a)
+                .write(coeff),
+        );
+        let mut objs = Vec::new();
+        for j in 0..p.digits_at(level) {
+            let digit_len = p.alpha.min(level - j * p.alpha);
+            let out_limbs = level + p.alpha - digit_len;
+            let digit = self.poly(ObjKind::Temp, level + p.alpha);
+            seq.push(
+                Op::new(
+                    OpKind::BConv {
+                        src_limbs: digit_len,
+                        dst_limbs: out_limbs,
+                    },
+                    "ModUp BConv",
+                )
+                .read(coeff)
+                .write(digit),
+            );
+            seq.push(
+                Op::new(OpKind::Ntt { limbs: out_limbs }, "ModUp NTT")
+                    .read(digit)
+                    .write(digit),
+            );
+            objs.push(digit);
+        }
+        Digits { objs, level }
+    }
+
+    /// KeyMult: per-digit `PMac` ops sharing a fusion group so BasicFuse
+    /// can merge them into `PAccum⟨D⟩` (§VI-C).
+    fn key_mult(
+        &mut self,
+        seq: &mut OpSequence,
+        digits: &Digits,
+        evk: &[(ObjRef, ObjRef)],
+    ) -> (ObjRef, ObjRef) {
+        let limbs = digits.level + self.params.alpha;
+        let acc_b = self.poly(ObjKind::Temp, limbs);
+        let acc_a = self.poly(ObjKind::Temp, limbs);
+        let group = self.next_group();
+        for (d, (kb, ka)) in digits.objs.iter().zip(evk) {
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::PMac,
+                        limbs,
+                    },
+                    "KeyMult",
+                )
+                .read(*d)
+                .read(*kb)
+                .read(*ka)
+                .read(acc_b)
+                .read(acc_a)
+                .write(acc_b)
+                .write(acc_a)
+                .fused(FuseTag::KeyMult { group }),
+            );
+        }
+        (acc_b, acc_a)
+    }
+
+    /// ModDown of an accumulated pair back to `Q_ℓ` (§II-B); counted as
+    /// one key switch.
+    fn mod_down_pair(
+        &mut self,
+        seq: &mut OpSequence,
+        acc_b: ObjRef,
+        acc_a: ObjRef,
+        level: usize,
+    ) -> (ObjRef, ObjRef) {
+        let alpha = self.params.alpha;
+        seq.keyswitches += 1;
+        let down = |src: ObjRef, this: &mut Self, seq: &mut OpSequence| {
+            let coeff = this.poly(ObjKind::Temp, alpha);
+            seq.push(
+                Op::new(OpKind::Intt { limbs: alpha }, "ModDown INTT")
+                    .read(src)
+                    .write(coeff),
+            );
+            let conv = this.poly(ObjKind::Temp, level);
+            seq.push(
+                Op::new(
+                    OpKind::BConv {
+                        src_limbs: alpha,
+                        dst_limbs: level,
+                    },
+                    "ModDown BConv",
+                )
+                .read(coeff)
+                .write(conv),
+            );
+            seq.push(
+                Op::new(OpKind::Ntt { limbs: level }, "ModDown NTT")
+                    .read(conv)
+                    .write(conv),
+            );
+            let out = this.poly(ObjKind::Temp, level);
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::ModDownEp,
+                        limbs: level,
+                    },
+                    "ModDown epilogue",
+                )
+                .read(src)
+                .read(conv)
+                .write(out),
+            );
+            out
+        };
+        let b = down(acc_b, self, seq);
+        let a = down(acc_a, self, seq);
+        (b, a)
+    }
+
+    /// Rescale of a ciphertext pair (drops one limb per poly).
+    pub fn rescale(&mut self, seq: &mut OpSequence, level: usize) {
+        assert!(level > 1, "cannot rescale below one limb");
+        let last = self.poly(ObjKind::Temp, 1);
+        seq.push(Op::new(OpKind::Intt { limbs: 2 }, "rescale INTT").read(last));
+        let rest = self.poly(ObjKind::Temp, level - 1);
+        seq.push(
+            Op::new(
+                OpKind::Ntt {
+                    limbs: 2 * (level - 1),
+                },
+                "rescale NTT",
+            )
+            .read(rest)
+            .write(rest),
+        );
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::ModDownEp,
+                    limbs: level - 1,
+                },
+                "rescale fix-up",
+            )
+            .read(rest)
+            .write(rest),
+        );
+    }
+
+    /// HADD: one element-wise pass over both ciphertext polys.
+    pub fn hadd(&mut self, level: usize) -> OpSequence {
+        let mut seq = OpSequence::new(self.params.clone());
+        let x = self.poly(ObjKind::Ciphertext, 2 * level);
+        let y = self.poly(ObjKind::Ciphertext, 2 * level);
+        let out = self.poly(ObjKind::Ciphertext, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::Add,
+                    limbs: 2 * level,
+                },
+                "HADD",
+            )
+            .read(x)
+            .read(y)
+            .write(out),
+        );
+        seq
+    }
+
+    /// PMULT: plaintext × ciphertext (both halves), plus rescale.
+    pub fn pmult(&mut self, level: usize) -> OpSequence {
+        let mut seq = OpSequence::new(self.params.clone());
+        let ct = self.poly(ObjKind::Ciphertext, 2 * level);
+        let pt = self.poly(ObjKind::Plaintext, level);
+        let out = self.poly(ObjKind::Ciphertext, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::PMult,
+                    limbs: level,
+                },
+                "PMULT",
+            )
+            .read(ct)
+            .read(pt)
+            .write(out),
+        );
+        self.rescale(&mut seq, level);
+        seq
+    }
+
+    /// HMULT: tensor + relinearization + rescale (§II-A).
+    pub fn hmult(&mut self, level: usize) -> OpSequence {
+        let mut seq = OpSequence::new(self.params.clone());
+        let x = self.poly(ObjKind::Ciphertext, 2 * level);
+        let y = self.poly(ObjKind::Ciphertext, 2 * level);
+        let d2 = self.poly(ObjKind::Temp, level);
+        let tens = self.poly(ObjKind::Temp, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::Tensor,
+                    limbs: level,
+                },
+                "HMULT tensor",
+            )
+            .read(x)
+            .read(y)
+            .write(tens)
+            .write(d2),
+        );
+        let digits = self.mod_up(&mut seq, d2, level);
+        let evk = self.fresh_evk(level);
+        let (kb, ka) = self.key_mult(&mut seq, &digits, &evk);
+        let (mb, ma) = self.mod_down_pair(&mut seq, kb, ka, level);
+        let out = self.poly(ObjKind::Ciphertext, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::Add,
+                    limbs: 2 * level,
+                },
+                "HMULT add",
+            )
+            .read(tens)
+            .read(mb)
+            .read(ma)
+            .write(out),
+        );
+        self.rescale(&mut seq, level);
+        seq
+    }
+
+    /// HROT: key switch on `a`, add `b`, automorphism last (hoisted evk
+    /// form [8]; Fig. 1 left).
+    pub fn hrot(&mut self, level: usize) -> OpSequence {
+        let mut seq = OpSequence::new(self.params.clone());
+        let ct_b = self.poly(ObjKind::Ciphertext, level);
+        let ct_a = self.poly(ObjKind::Ciphertext, level);
+        let digits = self.mod_up(&mut seq, ct_a, level);
+        let evk = self.fresh_evk(level);
+        let (kb, ka) = self.key_mult(&mut seq, &digits, &evk);
+        let (mb, ma) = self.mod_down_pair(&mut seq, kb, ka, level);
+        let sum = self.poly(ObjKind::Temp, level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::Add,
+                    limbs: level,
+                },
+                "HROT add b",
+            )
+            .read(ct_b)
+            .read(mb)
+            .write(sum),
+        );
+        let out = self.poly(ObjKind::Ciphertext, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Aut {
+                    limbs: 2 * level,
+                    fused_accum: false,
+                },
+                "HROT automorphism",
+            )
+            .read(sum)
+            .read(ma)
+            .write(out),
+        );
+        seq
+    }
+
+    /// A homomorphic linear transform with `k` diagonals (§III-B), in the
+    /// chosen style. `reorder_aut` applies the §V-B automorphism/PMULT swap
+    /// (plaintext pre-rotation), enabling the AutAccum fusion.
+    pub fn lintrans(
+        &mut self,
+        level: usize,
+        k: usize,
+        style: LinTransStyle,
+        reorder_aut: bool,
+    ) -> OpSequence {
+        match style {
+            LinTransStyle::Hoisting => self.lintrans_hoisted(level, k, reorder_aut),
+            LinTransStyle::MinKS => self.lintrans_minks(level, k),
+            LinTransStyle::Base => self.lintrans_base(level, k),
+        }
+    }
+
+    fn lintrans_hoisted(&mut self, level: usize, k: usize, reorder_aut: bool) -> OpSequence {
+        let p = self.params.clone();
+        let mut seq = OpSequence::new(p.clone());
+        let ext = level + p.alpha;
+        let ct_b = self.poly(ObjKind::Ciphertext, level);
+        let ct_a = self.poly(ObjKind::Ciphertext, level);
+        // Hoisting: one shared ModUp.
+        let digits = self.mod_up(&mut seq, ct_a, level);
+        let acc = self.poly(ObjKind::Temp, 2 * ext + level);
+        for i in 0..k {
+            if i == 0 {
+                // Diagonal 0 needs no rotation: plain PMULT into the
+                // accumulators.
+                let pt = self.poly(ObjKind::Plaintext, level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::PMac,
+                            limbs: level,
+                        },
+                        "LT diag0 PMAC",
+                    )
+                    .read(ct_b)
+                    .read(ct_a)
+                    .read(pt)
+                    .read(acc)
+                    .write(acc),
+                );
+                continue;
+            }
+            let evk = self.fresh_evk(level);
+            let (kb, ka) = self.key_mult(&mut seq, &digits, &evk);
+            // Hoisting enlarges the plaintexts to the extended modulus
+            // (Fig. 1 table) — plus a Q-basis copy for the b channel.
+            let pt_pq = self.poly(ObjKind::Plaintext, ext);
+            let pt_q = self.poly(ObjKind::Plaintext, level);
+            if reorder_aut {
+                // Fig. 5: PMULT with pre-rotated plaintexts precedes the
+                // automorphism, which fuses with the accumulation.
+                let prod = self.poly(ObjKind::Temp, 2 * ext + level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::PMult,
+                            limbs: ext,
+                        },
+                        "LT PMULT (PQ)",
+                    )
+                    .read(kb)
+                    .read(ka)
+                    .read(pt_pq)
+                    .write(prod),
+                );
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Mult,
+                            limbs: level,
+                        },
+                        "LT PMULT b (Q)",
+                    )
+                    .read(ct_b)
+                    .read(pt_q)
+                    .write(prod),
+                );
+                let g = self.next_group();
+                seq.push(
+                    Op::new(
+                        OpKind::Aut {
+                            limbs: 2 * ext + level,
+                            fused_accum: false,
+                        },
+                        "LT automorphism",
+                    )
+                    .read(prod)
+                    .fused(FuseTag::AutThenAccum { group: g }),
+                );
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Add,
+                            limbs: 2 * ext + level,
+                        },
+                        "LT accumulate",
+                    )
+                    .read(prod)
+                    .read(acc)
+                    .write(acc)
+                    .fused(FuseTag::AutThenAccum { group: g }),
+                );
+            } else {
+                // Original order (Fig. 1): automorphism sits between
+                // KeyMult/MAC and PMULT, forcing an extra round trip of the
+                // rotated pair through DRAM (§V-B: 2K extra reads+writes).
+                let rotated = self.poly(ObjKind::Temp, 2 * ext + level);
+                seq.push(
+                    Op::new(
+                        OpKind::Aut {
+                            limbs: 2 * ext + level,
+                            fused_accum: false,
+                        },
+                        "LT automorphism (unreordered)",
+                    )
+                    .read(kb)
+                    .read(ka)
+                    .read(ct_b)
+                    .write(rotated),
+                );
+                let prod = self.poly(ObjKind::Temp, 2 * ext + level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::PMult,
+                            limbs: ext,
+                        },
+                        "LT PMULT (PQ)",
+                    )
+                    .read(rotated)
+                    .read(pt_pq)
+                    .write(prod),
+                );
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Mult,
+                            limbs: level,
+                        },
+                        "LT PMULT b (Q)",
+                    )
+                    .read(rotated)
+                    .read(pt_q)
+                    .write(prod),
+                );
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Add,
+                            limbs: 2 * ext + level,
+                        },
+                        "LT accumulate",
+                    )
+                    .read(prod)
+                    .read(acc)
+                    .write(acc),
+                );
+            }
+        }
+        // One hoisted ModDown for the accumulated pair.
+        let acc_b = self.poly(ObjKind::Temp, ext);
+        let acc_a = self.poly(ObjKind::Temp, ext);
+        let (mb, ma) = self.mod_down_pair(&mut seq, acc_b, acc_a, level);
+        let out = self.poly(ObjKind::Ciphertext, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::Add,
+                    limbs: 2 * level,
+                },
+                "LT final add",
+            )
+            .read(mb)
+            .read(ma)
+            .read(acc)
+            .write(out),
+        );
+        seq
+    }
+
+    fn lintrans_minks(&mut self, level: usize, k: usize) -> OpSequence {
+        let p = self.params.clone();
+        let mut seq = OpSequence::new(p);
+        // MinKS: a single rotation-by-1 evk reused for every step (§III-B).
+        if self.minks_evk.is_none() {
+            self.minks_evk = Some(self.fresh_evk(level));
+        }
+        let evk = self.minks_evk.clone().expect("just set");
+        let acc = self.poly(ObjKind::Temp, 2 * level);
+        for i in 0..k {
+            if i > 0 {
+                // Rotate the running ciphertext by 1: a full key switch.
+                let cur_a = self.poly(ObjKind::Temp, level);
+                let digits = self.mod_up(&mut seq, cur_a, level);
+                let (kb, ka) = self.key_mult(&mut seq, &digits, &evk);
+                let (mb, _ma) = self.mod_down_pair(&mut seq, kb, ka, level);
+                let sum = self.poly(ObjKind::Temp, level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Add,
+                            limbs: level,
+                        },
+                        "MinKS add b",
+                    )
+                    .read(mb)
+                    .write(sum),
+                );
+                seq.push(
+                    Op::new(
+                        OpKind::Aut {
+                            limbs: 2 * level,
+                            fused_accum: false,
+                        },
+                        "MinKS automorphism",
+                    )
+                    .read(sum)
+                    .write(sum),
+                );
+            }
+            // PMULT + accumulate in the base modulus.
+            let pt = self.poly(ObjKind::Plaintext, level);
+            let cur = self.poly(ObjKind::Temp, 2 * level);
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::PMac,
+                        limbs: level,
+                    },
+                    "MinKS PMAC",
+                )
+                .read(cur)
+                .read(pt)
+                .read(acc)
+                .write(acc),
+            );
+        }
+        seq
+    }
+
+    fn lintrans_base(&mut self, level: usize, k: usize) -> OpSequence {
+        let mut seq = OpSequence::new(self.params.clone());
+        let acc = self.poly(ObjKind::Temp, 2 * level);
+        for i in 0..k {
+            if i > 0 {
+                let rot = self.hrot(level);
+                seq.keyswitches += rot.keyswitches;
+                seq.ops.extend(rot.ops);
+            }
+            let pt = self.poly(ObjKind::Plaintext, level);
+            let cur = self.poly(ObjKind::Temp, 2 * level);
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::PMac,
+                        limbs: level,
+                    },
+                    "LT base PMAC",
+                )
+                .read(cur)
+                .read(pt)
+                .read(acc)
+                .write(acc),
+            );
+        }
+        seq
+    }
+
+    /// Baby-step giant-step linear transform (footnote 1: used whenever
+    /// applicable, in particular inside bootstrapping): `n1` hoisted baby
+    /// rotations share one ModUp; `K` cheap PMACs accumulate per giant
+    /// group; each giant group is rotated once more. Cuts the evk count and
+    /// the automorphism volume from `K` to `≈ 2√K`.
+    pub fn lintrans_bsgs(&mut self, level: usize, k: usize, n1: usize) -> OpSequence {
+        self.lintrans_bsgs_opt(level, k, n1, true)
+    }
+
+    /// BSGS with explicit control over baby-rotation hoisting: the Fig. 1
+    /// "Base" column evaluates the same BSGS structure but re-runs ModUp
+    /// for every baby rotation.
+    pub fn lintrans_bsgs_opt(
+        &mut self,
+        level: usize,
+        k: usize,
+        n1: usize,
+        hoist_babies: bool,
+    ) -> OpSequence {
+        assert!(n1 >= 1, "need at least one baby step");
+        let p = self.params.clone();
+        let mut seq = OpSequence::new(p);
+        let ct_b = self.poly(ObjKind::Ciphertext, level);
+        let ct_a = self.poly(ObjKind::Ciphertext, level);
+        // Shared ModUp for all baby rotations (hoisting).
+        let digits = self.mod_up(&mut seq, ct_a, level);
+        // Baby rotations 1..n1.
+        let mut babies = vec![self.poly(ObjKind::Temp, 2 * level)];
+        for _ in 1..n1 {
+            let digits = if hoist_babies {
+                digits.clone()
+            } else {
+                self.mod_up(&mut seq, ct_a, level)
+            };
+            let evk = self.fresh_evk(level);
+            let (kb, ka) = self.key_mult(&mut seq, &digits, &evk);
+            let (mb, _ma) = self.mod_down_pair(&mut seq, kb, ka, level);
+            let sum = self.poly(ObjKind::Temp, level);
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::Add,
+                        limbs: level,
+                    },
+                    "BSGS baby add b",
+                )
+                .read(ct_b)
+                .read(mb)
+                .write(sum),
+            );
+            let rot = self.poly(ObjKind::Temp, 2 * level);
+            seq.push(
+                Op::new(
+                    OpKind::Aut {
+                        limbs: 2 * level,
+                        fused_accum: false,
+                    },
+                    "BSGS baby automorphism",
+                )
+                .read(sum)
+                .write(rot),
+            );
+            babies.push(rot);
+        }
+        // Inner MAC accumulations, one accumulator per giant group. Each
+        // group is a Σ_b baby_b ⊙ p_b — exactly the PAccum⟨K⟩ pattern, so
+        // the ops share a fusion group for BasicFuse (§VI-C).
+        let giants = k.div_ceil(n1);
+        let mut accs = Vec::with_capacity(giants);
+        for g in 0..giants {
+            let acc = self.poly(ObjKind::Temp, 2 * level);
+            let in_group = n1.min(k - g * n1);
+            let grp = self.next_group();
+            for b in 0..in_group {
+                let pt = self.poly(ObjKind::Plaintext, level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::PMac,
+                            // Per-operand limb count: the PMac profile
+                            // already accounts for both ciphertext halves.
+                            limbs: level,
+                        },
+                        "BSGS inner PMAC",
+                    )
+                    .read(babies[b % babies.len()])
+                    .read(pt)
+                    .read(acc)
+                    .write(acc)
+                    .fused(FuseTag::KeyMult { group: grp }),
+                );
+            }
+            accs.push(acc);
+        }
+        // Giant rotations (group 0 needs none) and the final accumulation.
+        let out = self.poly(ObjKind::Ciphertext, 2 * level);
+        for (g, acc) in accs.iter().enumerate() {
+            let rotated = if g == 0 {
+                *acc
+            } else {
+                let acc_a = self.poly(ObjKind::Temp, level);
+                let gd = self.mod_up(&mut seq, acc_a, level);
+                let evk = self.fresh_evk(level);
+                let (kb, ka) = self.key_mult(&mut seq, &gd, &evk);
+                let (mb, _ma) = self.mod_down_pair(&mut seq, kb, ka, level);
+                let sum = self.poly(ObjKind::Temp, level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Add,
+                            limbs: level,
+                        },
+                        "BSGS giant add b",
+                    )
+                    .read(*acc)
+                    .read(mb)
+                    .write(sum),
+                );
+                let rot = self.poly(ObjKind::Temp, 2 * level);
+                let grp = self.next_group();
+                seq.push(
+                    Op::new(
+                        OpKind::Aut {
+                            limbs: 2 * level,
+                            fused_accum: false,
+                        },
+                        "BSGS giant automorphism",
+                    )
+                    .read(sum)
+                    .write(rot)
+                    .fused(FuseTag::AutThenAccum { group: grp }),
+                );
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Add,
+                            limbs: 2 * level,
+                        },
+                        "BSGS giant accumulate",
+                    )
+                    .read(rot)
+                    .read(out)
+                    .write(out)
+                    .fused(FuseTag::AutThenAccum { group: grp }),
+                );
+                continue;
+            };
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::Add,
+                        limbs: 2 * level,
+                    },
+                    "BSGS accumulate",
+                )
+                .read(rotated)
+                .read(out)
+                .write(out),
+            );
+        }
+        seq
+    }
+
+    /// Full-slot bootstrapping (§II-C) with the configured fftIter
+    /// decomposition: ModRaise → conj → CoeffToSlot stages → EvalMod →
+    /// SlotToCoeff stages. Returns the sequence and asserts the level
+    /// arithmetic lands on `l_boot_out`.
+    pub fn bootstrap(&mut self) -> OpSequence {
+        self.bootstrap_with_slots(self.params.slots())
+    }
+
+    /// Bootstrapping for a reduced slot count (sparse packing): the linear
+    /// transforms shrink with the slot count, which is why HELR's
+    /// 196-slot bootstrap is cheap and ModSwitch-dominated (§VII-B).
+    pub fn bootstrap_with_slots(&mut self, slots: usize) -> OpSequence {
+        let p = self.params.clone();
+        let mut seq = OpSequence::new(p.clone());
+        let mut level = p.l_max;
+
+        // ModRaise: cheap data reinterpretation.
+        let raised = self.poly(ObjKind::Ciphertext, 2 * level);
+        seq.push(
+            Op::new(
+                OpKind::Ew {
+                    instr: PimInstruction::Move,
+                    limbs: 2 * level,
+                },
+                "ModRaise",
+            )
+            .write(raised),
+        );
+        // Conjugation for CoeffToSlot: one key switch + automorphism.
+        let conj = self.hrot(level);
+        seq.keyswitches += conj.keyswitches;
+        seq.ops.extend(conj.ops);
+
+        let log_slots = (usize::BITS - 1 - slots.leading_zeros()) as usize;
+        let stage_k = |iters: usize| -> usize {
+            // Radix-decomposed DFT factor: ~2·radix − 1 diagonals per stage
+            // (MAD [2]); fewer stages ⇒ denser factors.
+            let radix_log = log_slots.div_ceil(iters);
+            (2 << radix_log) - 1
+        };
+
+        // CoeffToSlot stages (BSGS-evaluated, footnote 1).
+        let k_c2s = stage_k(p.fft_iter_c2s).min(2 * slots - 1);
+        let n1 = |k: usize| ((k as f64).sqrt().ceil() as usize).max(1);
+        for _ in 0..p.fft_iter_c2s {
+            let lt = self.lintrans_bsgs(level, k_c2s, n1(k_c2s));
+            seq.keyswitches += lt.keyswitches;
+            seq.ops.extend(lt.ops);
+            self.rescale(&mut seq, level);
+            level -= p.limbs_per_level();
+        }
+
+        // EvalMod: the degree-~120 Chebyshev sine ladder (§II-C): baby
+        // powers, giant doublings, and Paterson–Stockmeyer recombination —
+        // ~26 key switches spread over 8 multiplicative levels, plus
+        // CAccum-shaped constant leaf sums.
+        let eval_mod_stages = 8usize;
+        let keyswitches_per_stage = [4usize, 4, 4, 4, 3, 3, 2, 2];
+        for s in 0..eval_mod_stages {
+            for _ in 0..keyswitches_per_stage[s] {
+                let sq = self.poly(ObjKind::Temp, level);
+                let tens = self.poly(ObjKind::Temp, 2 * level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::TensorSq,
+                            limbs: level,
+                        },
+                        "EvalMod square",
+                    )
+                    .read(sq)
+                    .write(tens),
+                );
+                let digits = self.mod_up(&mut seq, sq, level);
+                let evk = self.fresh_evk(level);
+                let (kb, ka) = self.key_mult(&mut seq, &digits, &evk);
+                let (mb, ma) = self.mod_down_pair(&mut seq, kb, ka, level);
+                let out = self.poly(ObjKind::Temp, 2 * level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::Add,
+                            limbs: 2 * level,
+                        },
+                        "EvalMod add",
+                    )
+                    .read(tens)
+                    .read(mb)
+                    .read(ma)
+                    .write(out),
+                );
+            }
+            // Constant recombination (Chebyshev leaf sums).
+            let g = self.next_group();
+            let out = self.poly(ObjKind::Temp, 2 * level);
+            for _ in 0..4 {
+                let t = self.poly(ObjKind::Temp, 2 * level);
+                seq.push(
+                    Op::new(
+                        OpKind::Ew {
+                            instr: PimInstruction::CMac,
+                            limbs: 2 * level,
+                        },
+                        "EvalMod const",
+                    )
+                    .read(t)
+                    .write(out)
+                    .fused(FuseTag::ConstAccum { group: g }),
+                );
+            }
+            self.rescale(&mut seq, level);
+            level -= p.limbs_per_level();
+        }
+
+        // SlotToCoeff stages.
+        let k_s2c = stage_k(p.fft_iter_s2c).min(2 * slots - 1);
+        for _ in 0..p.fft_iter_s2c {
+            let lt = self.lintrans_bsgs(level, k_s2c, n1(k_s2c));
+            seq.keyswitches += lt.keyswitches;
+            seq.ops.extend(lt.ops);
+            self.rescale(&mut seq, level);
+            level -= p.limbs_per_level();
+        }
+
+        assert_eq!(
+            level,
+            p.l_max
+                - p.limbs_per_level() * (p.fft_iter_c2s + p.fft_iter_s2c + eval_mod_stages),
+            "level arithmetic must be consistent"
+        );
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpKind;
+
+    fn builder() -> Builder {
+        Builder::new(ParamSet::paper_default())
+    }
+
+    #[test]
+    fn hrot_structure() {
+        let mut b = builder();
+        let p = b.params().clone();
+        let seq = b.hrot(p.l_max);
+        let s = seq.summary();
+        let l = p.l_max;
+        let a = p.alpha;
+        // ModUp: INTT l; per digit NTT (l+α−α_j); ModDown: 2×(INTT α + NTT l).
+        assert_eq!(s.intt_limbs as usize, l + 2 * a);
+        let ntt_modup: usize = (0..p.d).map(|j| l + a - a.min(l - j * a)).sum();
+        assert_eq!(s.ntt_limbs as usize, ntt_modup + 2 * l);
+        assert_eq!(s.automorphism_limbs as usize, 2 * l);
+        assert_eq!(seq.keyswitches, 1);
+    }
+
+    #[test]
+    fn hoisting_shares_modup_and_moddown() {
+        let mut b = builder();
+        let p = b.params().clone();
+        let k = 8;
+        let hoist = b.lintrans(p.l_max, k, LinTransStyle::Hoisting, true);
+        let mut b2 = builder();
+        let base = b2.lintrans(p.l_max, k, LinTransStyle::Base, false);
+        // Hoisting: 1 ModUp + 1 ModDown; Base: K−1 of each.
+        assert_eq!(hoist.keyswitches, 1);
+        assert_eq!(base.keyswitches, (k - 1) as u64);
+        let sh = hoist.summary();
+        let sb = base.summary();
+        assert!(
+            sb.total_ntt_limbs() as f64 / sh.total_ntt_limbs() as f64 > 2.0,
+            "hoisting must cut (I)NTT work > 2× (Fig. 1 reports 2.47×): {} vs {}",
+            sb.total_ntt_limbs(),
+            sh.total_ntt_limbs()
+        );
+        // ...but hoisting shifts the mix toward element-wise ops (§IV-B).
+        let hoist_ratio = sh.ew_limb_ops as f64 / sh.total_ntt_limbs() as f64;
+        let base_ratio = sb.ew_limb_ops as f64 / sb.total_ntt_limbs() as f64;
+        assert!(hoist_ratio > 1.5 * base_ratio);
+    }
+
+    #[test]
+    fn minks_reuses_one_evk() {
+        let mut b = builder();
+        let p = b.params().clone();
+        let seq = b.lintrans(p.l_max, 8, LinTransStyle::MinKS, false);
+        // All KeyMult reads must reference the same evk objects.
+        let mut evk_ids = std::collections::HashSet::new();
+        for op in &seq.ops {
+            if matches!(op.fuse, Some(FuseTag::KeyMult { .. })) {
+                for r in &op.reads {
+                    if matches!(r.kind, crate::ir::ObjKind::Evk) {
+                        evk_ids.insert(r.id);
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            evk_ids.len(),
+            2 * p.d,
+            "MinKS uses exactly one evk (2·D polynomials)"
+        );
+        // Hoisting with K=8 uses 7 distinct evks (4× more, Fig. 1 table).
+        let mut b2 = builder();
+        let hoist = b2.lintrans(p.l_max, 8, LinTransStyle::Hoisting, true);
+        let mut hoist_ids = std::collections::HashSet::new();
+        for op in &hoist.ops {
+            for r in &op.reads {
+                if matches!(r.kind, crate::ir::ObjKind::Evk) {
+                    hoist_ids.insert(r.id);
+                }
+            }
+        }
+        assert_eq!(hoist_ids.len(), 7 * 2 * p.d);
+    }
+
+    #[test]
+    fn reordering_removes_extra_automorphism_traffic() {
+        let mut b = builder();
+        let p = b.params().clone();
+        let with = b.lintrans(p.l_max, 8, LinTransStyle::Hoisting, true);
+        let mut b2 = builder();
+        let without = b2.lintrans(p.l_max, 8, LinTransStyle::Hoisting, false);
+        // Same compute...
+        assert_eq!(
+            with.summary().total_ntt_limbs(),
+            without.summary().total_ntt_limbs()
+        );
+        assert_eq!(
+            with.summary().automorphism_limbs,
+            without.summary().automorphism_limbs
+        );
+        // ...but the unreordered flow moves more bytes (the 2K extra
+        // reads/writes of §V-B appear as the rotated temp round trip).
+        assert!(without.ideal_bytes() > with.ideal_bytes());
+        // And only the reordered flow exposes AutAccum fusion tags.
+        let tags = |s: &OpSequence| {
+            s.ops
+                .iter()
+                .filter(|o| matches!(o.fuse, Some(FuseTag::AutThenAccum { .. })))
+                .count()
+        };
+        assert!(tags(&with) > 0);
+        assert_eq!(tags(&without), 0);
+    }
+
+    #[test]
+    fn bootstrap_level_arithmetic() {
+        let mut b = builder();
+        let seq = b.bootstrap();
+        assert!(!seq.is_empty());
+        // 4 + 3 lintrans stages + 8 EvalMod stages at 2 limbs each: 54 → 24.
+        let p = ParamSet::paper_default();
+        assert_eq!(p.l_max - 2 * (4 + 3 + 8), p.l_boot_out);
+        assert!(seq.keyswitches > 10);
+    }
+
+    #[test]
+    fn sparse_bootstrap_is_smaller() {
+        let mut b = builder();
+        let full = b.bootstrap();
+        let mut b2 = builder();
+        let sparse = b2.bootstrap_with_slots(256);
+        assert!(
+            sparse.ideal_bytes() < full.ideal_bytes(),
+            "sparse-slot bootstrap must be cheaper"
+        );
+        assert!(sparse.summary().ew_limb_ops < full.summary().ew_limb_ops);
+    }
+
+    #[test]
+    fn hmult_contains_tensor_and_keyswitch() {
+        let mut b = builder();
+        let p = b.params().clone();
+        let seq = b.hmult(p.l_max);
+        assert_eq!(seq.keyswitches, 1);
+        assert!(seq
+            .ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Ew { instr: PimInstruction::Tensor, .. })));
+    }
+}

@@ -1,0 +1,206 @@
+//! Paper-scale CKKS parameter descriptors (Table IV).
+//!
+//! These are *model* parameters: `N = 2^16` with up to 68 word-sized limbs
+//! never needs numeric NTT tables here — the `ckks` crate instantiates
+//! small rings for functional validation, while this descriptor drives the
+//! performance model. Words are 32-bit (Cheddar-style) with double-prime
+//! scaling [1], [45]: one multiplicative *level* consumes **two** limbs.
+
+/// A CKKS parameter descriptor for the cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSet {
+    /// log2 ring degree (Table IV: 16).
+    pub log_n: u32,
+    /// Maximum number of `Q` limbs (54 at the default `D = 4`).
+    pub l_max: usize,
+    /// Number of `P` limbs (α, 14 at `D = 4`).
+    pub alpha: usize,
+    /// Decomposition number `D = ⌈L/α⌉` [34].
+    pub d: usize,
+    /// Word size in bytes (4: 28-bit primes stored as 32-bit words, §VI-A).
+    pub word_bytes: usize,
+    /// Limbs remaining after bootstrapping (54 → 24 in §VII-A).
+    pub l_boot_out: usize,
+    /// Number of multiplications available between bootstraps
+    /// (`L_eff`, Table I; with double-prime scaling each consumes 2 limbs).
+    pub l_eff: usize,
+    /// CoeffToSlot FFT decomposition depth (fftIter, MAD [2]).
+    pub fft_iter_c2s: usize,
+    /// SlotToCoeff FFT decomposition depth.
+    pub fft_iter_s2c: usize,
+}
+
+impl ParamSet {
+    /// The paper's default: `D = 4`, `L = 54`, `α = 14`, fftIter mix of
+    /// three and four (§IV-C), `L_eff = 11`.
+    pub fn paper_default() -> Self {
+        Self::with_decomposition(4)
+    }
+
+    /// The Fig. 2b sweep: for each `D`, `L` and `α` are rebalanced keeping
+    /// the total limb budget (`L + α ≈ 68` words ⇒ `log PQ < 1623` at
+    /// ~24-bit average primes) and `L_eff` follows from the remaining
+    /// post-bootstrap chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `D` outside `{2, 3, 4, 6, 8}`.
+    pub fn with_decomposition(d: usize) -> Self {
+        // (L, alpha, L_eff) per D, limb budget L + α = 68.
+        let (l_max, alpha, l_eff) = match d {
+            2 => (45, 23, 6),
+            3 => (51, 17, 9),
+            4 => (54, 14, 11),
+            6 => (58, 10, 13),
+            8 => (60, 8, 14),
+            _ => panic!("unsupported decomposition number {d}"),
+        };
+        Self {
+            log_n: 16,
+            l_max,
+            alpha,
+            d,
+            word_bytes: 4,
+            l_boot_out: l_max.saturating_sub(30),
+            l_eff,
+            fft_iter_c2s: 4,
+            fft_iter_s2c: 3,
+        }
+    }
+
+    /// A custom descriptor mirroring a (typically small, functional)
+    /// `ckks` context, used by the cross-validation tests that compare the
+    /// IR builders' op counts with the functional library's measured
+    /// counters.
+    pub fn custom(log_n: u32, l_max: usize, alpha: usize) -> Self {
+        assert!(l_max >= 1 && alpha >= 1, "degenerate parameters");
+        Self {
+            log_n,
+            l_max,
+            alpha,
+            d: l_max.div_ceil(alpha),
+            word_bytes: 8, // the functional library uses 64-bit limbs
+            l_boot_out: l_max.saturating_sub(2).max(1),
+            l_eff: 1,
+            fft_iter_c2s: 1,
+            fft_iter_s2c: 1,
+        }
+    }
+
+    /// Overrides both fftIter values (the Fig. 3 sweep).
+    pub fn with_fft_iter(mut self, c2s: usize, s2c: usize) -> Self {
+        assert!(c2s >= 1 && s2c >= 1, "fftIter must be positive");
+        // Each extra FFT stage costs one multiplicative level on each side;
+        // L_eff shrinks accordingly (the Fig. 3 trade-off).
+        let base = 4 + 3;
+        let extra = (c2s + s2c) as isize - base as isize;
+        self.l_eff = (self.l_eff as isize - extra).max(1) as usize;
+        self.l_boot_out = (self.l_boot_out as isize - 2 * extra).max(4) as usize;
+        self.fft_iter_c2s = c2s;
+        self.fft_iter_s2c = s2c;
+        self
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// Message slots.
+    pub fn slots(&self) -> usize {
+        self.n() / 2
+    }
+
+    /// Bytes of one limb (`N` words).
+    pub fn limb_bytes(&self) -> usize {
+        self.n() * self.word_bytes
+    }
+
+    /// Bytes of one polynomial at `limbs` limbs.
+    pub fn poly_bytes(&self, limbs: usize) -> usize {
+        limbs * self.limb_bytes()
+    }
+
+    /// Bytes of a full ciphertext at `limbs` limbs (two polynomials).
+    pub fn ct_bytes(&self, limbs: usize) -> usize {
+        2 * self.poly_bytes(limbs)
+    }
+
+    /// Bytes of one evaluation key: `2·D` polynomials over `L_max + α`
+    /// limbs (Table I). At the defaults this is the paper's 136 MB evk.
+    pub fn evk_bytes(&self) -> usize {
+        2 * self.d * self.poly_bytes(self.l_max + self.alpha)
+    }
+
+    /// Digit size (α limbs except a possibly short last digit) at a level.
+    pub fn digits_at(&self, limbs: usize) -> usize {
+        limbs.div_ceil(self.alpha)
+    }
+
+    /// The limb budget consumed by one multiplicative level
+    /// (2 with double-prime scaling).
+    pub fn limbs_per_level(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_section_3a() {
+        let p = ParamSet::paper_default();
+        // §III-A: "a polynomial can be as large as 17MB and an evk 136MB".
+        let poly_mb = p.poly_bytes(p.l_max + p.alpha) as f64 / (1 << 20) as f64;
+        assert!((16.0..18.5).contains(&poly_mb), "PQ polynomial ≈ 17 MB, got {poly_mb}");
+        let evk_mb = p.evk_bytes() as f64 / (1 << 20) as f64;
+        assert!((130.0..140.0).contains(&evk_mb), "evk ≈ 136 MB, got {evk_mb}");
+        // §III-C: a ciphertext ≈ 27 MB.
+        let ct_mb = p.ct_bytes(p.l_max) as f64 / (1 << 20) as f64;
+        assert!((26.0..28.5).contains(&ct_mb), "ciphertext ≈ 27 MB, got {ct_mb}");
+    }
+
+    #[test]
+    fn d_sweep_preserves_limb_budget() {
+        for d in [2usize, 3, 4, 6, 8] {
+            let p = ParamSet::with_decomposition(d);
+            assert_eq!(p.l_max + p.alpha, 68, "D={d}");
+            assert_eq!(p.d, d);
+            assert_eq!(p.digits_at(p.l_max), d);
+        }
+    }
+
+    #[test]
+    fn l_eff_grows_with_d() {
+        let mut prev = 0;
+        for d in [2usize, 3, 4, 6, 8] {
+            let p = ParamSet::with_decomposition(d);
+            assert!(p.l_eff > prev, "L_eff must grow with D");
+            prev = p.l_eff;
+        }
+    }
+
+    #[test]
+    fn boot_levels_consistent() {
+        // L: 2 → 54 → 24 (§VII-A); L_eff = (24 − 2)/2 = 11.
+        let p = ParamSet::paper_default();
+        assert_eq!(p.l_boot_out, 24);
+        assert_eq!((p.l_boot_out - 2) / p.limbs_per_level(), p.l_eff);
+    }
+
+    #[test]
+    fn fft_iter_tradeoff() {
+        let base = ParamSet::paper_default();
+        let more = base.clone().with_fft_iter(6, 6);
+        assert!(more.l_eff < base.l_eff, "higher fftIter lowers L_eff (Fig. 3)");
+        let less = base.clone().with_fft_iter(3, 3);
+        assert!(less.l_eff > base.l_eff);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported decomposition")]
+    fn invalid_d_rejected() {
+        ParamSet::with_decomposition(5);
+    }
+}

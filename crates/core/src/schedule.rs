@@ -1,0 +1,317 @@
+//! The stream-ordered GPU↔PIM scheduler (§V-C).
+//!
+//! Ops execute in issue order: GPU kernels run through the roofline model
+//! with the object-granularity L2 filtering DRAM traffic; consecutive PIM
+//! ops coalesce into one PIM kernel (large granularity, hundreds of µs);
+//! each GPU↔PIM transition pays the stream-queue handoff of ~2 µs, which
+//! §V-C shows is negligible at PIM-kernel granularity.
+
+use gpu::cache::L2Cache;
+use gpu::kernel::{KernelClass, KernelDesc};
+use gpu::model::GpuModel;
+use pim::device::PimDeviceConfig;
+use pim::exec::{PimExecutor, PimKernelSpec};
+use pim::layout::LayoutPolicy;
+
+use crate::ir::{Executor, ObjKind, Op, OpKind, OpSequence};
+use crate::report::{ExecutionReport, GanttSegment};
+
+/// GPU↔PIM transition cost (§V-C: "a couple of microseconds").
+pub const TRANSITION_NS: f64 = 2000.0;
+
+/// Scheduler binding the execution engines.
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    gpu: &'a GpuModel,
+    pim: Option<(&'a PimDeviceConfig, LayoutPolicy)>,
+}
+
+impl<'a> Scheduler<'a> {
+    /// GPU-only scheduling.
+    pub fn gpu_only(gpu: &'a GpuModel) -> Self {
+        Self { gpu, pim: None }
+    }
+
+    /// GPU + PIM co-execution.
+    pub fn with_pim(gpu: &'a GpuModel, dev: &'a PimDeviceConfig, layout: LayoutPolicy) -> Self {
+        Self {
+            gpu,
+            pim: Some((dev, layout)),
+        }
+    }
+
+    /// Integer ops a GPU kernel of this kind executes (one modmul ≈ 8
+    /// 32-bit mul-adds plus surrounding adds, §III-A D2).
+    fn int_ops(&self, kind: &OpKind, n: u64) -> u64 {
+        match *kind {
+            OpKind::Ntt { limbs } | OpKind::Intt { limbs } => {
+                let log_n = 63 - n.leading_zeros() as u64;
+                limbs as u64 * (n / 2) * log_n * 10
+            }
+            OpKind::BConv {
+                src_limbs,
+                dst_limbs,
+            } => n * src_limbs as u64 * dst_limbs as u64 * 6,
+            OpKind::Ew { instr, limbs } => {
+                n * limbs as u64 * instr.mmac_ops_per_element() as u64 * 6
+            }
+            OpKind::Aut { .. } | OpKind::WriteBack { .. } => 0,
+        }
+    }
+
+    fn kernel_class(kind: &OpKind) -> (&'static str, KernelClass) {
+        match kind {
+            OpKind::Ntt { .. } | OpKind::Intt { .. } => ("(I)NTT", KernelClass::Ntt),
+            OpKind::BConv { .. } => ("BConv", KernelClass::BConv),
+            OpKind::Ew { .. } => ("element-wise", KernelClass::ElementWise),
+            OpKind::Aut { .. } => ("automorphism", KernelClass::Automorphism),
+            OpKind::WriteBack { .. } => ("write-back", KernelClass::WriteBack),
+        }
+    }
+
+    /// Runs the sequence and produces a report.
+    pub fn run(&self, seq: &OpSequence) -> ExecutionReport {
+        let n = seq.params.n() as u64;
+        let mut report = ExecutionReport::default();
+        let mut cache = L2Cache::new(self.gpu.config().l2_bytes);
+        let mut now = 0.0f64;
+        let mut last_exec = Executor::Gpu;
+        let mut pim_batch: Vec<(PimKernelSpec, &'static str)> = Vec::new();
+
+        let flush_pim =
+            |batch: &mut Vec<(PimKernelSpec, &'static str)>,
+             now: &mut f64,
+             report: &mut ExecutionReport,
+             pim: (&PimDeviceConfig, LayoutPolicy)| {
+                if batch.is_empty() {
+                    return;
+                }
+                let exec = PimExecutor::new(pim.0, pim.1);
+                for (spec, label) in batch.drain(..) {
+                    let r = exec.execute(&spec);
+                    let start = *now;
+                    *now += r.latency_ns;
+                    report.energy_j += r.energy_joules(pim.0);
+                    report.pim_dram_bytes += r.bytes_internal;
+                    report.push_segment(GanttSegment {
+                        start_ns: start,
+                        end_ns: *now,
+                        executor: Executor::Pim,
+                        class: "element-wise",
+                        label,
+                    });
+                }
+            };
+
+        for op in &seq.ops {
+            let target = if self.pim.is_some() {
+                op.executor
+            } else {
+                Executor::Gpu
+            };
+            match target {
+                Executor::Pim => {
+                    let (instr, limbs) = match op.kind {
+                        OpKind::Ew { instr, limbs } => (instr, limbs),
+                        _ => unreachable!("only element-wise ops are offloaded"),
+                    };
+                    if last_exec != Executor::Pim {
+                        now += TRANSITION_NS;
+                        report.transitions += 1;
+                        last_exec = Executor::Pim;
+                    }
+                    pim_batch.push((
+                        PimKernelSpec {
+                            instr,
+                            limbs,
+                            n: n as usize,
+                        },
+                        op.label,
+                    ));
+                }
+                Executor::Gpu => {
+                    if last_exec != Executor::Gpu {
+                        // Drain the queued PIM kernels first.
+                        if let Some(pim) = self.pim {
+                            flush_pim(&mut pim_batch, &mut now, &mut report, pim);
+                        }
+                        now += TRANSITION_NS;
+                        report.transitions += 1;
+                        last_exec = Executor::Gpu;
+                    }
+                    let (class_label, class) = Self::kernel_class(&op.kind);
+                    let desc = self.describe_gpu_op(op, n, class, &mut cache);
+                    let cost = self.gpu.cost(&desc);
+                    report.gpu_dram_bytes += desc.dram_bytes();
+                    report.energy_j += cost.energy_j;
+                    let start = now;
+                    now += cost.time_ns;
+                    report.push_segment(GanttSegment {
+                        start_ns: start,
+                        end_ns: now,
+                        executor: Executor::Gpu,
+                        class: class_label,
+                        label: op.label,
+                    });
+                }
+            }
+        }
+        if let Some(pim) = self.pim {
+            flush_pim(&mut pim_batch, &mut now, &mut report, pim);
+        }
+        report.total_ns = now;
+        report
+    }
+
+    fn describe_gpu_op(
+        &self,
+        op: &Op,
+        n: u64,
+        class: KernelClass,
+        cache: &mut L2Cache,
+    ) -> KernelDesc {
+        let int_ops = self.int_ops(&op.kind, n);
+        let mut dram_read = 0u64;
+        let mut dram_write = 0u64;
+        let mut l2 = 0u64;
+        match op.kind {
+            OpKind::WriteBack { bytes } => {
+                // Explicit flush: all bytes go to DRAM (§V-C).
+                dram_write = bytes;
+            }
+            _ => {
+                for r in &op.reads {
+                    let missed = cache.read(r.id, r.bytes as usize);
+                    dram_read += missed;
+                    l2 += r.bytes - missed;
+                }
+                for w in &op.writes {
+                    if w.bytes as usize > self.gpu.config().l2_bytes {
+                        dram_write += w.bytes;
+                    } else {
+                        cache.write(w.id, w.bytes as usize);
+                        l2 += w.bytes;
+                    }
+                }
+            }
+        }
+        let mut k = KernelDesc::new(class, int_ops, dram_read, dram_write);
+        k.l2_bytes = l2;
+        k
+    }
+}
+
+/// Estimates the DRAM footprint of a sequence: peak live data
+/// (evk + plaintext + ciphertext objects), used for the OoM checks of
+/// §VIII-B.
+pub fn footprint_bytes(seq: &OpSequence) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    let mut total = 0u64;
+    for op in &seq.ops {
+        for r in op.reads.iter().chain(op.writes.iter()) {
+            if matches!(r.kind, ObjKind::Evk | ObjKind::Plaintext | ObjKind::Ciphertext)
+                && seen.insert(r.id)
+            {
+                total += r.bytes;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{Builder, LinTransStyle};
+    use crate::params::ParamSet;
+    use crate::passes::{fuse, offload, FusionConfig, OffloadPolicy};
+    use gpu::config::{GpuConfig, LibraryProfile};
+
+    fn gpu_model() -> GpuModel {
+        GpuModel::new(GpuConfig::a100_80gb(), LibraryProfile::cheddar())
+    }
+
+    fn lt(reorder: bool) -> OpSequence {
+        let mut b = Builder::new(ParamSet::paper_default());
+        b.lintrans(54, 8, LinTransStyle::Hoisting, reorder)
+    }
+
+    #[test]
+    fn gpu_only_schedule_produces_breakdown() {
+        let m = gpu_model();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::gpu_baseline());
+        let r = Scheduler::gpu_only(&m).run(&seq);
+        assert!(r.total_ns > 0.0);
+        assert!(r.energy_j > 0.0);
+        assert!(r.fraction("element-wise") > 0.1, "EW must be visible");
+        assert!(r.fraction("(I)NTT") > 0.05);
+        assert_eq!(r.transitions, 0);
+        assert!(r.pim_dram_bytes == 0);
+    }
+
+    #[test]
+    fn pim_schedule_beats_gpu_only() {
+        // The headline claim, at linear-transform granularity (Fig. 4a).
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+
+        let mut gpu_seq = lt(true);
+        fuse(&mut gpu_seq, &FusionConfig::gpu_baseline());
+        let gpu_r = Scheduler::gpu_only(&m).run(&gpu_seq);
+
+        let mut pim_seq = lt(true);
+        fuse(&mut pim_seq, &FusionConfig::full());
+        offload(&mut pim_seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let pim_r =
+            Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned).run(&pim_seq);
+
+        assert!(
+            pim_r.total_ns < gpu_r.total_ns,
+            "PIM {:.1} µs must beat GPU-only {:.1} µs",
+            pim_r.total_ns / 1e3,
+            gpu_r.total_ns / 1e3
+        );
+        assert!(
+            pim_r.gpu_dram_bytes < gpu_r.gpu_dram_bytes / 2,
+            "PIM must slash GPU-side DRAM traffic (§V-D): {} vs {}",
+            pim_r.gpu_dram_bytes,
+            gpu_r.gpu_dram_bytes
+        );
+        assert!(pim_r.transitions >= 2);
+        assert!(pim_r.energy_j < gpu_r.energy_j, "energy must also improve");
+    }
+
+    #[test]
+    fn transitions_are_counted_and_bounded() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::full());
+        offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned).run(&seq);
+        // Transition overhead must stay negligible (§V-C).
+        let overhead = r.transitions as f64 * TRANSITION_NS;
+        assert!(overhead < 0.25 * r.total_ns, "transitions must be minor");
+    }
+
+    #[test]
+    fn footprint_counts_unique_objects() {
+        let seq = lt(true);
+        let fp = footprint_bytes(&seq);
+        // 7 evks of ~2·4·(54+14) limbs minimum.
+        let evk = ParamSet::paper_default().evk_bytes() as u64;
+        assert!(fp > 7 * evk / 2, "footprint must include the evks");
+    }
+
+    #[test]
+    fn writeback_bytes_hit_dram() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut with_wb = lt(true);
+        fuse(&mut with_wb, &FusionConfig::full());
+        let stats = offload(&mut with_wb, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned).run(&with_wb);
+        assert!(r.gpu_dram_bytes >= stats.writeback_bytes);
+    }
+}

@@ -1,0 +1,231 @@
+//! The DRAM bank state machine.
+//!
+//! A bank is either idle (all rows precharged) or has one row open in its
+//! I/O sense amplifiers (IOSAs, §II-D). Commands are validated against the
+//! timing guards of [`crate::config::DramTiming`]; violations panic, which
+//! turns scheduling bugs in the PIM execution engine into test failures
+//! rather than silently optimistic timings.
+
+use crate::config::DramTiming;
+
+/// Bank state: idle or a specific open row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed.
+    Idle,
+    /// `row` is latched in the IOSAs.
+    Active {
+        /// The open row index.
+        row: u32,
+    },
+}
+
+/// A single DRAM bank with its timing bookkeeping (times in ns).
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    act_at: f64,
+    last_col_end: f64,
+    last_write_end: f64,
+    pre_ready_at: f64,
+    acts: u64,
+    chunk_reads: u64,
+    chunk_writes: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A fresh idle bank.
+    pub fn new() -> Self {
+        Self {
+            state: BankState::Idle,
+            act_at: f64::NEG_INFINITY,
+            last_col_end: 0.0,
+            last_write_end: f64::NEG_INFINITY,
+            pre_ready_at: 0.0,
+            acts: 0,
+            chunk_reads: 0,
+            chunk_writes: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Number of ACTs issued.
+    pub fn acts(&self) -> u64 {
+        self.acts
+    }
+
+    /// Number of chunk reads served.
+    pub fn chunk_reads(&self) -> u64 {
+        self.chunk_reads
+    }
+
+    /// Number of chunk writes served.
+    pub fn chunk_writes(&self) -> u64 {
+        self.chunk_writes
+    }
+
+    /// Activates `row` at time `now`, returning the time when column
+    /// commands may start (`now + tRCD`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is not idle or the precharge has not completed.
+    pub fn activate(&mut self, t: &DramTiming, now: f64, row: u32) -> f64 {
+        assert_eq!(self.state, BankState::Idle, "ACT requires an idle bank");
+        assert!(
+            now + 1e-9 >= self.pre_ready_at,
+            "ACT at {now} before precharge completes at {}",
+            self.pre_ready_at
+        );
+        self.state = BankState::Active { row };
+        self.act_at = now;
+        self.acts += 1;
+        now + t.t_rcd
+    }
+
+    /// Performs `chunks` consecutive column reads starting no earlier than
+    /// `now`; returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open or the row-activation latency has not
+    /// elapsed.
+    pub fn read(&mut self, t: &DramTiming, now: f64, chunks: u64) -> f64 {
+        assert!(
+            matches!(self.state, BankState::Active { .. }),
+            "RD requires an open row"
+        );
+        let start = now.max(self.act_at + t.t_rcd).max(self.last_col_end);
+        let end = start + chunks as f64 * t.t_ccd;
+        self.last_col_end = end;
+        self.chunk_reads += chunks;
+        end
+    }
+
+    /// Performs `chunks` consecutive column writes; returns completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open or the row-activation latency has not
+    /// elapsed.
+    pub fn write(&mut self, t: &DramTiming, now: f64, chunks: u64) -> f64 {
+        assert!(
+            matches!(self.state, BankState::Active { .. }),
+            "WR requires an open row"
+        );
+        let start = now.max(self.act_at + t.t_rcd).max(self.last_col_end);
+        let end = start + chunks as f64 * t.t_ccd;
+        self.last_col_end = end;
+        self.last_write_end = end;
+        self.chunk_writes += chunks;
+        end
+    }
+
+    /// Precharges the open row; returns the time when the next ACT may
+    /// issue (honouring tRAS, tRTP, and tWR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is idle.
+    pub fn precharge(&mut self, t: &DramTiming, now: f64) -> f64 {
+        assert!(
+            matches!(self.state, BankState::Active { .. }),
+            "PRE requires an open row"
+        );
+        let earliest = (self.act_at + t.t_ras)
+            .max(self.last_col_end + t.t_rtp)
+            .max(self.last_write_end + t.t_wr);
+        let start = now.max(earliest);
+        self.state = BankState::Idle;
+        self.pre_ready_at = start + t.t_rp;
+        self.pre_ready_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::hbm2e()
+    }
+
+    #[test]
+    fn act_read_pre_cycle() {
+        let timing = t();
+        let mut b = Bank::new();
+        let col_ready = b.activate(&timing, 0.0, 7);
+        assert_eq!(col_ready, timing.t_rcd);
+        assert_eq!(b.state(), BankState::Active { row: 7 });
+        let end = b.read(&timing, col_ready, 8);
+        assert_eq!(end, timing.t_rcd + 8.0 * timing.t_ccd);
+        let ready = b.precharge(&timing, end);
+        // PRE start is bounded below by tRAS and read-to-precharge.
+        assert!(ready >= timing.t_ras + timing.t_rp);
+        assert_eq!(b.state(), BankState::Idle);
+        assert_eq!(b.acts(), 1);
+        assert_eq!(b.chunk_reads(), 8);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let timing = t();
+        let mut b = Bank::new();
+        let c = b.activate(&timing, 0.0, 0);
+        let wend = b.write(&timing, c, 4);
+        let ready = b.precharge(&timing, wend);
+        assert!(
+            ready >= wend + timing.t_wr + timing.t_rp,
+            "write recovery must gate the precharge"
+        );
+        assert_eq!(b.chunk_writes(), 4);
+    }
+
+    #[test]
+    fn consecutive_reads_respect_ccd() {
+        let timing = t();
+        let mut b = Bank::new();
+        let c = b.activate(&timing, 0.0, 0);
+        let e1 = b.read(&timing, c, 1);
+        let e2 = b.read(&timing, c, 1); // issued "early": must queue after e1
+        assert_eq!(e2, e1 + timing.t_ccd);
+    }
+
+    #[test]
+    #[should_panic(expected = "ACT requires an idle bank")]
+    fn double_activate_rejected() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.activate(&timing, 0.0, 0);
+        b.activate(&timing, 100.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "RD requires an open row")]
+    fn read_without_act_rejected() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.read(&timing, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before precharge completes")]
+    fn act_during_precharge_rejected() {
+        let timing = t();
+        let mut b = Bank::new();
+        let c = b.activate(&timing, 0.0, 0);
+        let e = b.read(&timing, c, 1);
+        let ready = b.precharge(&timing, e);
+        b.activate(&timing, ready - 5.0, 1);
+    }
+}

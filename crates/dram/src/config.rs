@@ -1,0 +1,242 @@
+//! DRAM configuration: timing, geometry, and energy parameters.
+//!
+//! Values follow public datasheets and the sources the paper cites:
+//! O'Connor et al. (Fine-Grained DRAM, MICRO'17) for energy, JEDEC-class
+//! timing for HBM2E and GDDR6X, and Table III of the paper for the memory
+//! systems of the two evaluated GPUs.
+
+/// Core DRAM timing parameters, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramTiming {
+    /// ACT to column command (row activation latency).
+    pub t_rcd: f64,
+    /// PRE to ACT (precharge latency).
+    pub t_rp: f64,
+    /// Minimum ACT to PRE (row restoration).
+    pub t_ras: f64,
+    /// Column-to-column interval for consecutive 256-bit chunk accesses
+    /// within a bank (long CCD).
+    pub t_ccd: f64,
+    /// Read to precharge.
+    pub t_rtp: f64,
+    /// Write recovery before precharge.
+    pub t_wr: f64,
+}
+
+impl DramTiming {
+    /// Typical HBM2E timing.
+    pub fn hbm2e() -> Self {
+        Self {
+            t_rcd: 14.0,
+            t_rp: 14.0,
+            t_ras: 33.0,
+            t_ccd: 2.0,
+            t_rtp: 5.0,
+            t_wr: 15.0,
+        }
+    }
+
+    /// Typical GDDR6X timing.
+    pub fn gddr6x() -> Self {
+        Self {
+            t_rcd: 14.0,
+            t_rp: 14.0,
+            t_ras: 32.0,
+            t_ccd: 1.5,
+            t_rtp: 4.0,
+            t_wr: 14.0,
+        }
+    }
+
+    /// The full row-switch penalty paid when a lockstep PIM phase moves to a
+    /// different row: PRE + ACT.
+    pub fn row_switch(&self) -> f64 {
+        self.t_rp + self.t_rcd
+    }
+}
+
+/// Geometry of the memory system attached to one GPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Independent dies (HBM: dies across all stacks; GDDR: chips).
+    pub dies: usize,
+    /// Banks per die.
+    pub banks_per_die: usize,
+    /// Row size in bits (8 Kb in HBM-class parts).
+    pub row_bits: usize,
+    /// Column access granularity in bits (256 in the paper, §VI-B).
+    pub chunk_bits: usize,
+    /// Die groups for PIM constant broadcast (§VI-B): A100 groups by stack,
+    /// RTX 4090 groups 4 dies.
+    pub die_groups: usize,
+}
+
+impl DramGeometry {
+    /// Chunks per row.
+    pub fn chunks_per_row(&self) -> usize {
+        self.row_bits / self.chunk_bits
+    }
+
+    /// Total banks in the system.
+    pub fn total_banks(&self) -> usize {
+        self.dies * self.banks_per_die
+    }
+
+    /// Dies per die group.
+    pub fn dies_per_group(&self) -> usize {
+        self.dies / self.die_groups
+    }
+}
+
+/// Energy parameters in picojoules (per event or per bit), following the
+/// fine-grained breakdown of O'Connor et al. that the paper uses (§V-D,
+/// §VII-A): the *distance data travels* determines the per-bit cost, which
+/// is exactly why PIM saves energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramEnergyParams {
+    /// One ACT+PRE pair (whole row), pJ.
+    pub act_pre_pj: f64,
+    /// DRAM cell-array access, pJ/bit.
+    pub array_pj_per_bit: f64,
+    /// On-die movement from the array to the bank periphery (where a
+    /// near-bank PIM unit sits), pJ/bit.
+    pub nearbank_move_pj_per_bit: f64,
+    /// Movement from the array across the die and TSVs to the HBM logic die
+    /// (where a custom-HBM PIM unit sits), pJ/bit.
+    pub logicdie_move_pj_per_bit: f64,
+    /// Full off-chip transfer to the GPU (die datapath + PHY + bus), pJ/bit.
+    pub offchip_pj_per_bit: f64,
+}
+
+impl DramEnergyParams {
+    /// HBM2E-class energies. Per O'Connor et al., the ~3.9 pJ/bit HBM2
+    /// access cost is dominated by data *movement* (on-die datapath + TSVs
+    /// + interposer I/O); the array access itself is cheap — which is
+    /// precisely the asymmetry PIM exploits (§V-D).
+    pub fn hbm2e() -> Self {
+        Self {
+            act_pre_pj: 909.0, // ~0.11 pJ/bit for an 8Kb row
+            array_pj_per_bit: 0.5,
+            nearbank_move_pj_per_bit: 0.25,
+            logicdie_move_pj_per_bit: 0.9,
+            offchip_pj_per_bit: 3.4,
+        }
+    }
+
+    /// GDDR6X-class energies (long PCB traces make off-chip expensive).
+    pub fn gddr6x() -> Self {
+        Self {
+            act_pre_pj: 909.0,
+            array_pj_per_bit: 0.5,
+            nearbank_move_pj_per_bit: 0.25,
+            logicdie_move_pj_per_bit: 0.9,
+            offchip_pj_per_bit: 7.5,
+        }
+    }
+}
+
+/// A complete DRAM system description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Timing parameters.
+    pub timing: DramTiming,
+    /// Geometry.
+    pub geometry: DramGeometry,
+    /// Energy parameters.
+    pub energy: DramEnergyParams,
+    /// Peak external bandwidth in GB/s (Table III).
+    pub external_bw_gbps: f64,
+    /// Capacity in GiB.
+    pub capacity_gib: usize,
+}
+
+impl DramConfig {
+    /// The A100 80GB memory system: five 8-high HBM2E stacks,
+    /// 1802 GB/s, 64 banks per die (Table III).
+    pub fn a100_hbm2e() -> Self {
+        Self {
+            name: "A100-80GB HBM2E",
+            timing: DramTiming::hbm2e(),
+            geometry: DramGeometry {
+                dies: 40, // 5 stacks × 8-high
+                banks_per_die: 64,
+                row_bits: 8192,
+                chunk_bits: 256,
+                die_groups: 5, // one group per stack
+            },
+            energy: DramEnergyParams::hbm2e(),
+            external_bw_gbps: 1802.0,
+            capacity_gib: 80,
+        }
+    }
+
+    /// The RTX 4090 memory system: 12 GDDR6X dies, 939 GB/s (Table III
+    /// lists the ~1 TB/s class configuration), 32 banks per die.
+    pub fn rtx4090_gddr6x() -> Self {
+        Self {
+            name: "RTX 4090 GDDR6X",
+            timing: DramTiming::gddr6x(),
+            geometry: DramGeometry {
+                dies: 12,
+                banks_per_die: 32,
+                row_bits: 8192,
+                chunk_bits: 256,
+                die_groups: 3, // 4 dies per group (Table III)
+            },
+            energy: DramEnergyParams::gddr6x(),
+            external_bw_gbps: 939.0,
+            capacity_gib: 24,
+        }
+    }
+
+    /// Bytes moved per chunk access.
+    pub fn chunk_bytes(&self) -> usize {
+        self.geometry.chunk_bits / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent_with_table3() {
+        let a = DramConfig::a100_hbm2e();
+        assert_eq!(a.geometry.dies, 40);
+        assert_eq!(a.geometry.banks_per_die, 64);
+        assert_eq!(a.geometry.total_banks(), 2560);
+        assert_eq!(a.geometry.die_groups, 5);
+        assert_eq!(a.geometry.dies_per_group(), 8);
+        assert_eq!(a.capacity_gib, 80);
+
+        let g = DramConfig::rtx4090_gddr6x();
+        assert_eq!(g.geometry.total_banks(), 384);
+        assert_eq!(g.capacity_gib, 24);
+        assert!(g.energy.offchip_pj_per_bit > a.energy.offchip_pj_per_bit);
+    }
+
+    #[test]
+    fn row_geometry() {
+        let a = DramConfig::a100_hbm2e();
+        assert_eq!(a.geometry.chunks_per_row(), 32); // 8Kb / 256b (§VI-B)
+        assert_eq!(a.chunk_bytes(), 32);
+    }
+
+    #[test]
+    fn row_switch_cost() {
+        let t = DramTiming::hbm2e();
+        assert_eq!(t.row_switch(), 28.0);
+    }
+
+    #[test]
+    fn energy_ordering_reflects_distance() {
+        // The central premise of PIM energy savings: cost grows with
+        // distance (near-bank < logic die < off-chip).
+        for e in [DramEnergyParams::hbm2e(), DramEnergyParams::gddr6x()] {
+            assert!(e.nearbank_move_pj_per_bit < e.logicdie_move_pj_per_bit);
+            assert!(e.logicdie_move_pj_per_bit < e.offchip_pj_per_bit);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Energy accounting.
+//!
+//! Accumulates DRAM events into the four distance-based categories of the
+//! paper's energy analysis (§V-D, Fig. 4b): row activation, array access,
+//! on-die movement (to a near-bank unit or to the logic die), and off-chip
+//! I/O. Totals are reported in joules.
+
+use crate::config::DramEnergyParams;
+
+/// Where accessed data is consumed, which determines the movement cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDestination {
+    /// Consumed by a PIM unit adjacent to the bank.
+    NearBank,
+    /// Consumed by a PIM unit on the HBM logic die (via TSVs).
+    LogicDie,
+    /// Transferred off-chip to the GPU.
+    OffChip,
+}
+
+/// A running energy account.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyAccount {
+    /// ACT/PRE pairs.
+    pub acts: u64,
+    /// Bits moved to near-bank consumers.
+    pub nearbank_bits: u64,
+    /// Bits moved to logic-die consumers.
+    pub logicdie_bits: u64,
+    /// Bits moved off-chip.
+    pub offchip_bits: u64,
+}
+
+impl EnergyAccount {
+    /// An empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `acts` ACT/PRE pairs.
+    pub fn add_acts(&mut self, acts: u64) {
+        self.acts += acts;
+    }
+
+    /// Records a data access of `bytes` bytes to the given destination.
+    pub fn add_access(&mut self, bytes: u64, dest: AccessDestination) {
+        let bits = bytes * 8;
+        match dest {
+            AccessDestination::NearBank => self.nearbank_bits += bits,
+            AccessDestination::LogicDie => self.logicdie_bits += bits,
+            AccessDestination::OffChip => self.offchip_bits += bits,
+        }
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        self.acts += other.acts;
+        self.nearbank_bits += other.nearbank_bits;
+        self.logicdie_bits += other.logicdie_bits;
+        self.offchip_bits += other.offchip_bits;
+    }
+
+    /// Total bytes moved (any destination).
+    pub fn total_bytes(&self) -> u64 {
+        (self.nearbank_bits + self.logicdie_bits + self.offchip_bits) / 8
+    }
+
+    /// Total energy in joules for the given parameters.
+    pub fn total_joules(&self, p: &DramEnergyParams) -> f64 {
+        let act = self.acts as f64 * p.act_pre_pj;
+        let near = self.nearbank_bits as f64 * (p.array_pj_per_bit + p.nearbank_move_pj_per_bit);
+        let logic = self.logicdie_bits as f64 * (p.array_pj_per_bit + p.logicdie_move_pj_per_bit);
+        let off = self.offchip_bits as f64 * (p.array_pj_per_bit + p.offchip_pj_per_bit);
+        (act + near + logic + off) * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramEnergyParams;
+
+    #[test]
+    fn accounting_and_totals() {
+        let p = DramEnergyParams::hbm2e();
+        let mut acc = EnergyAccount::new();
+        acc.add_acts(10);
+        acc.add_access(1024, AccessDestination::NearBank);
+        acc.add_access(1024, AccessDestination::OffChip);
+        assert_eq!(acc.total_bytes(), 2048);
+        let j = acc.total_joules(&p);
+        let want = (10.0 * p.act_pre_pj
+            + 8192.0 * (p.array_pj_per_bit + p.nearbank_move_pj_per_bit)
+            + 8192.0 * (p.array_pj_per_bit + p.offchip_pj_per_bit))
+            * 1e-12;
+        assert!((j - want).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pim_access_cheaper_than_offchip() {
+        // Same traffic, different destination: PIM must win (the Fig. 4b
+        // energy argument).
+        let p = DramEnergyParams::hbm2e();
+        let mut pim = EnergyAccount::new();
+        pim.add_access(1 << 30, AccessDestination::NearBank);
+        let mut gpu = EnergyAccount::new();
+        gpu.add_access(1 << 30, AccessDestination::OffChip);
+        let ratio = gpu.total_joules(&p) / pim.total_joules(&p);
+        assert!(ratio > 2.0, "off-chip must cost >2× near-bank, got {ratio}");
+    }
+
+    #[test]
+    fn merge_adds_categories() {
+        let mut a = EnergyAccount::new();
+        a.add_acts(1);
+        a.add_access(32, AccessDestination::LogicDie);
+        let mut b = EnergyAccount::new();
+        b.add_acts(2);
+        b.add_access(64, AccessDestination::LogicDie);
+        a.merge(&b);
+        assert_eq!(a.acts, 3);
+        assert_eq!(a.logicdie_bits, 96 * 8);
+    }
+}

@@ -1,0 +1,234 @@
+//! All-bank lockstep execution: the PIM operating mode.
+//!
+//! During PIM execution, every bank of a die receives the same command
+//! stream (GDDR6-AiM-style all-bank operations, §II-D and §VI). Unlike
+//! regular operation — where bank-level parallelism hides ACT/PRE behind
+//! other banks' transfers on the shared bus — lockstep operation *exposes*
+//! the row-switch latency directly (§VI-B), which is exactly what the
+//! column-partitioning layout then amortizes.
+//!
+//! Because all banks execute identically, simulating a single bank yields
+//! the kernel latency; event counters scale linearly with the bank count.
+
+use crate::bank::Bank;
+use crate::config::DramConfig;
+
+/// A command in a lockstep (per-bank) schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BankCommand {
+    /// Open a row.
+    Act {
+        /// The row to open.
+        row: u32,
+    },
+    /// Close the open row.
+    Pre,
+    /// Stream `chunks` column reads from the open row; the PIM unit
+    /// consumes each chunk as it arrives, at the slower of the column
+    /// cadence and `compute_ns_per_chunk`.
+    Read {
+        /// Number of 256-bit chunks.
+        chunks: u32,
+    },
+    /// Stream `chunks` column writes into the open row.
+    Write {
+        /// Number of 256-bit chunks.
+        chunks: u32,
+    },
+}
+
+/// Result of a lockstep execution on one bank (identical across banks).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LockstepResult {
+    /// Kernel latency in nanoseconds.
+    pub latency_ns: f64,
+    /// ACT/PRE pairs per bank.
+    pub acts_per_bank: u64,
+    /// Chunks read per bank.
+    pub chunk_reads_per_bank: u64,
+    /// Chunks written per bank.
+    pub chunk_writes_per_bank: u64,
+}
+
+impl LockstepResult {
+    /// Bytes touched per bank.
+    pub fn bytes_per_bank(&self, cfg: &DramConfig) -> f64 {
+        (self.chunk_reads_per_bank + self.chunk_writes_per_bank) as f64
+            * cfg.chunk_bytes() as f64
+    }
+}
+
+/// Executes lockstep command schedules against a bank FSM.
+#[derive(Debug)]
+pub struct LockstepEngine<'a> {
+    cfg: &'a DramConfig,
+    /// Effective per-chunk processing time of the attached PIM unit in ns
+    /// (1 / PIM clock for near-bank units; the streaming of chunks cannot
+    /// outpace the consumer).
+    compute_ns_per_chunk: f64,
+}
+
+impl<'a> LockstepEngine<'a> {
+    /// Creates an engine for a DRAM config and PIM consumer cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cadence is not positive.
+    pub fn new(cfg: &'a DramConfig, compute_ns_per_chunk: f64) -> Self {
+        assert!(compute_ns_per_chunk > 0.0, "cadence must be positive");
+        Self {
+            cfg,
+            compute_ns_per_chunk,
+        }
+    }
+
+    /// The effective per-chunk interval: the slower of the DRAM column
+    /// cadence and the PIM unit's consumption rate.
+    pub fn chunk_interval_ns(&self) -> f64 {
+        self.cfg.timing.t_ccd.max(self.compute_ns_per_chunk)
+    }
+
+    /// Executes a lockstep schedule and returns its timing/counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule violates DRAM state rules (e.g. Read with no
+    /// open row), surfacing scheduling bugs.
+    pub fn execute(&self, schedule: &[BankCommand]) -> LockstepResult {
+        let t = &self.cfg.timing;
+        // Column cadence limited by the PIM unit.
+        let mut eff = t.clone();
+        eff.t_ccd = self.chunk_interval_ns();
+        let mut bank = Bank::new();
+        let mut now = 0.0f64;
+        let mut open = false;
+        for cmd in schedule {
+            match *cmd {
+                BankCommand::Act { row } => {
+                    now = bank.activate(&eff, now, row);
+                    open = true;
+                }
+                BankCommand::Pre => {
+                    now = bank.precharge(&eff, now);
+                    open = false;
+                }
+                BankCommand::Read { chunks } => {
+                    now = bank.read(&eff, now, chunks as u64);
+                }
+                BankCommand::Write { chunks } => {
+                    now = bank.write(&eff, now, chunks as u64);
+                }
+            }
+        }
+        if open {
+            now = bank.precharge(&eff, now);
+        }
+        LockstepResult {
+            latency_ns: now,
+            acts_per_bank: bank.acts(),
+            chunk_reads_per_bank: bank.chunk_reads(),
+            chunk_writes_per_bank: bank.chunk_writes(),
+        }
+    }
+}
+
+/// Builds the canonical phase schedule of one Alg. 1-style iteration:
+/// for each `(row, read_chunks, write_chunks)` phase, an ACT, the chunk
+/// accesses, and a PRE.
+pub fn iteration_schedule(phases: &[(u32, u32, u32)]) -> Vec<BankCommand> {
+    let mut out = Vec::with_capacity(phases.len() * 4);
+    for &(row, rd, wr) in phases {
+        out.push(BankCommand::Act { row });
+        if rd > 0 {
+            out.push(BankCommand::Read { chunks: rd });
+        }
+        if wr > 0 {
+            out.push(BankCommand::Write { chunks: wr });
+        }
+        out.push(BankCommand::Pre);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(cfg: &DramConfig) -> LockstepEngine<'_> {
+        LockstepEngine::new(cfg, 2.65) // 378 MHz near-bank unit
+    }
+
+    #[test]
+    fn simple_read_kernel_timing() {
+        let cfg = DramConfig::a100_hbm2e();
+        let e = engine(&cfg);
+        let r = e.execute(&iteration_schedule(&[(0, 8, 0)]));
+        assert_eq!(r.acts_per_bank, 1);
+        assert_eq!(r.chunk_reads_per_bank, 8);
+        // tRCD + 8 chunks + (tRTP-ish) + tRP; at least the streaming time.
+        assert!(r.latency_ns > 8.0 * e.chunk_interval_ns());
+        assert!(r.latency_ns >= cfg.timing.t_ras + cfg.timing.t_rp);
+    }
+
+    #[test]
+    fn amortization_more_chunks_per_act_is_faster_per_chunk() {
+        let cfg = DramConfig::a100_hbm2e();
+        let e = engine(&cfg);
+        // 32 chunks in one row vs 32 chunks across 8 rows (4 each).
+        let amortized = e.execute(&iteration_schedule(&[(0, 32, 0)]));
+        let thrashed = e.execute(&iteration_schedule(
+            &(0..8).map(|r| (r as u32, 4, 0)).collect::<Vec<_>>(),
+        ));
+        assert!(
+            thrashed.latency_ns > 1.5 * amortized.latency_ns,
+            "row thrashing must be clearly slower: {} vs {}",
+            thrashed.latency_ns,
+            amortized.latency_ns
+        );
+        assert_eq!(amortized.chunk_reads_per_bank, thrashed.chunk_reads_per_bank);
+        assert_eq!(thrashed.acts_per_bank, 8);
+    }
+
+    #[test]
+    fn pim_cadence_limits_streaming() {
+        let cfg = DramConfig::a100_hbm2e();
+        let fast_consumer = LockstepEngine::new(&cfg, 0.1);
+        let slow_consumer = LockstepEngine::new(&cfg, 10.0);
+        assert_eq!(fast_consumer.chunk_interval_ns(), cfg.timing.t_ccd);
+        assert_eq!(slow_consumer.chunk_interval_ns(), 10.0);
+        let sched = iteration_schedule(&[(0, 16, 0)]);
+        let f = fast_consumer.execute(&sched);
+        let s = slow_consumer.execute(&sched);
+        assert!(s.latency_ns > f.latency_ns);
+    }
+
+    #[test]
+    fn write_phases_counted() {
+        let cfg = DramConfig::rtx4090_gddr6x();
+        let e = engine(&cfg);
+        let r = e.execute(&iteration_schedule(&[(0, 4, 0), (1, 0, 2)]));
+        assert_eq!(r.acts_per_bank, 2);
+        assert_eq!(r.chunk_reads_per_bank, 4);
+        assert_eq!(r.chunk_writes_per_bank, 2);
+        let bytes = r.bytes_per_bank(&cfg);
+        assert_eq!(bytes, 6.0 * 32.0);
+    }
+
+    #[test]
+    fn open_row_auto_precharged() {
+        let cfg = DramConfig::a100_hbm2e();
+        let e = engine(&cfg);
+        // Schedule without trailing PRE still ends cleanly.
+        let r = e.execute(&[BankCommand::Act { row: 0 }, BankCommand::Read { chunks: 1 }]);
+        assert_eq!(r.acts_per_bank, 1);
+        assert!(r.latency_ns > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RD requires an open row")]
+    fn invalid_schedule_panics() {
+        let cfg = DramConfig::a100_hbm2e();
+        let e = engine(&cfg);
+        e.execute(&[BankCommand::Read { chunks: 1 }]);
+    }
+}

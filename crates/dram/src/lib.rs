@@ -1,0 +1,30 @@
+//! DRAM device timing and energy simulator.
+//!
+//! Models what the Anaheim PIM execution engine needs from a DRAM simulator
+//! (the paper builds on Ramulator 2.0, §VII-A):
+//!
+//! - per-bank command timing (ACT / RD / WR / PRE with tRCD, tRP, tRAS,
+//!   tCCD, tRTP, tWR guards) via a bank state machine;
+//! - an *all-bank lockstep* execution mode, the PIM operating mode of
+//!   GDDR6-AiM-style devices (§II-D): every bank in a die receives the same
+//!   command stream, so simulating one bank's schedule yields the kernel
+//!   latency while counters scale by the bank count;
+//! - energy accounting per O'Connor et al. (MICRO'17) style per-bit access
+//!   energies, split into row activation, array access, on-die data
+//!   movement, and off-chip I/O — the split that produces the paper's
+//!   Fig. 4b energy comparison.
+//!
+//! Presets are provided for the two evaluated memory systems: HBM2E
+//! (A100 80GB, 5 stacks) and GDDR6X (RTX 4090, 12 dies).
+
+pub mod bank;
+pub mod config;
+pub mod energy;
+pub mod engine;
+pub mod regular;
+
+pub use bank::{Bank, BankState};
+pub use config::{DramConfig, DramEnergyParams, DramGeometry, DramTiming};
+pub use energy::EnergyAccount;
+pub use engine::{BankCommand, LockstepEngine, LockstepResult};
+pub use regular::{Access, RegularEngine, StreamResult};

@@ -1,0 +1,190 @@
+//! GPU hardware configurations and FHE-library efficiency profiles.
+
+/// A GPU hardware description (Table III + §III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Peak 32-bit integer multiply-and-add throughput, TOPS (Table III:
+    /// 19.5 for A100, 41.3 for RTX 4090).
+    pub int_tops: f64,
+    /// Off-chip DRAM bandwidth, GB/s.
+    pub dram_bw_gbps: f64,
+    /// L2 cache capacity in bytes (40 MB / 72 MB).
+    pub l2_bytes: usize,
+    /// DRAM capacity in bytes (OoM detection, §VIII-B).
+    pub dram_capacity_bytes: usize,
+    /// Kernel launch / transition overhead in ns (§V-C: "a couple of
+    /// microseconds" covers GPU↔PIM transitions; plain kernel launches are
+    /// cheaper).
+    pub kernel_launch_ns: f64,
+    /// Energy per 32-bit integer op, pJ (dynamic compute energy including
+    /// instruction overheads).
+    pub compute_pj_per_op: f64,
+    /// Static/idle power in watts (leakage + fans + HBM refresh…), charged
+    /// against wall-clock time.
+    pub static_power_w: f64,
+    /// Energy per byte of L2 traffic, pJ/B (cache hits are not free).
+    pub l2_pj_per_byte: f64,
+}
+
+impl GpuConfig {
+    /// NVIDIA A100 80GB (SXM).
+    pub fn a100_80gb() -> Self {
+        Self {
+            name: "A100 80GB",
+            int_tops: 19.5,
+            dram_bw_gbps: 1802.0,
+            l2_bytes: 40 << 20,
+            dram_capacity_bytes: 80 * (1 << 30),
+            kernel_launch_ns: 2000.0,
+            compute_pj_per_op: 1.1,
+            static_power_w: 90.0,
+            l2_pj_per_byte: 10.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 4090.
+    pub fn rtx4090() -> Self {
+        Self {
+            name: "RTX 4090",
+            int_tops: 41.3,
+            dram_bw_gbps: 939.0,
+            l2_bytes: 72 << 20,
+            dram_capacity_bytes: 24 * (1 << 30),
+            kernel_launch_ns: 2000.0,
+            compute_pj_per_op: 0.8,
+            static_power_w: 60.0,
+            l2_pj_per_byte: 8.0,
+        }
+    }
+
+    /// An ASIC-like design point in the style of ARK/BTS (§III-A, §VIII-A):
+    /// hundreds of MB of on-chip cache and tens of TOPS of *modular*
+    /// throughput (expressed here as the equivalent 32-bit integer
+    /// throughput: 25 modmul-TOPS × ~8 int-ops each). Used to reproduce
+    /// the §III-C observation that MinKS beats hoisting only on such
+    /// hardware.
+    pub fn asic_like() -> Self {
+        Self {
+            name: "ASIC-like (512MB cache)",
+            int_tops: 200.0,
+            dram_bw_gbps: 1000.0,
+            l2_bytes: 512 << 20,
+            dram_capacity_bytes: 16 * (1 << 30),
+            kernel_launch_ns: 100.0,
+            compute_pj_per_op: 0.3,
+            static_power_w: 30.0,
+            l2_pj_per_byte: 3.0,
+        }
+    }
+
+    /// A hypothetical A100 with its DRAM bandwidth quadrupled — the naive
+    /// alternative to PIM examined in Fig. 4a (§V-A), which the paper
+    /// rejects as unrealistic on power grounds.
+    pub fn a100_4x_bandwidth() -> Self {
+        let mut c = Self::a100_80gb();
+        c.name = "A100 80GB (4x BW)";
+        c.dram_bw_gbps *= 4.0;
+        c
+    }
+}
+
+/// Per-kernel-class efficiency factors for a GPU FHE library: the fraction
+/// of the roofline bound the library actually achieves.
+///
+/// Element-wise and automorphism kernels are bandwidth-efficiency factors;
+/// (I)NTT and BConv are compute-efficiency factors. Values are calibrated
+/// to the relative performance the paper reports in §IV-A (Cheddar is
+/// 1.80–1.81× faster than Phantom/100x on (I)NTT and 1.73–1.75× on BConv,
+/// while nobody improves the bandwidth-bound element-wise kernels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LibraryProfile {
+    /// Library name.
+    pub name: &'static str,
+    /// Compute efficiency of (I)NTT kernels.
+    pub ntt_eff: f64,
+    /// Compute efficiency of BConv kernels.
+    pub bconv_eff: f64,
+    /// Bandwidth efficiency of element-wise kernels.
+    pub elementwise_eff: f64,
+    /// Bandwidth efficiency of automorphism kernels (gather patterns).
+    pub automorphism_eff: f64,
+}
+
+impl LibraryProfile {
+    /// Cheddar [44] — the paper's baseline library.
+    pub fn cheddar() -> Self {
+        Self {
+            name: "Cheddar",
+            ntt_eff: 0.58,
+            bconv_eff: 0.52,
+            elementwise_eff: 0.88,
+            automorphism_eff: 0.75,
+        }
+    }
+
+    /// 100x [38].
+    pub fn hundredx() -> Self {
+        Self {
+            name: "100x",
+            ntt_eff: 0.58 / 1.81,
+            bconv_eff: 0.52 / 1.75,
+            elementwise_eff: 0.86,
+            automorphism_eff: 0.72,
+        }
+    }
+
+    /// Phantom [77].
+    pub fn phantom() -> Self {
+        Self {
+            name: "Phantom",
+            ntt_eff: 0.58 / 1.80,
+            bconv_eff: 0.52 / 1.73,
+            elementwise_eff: 0.84,
+            automorphism_eff: 0.70,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_throughput_ratio() {
+        let a = GpuConfig::a100_80gb();
+        let g = GpuConfig::rtx4090();
+        // §IV-D: the 4090 has 2.1× the integer throughput of the A100.
+        assert!((g.int_tops / a.int_tops - 2.118).abs() < 0.01);
+        // …but roughly half the bandwidth.
+        assert!(g.dram_bw_gbps < a.dram_bw_gbps);
+        assert!(g.l2_bytes > a.l2_bytes);
+    }
+
+    #[test]
+    fn evk_does_not_fit_in_l2() {
+        // §III-A D1: an evk (136 MB at paper parameters) exceeds both L2s.
+        let evk_bytes = 136 << 20;
+        assert!(GpuConfig::a100_80gb().l2_bytes < evk_bytes);
+        assert!(GpuConfig::rtx4090().l2_bytes < evk_bytes);
+    }
+
+    #[test]
+    fn cheddar_is_fastest_on_compute_kernels() {
+        let c = LibraryProfile::cheddar();
+        let h = LibraryProfile::hundredx();
+        let p = LibraryProfile::phantom();
+        assert!(c.ntt_eff > h.ntt_eff && c.ntt_eff > p.ntt_eff);
+        // Element-wise kernels are already near the bandwidth bound for
+        // everyone (§IV-D: "Cheddar also failed to improve them").
+        assert!((c.elementwise_eff - h.elementwise_eff).abs() < 0.05);
+    }
+
+    #[test]
+    fn quadrupled_bandwidth_config() {
+        let x = GpuConfig::a100_4x_bandwidth();
+        assert_eq!(x.dram_bw_gbps, 4.0 * 1802.0);
+        assert_eq!(x.int_tops, 19.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! GPU kernel descriptors.
+//!
+//! A kernel is characterized by its class (which selects the library
+//! efficiency factor and the roofline side it usually lands on), its
+//! integer-op count, and its DRAM traffic after L2 filtering.
+
+/// Kernel classes, matching the paper's breakdown categories
+/// (Figs. 2, 3, 10): (I)NTT, BConv, element-wise, automorphism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Forward or inverse NTT (compute-bound).
+    Ntt,
+    /// Basis conversion matrix product (compute-bound).
+    BConv,
+    /// Element-wise modular arithmetic (bandwidth-bound, < 2 ops/byte).
+    ElementWise,
+    /// Automorphism data permutation (bandwidth-bound gather).
+    Automorphism,
+    /// Explicit DRAM write-back inserted for PIM coherence (§V-C).
+    WriteBack,
+}
+
+impl KernelClass {
+    /// Display label used in breakdown tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelClass::Ntt => "(I)NTT",
+            KernelClass::BConv => "BConv",
+            KernelClass::ElementWise => "element-wise",
+            KernelClass::Automorphism => "automorphism",
+            KernelClass::WriteBack => "write-back",
+        }
+    }
+}
+
+/// A fully characterized GPU kernel instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel class.
+    pub class: KernelClass,
+    /// 32-bit integer operations executed.
+    pub int_ops: u64,
+    /// Bytes read from DRAM (post-L2).
+    pub dram_read: u64,
+    /// Bytes written to DRAM.
+    pub dram_write: u64,
+    /// Bytes served from L2 (for energy accounting).
+    pub l2_bytes: u64,
+}
+
+impl KernelDesc {
+    /// A kernel with all traffic going to DRAM (no reuse).
+    pub fn new(class: KernelClass, int_ops: u64, dram_read: u64, dram_write: u64) -> Self {
+        Self {
+            class,
+            int_ops,
+            dram_read,
+            dram_write,
+            l2_bytes: 0,
+        }
+    }
+
+    /// Total DRAM bytes moved.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read + self.dram_write
+    }
+
+    /// Arithmetic intensity in ops per DRAM byte.
+    pub fn intensity(&self) -> f64 {
+        if self.dram_bytes() == 0 {
+            f64::INFINITY
+        } else {
+            self.int_ops as f64 / self.dram_bytes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_computation() {
+        let k = KernelDesc::new(KernelClass::ElementWise, 100, 60, 40);
+        assert_eq!(k.dram_bytes(), 100);
+        assert!((k.intensity() - 1.0).abs() < 1e-12);
+        let pure = KernelDesc::new(KernelClass::Ntt, 1000, 0, 0);
+        assert!(pure.intensity().is_infinite());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(KernelClass::Ntt.label(), "(I)NTT");
+        assert_eq!(KernelClass::ElementWise.label(), "element-wise");
+    }
+}

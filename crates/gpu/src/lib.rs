@@ -1,0 +1,29 @@
+//! Analytical GPU performance and energy model.
+//!
+//! The paper measures real GPUs (A100 80GB, RTX 4090) running the Cheddar
+//! library; this reproduction substitutes a calibrated roofline model
+//! (see DESIGN.md): each kernel is characterized by its integer-op count
+//! and its DRAM traffic, and
+//!
+//! `time = max(ops / (peak_tops · efficiency), bytes / bandwidth) + launch`.
+//!
+//! The paper's own cross-GPU evidence justifies the form: (I)NTT and BConv
+//! scale with integer throughput (compute-bound), element-wise ops pin the
+//! DRAM bandwidth at < 2 ops/byte of arithmetic intensity (§IV-D).
+//!
+//! An object-granularity LRU model of the L2 cache converts ideal kernel
+//! footprints into DRAM traffic (§III-A, difference D1: 40–72 MB of L2
+//! cannot hold a 136 MB evk, so evks always stream from DRAM).
+//!
+//! Per-library *efficiency profiles* (Cheddar / Phantom / 100x) reproduce
+//! the relative kernel speeds of Fig. 2a.
+
+pub mod cache;
+pub mod config;
+pub mod kernel;
+pub mod model;
+
+pub use cache::L2Cache;
+pub use config::{GpuConfig, LibraryProfile};
+pub use kernel::{KernelClass, KernelDesc};
+pub use model::{GpuModel, KernelCost};

@@ -1,0 +1,223 @@
+//! The roofline timing and energy model.
+
+use crate::config::{GpuConfig, LibraryProfile};
+use crate::kernel::{KernelClass, KernelDesc};
+
+/// Cost of one kernel under the model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelCost {
+    /// Kernel time in nanoseconds.
+    pub time_ns: f64,
+    /// Energy in joules (compute + memory + static share).
+    pub energy_j: f64,
+    /// True if the bandwidth side of the roofline bound the kernel.
+    pub bandwidth_bound: bool,
+}
+
+impl KernelCost {
+    /// Accumulates another kernel's cost.
+    pub fn accumulate(&mut self, other: &KernelCost) {
+        self.time_ns += other.time_ns;
+        self.energy_j += other.energy_j;
+        self.bandwidth_bound = self.bandwidth_bound || other.bandwidth_bound;
+    }
+}
+
+/// GPU roofline model bound to a hardware config and library profile.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    cfg: GpuConfig,
+    lib: LibraryProfile,
+}
+
+impl GpuModel {
+    /// Binds hardware and library.
+    pub fn new(cfg: GpuConfig, lib: LibraryProfile) -> Self {
+        Self { cfg, lib }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The library profile.
+    pub fn library(&self) -> &LibraryProfile {
+        &self.lib
+    }
+
+    fn efficiencies(&self, class: KernelClass) -> (f64, f64) {
+        // (compute efficiency, bandwidth efficiency)
+        match class {
+            KernelClass::Ntt => (self.lib.ntt_eff, 0.85),
+            KernelClass::BConv => (self.lib.bconv_eff, 0.85),
+            KernelClass::ElementWise => (0.7, self.lib.elementwise_eff),
+            KernelClass::Automorphism => (0.7, self.lib.automorphism_eff),
+            KernelClass::WriteBack => (1.0, 0.9),
+        }
+    }
+
+    /// Evaluates one kernel.
+    pub fn cost(&self, k: &KernelDesc) -> KernelCost {
+        let (ce, be) = self.efficiencies(k.class);
+        let compute_ns = k.int_ops as f64 / (self.cfg.int_tops * 1e12 * ce) * 1e9;
+        let mem_ns = k.dram_bytes() as f64 / (self.cfg.dram_bw_gbps * 1e9 * be) * 1e9;
+        // Coherence write-backs are extra stores *inside* the producing
+        // kernel (§V-C), not separate launches.
+        let launch = if k.class == KernelClass::WriteBack {
+            0.0
+        } else {
+            self.cfg.kernel_launch_ns
+        };
+        let time_ns = compute_ns.max(mem_ns) + launch;
+        let energy_j = k.int_ops as f64 * self.cfg.compute_pj_per_op * 1e-12
+            + k.dram_bytes() as f64 * self.dram_pj_per_byte() * 1e-12
+            + k.l2_bytes as f64 * self.cfg.l2_pj_per_byte * 1e-12
+            + time_ns * 1e-9 * self.cfg.static_power_w;
+        KernelCost {
+            time_ns,
+            energy_j,
+            bandwidth_bound: mem_ns > compute_ns,
+        }
+    }
+
+    /// Effective DRAM energy per byte for this GPU class (off-chip
+    /// transfer; HBM vs GDDR difference is folded into the constant).
+    pub fn dram_pj_per_byte(&self) -> f64 {
+        // ≈ (array + off-chip I/O) per bit × 8, matching the dram crate's
+        // HBM2E/GDDR6X parameters.
+        if self.cfg.dram_bw_gbps > 1200.0 {
+            8.0 * (0.5 + 3.4) // HBM2E-class
+        } else {
+            8.0 * (0.5 + 7.5) // GDDR6X-class
+        }
+    }
+
+    /// The roofline ridge point for a kernel class: the arithmetic
+    /// intensity (int-ops per DRAM byte) at which the kernel transitions
+    /// from bandwidth-bound to compute-bound. Element-wise FHE kernels sit
+    /// at < 2 ops/byte — far left of the A100's ~8 ops/byte ridge — which
+    /// is the paper's §IV-D diagnosis in one number.
+    pub fn ridge_point(&self, class: KernelClass) -> f64 {
+        let (ce, be) = self.efficiencies(class);
+        (self.cfg.int_tops * 1e12 * ce) / (self.cfg.dram_bw_gbps * 1e9 * be)
+    }
+
+    /// Evaluates a kernel sequence (stream-ordered, §V-C).
+    pub fn cost_sequence(&self, ks: &[KernelDesc]) -> KernelCost {
+        let mut total = KernelCost::default();
+        for k in ks {
+            total.accumulate(&self.cost(k));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GpuModel {
+        GpuModel::new(GpuConfig::a100_80gb(), LibraryProfile::cheddar())
+    }
+
+    #[test]
+    fn elementwise_is_bandwidth_bound() {
+        // An element-wise op at < 2 ops/byte (§IV-D).
+        let m = model();
+        let bytes = 100 << 20;
+        let k = KernelDesc::new(KernelClass::ElementWise, bytes as u64, bytes / 2, bytes / 2);
+        let c = m.cost(&k);
+        assert!(c.bandwidth_bound, "element-wise must hit the memory wall");
+    }
+
+    /// Builds an NTT kernel the way the IR layer does after L2 filtering:
+    /// a 14 MB polynomial fits the 40 MB L2, so the transform's traffic is
+    /// served on-chip and only the butterfly compute remains
+    /// ((N/2)·log N butterflies × ~10 int-ops: one modmul ≈ 8 ops plus the
+    /// add/sub pair, §III-A D2).
+    fn cached_ntt(n: u64, limbs: u64) -> KernelDesc {
+        let ops = n / 2 * 16 * 10 * limbs;
+        let mut k = KernelDesc::new(KernelClass::Ntt, ops, 0, 0);
+        k.l2_bytes = 2 * 4 * n * limbs;
+        k
+    }
+
+    #[test]
+    fn ntt_is_compute_bound_at_scale() {
+        let m = model();
+        let c = m.cost(&cached_ntt(1 << 16, 54));
+        assert!(!c.bandwidth_bound, "NTT must be compute-bound");
+    }
+
+    #[test]
+    fn faster_gpu_helps_compute_not_bandwidth() {
+        // §IV-D: the 4090 speeds up NTT ~2× but element-wise gets *slower*
+        // (it has less bandwidth than the A100).
+        let a = GpuModel::new(GpuConfig::a100_80gb(), LibraryProfile::cheddar());
+        let g = GpuModel::new(GpuConfig::rtx4090(), LibraryProfile::cheddar());
+        let n: u64 = 1 << 16;
+        let ntt = cached_ntt(n, 54);
+        let ew = KernelDesc::new(KernelClass::ElementWise, 54 * n, 3 * 4 * n * 54, 4 * n * 54);
+        let ntt_speedup = a.cost(&ntt).time_ns / g.cost(&ntt).time_ns;
+        assert!(
+            (1.6..2.5).contains(&ntt_speedup),
+            "4090 NTT speedup ≈ 2×, got {ntt_speedup:.2}"
+        );
+        assert!(
+            g.cost(&ew).time_ns > a.cost(&ew).time_ns,
+            "element-wise follows bandwidth, and the 4090 has less"
+        );
+    }
+
+    #[test]
+    fn library_profiles_order_ntt_times() {
+        let ntt = cached_ntt(1 << 16, 54);
+        let t = |lib: LibraryProfile| {
+            GpuModel::new(GpuConfig::a100_80gb(), lib).cost(&ntt).time_ns
+        };
+        let cheddar = t(LibraryProfile::cheddar());
+        let hundredx = t(LibraryProfile::hundredx());
+        let phantom = t(LibraryProfile::phantom());
+        assert!(cheddar < hundredx && cheddar < phantom);
+        let ratio = hundredx / cheddar;
+        assert!(
+            (1.6..2.0).contains(&ratio),
+            "Fig. 2a: Cheddar ≈1.8× faster NTT, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn ridge_point_diagnoses_the_memory_wall() {
+        // §IV-D: element-wise ops at < 2 ops/byte sit far below the ridge.
+        let a = GpuModel::new(GpuConfig::a100_80gb(), LibraryProfile::cheddar());
+        let ridge = a.ridge_point(KernelClass::ElementWise);
+        assert!(
+            ridge > 4.0,
+            "element-wise intensity (<2) must be well below the ridge {ridge:.1}"
+        );
+        // The 4090's ridge is much higher (more TOPS, less bandwidth): even
+        // harder for element-wise ops.
+        let g = GpuModel::new(GpuConfig::rtx4090(), LibraryProfile::cheddar());
+        assert!(g.ridge_point(KernelClass::ElementWise) > 2.0 * ridge);
+    }
+
+    #[test]
+    fn energy_includes_all_terms() {
+        let m = model();
+        let k = KernelDesc::new(KernelClass::ElementWise, 1 << 20, 1 << 20, 1 << 20);
+        let c = m.cost(&k);
+        // Lower bound: just the DRAM traffic energy.
+        let dram_only = (2u64 << 20) as f64 * m.dram_pj_per_byte() * 1e-12;
+        assert!(c.energy_j > dram_only);
+    }
+
+    #[test]
+    fn sequence_accumulates() {
+        let m = model();
+        let k = KernelDesc::new(KernelClass::ElementWise, 1000, 1000, 0);
+        let seq = m.cost_sequence(&[k.clone(), k.clone()]);
+        let single = m.cost(&k);
+        assert!((seq.time_ns - 2.0 * single.time_ns).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,351 @@
+//! Functional execution of Alg. 1 over *simulated bank contents*: the end-
+//! to-end check that the column-partitioning addressing (row groups ×
+//! column groups), the chunked buffer management (`G = ⌊B/6⌋`), and the
+//! Montgomery MMAC datapath together compute exactly the fused KeyMult
+//! inner product.
+//!
+//! The timing model in [`crate::exec`] prices this execution; this module
+//! proves the *data* ends up right.
+
+use crate::layout::{PolyGroup, PolyGroupAllocator};
+use crate::mmac::MontgomeryCtx;
+
+/// Elements per 256-bit chunk (8 × 32-bit words).
+pub const ELEMS_PER_CHUNK: usize = 8;
+
+/// One bank's cell array: `rows × chunks_per_row` chunks of 8 words.
+#[derive(Debug, Clone)]
+pub struct SimulatedBank {
+    chunks_per_row: usize,
+    rows: Vec<Vec<[u32; ELEMS_PER_CHUNK]>>,
+}
+
+impl SimulatedBank {
+    /// An all-zero bank.
+    pub fn new(rows: usize, chunks_per_row: usize) -> Self {
+        Self {
+            chunks_per_row,
+            rows: vec![vec![[0; ELEMS_PER_CHUNK]; chunks_per_row]; rows],
+        }
+    }
+
+    /// Writes polynomial data into its PolyGroup location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data does not fill exactly `chunks_per_poly` chunks.
+    pub fn store_poly(&mut self, g: &PolyGroup, poly: usize, data: &[u32]) {
+        assert_eq!(
+            data.len(),
+            g.chunks_per_poly * ELEMS_PER_CHUNK,
+            "data must fill the allocation"
+        );
+        for (chunk_idx, chunk) in data.chunks(ELEMS_PER_CHUNK).enumerate() {
+            let row = g.row_of(poly, chunk_idx);
+            let col = g.col_of(poly, chunk_idx);
+            assert!(col < self.chunks_per_row, "column out of row bounds");
+            self.rows[row][col].copy_from_slice(chunk);
+        }
+    }
+
+    /// Reads one chunk.
+    pub fn load_chunk(&self, g: &PolyGroup, poly: usize, chunk: usize) -> [u32; ELEMS_PER_CHUNK] {
+        self.rows[g.row_of(poly, chunk)][g.col_of(poly, chunk)]
+    }
+
+    /// Writes one chunk.
+    pub fn store_chunk(
+        &mut self,
+        g: &PolyGroup,
+        poly: usize,
+        chunk: usize,
+        data: [u32; ELEMS_PER_CHUNK],
+    ) {
+        let row = g.row_of(poly, chunk);
+        let col = g.col_of(poly, chunk);
+        self.rows[row][col] = data;
+    }
+
+    /// Reads a full polynomial back out.
+    pub fn load_poly(&self, g: &PolyGroup, poly: usize) -> Vec<u32> {
+        (0..g.chunks_per_poly)
+            .flat_map(|c| self.load_chunk(g, poly, c))
+            .collect()
+    }
+}
+
+/// Executes `PAccum⟨K⟩` per Alg. 1 on simulated bank contents:
+/// `x = Σ a_k·p_k`, `y = Σ b_k·p_k`.
+///
+/// `pg_p` holds `p_0..p_{K-1}`; `pg_ab` holds the interleaved pairs
+/// `(a_0, b_0), …` as polynomials `2k` (a) and `2k+1` (b); `pg_out`
+/// receives `x` (poly 0) and `y` (poly 1). The data buffer holds `B`
+/// chunk-entries, giving chunk granularity `G = ⌊B/(K+2)⌋` (Alg. 1 line 1).
+///
+/// # Panics
+///
+/// Panics if the buffer is too small (`G = 0`) or group shapes disagree.
+pub fn paccum_alg1(
+    bank: &mut SimulatedBank,
+    mont: &MontgomeryCtx,
+    k: usize,
+    buffer_entries: usize,
+    pg_p: &PolyGroup,
+    pg_ab: &PolyGroup,
+    pg_out: &PolyGroup,
+) {
+    let g = buffer_entries / (k + 2);
+    assert!(g >= 1, "PAccum<{k}> unsupported with B = {buffer_entries}");
+    let c = pg_p.chunks_per_poly;
+    assert_eq!(pg_ab.chunks_per_poly, c, "group shapes must match");
+    assert_eq!(pg_out.chunks_per_poly, c, "group shapes must match");
+
+    // The data buffer: (k + 2) logical slots of G chunks each
+    // (p_0..p_{k-1}, x, y), exactly as Alg. 1 lays it out.
+    let mut buf = vec![[0u32; ELEMS_PER_CHUNK]; buffer_entries.max((k + 2) * g)];
+
+    let mut done = 0usize;
+    while done < c {
+        let g_now = g.min(c - done);
+        // (1) ACT the PolyGroup0 row(s); load G chunks of each p_k.
+        for kk in 0..k {
+            for j in 0..g_now {
+                buf[kk * g + j] = bank.load_chunk(pg_p, kk, done + j);
+            }
+        }
+        // Clear the accumulator slots.
+        for j in 0..g_now {
+            buf[k * g + j] = [0; ELEMS_PER_CHUNK];
+            buf[(k + 1) * g + j] = [0; ELEMS_PER_CHUNK];
+        }
+        // (2) ACT PolyGroup1; stream a_k, b_k and MMAC immediately.
+        for kk in 0..k {
+            for j in 0..g_now {
+                let a = bank.load_chunk(pg_ab, 2 * kk, done + j);
+                let b = bank.load_chunk(pg_ab, 2 * kk + 1, done + j);
+                let p = buf[kk * g + j];
+                for lane in 0..ELEMS_PER_CHUNK {
+                    buf[k * g + j][lane] =
+                        mont.add(buf[k * g + j][lane], mont.mul(a[lane], p[lane]));
+                    buf[(k + 1) * g + j][lane] =
+                        mont.add(buf[(k + 1) * g + j][lane], mont.mul(b[lane], p[lane]));
+                }
+            }
+        }
+        // (3) ACT PolyGroup2; write back x, y.
+        for j in 0..g_now {
+            bank.store_chunk(pg_out, 0, done + j, buf[k * g + j]);
+            bank.store_chunk(pg_out, 1, done + j, buf[(k + 1) * g + j]);
+        }
+        done += g_now;
+    }
+}
+
+/// Executes `CAccum⟨K⟩` with the optimized buffer discipline (§VI-C):
+/// only the two accumulators stay resident (`G = ⌊B/2⌋`) while the
+/// `a_i, b_i` inputs stream through the MMAC lanes against the broadcast
+/// constants `C_0..C_K` — which is why CAccum keeps working even at
+/// `B = 4` and posts the highest Fig. 9 speedups.
+///
+/// `pg_in` holds the interleaved `(a_1, b_1), …` as polynomials `2k`/`2k+1`;
+/// `pg_out` receives `x` (poly 0) and `y` (poly 1).
+///
+/// # Panics
+///
+/// Panics if the buffer cannot hold two chunk groups or shapes disagree.
+pub fn caccum_optimized(
+    bank: &mut SimulatedBank,
+    mont: &MontgomeryCtx,
+    k: usize,
+    buffer_entries: usize,
+    constants: &[u32],
+    pg_in: &PolyGroup,
+    pg_out: &PolyGroup,
+) {
+    assert_eq!(constants.len(), k + 1, "CAccum<{k}> takes C_0..C_{k}");
+    let g = buffer_entries / 2;
+    assert!(g >= 1, "CAccum<{k}> unsupported with B = {buffer_entries}");
+    let c = pg_in.chunks_per_poly;
+    assert_eq!(pg_out.chunks_per_poly, c, "group shapes must match");
+    let mut buf = vec![[0u32; ELEMS_PER_CHUNK]; 2 * g];
+    let mut done = 0usize;
+    while done < c {
+        let g_now = g.min(c - done);
+        // Initialize accumulators with the broadcast C_0.
+        for j in 0..g_now {
+            buf[j] = [constants[0]; ELEMS_PER_CHUNK];
+            buf[g + j] = [constants[0]; ELEMS_PER_CHUNK];
+        }
+        // Stream inputs, MACing against broadcast constants.
+        for kk in 0..k {
+            let ck = constants[kk + 1];
+            for j in 0..g_now {
+                let a = bank.load_chunk(pg_in, 2 * kk, done + j);
+                let b = bank.load_chunk(pg_in, 2 * kk + 1, done + j);
+                for lane in 0..ELEMS_PER_CHUNK {
+                    buf[j][lane] = mont.add(buf[j][lane], mont.mul(ck, a[lane]));
+                    buf[g + j][lane] = mont.add(buf[g + j][lane], mont.mul(ck, b[lane]));
+                }
+            }
+        }
+        for j in 0..g_now {
+            bank.store_chunk(pg_out, 0, done + j, buf[j]);
+            bank.store_chunk(pg_out, 1, done + j, buf[g + j]);
+        }
+        done += g_now;
+    }
+}
+
+/// Convenience: allocates the three PolyGroups of Alg. 1 for a `PAccum⟨K⟩`
+/// over `c` chunks per polynomial.
+pub fn alloc_paccum_groups(
+    alloc: &mut PolyGroupAllocator,
+    k: usize,
+    c: usize,
+) -> (PolyGroup, PolyGroup, PolyGroup) {
+    let pg_p = alloc.alloc(k, c);
+    let pg_ab = alloc.alloc(2 * k, c);
+    let pg_out = alloc.alloc(2, c);
+    (pg_p, pg_ab, pg_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::PimInstruction;
+    use crate::layout::LayoutPolicy;
+    use crate::mmac::PimUnit;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const Q: u32 = 268369921;
+
+    fn random_poly(c: usize, rng: &mut StdRng) -> Vec<u32> {
+        (0..c * ELEMS_PER_CHUNK).map(|_| rng.gen_range(0..Q)).collect()
+    }
+
+    #[test]
+    fn alg1_matches_flat_paccum() {
+        // The flagship datapath check: Alg. 1 over the column-partitioned
+        // bank must equal PAccum on flat vectors, for the paper's exact
+        // running example (C = 16 chunks, B = 16 ⇒ G = 2).
+        let k = 4;
+        let c = 16;
+        let b = 16;
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, k, c);
+        let mut bank = SimulatedBank::new(64, 32);
+
+        let mut rng = StdRng::seed_from_u64(101);
+        let ps: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        let aas: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        let bs: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        for i in 0..k {
+            bank.store_poly(&pg_p, i, &ps[i]);
+            bank.store_poly(&pg_ab, 2 * i, &aas[i]);
+            bank.store_poly(&pg_ab, 2 * i + 1, &bs[i]);
+        }
+
+        let mont = MontgomeryCtx::new(Q);
+        paccum_alg1(&mut bank, &mont, k, b, &pg_p, &pg_ab, &pg_out);
+        let x = bank.load_poly(&pg_out, 0);
+        let y = bank.load_poly(&pg_out, 1);
+
+        // Reference: the functional PIM unit on flat vectors.
+        let unit = PimUnit::new(Q, 32);
+        let mut refs: Vec<&[u32]> = Vec::new();
+        refs.extend(aas.iter().map(|v| v.as_slice()));
+        refs.extend(bs.iter().map(|v| v.as_slice()));
+        refs.extend(ps.iter().map(|v| v.as_slice()));
+        let want = unit.execute(PimInstruction::PAccum(k), &refs, &[]);
+        assert_eq!(x, want[0], "x = Σ a_k·p_k");
+        assert_eq!(y, want[1], "y = Σ b_k·p_k");
+    }
+
+    #[test]
+    fn alg1_works_across_buffer_sizes() {
+        // Any B with G ≥ 1 must give identical results (G only changes the
+        // chunking, not the math).
+        let k = 4;
+        let c = 16;
+        let mut rng = StdRng::seed_from_u64(102);
+        let ps: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        let aas: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        let bs: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        let mont = MontgomeryCtx::new(Q);
+        let mut outputs = Vec::new();
+        for b in [6usize, 12, 16, 32, 64] {
+            let mut alloc =
+                PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+            let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, k, c);
+            let mut bank = SimulatedBank::new(64, 32);
+            for i in 0..k {
+                bank.store_poly(&pg_p, i, &ps[i]);
+                bank.store_poly(&pg_ab, 2 * i, &aas[i]);
+                bank.store_poly(&pg_ab, 2 * i + 1, &bs[i]);
+            }
+            paccum_alg1(&mut bank, &mont, k, b, &pg_p, &pg_ab, &pg_out);
+            outputs.push((bank.load_poly(&pg_out, 0), bank.load_poly(&pg_out, 1)));
+        }
+        for w in outputs.windows(2) {
+            assert_eq!(w[0], w[1], "results must not depend on B");
+        }
+    }
+
+    #[test]
+    fn store_load_roundtrip_respects_layout() {
+        let mut alloc = PolyGroupAllocator::new(32, 16, LayoutPolicy::ColumnPartitioned);
+        let g = alloc.alloc(4, 16); // cg = 8, 2 rows
+        let mut bank = SimulatedBank::new(16, 32);
+        let mut rng = StdRng::seed_from_u64(103);
+        let polys: Vec<Vec<u32>> = (0..4).map(|_| random_poly(16, &mut rng)).collect();
+        for (i, p) in polys.iter().enumerate() {
+            bank.store_poly(&g, i, p);
+        }
+        // No clobbering between co-located polynomials.
+        for (i, p) in polys.iter().enumerate() {
+            assert_eq!(&bank.load_poly(&g, i), p, "poly {i}");
+        }
+    }
+
+    #[test]
+    fn caccum_matches_flat_instruction() {
+        let k = 4;
+        let c = 16;
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let pg_in = alloc.alloc(2 * k, c);
+        let pg_out = alloc.alloc(2, c);
+        let mut bank = SimulatedBank::new(64, 32);
+        let mut rng = StdRng::seed_from_u64(104);
+        let aas: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        let bs: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
+        for i in 0..k {
+            bank.store_poly(&pg_in, 2 * i, &aas[i]);
+            bank.store_poly(&pg_in, 2 * i + 1, &bs[i]);
+        }
+        let consts: Vec<u32> = (0..=k as u32).map(|i| (i * 7919 + 13) % Q).collect();
+        let mont = MontgomeryCtx::new(Q);
+        // CAccum survives even B = 4 (§VII-C), unlike PAccum.
+        caccum_optimized(&mut bank, &mont, k, 4, &consts, &pg_in, &pg_out);
+        let x = bank.load_poly(&pg_out, 0);
+        let y = bank.load_poly(&pg_out, 1);
+
+        let unit = PimUnit::new(Q, 8);
+        let mut refs: Vec<&[u32]> = Vec::new();
+        refs.extend(aas.iter().map(|v| v.as_slice()));
+        refs.extend(bs.iter().map(|v| v.as_slice()));
+        let want = unit.execute(PimInstruction::CAccum(k), &refs, &consts);
+        assert_eq!(x, want[0]);
+        assert_eq!(y, want[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported with B = 4")]
+    fn small_buffer_rejected() {
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, 4, 16);
+        let mut bank = SimulatedBank::new(64, 32);
+        let mont = MontgomeryCtx::new(Q);
+        paccum_alg1(&mut bank, &mont, 4, 4, &pg_p, &pg_ab, &pg_out);
+    }
+}

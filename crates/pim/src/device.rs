@@ -1,0 +1,207 @@
+//! The evaluated PIM device configurations (Table III).
+//!
+//! Two microarchitecture variants (§VI-A, §VI-D):
+//!
+//! - **Near-bank** — one PIM unit beside every DRAM bank (HBM-PIM /
+//!   GDDR6-AiM style). Internal bandwidth scales with the bank count
+//!   (16× on the A100's HBM2E, 8× on the 4090's GDDR6X), but all-bank
+//!   lockstep operation exposes ACT/PRE latency.
+//! - **Custom-HBM** — PIM units on the HBM logic die, each serving several
+//!   banks through widened TSVs (4× bandwidth), built in a logic process
+//!   node. Row switches of one bank overlap with streaming from the others,
+//!   so the ACT/PRE exposure largely disappears (§VII-B/C).
+
+use dram::config::DramConfig;
+
+/// Where the PIM units sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PimVariant {
+    /// One unit per bank, on the DRAM die.
+    NearBank,
+    /// Units on the HBM logic die, each serving `banks_per_unit` banks.
+    CustomHbm {
+        /// Banks multiplexed onto one logic-die unit.
+        banks_per_unit: usize,
+    },
+}
+
+/// A complete PIM device configuration (one row of Table III).
+#[derive(Debug, Clone)]
+pub struct PimDeviceConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Microarchitecture variant.
+    pub variant: PimVariant,
+    /// The memory system hosting the units.
+    pub dram: DramConfig,
+    /// PIM unit clock in MHz (Table III).
+    pub clock_mhz: f64,
+    /// Data-buffer entries `B` (Table III: 16 / 16 / 32).
+    pub buffer_entries: usize,
+    /// MMAC lanes per unit (8, matching the 256-bit global I/O).
+    pub mmac_lanes: usize,
+    /// Energy per modular MMAC op in pJ (ASAP7 synthesis, voltage/process
+    /// scaling and the 10× DRAM-process compensation of §VII-A for
+    /// near-bank; logic-process for custom-HBM).
+    pub mmac_energy_pj: f64,
+    /// Area overhead per DRAM die (near-bank) or logic die (custom), mm².
+    pub area_mm2: f64,
+    /// Area overhead as a fraction of the die (Table III: ≤ ~10 %).
+    pub area_overhead_pct: f64,
+    /// Theoretical effective bandwidth increase (Table III "BW incr.").
+    pub bw_increase: f64,
+}
+
+impl PimDeviceConfig {
+    /// Anaheim on A100 80GB with near-bank PIM (Table III column 1).
+    pub fn a100_near_bank() -> Self {
+        Self {
+            name: "A100 near-bank PIM",
+            variant: PimVariant::NearBank,
+            dram: DramConfig::a100_hbm2e(),
+            clock_mhz: 378.0,
+            buffer_entries: 16,
+            mmac_lanes: 8,
+            mmac_energy_pj: 0.9,
+            area_mm2: 10.7,
+            area_overhead_pct: 9.69,
+            bw_increase: 16.0,
+        }
+    }
+
+    /// Anaheim on A100 80GB with custom-HBM PIM (Table III column 2).
+    pub fn a100_custom_hbm() -> Self {
+        Self {
+            name: "A100 custom-HBM PIM",
+            variant: PimVariant::CustomHbm { banks_per_unit: 8 },
+            dram: DramConfig::a100_hbm2e(),
+            clock_mhz: 756.0,
+            buffer_entries: 16,
+            mmac_lanes: 8,
+            mmac_energy_pj: 0.45, // logic-process units are cheaper
+            area_mm2: 10.9,
+            area_overhead_pct: 9.94,
+            bw_increase: 4.0,
+        }
+    }
+
+    /// Anaheim on RTX 4090 with near-bank PIM (Table III column 3).
+    pub fn rtx4090_near_bank() -> Self {
+        Self {
+            name: "RTX 4090 near-bank PIM",
+            variant: PimVariant::NearBank,
+            dram: DramConfig::rtx4090_gddr6x(),
+            clock_mhz: 656.0,
+            buffer_entries: 32,
+            mmac_lanes: 8,
+            mmac_energy_pj: 0.9,
+            area_mm2: 7.26,
+            area_overhead_pct: 7.58,
+            bw_increase: 8.0,
+        }
+    }
+
+    /// All three evaluated configurations.
+    pub fn all() -> Vec<PimDeviceConfig> {
+        vec![
+            Self::a100_near_bank(),
+            Self::a100_custom_hbm(),
+            Self::rtx4090_near_bank(),
+        ]
+    }
+
+    /// Returns a copy with a different buffer size (the Fig. 9 sweep).
+    pub fn with_buffer_entries(mut self, b: usize) -> Self {
+        self.buffer_entries = b;
+        self
+    }
+
+    /// Nanoseconds per 256-bit chunk consumed by one unit (one lane-step).
+    pub fn ns_per_chunk(&self) -> f64 {
+        1e3 / self.clock_mhz
+    }
+
+    /// Number of PIM units in the whole system.
+    pub fn total_units(&self) -> usize {
+        match self.variant {
+            PimVariant::NearBank => self.dram.geometry.total_banks(),
+            PimVariant::CustomHbm { banks_per_unit } => {
+                self.dram.geometry.total_banks() / banks_per_unit
+            }
+        }
+    }
+
+    /// Banks served per unit.
+    pub fn banks_per_unit(&self) -> usize {
+        match self.variant {
+            PimVariant::NearBank => 1,
+            PimVariant::CustomHbm { banks_per_unit } => banks_per_unit,
+        }
+    }
+
+    /// Peak modular-op throughput in TOPS (Table III's per-die/per-stack
+    /// figures aggregated over the system).
+    pub fn peak_tops(&self) -> f64 {
+        self.total_units() as f64 * self.mmac_lanes as f64 * self.clock_mhz * 1e6 / 1e12
+    }
+
+    /// Peak internal bandwidth available to PIM, bytes/s.
+    pub fn internal_bandwidth(&self) -> f64 {
+        self.total_units() as f64 * self.dram.geometry.chunk_bits as f64 / 8.0
+            / (self.ns_per_chunk() * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_tops_reproduced() {
+        // 0.194 TOPS per die × 40 dies ≈ 7.76 TOPS.
+        let a = PimDeviceConfig::a100_near_bank();
+        assert!((a.peak_tops() - 40.0 * 0.194).abs() / (40.0 * 0.194) < 0.01);
+        // 0.388 TOPS per stack × 5 stacks ≈ 1.94 TOPS.
+        let c = PimDeviceConfig::a100_custom_hbm();
+        assert!((c.peak_tops() - 5.0 * 0.388).abs() / (5.0 * 0.388) < 0.01);
+        // 0.168 TOPS per die × 12 dies ≈ 2.02 TOPS.
+        let g = PimDeviceConfig::rtx4090_near_bank();
+        assert!((g.peak_tops() - 12.0 * 0.168).abs() / (12.0 * 0.168) < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_increase_consistent_with_internal_bw() {
+        // The "BW incr." column should match units × chunk rate vs external
+        // bandwidth, within modeling slack.
+        for dev in PimDeviceConfig::all() {
+            let ratio = dev.internal_bandwidth() / (dev.dram.external_bw_gbps * 1e9);
+            assert!(
+                (ratio / dev.bw_increase - 1.0).abs() < 0.25,
+                "{}: internal/external = {ratio:.1}, Table III says {}",
+                dev.name,
+                dev.bw_increase
+            );
+        }
+    }
+
+    #[test]
+    fn unit_counts() {
+        assert_eq!(PimDeviceConfig::a100_near_bank().total_units(), 2560);
+        assert_eq!(PimDeviceConfig::a100_custom_hbm().total_units(), 320);
+        assert_eq!(PimDeviceConfig::rtx4090_near_bank().total_units(), 384);
+        assert_eq!(PimDeviceConfig::a100_custom_hbm().banks_per_unit(), 8);
+    }
+
+    #[test]
+    fn area_overheads_within_10_percent() {
+        for dev in PimDeviceConfig::all() {
+            assert!(dev.area_overhead_pct <= 10.0, "{}", dev.name);
+        }
+    }
+
+    #[test]
+    fn buffer_override() {
+        let d = PimDeviceConfig::a100_near_bank().with_buffer_entries(64);
+        assert_eq!(d.buffer_entries, 64);
+    }
+}

@@ -1,0 +1,413 @@
+//! The PIM kernel execution engine: Alg. 1 generalized to every Table II
+//! instruction, both layouts, and both microarchitecture variants.
+//!
+//! For a kernel of `limbs` limbs over degree-`N` polynomials:
+//!
+//! - each die group holds `⌈limbs/die_groups⌉` limbs and processes them
+//!   sequentially; die groups run in parallel (§VI-B);
+//! - within a die group, all banks operate in lockstep, each holding
+//!   `C = N/(banks_per_group · 8)` 256-bit chunks per limb;
+//! - one iteration processes `G = ⌊B/slots⌋` chunks per polynomial through
+//!   the instruction's phases, paying the layout-dependent ACT/PRE cost
+//!   per phase (1 with column partitioning, one per polynomial without).
+//!
+//! Near-bank timing comes from the cycle-level all-bank lockstep DRAM
+//! engine; custom-HBM units serve several banks each, so their row switches
+//! overlap with streaming from sibling banks and only the streaming time
+//! (at 4× external bandwidth) remains exposed (§VII-B).
+
+use dram::energy::{AccessDestination, EnergyAccount};
+use dram::engine::{BankCommand, LockstepEngine};
+
+use crate::device::{PimDeviceConfig, PimVariant};
+use crate::isa::PimInstruction;
+use crate::layout::LayoutPolicy;
+
+/// A PIM kernel: one instruction applied across `limbs × n` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PimKernelSpec {
+    /// The instruction.
+    pub instr: PimInstruction,
+    /// Number of RNS limbs processed.
+    pub limbs: usize,
+    /// Ring degree.
+    pub n: usize,
+}
+
+/// Timing and energy of a kernel (or a fused sequence).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PimKernelResult {
+    /// Kernel latency in nanoseconds.
+    pub latency_ns: f64,
+    /// DRAM-side energy events (destination already classified).
+    pub dram_energy: EnergyAccount,
+    /// Modular ops executed by the MMAC lanes.
+    pub mmac_ops: u64,
+    /// Total ACT/PRE pairs across all banks and limbs.
+    pub acts_total: u64,
+    /// Total bytes streamed between banks and PIM units.
+    pub bytes_internal: u64,
+}
+
+impl PimKernelResult {
+    /// Total energy in joules for a device (DRAM events + MMAC compute).
+    pub fn energy_joules(&self, dev: &PimDeviceConfig) -> f64 {
+        self.dram_energy.total_joules(&dev.dram.energy)
+            + self.mmac_ops as f64 * dev.mmac_energy_pj * 1e-12
+    }
+
+    /// Accumulates another kernel's result (sequential execution).
+    pub fn accumulate(&mut self, other: &PimKernelResult) {
+        self.latency_ns += other.latency_ns;
+        self.dram_energy.merge(&other.dram_energy);
+        self.mmac_ops += other.mmac_ops;
+        self.acts_total += other.acts_total;
+        self.bytes_internal += other.bytes_internal;
+    }
+}
+
+/// Executes PIM kernels for a device configuration and layout policy.
+#[derive(Debug, Clone)]
+pub struct PimExecutor<'a> {
+    dev: &'a PimDeviceConfig,
+    layout: LayoutPolicy,
+}
+
+impl<'a> PimExecutor<'a> {
+    /// Binds a device and layout.
+    pub fn new(dev: &'a PimDeviceConfig, layout: LayoutPolicy) -> Self {
+        Self { dev, layout }
+    }
+
+    /// The device in use.
+    pub fn device(&self) -> &PimDeviceConfig {
+        self.dev
+    }
+
+    /// Banks cooperating within one die group.
+    pub fn banks_per_group(&self) -> usize {
+        let g = &self.dev.dram.geometry;
+        g.dies_per_group() * g.banks_per_die
+    }
+
+    /// 256-bit chunks per bank per limb (`C`); the paper's running example
+    /// (`N = 2^16` over an A100 stack) gives 16.
+    pub fn chunks_per_bank_per_limb(&self, n: usize) -> usize {
+        // 8 elements of 32 bits per 256-bit chunk.
+        (n.div_ceil(self.banks_per_group())).div_ceil(8).max(1)
+    }
+
+    /// Whether the instruction can run with the device's buffer size.
+    pub fn supported(&self, instr: PimInstruction) -> bool {
+        instr.profile().supported(self.dev.buffer_entries)
+    }
+
+    /// GPU-side DRAM traffic (bytes) the same operation would generate if
+    /// executed on the GPU with no cache reuse — the Fig. 9 baseline.
+    pub fn gpu_bytes_equivalent(&self, spec: &PimKernelSpec) -> u64 {
+        let p = spec.instr.profile();
+        ((p.total_reads() + p.total_writes()) * spec.limbs * spec.n * 4) as u64
+    }
+
+    /// Executes one kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is unsupported at the configured buffer
+    /// size (`G = 0`), mirroring the hardware restriction of §VII-C.
+    pub fn execute(&self, spec: &PimKernelSpec) -> PimKernelResult {
+        let profile = spec.instr.profile();
+        let b = self.dev.buffer_entries;
+        let g = profile.chunk_granularity(b);
+        assert!(
+            g >= 1,
+            "{} unsupported with B = {b}",
+            spec.instr.mnemonic()
+        );
+        let c = self.chunks_per_bank_per_limb(spec.n);
+        let iters = c.div_ceil(g);
+        let die_groups = self.dev.dram.geometry.die_groups;
+        let limbs_per_group = spec.limbs.div_ceil(die_groups);
+
+        // Build the per-bank lockstep schedule for ONE limb.
+        let mut sched: Vec<BankCommand> = Vec::new();
+        let mut acts_per_bank = 0u64;
+        let mut done = 0usize;
+        for _ in 0..iters {
+            let g_now = g.min(c - done) as u32;
+            done += g_now as usize;
+            for (pi, phase) in profile.phases.iter().enumerate() {
+                match self.layout {
+                    LayoutPolicy::ColumnPartitioned => {
+                        sched.push(BankCommand::Act { row: pi as u32 });
+                        acts_per_bank += 1;
+                        if phase.polys_read > 0 {
+                            sched.push(BankCommand::Read {
+                                chunks: phase.polys_read as u32 * g_now,
+                            });
+                        }
+                        if phase.polys_written > 0 {
+                            sched.push(BankCommand::Write {
+                                chunks: phase.polys_written as u32 * g_now,
+                            });
+                        }
+                        sched.push(BankCommand::Pre);
+                    }
+                    LayoutPolicy::Contiguous => {
+                        // One row (hence ACT/PRE) per polynomial (§VI-C).
+                        for r in 0..phase.polys_read {
+                            sched.push(BankCommand::Act {
+                                row: (pi * 64 + r) as u32,
+                            });
+                            acts_per_bank += 1;
+                            sched.push(BankCommand::Read { chunks: g_now });
+                            sched.push(BankCommand::Pre);
+                        }
+                        for w in 0..phase.polys_written {
+                            sched.push(BankCommand::Act {
+                                row: (pi * 64 + 32 + w) as u32,
+                            });
+                            acts_per_bank += 1;
+                            sched.push(BankCommand::Write { chunks: g_now });
+                            sched.push(BankCommand::Pre);
+                        }
+                    }
+                }
+            }
+        }
+
+        let chunks_per_bank_limb =
+            c as u64 * (profile.total_reads() + profile.total_writes()) as u64;
+        let per_limb_ns = match self.dev.variant {
+            PimVariant::NearBank => {
+                let engine = LockstepEngine::new(&self.dev.dram, self.dev.ns_per_chunk());
+                engine.execute(&sched).latency_ns
+            }
+            PimVariant::CustomHbm { banks_per_unit } => {
+                // The unit streams F banks' chunks back-to-back; row
+                // switches of one bank hide behind the streaming of the
+                // other F−1, leaving switch-time/F plus one fill exposed.
+                let f = banks_per_unit as f64;
+                let stream =
+                    chunks_per_bank_limb as f64 * f * self.dev.ns_per_chunk();
+                let switch_total =
+                    acts_per_bank as f64 * self.dev.dram.timing.row_switch();
+                stream.max(switch_total / f) + self.dev.dram.timing.row_switch()
+            }
+        };
+
+        let banks = self.banks_per_group() as u64 * die_groups as u64;
+        let active_banks = (self.banks_per_group()
+            * die_groups.min(spec.limbs)) as u64;
+        let _ = banks;
+        let limb_events = spec.limbs as u64 * self.banks_per_group() as u64;
+        let mut energy = EnergyAccount::new();
+        energy.add_acts(acts_per_bank * limb_events);
+        let bytes = chunks_per_bank_limb * limb_events * (self.dev.dram.geometry.chunk_bits as u64 / 8);
+        let dest = match self.dev.variant {
+            PimVariant::NearBank => AccessDestination::NearBank,
+            PimVariant::CustomHbm { .. } => AccessDestination::LogicDie,
+        };
+        energy.add_access(bytes, dest);
+        let _ = active_banks;
+
+        PimKernelResult {
+            latency_ns: per_limb_ns * limbs_per_group as f64,
+            dram_energy: energy,
+            mmac_ops: (spec.n * spec.limbs) as u64
+                * spec.instr.mmac_ops_per_element() as u64,
+            acts_total: acts_per_bank * limb_events,
+            bytes_internal: bytes,
+        }
+    }
+
+    /// Executes a sequence of kernels back to back (one PIM kernel launch
+    /// in the Anaheim framework can carry many instructions).
+    pub fn execute_sequence(&self, specs: &[PimKernelSpec]) -> PimKernelResult {
+        let mut total = PimKernelResult::default();
+        for s in specs {
+            total.accumulate(&self.execute(s));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb_exec(dev: &PimDeviceConfig) -> PimExecutor<'_> {
+        PimExecutor::new(dev, LayoutPolicy::ColumnPartitioned)
+    }
+
+    #[test]
+    fn paper_running_example_chunk_count() {
+        // N = 2^16 over an A100 stack (512 banks): 16 chunks per bank/limb.
+        let dev = PimDeviceConfig::a100_near_bank();
+        let e = nb_exec(&dev);
+        assert_eq!(e.banks_per_group(), 512);
+        assert_eq!(e.chunks_per_bank_per_limb(1 << 16), 16);
+        // RTX 4090 groups 4 dies × 32 banks = 128 banks: 64 chunks.
+        let dev = PimDeviceConfig::rtx4090_near_bank();
+        let e = nb_exec(&dev);
+        assert_eq!(e.chunks_per_bank_per_limb(1 << 16), 64);
+    }
+
+    #[test]
+    fn add_kernel_beats_gpu_bandwidth() {
+        // An element-wise Add on PIM must beat moving the same bytes over
+        // the external bus (the whole premise of the paper).
+        let dev = PimDeviceConfig::a100_near_bank();
+        let e = nb_exec(&dev);
+        let spec = PimKernelSpec {
+            instr: PimInstruction::Add,
+            limbs: 54,
+            n: 1 << 16,
+        };
+        let r = e.execute(&spec);
+        let gpu_ns =
+            e.gpu_bytes_equivalent(&spec) as f64 / (dev.dram.external_bw_gbps * 1e9) * 1e9;
+        assert!(
+            r.latency_ns < gpu_ns,
+            "PIM {} ns must beat GPU {} ns",
+            r.latency_ns,
+            gpu_ns
+        );
+        // But not by more than the internal bandwidth increase.
+        assert!(r.latency_ns * dev.bw_increase > gpu_ns * 0.8);
+    }
+
+    #[test]
+    fn column_partitioning_outperforms_contiguous() {
+        // Fig. 10 (w/o CP): the naive layout roughly doubles element-wise
+        // time (2.24×/2.11× in the paper).
+        let dev = PimDeviceConfig::a100_near_bank();
+        let cp = PimExecutor::new(&dev, LayoutPolicy::ColumnPartitioned);
+        let na = PimExecutor::new(&dev, LayoutPolicy::Contiguous);
+        let mut ratios = Vec::new();
+        for instr in [
+            PimInstruction::Add,
+            PimInstruction::PMult,
+            PimInstruction::PAccum(4),
+            PimInstruction::CAccum(4),
+        ] {
+            let spec = PimKernelSpec {
+                instr,
+                limbs: 54,
+                n: 1 << 16,
+            };
+            let r_cp = cp.execute(&spec);
+            let r_na = na.execute(&spec);
+            ratios.push(r_na.latency_ns / r_cp.latency_ns);
+            // Single-poly-per-phase instructions (Add) see no CP benefit;
+            // everything else must.
+            assert!(r_na.acts_total >= r_cp.acts_total, "{instr}");
+        }
+        let geomean =
+            (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        assert!(
+            (1.5..4.0).contains(&geomean),
+            "w/o-CP slowdown should be around 2×, got {geomean:.2}"
+        );
+    }
+
+    #[test]
+    fn bigger_buffer_amortizes_act_pre() {
+        // Fig. 9: performance improves with B then saturates.
+        let base = PimDeviceConfig::a100_near_bank();
+        let spec = PimKernelSpec {
+            instr: PimInstruction::PAccum(4),
+            limbs: 54,
+            n: 1 << 16,
+        };
+        let mut prev = f64::INFINITY;
+        for b in [8usize, 16, 32, 64] {
+            let dev = base.clone().with_buffer_entries(b);
+            let e = nb_exec(&dev);
+            let r = e.execute(&spec);
+            assert!(
+                r.latency_ns <= prev * 1.001,
+                "B={b} should not be slower than smaller buffer"
+            );
+            prev = r.latency_ns;
+        }
+    }
+
+    #[test]
+    fn custom_hbm_suffers_less_from_small_buffers() {
+        // Fig. 9: saturation is faster for custom-HBM.
+        let spec = PimKernelSpec {
+            instr: PimInstruction::Add,
+            limbs: 54,
+            n: 1 << 16,
+        };
+        let ratio = |mk: fn() -> PimDeviceConfig| {
+            let small = mk().with_buffer_entries(4);
+            let large = mk().with_buffer_entries(64);
+            let t_small = PimExecutor::new(&small, LayoutPolicy::ColumnPartitioned)
+                .execute(&spec)
+                .latency_ns;
+            let t_large = PimExecutor::new(&large, LayoutPolicy::ColumnPartitioned)
+                .execute(&spec)
+                .latency_ns;
+            t_small / t_large
+        };
+        let nb_gain = ratio(PimDeviceConfig::a100_near_bank);
+        let ch_gain = ratio(PimDeviceConfig::a100_custom_hbm);
+        assert!(
+            nb_gain > ch_gain,
+            "near-bank should benefit more from large B: {nb_gain:.2} vs {ch_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let dev = PimDeviceConfig::a100_near_bank();
+        let e = nb_exec(&dev);
+        let small = e.execute(&PimKernelSpec {
+            instr: PimInstruction::Add,
+            limbs: 10,
+            n: 1 << 16,
+        });
+        let large = e.execute(&PimKernelSpec {
+            instr: PimInstruction::Add,
+            limbs: 40,
+            n: 1 << 16,
+        });
+        let js = small.energy_joules(&dev);
+        let jl = large.energy_joules(&dev);
+        assert!((jl / js - 4.0).abs() < 0.1, "energy ∝ limbs: {}", jl / js);
+        assert_eq!(large.bytes_internal, 4 * small.bytes_internal);
+    }
+
+    #[test]
+    fn sequence_accumulates() {
+        let dev = PimDeviceConfig::a100_near_bank();
+        let e = nb_exec(&dev);
+        let s1 = PimKernelSpec {
+            instr: PimInstruction::Add,
+            limbs: 8,
+            n: 1 << 16,
+        };
+        let s2 = PimKernelSpec {
+            instr: PimInstruction::Mult,
+            limbs: 8,
+            n: 1 << 16,
+        };
+        let seq = e.execute_sequence(&[s1, s2]);
+        let sum = e.execute(&s1).latency_ns + e.execute(&s2).latency_ns;
+        assert!((seq.latency_ns - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported with B = 4")]
+    fn unsupported_at_small_buffer_panics() {
+        let dev = PimDeviceConfig::a100_near_bank().with_buffer_entries(4);
+        let e = nb_exec(&dev);
+        e.execute(&PimKernelSpec {
+            instr: PimInstruction::PAccum(4),
+            limbs: 1,
+            n: 1 << 16,
+        });
+    }
+}

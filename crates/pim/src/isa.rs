@@ -1,0 +1,236 @@
+//! The Anaheim PIM instruction set architecture (Table II).
+//!
+//! Each instruction also carries an *execution profile* describing how the
+//! generalized Alg. 1 runs it:
+//!
+//! - `buffer_slots` — how many polynomial streams must be resident in the
+//!   data buffer per chunk-granularity unit. The chunk granularity is
+//!   `G = ⌊B / buffer_slots⌋`; an instruction is unsupported when `G = 0`
+//!   (the paper notes Tensor and PAccum⟨4⟩ are unsupported at small `B`,
+//!   §VII-C).
+//! - `phases` — the PolyGroups touched per iteration with their per-`G`
+//!   chunk read/write multiplicities. With the column-partitioning layout
+//!   each phase costs one ACT/PRE; the naive layout pays one per
+//!   polynomial (§VI-C).
+
+/// A PIM instruction (Table II). `K` compounds are parameterized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PimInstruction {
+    /// `x = ±a`.
+    Move,
+    /// `x = −a`.
+    Neg,
+    /// `x = a + b`.
+    Add,
+    /// `x = a − b`.
+    Sub,
+    /// `x = a·b`.
+    Mult,
+    /// `x = a·b + c`.
+    Mac,
+    /// `x = a·p, y = b·p` (both ciphertext halves by one plaintext).
+    PMult,
+    /// `x = a·p + c, y = b·p + d`.
+    PMac,
+    /// `x = a + C` (constant embedded in the instruction).
+    CAdd,
+    /// `x = a − C`.
+    CSub,
+    /// `x = C·a`.
+    CMult,
+    /// `x = C·a + b`.
+    CMac,
+    /// `x = a·c, y = a·d + b·c, z = b·d` (HMULT tensor step).
+    Tensor,
+    /// `x = a², y = 2ab, z = b²`.
+    TensorSq,
+    /// `x = C·(a − b)` (ModDown epilogue).
+    ModDownEp,
+    /// `x = Σ a_i·p_i, y = Σ b_i·p_i` over `K` pairs (fused KeyMult).
+    PAccum(usize),
+    /// `x = C_0 + Σ C_i·a_i, y = C_0 + Σ C_i·b_i` (fused BConv-style
+    /// accumulation with constants).
+    CAccum(usize),
+}
+
+/// One PolyGroup phase of an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Distinct polynomials read in this phase.
+    pub polys_read: usize,
+    /// Distinct polynomials written in this phase.
+    pub polys_written: usize,
+}
+
+/// The execution profile of an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrProfile {
+    /// Buffer slots resident per chunk-granularity unit.
+    pub buffer_slots: usize,
+    /// PolyGroup phases per iteration.
+    pub phases: Vec<Phase>,
+}
+
+impl InstrProfile {
+    /// Chunk granularity for a data buffer with `b` entries
+    /// (`G = ⌊B/slots⌋`, Alg. 1 line 1).
+    pub fn chunk_granularity(&self, b: usize) -> usize {
+        b / self.buffer_slots
+    }
+
+    /// Whether the instruction is supported with `b` buffer entries.
+    pub fn supported(&self, b: usize) -> bool {
+        self.chunk_granularity(b) >= 1
+    }
+
+    /// Total polynomials read per iteration.
+    pub fn total_reads(&self) -> usize {
+        self.phases.iter().map(|p| p.polys_read).sum()
+    }
+
+    /// Total polynomials written per iteration.
+    pub fn total_writes(&self) -> usize {
+        self.phases.iter().map(|p| p.polys_written).sum()
+    }
+}
+
+const fn ph(r: usize, w: usize) -> Phase {
+    Phase {
+        polys_read: r,
+        polys_written: w,
+    }
+}
+
+impl PimInstruction {
+    /// The instruction's execution profile (buffer residency + phases).
+    pub fn profile(&self) -> InstrProfile {
+        use PimInstruction::*;
+        // Generic instructions buffer every operand and the outputs (the
+        // MMAC array has no bypass network), so their chunk granularity is
+        // small and ACT/PRE amortizes poorly. The *compound* instructions
+        // use the optimized PolyGroup executions of §VI-C (Alg. 1):
+        // PAccum keeps only the p_i's and the two accumulators resident
+        // (K+2 slots) and CAccum streams its inputs against two resident
+        // accumulators — which is exactly why they achieve the highest
+        // speedups in Fig. 9 (§VII-C).
+        let (buffer_slots, phases) = match *self {
+            Move | Neg => (2, vec![ph(1, 0), ph(0, 1)]),
+            Add | Sub | Mult => (3, vec![ph(1, 0), ph(1, 0), ph(0, 1)]),
+            Mac => (4, vec![ph(1, 0), ph(2, 0), ph(0, 1)]),
+            PMult => (5, vec![ph(1, 0), ph(2, 0), ph(0, 2)]),
+            PMac => (7, vec![ph(1, 0), ph(2, 0), ph(2, 2)]),
+            CAdd | CSub | CMult => (2, vec![ph(1, 0), ph(0, 1)]),
+            CMac => (3, vec![ph(1, 0), ph(1, 0), ph(0, 1)]),
+            Tensor => (7, vec![ph(2, 0), ph(2, 0), ph(0, 3)]),
+            TensorSq => (5, vec![ph(2, 0), ph(0, 3)]),
+            ModDownEp => (3, vec![ph(1, 0), ph(1, 0), ph(0, 1)]),
+            PAccum(k) => (k + 2, vec![ph(k, 0), ph(2 * k, 0), ph(0, 2)]),
+            CAccum(k) => (2, vec![ph(2 * k, 0), ph(0, 2)]),
+        };
+        InstrProfile {
+            buffer_slots,
+            phases,
+        }
+    }
+
+    /// Modular MMAC operations per output element-lane step (used for
+    /// compute-energy accounting; every streamed input passes through the
+    /// MMAC array, §VI-A).
+    pub fn mmac_ops_per_element(&self) -> usize {
+        use PimInstruction::*;
+        match *self {
+            Move | Neg | CAdd | CSub => 1,
+            Add | Sub | Mult | CMult => 1,
+            Mac | CMac | ModDownEp => 2,
+            PMult => 2,
+            PMac => 4,
+            Tensor => 4,
+            TensorSq => 3,
+            PAccum(k) => 2 * k,
+            CAccum(k) => 2 * k,
+        }
+    }
+
+    /// A short mnemonic, e.g. `PAccum<4>`.
+    pub fn mnemonic(&self) -> String {
+        use PimInstruction::*;
+        match *self {
+            PAccum(k) => format!("PAccum<{k}>"),
+            CAccum(k) => format!("CAccum<{k}>"),
+            other => format!("{other:?}"),
+        }
+    }
+
+    /// All instructions in Table II order, with the paper's default `K = 4`
+    /// for the accumulating compounds.
+    pub fn table2(k: usize) -> Vec<PimInstruction> {
+        use PimInstruction::*;
+        vec![
+            Move, Neg, Add, Sub, Mult, Mac, PMult, PMac, CAdd, CSub, CMult, CMac, Tensor,
+            TensorSq, ModDownEp,
+            PAccum(k),
+            CAccum(k),
+        ]
+    }
+}
+
+impl std::fmt::Display for PimInstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paccum4_matches_alg1() {
+        // Alg. 1: G = ⌊B/6⌋; phases read 4G (p's), 8G (a,b pairs), write 2G.
+        let p = PimInstruction::PAccum(4).profile();
+        assert_eq!(p.buffer_slots, 6);
+        assert_eq!(p.chunk_granularity(16), 2);
+        assert_eq!(p.phases.len(), 3);
+        assert_eq!(p.phases[0].polys_read, 4);
+        assert_eq!(p.phases[1].polys_read, 8);
+        assert_eq!(p.phases[2].polys_written, 2);
+        assert_eq!(p.total_reads(), 12);
+        assert_eq!(p.total_writes(), 2);
+    }
+
+    #[test]
+    fn small_buffer_unsupported_compounds() {
+        // §VII-C: Tensor and PAccum⟨4⟩ unsupported at B = 4.
+        assert!(!PimInstruction::Tensor.profile().supported(4));
+        assert!(!PimInstruction::PAccum(4).profile().supported(4));
+        // ...while simple and CAccum instructions still work.
+        assert!(PimInstruction::Add.profile().supported(4));
+        assert!(PimInstruction::CAccum(4).profile().supported(4));
+        // PMac also exceeds a 4-entry buffer (7 resident streams).
+        assert!(!PimInstruction::PMac.profile().supported(4));
+        // Everything is supported at the default B = 16.
+        for i in PimInstruction::table2(4) {
+            assert!(i.profile().supported(16), "{i} must run at B=16");
+        }
+    }
+
+    #[test]
+    fn granularity_grows_with_buffer() {
+        for i in PimInstruction::table2(4) {
+            let p = i.profile();
+            assert!(p.chunk_granularity(64) >= p.chunk_granularity(16), "{i}");
+        }
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(PimInstruction::PAccum(4).mnemonic(), "PAccum<4>");
+        assert_eq!(PimInstruction::Add.mnemonic(), "Add");
+        assert_eq!(format!("{}", PimInstruction::CAccum(8)), "CAccum<8>");
+    }
+
+    #[test]
+    fn table2_has_all_17_instructions() {
+        assert_eq!(PimInstruction::table2(4).len(), 17);
+    }
+}

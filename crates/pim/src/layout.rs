@@ -1,0 +1,237 @@
+//! The column-partitioning data layout and PolyGroups (§VI-B, Fig. 7).
+//!
+//! All banks of a die-group cooperatively store a polynomial: with `N`
+//! coefficients of 32 bits spread over the group's banks, each bank holds
+//! `C` 256-bit chunks per limb. The *column-partitioning* (CP) layout slices
+//! each DRAM row into column groups (CGs) and stacks a limb's chunks across
+//! the rows of a row group (RG), so that polynomials accessed together live
+//! in the *same rows* — one ACT serves a whole phase of an Alg. 1 iteration.
+//! The naive *contiguous* layout gives each polynomial its own rows, paying
+//! one ACT per polynomial per iteration (the w/o-CP ablation of Fig. 10).
+
+/// Which data placement the execution engine assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutPolicy {
+    /// Column partitioning: co-accessed polynomials share rows (Fig. 7).
+    ColumnPartitioned,
+    /// Contiguous allocation: each polynomial fills rows on its own.
+    Contiguous,
+}
+
+/// A reservation of bank rows for a set of co-accessed polynomials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyGroup {
+    /// Identifier (allocation order).
+    pub id: usize,
+    /// First bank row of the reservation.
+    pub first_row: usize,
+    /// Number of rows reserved (the row-group height).
+    pub rows: usize,
+    /// Number of polynomials sharing the group.
+    pub polys: usize,
+    /// Chunks of one polynomial per row (the column-group width).
+    pub cg_chunks: usize,
+    /// Chunks per polynomial per bank (`C`).
+    pub chunks_per_poly: usize,
+}
+
+impl PolyGroup {
+    /// The row holding chunk `idx` of polynomial `poly` in this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn row_of(&self, poly: usize, chunk: usize) -> usize {
+        assert!(poly < self.polys, "poly index out of range");
+        assert!(chunk < self.chunks_per_poly, "chunk index out of range");
+        self.first_row + chunk / self.cg_chunks
+    }
+
+    /// The column (chunk slot within the row) holding chunk `chunk` of
+    /// polynomial `poly`: each polynomial owns the column-group slice
+    /// `[poly·cg, (poly+1)·cg)` of every row-group row (Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn col_of(&self, poly: usize, chunk: usize) -> usize {
+        assert!(poly < self.polys, "poly index out of range");
+        assert!(chunk < self.chunks_per_poly, "chunk index out of range");
+        poly * self.cg_chunks + chunk % self.cg_chunks
+    }
+}
+
+/// Allocates PolyGroups within one bank's row space. FHE workloads are
+/// static (§V-C), so allocation is performed once, up front.
+#[derive(Debug)]
+pub struct PolyGroupAllocator {
+    chunks_per_row: usize,
+    total_rows: usize,
+    next_row: usize,
+    next_id: usize,
+    policy: LayoutPolicy,
+}
+
+impl PolyGroupAllocator {
+    /// Creates an allocator over a bank with `total_rows` rows of
+    /// `chunks_per_row` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn new(chunks_per_row: usize, total_rows: usize, policy: LayoutPolicy) -> Self {
+        assert!(chunks_per_row >= 1 && total_rows >= 1, "degenerate bank shape");
+        Self {
+            chunks_per_row,
+            total_rows,
+            next_row: 0,
+            next_id: 0,
+            policy,
+        }
+    }
+
+    /// The active layout policy.
+    pub fn policy(&self) -> LayoutPolicy {
+        self.policy
+    }
+
+    /// Rows already reserved.
+    pub fn rows_used(&self) -> usize {
+        self.next_row
+    }
+
+    /// Rows remaining.
+    pub fn rows_free(&self) -> usize {
+        self.total_rows - self.next_row
+    }
+
+    /// Reserves space for `polys` polynomials of `chunks_per_poly` chunks
+    /// each (per bank).
+    ///
+    /// Under [`LayoutPolicy::ColumnPartitioned`], the row is split into
+    /// `polys` column groups (power-of-two padded); under
+    /// [`LayoutPolicy::Contiguous`], each polynomial packs rows densely on
+    /// its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not fit in the remaining rows, or if a CP
+    /// allocation asks for more polynomials than a row has chunks.
+    pub fn alloc(&mut self, polys: usize, chunks_per_poly: usize) -> PolyGroup {
+        assert!(polys >= 1 && chunks_per_poly >= 1, "empty allocation");
+        let (rows, cg_chunks) = match self.policy {
+            LayoutPolicy::ColumnPartitioned => {
+                assert!(
+                    polys <= self.chunks_per_row,
+                    "more polynomials than row chunks"
+                );
+                // Column groups are power-of-two sized (4/8/16 per row in
+                // the paper's example) so addressing stays trivial.
+                let cg = (self.chunks_per_row / polys.next_power_of_two()).max(1);
+                let rows = chunks_per_poly.div_ceil(cg);
+                (rows, cg)
+            }
+            LayoutPolicy::Contiguous => {
+                let rows_per_poly = chunks_per_poly.div_ceil(self.chunks_per_row);
+                (rows_per_poly * polys, self.chunks_per_row)
+            }
+        };
+        assert!(
+            self.next_row + rows <= self.total_rows,
+            "bank rows exhausted: need {rows}, have {}",
+            self.rows_free()
+        );
+        let g = PolyGroup {
+            id: self.next_id,
+            first_row: self.next_row,
+            rows,
+            polys,
+            cg_chunks,
+            chunks_per_poly,
+        };
+        self.next_row += rows;
+        self.next_id += 1;
+        g
+    }
+
+    /// ACT/PRE pairs needed for one iteration phase touching `polys_touched`
+    /// polynomials of a group: a single activation under CP (co-located
+    /// rows), one per polynomial under the contiguous layout (§VI-C).
+    pub fn acts_per_phase(&self, polys_touched: usize) -> usize {
+        match self.policy {
+            LayoutPolicy::ColumnPartitioned => 1,
+            LayoutPolicy::Contiguous => polys_touched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_fig7() {
+        // 16 chunks (128 elements) per bank per limb, 32-chunk rows:
+        // 2 polynomials per group → CG of 16 chunks, RG of 1 row.
+        let mut a = PolyGroupAllocator::new(32, 256, LayoutPolicy::ColumnPartitioned);
+        let g = a.alloc(2, 16);
+        assert_eq!(g.cg_chunks, 16);
+        assert_eq!(g.rows, 1);
+        // 4 polynomials → CG of 8 chunks, RG of 2 rows.
+        let g4 = a.alloc(4, 16);
+        assert_eq!(g4.cg_chunks, 8);
+        assert_eq!(g4.rows, 2);
+        // 8 polynomials → CG of 4, RG of 4.
+        let g8 = a.alloc(8, 16);
+        assert_eq!(g8.cg_chunks, 4);
+        assert_eq!(g8.rows, 4);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let g1 = a.alloc(2, 16);
+        let g2 = a.alloc(4, 16);
+        let g3 = a.alloc(2, 32);
+        assert_eq!(g1.first_row + g1.rows, g2.first_row);
+        assert_eq!(g2.first_row + g2.rows, g3.first_row);
+        assert_eq!(a.rows_used(), g1.rows + g2.rows + g3.rows);
+        assert!(g1.id < g2.id && g2.id < g3.id);
+    }
+
+    #[test]
+    fn contiguous_uses_more_rows_per_group() {
+        let mut cp = PolyGroupAllocator::new(32, 256, LayoutPolicy::ColumnPartitioned);
+        let mut na = PolyGroupAllocator::new(32, 256, LayoutPolicy::Contiguous);
+        let gc = cp.alloc(4, 16);
+        let gn = na.alloc(4, 16);
+        // CP packs 4×16 chunks into 2 rows; contiguous burns a row per poly.
+        assert_eq!(gc.rows, 2);
+        assert_eq!(gn.rows, 4);
+    }
+
+    #[test]
+    fn act_counting_per_policy() {
+        let cp = PolyGroupAllocator::new(32, 8, LayoutPolicy::ColumnPartitioned);
+        let na = PolyGroupAllocator::new(32, 8, LayoutPolicy::Contiguous);
+        assert_eq!(cp.acts_per_phase(8), 1);
+        assert_eq!(na.acts_per_phase(8), 8);
+    }
+
+    #[test]
+    fn row_of_addresses_within_group() {
+        let mut a = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let g = a.alloc(4, 16); // cg = 8, rows = 2
+        assert_eq!(g.row_of(0, 0), g.first_row);
+        assert_eq!(g.row_of(3, 7), g.first_row);
+        assert_eq!(g.row_of(1, 8), g.first_row + 1);
+        assert_eq!(g.row_of(2, 15), g.first_row + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank rows exhausted")]
+    fn capacity_enforced() {
+        let mut a = PolyGroupAllocator::new(32, 2, LayoutPolicy::Contiguous);
+        let _ = a.alloc(4, 32);
+    }
+}

@@ -1,0 +1,33 @@
+//! The Anaheim processing-in-memory (PIM) model (§VI of the paper).
+//!
+//! Four cooperating pieces:
+//!
+//! - [`isa`] — the PIM instruction set of Table II (basic, constant, and
+//!   compound instructions) plus each instruction's *execution profile*:
+//!   how many data-buffer slots it needs (which fixes the chunk granularity
+//!   `G = ⌊B/slots⌋`) and which PolyGroups it touches per iteration.
+//! - [`mmac`] — a functional model of the modular multiply-accumulate
+//!   (MMAC) lanes, built on Montgomery reduction over 28-bit primes
+//!   satisfying `q ≡ 1 (mod 2N)` exactly as §VI-A prescribes. Eight lanes
+//!   match the 256-bit DRAM global I/O.
+//! - [`layout`] — the column-partitioning data layout: die groups, row
+//!   groups × column groups, and the `PolyGroup` allocator (§VI-B, Fig. 7),
+//!   plus the naive contiguous layout used by the paper's w/o-CP ablation.
+//! - [`exec`] — the execution engine generalizing Alg. 1: per-iteration
+//!   ACT/RD/WR/PRE schedules fed to the all-bank lockstep DRAM engine,
+//!   yielding kernel latency and energy for both microarchitecture variants
+//!   (near-bank and custom-HBM, [`device`]).
+
+pub mod bankexec;
+pub mod device;
+pub mod exec;
+pub mod isa;
+pub mod layout;
+pub mod mmac;
+
+pub use bankexec::{paccum_alg1, SimulatedBank};
+pub use device::{PimDeviceConfig, PimVariant};
+pub use exec::{PimExecutor, PimKernelResult, PimKernelSpec};
+pub use isa::{InstrProfile, PimInstruction};
+pub use layout::{LayoutPolicy, PolyGroup, PolyGroupAllocator};
+pub use mmac::{MontgomeryCtx, PimUnit};

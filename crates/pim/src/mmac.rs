@@ -1,0 +1,445 @@
+//! Functional model of the MMAC (modular multiply-accumulate) units.
+//!
+//! §VI-A: the PIM unit contains eight general-purpose MMAC lanes fed by the
+//! 256-bit DRAM global I/O. Primes are small (`q < 2^28`, stored as 32-bit
+//! words and truncated on entry), and because every eligible prime satisfies
+//! `q ≡ 1 (mod 2N)` — hence is odd — an efficient **Montgomery** reduction
+//! circuit is possible. This module implements that arithmetic faithfully
+//! (R = 2^32) and a [`PimUnit`] that executes every Table II instruction on
+//! real data, so the PIM datapath can be validated against the host CKKS
+//! arithmetic.
+
+use crate::isa::PimInstruction;
+
+/// Montgomery arithmetic context for a prime `q < 2^28` with `R = 2^32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontgomeryCtx {
+    q: u32,
+    /// `-q^{-1} mod 2^32`.
+    neg_q_inv: u32,
+    /// `R² mod q`, for conversion into Montgomery form.
+    r2: u32,
+}
+
+impl MontgomeryCtx {
+    /// Builds the context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is even, < 3, or ≥ 2^28.
+    pub fn new(q: u32) -> Self {
+        assert!(q % 2 == 1, "Montgomery reduction requires an odd modulus");
+        assert!((3..1 << 28).contains(&q), "q must be a 28-bit-or-less prime");
+        // Newton iteration for q^{-1} mod 2^32.
+        let mut inv: u32 = 1;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        let r2 = ((1u128 << 64) % q as u128) as u32;
+        Self {
+            q,
+            neg_q_inv: inv.wrapping_neg(),
+            r2,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u32 {
+        self.q
+    }
+
+    /// Montgomery reduction: returns `t·R^{-1} mod q` for `t < q·R`.
+    #[inline]
+    pub fn redc(&self, t: u64) -> u32 {
+        let m = (t as u32).wrapping_mul(self.neg_q_inv);
+        let t2 = ((t as u128 + m as u128 * self.q as u128) >> 32) as u64;
+        let r = if t2 >= self.q as u64 {
+            t2 - self.q as u64
+        } else {
+            t2
+        };
+        r as u32
+    }
+
+    /// Converts into Montgomery form (`a·R mod q`).
+    #[inline]
+    pub fn to_mont(&self, a: u32) -> u32 {
+        debug_assert!(a < self.q);
+        self.redc(a as u64 * self.r2 as u64)
+    }
+
+    /// Converts out of Montgomery form.
+    #[inline]
+    pub fn from_mont(&self, a: u32) -> u32 {
+        self.redc(a as u64)
+    }
+
+    /// Plain modular multiplication routed through the Montgomery datapath
+    /// (to-mont → mont-mul → from-mont), exactly what a lane does per cycle.
+    #[inline]
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.q && b < self.q);
+        let am = self.to_mont(a);
+        // am·b = a·R·b; redc gives a·b mod q.
+        self.redc(am as u64 * b as u64)
+    }
+
+    /// Modular addition.
+    #[inline]
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b; // < 2^29, no overflow
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction.
+    #[inline]
+    pub fn sub(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// Modular negation.
+    #[inline]
+    pub fn neg(&self, a: u32) -> u32 {
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// Fused multiply-add `a·b + c mod q`.
+    #[inline]
+    pub fn mac(&self, a: u32, b: u32, c: u32) -> u32 {
+        self.add(self.mul(a, b), c)
+    }
+}
+
+/// A functional PIM unit: executes Table II instructions on element vectors.
+///
+/// The vectors stand for the stream of chunks a unit processes; lane
+/// parallelism (8 × 28-bit per 256-bit chunk) is implicit in the data
+/// width and is accounted for by the timing model in [`crate::exec`], not
+/// here.
+#[derive(Debug, Clone)]
+pub struct PimUnit {
+    mont: MontgomeryCtx,
+    buffer_entries: usize,
+}
+
+impl PimUnit {
+    /// A unit attached to banks storing residues of prime `q`, with a
+    /// `B`-entry data buffer.
+    pub fn new(q: u32, buffer_entries: usize) -> Self {
+        Self {
+            mont: MontgomeryCtx::new(q),
+            buffer_entries,
+        }
+    }
+
+    /// The arithmetic context.
+    pub fn mont(&self) -> &MontgomeryCtx {
+        &self.mont
+    }
+
+    /// Executes an instruction over full input vectors, returning the
+    /// output vectors in Table II order.
+    ///
+    /// `inputs` follow the source order of Table II; `constants` carry the
+    /// embedded `C` (or `C_0..C_K` for `CAccum`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is unsupported for the configured buffer
+    /// size, the operand counts are wrong, lengths differ, or any value is
+    /// out of range.
+    pub fn execute(
+        &self,
+        instr: PimInstruction,
+        inputs: &[&[u32]],
+        constants: &[u32],
+    ) -> Vec<Vec<u32>> {
+        assert!(
+            instr.profile().supported(self.buffer_entries),
+            "{instr} unsupported with B = {}",
+            self.buffer_entries
+        );
+        let n = inputs.first().map_or(0, |v| v.len());
+        assert!(inputs.iter().all(|v| v.len() == n), "ragged inputs");
+        let q = self.mont.q;
+        for v in inputs {
+            assert!(v.iter().all(|&x| x < q), "input residue out of range");
+        }
+        for &c in constants {
+            assert!(c < q, "constant out of range");
+        }
+        let m = &self.mont;
+        use PimInstruction::*;
+        let map1 = |f: &dyn Fn(u32) -> u32| vec![inputs[0].iter().map(|&a| f(a)).collect()];
+        let zip2 = |f: &dyn Fn(u32, u32) -> u32| {
+            vec![inputs[0]
+                .iter()
+                .zip(inputs[1])
+                .map(|(&a, &b)| f(a, b))
+                .collect()]
+        };
+        match instr {
+            Move => map1(&|a| a),
+            Neg => map1(&|a| m.neg(a)),
+            Add => zip2(&|a, b| m.add(a, b)),
+            Sub => zip2(&|a, b| m.sub(a, b)),
+            Mult => zip2(&|a, b| m.mul(a, b)),
+            Mac => {
+                assert_eq!(inputs.len(), 3, "Mac takes a, b, c");
+                vec![(0..n)
+                    .map(|i| m.mac(inputs[0][i], inputs[1][i], inputs[2][i]))
+                    .collect()]
+            }
+            PMult => {
+                assert_eq!(inputs.len(), 3, "PMult takes a, b, p");
+                let p = inputs[2];
+                vec![
+                    (0..n).map(|i| m.mul(inputs[0][i], p[i])).collect(),
+                    (0..n).map(|i| m.mul(inputs[1][i], p[i])).collect(),
+                ]
+            }
+            PMac => {
+                assert_eq!(inputs.len(), 5, "PMac takes a, b, p, c, d");
+                let p = inputs[2];
+                vec![
+                    (0..n)
+                        .map(|i| m.add(m.mul(inputs[0][i], p[i]), inputs[3][i]))
+                        .collect(),
+                    (0..n)
+                        .map(|i| m.add(m.mul(inputs[1][i], p[i]), inputs[4][i]))
+                        .collect(),
+                ]
+            }
+            CAdd => map1(&|a| m.add(a, constants[0])),
+            CSub => map1(&|a| m.sub(a, constants[0])),
+            CMult => map1(&|a| m.mul(constants[0], a)),
+            CMac => {
+                assert_eq!(inputs.len(), 2, "CMac takes a, b");
+                zip2(&|a, b| m.add(m.mul(constants[0], a), b))
+            }
+            Tensor => {
+                assert_eq!(inputs.len(), 4, "Tensor takes a, b, c, d");
+                let (a, b, c, d) = (inputs[0], inputs[1], inputs[2], inputs[3]);
+                vec![
+                    (0..n).map(|i| m.mul(a[i], c[i])).collect(),
+                    (0..n)
+                        .map(|i| m.add(m.mul(a[i], d[i]), m.mul(b[i], c[i])))
+                        .collect(),
+                    (0..n).map(|i| m.mul(b[i], d[i])).collect(),
+                ]
+            }
+            TensorSq => {
+                assert_eq!(inputs.len(), 2, "TensorSq takes a, b");
+                let (a, b) = (inputs[0], inputs[1]);
+                vec![
+                    (0..n).map(|i| m.mul(a[i], a[i])).collect(),
+                    (0..n)
+                        .map(|i| {
+                            let ab = m.mul(a[i], b[i]);
+                            m.add(ab, ab)
+                        })
+                        .collect(),
+                    (0..n).map(|i| m.mul(b[i], b[i])).collect(),
+                ]
+            }
+            ModDownEp => zip2(&|a, b| m.mul(constants[0], m.sub(a, b))),
+            PAccum(k) => {
+                assert_eq!(inputs.len(), 3 * k, "PAccum<{k}> takes a_i, b_i, p_i");
+                let (a, rest) = inputs.split_at(k);
+                let (b, p) = rest.split_at(k);
+                let mut x = vec![0u32; n];
+                let mut y = vec![0u32; n];
+                for i in 0..k {
+                    for j in 0..n {
+                        x[j] = m.add(x[j], m.mul(a[i][j], p[i][j]));
+                        y[j] = m.add(y[j], m.mul(b[i][j], p[i][j]));
+                    }
+                }
+                vec![x, y]
+            }
+            CAccum(k) => {
+                assert_eq!(inputs.len(), 2 * k, "CAccum<{k}> takes a_i, b_i");
+                assert_eq!(constants.len(), k + 1, "CAccum<{k}> takes C_0..C_k");
+                let (a, b) = inputs.split_at(k);
+                let mut x = vec![constants[0]; n];
+                let mut y = vec![constants[0]; n];
+                for i in 0..k {
+                    let c = constants[i + 1];
+                    for j in 0..n {
+                        x[j] = m.add(x[j], m.mul(c, a[i][j]));
+                        y[j] = m.add(y[j], m.mul(c, b[i][j]));
+                    }
+                }
+                vec![x, y]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckks_math::modulus::Modulus;
+
+    /// A 28-bit NTT-friendly prime (1 mod 2^17).
+    const Q: u32 = 268369921;
+
+    #[test]
+    fn montgomery_matches_reference() {
+        let m = MontgomeryCtx::new(Q);
+        let r = Modulus::new(Q as u64);
+        for (a, b) in [(0u32, 5), (Q - 1, Q - 1), (12345, 67890), (1 << 27, 3)] {
+            let a = a % Q;
+            let b = b % Q;
+            assert_eq!(m.mul(a, b) as u64, r.mul(a as u64, b as u64));
+            assert_eq!(m.add(a, b) as u64, r.add(a as u64, b as u64));
+            assert_eq!(m.sub(a, b) as u64, r.sub(a as u64, b as u64));
+        }
+    }
+
+    #[test]
+    fn mont_form_roundtrip() {
+        let m = MontgomeryCtx::new(Q);
+        for a in [0u32, 1, Q - 1, 424242] {
+            assert_eq!(m.from_mont(m.to_mont(a)), a);
+        }
+    }
+
+    #[test]
+    fn basic_instructions_semantics() {
+        let u = PimUnit::new(Q, 16);
+        let a = vec![1u32, 2, Q - 1, 100];
+        let b = vec![5u32, 7, 1, 50];
+        let r = Modulus::new(Q as u64);
+        let add = u.execute(PimInstruction::Add, &[&a, &b], &[]);
+        let mult = u.execute(PimInstruction::Mult, &[&a, &b], &[]);
+        let neg = u.execute(PimInstruction::Neg, &[&a], &[]);
+        for i in 0..4 {
+            assert_eq!(add[0][i] as u64, r.add(a[i] as u64, b[i] as u64));
+            assert_eq!(mult[0][i] as u64, r.mul(a[i] as u64, b[i] as u64));
+            assert_eq!(neg[0][i] as u64, r.neg(a[i] as u64));
+        }
+    }
+
+    #[test]
+    fn tensor_matches_ciphertext_tensor() {
+        // Tensor computes (b1,a1)×(b2,a2) tensor products (HMULT step).
+        let u = PimUnit::new(Q, 16);
+        let a = vec![3u32, 1000];
+        let b = vec![7u32, 2000];
+        let c = vec![11u32, 3000];
+        let d = vec![13u32, 4000];
+        let out = u.execute(PimInstruction::Tensor, &[&a, &b, &c, &d], &[]);
+        let r = Modulus::new(Q as u64);
+        for i in 0..2 {
+            assert_eq!(out[0][i] as u64, r.mul(a[i] as u64, c[i] as u64));
+            assert_eq!(
+                out[1][i] as u64,
+                r.add(
+                    r.mul(a[i] as u64, d[i] as u64),
+                    r.mul(b[i] as u64, c[i] as u64)
+                )
+            );
+            assert_eq!(out[2][i] as u64, r.mul(b[i] as u64, d[i] as u64));
+        }
+    }
+
+    #[test]
+    fn tensorsq_is_tensor_with_equal_inputs() {
+        let u = PimUnit::new(Q, 16);
+        let a = vec![3u32, 99999];
+        let b = vec![7u32, 123456];
+        let sq = u.execute(PimInstruction::TensorSq, &[&a, &b], &[]);
+        let full = u.execute(PimInstruction::Tensor, &[&a, &b, &a, &b], &[]);
+        assert_eq!(sq[0], full[0]);
+        assert_eq!(sq[1], full[1]);
+        assert_eq!(sq[2], full[2]);
+    }
+
+    #[test]
+    fn paccum_matches_unfused_sequence() {
+        // PAccum<K> must equal K sequential PMac applications (the fusion
+        // is a performance optimization, not a semantic change).
+        let u = PimUnit::new(Q, 32);
+        let k = 4;
+        let n = 8;
+        let mk = |s: u32| -> Vec<u32> { (0..n as u32).map(|i| (s * 7919 + i * 104729) % Q).collect() };
+        let a: Vec<Vec<u32>> = (0..k).map(|i| mk(i as u32)).collect();
+        let b: Vec<Vec<u32>> = (0..k).map(|i| mk(i as u32 + 10)).collect();
+        let p: Vec<Vec<u32>> = (0..k).map(|i| mk(i as u32 + 20)).collect();
+        let mut refs: Vec<&[u32]> = Vec::new();
+        refs.extend(a.iter().map(|v| v.as_slice()));
+        refs.extend(b.iter().map(|v| v.as_slice()));
+        refs.extend(p.iter().map(|v| v.as_slice()));
+        let fused = u.execute(PimInstruction::PAccum(k), &refs, &[]);
+
+        let mut x = vec![0u32; n];
+        let mut y = vec![0u32; n];
+        for i in 0..k {
+            let out = u.execute(
+                PimInstruction::PMac,
+                &[&a[i], &b[i], &p[i], &x, &y],
+                &[],
+            );
+            x = out[0].clone();
+            y = out[1].clone();
+        }
+        assert_eq!(fused[0], x);
+        assert_eq!(fused[1], y);
+    }
+
+    #[test]
+    fn caccum_semantics() {
+        let u = PimUnit::new(Q, 8);
+        let a = vec![vec![2u32, 3], vec![5u32, 7]];
+        let b = vec![vec![1u32, 1], vec![1u32, 1]];
+        let consts = [100u32, 10, 20];
+        let out = u.execute(
+            PimInstruction::CAccum(2),
+            &[&a[0], &a[1], &b[0], &b[1]],
+            &consts,
+        );
+        // x = 100 + 10·a0 + 20·a1
+        assert_eq!(out[0], vec![100 + 20 + 100, 100 + 30 + 140]);
+        assert_eq!(out[1], vec![100 + 10 + 20, 100 + 10 + 20]);
+    }
+
+    #[test]
+    fn mod_down_epilogue() {
+        let u = PimUnit::new(Q, 8);
+        let a = vec![10u32];
+        let b = vec![3u32];
+        let out = u.execute(PimInstruction::ModDownEp, &[&a, &b], &[5]);
+        assert_eq!(out[0], vec![35]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported with B = 4")]
+    fn oversized_compound_rejected() {
+        let u = PimUnit::new(Q, 4);
+        let a = vec![0u32];
+        let refs: Vec<&[u32]> = vec![&a; 12];
+        u.execute(PimInstruction::PAccum(4), &refs, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(1 << 20);
+    }
+}

@@ -1,0 +1,365 @@
+//! Workload definitions (§VII-A).
+
+use anaheim_core::build::{Builder, LinTransStyle};
+use anaheim_core::ir::OpSequence;
+use anaheim_core::params::ParamSet;
+
+/// One building block of a workload: a sequence and how often it runs.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Descriptive name.
+    pub name: &'static str,
+    /// The op sequence of one instance.
+    pub seq: OpSequence,
+    /// How many times the instance executes.
+    pub repeat: u64,
+}
+
+/// A paper workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// Workload name as used in Fig. 8 / Table V.
+    pub name: &'static str,
+    /// `L_eff` (§VII-A).
+    pub l_eff: usize,
+    /// Reporting unit ("total" or "per iteration").
+    pub unit: &'static str,
+    /// The segments.
+    pub segments: Vec<Segment>,
+    /// Estimated peak working set in bytes (evks + plaintexts + live
+    /// ciphertexts), driving the OoM checks of §VIII-B.
+    pub footprint_bytes: u64,
+}
+
+const GIB: u64 = 1 << 30;
+
+impl Workload {
+    /// **Boot**: one full-slot (2^15) bootstrapping with sparse-secret
+    /// encapsulation; `L` runs 2 → 54 → 24, `L_eff = 11`.
+    pub fn boot() -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params);
+        let seq = b.bootstrap();
+        Self {
+            name: "Boot",
+            l_eff: 11,
+            unit: "total",
+            segments: vec![Segment {
+                name: "bootstrap",
+                seq,
+                repeat: 1,
+            }],
+            // ~60 rotation/relin keys (~8 GB) + CtS/StC plaintexts +
+            // working ciphertexts.
+            footprint_bytes: 14 * GIB,
+        }
+    }
+
+    /// **HELR** [33]: one iteration of 1024-batch logistic-regression
+    /// training on 14×14 MNIST; only 196 weights need bootstrapping, so
+    /// the (sparse-slot) bootstrap is cheap and ModSwitch dominates
+    /// (§VII-B). `L_eff = 10`.
+    pub fn helr() -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params.clone());
+        let mut seq = OpSequence::new(params.clone());
+        // Gradient computation: batch inner products as rotations + MACs.
+        let l_hi = params.l_boot_out;
+        for _ in 0..4 {
+            let lt = b.lintrans(l_hi, 10, LinTransStyle::Hoisting, true);
+            seq.keyswitches += lt.keyswitches;
+            seq.ops.extend(lt.ops);
+        }
+        // Sigmoid (degree-7 polynomial): 3 multiplicative stages.
+        for lvl in [l_hi - 2, l_hi - 4, l_hi - 6] {
+            let h = b.hmult(lvl);
+            seq.keyswitches += h.keyswitches;
+            seq.ops.extend(h.ops);
+        }
+        // Weight update.
+        seq.extend_from(b.hadd(l_hi - 8));
+        // Sparse bootstrap for the 196 weight slots.
+        let boot = b.bootstrap_with_slots(256);
+        seq.keyswitches += boot.keyswitches;
+        seq.ops.extend(boot.ops);
+        Self {
+            name: "HELR",
+            l_eff: 10,
+            unit: "per iteration",
+            segments: vec![Segment {
+                name: "training iteration",
+                seq,
+                repeat: 1,
+            }],
+            footprint_bytes: 10 * GIB,
+        }
+    }
+
+    /// **Sort** [35]: two-way sorting of 2^14 values via a bitonic-style
+    /// k-way network: `log²(2^14) ≈ 105` comparator stages, each a
+    /// minimax-composite comparison (~9 multiplicative levels) plus swap
+    /// arithmetic; a bootstrap roughly every `L_eff = 9` multiplications.
+    pub fn sort() -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params.clone());
+        // One comparator stage: comparison polynomial + swaps + rotations.
+        let mut stage = OpSequence::new(params.clone());
+        let l = params.l_boot_out;
+        for d in 0..9 {
+            let h = b.hmult(l - 2 * (d % 4));
+            stage.keyswitches += h.keyswitches;
+            stage.ops.extend(h.ops);
+        }
+        for _ in 0..4 {
+            let r = b.hrot(l - 4);
+            stage.keyswitches += r.keyswitches;
+            stage.ops.extend(r.ops);
+        }
+        stage.extend_from(b.hadd(l - 4));
+        stage.extend_from(b.pmult(l - 4));
+        // Bootstraps: 105 stages × 9 mults / L_eff=9 ⇒ ~105 bootstraps;
+        // two-way sorting of 2^14 needs ~4 ciphertext lanes ⇒ ~420 total.
+        let mut bb = Builder::new(params.clone());
+        let boot = bb.bootstrap();
+        Self {
+            name: "Sort",
+            l_eff: 9,
+            unit: "total",
+            segments: vec![
+                Segment {
+                    name: "comparator stage",
+                    seq: stage,
+                    repeat: 105,
+                },
+                Segment {
+                    name: "bootstrap",
+                    seq: boot,
+                    repeat: 420,
+                },
+            ],
+            footprint_bytes: 18 * GIB,
+        }
+    }
+
+    /// **RNN** [67]: 200 evaluations of an RNN cell over a 32-batch of
+    /// 128-long embeddings: two 128×128 matrix-vector products + tanh
+    /// activation per cell; a bootstrap every other cell (`L_eff = 10`).
+    pub fn rnn() -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params.clone());
+        let mut cell = OpSequence::new(params.clone());
+        let l = params.l_boot_out;
+        for _ in 0..2 {
+            let lt = b.lintrans(l, 12, LinTransStyle::Hoisting, true);
+            cell.keyswitches += lt.keyswitches;
+            cell.ops.extend(lt.ops);
+        }
+        for lvl in [l - 2, l - 4, l - 6] {
+            let h = b.hmult(lvl);
+            cell.keyswitches += h.keyswitches;
+            cell.ops.extend(h.ops);
+        }
+        cell.extend_from(b.hadd(l - 6));
+        let mut bb = Builder::new(params.clone());
+        let boot = bb.bootstrap();
+        Self {
+            name: "RNN",
+            l_eff: 10,
+            unit: "total",
+            segments: vec![
+                Segment {
+                    name: "RNN cell",
+                    seq: cell,
+                    repeat: 200,
+                },
+                Segment {
+                    name: "bootstrap",
+                    seq: boot,
+                    repeat: 100,
+                },
+            ],
+            footprint_bytes: 12 * GIB,
+        }
+    }
+
+    /// **ResNet20** [49]: CIFAR-10 inference with multiplexed parallel
+    /// convolutions: ~20 convolution layers (rotation-heavy linear
+    /// transforms) + AESPA-free square activations + ~30 bootstraps.
+    /// `L_eff = 8`. Needs > 24 GB ⇒ OoM on the RTX 4090 (§VIII-B).
+    pub fn resnet20() -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params.clone());
+        let mut layer = OpSequence::new(params.clone());
+        let l = params.l_boot_out;
+        // Convolution as a wide linear transform + channel accumulation.
+        let lt = b.lintrans(l, 18, LinTransStyle::Hoisting, true);
+        layer.keyswitches += lt.keyswitches;
+        layer.ops.extend(lt.ops);
+        for _ in 0..4 {
+            let r = b.hrot(l - 2);
+            layer.keyswitches += r.keyswitches;
+            layer.ops.extend(r.ops);
+        }
+        // Square activation.
+        let h = b.hmult(l - 2);
+        layer.keyswitches += h.keyswitches;
+        layer.ops.extend(h.ops);
+        layer.extend_from(b.hadd(l - 4));
+        let mut bb = Builder::new(params.clone());
+        let boot = bb.bootstrap();
+        Self {
+            name: "ResNet20",
+            l_eff: 8,
+            unit: "total",
+            segments: vec![
+                Segment {
+                    name: "conv layer",
+                    seq: layer,
+                    repeat: 20,
+                },
+                Segment {
+                    name: "bootstrap",
+                    seq: boot,
+                    repeat: 30,
+                },
+            ],
+            footprint_bytes: 27 * GIB,
+        }
+    }
+
+    /// **ResNet18-AESPA** [37], [64]: ImageNet (224×224×3) inference via
+    /// NeuJeans with AESPA activations — the heavyweight workload:
+    /// wide convolutions over many ciphertexts and ~45 bootstraps.
+    /// `L_eff = 7`. Needs > 40 GB (§VIII-B).
+    pub fn resnet18_aespa() -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params.clone());
+        let mut layer = OpSequence::new(params.clone());
+        let l = params.l_boot_out;
+        for _ in 0..2 {
+            let lt = b.lintrans(l, 24, LinTransStyle::Hoisting, true);
+            layer.keyswitches += lt.keyswitches;
+            layer.ops.extend(lt.ops);
+        }
+        for _ in 0..6 {
+            let r = b.hrot(l - 2);
+            layer.keyswitches += r.keyswitches;
+            layer.ops.extend(r.ops);
+        }
+        // AESPA low-degree polynomial activation.
+        for lvl in [l - 2, l - 4] {
+            let h = b.hmult(lvl);
+            layer.keyswitches += h.keyswitches;
+            layer.ops.extend(h.ops);
+        }
+        layer.extend_from(b.hadd(l - 6));
+        let mut bb = Builder::new(params.clone());
+        let boot = bb.bootstrap();
+        Self {
+            name: "ResNet18-AESPA",
+            l_eff: 7,
+            unit: "total",
+            segments: vec![
+                Segment {
+                    name: "conv block",
+                    seq: layer,
+                    repeat: 18,
+                },
+                Segment {
+                    name: "bootstrap",
+                    seq: boot,
+                    repeat: 45,
+                },
+            ],
+            footprint_bytes: 44 * GIB,
+        }
+    }
+
+    /// All six workloads, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Self::boot(),
+            Self::helr(),
+            Self::sort(),
+            Self::rnn(),
+            Self::resnet20(),
+            Self::resnet18_aespa(),
+        ]
+    }
+}
+
+/// Small helper: extend a sequence in place (keyswitch-aware).
+trait ExtendFrom {
+    fn extend_from(&mut self, other: OpSequence);
+}
+
+impl ExtendFrom for OpSequence {
+    fn extend_from(&mut self, other: OpSequence) {
+        self.keyswitches += other.keyswitches;
+        self.ops.extend(other.ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_workloads_build() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 6);
+        let names: Vec<_> = all.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["Boot", "HELR", "Sort", "RNN", "ResNet20", "ResNet18-AESPA"]
+        );
+        for w in &all {
+            assert!(!w.segments.is_empty(), "{}", w.name);
+            for s in &w.segments {
+                assert!(!s.seq.is_empty(), "{}/{}", w.name, s.name);
+                assert!(s.repeat >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn l_eff_values_match_section_7a() {
+        let all = Workload::all();
+        let l_effs: Vec<_> = all.iter().map(|w| w.l_eff).collect();
+        assert_eq!(l_effs, vec![11, 10, 9, 10, 8, 7]);
+    }
+
+    #[test]
+    fn footprints_encode_oom_behaviour() {
+        // §VIII-B: ResNet20 and ResNet18-AESPA exceed 24 GB; ResNet18
+        // exceeds 40 GB; everything fits in the A100's 80 GB.
+        let cap_4090 = 24 * GIB;
+        let cap_a100 = 80 * GIB;
+        for w in Workload::all() {
+            assert!(w.footprint_bytes < cap_a100, "{} must fit the A100", w.name);
+            match w.name {
+                "ResNet20" | "ResNet18-AESPA" => {
+                    assert!(w.footprint_bytes > cap_4090, "{} must OoM on 4090", w.name)
+                }
+                _ => assert!(w.footprint_bytes < cap_4090, "{} fits the 4090", w.name),
+            }
+        }
+        assert!(Workload::resnet18_aespa().footprint_bytes > 40 * GIB);
+    }
+
+    #[test]
+    fn helr_is_modswitch_dominated() {
+        // §VII-B: HELR's sparse bootstrap shrinks the linear transforms, so
+        // ModSwitch (NTT+BConv) dominates over element-wise ops.
+        let helr = Workload::helr();
+        let s = helr.segments[0].seq.summary();
+        let boot = Workload::boot();
+        let sb = boot.segments[0].seq.summary();
+        let helr_ratio = s.ew_limb_ops as f64 / s.total_ntt_limbs() as f64;
+        let boot_ratio = sb.ew_limb_ops as f64 / sb.total_ntt_limbs() as f64;
+        assert!(
+            helr_ratio < boot_ratio,
+            "HELR must be less element-wise-heavy: {helr_ratio:.2} vs {boot_ratio:.2}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Functional CKKS bootstrapping: exhaust the modulus chain, bootstrap,
+//! and keep computing — the defining feature of FHE (§II-C).
+//!
+//! Uses toy ring parameters (N = 2^9; functionally complete, not secure)
+//! with a sparse secret so the ModRaise bound stays small, exactly the
+//! reason the paper's Boot workload uses sparse-secret encapsulation.
+//!
+//! Run with: `cargo run --release --example bootstrap_demo`
+
+use anaheim::ckks::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let params = CkksParams::builder()
+        .log_n(9)
+        .levels(16)
+        .alpha(4)
+        .scale_bits(42)
+        .q0_bits(50)
+        .p_bits(55)
+        .hamming_weight(16)
+        .build();
+    let ctx = CkksContext::new(params);
+    println!(
+        "context: N = {}, L = {}, slots = {}",
+        ctx.n(),
+        ctx.max_level(),
+        ctx.slots()
+    );
+
+    let bts = Bootstrapper::new(&ctx, BootstrapConfig::sparse_default());
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("generating keys ({} rotations)...", bts.required_rotations().len());
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&bts.required_rotations());
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+
+    let mut rng2 = StdRng::seed_from_u64(100);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|_| Complex::new(rng2.gen_range(-0.5..0.5), rng2.gen_range(-0.5..0.5)))
+        .collect();
+
+    // Encrypt fresh, then burn the whole modulus chain with squarings.
+    let mut ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+    let mut expect: Vec<Complex> = msg.clone();
+    while ct.level() > 1 {
+        ct = ev.mod_switch_to(&ct, ct.level().min(2));
+        if ct.level() > 1 {
+            ct = ev.rescale(&ev.mul_scalar(&ct, 1.0));
+        }
+    }
+    println!("ciphertext exhausted at level {}", ct.level());
+
+    // Bootstrap: the level is restored, the message survives.
+    println!("bootstrapping (CoeffToSlot -> EvalMod -> SlotToCoeff)...");
+    let t0 = std::time::Instant::now();
+    let boosted = bts.bootstrap(&ev, &enc, &ct, &keys);
+    println!(
+        "bootstrapped in {:.1?}: level {} -> {}",
+        t0.elapsed(),
+        1,
+        boosted.level()
+    );
+
+    let out = enc.decode(&keys.secret.decrypt(&boosted));
+    let err = anaheim::ckks::complex::max_error(&expect, &out);
+    println!("message error after bootstrap: {err:.2e}");
+    assert!(err < 5e-2, "bootstrap must preserve the message");
+
+    // Prove the restored levels are real: square twice.
+    let sq = ev.rescale(&ev.square_relin(&boosted, &keys.relin));
+    let sq2 = ev.rescale(&ev.square_relin(&sq, &keys.relin));
+    let out2 = enc.decode(&keys.secret.decrypt(&sq2));
+    for e in &mut expect {
+        let z = *e * *e;
+        *e = z * z;
+    }
+    let err2 = anaheim::ckks::complex::max_error(&expect, &out2);
+    println!("after two more encrypted squarings: error {err2:.2e}");
+    assert!(err2 < 0.3, "post-bootstrap computation must work");
+    println!("ok");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: encrypt a vector, compute on it homomorphically, decrypt.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use anaheim::ckks::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Parameters: a small functional ring (N = 2^10, 4 rescaling levels).
+    //    These are toy parameters for demonstration — see `CkksParams` for
+    //    the paper-scale settings used by the performance model.
+    let params = CkksParams::builder()
+        .log_n(10)
+        .levels(4)
+        .alpha(2)
+        .scale_bits(40)
+        .build();
+    let ctx = CkksContext::new(params);
+    println!(
+        "ring degree N = {}, slots = {}, levels = {}",
+        ctx.n(),
+        ctx.slots(),
+        ctx.max_level()
+    );
+
+    // 2. Keys: secret/public plus rotation keys for distances 1 and 4.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1, 4]);
+
+    // 3. Encode & encrypt two messages.
+    let enc = Encoder::new(&ctx);
+    let x: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new((i as f64 / 100.0).sin(), 0.0))
+        .collect();
+    let y: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(0.5 + (i % 4) as f64 * 0.1, 0.0))
+        .collect();
+    let ct_x = keys.public.encrypt(&enc.encode(&x, ctx.max_level()), &mut rng);
+    let ct_y = keys.public.encrypt(&enc.encode(&y, ctx.max_level()), &mut rng);
+
+    // 4. Compute homomorphically: (x + y) · y, then rotate by 4.
+    let ev = Evaluator::new(&ctx);
+    let sum = ev.add(&ct_x, &ct_y);
+    let prod = ev.mul_relin_rescale(&sum, &ct_y, &keys.relin);
+    let rotated = ev.rotate(&prod, 4, &keys);
+
+    // 5. Decrypt & verify.
+    let out = enc.decode(&keys.secret.decrypt(&rotated));
+    let mut max_err = 0.0f64;
+    for j in 0..ctx.slots() {
+        let src = (j + 4) % ctx.slots();
+        let want = (x[src] + y[src]) * y[src];
+        max_err = max_err.max((out[j] - want).abs());
+    }
+    println!("homomorphic ((x+y)*y) <<4 computed; max error = {max_err:.2e}");
+    assert!(max_err < 1e-3, "unexpected error");
+    println!("ok");
+}

@@ -1,0 +1,59 @@
+//! The Fig. 8 study as a runnable program: all six FHE workloads across
+//! the GPU baselines and the three Anaheim configurations, with speedups,
+//! energy gains, and EDP improvements.
+//!
+//! Run with: `cargo run --release --example workload_study`
+
+use anaheim::core::framework::{Anaheim, AnaheimConfig};
+use anaheim::workloads::{run_workload, Workload};
+
+fn main() {
+    let platforms = [
+        AnaheimConfig::a100_baseline(),
+        AnaheimConfig::a100_near_bank(),
+        AnaheimConfig::a100_custom_hbm(),
+        AnaheimConfig::rtx4090_baseline(),
+        AnaheimConfig::rtx4090_near_bank(),
+    ];
+    println!(
+        "{:16} {:28} {:>12} {:>10} {:>12}",
+        "workload", "platform", "time", "energy", "EDP"
+    );
+    for w in Workload::all() {
+        for cfg in &platforms {
+            let rt = Anaheim::new(cfg.clone());
+            let r = run_workload(&rt, &w);
+            match r.outcome {
+                Some(n) => println!(
+                    "{:16} {:28} {:>9.1} ms {:>8.2} J {:>10.3e}",
+                    w.name,
+                    cfg.name,
+                    n.time_ms,
+                    n.energy_j,
+                    n.edp()
+                ),
+                None => println!(
+                    "{:16} {:28} {:>12} {:>10} {:>12}",
+                    w.name, cfg.name, "OoM", "-", "-"
+                ),
+            }
+        }
+        println!();
+    }
+
+    // Headline: T_boot,eff on the A100 pair.
+    let boot = Workload::boot();
+    let base = run_workload(&Anaheim::new(AnaheimConfig::a100_baseline()), &boot)
+        .outcome
+        .expect("fits");
+    let pim = run_workload(&Anaheim::new(AnaheimConfig::a100_near_bank()), &boot)
+        .outcome
+        .expect("fits");
+    println!(
+        "T_boot,eff (A100): {:.2} ms -> {:.2} ms with PIM ({:.2}x speedup, {:.2}x EDP)",
+        base.t_eff_ms(boot.l_eff),
+        pim.t_eff_ms(boot.l_eff),
+        base.time_ms / pim.time_ms,
+        base.edp() / pim.edp()
+    );
+}

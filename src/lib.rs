@@ -1,0 +1,38 @@
+//! Facade crate for the Anaheim reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use anaheim::...`. See the individual crates for
+//! the real APIs:
+//!
+//! - [`math`] (`ckks-math`): modular arithmetic, NTT, RNS, BConv.
+//! - [`ckks`]: the CKKS scheme (keys, encoder, evaluator, linear transforms,
+//!   bootstrapping).
+//! - [`dram`]: DRAM timing/energy simulator.
+//! - [`pim`]: the Anaheim PIM model (ISA, layout, execution engine).
+//! - [`gpu`]: analytical GPU performance/energy model.
+//! - [`core`] (`anaheim-core`): the Anaheim framework — IR, passes, scheduler.
+//! - [`workloads`]: the six paper workloads.
+//!
+//! # Running a workload through the Anaheim framework
+//!
+//! ```
+//! use anaheim::core::framework::{Anaheim, AnaheimConfig};
+//! use anaheim::workloads::{run_workload, Workload};
+//!
+//! let baseline = Anaheim::new(AnaheimConfig::a100_baseline());
+//! let pim = Anaheim::new(AnaheimConfig::a100_near_bank());
+//! let boot = Workload::boot();
+//!
+//! let b = run_workload(&baseline, &boot).outcome.expect("fits");
+//! let p = run_workload(&pim, &boot).outcome.expect("fits");
+//! let speedup = b.time_ms / p.time_ms;
+//! assert!(speedup > 1.0, "PIM must accelerate bootstrapping");
+//! ```
+
+pub use anaheim_core as core;
+pub use ckks;
+pub use ckks_math as math;
+pub use dram;
+pub use gpu;
+pub use pim;
+pub use workloads;

@@ -1,0 +1,110 @@
+//! End-to-end client/server scenario across the serialization boundary:
+//! the deployment story FHE exists for (§I). The client encrypts and ships
+//! bytes; the server — holding only evaluation keys — computes a small
+//! private-inference pipeline (linear layer + polynomial activation +
+//! aggregation) on ciphertext bytes and ships bytes back; the client
+//! decrypts.
+
+use anaheim::ckks::polyeval::PowerSeries;
+use anaheim::ckks::prelude::*;
+use anaheim::ckks::serial::{
+    deserialize_ciphertext, serialize_ciphertext, SerialError,
+};
+use anaheim::ckks::slots::{sum_block, sum_block_rotations};
+use anaheim::ckks::lintrans::LinearTransform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn context() -> CkksContext {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_n(10)
+            .levels(8)
+            .alpha(2)
+            .scale_bits(40)
+            .build(),
+    )
+}
+
+#[test]
+fn private_inference_round_trip() {
+    let ctx = context();
+    let mut rng = StdRng::seed_from_u64(1001);
+
+    // --- Client side: keys, data, encryption, serialization.
+    let mut rots = vec![0isize; 0];
+    rots.extend([1isize, 2, 3]);
+    rots.extend(sum_block_rotations(16));
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&rots);
+    let enc = Encoder::new(&ctx);
+    let m = ctx.slots();
+    let mut rng2 = StdRng::seed_from_u64(1002);
+    let x: Vec<f64> = (0..m).map(|_| rng2.gen_range(-0.4..0.4)).collect();
+    let msg: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+    let wire: Vec<u8> = serialize_ciphertext(&ct);
+    assert!(wire.len() > 1000, "a real ciphertext is not tiny");
+
+    // --- Server side: deserialize, compute, serialize.
+    // (The server shares the public context and evaluation keys only.)
+    let received = deserialize_ciphertext(&ctx, &wire).expect("valid wire format");
+    let ev = Evaluator::new(&ctx);
+
+    // 1. A small linear layer: y = W·x as a 3-diagonal transform.
+    let mut w = LinearTransform::new(m);
+    let mut rng3 = StdRng::seed_from_u64(1003);
+    for r in [0usize, 1, 3] {
+        let diag: Vec<Complex> = (0..m)
+            .map(|_| Complex::new(rng3.gen_range(-0.5..0.5), 0.0))
+            .collect();
+        w.set_diagonal(r, diag);
+    }
+    let lin = ev.rescale(&w.eval_hoisted(&ev, &enc, &received, &keys));
+    // 2. Quadratic activation (AESPA-style).
+    let act = PowerSeries::quadratic(0.5, 0.3, 0.05);
+    let activated = act.eval_homomorphic(&ev, &lin, &keys.relin);
+    // 3. Block aggregation (windowed sums of 16).
+    let pooled = sum_block(&ev, &activated, 16, &keys);
+    let reply = serialize_ciphertext(&pooled);
+
+    // --- Client side: deserialize, decrypt, verify against plaintext.
+    let result_ct = deserialize_ciphertext(&ctx, &reply).expect("valid reply");
+    let out = enc.decode(&keys.secret.decrypt(&result_ct));
+
+    let lin_plain = w.apply_plain(&msg);
+    let act_plain: Vec<f64> = lin_plain.iter().map(|z| act.eval_plain(z.re)).collect();
+    for j in 0..m {
+        let want: f64 = (0..16).map(|i| act_plain[(j + i) % m]).sum();
+        assert!(
+            (out[j].re - want).abs() < 1e-2,
+            "slot {j}: want {want}, got {}",
+            out[j].re
+        );
+    }
+}
+
+#[test]
+fn server_rejects_foreign_ciphertexts() {
+    // A ciphertext from a different parameter set must be rejected at the
+    // deserialization boundary, not silently mis-executed.
+    let ctx_a = context();
+    let ctx_b = CkksContext::new(
+        CkksParams::builder()
+            .log_n(11)
+            .levels(8)
+            .alpha(2)
+            .scale_bits(40)
+            .build(),
+    );
+    let mut rng = StdRng::seed_from_u64(1004);
+    let keys_b = KeyGenerator::new(&ctx_b, &mut rng).generate(&[]);
+    let enc_b = Encoder::new(&ctx_b);
+    let msg = vec![Complex::ZERO; ctx_b.slots()];
+    let ct_b = keys_b
+        .public
+        .encrypt(&enc_b.encode(&msg, ctx_b.max_level()), &mut rng);
+    let err = deserialize_ciphertext(&ctx_a, &serialize_ciphertext(&ct_b)).unwrap_err();
+    assert_eq!(err, SerialError::DegreeMismatch);
+}

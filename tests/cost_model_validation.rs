@@ -1,0 +1,178 @@
+//! Cross-validation: the performance model's IR builders must emit exactly
+//! the op mix the functional CKKS library executes.
+//!
+//! This is the test that ties the two halves of the reproduction together:
+//! `anaheim_core::build` generates the op streams the scheduler prices, and
+//! `ckks` *measures* the same quantities while actually computing on
+//! encrypted data. If these disagree, the figures are fiction.
+
+use anaheim::ckks::prelude::*;
+use anaheim::ckks::{keyswitch::KeySwitcher, opcount};
+use anaheim::core::build::Builder;
+use anaheim::core::params::ParamSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The functional test context: N = 2^10, 5 Q-limbs, α = 2 (D = 3).
+fn functional_context() -> CkksContext {
+    CkksContext::new(CkksParams::test_small())
+}
+
+/// The matching model descriptor.
+fn model_params(ctx: &CkksContext) -> ParamSet {
+    ParamSet::custom(
+        ctx.params().log_n,
+        ctx.max_level(),
+        ctx.params().alpha,
+    )
+}
+
+#[test]
+fn keyswitch_op_counts_match_functional_library() {
+    let ctx = functional_context();
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut kg = anaheim::ckks::keys::KeyGenerator::new(&ctx, &mut rng);
+    let sk = kg.gen_secret();
+    let relin = kg.gen_relin(&sk);
+    let level = ctx.max_level();
+    let mut rng2 = StdRng::seed_from_u64(72);
+    let a = anaheim::math::sampling::uniform(
+        &mut rng2,
+        ctx.basis_q(level),
+        anaheim::math::poly::Format::Eval,
+    );
+
+    opcount::reset();
+    let ks = KeySwitcher::new(&ctx);
+    let _ = ks.switch(&a, &relin, level);
+    let measured = opcount::snapshot();
+
+    // Model: ModUp + KeyMult + ModDown at the same level.
+    let params = model_params(&ctx);
+    let mut b = Builder::new(params);
+    // hrot = keyswitch + add + automorphism; strip the extras.
+    let seq = b.hrot(level);
+    let s = seq.summary();
+
+    assert_eq!(s.intt_limbs, measured.intt_limbs, "INTT limbs");
+    assert_eq!(s.ntt_limbs, measured.ntt_limbs, "NTT limbs");
+    assert_eq!(
+        s.bconv_limb_products, measured.bconv_limb_products,
+        "BConv products"
+    );
+    assert_eq!(seq.keyswitches, measured.keyswitches, "keyswitch count");
+}
+
+#[test]
+fn hrot_op_counts_match_functional_library() {
+    let ctx = functional_context();
+    let mut rng = StdRng::seed_from_u64(73);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1]);
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(i as f64 * 1e-3, 0.0))
+        .collect();
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+
+    opcount::reset();
+    let _ = ev.rotate(&ct, 1, &keys);
+    let measured = opcount::snapshot();
+
+    let params = model_params(&ctx);
+    let mut b = Builder::new(params);
+    let seq = b.hrot(ctx.max_level());
+    let s = seq.summary();
+
+    assert_eq!(s.intt_limbs, measured.intt_limbs, "INTT limbs");
+    assert_eq!(s.ntt_limbs, measured.ntt_limbs, "NTT limbs");
+    assert_eq!(
+        s.bconv_limb_products, measured.bconv_limb_products,
+        "BConv products"
+    );
+    assert_eq!(
+        s.automorphism_limbs, measured.automorphism_limbs,
+        "automorphism limbs"
+    );
+    assert_eq!(s.ew_limb_ops, measured.ew_limb_ops, "element-wise limb ops");
+}
+
+#[test]
+fn hmult_op_counts_match_functional_library() {
+    let ctx = functional_context();
+    let mut rng = StdRng::seed_from_u64(74);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let msg: Vec<Complex> = vec![Complex::new(0.5, 0.0); ctx.slots()];
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+
+    opcount::reset();
+    let _ = ev.rescale(&ev.mul_relin(&ct, &ct, &keys.relin));
+    let measured = opcount::snapshot();
+
+    let params = model_params(&ctx);
+    let mut b = Builder::new(params);
+    let seq = b.hmult(ctx.max_level());
+    let s = seq.summary();
+
+    assert_eq!(s.intt_limbs, measured.intt_limbs, "INTT limbs");
+    assert_eq!(s.ntt_limbs, measured.ntt_limbs, "NTT limbs");
+    assert_eq!(
+        s.bconv_limb_products, measured.bconv_limb_products,
+        "BConv products"
+    );
+    assert_eq!(s.ew_limb_ops, measured.ew_limb_ops, "element-wise limb ops");
+    assert_eq!(seq.keyswitches, measured.keyswitches, "keyswitch count");
+}
+
+#[test]
+fn hoisting_effect_holds_in_both_layers() {
+    // The §IV-B observation in both worlds: hoisting shifts the op mix
+    // toward element-wise work.
+    let ctx = functional_context();
+    let mut rng = StdRng::seed_from_u64(75);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1, 2, 3, 4]);
+    let enc = Encoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new((i % 3) as f64 * 0.1, 0.0))
+        .collect();
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+
+    let mut t = anaheim::ckks::lintrans::LinearTransform::new(ctx.slots());
+    for r in [0usize, 1, 2, 3, 4] {
+        t.set_diagonal(r, vec![Complex::new(0.1, 0.0); ctx.slots()]);
+    }
+
+    opcount::reset();
+    let _ = t.eval_hoisted(&ev, &enc, &ct, &keys);
+    let hoisted = opcount::snapshot();
+    opcount::reset();
+    let _ = t.eval_minks(&ev, &enc, &ct, &keys);
+    let minks = opcount::snapshot();
+
+    let func_shift = (hoisted.ew_limb_ops as f64 / hoisted.total_ntt_limbs() as f64)
+        / (minks.ew_limb_ops as f64 / minks.total_ntt_limbs() as f64);
+
+    // Model side at the same structural parameters.
+    use anaheim::core::build::LinTransStyle;
+    let params = model_params(&ctx);
+    let mut b = Builder::new(params.clone());
+    let h = b.lintrans(ctx.max_level(), 5, LinTransStyle::Hoisting, true);
+    let mut b2 = Builder::new(params);
+    let m = b2.lintrans(ctx.max_level(), 5, LinTransStyle::MinKS, false);
+    let sh = h.summary();
+    let sm = m.summary();
+    let model_shift = (sh.ew_limb_ops as f64 / sh.total_ntt_limbs() as f64)
+        / (sm.ew_limb_ops as f64 / sm.total_ntt_limbs() as f64);
+
+    assert!(func_shift > 1.3, "functional hoisting shift: {func_shift:.2}");
+    assert!(model_shift > 1.3, "model hoisting shift: {model_shift:.2}");
+}

@@ -1,0 +1,159 @@
+//! Property tests: the PIM MMAC datapath (Montgomery, 28-bit primes) must
+//! compute exactly what the host CKKS arithmetic computes, for every
+//! Table II instruction — the functional half of the hardware model.
+
+use anaheim::math::modulus::Modulus;
+use anaheim::pim::isa::PimInstruction;
+use anaheim::pim::mmac::PimUnit;
+use proptest::prelude::*;
+
+/// A 28-bit NTT-friendly prime (≡ 1 mod 2^17, §VI-A).
+const Q: u32 = 268369921;
+
+fn vecs(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..Q, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_instructions_match_host(a in vecs(16), b in vecs(16)) {
+        let unit = PimUnit::new(Q, 16);
+        let host = Modulus::new(Q as u64);
+        for (instr, f) in [
+            (PimInstruction::Add, &(|x: u64, y: u64| host.add(x, y)) as &dyn Fn(u64, u64) -> u64),
+            (PimInstruction::Sub, &|x, y| host.sub(x, y)),
+            (PimInstruction::Mult, &|x, y| host.mul(x, y)),
+        ] {
+            let out = unit.execute(instr, &[&a, &b], &[]);
+            for i in 0..16 {
+                prop_assert_eq!(out[0][i] as u64, f(a[i] as u64, b[i] as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_instructions_match_host(a in vecs(16), c in 0u32..Q) {
+        let unit = PimUnit::new(Q, 16);
+        let host = Modulus::new(Q as u64);
+        let cadd = unit.execute(PimInstruction::CAdd, &[&a], &[c]);
+        let csub = unit.execute(PimInstruction::CSub, &[&a], &[c]);
+        let cmul = unit.execute(PimInstruction::CMult, &[&a], &[c]);
+        for i in 0..16 {
+            prop_assert_eq!(cadd[0][i] as u64, host.add(a[i] as u64, c as u64));
+            prop_assert_eq!(csub[0][i] as u64, host.sub(a[i] as u64, c as u64));
+            prop_assert_eq!(cmul[0][i] as u64, host.mul(c as u64, a[i] as u64));
+        }
+    }
+
+    #[test]
+    fn mac_and_pmac_match_host(a in vecs(8), b in vecs(8), p in vecs(8),
+                               c in vecs(8), d in vecs(8)) {
+        let unit = PimUnit::new(Q, 16);
+        let host = Modulus::new(Q as u64);
+        let mac = unit.execute(PimInstruction::Mac, &[&a, &b, &c], &[]);
+        let pmac = unit.execute(PimInstruction::PMac, &[&a, &b, &p, &c, &d], &[]);
+        for i in 0..8 {
+            prop_assert_eq!(
+                mac[0][i] as u64,
+                host.mul_add(a[i] as u64, b[i] as u64, c[i] as u64)
+            );
+            prop_assert_eq!(
+                pmac[0][i] as u64,
+                host.add(host.mul(a[i] as u64, p[i] as u64), c[i] as u64)
+            );
+            prop_assert_eq!(
+                pmac[1][i] as u64,
+                host.add(host.mul(b[i] as u64, p[i] as u64), d[i] as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_is_hmult_tensor_step(b1 in vecs(8), a1 in vecs(8),
+                                   b2 in vecs(8), a2 in vecs(8)) {
+        // Tensor must produce the (d0, d1, d2) of HMULT (§II-A).
+        let unit = PimUnit::new(Q, 16);
+        let host = Modulus::new(Q as u64);
+        let out = unit.execute(PimInstruction::Tensor, &[&b1, &a1, &b2, &a2], &[]);
+        for i in 0..8 {
+            let d0 = host.mul(b1[i] as u64, b2[i] as u64);
+            let d1 = host.add(
+                host.mul(b1[i] as u64, a2[i] as u64),
+                host.mul(a1[i] as u64, b2[i] as u64),
+            );
+            let d2 = host.mul(a1[i] as u64, a2[i] as u64);
+            prop_assert_eq!(out[0][i] as u64, d0);
+            prop_assert_eq!(out[1][i] as u64, d1);
+            prop_assert_eq!(out[2][i] as u64, d2);
+        }
+    }
+
+    #[test]
+    fn paccum_is_keymult_inner_product(
+        data in prop::collection::vec(vecs(8), 12)
+    ) {
+        // PAccum<4> must equal the Σ digit·evk inner product of KeyMult.
+        let unit = PimUnit::new(Q, 16);
+        let host = Modulus::new(Q as u64);
+        let refs: Vec<&[u32]> = data.iter().map(|v| v.as_slice()).collect();
+        let out = unit.execute(PimInstruction::PAccum(4), &refs, &[]);
+        for i in 0..8 {
+            let mut x = 0u64;
+            let mut y = 0u64;
+            for k in 0..4 {
+                x = host.add(x, host.mul(data[k][i] as u64, data[8 + k][i] as u64));
+                y = host.add(y, host.mul(data[4 + k][i] as u64, data[8 + k][i] as u64));
+            }
+            prop_assert_eq!(out[0][i] as u64, x);
+            prop_assert_eq!(out[1][i] as u64, y);
+        }
+    }
+
+    #[test]
+    fn mod_down_epilogue_matches_host(a in vecs(8), b in vecs(8), c in 1u32..Q) {
+        let unit = PimUnit::new(Q, 16);
+        let host = Modulus::new(Q as u64);
+        let out = unit.execute(PimInstruction::ModDownEp, &[&a, &b], &[c]);
+        for i in 0..8 {
+            prop_assert_eq!(
+                out[0][i] as u64,
+                host.mul(c as u64, host.sub(a[i] as u64, b[i] as u64))
+            );
+        }
+    }
+}
+
+#[test]
+fn pim_unit_processes_real_ciphertext_limbs() {
+    // End-to-end plumbing: take limbs from an actual CKKS ciphertext
+    // (reduced into a 28-bit prime), run HADD's element-wise addition on
+    // the PIM unit, and check against the host addition.
+    use anaheim::ckks::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let ctx = CkksContext::new(CkksParams::test_small());
+    let mut rng = StdRng::seed_from_u64(81);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+    let enc = Encoder::new(&ctx);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(i as f64 * 1e-3, 0.0))
+        .collect();
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+
+    // Project limb 0 of both polys into the PIM word size.
+    let to_u32 = |data: &[u64]| -> Vec<u32> { data.iter().map(|&x| (x % Q as u64) as u32).collect() };
+    let b32 = to_u32(ct.b().limb(0).data());
+    let a32 = to_u32(ct.a().limb(0).data());
+
+    let unit = PimUnit::new(Q, 16);
+    let out = unit.execute(PimInstruction::Add, &[&b32, &a32], &[]);
+    let host = Modulus::new(Q as u64);
+    for i in 0..b32.len() {
+        assert_eq!(out[0][i] as u64, host.add(b32[i] as u64, a32[i] as u64));
+    }
+}

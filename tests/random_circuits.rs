@@ -1,0 +1,184 @@
+//! Random-circuit property testing: arbitrary sequences of homomorphic ops
+//! must track the same computation on plaintext values. This catches
+//! cross-op interaction bugs (scale management, level alignment, rotation
+//! composition) that single-op unit tests cannot.
+
+use anaheim::ckks::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The op alphabet for random circuits.
+#[derive(Debug, Clone)]
+enum CircuitOp {
+    AddCt(usize),
+    SubCt(usize),
+    MulCt(usize),
+    AddScalar(f64),
+    MulScalar(f64),
+    Rotate(usize),
+    Square,
+    Negate,
+}
+
+fn arb_op() -> impl Strategy<Value = CircuitOp> {
+    prop_oneof![
+        (0usize..3).prop_map(CircuitOp::AddCt),
+        (0usize..3).prop_map(CircuitOp::SubCt),
+        (0usize..3).prop_map(CircuitOp::MulCt),
+        (-0.5f64..0.5).prop_map(CircuitOp::AddScalar),
+        (-0.9f64..0.9).prop_map(CircuitOp::MulScalar),
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)].prop_map(CircuitOp::Rotate),
+        Just(CircuitOp::Square),
+        Just(CircuitOp::Negate),
+    ]
+}
+
+struct Fixture {
+    ctx: CkksContext,
+    keys: KeySet,
+}
+
+fn fixture() -> &'static Fixture {
+    use std::sync::OnceLock;
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .levels(8)
+                .alpha(2)
+                .scale_bits(40)
+                .build(),
+        );
+        let mut rng = StdRng::seed_from_u64(777);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1, 2, 4, 8]);
+        Fixture { ctx, keys }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_circuit_tracks_plaintext(ops in prop::collection::vec(arb_op(), 1..6),
+                                       seed in any::<u64>()) {
+        let f = fixture();
+        let ctx = &f.ctx;
+        let keys = &f.keys;
+        let enc = Encoder::new(ctx);
+        let ev = Evaluator::new(ctx);
+        let m = ctx.slots();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Three random input vectors with bounded magnitude.
+        use rand::Rng;
+        let inputs: Vec<Vec<Complex>> = (0..3)
+            .map(|_| {
+                (0..m)
+                    .map(|_| Complex::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+                    .collect()
+            })
+            .collect();
+        let cts: Vec<Ciphertext> = inputs
+            .iter()
+            .map(|v| keys.public.encrypt(&enc.encode(v, ctx.max_level()), &mut rng))
+            .collect();
+
+        // Run the circuit on both representations. Multiplicative ops
+        // consume levels; stop when the budget is too shallow.
+        let mut ct = cts[0].clone();
+        let mut plain: Vec<Complex> = inputs[0].clone();
+        let mut mults = 0usize;
+        for op in &ops {
+            if mults >= 5 {
+                break;
+            }
+            match op {
+                CircuitOp::AddCt(i) => {
+                    let other = ev.mod_switch_to(&cts[*i], ct.level());
+                    // Scale alignment: a fresh ct has scale Δ; ours may
+                    // differ after multiplications. Only add when the
+                    // scales still agree.
+                    if (other.scale() / ct.scale() - 1.0).abs() < 1e-6 {
+                        ct = ev.add(&ct, &other);
+                        for (p, x) in plain.iter_mut().zip(&inputs[*i]) {
+                            *p += *x;
+                        }
+                    }
+                }
+                CircuitOp::SubCt(i) => {
+                    let other = ev.mod_switch_to(&cts[*i], ct.level());
+                    if (other.scale() / ct.scale() - 1.0).abs() < 1e-6 {
+                        ct = ev.sub(&ct, &other);
+                        for (p, x) in plain.iter_mut().zip(&inputs[*i]) {
+                            *p -= *x;
+                        }
+                    }
+                }
+                CircuitOp::MulCt(i) => {
+                    if ct.level() > 2 {
+                        let other = ev.mod_switch_to(&cts[*i], ct.level());
+                        ct = ev.mul_relin_rescale(&ct, &other, &keys.relin);
+                        for (p, x) in plain.iter_mut().zip(&inputs[*i]) {
+                            *p *= *x;
+                        }
+                        mults += 1;
+                    }
+                }
+                CircuitOp::AddScalar(c) => {
+                    ct = ev.add_scalar(&ct, *c);
+                    for p in plain.iter_mut() {
+                        *p += Complex::new(*c, 0.0);
+                    }
+                }
+                CircuitOp::MulScalar(c) => {
+                    if ct.level() > 2 {
+                        ct = ev.rescale(&ev.mul_scalar(&ct, *c));
+                        for p in plain.iter_mut() {
+                            *p = p.scale(*c);
+                        }
+                        mults += 1;
+                    }
+                }
+                CircuitOp::Rotate(r) => {
+                    ct = ev.rotate(&ct, *r as isize, keys);
+                    let rotated: Vec<Complex> =
+                        (0..m).map(|j| plain[(j + r) % m]).collect();
+                    plain = rotated;
+                }
+                CircuitOp::Square => {
+                    if ct.level() > 2 {
+                        ct = ev.rescale(&ev.square_relin(&ct, &keys.relin));
+                        for p in plain.iter_mut() {
+                            *p = *p * *p;
+                        }
+                        mults += 1;
+                    }
+                }
+                CircuitOp::Negate => {
+                    ct = ev.negate(&ct);
+                    for p in plain.iter_mut() {
+                        *p = -*p;
+                    }
+                }
+            }
+        }
+
+        let out = enc.decode(&keys.secret.decrypt(&ct));
+        // Values stay bounded by ~(1.5)^ops; tolerance scales with the
+        // magnitude of the result and the multiplicative depth.
+        let magnitude = plain.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        let tol = 1e-4 * magnitude.max(1.0) * (mults as f64 + 1.0);
+        for j in 0..m {
+            let d = (out[j] - plain[j]).abs();
+            prop_assert!(
+                d < tol,
+                "slot {j}: encrypted {} vs plain {} (diff {d:.2e}, tol {tol:.2e}, ops {:?})",
+                out[j],
+                plain[j],
+                ops
+            );
+        }
+    }
+}
