@@ -20,14 +20,18 @@ fn bench_model(c: &mut Criterion) {
         limbs: 54,
         n: 1 << 16,
     };
-    g.bench_function("pim_kernel_simulation", |b| b.iter(|| exec.execute(&spec)));
+    g.bench_function("pim_kernel_simulation", |b| {
+        b.iter(|| exec.execute(&spec).unwrap())
+    });
 
     g.sample_size(10);
     g.bench_function("bootstrap_model_run", |b| {
         b.iter(|| {
             let mut bd = Builder::new(ParamSet::paper_default());
             let seq = bd.bootstrap();
-            Anaheim::new(AnaheimConfig::a100_near_bank()).run(seq)
+            Anaheim::new(AnaheimConfig::a100_near_bank())
+                .run(seq)
+                .unwrap()
         })
     });
     g.finish();

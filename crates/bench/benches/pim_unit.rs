@@ -11,7 +11,9 @@ fn bench_unit(c: &mut Criterion) {
     let unit = PimUnit::new(Q, 32);
     let n = 4096usize;
     let mk = |seed: u32| -> Vec<u32> {
-        (0..n as u32).map(|i| (seed.wrapping_mul(2654435761).wrapping_add(i * 97)) % Q).collect()
+        (0..n as u32)
+            .map(|i| (seed.wrapping_mul(2654435761).wrapping_add(i * 97)) % Q)
+            .collect()
     };
     let a = mk(1);
     let b = mk(2);

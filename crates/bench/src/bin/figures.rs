@@ -46,7 +46,10 @@ fn main() {
 }
 
 fn hr(title: &str) {
-    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 fn print_table3() {
@@ -73,7 +76,10 @@ fn print_fig1() {
 
 fn print_fig2a() {
     hr("Fig. 2a: basic CKKS functions x libraries (A100 model)");
-    println!("  {:8} {:>10} {:>12} {:>12}", "function", "Phantom", "100x", "Cheddar");
+    println!(
+        "  {:8} {:>10} {:>12} {:>12}",
+        "function", "Phantom", "100x", "Cheddar"
+    );
     let rows = fig2a();
     for f in ["HADD", "PMULT", "HMULT", "HROT"] {
         let t = |lib: &str| {
@@ -205,7 +211,9 @@ fn print_fig9() {
                 .iter()
                 .map(|b| {
                     rows.iter()
-                        .find(|x| x.device == dev && x.instruction == r.instruction && x.buffer == *b)
+                        .find(|x| {
+                            x.device == dev && x.instruction == r.instruction && x.buffer == *b
+                        })
                         .and_then(|x| x.speedup)
                         .map(|s| format!("{s:5.2}x"))
                         .unwrap_or_else(|| "   n/s".into())

@@ -136,16 +136,12 @@ pub fn fig2a() -> Vec<Fig2aRow> {
             ]
         };
         for (name, seq) in fns {
-            let r = rt.run(seq);
+            let r = rt.run(seq).expect("preset config runs");
             rows.push(Fig2aRow {
                 function: name,
                 library: lib_name,
                 time_us: r.total_ns / 1e3,
-                breakdown_us: r
-                    .breakdown_ns
-                    .iter()
-                    .map(|(k, v)| (*k, v / 1e3))
-                    .collect(),
+                breakdown_us: r.breakdown_ns.iter().map(|(k, v)| (*k, v / 1e3)).collect(),
             });
         }
     }
@@ -196,7 +192,7 @@ pub fn fig2b() -> Vec<Fig2bRow> {
             let mut b = Builder::new(params);
             let seq = b.bootstrap();
             let rt = Anaheim::new(cfg.clone());
-            let r = rt.run(seq);
+            let r = rt.run(seq).expect("preset config runs");
             rows.push(Fig2bRow {
                 gpu: gpu_name,
                 d,
@@ -270,7 +266,9 @@ pub fn fig2c() -> Vec<Fig2cRow> {
     ]
     .into_iter()
     .map(|(name, style)| {
-        let r = rt.run(bootstrap_with_style(style));
+        let r = rt
+            .run(bootstrap_with_style(style))
+            .expect("preset config runs");
         Fig2cRow {
             algorithm: name,
             t_boot_eff_ms: r.total_ms() / l_eff,
@@ -303,7 +301,7 @@ pub fn fig3() -> Vec<Fig3Row> {
             let l_eff = params.l_eff as f64;
             let mut b = Builder::new(params);
             let seq = b.bootstrap();
-            let r = rt.run(seq);
+            let r = rt.run(seq).expect("preset config runs");
             Fig3Row {
                 fft_iter: (c2s, s2c),
                 t_boot_eff_ms: Some(r.total_ms() / l_eff),
@@ -331,7 +329,10 @@ pub fn fig4a() -> Vec<(String, ExecutionReport)> {
     .into_iter()
     .map(|cfg| {
         let name = cfg.name.to_string();
-        (name, Anaheim::new(cfg).run(mk()))
+        (
+            name,
+            Anaheim::new(cfg).run(mk()).expect("preset config runs"),
+        )
     })
     .collect()
 }
@@ -355,8 +356,12 @@ pub fn fig4b() -> Vec<Fig4bRow> {
     let mut b = Builder::new(ParamSet::paper_default());
     let seq = b.bootstrap();
 
-    let base = Anaheim::new(AnaheimConfig::a100_baseline()).run(seq.clone());
-    let pimr = Anaheim::new(AnaheimConfig::a100_near_bank()).run(seq.clone());
+    let base = Anaheim::new(AnaheimConfig::a100_baseline())
+        .run(seq.clone())
+        .expect("preset config runs");
+    let pimr = Anaheim::new(AnaheimConfig::a100_near_bank())
+        .run(seq.clone())
+        .expect("preset config runs");
 
     // Ideal: unlimited cache, compulsory misses only; MinKS would reuse a
     // single rotation key, cutting the distinct evk pool ~4× (§V-D).
@@ -428,8 +433,10 @@ pub fn fig8() -> Vec<Fig8Row> {
         let base = Anaheim::new(base_cfg);
         let pimrt = Anaheim::new(pim_cfg);
         for w in Workload::all() {
-            let b = run_workload(&base, &w).outcome;
-            let p = run_workload(&pimrt, &w).outcome;
+            let b = run_workload(&base, &w).expect("preset config runs").outcome;
+            let p = run_workload(&pimrt, &w)
+                .expect("preset config runs")
+                .outcome;
             let row = match (b, p) {
                 (Some(b), Some(p)) => Fig8Row {
                     workload: w.name,
@@ -488,17 +495,20 @@ pub fn fig9() -> Vec<Fig9Row> {
                 let dev = base_dev.clone().with_buffer_entries(b);
                 let exec = PimExecutor::new(&dev, LayoutPolicy::ColumnPartitioned);
                 let spec = PimKernelSpec { instr, limbs, n };
-                if !exec.supported(instr) {
-                    rows.push(Fig9Row {
-                        device: dev.name,
-                        instruction: instr.mnemonic(),
-                        buffer: b,
-                        speedup: None,
-                        energy_gain: None,
-                    });
-                    continue;
-                }
-                let r = exec.execute(&spec);
+                let r = match exec.execute(&spec) {
+                    Ok(r) => r,
+                    // Unsupported at this buffer size: an empty bar.
+                    Err(_) => {
+                        rows.push(Fig9Row {
+                            device: dev.name,
+                            instruction: instr.mnemonic(),
+                            buffer: b,
+                            speedup: None,
+                            energy_gain: None,
+                        });
+                        continue;
+                    }
+                };
                 let bytes = exec.gpu_bytes_equivalent(&spec);
                 let gk = KernelDesc::new(
                     KernelClass::ElementWise,
@@ -572,7 +582,7 @@ pub fn fig10() -> Vec<Fig10Row> {
     for w in Workload::all() {
         for (label, cfg) in &configs {
             let rt = Anaheim::new(cfg.clone());
-            let r = run_workload(&rt, &w);
+            let r = run_workload(&rt, &w).expect("preset config runs");
             match r.outcome {
                 Some(nums) => rows.push(Fig10Row {
                     workload: w.name,
@@ -630,14 +640,50 @@ pub fn table5() -> Vec<Table5Row> {
     };
     let mut rows = vec![
         lit("100x (V100)", Some(328.0), Some(775.0), None, None),
-        lit("TensorFHE (A100)", Some(250.0), Some(1007.0), Some(4940.0), None),
+        lit(
+            "TensorFHE (A100)",
+            Some(250.0),
+            Some(1007.0),
+            Some(4940.0),
+            None,
+        ),
         lit("GME (MI100)", Some(33.6), Some(54.5), Some(980.0), None),
         lit("FAB (FPGA)", Some(477.0), Some(103.0), None, None),
-        lit("Poseidon (FPGA)", Some(128.0), Some(72.9), Some(2660.0), None),
-        lit("CraterLake (ASIC)", Some(6.33), Some(3.81), Some(320.0), None),
-        lit("BTS (ASIC)", Some(28.6), Some(28.4), Some(1910.0), Some(15600.0)),
-        lit("ARK (ASIC)", Some(3.52), Some(7.42), Some(130.0), Some(1990.0)),
-        lit("SHARP (ASIC)", Some(3.12), Some(2.53), Some(100.0), Some(1380.0)),
+        lit(
+            "Poseidon (FPGA)",
+            Some(128.0),
+            Some(72.9),
+            Some(2660.0),
+            None,
+        ),
+        lit(
+            "CraterLake (ASIC)",
+            Some(6.33),
+            Some(3.81),
+            Some(320.0),
+            None,
+        ),
+        lit(
+            "BTS (ASIC)",
+            Some(28.6),
+            Some(28.4),
+            Some(1910.0),
+            Some(15600.0),
+        ),
+        lit(
+            "ARK (ASIC)",
+            Some(3.52),
+            Some(7.42),
+            Some(130.0),
+            Some(1990.0),
+        ),
+        lit(
+            "SHARP (ASIC)",
+            Some(3.12),
+            Some(2.53),
+            Some(100.0),
+            Some(1380.0),
+        ),
     ];
     for cfg in [
         AnaheimConfig::a100_near_bank(),
@@ -645,7 +691,12 @@ pub fn table5() -> Vec<Table5Row> {
         AnaheimConfig::rtx4090_near_bank(),
     ] {
         let rt = Anaheim::new(cfg);
-        let get = |w: Workload| run_workload(&rt, &w).outcome.map(|n| n.time_ms);
+        let get = |w: Workload| {
+            run_workload(&rt, &w)
+                .expect("preset config runs")
+                .outcome
+                .map(|n| n.time_ms)
+        };
         rows.push(Table5Row {
             system: rt.config().name,
             measured: true,
@@ -734,7 +785,7 @@ mod tests {
     fn fig2b_shares_and_oom() {
         let rows = fig2b();
         for r in &rows {
-            if let Some(_) = r.t_boot_eff_ms {
+            if r.t_boot_eff_ms.is_some() {
                 if r.gpu == "A100 80GB" {
                     assert!(
                         (0.30..0.60).contains(&r.elementwise_share),
@@ -777,7 +828,11 @@ mod tests {
         // The (4,3) default mix (or its neighbour) should win; fftIter=6
         // must lose on L_eff despite smaller transforms (the Fig. 3
         // trade-off).
-        assert!(best.fft_iter.0 <= 4, "default mix should win, got {:?}", best.fft_iter);
+        assert!(
+            best.fft_iter.0 <= 4,
+            "default mix should win, got {:?}",
+            best.fft_iter
+        );
         let six = rows.iter().find(|r| r.fft_iter == (6, 6)).expect("66");
         assert!(six.t_boot_eff_ms.unwrap() > best.t_boot_eff_ms.unwrap());
     }
@@ -799,21 +854,35 @@ mod tests {
         // Paper: 1.65–10.33× speedups at default configs.
         assert!(min > 1.2, "weakest instruction speedup too low: {min:.2}");
         assert!(max < 20.0, "strongest speedup implausible: {max:.2}");
-        assert!(max > 4.0, "compound instructions must show big wins: {max:.2}");
+        assert!(
+            max > 4.0,
+            "compound instructions must show big wins: {max:.2}"
+        );
         // PAccum/CAccum are among the best (paper: 7.26×/10.33×).
         let paccum = defaults
             .iter()
-            .filter(|r| r.instruction.starts_with("PAccum") && r.device.contains("near-bank") && r.device.contains("A100"))
+            .filter(|r| {
+                r.instruction.starts_with("PAccum")
+                    && r.device.contains("near-bank")
+                    && r.device.contains("A100")
+            })
             .filter_map(|r| r.speedup)
             .next()
             .expect("paccum row");
         let add = defaults
             .iter()
-            .filter(|r| r.instruction == "Add" && r.device.contains("near-bank") && r.device.contains("A100"))
+            .filter(|r| {
+                r.instruction == "Add"
+                    && r.device.contains("near-bank")
+                    && r.device.contains("A100")
+            })
             .filter_map(|r| r.speedup)
             .next()
             .expect("add row");
-        assert!(paccum > 1.5 * add, "PAccum must beat Add: {paccum:.2} vs {add:.2}");
+        assert!(
+            paccum > 1.5 * add,
+            "PAccum must beat Add: {paccum:.2} vs {add:.2}"
+        );
         // Unsupported at B=4: PAccum<4> and Tensor.
         assert!(rows
             .iter()

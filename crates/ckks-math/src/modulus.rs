@@ -37,8 +37,8 @@ impl Modulus {
         assert!(q < (1u64 << 62), "modulus must be below 2^62");
         // floor(2^128 / q) computed via 128-bit long division in two steps.
         let hi = u128::MAX / q as u128; // floor((2^128 - 1) / q)
-        // (2^128 - 1) = q * hi + rem; floor(2^128/q) = hi unless rem == q-1,
-        // in which case it is hi + 1.
+                                        // (2^128 - 1) = q * hi + rem; floor(2^128/q) = hi unless rem == q-1,
+                                        // in which case it is hi + 1.
         let rem = u128::MAX - hi * q as u128;
         let floor_2_128 = if rem == (q as u128 - 1) { hi + 1 } else { hi };
         Self {
@@ -150,9 +150,7 @@ impl Modulus {
     pub fn mul_shoup(&self, a: u64, b: u64, b_shoup: u64) -> u64 {
         debug_assert!(a < self.q);
         let quo = ((a as u128 * b_shoup as u128) >> 64) as u64;
-        let r = a
-            .wrapping_mul(b)
-            .wrapping_sub(quo.wrapping_mul(self.q));
+        let r = a.wrapping_mul(b).wrapping_sub(quo.wrapping_mul(self.q));
         if r >= self.q {
             r - self.q
         } else {

@@ -70,10 +70,13 @@ impl NttContext {
     ///
     /// Panics if `n` is not a power of two ≥ 4, or if `q ≢ 1 (mod 2n)`.
     pub fn new(n: usize, modulus: Modulus) -> Self {
-        assert!(n >= 4 && n.is_power_of_two(), "n must be a power of two >= 4");
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "n must be a power of two >= 4"
+        );
         let q = modulus.value();
         assert!(
-            (q - 1) % (2 * n as u64) == 0,
+            (q - 1).is_multiple_of(2 * n as u64),
             "modulus must be 1 mod 2n for the negacyclic NTT"
         );
         let psi = find_primitive_2n_root(&modulus, n as u64);
@@ -313,9 +316,9 @@ mod tests {
         let n = ctx.n();
         let m = ctx.modulus();
         let mut out = vec![0u64; n];
-        for i in 0..n {
-            for j in 0..n {
-                let p = m.mul(a[i], b[j]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let p = m.mul(ai, bj);
                 let k = i + j;
                 if k < n {
                     out[k] = m.add(out[k], p);

@@ -282,8 +282,14 @@ impl BasisConverter {
                     .collect(),
             );
         }
-        let a_mod_b = to.iter().map(|t| a.mod_small(t.modulus().value())).collect();
-        let inv_a = from.iter().map(|f| 1.0 / f.modulus().value() as f64).collect();
+        let a_mod_b = to
+            .iter()
+            .map(|t| a.mod_small(t.modulus().value()))
+            .collect();
+        let inv_a = from
+            .iter()
+            .map(|f| 1.0 / f.modulus().value() as f64)
+            .collect();
         Self {
             from: from.to_vec(),
             to: to.to_vec(),
@@ -482,7 +488,10 @@ impl ModDown {
 /// limb.
 pub fn rescale_in_place(poly: &mut Poly) {
     assert_eq!(poly.format(), Format::Eval, "rescale expects Eval input");
-    assert!(poly.num_limbs() > 1, "cannot rescale a single-limb polynomial");
+    assert!(
+        poly.num_limbs() > 1,
+        "cannot rescale a single-limb polynomial"
+    );
     let last = poly.pop_limb();
     let q_last = last.ctx().modulus().value();
     let mut last_coeff = last.data().to_vec();
@@ -746,10 +755,10 @@ mod tests {
         let crt = CrtReconstructor::new(&basis);
         let vals: Vec<i64> = vec![0, 1, -1, 123456789, -987654321, 42, -42, 7];
         let p = Poly::from_coeff_i64(&basis, &vals);
-        for k in 0..n {
+        for (k, &v) in vals.iter().enumerate().take(n) {
             let residues: Vec<u64> = (0..3).map(|i| p.limb(i).data()[k]).collect();
             let got = crt.reconstruct_centered_f64(&residues);
-            assert_eq!(got, vals[k] as f64);
+            assert_eq!(got, v as f64);
         }
         assert!(crt.modulus_product().bits() >= 118);
     }
@@ -769,9 +778,6 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
         let prod = b.product();
-        assert_eq!(
-            prod.mod_small(b.contexts()[0].modulus().value()),
-            0
-        );
+        assert_eq!(prod.mod_small(b.contexts()[0].modulus().value()), 0);
     }
 }

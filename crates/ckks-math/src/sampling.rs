@@ -110,7 +110,10 @@ mod tests {
         let nonzero = s.limb(0).data().iter().filter(|&&x| x != 0).count();
         assert_eq!(nonzero, 16);
         for &x in s.limb(0).data() {
-            assert!(x == 0 || x == 1 || x == m.value() - 1, "ternary values only");
+            assert!(
+                x == 0 || x == 1 || x == m.value() - 1,
+                "ternary values only"
+            );
         }
         // Limbs must agree on the underlying signed value.
         let m1 = b[1].modulus();
@@ -134,7 +137,10 @@ mod tests {
         assert!(mean.abs() < 1.0, "roughly centered, got {mean}");
         let var: f64 =
             vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64;
-        assert!((var - 3.2f64.powi(2)).abs() < 5.0, "variance near σ², got {var}");
+        assert!(
+            (var - 3.2f64.powi(2)).abs() < 5.0,
+            "variance near σ², got {var}"
+        );
     }
 
     #[test]

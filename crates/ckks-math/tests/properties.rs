@@ -157,9 +157,9 @@ proptest! {
         let b = basis(8, 3);
         let crt = CrtReconstructor::new(&b);
         let p = Poly::from_coeff_i64(&b, &vals);
-        for k in 0..8 {
+        for (k, &v) in vals.iter().enumerate().take(8) {
             let residues: Vec<u64> = (0..3).map(|i| p.limb(i).data()[k]).collect();
-            prop_assert_eq!(crt.reconstruct_centered_f64(&residues), vals[k] as f64);
+            prop_assert_eq!(crt.reconstruct_centered_f64(&residues), v as f64);
         }
     }
 

@@ -180,11 +180,7 @@ impl<'a> Bootstrapper<'a> {
             cts_u1c: LinearTransform::from_matrix(m, &u1c),
             stc_e0: LinearTransform::from_matrix(m, &e0),
             stc_e1: LinearTransform::from_matrix(m, &e1),
-            eval_mod: ChebyshevSeries::new(
-                eval_mod.coeffs().to_vec(),
-                -(k + 1.0),
-                k + 1.0,
-            ),
+            eval_mod: ChebyshevSeries::new(eval_mod.coeffs().to_vec(), -(k + 1.0), k + 1.0),
             cts_factors,
             stc_factors,
             eval_mod_doubled,
@@ -242,12 +238,8 @@ impl<'a> Bootstrapper<'a> {
             out.to_eval();
             out
         };
-        let mut raised = Ciphertext::new(
-            lift(ct.b()),
-            lift(ct.a()),
-            ct.scale(),
-            self.ctx.max_level(),
-        );
+        let mut raised =
+            Ciphertext::new(lift(ct.b()), lift(ct.a()), ct.scale(), self.ctx.max_level());
         raised.set_scale(q0 as f64);
         let _ = q0;
         raised
@@ -285,12 +277,20 @@ impl<'a> Bootstrapper<'a> {
         // matrices carry θ = Δ/q0, so re-declaring the scale by ×θ lands the
         // values t_k at scale ≈ Δ.
         let conj = ev.conjugate(&raised, keys);
-        let c0a = self.cts_u0.eval_bsgs_double_hoisted(ev, enc, &raised, keys, n1);
-        let c0b = self.cts_u0c.eval_bsgs_double_hoisted(ev, enc, &conj, keys, n1);
+        let c0a = self
+            .cts_u0
+            .eval_bsgs_double_hoisted(ev, enc, &raised, keys, n1);
+        let c0b = self
+            .cts_u0c
+            .eval_bsgs_double_hoisted(ev, enc, &conj, keys, n1);
         let mut c0 = ev.rescale(&ev.add(&c0a, &c0b));
         c0.set_scale(c0.scale() * theta);
-        let c1a = self.cts_u1.eval_bsgs_double_hoisted(ev, enc, &raised, keys, n1);
-        let c1b = self.cts_u1c.eval_bsgs_double_hoisted(ev, enc, &conj, keys, n1);
+        let c1a = self
+            .cts_u1
+            .eval_bsgs_double_hoisted(ev, enc, &raised, keys, n1);
+        let c1b = self
+            .cts_u1c
+            .eval_bsgs_double_hoisted(ev, enc, &conj, keys, n1);
         let mut c1 = ev.rescale(&ev.add(&c1a, &c1b));
         c1.set_scale(c1.scale() * theta);
 
@@ -335,8 +335,7 @@ impl<'a> Bootstrapper<'a> {
         // 2. CoeffToSlot as fftIter sparse factors; θ rides on the first.
         let mut cur = raised;
         for (i, f) in self.cts_factors.iter().enumerate() {
-            let mut next =
-                ev.rescale(&f.eval_bsgs_double_hoisted(ev, enc, &cur, keys, n1));
+            let mut next = ev.rescale(&f.eval_bsgs_double_hoisted(ev, enc, &cur, keys, n1));
             if i == 0 {
                 next.set_scale(next.scale() * theta);
             }
@@ -353,8 +352,12 @@ impl<'a> Bootstrapper<'a> {
 
         // 4. EvalMod on the doubled values (the two halves run at their
         // own levels and are aligned afterwards).
-        let w_re = self.eval_mod_doubled.eval_homomorphic(ev, &re2, &keys.relin);
-        let w_im = self.eval_mod_doubled.eval_homomorphic(ev, &im2, &keys.relin);
+        let w_re = self
+            .eval_mod_doubled
+            .eval_homomorphic(ev, &re2, &keys.relin);
+        let w_im = self
+            .eval_mod_doubled
+            .eval_homomorphic(ev, &im2, &keys.relin);
 
         // 5. Recombine: w' = w_re + i·w_im.
         let (w_re, w_im) = ev.align_levels(&w_re, &w_im);
@@ -365,8 +368,7 @@ impl<'a> Bootstrapper<'a> {
 
         // 6. SlotToCoeff factors.
         for f in &self.stc_factors {
-            recombined =
-                ev.rescale(&f.eval_bsgs_double_hoisted(ev, enc, &recombined, keys, n1));
+            recombined = ev.rescale(&f.eval_bsgs_double_hoisted(ev, enc, &recombined, keys, n1));
         }
 
         // 7. Exact return to the canonical scale.
@@ -411,8 +413,9 @@ mod tests {
         let bts = Bootstrapper::new(&ctx, BootstrapConfig::sparse_default());
 
         let m = ctx.slots();
-        let msg: Vec<Complex> =
-            (0..m).map(|i| Complex::new(0.3 - i as f64 * 1e-3, 0.0)).collect();
+        let msg: Vec<Complex> = (0..m)
+            .map(|i| Complex::new(0.3 - i as f64 * 1e-3, 0.0))
+            .collect();
         let ct = keys.public.encrypt(&enc.encode(&msg, 1), &mut rng);
         let raised = bts.mod_raise(&ct);
         assert_eq!(raised.level(), ctx.max_level());
@@ -425,11 +428,10 @@ mod tests {
         pt.to_coeff();
         let crt = ctx.crt(ctx.max_level());
         let cfg = BootstrapConfig::sparse_default();
-        for k in 0..ctx.n() {
-            let residues: Vec<u64> =
-                (0..ctx.max_level()).map(|i| pt.limb(i).data()[k]).collect();
+        for (k, &p_k) in p_ref.iter().enumerate().take(ctx.n()) {
+            let residues: Vec<u64> = (0..ctx.max_level()).map(|i| pt.limb(i).data()[k]).collect();
             let v = crt.reconstruct_centered_f64(&residues);
-            let r = v - p_ref[k] as f64;
+            let r = v - p_k as f64;
             let i_k = (r / q0 as f64).round();
             let noise = (r - i_k * q0 as f64).abs();
             assert!(noise < 2f64.powi(25), "coefficient {k}: noise {noise}");

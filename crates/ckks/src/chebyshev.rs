@@ -133,7 +133,7 @@ impl ChebyshevSeries {
             };
             baby[2 * k] = Some(t2k);
             // T_{2k+1} = 2·T_k·T_{k+1} − T_1 (when needed)
-            if 2 * k + 1 <= m {
+            if 2 * k < m {
                 if let (Some(tk), Some(tk1)) = (baby[k].clone(), baby[k + 1].clone()) {
                     let (x, y) = ev.align_levels(&tk, &tk1);
                     let prod = ev.rescale(&ev.mul_relin(&x, &y, relin));
@@ -211,8 +211,8 @@ impl ChebyshevSeries {
                 None => {
                     // Constant polynomial: encode c_0 on a zero-ish ladder.
                     let t = baby[1].as_ref().expect("T_1");
-                    let z = ev.rescale(&ev.mul_scalar(t, 0.0));
-                    z
+
+                    ev.rescale(&ev.mul_scalar(t, 0.0))
                 }
             };
             return ev.add_scalar(&base, coeffs[0]);
@@ -237,7 +237,7 @@ impl ChebyshevSeries {
                 quo[0] += c;
             } else {
                 quo[n - s] += 2.0 * c;
-                let other = if n >= 2 * s { n - 2 * s } else { 2 * s - n };
+                let other = n.abs_diff(2 * s);
                 rem[other] -= c;
             }
         }
@@ -275,7 +275,8 @@ mod tests {
 
     #[test]
     fn interpolation_of_sine() {
-        let s = ChebyshevSeries::interpolate(|x| (2.0 * std::f64::consts::PI * x).sin(), -2.0, 2.0, 40);
+        let s =
+            ChebyshevSeries::interpolate(|x| (2.0 * std::f64::consts::PI * x).sin(), -2.0, 2.0, 40);
         for i in 0..80 {
             let x = -2.0 + 4.0 * i as f64 / 79.0;
             let want = (2.0 * std::f64::consts::PI * x).sin();
@@ -309,7 +310,9 @@ mod tests {
         // f(x) = exp(x) on [-1, 1], degree 7 (depth ~ 4).
         let series = ChebyshevSeries::interpolate(f64::exp, -1.0, 1.0, 7);
         let m = ctx.slots();
-        let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+        let xs: Vec<f64> = (0..m)
+            .map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64)
+            .collect();
         let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
         let ct = keys
             .public
@@ -339,14 +342,12 @@ mod tests {
         let ev = Evaluator::new(&ctx);
 
         // Degree 31 sine on [-1, 1].
-        let series = ChebyshevSeries::interpolate(
-            |x| (std::f64::consts::PI * x).sin(),
-            -1.0,
-            1.0,
-            31,
-        );
+        let series =
+            ChebyshevSeries::interpolate(|x| (std::f64::consts::PI * x).sin(), -1.0, 1.0, 31);
         let m = ctx.slots();
-        let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+        let xs: Vec<f64> = (0..m)
+            .map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64)
+            .collect();
         let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
         let ct = keys
             .public

@@ -200,13 +200,21 @@ mod tests {
             .map(|i| Complex::new(if i % 2 == 0 { 0.7 } else { -0.4 }, 0.0))
             .collect();
         let b: Vec<Complex> = vec![Complex::new(0.1, 0.0); m];
-        let ca = keys.public.encrypt(&enc.encode(&a, ctx.max_level()), &mut rng);
-        let cb = keys.public.encrypt(&enc.encode(&b, ctx.max_level()), &mut rng);
+        let ca = keys
+            .public
+            .encrypt(&enc.encode(&a, ctx.max_level()), &mut rng);
+        let cb = keys
+            .public
+            .encrypt(&enc.encode(&b, ctx.max_level()), &mut rng);
         let cmp = compare(&ev, &ca, &cb, &keys.relin, 4);
         let out = enc.decode(&keys.secret.decrypt(&cmp));
         for (i, o) in out.iter().enumerate() {
             let want = if i % 2 == 0 { 1.0 } else { 0.0 };
-            assert!((o.re - want).abs() < 0.15, "slot {i}: want {want}, got {}", o.re);
+            assert!(
+                (o.re - want).abs() < 0.15,
+                "slot {i}: want {want}, got {}",
+                o.re
+            );
         }
     }
 }

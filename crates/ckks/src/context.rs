@@ -64,12 +64,8 @@ impl CkksContext {
         // Rescale primes near Δ, excluding anything already taken.
         let mut exclude = vec![q0];
         exclude.extend_from_slice(&p_primes);
-        let scale_primes = generate_primes_near(
-            1u64 << params.scale_bits,
-            params.levels,
-            two_n,
-            &exclude,
-        );
+        let scale_primes =
+            generate_primes_near(1u64 << params.scale_bits, params.levels, two_n, &exclude);
 
         let make = |q: u64| Arc::new(NttContext::new(n, Modulus::new(q)));
         let mut q_ctxs = Vec::with_capacity(params.q_count());

@@ -126,8 +126,7 @@ impl<'a> Encoder<'a> {
         let n = self.ctx.n();
         let coeffs: Vec<f64> = (0..n)
             .map(|k| {
-                let residues: Vec<u64> =
-                    (0..pt.level()).map(|i| poly.limb(i).data()[k]).collect();
+                let residues: Vec<u64> = (0..pt.level()).map(|i| poly.limb(i).data()[k]).collect();
                 crt.reconstruct_centered_f64(&residues)
             })
             .collect();
@@ -185,7 +184,9 @@ mod tests {
         let enc = Encoder::new(&ctx);
         let m = ctx.slots();
         let a = ramp(m);
-        let b: Vec<Complex> = (0..m).map(|i| Complex::new(0.5, i as f64 * 0.001)).collect();
+        let b: Vec<Complex> = (0..m)
+            .map(|i| Complex::new(0.5, i as f64 * 0.001))
+            .collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let mut pa = enc.encode(&a, ctx.max_level());
         let pb = enc.encode(&b, ctx.max_level());
@@ -227,10 +228,7 @@ mod tests {
         let ctx = setup();
         let enc = Encoder::new(&ctx);
         let m = ctx.slots() as isize;
-        assert_eq!(
-            enc.galois_for_rotation(-1),
-            enc.galois_for_rotation(m - 1)
-        );
+        assert_eq!(enc.galois_for_rotation(-1), enc.galois_for_rotation(m - 1));
     }
 
     #[test]

@@ -12,13 +12,75 @@
 //! polynomials, which is what lets Anaheim reorder automorphism past the
 //! element-wise block (§V-B).
 
+use std::fmt;
+
 use ckks_math::rns::rescale_in_place;
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::keys::{galois_for_rotation, EvalKey, KeySet};
 use crate::keyswitch::{HoistedDigits, KeySwitcher};
+use crate::noise::{NoiseModel, NoiseTracker};
 use crate::opcount;
+
+/// Typed errors from budget-guarded homomorphic evaluation.
+///
+/// The raw [`Evaluator`] is a low-level layer that panics on programmer
+/// errors; a serving stack should not. [`GuardedEvaluator`] surfaces the
+/// conditions that depend on *data and circuit depth* — the ones a server
+/// cannot rule out statically — as values of this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The heuristic noise bound leaves fewer bits of precision than the
+    /// guard's floor: the result would be numerically meaningless. The
+    /// application must bootstrap or re-encrypt before continuing.
+    NoiseBudgetExhausted {
+        /// The operation that crossed the floor.
+        op: &'static str,
+        /// Predicted remaining precision after the operation.
+        precision_bits: f64,
+        /// The configured floor.
+        required_bits: f64,
+    },
+    /// The modulus chain has no level left for the rescale this operation
+    /// needs.
+    LevelsExhausted {
+        /// The operation that needed a level.
+        op: &'static str,
+        /// The level it was attempted at.
+        level: usize,
+    },
+    /// The key set has no rotation key for the requested distance.
+    MissingRotationKey {
+        /// Normalized rotation distance.
+        distance: isize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NoiseBudgetExhausted {
+                op,
+                precision_bits,
+                required_bits,
+            } => write!(
+                f,
+                "noise budget exhausted in {op}: {precision_bits:.1} bits of \
+                 precision left, {required_bits:.1} required"
+            ),
+            EvalError::LevelsExhausted { op, level } => write!(
+                f,
+                "modulus chain exhausted in {op}: cannot rescale at level {level}"
+            ),
+            EvalError::MissingRotationKey { distance } => {
+                write!(f, "missing rotation key for distance {distance}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// Relative tolerance for scale compatibility checks.
 ///
@@ -59,7 +121,12 @@ impl<'a> Evaluator<'a> {
     fn assert_aligned(&self, x: &Ciphertext, y: &Ciphertext) {
         assert_eq!(x.level(), y.level(), "level mismatch: align levels first");
         let rel = (x.scale() - y.scale()).abs() / x.scale().max(y.scale());
-        assert!(rel < SCALE_RTOL, "scale mismatch: {} vs {}", x.scale(), y.scale());
+        assert!(
+            rel < SCALE_RTOL,
+            "scale mismatch: {} vs {}",
+            x.scale(),
+            y.scale()
+        );
     }
 
     /// HADD: element-wise ciphertext addition.
@@ -220,7 +287,10 @@ impl<'a> Evaluator<'a> {
             .modulus()
             .value() as f64;
         let c = target * q_drop / x.scale();
-        assert!(c >= 1.0 && c < 4.6e18, "correction constant out of range");
+        assert!(
+            (1.0..4.6e18).contains(&c),
+            "correction constant out of range"
+        );
         let vi = c.round() as i64;
         let mut t = self.mul_integer(x, vi);
         t.set_scale(x.scale() * vi as f64);
@@ -290,12 +360,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// HMULT followed by rescale (the common composite).
-    pub fn mul_relin_rescale(
-        &self,
-        x: &Ciphertext,
-        y: &Ciphertext,
-        relin: &EvalKey,
-    ) -> Ciphertext {
+    pub fn mul_relin_rescale(&self, x: &Ciphertext, y: &Ciphertext, relin: &EvalKey) -> Ciphertext {
         let t = self.mul_relin(x, y, relin);
         self.rescale(&t)
     }
@@ -389,6 +454,169 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// A ciphertext paired with its predicted noise state.
+#[derive(Debug, Clone)]
+pub struct TrackedCiphertext {
+    /// The ciphertext.
+    pub ct: Ciphertext,
+    /// Heuristic magnitude/error bounds for its message.
+    pub tracker: NoiseTracker,
+}
+
+/// A noise-budget-guarded evaluator: every operation updates a
+/// [`NoiseTracker`] alongside the ciphertext and fails with a typed
+/// [`EvalError`] the moment the predicted precision drops below a floor,
+/// instead of silently producing garbage (or panicking on an exhausted
+/// modulus chain).
+///
+/// This is the evaluator a *server* should drive client ciphertexts with:
+/// the depth of the circuit a client requests is data the server does not
+/// control, so running out of noise budget must be a recoverable, typed
+/// condition.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardedEvaluator<'a> {
+    ev: Evaluator<'a>,
+    model: NoiseModel,
+    min_precision_bits: f64,
+}
+
+impl<'a> GuardedEvaluator<'a> {
+    /// Binds a context with a precision floor (in bits). Results whose
+    /// predicted signal-to-noise falls below the floor are rejected.
+    pub fn new(ctx: &'a CkksContext, min_precision_bits: f64) -> Self {
+        Self {
+            ev: Evaluator::new(ctx),
+            model: NoiseModel::new(ctx.params()),
+            min_precision_bits,
+        }
+    }
+
+    /// The underlying unguarded evaluator.
+    pub fn evaluator(&self) -> &Evaluator<'a> {
+        &self.ev
+    }
+
+    /// Starts tracking a fresh encryption whose slots are bounded by
+    /// `magnitude`.
+    pub fn track_fresh(&self, ct: Ciphertext, magnitude: f64) -> TrackedCiphertext {
+        TrackedCiphertext {
+            ct,
+            tracker: self.model.fresh(magnitude),
+        }
+    }
+
+    /// Predicted remaining precision of a tracked ciphertext.
+    pub fn precision_bits(&self, x: &TrackedCiphertext) -> f64 {
+        self.model.precision_bits(x.tracker)
+    }
+
+    fn guard(&self, op: &'static str, t: NoiseTracker) -> Result<NoiseTracker, EvalError> {
+        let bits = self.model.precision_bits(t);
+        if bits < self.min_precision_bits {
+            Err(EvalError::NoiseBudgetExhausted {
+                op,
+                precision_bits: bits,
+                required_bits: self.min_precision_bits,
+            })
+        } else {
+            Ok(t)
+        }
+    }
+
+    fn need_level(&self, op: &'static str, ct: &Ciphertext) -> Result<(), EvalError> {
+        if ct.level() <= 1 {
+            Err(EvalError::LevelsExhausted {
+                op,
+                level: ct.level(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Guarded HADD.
+    pub fn add(
+        &self,
+        x: &TrackedCiphertext,
+        y: &TrackedCiphertext,
+    ) -> Result<TrackedCiphertext, EvalError> {
+        let tracker = self.guard("add", self.model.add(x.tracker, y.tracker))?;
+        Ok(TrackedCiphertext {
+            ct: self.ev.add(&x.ct, &y.ct),
+            tracker,
+        })
+    }
+
+    /// Guarded HMULT + relinearize + rescale.
+    pub fn mul_relin_rescale(
+        &self,
+        x: &TrackedCiphertext,
+        y: &TrackedCiphertext,
+        relin: &EvalKey,
+    ) -> Result<TrackedCiphertext, EvalError> {
+        self.need_level("mul_relin_rescale", &x.ct)?;
+        let tracker = self.guard("mul_relin_rescale", self.model.mul(x.tracker, y.tracker))?;
+        Ok(TrackedCiphertext {
+            ct: self.ev.mul_relin_rescale(&x.ct, &y.ct, relin),
+            tracker,
+        })
+    }
+
+    /// Guarded squaring (+relinearize +rescale).
+    pub fn square_rescale(
+        &self,
+        x: &TrackedCiphertext,
+        relin: &EvalKey,
+    ) -> Result<TrackedCiphertext, EvalError> {
+        self.need_level("square_rescale", &x.ct)?;
+        let tracker = self.guard("square_rescale", self.model.mul(x.tracker, x.tracker))?;
+        Ok(TrackedCiphertext {
+            ct: self.ev.rescale(&self.ev.square_relin(&x.ct, relin)),
+            tracker,
+        })
+    }
+
+    /// Guarded PMULT + rescale; `magnitude` bounds the plaintext slots.
+    pub fn mul_plain_rescale(
+        &self,
+        x: &TrackedCiphertext,
+        p: &Plaintext,
+        magnitude: f64,
+    ) -> Result<TrackedCiphertext, EvalError> {
+        self.need_level("mul_plain_rescale", &x.ct)?;
+        let tracker = self.guard(
+            "mul_plain_rescale",
+            self.model.mul_plain(x.tracker, magnitude),
+        )?;
+        Ok(TrackedCiphertext {
+            ct: self.ev.rescale(&self.ev.mul_plain(&x.ct, p)),
+            tracker,
+        })
+    }
+
+    /// Guarded HROT: typed error (not a panic) when the key is absent.
+    pub fn rotate(
+        &self,
+        x: &TrackedCiphertext,
+        r: isize,
+        keys: &KeySet,
+    ) -> Result<TrackedCiphertext, EvalError> {
+        let r_norm = r.rem_euclid(self.ev.ctx.slots() as isize);
+        if r_norm == 0 {
+            return Ok(x.clone());
+        }
+        let evk = keys
+            .rotation(r_norm, self.ev.ctx.slots())
+            .ok_or(EvalError::MissingRotationKey { distance: r_norm })?;
+        let tracker = self.guard("rotate", self.model.rotate(x.tracker))?;
+        let g = galois_for_rotation(self.ev.ctx.n(), r_norm);
+        Ok(TrackedCiphertext {
+            ct: self.ev.apply_galois(&x.ct, g, evk),
+            tracker,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,8 +656,12 @@ mod tests {
         let za = msg(m, |i| Complex::new(i as f64 * 1e-3, -0.5));
         let zb = msg(m, |i| Complex::new(0.25, i as f64 * -2e-3));
         let mut rng = StdRng::seed_from_u64(5);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
-        let cb = ks.public.encrypt(&enc.encode(&zb, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let cb = ks
+            .public
+            .encrypt(&enc.encode(&zb, f.ctx.max_level()), &mut rng);
 
         let sum = enc.decode(&ks.secret.decrypt(&ev.add(&ca, &cb)));
         let want_sum: Vec<Complex> = za.iter().zip(&zb).map(|(&x, &y)| x + y).collect();
@@ -454,7 +686,9 @@ mod tests {
         let za = msg(m, |i| Complex::new((i % 7) as f64 * 0.1, 0.02));
         let zp = msg(m, |i| Complex::new(0.5, (i % 3) as f64 * 0.1));
         let mut rng = StdRng::seed_from_u64(6);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let pp = enc.encode(&zp, f.ctx.max_level());
 
         let prod = ev.rescale(&ev.mul_plain(&ca, &pp));
@@ -477,7 +711,9 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |i| Complex::new(0.1 * (i % 5) as f64, -0.3));
         let mut rng = StdRng::seed_from_u64(8);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
 
         let scaled = ev.rescale(&ev.mul_scalar(&ca, -1.5));
         let out = enc.decode(&ks.secret.decrypt(&scaled));
@@ -505,8 +741,12 @@ mod tests {
         let za = msg(m, |i| Complex::new(((i % 11) as f64 - 5.0) * 0.1, 0.2));
         let zb = msg(m, |i| Complex::new(0.3, ((i % 7) as f64 - 3.0) * 0.1));
         let mut rng = StdRng::seed_from_u64(13);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
-        let cb = ks.public.encrypt(&enc.encode(&zb, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let cb = ks
+            .public
+            .encrypt(&enc.encode(&zb, f.ctx.max_level()), &mut rng);
 
         let prod = ev.mul_relin_rescale(&ca, &cb, &ks.relin);
         assert_eq!(prod.level(), f.ctx.max_level() - 1);
@@ -525,7 +765,9 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |i| Complex::new(((i % 9) as f64 - 4.0) * 0.1, -0.1));
         let mut rng = StdRng::seed_from_u64(14);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let sq = ev.rescale(&ev.square_relin(&ca, &ks.relin));
         let out = enc.decode(&ks.secret.decrypt(&sq));
         let want: Vec<Complex> = za.iter().map(|&x| x * x).collect();
@@ -541,7 +783,9 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |i| Complex::new(i as f64 * 1e-3, (m - i) as f64 * 1e-3));
         let mut rng = StdRng::seed_from_u64(15);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         for r in [1isize, 2, 5] {
             let rot = ev.rotate(&ca, r, &ks);
             let out = enc.decode(&ks.secret.decrypt(&rot));
@@ -560,7 +804,9 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |i| Complex::new((i as f64).cos() * 0.3, 0.0));
         let mut rng = StdRng::seed_from_u64(16);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let hoisted = ev.key_switcher().decompose_mod_up(ca.a(), ca.level());
         for r in [1isize, 3] {
             let direct = ev.rotate(&ca, r, &ks);
@@ -580,7 +826,9 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |i| Complex::new(0.1, i as f64 * 1e-3));
         let mut rng = StdRng::seed_from_u64(17);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let conj = ev.conjugate(&ca, &ks);
         let out = enc.decode(&ks.secret.decrypt(&conj));
         let want: Vec<Complex> = za.iter().map(|z| z.conj()).collect();
@@ -597,7 +845,9 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |_| Complex::new(0.9, 0.0));
         let mut rng = StdRng::seed_from_u64(18);
-        let mut ct = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let mut ct = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let mut expect = 0.9f64;
         while ct.level() > 1 {
             ct = ev.rescale(&ev.square_relin(&ct, &ks.relin));
@@ -621,11 +871,108 @@ mod tests {
         let m = f.ctx.slots();
         let za = msg(m, |i| Complex::new(i as f64 * 1e-4, 0.5));
         let mut rng = StdRng::seed_from_u64(19);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let dropped = ev.mod_switch_to(&ca, 2);
         assert_eq!(dropped.level(), 2);
         let out = enc.decode(&ks.secret.decrypt(&dropped));
         assert!(max_error(&za, &out) < 1e-5);
+    }
+
+    #[test]
+    fn guarded_chain_stays_correct_until_typed_exhaustion() {
+        // A deep squaring chain on the guarded evaluator: results decrypt
+        // correctly while the guard passes, and the failure mode is a typed
+        // NoiseBudgetExhausted (or LevelsExhausted), never garbage.
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .levels(8)
+                .alpha(2)
+                .scale_bits(40)
+                .build(),
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        let ks = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(&ctx);
+        let gv = GuardedEvaluator::new(&ctx, 14.0);
+        let za = msg(ctx.slots(), |_| Complex::new(0.95, 0.0));
+        let ct = ks
+            .public
+            .encrypt(&enc.encode(&za, ctx.max_level()), &mut rng);
+        let mut t = gv.track_fresh(ct, 0.95);
+        let mut expect = 0.95f64;
+        let mut depth = 0;
+        let err = loop {
+            match gv.square_rescale(&t, &ks.relin) {
+                Ok(next) => {
+                    t = next;
+                    expect *= expect;
+                    depth += 1;
+                    let out = enc.decode(&ks.secret.decrypt(&t.ct));
+                    assert!(
+                        (out[0].re - expect).abs() < 1e-2,
+                        "depth {depth}: guarded result must stay accurate"
+                    );
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(depth >= 2, "budget must allow some depth, got {depth}");
+        match err {
+            EvalError::NoiseBudgetExhausted {
+                precision_bits,
+                required_bits,
+                ..
+            } => {
+                assert!(precision_bits < required_bits);
+                assert_eq!(required_bits, 14.0);
+            }
+            EvalError::LevelsExhausted { .. } => {}
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn guarded_rotate_reports_missing_key() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let gv = GuardedEvaluator::new(&f.ctx, 4.0);
+        let za = msg(f.ctx.slots(), |_| Complex::new(0.1, 0.0));
+        let mut rng = StdRng::seed_from_u64(78);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let t = gv.track_fresh(ca, 0.1);
+        let err = gv.rotate(&t, 7, &ks).unwrap_err();
+        assert_eq!(err, EvalError::MissingRotationKey { distance: 7 });
+        assert!(err.to_string().contains("distance 7"));
+    }
+
+    #[test]
+    fn guarded_rescale_at_floor_level_is_typed() {
+        let f = fixture();
+        let ks = keys(&f.ctx);
+        let enc = Encoder::new(&f.ctx);
+        let ev = Evaluator::new(&f.ctx);
+        let gv = GuardedEvaluator::new(&f.ctx, 0.0);
+        let za = msg(f.ctx.slots(), |_| Complex::new(0.5, 0.0));
+        let mut rng = StdRng::seed_from_u64(79);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let floor = ev.mod_switch_to(&ca, 1);
+        let t = gv.track_fresh(floor, 0.5);
+        let err = gv.square_rescale(&t, &ks.relin).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::LevelsExhausted {
+                op: "square_rescale",
+                level: 1
+            }
+        );
     }
 
     #[test]
@@ -637,7 +984,9 @@ mod tests {
         let ev = Evaluator::new(&f.ctx);
         let za = msg(f.ctx.slots(), |_| Complex::ZERO);
         let mut rng = StdRng::seed_from_u64(20);
-        let ca = ks.public.encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
+        let ca = ks
+            .public
+            .encrypt(&enc.encode(&za, f.ctx.max_level()), &mut rng);
         let _ = ev.rotate(&ca, 7, &ks);
     }
 }

@@ -176,10 +176,9 @@ impl<'a, 'r, R: Rng + ?Sized> KeyGenerator<'a, 'r, R> {
         for &r in rotations {
             let r = r.rem_euclid(self.ctx.slots() as isize);
             if r != 0 {
-                rot_keys.entry(r).or_insert_with(|| {
-                    let k = self.gen_rotation(&secret, r);
-                    k
-                });
+                rot_keys
+                    .entry(r)
+                    .or_insert_with(|| self.gen_rotation(&secret, r));
             }
         }
         KeySet {
@@ -366,7 +365,10 @@ mod tests {
         let (ctx, keys) = setup();
         let m = ctx.slots();
         assert!(keys.rotation(1, m).is_some());
-        assert!(keys.rotation(1 - m as isize, m).is_some(), "wraps mod slots");
+        assert!(
+            keys.rotation(1 - m as isize, m).is_some(),
+            "wraps mod slots"
+        );
         assert!(keys.rotation(3, m).is_none());
     }
 

@@ -333,8 +333,7 @@ impl LinearTransform {
                 let diag = &self.diags[&r];
                 // Pre-rotate by the giant step so the outer rotation lands
                 // the plaintext correctly.
-                let rotated: Vec<Complex> =
-                    (0..m).map(|j| diag[(j + m - g_step) % m]).collect();
+                let rotated: Vec<Complex> = (0..m).map(|j| diag[(j + m - g_step) % m]).collect();
                 let pt = enc.encode_with_scale(&rotated, level, delta);
                 let src = &baby[&b];
                 let mut tb = src.b().clone();

@@ -38,7 +38,7 @@ impl EncryptedMatVec {
         assert!(dim >= 1, "empty matrix");
         assert!(rows.iter().all(|r| r.len() == dim), "matrix must be square");
         assert!(
-            slots % dim == 0,
+            slots.is_multiple_of(dim),
             "block size {dim} must divide the slot count {slots}"
         );
         // Batched diagonal construction with the classic two-diagonal wrap
@@ -103,13 +103,11 @@ impl EncryptedMatVec {
 
     /// Plain reference: applies the matrix to each `dim`-block of `x`.
     pub fn apply_plain(&self, x: &[f64]) -> Vec<f64> {
-        assert!(x.len() % self.dim == 0, "input not block-aligned");
+        assert!(x.len().is_multiple_of(self.dim), "input not block-aligned");
         let mut out = vec![0.0; x.len()];
         for (b, block) in x.chunks(self.dim).enumerate() {
             for i in 0..self.dim {
-                out[b * self.dim + i] = (0..self.dim)
-                    .map(|j| self.rows[i][j] * block[j])
-                    .sum();
+                out[b * self.dim + i] = (0..self.dim).map(|j| self.rows[i][j] * block[j]).sum();
             }
         }
         out

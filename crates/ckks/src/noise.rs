@@ -187,7 +187,9 @@ mod tests {
         let ev = Evaluator::new(&ctx);
         let model = NoiseModel::new(ctx.params());
         let m = ctx.slots();
-        let msg: Vec<Complex> = (0..m).map(|i| Complex::new(0.3 - (i % 7) as f64 * 0.05, 0.0)).collect();
+        let msg: Vec<Complex> = (0..m)
+            .map(|i| Complex::new(0.3 - (i % 7) as f64 * 0.05, 0.0))
+            .collect();
         let mut rng = StdRng::seed_from_u64(143);
         let mut ct = keys
             .public
@@ -203,7 +205,11 @@ mod tests {
         }
         let out = enc.decode(&keys.secret.decrypt(&ct));
         let measured = max_error(&plain, &out);
-        assert!(measured <= tracker.error, "{measured:.3e} vs {:.3e}", tracker.error);
+        assert!(
+            measured <= tracker.error,
+            "{measured:.3e} vs {:.3e}",
+            tracker.error
+        );
         assert!(
             model.precision_bits(tracker) > 10.0,
             "plenty of precision must remain"

@@ -1,4 +1,4 @@
-//! Global op-count instrumentation.
+//! Op-count instrumentation.
 //!
 //! The Anaheim cost model (in `anaheim-core`) predicts, per CKKS function,
 //! how many (I)NTT limb-transforms, BConv limb-pair products, element-wise
@@ -6,17 +6,21 @@
 //! *measure* the same quantities in the functional library and assert the
 //! two agree (the validation behind the Fig. 1 table).
 //!
-//! Counters are process-global atomics: cheap, thread-safe, and adequate for
-//! single-scenario measurements in tests and benches.
+//! Counters are **thread-local**: each measurement window (`reset()` …
+//! `snapshot()`) only observes work performed on its own thread, so tests
+//! running in parallel (the default test harness) cannot perturb each
+//! other's counts. All library entry points count on the calling thread.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-static NTT_LIMBS: AtomicU64 = AtomicU64::new(0);
-static INTT_LIMBS: AtomicU64 = AtomicU64::new(0);
-static BCONV_LIMB_PRODUCTS: AtomicU64 = AtomicU64::new(0);
-static EW_LIMB_OPS: AtomicU64 = AtomicU64::new(0);
-static AUTOMORPHISM_LIMBS: AtomicU64 = AtomicU64::new(0);
-static KEYSWITCHES: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static NTT_LIMBS: Cell<u64> = const { Cell::new(0) };
+    static INTT_LIMBS: Cell<u64> = const { Cell::new(0) };
+    static BCONV_LIMB_PRODUCTS: Cell<u64> = const { Cell::new(0) };
+    static EW_LIMB_OPS: Cell<u64> = const { Cell::new(0) };
+    static AUTOMORPHISM_LIMBS: Cell<u64> = const { Cell::new(0) };
+    static KEYSWITCHES: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A snapshot of all counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,50 +58,50 @@ impl OpCounts {
     }
 }
 
-/// Takes a snapshot of the global counters.
+/// Takes a snapshot of this thread's counters.
 pub fn snapshot() -> OpCounts {
     OpCounts {
-        ntt_limbs: NTT_LIMBS.load(Ordering::Relaxed),
-        intt_limbs: INTT_LIMBS.load(Ordering::Relaxed),
-        bconv_limb_products: BCONV_LIMB_PRODUCTS.load(Ordering::Relaxed),
-        ew_limb_ops: EW_LIMB_OPS.load(Ordering::Relaxed),
-        automorphism_limbs: AUTOMORPHISM_LIMBS.load(Ordering::Relaxed),
-        keyswitches: KEYSWITCHES.load(Ordering::Relaxed),
+        ntt_limbs: NTT_LIMBS.get(),
+        intt_limbs: INTT_LIMBS.get(),
+        bconv_limb_products: BCONV_LIMB_PRODUCTS.get(),
+        ew_limb_ops: EW_LIMB_OPS.get(),
+        automorphism_limbs: AUTOMORPHISM_LIMBS.get(),
+        keyswitches: KEYSWITCHES.get(),
     }
 }
 
-/// Resets all counters to zero.
+/// Resets this thread's counters to zero.
 pub fn reset() {
-    NTT_LIMBS.store(0, Ordering::Relaxed);
-    INTT_LIMBS.store(0, Ordering::Relaxed);
-    BCONV_LIMB_PRODUCTS.store(0, Ordering::Relaxed);
-    EW_LIMB_OPS.store(0, Ordering::Relaxed);
-    AUTOMORPHISM_LIMBS.store(0, Ordering::Relaxed);
-    KEYSWITCHES.store(0, Ordering::Relaxed);
+    NTT_LIMBS.set(0);
+    INTT_LIMBS.set(0);
+    BCONV_LIMB_PRODUCTS.set(0);
+    EW_LIMB_OPS.set(0);
+    AUTOMORPHISM_LIMBS.set(0);
+    KEYSWITCHES.set(0);
 }
 
 pub(crate) fn count_ntt(limbs: usize) {
-    NTT_LIMBS.fetch_add(limbs as u64, Ordering::Relaxed);
+    NTT_LIMBS.set(NTT_LIMBS.get() + limbs as u64);
 }
 
 pub(crate) fn count_intt(limbs: usize) {
-    INTT_LIMBS.fetch_add(limbs as u64, Ordering::Relaxed);
+    INTT_LIMBS.set(INTT_LIMBS.get() + limbs as u64);
 }
 
 pub(crate) fn count_bconv(source_limbs: usize, target_limbs: usize) {
-    BCONV_LIMB_PRODUCTS.fetch_add((source_limbs * target_limbs) as u64, Ordering::Relaxed);
+    BCONV_LIMB_PRODUCTS.set(BCONV_LIMB_PRODUCTS.get() + (source_limbs * target_limbs) as u64);
 }
 
 pub(crate) fn count_ew(limb_ops: usize) {
-    EW_LIMB_OPS.fetch_add(limb_ops as u64, Ordering::Relaxed);
+    EW_LIMB_OPS.set(EW_LIMB_OPS.get() + limb_ops as u64);
 }
 
 pub(crate) fn count_automorphism(limbs: usize) {
-    AUTOMORPHISM_LIMBS.fetch_add(limbs as u64, Ordering::Relaxed);
+    AUTOMORPHISM_LIMBS.set(AUTOMORPHISM_LIMBS.get() + limbs as u64);
 }
 
 pub(crate) fn count_keyswitch() {
-    KEYSWITCHES.fetch_add(1, Ordering::Relaxed);
+    KEYSWITCHES.set(KEYSWITCHES.get() + 1);
 }
 
 #[cfg(test)]
@@ -122,5 +126,19 @@ mod tests {
         assert_eq!(d.ew_limb_ops, 7);
         assert_eq!(d.automorphism_limbs, 2);
         assert_eq!(d.keyswitches, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset();
+        count_ntt(5);
+        let other = std::thread::spawn(|| {
+            count_ntt(1000);
+            snapshot().ntt_limbs
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1000, "spawned thread sees only its own counts");
+        assert_eq!(snapshot().ntt_limbs, 5, "this thread is unperturbed");
     }
 }

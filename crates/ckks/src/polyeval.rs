@@ -175,7 +175,9 @@ mod tests {
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let m = ctx.slots();
-        let xs: Vec<f64> = (0..m).map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64).collect();
+        let xs: Vec<f64> = (0..m)
+            .map(|i| -1.0 + 2.0 * i as f64 / (m - 1) as f64)
+            .collect();
         let msg: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
         let ct = keys
             .public
@@ -222,7 +224,9 @@ mod tests {
 
     #[test]
     fn degree_fifteen_bsgs() {
-        let coeffs: Vec<f64> = (0..16).map(|k| 0.5f64.powi(k) * if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let coeffs: Vec<f64> = (0..16)
+            .map(|k| 0.5f64.powi(k) * if k % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         eval_and_check(&PowerSeries::new(coeffs), 12, 1e-3);
     }
 

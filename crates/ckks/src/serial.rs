@@ -35,6 +35,8 @@ pub enum SerialError {
     ModulusMismatch,
     /// A residue was not reduced modulo its prime.
     ResidueOutOfRange,
+    /// The scale field is not a finite positive number.
+    InvalidScale,
 }
 
 impl fmt::Display for SerialError {
@@ -46,6 +48,7 @@ impl fmt::Display for SerialError {
             SerialError::DegreeMismatch => "ring degree does not match the context",
             SerialError::ModulusMismatch => "limb modulus not in the context chain",
             SerialError::ResidueOutOfRange => "residue not reduced modulo its prime",
+            SerialError::InvalidScale => "scale is not a finite positive number",
         };
         f.write_str(msg)
     }
@@ -83,7 +86,8 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
-        if self.pos + n > self.buf.len() {
+        // Overflow-safe: `pos + n` could wrap for an attacker-chosen `n`.
+        if n > self.buf.len() - self.pos {
             return Err(SerialError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -132,9 +136,8 @@ fn read_poly(r: &mut Reader<'_>, ctx: &CkksContext) -> Result<Poly, SerialError>
     let n = ctx.n();
     let chain = ctx.basis_q(ctx.max_level());
     let mut out = Vec::with_capacity(limbs);
-    for i in 0..limbs {
+    for prime_ctx in chain.iter().take(limbs) {
         let q = r.u64()?;
-        let prime_ctx = &chain[i];
         if prime_ctx.modulus().value() != q {
             return Err(SerialError::ModulusMismatch);
         }
@@ -172,6 +175,22 @@ fn read_header(r: &mut Reader<'_>, want: Kind) -> Result<u8, SerialError> {
     r.u8()
 }
 
+fn check_degree(log_n: u8, ctx: &CkksContext) -> Result<(), SerialError> {
+    // Guard the shift: log_n comes off the wire and `1 << 64` would panic.
+    if u32::from(log_n) >= usize::BITS || 1usize << log_n != ctx.n() {
+        return Err(SerialError::DegreeMismatch);
+    }
+    Ok(())
+}
+
+fn check_scale(scale: f64) -> Result<f64, SerialError> {
+    if scale.is_finite() && scale > 0.0 {
+        Ok(scale)
+    } else {
+        Err(SerialError::InvalidScale)
+    }
+}
+
 /// Serializes a ciphertext.
 pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     let mut w = Writer(Vec::new());
@@ -189,20 +208,20 @@ pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
 ///
 /// Returns [`SerialError`] when the buffer is malformed, the ring degree or
 /// modulus chain disagrees with `ctx`, or residues are out of range.
-pub fn deserialize_ciphertext(
-    ctx: &CkksContext,
-    bytes: &[u8],
-) -> Result<Ciphertext, SerialError> {
+pub fn deserialize_ciphertext(ctx: &CkksContext, bytes: &[u8]) -> Result<Ciphertext, SerialError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     let log_n = read_header(&mut r, Kind::Ciphertext)?;
-    if 1usize << log_n != ctx.n() {
-        return Err(SerialError::DegreeMismatch);
-    }
-    let scale = r.f64()?;
+    check_degree(log_n, ctx)?;
+    let scale = check_scale(r.f64()?)?;
     let b = read_poly(&mut r, ctx)?;
     let a = read_poly(&mut r, ctx)?;
     if b.num_limbs() != a.num_limbs() {
         return Err(SerialError::ModulusMismatch);
+    }
+    // Ciphertexts live in the evaluation domain; a flipped format byte must
+    // not reach the (asserting) constructor.
+    if b.format() != Format::Eval || a.format() != Format::Eval {
+        return Err(SerialError::BadHeader);
     }
     let level = b.num_limbs();
     Ok(Ciphertext::new(b, a, scale, level))
@@ -223,16 +242,11 @@ pub fn serialize_plaintext(pt: &Plaintext) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`SerialError`] on malformed or mismatching input.
-pub fn deserialize_plaintext(
-    ctx: &CkksContext,
-    bytes: &[u8],
-) -> Result<Plaintext, SerialError> {
+pub fn deserialize_plaintext(ctx: &CkksContext, bytes: &[u8]) -> Result<Plaintext, SerialError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     let log_n = read_header(&mut r, Kind::Plaintext)?;
-    if 1usize << log_n != ctx.n() {
-        return Err(SerialError::DegreeMismatch);
-    }
-    let scale = r.f64()?;
+    check_degree(log_n, ctx)?;
+    let scale = check_scale(r.f64()?)?;
     let poly = read_poly(&mut r, ctx)?;
     let level = poly.num_limbs();
     Ok(Plaintext::new(poly, scale, level))
@@ -298,8 +312,7 @@ mod tests {
             .public
             .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
         let low = ev.mod_switch_to(&ct, 2);
-        let back =
-            deserialize_ciphertext(&ctx, &serialize_ciphertext(&low)).expect("roundtrip");
+        let back = deserialize_ciphertext(&ctx, &serialize_ciphertext(&low)).expect("roundtrip");
         assert_eq!(back.level(), 2);
     }
 

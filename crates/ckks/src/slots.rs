@@ -18,12 +18,7 @@ use crate::keys::KeySet;
 ///
 /// Panics if `block` is not a power of two, exceeds the slot count, or a
 /// rotation key is missing.
-pub fn sum_block(
-    ev: &Evaluator<'_>,
-    ct: &Ciphertext,
-    block: usize,
-    keys: &KeySet,
-) -> Ciphertext {
+pub fn sum_block(ev: &Evaluator<'_>, ct: &Ciphertext, block: usize, keys: &KeySet) -> Ciphertext {
     assert!(block.is_power_of_two(), "block must be a power of two");
     assert!(block <= ev.context().slots(), "block exceeds slot count");
     let mut acc = ct.clone();
@@ -187,7 +182,9 @@ mod tests {
         let enc = Encoder::new(&ctx);
         let ev = Evaluator::new(&ctx);
         let m = ctx.slots();
-        let msg: Vec<Complex> = (0..m).map(|i| Complex::new(0.2 + i as f64 * 1e-4, 0.0)).collect();
+        let msg: Vec<Complex> = (0..m)
+            .map(|i| Complex::new(0.2 + i as f64 * 1e-4, 0.0))
+            .collect();
         let mut rng = StdRng::seed_from_u64(124);
         let ct = keys
             .public

@@ -324,10 +324,7 @@ mod tests {
             let mut want = z.clone();
             fft.inv_stages_only(&mut want);
             let want: Vec<Complex> = want.iter().map(|v| v.scale(1.0 / m as f64)).collect();
-            assert!(
-                max_error(&via_factors, &want) < 1e-9,
-                "groups = {groups}"
-            );
+            assert!(max_error(&via_factors, &want) < 1e-9, "groups = {groups}");
         }
     }
 

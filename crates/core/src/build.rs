@@ -64,8 +64,7 @@ impl Builder {
     }
 
     fn poly(&mut self, kind: ObjKind, limbs: usize) -> ObjRef {
-        self.alloc
-            .fresh(kind, self.params.poly_bytes(limbs) as u64)
+        self.alloc.fresh(kind, self.params.poly_bytes(limbs) as u64)
     }
 
     fn fresh_evk(&mut self, level: usize) -> Vec<(ObjRef, ObjRef)> {
@@ -851,8 +850,8 @@ impl Builder {
         // CAccum-shaped constant leaf sums.
         let eval_mod_stages = 8usize;
         let keyswitches_per_stage = [4usize, 4, 4, 4, 3, 3, 2, 2];
-        for s in 0..eval_mod_stages {
-            for _ in 0..keyswitches_per_stage[s] {
+        for &ks in keyswitches_per_stage.iter().take(eval_mod_stages) {
+            for _ in 0..ks {
                 let sq = self.poly(ObjKind::Temp, level);
                 let tens = self.poly(ObjKind::Temp, 2 * level);
                 seq.push(
@@ -919,8 +918,7 @@ impl Builder {
 
         assert_eq!(
             level,
-            p.l_max
-                - p.limbs_per_level() * (p.fft_iter_c2s + p.fft_iter_s2c + eval_mod_stages),
+            p.l_max - p.limbs_per_level() * (p.fft_iter_c2s + p.fft_iter_s2c + eval_mod_stages),
             "level arithmetic must be consistent"
         );
         seq
@@ -1072,9 +1070,12 @@ mod tests {
         let p = b.params().clone();
         let seq = b.hmult(p.l_max);
         assert_eq!(seq.keyswitches, 1);
-        assert!(seq
-            .ops
-            .iter()
-            .any(|o| matches!(o.kind, OpKind::Ew { instr: PimInstruction::Tensor, .. })));
+        assert!(seq.ops.iter().any(|o| matches!(
+            o.kind,
+            OpKind::Ew {
+                instr: PimInstruction::Tensor,
+                ..
+            }
+        )));
     }
 }

@@ -1,0 +1,59 @@
+//! Typed errors for the Anaheim runtime.
+//!
+//! The scheduler absorbs transient PIM faults (bounded retries, GPU
+//! fallback — see `DESIGN.md`, "Reliability & fault model"), so what
+//! surfaces from [`crate::framework::Anaheim::run`] are the failures no
+//! fallback can fix: configuration-level PIM errors such as an instruction
+//! unsupported at the configured buffer size.
+
+use pim::error::PimError;
+use std::fmt;
+
+/// A failure of [`crate::framework::Anaheim::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A PIM kernel failed in a way the GPU fallback cannot absorb
+    /// (unsupported instruction, malformed schedule).
+    Pim(PimError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Pim(e) => write!(f, "PIM execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Pim(e) => Some(e),
+        }
+    }
+}
+
+impl From<PimError> for RunError {
+    fn from(e: PimError) -> Self {
+        RunError::Pim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: RunError = PimError::Unsupported {
+            mnemonic: "PAccum<4>".into(),
+            buffer_entries: 4,
+        }
+        .into();
+        assert_eq!(
+            e.to_string(),
+            "PIM execution failed: PAccum<4> unsupported with B = 4"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

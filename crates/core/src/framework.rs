@@ -8,8 +8,10 @@
 use gpu::config::{GpuConfig, LibraryProfile};
 use gpu::model::GpuModel;
 use pim::device::PimDeviceConfig;
+use pim::fault::FaultPlan;
 use pim::layout::LayoutPolicy;
 
+use crate::error::RunError;
 use crate::ir::OpSequence;
 use crate::passes::{fuse, offload_measured, FusionConfig};
 use crate::report::ExecutionReport;
@@ -41,6 +43,8 @@ pub struct AnaheimConfig {
     pub fusion: FusionConfig,
     /// Execution mode.
     pub mode: ExecMode,
+    /// Fault-injection plan for the PIM path (`None` = fault-free).
+    pub fault: Option<FaultPlan>,
 }
 
 impl AnaheimConfig {
@@ -54,6 +58,7 @@ impl AnaheimConfig {
             layout: LayoutPolicy::ColumnPartitioned,
             fusion: FusionConfig::gpu_baseline(),
             mode: ExecMode::GpuOnly,
+            fault: None,
         }
     }
 
@@ -67,7 +72,15 @@ impl AnaheimConfig {
             layout: LayoutPolicy::ColumnPartitioned,
             fusion: FusionConfig::full(),
             mode: ExecMode::GpuWithPim,
+            fault: None,
         }
+    }
+
+    /// Attaches a fault-injection plan: PIM kernels run under injected
+    /// faults and degrade to the GPU when integrity checks fail.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Anaheim on A100 with custom-HBM PIM.
@@ -169,7 +182,12 @@ impl Anaheim {
 
     /// Runs a sequence: applies the configured fusion pipeline, offloads to
     /// PIM when enabled, and schedules.
-    pub fn run(&self, mut seq: OpSequence) -> ExecutionReport {
+    ///
+    /// Integrity-check failures under a configured fault plan are absorbed
+    /// by retry/GPU-fallback and recorded in the report; only failures no
+    /// fallback can fix (e.g. an unsupported PIM instruction) surface as
+    /// [`RunError`].
+    pub fn run(&self, mut seq: OpSequence) -> Result<ExecutionReport, RunError> {
         fuse(&mut seq, &self.config.fusion);
         match (self.config.mode, &self.config.pim) {
             (ExecMode::GpuWithPim, Some(dev)) => {
@@ -180,7 +198,7 @@ impl Anaheim {
                     self.config.layout,
                     crate::schedule::TRANSITION_NS,
                 );
-                Scheduler::with_pim(&self.model, dev, self.config.layout).run(&seq)
+                self.pim_scheduler(dev).run(&seq)
             }
             _ => Scheduler::gpu_only(&self.model).run(&seq),
         }
@@ -188,13 +206,19 @@ impl Anaheim {
 
     /// Runs a sequence without applying any passes (for ablations that
     /// prepare the sequence manually).
-    pub fn run_prepared(&self, seq: &OpSequence) -> ExecutionReport {
+    pub fn run_prepared(&self, seq: &OpSequence) -> Result<ExecutionReport, RunError> {
         match (self.config.mode, &self.config.pim) {
-            (ExecMode::GpuWithPim, Some(dev)) => {
-                Scheduler::with_pim(&self.model, dev, self.config.layout).run(seq)
-            }
+            (ExecMode::GpuWithPim, Some(dev)) => self.pim_scheduler(dev).run(seq),
             _ => Scheduler::gpu_only(&self.model).run(seq),
         }
+    }
+
+    fn pim_scheduler<'a>(&'a self, dev: &'a PimDeviceConfig) -> Scheduler<'a> {
+        let mut s = Scheduler::with_pim(&self.model, dev, self.config.layout);
+        if let Some(plan) = self.config.fault {
+            s = s.with_fault_plan(plan);
+        }
+        s
     }
 }
 
@@ -211,8 +235,12 @@ mod tests {
         // value.
         let mut b = Builder::new(ParamSet::paper_default());
         let seq = b.bootstrap();
-        let base = Anaheim::new(AnaheimConfig::a100_baseline()).run(seq.clone());
-        let pim = Anaheim::new(AnaheimConfig::a100_near_bank()).run(seq);
+        let base = Anaheim::new(AnaheimConfig::a100_baseline())
+            .run(seq.clone())
+            .unwrap();
+        let pim = Anaheim::new(AnaheimConfig::a100_near_bank())
+            .run(seq)
+            .unwrap();
         let speedup = base.total_ns / pim.total_ns;
         assert!(
             (1.05..2.5).contains(&speedup),
@@ -229,14 +257,18 @@ mod tests {
         // and 68–69% on RTX 4090 (the paper's central observation).
         let mut b = Builder::new(ParamSet::paper_default());
         let seq = b.bootstrap();
-        let a100 = Anaheim::new(AnaheimConfig::a100_baseline()).run(seq.clone());
+        let a100 = Anaheim::new(AnaheimConfig::a100_baseline())
+            .run(seq.clone())
+            .unwrap();
         let f_a100 = a100.fraction("element-wise");
         assert!(
             (0.35..0.60).contains(&f_a100),
             "A100 element-wise share ≈ 45-48%, got {:.0}%",
             100.0 * f_a100
         );
-        let g = Anaheim::new(AnaheimConfig::rtx4090_baseline()).run(seq);
+        let g = Anaheim::new(AnaheimConfig::rtx4090_baseline())
+            .run(seq)
+            .unwrap();
         let f_4090 = g.fraction("element-wise");
         assert!(
             f_4090 > f_a100,
@@ -255,6 +287,18 @@ mod tests {
             a100.check_capacity(&seq),
             CapacityCheck::Fits { .. }
         ));
+    }
+
+    #[test]
+    fn fault_plan_degrades_but_completes() {
+        let mut b = Builder::new(ParamSet::paper_default());
+        let seq = b.bootstrap();
+        let cfg = AnaheimConfig::a100_near_bank()
+            .with_fault_plan(FaultPlan::none().with_seed(17).with_bank_flips(0.5));
+        let r = Anaheim::new(cfg).run(seq).unwrap();
+        assert!(r.faults_detected > 0, "flips at p=0.5 must fire");
+        assert!(r.degraded_segments > 0);
+        assert!(r.total_ns > 0.0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!    model and a PIM device together, producing [`report::ExecutionReport`]s.
 
 pub mod build;
+pub mod error;
 pub mod framework;
 pub mod ir;
 pub mod params;
@@ -28,6 +29,7 @@ pub mod passes;
 pub mod report;
 pub mod schedule;
 
+pub use error::RunError;
 pub use framework::{Anaheim, AnaheimConfig, ExecMode};
 pub use ir::{Op, OpKind, OpSequence};
 pub use params::ParamSet;

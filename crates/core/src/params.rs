@@ -153,12 +153,21 @@ mod tests {
         let p = ParamSet::paper_default();
         // §III-A: "a polynomial can be as large as 17MB and an evk 136MB".
         let poly_mb = p.poly_bytes(p.l_max + p.alpha) as f64 / (1 << 20) as f64;
-        assert!((16.0..18.5).contains(&poly_mb), "PQ polynomial ≈ 17 MB, got {poly_mb}");
+        assert!(
+            (16.0..18.5).contains(&poly_mb),
+            "PQ polynomial ≈ 17 MB, got {poly_mb}"
+        );
         let evk_mb = p.evk_bytes() as f64 / (1 << 20) as f64;
-        assert!((130.0..140.0).contains(&evk_mb), "evk ≈ 136 MB, got {evk_mb}");
+        assert!(
+            (130.0..140.0).contains(&evk_mb),
+            "evk ≈ 136 MB, got {evk_mb}"
+        );
         // §III-C: a ciphertext ≈ 27 MB.
         let ct_mb = p.ct_bytes(p.l_max) as f64 / (1 << 20) as f64;
-        assert!((26.0..28.5).contains(&ct_mb), "ciphertext ≈ 27 MB, got {ct_mb}");
+        assert!(
+            (26.0..28.5).contains(&ct_mb),
+            "ciphertext ≈ 27 MB, got {ct_mb}"
+        );
     }
 
     #[test]
@@ -193,7 +202,10 @@ mod tests {
     fn fft_iter_tradeoff() {
         let base = ParamSet::paper_default();
         let more = base.clone().with_fft_iter(6, 6);
-        assert!(more.l_eff < base.l_eff, "higher fftIter lowers L_eff (Fig. 3)");
+        assert!(
+            more.l_eff < base.l_eff,
+            "higher fftIter lowers L_eff (Fig. 3)"
+        );
         let less = base.clone().with_fft_iter(3, 3);
         assert!(less.l_eff > base.l_eff);
     }

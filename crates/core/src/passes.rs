@@ -124,11 +124,14 @@ fn fuse_groups(seq: &mut OpSequence) {
             } else {
                 PimInstruction::CAccum(k)
             };
-            let mut fusedop = Op::new(OpKind::Ew { instr, limbs }, if is_keymult {
-                "KeyMult (PAccum)"
-            } else {
-                "ConstAccum (CAccum)"
-            });
+            let mut fusedop = Op::new(
+                OpKind::Ew { instr, limbs },
+                if is_keymult {
+                    "KeyMult (PAccum)"
+                } else {
+                    "ConstAccum (CAccum)"
+                },
+            );
             // Union of reads/writes, deduplicated (the accumulators appear
             // once instead of K times — that's the traffic saving).
             let mut seen = HashSet::new();
@@ -179,7 +182,9 @@ fn fuse_aut_accum(seq: &mut OpSequence) {
                     merged.reads.extend(
                         b.reads
                             .iter()
-                            .filter(|r| !aut_writes.contains(&r.id) && !a.reads.iter().any(|x| x.id == r.id))
+                            .filter(|r| {
+                                !aut_writes.contains(&r.id) && !a.reads.iter().any(|x| x.id == r.id)
+                            })
                             .copied(),
                     );
                     merged.writes.extend(b.writes.iter().copied());
@@ -304,15 +309,14 @@ pub fn offload_measured(
                 OpKind::Ew { instr, limbs } => (instr, limbs),
                 _ => unreachable!("pim_eligible implies Ew"),
             };
-            if !exec.supported(instr) {
-                supported = false;
-            } else {
-                pim_ns += exec
-                    .execute(&PimKernelSpec { instr, limbs, n })
-                    .latency_ns;
+            match exec.execute(&PimKernelSpec { instr, limbs, n }) {
+                Ok(r) => pim_ns += r.latency_ns,
+                // Unsupported (or otherwise unrunnable) on this device:
+                // the block stays on the GPU.
+                Err(_) => supported = false,
             }
-            gpu_ns += (op.bytes_read() + op.bytes_written()) as f64 / bw
-                + gpu.config().kernel_launch_ns;
+            gpu_ns +=
+                (op.bytes_read() + op.bytes_written()) as f64 / bw + gpu.config().kernel_launch_ns;
             for r in &op.reads {
                 if let Some(&bytes) = gpu_written.get(&r.id) {
                     if flushed_ids.insert(r.id) {
@@ -374,8 +378,7 @@ pub fn offload(seq: &mut OpSequence, policy: &OffloadPolicy) -> OffloadStats {
         let gpu_ns = t / policy.ext_bw_gbps;
         let pim_ns = t / (policy.ext_bw_gbps * policy.bw_increase);
         let overhead_ns = 2.0 * policy.transition_ns + flush as f64 / policy.ext_bw_gbps;
-        let profitable = policy.ext_bw_gbps.is_infinite()
-            || gpu_ns > pim_ns + overhead_ns;
+        let profitable = policy.ext_bw_gbps.is_infinite() || gpu_ns > pim_ns + overhead_ns;
         if profitable {
             for op in &mut seq.ops[i..j] {
                 op.executor = Executor::Pim;
@@ -477,7 +480,15 @@ mod tests {
         let autaccum = fused
             .ops
             .iter()
-            .filter(|o| matches!(o.kind, OpKind::Aut { fused_accum: true, .. }))
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::Aut {
+                        fused_accum: true,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(autaccum, 7, "one AutAccum per rotation");
         assert!(fused.ideal_bytes() < plain.ideal_bytes());

@@ -17,6 +17,9 @@ pub struct GanttSegment {
     pub class: &'static str,
     /// Human-readable op label.
     pub label: &'static str,
+    /// Degraded-mode work: a wasted PIM attempt that failed its integrity
+    /// check, or the GPU re-execution that replaced it.
+    pub degraded: bool,
 }
 
 impl GanttSegment {
@@ -43,6 +46,12 @@ pub struct ExecutionReport {
     pub segments: Vec<GanttSegment>,
     /// GPU↔PIM transitions taken.
     pub transitions: u32,
+    /// PIM integrity-check failures observed (each failed attempt counts).
+    pub faults_detected: u32,
+    /// PIM retries taken after transient integrity failures.
+    pub pim_retries: u32,
+    /// Degraded-mode segments: wasted PIM attempts plus GPU re-executions.
+    pub degraded_segments: u32,
 }
 
 impl ExecutionReport {
@@ -69,6 +78,9 @@ impl ExecutionReport {
     pub fn push_segment(&mut self, seg: GanttSegment) {
         *self.breakdown_ns.entry(seg.class).or_insert(0.0) += seg.duration_ns();
         self.total_ns = self.total_ns.max(seg.end_ns);
+        if seg.degraded {
+            self.degraded_segments += 1;
+        }
         self.segments.push(seg);
     }
 
@@ -146,7 +158,7 @@ impl ExecutionReport {
 
     /// A one-line textual summary.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:.3} ms, {:.3} J, EDP {:.3e}, GPU DRAM {:.2} GB, PIM {:.2} GB, {} transitions",
             self.total_ms(),
             self.energy_j,
@@ -154,7 +166,14 @@ impl ExecutionReport {
             self.gpu_dram_bytes as f64 / 1e9,
             self.pim_dram_bytes as f64 / 1e9,
             self.transitions
-        )
+        );
+        if self.faults_detected > 0 {
+            line.push_str(&format!(
+                ", {} fault(s) detected ({} retries, {} degraded segments)",
+                self.faults_detected, self.pim_retries, self.degraded_segments
+            ));
+        }
+        line
     }
 }
 
@@ -169,7 +188,20 @@ mod tests {
             executor: ex,
             class,
             label: "t",
+            degraded: false,
         }
+    }
+
+    #[test]
+    fn degraded_segments_counted() {
+        let mut r = ExecutionReport::default();
+        r.push_segment(seg(0.0, 100.0, Executor::Pim, "element-wise"));
+        let mut bad = seg(100.0, 150.0, Executor::Gpu, "element-wise");
+        bad.degraded = true;
+        r.push_segment(bad);
+        assert_eq!(r.degraded_segments, 1);
+        r.faults_detected = 1;
+        assert!(r.summary_line().contains("1 fault(s) detected"));
     }
 
     #[test]

@@ -5,31 +5,51 @@
 //! ops coalesce into one PIM kernel (large granularity, hundreds of µs);
 //! each GPU↔PIM transition pays the stream-queue handoff of ~2 µs, which
 //! §V-C shows is negligible at PIM-kernel granularity.
+//!
+//! With a [`FaultPlan`] attached, every PIM kernel runs under fault
+//! injection and its post-kernel integrity check can fail. The scheduler
+//! then degrades gracefully instead of propagating the failure: transient
+//! faults get up to [`MAX_PIM_RETRIES`] PIM retries, hard faults (a stuck
+//! MMAC lane) permanently disable the PIM path, and whatever still fails
+//! re-executes on the GPU. Every wasted attempt and GPU re-execution is
+//! charged to the timeline and recorded as a degraded segment.
 
 use gpu::cache::L2Cache;
 use gpu::kernel::{KernelClass, KernelDesc};
 use gpu::model::GpuModel;
 use pim::device::PimDeviceConfig;
+use pim::error::PimError;
 use pim::exec::{PimExecutor, PimKernelSpec};
+use pim::fault::{FaultInjector, FaultPlan};
 use pim::layout::LayoutPolicy;
 
+use crate::error::RunError;
 use crate::ir::{Executor, ObjKind, Op, OpKind, OpSequence};
 use crate::report::{ExecutionReport, GanttSegment};
 
 /// GPU↔PIM transition cost (§V-C: "a couple of microseconds").
 pub const TRANSITION_NS: f64 = 2000.0;
 
+/// PIM retries granted to a kernel after transient integrity failures
+/// before it falls back to the GPU.
+pub const MAX_PIM_RETRIES: u32 = 2;
+
 /// Scheduler binding the execution engines.
 #[derive(Debug)]
 pub struct Scheduler<'a> {
     gpu: &'a GpuModel,
     pim: Option<(&'a PimDeviceConfig, LayoutPolicy)>,
+    fault: Option<FaultPlan>,
 }
 
 impl<'a> Scheduler<'a> {
     /// GPU-only scheduling.
     pub fn gpu_only(gpu: &'a GpuModel) -> Self {
-        Self { gpu, pim: None }
+        Self {
+            gpu,
+            pim: None,
+            fault: None,
+        }
     }
 
     /// GPU + PIM co-execution.
@@ -37,7 +57,15 @@ impl<'a> Scheduler<'a> {
         Self {
             gpu,
             pim: Some((dev, layout)),
+            fault: None,
         }
+    }
+
+    /// Attaches a fault plan: PIM kernels run under fault injection and
+    /// degrade to the GPU when their integrity checks fail.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Integer ops a GPU kernel of this kind executes (one modmul ≈ 8
@@ -70,41 +98,23 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Runs the sequence and produces a report.
-    pub fn run(&self, seq: &OpSequence) -> ExecutionReport {
+    ///
+    /// Fails only on errors no fallback can absorb (e.g. a PIM instruction
+    /// unsupported at the configured buffer size); integrity-check failures
+    /// under an attached [`FaultPlan`] are handled by retry/degradation and
+    /// recorded in the report instead.
+    pub fn run(&self, seq: &OpSequence) -> Result<ExecutionReport, RunError> {
         let n = seq.params.n() as u64;
         let mut report = ExecutionReport::default();
         let mut cache = L2Cache::new(self.gpu.config().l2_bytes);
         let mut now = 0.0f64;
         let mut last_exec = Executor::Gpu;
         let mut pim_batch: Vec<(PimKernelSpec, &'static str)> = Vec::new();
-
-        let flush_pim =
-            |batch: &mut Vec<(PimKernelSpec, &'static str)>,
-             now: &mut f64,
-             report: &mut ExecutionReport,
-             pim: (&PimDeviceConfig, LayoutPolicy)| {
-                if batch.is_empty() {
-                    return;
-                }
-                let exec = PimExecutor::new(pim.0, pim.1);
-                for (spec, label) in batch.drain(..) {
-                    let r = exec.execute(&spec);
-                    let start = *now;
-                    *now += r.latency_ns;
-                    report.energy_j += r.energy_joules(pim.0);
-                    report.pim_dram_bytes += r.bytes_internal;
-                    report.push_segment(GanttSegment {
-                        start_ns: start,
-                        end_ns: *now,
-                        executor: Executor::Pim,
-                        class: "element-wise",
-                        label,
-                    });
-                }
-            };
+        let mut injector = self.fault.map(FaultInjector::new);
+        let mut pim_disabled = false;
 
         for op in &seq.ops {
-            let target = if self.pim.is_some() {
+            let target = if self.pim.is_some() && !pim_disabled {
                 op.executor
             } else {
                 Executor::Gpu
@@ -133,7 +143,14 @@ impl<'a> Scheduler<'a> {
                     if last_exec != Executor::Gpu {
                         // Drain the queued PIM kernels first.
                         if let Some(pim) = self.pim {
-                            flush_pim(&mut pim_batch, &mut now, &mut report, pim);
+                            self.flush_pim(
+                                &mut pim_batch,
+                                &mut now,
+                                &mut report,
+                                pim,
+                                &mut injector,
+                                &mut pim_disabled,
+                            )?;
                         }
                         now += TRANSITION_NS;
                         report.transitions += 1;
@@ -152,15 +169,135 @@ impl<'a> Scheduler<'a> {
                         executor: Executor::Gpu,
                         class: class_label,
                         label: op.label,
+                        degraded: false,
                     });
                 }
             }
         }
         if let Some(pim) = self.pim {
-            flush_pim(&mut pim_batch, &mut now, &mut report, pim);
+            self.flush_pim(
+                &mut pim_batch,
+                &mut now,
+                &mut report,
+                pim,
+                &mut injector,
+                &mut pim_disabled,
+            )?;
         }
         report.total_ns = now;
-        report
+        Ok(report)
+    }
+
+    /// Drains queued PIM kernels: executes each (under fault injection when
+    /// configured), retries transient integrity failures, and re-executes
+    /// on the GPU what PIM cannot complete.
+    fn flush_pim(
+        &self,
+        batch: &mut Vec<(PimKernelSpec, &'static str)>,
+        now: &mut f64,
+        report: &mut ExecutionReport,
+        pim: (&PimDeviceConfig, LayoutPolicy),
+        injector: &mut Option<FaultInjector>,
+        pim_disabled: &mut bool,
+    ) -> Result<(), RunError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let exec = PimExecutor::new(pim.0, pim.1);
+        for (spec, label) in batch.drain(..) {
+            if *pim_disabled {
+                // A prior hard fault took the PIM path out; the rest of
+                // the batch re-executes on the GPU.
+                self.fallback_on_gpu(&exec, &spec, label, now, report);
+                continue;
+            }
+            let mut retries = 0u32;
+            loop {
+                let outcome = match injector.as_mut() {
+                    Some(inj) => exec.execute_with_faults(&spec, inj),
+                    None => exec.execute(&spec),
+                };
+                match outcome {
+                    Ok(r) => {
+                        let start = *now;
+                        *now += r.latency_ns;
+                        report.energy_j += r.energy_joules(pim.0);
+                        report.pim_dram_bytes += r.bytes_internal;
+                        report.push_segment(GanttSegment {
+                            start_ns: start,
+                            end_ns: *now,
+                            executor: Executor::Pim,
+                            class: "element-wise",
+                            label,
+                            degraded: false,
+                        });
+                        break;
+                    }
+                    Err(PimError::IntegrityViolation(violation)) => {
+                        report.faults_detected += 1;
+                        // The failed attempt still burned time and energy.
+                        let start = *now;
+                        *now += violation.wasted.latency_ns;
+                        report.energy_j += violation.wasted.energy_joules(pim.0);
+                        report.pim_dram_bytes += violation.wasted.bytes_internal;
+                        report.push_segment(GanttSegment {
+                            start_ns: start,
+                            end_ns: *now,
+                            executor: Executor::Pim,
+                            class: "element-wise",
+                            label,
+                            degraded: true,
+                        });
+                        if violation.is_permanent() {
+                            // Hard fault (stuck MMAC lane): retrying on PIM
+                            // cannot succeed — disable the path for good.
+                            *pim_disabled = true;
+                        } else if retries < MAX_PIM_RETRIES {
+                            retries += 1;
+                            report.pim_retries += 1;
+                            continue;
+                        }
+                        self.fallback_on_gpu(&exec, &spec, label, now, report);
+                        break;
+                    }
+                    Err(e) => return Err(RunError::Pim(e)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-executes a failed PIM kernel on the GPU. The operands are
+    /// PIM-resident, so the kernel streams everything through DRAM with no
+    /// L2 reuse, and the re-dispatch pays one PIM→GPU handoff.
+    fn fallback_on_gpu(
+        &self,
+        exec: &PimExecutor<'_>,
+        spec: &PimKernelSpec,
+        label: &'static str,
+        now: &mut f64,
+        report: &mut ExecutionReport,
+    ) {
+        *now += TRANSITION_NS;
+        report.transitions += 1;
+        let p = spec.instr.profile();
+        let dram_read = (p.total_reads() * spec.limbs * spec.n * 4) as u64;
+        let dram_write = exec.gpu_bytes_equivalent(spec) - dram_read;
+        let int_ops = (spec.n * spec.limbs) as u64 * spec.instr.mmac_ops_per_element() as u64 * 6;
+        let desc = KernelDesc::new(KernelClass::ElementWise, int_ops, dram_read, dram_write);
+        let cost = self.gpu.cost(&desc);
+        report.gpu_dram_bytes += desc.dram_bytes();
+        report.energy_j += cost.energy_j;
+        let start = *now;
+        *now += cost.time_ns;
+        report.push_segment(GanttSegment {
+            start_ns: start,
+            end_ns: *now,
+            executor: Executor::Gpu,
+            class: "element-wise",
+            label,
+            degraded: true,
+        });
     }
 
     fn describe_gpu_op(
@@ -209,8 +346,10 @@ pub fn footprint_bytes(seq: &OpSequence) -> u64 {
     let mut total = 0u64;
     for op in &seq.ops {
         for r in op.reads.iter().chain(op.writes.iter()) {
-            if matches!(r.kind, ObjKind::Evk | ObjKind::Plaintext | ObjKind::Ciphertext)
-                && seen.insert(r.id)
+            if matches!(
+                r.kind,
+                ObjKind::Evk | ObjKind::Plaintext | ObjKind::Ciphertext
+            ) && seen.insert(r.id)
             {
                 total += r.bytes;
             }
@@ -241,7 +380,7 @@ mod tests {
         let m = gpu_model();
         let mut seq = lt(true);
         fuse(&mut seq, &FusionConfig::gpu_baseline());
-        let r = Scheduler::gpu_only(&m).run(&seq);
+        let r = Scheduler::gpu_only(&m).run(&seq).unwrap();
         assert!(r.total_ns > 0.0);
         assert!(r.energy_j > 0.0);
         assert!(r.fraction("element-wise") > 0.1, "EW must be visible");
@@ -258,13 +397,17 @@ mod tests {
 
         let mut gpu_seq = lt(true);
         fuse(&mut gpu_seq, &FusionConfig::gpu_baseline());
-        let gpu_r = Scheduler::gpu_only(&m).run(&gpu_seq);
+        let gpu_r = Scheduler::gpu_only(&m).run(&gpu_seq).unwrap();
 
         let mut pim_seq = lt(true);
         fuse(&mut pim_seq, &FusionConfig::full());
-        offload(&mut pim_seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
-        let pim_r =
-            Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned).run(&pim_seq);
+        offload(
+            &mut pim_seq,
+            &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0),
+        );
+        let pim_r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&pim_seq)
+            .unwrap();
 
         assert!(
             pim_r.total_ns < gpu_r.total_ns,
@@ -289,10 +432,104 @@ mod tests {
         let mut seq = lt(true);
         fuse(&mut seq, &FusionConfig::full());
         offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
-        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned).run(&seq);
+        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&seq)
+            .unwrap();
         // Transition overhead must stay negligible (§V-C).
         let overhead = r.transitions as f64 * TRANSITION_NS;
         assert!(overhead < 0.25 * r.total_ns, "transitions must be minor");
+    }
+
+    #[test]
+    fn transient_faults_retry_then_fall_back_to_gpu() {
+        // Bank flip probability 1: every PIM attempt fails its integrity
+        // check, so each kernel burns MAX_PIM_RETRIES retries and then
+        // re-executes on the GPU. The run still completes.
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::full());
+        offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let clean = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&seq)
+            .unwrap();
+        let kernels = clean
+            .segments
+            .iter()
+            .filter(|s| s.executor == Executor::Pim)
+            .count() as u32;
+        assert!(kernels > 0, "offload must produce PIM kernels");
+
+        let plan = FaultPlan::none().with_seed(11).with_bank_flips(1.0);
+        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_fault_plan(plan)
+            .run(&seq)
+            .unwrap();
+        assert_eq!(r.faults_detected, kernels * (1 + MAX_PIM_RETRIES));
+        assert_eq!(r.pim_retries, kernels * MAX_PIM_RETRIES);
+        // Wasted attempts plus one GPU re-execution per kernel.
+        assert_eq!(
+            r.degraded_segments,
+            kernels * (1 + MAX_PIM_RETRIES) + kernels
+        );
+        assert!(
+            r.total_ns > clean.total_ns,
+            "degraded run must be slower: {} vs {}",
+            r.total_ns,
+            clean.total_ns
+        );
+    }
+
+    #[test]
+    fn hard_fault_permanently_disables_pim() {
+        // A stuck MMAC lane is a hard fault: no retries, one wasted PIM
+        // attempt, and the rest of the run stays on the GPU.
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::full());
+        offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let plan = FaultPlan::none().with_seed(5).with_stuck_lane(3);
+        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_fault_plan(plan)
+            .run(&seq)
+            .unwrap();
+        assert_eq!(r.faults_detected, 1, "first attempt detects the hard fault");
+        assert_eq!(r.pim_retries, 0, "hard faults are never retried");
+        let pim_segments = r
+            .segments
+            .iter()
+            .filter(|s| s.executor == Executor::Pim)
+            .count();
+        assert_eq!(pim_segments, 1, "only the wasted attempt touches PIM");
+        assert!(
+            r.degraded_segments >= 2,
+            "wasted attempt + GPU re-execution"
+        );
+        // The work still completes; every degraded GPU segment is marked.
+        assert!(r
+            .segments
+            .iter()
+            .any(|s| s.executor == Executor::Gpu && s.degraded));
+    }
+
+    #[test]
+    fn benign_fault_plan_changes_nothing() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::full());
+        offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let clean = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&seq)
+            .unwrap();
+        let benign = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_fault_plan(FaultPlan::none())
+            .run(&seq)
+            .unwrap();
+        assert_eq!(clean.total_ns, benign.total_ns);
+        assert_eq!(benign.faults_detected, 0);
+        assert_eq!(benign.degraded_segments, 0);
     }
 
     #[test]
@@ -310,8 +547,13 @@ mod tests {
         let dev = PimDeviceConfig::a100_near_bank();
         let mut with_wb = lt(true);
         fuse(&mut with_wb, &FusionConfig::full());
-        let stats = offload(&mut with_wb, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
-        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned).run(&with_wb);
+        let stats = offload(
+            &mut with_wb,
+            &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0),
+        );
+        let r = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&with_wb)
+            .unwrap();
         assert!(r.gpu_dram_bytes >= stats.writeback_bytes);
     }
 }

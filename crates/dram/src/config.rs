@@ -110,8 +110,8 @@ pub struct DramEnergyParams {
 
 impl DramEnergyParams {
     /// HBM2E-class energies. Per O'Connor et al., the ~3.9 pJ/bit HBM2
-    /// access cost is dominated by data *movement* (on-die datapath + TSVs
-    /// + interposer I/O); the array access itself is cheap — which is
+    /// access cost is dominated by data *movement* (on-die datapath, TSVs,
+    /// interposer I/O); the array access itself is cheap — which is
     /// precisely the asymmetry PIM exploits (§V-D).
     pub fn hbm2e() -> Self {
         Self {

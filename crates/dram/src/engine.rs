@@ -53,10 +53,37 @@ pub struct LockstepResult {
 impl LockstepResult {
     /// Bytes touched per bank.
     pub fn bytes_per_bank(&self, cfg: &DramConfig) -> f64 {
-        (self.chunk_reads_per_bank + self.chunk_writes_per_bank) as f64
-            * cfg.chunk_bytes() as f64
+        (self.chunk_reads_per_bank + self.chunk_writes_per_bank) as f64 * cfg.chunk_bytes() as f64
     }
 }
+
+/// A lockstep schedule that violates the DRAM command protocol — the
+/// signature of dropped or reordered bank commands (fault injection, or a
+/// scheduling bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Read issued with no open row.
+    ReadWithoutOpenRow,
+    /// Write issued with no open row.
+    WriteWithoutOpenRow,
+    /// Activate issued while a row is already open.
+    ActOnOpenBank,
+    /// Precharge issued on an idle bank.
+    PreOnIdleBank,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::ReadWithoutOpenRow => write!(f, "RD requires an open row"),
+            ProtocolError::WriteWithoutOpenRow => write!(f, "WR requires an open row"),
+            ProtocolError::ActOnOpenBank => write!(f, "ACT requires an idle bank"),
+            ProtocolError::PreOnIdleBank => write!(f, "PRE requires an open row"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// Executes lockstep command schedules against a bank FSM.
 #[derive(Debug)]
@@ -93,8 +120,20 @@ impl<'a> LockstepEngine<'a> {
     /// # Panics
     ///
     /// Panics if the schedule violates DRAM state rules (e.g. Read with no
-    /// open row), surfacing scheduling bugs.
+    /// open row), surfacing scheduling bugs; use
+    /// [`try_execute`](Self::try_execute) when the schedule may have been
+    /// perturbed (fault injection) and the violation should be a value.
     pub fn execute(&self, schedule: &[BankCommand]) -> LockstepResult {
+        match self.try_execute(schedule) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`execute`](Self::execute): protocol violations
+    /// (the signature of dropped/reordered commands) come back as a typed
+    /// [`ProtocolError`] instead of a panic.
+    pub fn try_execute(&self, schedule: &[BankCommand]) -> Result<LockstepResult, ProtocolError> {
         let t = &self.cfg.timing;
         // Column cadence limited by the PIM unit.
         let mut eff = t.clone();
@@ -105,17 +144,29 @@ impl<'a> LockstepEngine<'a> {
         for cmd in schedule {
             match *cmd {
                 BankCommand::Act { row } => {
+                    if open {
+                        return Err(ProtocolError::ActOnOpenBank);
+                    }
                     now = bank.activate(&eff, now, row);
                     open = true;
                 }
                 BankCommand::Pre => {
+                    if !open {
+                        return Err(ProtocolError::PreOnIdleBank);
+                    }
                     now = bank.precharge(&eff, now);
                     open = false;
                 }
                 BankCommand::Read { chunks } => {
+                    if !open {
+                        return Err(ProtocolError::ReadWithoutOpenRow);
+                    }
                     now = bank.read(&eff, now, chunks as u64);
                 }
                 BankCommand::Write { chunks } => {
+                    if !open {
+                        return Err(ProtocolError::WriteWithoutOpenRow);
+                    }
                     now = bank.write(&eff, now, chunks as u64);
                 }
             }
@@ -123,12 +174,12 @@ impl<'a> LockstepEngine<'a> {
         if open {
             now = bank.precharge(&eff, now);
         }
-        LockstepResult {
+        Ok(LockstepResult {
             latency_ns: now,
             acts_per_bank: bank.acts(),
             chunk_reads_per_bank: bank.chunk_reads(),
             chunk_writes_per_bank: bank.chunk_writes(),
-        }
+        })
     }
 }
 
@@ -185,7 +236,10 @@ mod tests {
             thrashed.latency_ns,
             amortized.latency_ns
         );
-        assert_eq!(amortized.chunk_reads_per_bank, thrashed.chunk_reads_per_bank);
+        assert_eq!(
+            amortized.chunk_reads_per_bank,
+            thrashed.chunk_reads_per_bank
+        );
         assert_eq!(thrashed.acts_per_bank, 8);
     }
 
@@ -230,5 +284,38 @@ mod tests {
         let cfg = DramConfig::a100_hbm2e();
         let e = engine(&cfg);
         e.execute(&[BankCommand::Read { chunks: 1 }]);
+    }
+
+    #[test]
+    fn try_execute_returns_typed_protocol_errors() {
+        let cfg = DramConfig::a100_hbm2e();
+        let e = engine(&cfg);
+        assert_eq!(
+            e.try_execute(&[BankCommand::Read { chunks: 1 }]),
+            Err(ProtocolError::ReadWithoutOpenRow)
+        );
+        assert_eq!(
+            e.try_execute(&[
+                BankCommand::Act { row: 0 },
+                BankCommand::Write { chunks: 1 }
+            ])
+            .map(|_| ()),
+            Ok(())
+        );
+        assert_eq!(
+            e.try_execute(&[BankCommand::Act { row: 0 }, BankCommand::Act { row: 1 }]),
+            Err(ProtocolError::ActOnOpenBank)
+        );
+        assert_eq!(
+            e.try_execute(&[BankCommand::Pre]),
+            Err(ProtocolError::PreOnIdleBank)
+        );
+        // A dropped ACT (fault injection) surfaces as the matching error.
+        let mut sched = iteration_schedule(&[(0, 4, 0)]);
+        sched.remove(0);
+        assert_eq!(
+            e.try_execute(&sched),
+            Err(ProtocolError::ReadWithoutOpenRow)
+        );
     }
 }

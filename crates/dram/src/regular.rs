@@ -190,15 +190,13 @@ mod tests {
         // lockstep PIM mode.
         let cfg = DramConfig::a100_hbm2e();
         let banks = 8;
-        let regular = RegularEngine::new(&cfg, banks)
-            .stream(&interleaved(banks, 8, 4));
+        let regular = RegularEngine::new(&cfg, banks).stream(&interleaved(banks, 8, 4));
         let per_chunk_regular = regular.latency_ns / regular.chunks as f64;
 
-        let lockstep = LockstepEngine::new(&cfg, cfg.timing.t_ccd).execute(
-            &iteration_schedule(&(0..8).map(|r| (r as u32, 4, 0)).collect::<Vec<_>>()),
-        );
-        let per_chunk_lockstep =
-            lockstep.latency_ns / lockstep.chunk_reads_per_bank as f64;
+        let lockstep = LockstepEngine::new(&cfg, cfg.timing.t_ccd).execute(&iteration_schedule(
+            &(0..8).map(|r| (r as u32, 4, 0)).collect::<Vec<_>>(),
+        ));
+        let per_chunk_lockstep = lockstep.latency_ns / lockstep.chunk_reads_per_bank as f64;
         assert!(
             per_chunk_lockstep > 2.0 * per_chunk_regular,
             "lockstep must expose ACT/PRE: {per_chunk_lockstep:.1} vs {per_chunk_regular:.1} ns/chunk"

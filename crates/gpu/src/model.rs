@@ -126,7 +126,7 @@ mod tests {
         // An element-wise op at < 2 ops/byte (§IV-D).
         let m = model();
         let bytes = 100 << 20;
-        let k = KernelDesc::new(KernelClass::ElementWise, bytes as u64, bytes / 2, bytes / 2);
+        let k = KernelDesc::new(KernelClass::ElementWise, bytes, bytes / 2, bytes / 2);
         let c = m.cost(&k);
         assert!(c.bandwidth_bound, "element-wise must hit the memory wall");
     }
@@ -174,7 +174,9 @@ mod tests {
     fn library_profiles_order_ntt_times() {
         let ntt = cached_ntt(1 << 16, 54);
         let t = |lib: LibraryProfile| {
-            GpuModel::new(GpuConfig::a100_80gb(), lib).cost(&ntt).time_ns
+            GpuModel::new(GpuConfig::a100_80gb(), lib)
+                .cost(&ntt)
+                .time_ns
         };
         let cheddar = t(LibraryProfile::cheddar());
         let hundredx = t(LibraryProfile::hundredx());

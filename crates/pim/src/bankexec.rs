@@ -7,6 +7,8 @@
 //! The timing model in [`crate::exec`] prices this execution; this module
 //! proves the *data* ends up right.
 
+use crate::error::{IntegrityReport, LayoutError, PimError};
+use crate::fault::FaultInjector;
 use crate::layout::{PolyGroup, PolyGroupAllocator};
 use crate::mmac::MontgomeryCtx;
 
@@ -29,23 +31,77 @@ impl SimulatedBank {
         }
     }
 
-    /// Writes polynomial data into its PolyGroup location.
+    /// Rows in the bank.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Chunks per row.
+    pub fn chunks_per_row(&self) -> usize {
+        self.chunks_per_row
+    }
+
+    /// Writes polynomial data into its PolyGroup location, with bounds-
+    /// checked addressing: size mismatches and out-of-bank groups surface
+    /// as a typed [`LayoutError`] instead of a panic.
+    pub fn store_poly(
+        &mut self,
+        g: &PolyGroup,
+        poly: usize,
+        data: &[u32],
+    ) -> Result<(), LayoutError> {
+        let want = g.chunks_per_poly * ELEMS_PER_CHUNK;
+        if data.len() != want {
+            return Err(LayoutError::DataSizeMismatch {
+                got: data.len(),
+                want,
+            });
+        }
+        for (chunk_idx, chunk) in data.chunks(ELEMS_PER_CHUNK).enumerate() {
+            let row = g.try_row_of(poly, chunk_idx)?;
+            let col = g.try_col_of(poly, chunk_idx)?;
+            if col >= self.chunks_per_row {
+                return Err(LayoutError::ColumnOutOfRange {
+                    col,
+                    chunks_per_row: self.chunks_per_row,
+                });
+            }
+            if row >= self.rows.len() {
+                return Err(LayoutError::RowOutOfRange {
+                    row,
+                    rows: self.rows.len(),
+                });
+            }
+            self.rows[row][col].copy_from_slice(chunk);
+        }
+        Ok(())
+    }
+
+    /// Inverts one bit of one stored element — the fault-injection hook
+    /// behind [`crate::fault::FaultInjector::flip_group_bit`].
     ///
     /// # Panics
     ///
-    /// Panics if the data does not fill exactly `chunks_per_poly` chunks.
-    pub fn store_poly(&mut self, g: &PolyGroup, poly: usize, data: &[u32]) {
-        assert_eq!(
-            data.len(),
-            g.chunks_per_poly * ELEMS_PER_CHUNK,
-            "data must fill the allocation"
-        );
-        for (chunk_idx, chunk) in data.chunks(ELEMS_PER_CHUNK).enumerate() {
-            let row = g.row_of(poly, chunk_idx);
-            let col = g.col_of(poly, chunk_idx);
-            assert!(col < self.chunks_per_row, "column out of row bounds");
-            self.rows[row][col].copy_from_slice(chunk);
+    /// Panics if the coordinates are outside the bank.
+    pub fn flip_bit(&mut self, row: usize, col: usize, elem: usize, bit: u8) {
+        assert!(bit < 32 && elem < ELEMS_PER_CHUNK, "bad flip coordinates");
+        self.rows[row][col][elem] ^= 1 << bit;
+    }
+
+    /// FNV-1a residue checksum over every chunk of a PolyGroup's
+    /// allocation — the per-group integrity signature verified after each
+    /// PIM kernel. Any single bit flip in the group changes it.
+    pub fn checksum_group(&self, g: &PolyGroup) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for poly in 0..g.polys {
+            for chunk in 0..g.chunks_per_poly {
+                for &w in &self.rows[g.row_of(poly, chunk)][g.col_of(poly, chunk)] {
+                    h ^= w as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
         }
+        h
     }
 
     /// Reads one chunk.
@@ -82,9 +138,11 @@ impl SimulatedBank {
 /// receives `x` (poly 0) and `y` (poly 1). The data buffer holds `B`
 /// chunk-entries, giving chunk granularity `G = ⌊B/(K+2)⌋` (Alg. 1 line 1).
 ///
+/// Returns [`PimError::Unsupported`] if the buffer is too small (`G = 0`).
+///
 /// # Panics
 ///
-/// Panics if the buffer is too small (`G = 0`) or group shapes disagree.
+/// Panics if group shapes disagree (an allocation bug, not a data fault).
 pub fn paccum_alg1(
     bank: &mut SimulatedBank,
     mont: &MontgomeryCtx,
@@ -93,9 +151,30 @@ pub fn paccum_alg1(
     pg_p: &PolyGroup,
     pg_ab: &PolyGroup,
     pg_out: &PolyGroup,
-) {
+) -> Result<(), PimError> {
+    paccum_alg1_with_faults(bank, mont, k, buffer_entries, pg_p, pg_ab, pg_out, None)
+}
+
+/// [`paccum_alg1`] with an optional stuck MMAC lane: the stuck lane drives
+/// zero into every accumulator update, modeling a hard datapath fault.
+#[allow(clippy::too_many_arguments)]
+pub fn paccum_alg1_with_faults(
+    bank: &mut SimulatedBank,
+    mont: &MontgomeryCtx,
+    k: usize,
+    buffer_entries: usize,
+    pg_p: &PolyGroup,
+    pg_ab: &PolyGroup,
+    pg_out: &PolyGroup,
+    stuck_lane: Option<u8>,
+) -> Result<(), PimError> {
     let g = buffer_entries / (k + 2);
-    assert!(g >= 1, "PAccum<{k}> unsupported with B = {buffer_entries}");
+    if g < 1 {
+        return Err(PimError::Unsupported {
+            mnemonic: "PAccum".into(),
+            buffer_entries,
+        });
+    }
     let c = pg_p.chunks_per_poly;
     assert_eq!(pg_ab.chunks_per_poly, c, "group shapes must match");
     assert_eq!(pg_out.chunks_per_poly, c, "group shapes must match");
@@ -125,6 +204,11 @@ pub fn paccum_alg1(
                 let b = bank.load_chunk(pg_ab, 2 * kk + 1, done + j);
                 let p = buf[kk * g + j];
                 for lane in 0..ELEMS_PER_CHUNK {
+                    if stuck_lane == Some(lane as u8) {
+                        buf[k * g + j][lane] = 0;
+                        buf[(k + 1) * g + j][lane] = 0;
+                        continue;
+                    }
                     buf[k * g + j][lane] =
                         mont.add(buf[k * g + j][lane], mont.mul(a[lane], p[lane]));
                     buf[(k + 1) * g + j][lane] =
@@ -139,6 +223,77 @@ pub fn paccum_alg1(
         }
         done += g_now;
     }
+    Ok(())
+}
+
+/// [`paccum_alg1`] wrapped in the post-kernel integrity check, optionally
+/// under fault injection — the functional core of the detect-and-degrade
+/// loop:
+///
+/// 1. Residue checksums of both *input* groups are taken up front, and a
+///    trusted scalar reference of the outputs is computed.
+/// 2. The banked kernel runs (with the injector's stuck lane, if any);
+///    afterwards the injector may flip bank cell bits in any group.
+/// 3. Verification: input checksums must be unchanged, and the stored
+///    outputs must match the reference. Any deviation returns
+///    [`PimError::IntegrityViolation`] describing what was caught.
+#[allow(clippy::too_many_arguments)]
+pub fn paccum_alg1_verified(
+    bank: &mut SimulatedBank,
+    mont: &MontgomeryCtx,
+    k: usize,
+    buffer_entries: usize,
+    pg_p: &PolyGroup,
+    pg_ab: &PolyGroup,
+    pg_out: &PolyGroup,
+    injector: Option<&mut FaultInjector>,
+) -> Result<(), PimError> {
+    let sum_p = bank.checksum_group(pg_p);
+    let sum_ab = bank.checksum_group(pg_ab);
+
+    // Trusted scalar reference x = Σ a_k·p_k, y = Σ b_k·p_k, taken from
+    // the pristine inputs.
+    let c = pg_p.chunks_per_poly;
+    let n = c * ELEMS_PER_CHUNK;
+    let mut want_x = vec![0u32; n];
+    let mut want_y = vec![0u32; n];
+    for kk in 0..k {
+        let p = bank.load_poly(pg_p, kk);
+        let a = bank.load_poly(pg_ab, 2 * kk);
+        let b = bank.load_poly(pg_ab, 2 * kk + 1);
+        for j in 0..n {
+            want_x[j] = mont.add(want_x[j], mont.mul(a[j], p[j]));
+            want_y[j] = mont.add(want_y[j], mont.mul(b[j], p[j]));
+        }
+    }
+
+    let stuck = injector.as_ref().and_then(|i| i.stuck_lane());
+    paccum_alg1_with_faults(bank, mont, k, buffer_entries, pg_p, pg_ab, pg_out, stuck)?;
+
+    let mut bit_flips = 0u32;
+    if let Some(inj) = injector {
+        for g in [pg_p, pg_ab, pg_out] {
+            if inj.maybe_corrupt_bank(bank, g).is_some() {
+                bit_flips += 1;
+            }
+        }
+    }
+
+    let inputs_intact = bank.checksum_group(pg_p) == sum_p && bank.checksum_group(pg_ab) == sum_ab;
+    let outputs_correct =
+        bank.load_poly(pg_out, 0) == want_x && bank.load_poly(pg_out, 1) == want_y;
+    if inputs_intact && outputs_correct {
+        Ok(())
+    } else {
+        Err(PimError::IntegrityViolation(Box::new(IntegrityReport {
+            kernel: "PAccum".into(),
+            bit_flips,
+            commands_dropped: 0,
+            commands_corrupted: 0,
+            stuck_lane: stuck,
+            wasted: Default::default(),
+        })))
+    }
 }
 
 /// Executes `CAccum⟨K⟩` with the optimized buffer discipline (§VI-C):
@@ -150,9 +305,12 @@ pub fn paccum_alg1(
 /// `pg_in` holds the interleaved `(a_1, b_1), …` as polynomials `2k`/`2k+1`;
 /// `pg_out` receives `x` (poly 0) and `y` (poly 1).
 ///
+/// Returns [`PimError::Unsupported`] if the buffer cannot hold two chunk
+/// groups.
+///
 /// # Panics
 ///
-/// Panics if the buffer cannot hold two chunk groups or shapes disagree.
+/// Panics if shapes or constant counts disagree (allocation bugs).
 pub fn caccum_optimized(
     bank: &mut SimulatedBank,
     mont: &MontgomeryCtx,
@@ -161,10 +319,15 @@ pub fn caccum_optimized(
     constants: &[u32],
     pg_in: &PolyGroup,
     pg_out: &PolyGroup,
-) {
+) -> Result<(), PimError> {
     assert_eq!(constants.len(), k + 1, "CAccum<{k}> takes C_0..C_{k}");
     let g = buffer_entries / 2;
-    assert!(g >= 1, "CAccum<{k}> unsupported with B = {buffer_entries}");
+    if g < 1 {
+        return Err(PimError::Unsupported {
+            mnemonic: "CAccum".into(),
+            buffer_entries,
+        });
+    }
     let c = pg_in.chunks_per_poly;
     assert_eq!(pg_out.chunks_per_poly, c, "group shapes must match");
     let mut buf = vec![[0u32; ELEMS_PER_CHUNK]; 2 * g];
@@ -194,6 +357,7 @@ pub fn caccum_optimized(
         }
         done += g_now;
     }
+    Ok(())
 }
 
 /// Convenience: allocates the three PolyGroups of Alg. 1 for a `PAccum⟨K⟩`
@@ -221,7 +385,9 @@ mod tests {
     const Q: u32 = 268369921;
 
     fn random_poly(c: usize, rng: &mut StdRng) -> Vec<u32> {
-        (0..c * ELEMS_PER_CHUNK).map(|_| rng.gen_range(0..Q)).collect()
+        (0..c * ELEMS_PER_CHUNK)
+            .map(|_| rng.gen_range(0..Q))
+            .collect()
     }
 
     #[test]
@@ -241,13 +407,13 @@ mod tests {
         let aas: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
         let bs: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
         for i in 0..k {
-            bank.store_poly(&pg_p, i, &ps[i]);
-            bank.store_poly(&pg_ab, 2 * i, &aas[i]);
-            bank.store_poly(&pg_ab, 2 * i + 1, &bs[i]);
+            bank.store_poly(&pg_p, i, &ps[i]).unwrap();
+            bank.store_poly(&pg_ab, 2 * i, &aas[i]).unwrap();
+            bank.store_poly(&pg_ab, 2 * i + 1, &bs[i]).unwrap();
         }
 
         let mont = MontgomeryCtx::new(Q);
-        paccum_alg1(&mut bank, &mont, k, b, &pg_p, &pg_ab, &pg_out);
+        paccum_alg1(&mut bank, &mont, k, b, &pg_p, &pg_ab, &pg_out).unwrap();
         let x = bank.load_poly(&pg_out, 0);
         let y = bank.load_poly(&pg_out, 1);
 
@@ -275,16 +441,15 @@ mod tests {
         let mont = MontgomeryCtx::new(Q);
         let mut outputs = Vec::new();
         for b in [6usize, 12, 16, 32, 64] {
-            let mut alloc =
-                PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+            let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
             let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, k, c);
             let mut bank = SimulatedBank::new(64, 32);
             for i in 0..k {
-                bank.store_poly(&pg_p, i, &ps[i]);
-                bank.store_poly(&pg_ab, 2 * i, &aas[i]);
-                bank.store_poly(&pg_ab, 2 * i + 1, &bs[i]);
+                bank.store_poly(&pg_p, i, &ps[i]).unwrap();
+                bank.store_poly(&pg_ab, 2 * i, &aas[i]).unwrap();
+                bank.store_poly(&pg_ab, 2 * i + 1, &bs[i]).unwrap();
             }
-            paccum_alg1(&mut bank, &mont, k, b, &pg_p, &pg_ab, &pg_out);
+            paccum_alg1(&mut bank, &mont, k, b, &pg_p, &pg_ab, &pg_out).unwrap();
             outputs.push((bank.load_poly(&pg_out, 0), bank.load_poly(&pg_out, 1)));
         }
         for w in outputs.windows(2) {
@@ -300,7 +465,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(103);
         let polys: Vec<Vec<u32>> = (0..4).map(|_| random_poly(16, &mut rng)).collect();
         for (i, p) in polys.iter().enumerate() {
-            bank.store_poly(&g, i, p);
+            bank.store_poly(&g, i, p).unwrap();
         }
         // No clobbering between co-located polynomials.
         for (i, p) in polys.iter().enumerate() {
@@ -320,13 +485,13 @@ mod tests {
         let aas: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
         let bs: Vec<Vec<u32>> = (0..k).map(|_| random_poly(c, &mut rng)).collect();
         for i in 0..k {
-            bank.store_poly(&pg_in, 2 * i, &aas[i]);
-            bank.store_poly(&pg_in, 2 * i + 1, &bs[i]);
+            bank.store_poly(&pg_in, 2 * i, &aas[i]).unwrap();
+            bank.store_poly(&pg_in, 2 * i + 1, &bs[i]).unwrap();
         }
         let consts: Vec<u32> = (0..=k as u32).map(|i| (i * 7919 + 13) % Q).collect();
         let mont = MontgomeryCtx::new(Q);
         // CAccum survives even B = 4 (§VII-C), unlike PAccum.
-        caccum_optimized(&mut bank, &mont, k, 4, &consts, &pg_in, &pg_out);
+        caccum_optimized(&mut bank, &mont, k, 4, &consts, &pg_in, &pg_out).unwrap();
         let x = bank.load_poly(&pg_out, 0);
         let y = bank.load_poly(&pg_out, 1);
 
@@ -340,12 +505,144 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unsupported with B = 4")]
-    fn small_buffer_rejected() {
+    fn small_buffer_rejected_with_typed_error() {
         let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
         let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, 4, 16);
         let mut bank = SimulatedBank::new(64, 32);
         let mont = MontgomeryCtx::new(Q);
-        paccum_alg1(&mut bank, &mont, 4, 4, &pg_p, &pg_ab, &pg_out);
+        let err = paccum_alg1(&mut bank, &mont, 4, 4, &pg_p, &pg_ab, &pg_out).unwrap_err();
+        assert_eq!(
+            err,
+            PimError::Unsupported {
+                mnemonic: "PAccum".into(),
+                buffer_entries: 4
+            }
+        );
+    }
+
+    #[test]
+    fn store_poly_rejects_bad_shapes_with_typed_errors() {
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let g = alloc.alloc(2, 16);
+        let mut bank = SimulatedBank::new(64, 32);
+        let short = vec![0u32; 8];
+        assert_eq!(
+            bank.store_poly(&g, 0, &short),
+            Err(LayoutError::DataSizeMismatch {
+                got: 8,
+                want: 16 * ELEMS_PER_CHUNK
+            })
+        );
+        let full = vec![0u32; 16 * ELEMS_PER_CHUNK];
+        assert_eq!(
+            bank.store_poly(&g, 2, &full),
+            Err(LayoutError::PolyOutOfRange { poly: 2, polys: 2 })
+        );
+        // A group minted for a bigger bank must not index out of this one.
+        let mut big = PolyGroupAllocator::new(64, 128, LayoutPolicy::ColumnPartitioned);
+        let g_wide = big.alloc(2, 32);
+        let wide = vec![0u32; 32 * ELEMS_PER_CHUNK];
+        assert!(matches!(
+            bank.store_poly(&g_wide, 1, &wide),
+            Err(LayoutError::ColumnOutOfRange { .. })
+        ));
+    }
+
+    fn loaded_paccum_setup(
+        seed: u64,
+    ) -> (
+        SimulatedBank,
+        MontgomeryCtx,
+        PolyGroup,
+        PolyGroup,
+        PolyGroup,
+    ) {
+        let k = 4;
+        let c = 16;
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, k, c);
+        let mut bank = SimulatedBank::new(64, 32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..k {
+            bank.store_poly(&pg_p, i, &random_poly(c, &mut rng))
+                .unwrap();
+            bank.store_poly(&pg_ab, 2 * i, &random_poly(c, &mut rng))
+                .unwrap();
+            bank.store_poly(&pg_ab, 2 * i + 1, &random_poly(c, &mut rng))
+                .unwrap();
+        }
+        (bank, MontgomeryCtx::new(Q), pg_p, pg_ab, pg_out)
+    }
+
+    #[test]
+    fn verified_paccum_passes_clean() {
+        let (mut bank, mont, pg_p, pg_ab, pg_out) = loaded_paccum_setup(201);
+        paccum_alg1_verified(&mut bank, &mont, 4, 16, &pg_p, &pg_ab, &pg_out, None)
+            .expect("clean run must verify");
+        // And under a benign injector too.
+        let mut inj = FaultInjector::new(crate::fault::FaultPlan::none());
+        paccum_alg1_verified(
+            &mut bank,
+            &mont,
+            4,
+            16,
+            &pg_p,
+            &pg_ab,
+            &pg_out,
+            Some(&mut inj),
+        )
+        .expect("benign injector must verify");
+    }
+
+    #[test]
+    fn verified_paccum_catches_bank_bit_flip() {
+        let (mut bank, mont, pg_p, pg_ab, pg_out) = loaded_paccum_setup(202);
+        let plan = crate::fault::FaultPlan::none()
+            .with_seed(9)
+            .with_bank_flips(1.0);
+        let mut inj = FaultInjector::new(plan);
+        let err = paccum_alg1_verified(
+            &mut bank,
+            &mont,
+            4,
+            16,
+            &pg_p,
+            &pg_ab,
+            &pg_out,
+            Some(&mut inj),
+        )
+        .unwrap_err();
+        match err {
+            PimError::IntegrityViolation(r) => {
+                assert!(r.bit_flips > 0, "checksum must report the flips");
+                assert!(!r.is_permanent());
+            }
+            other => panic!("expected integrity violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn verified_paccum_catches_stuck_lane() {
+        let (mut bank, mont, pg_p, pg_ab, pg_out) = loaded_paccum_setup(203);
+        let plan = crate::fault::FaultPlan::none().with_stuck_lane(5);
+        let mut inj = FaultInjector::new(plan);
+        let err = paccum_alg1_verified(
+            &mut bank,
+            &mont,
+            4,
+            16,
+            &pg_p,
+            &pg_ab,
+            &pg_out,
+            Some(&mut inj),
+        )
+        .unwrap_err();
+        match err {
+            PimError::IntegrityViolation(r) => {
+                assert_eq!(r.stuck_lane, Some(5));
+                assert!(r.is_permanent(), "stuck lanes are hard faults");
+            }
+            other => panic!("expected integrity violation, got {other}"),
+        }
     }
 }

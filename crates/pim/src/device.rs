@@ -147,7 +147,8 @@ impl PimDeviceConfig {
 
     /// Peak internal bandwidth available to PIM, bytes/s.
     pub fn internal_bandwidth(&self) -> f64 {
-        self.total_units() as f64 * self.dram.geometry.chunk_bits as f64 / 8.0
+        self.total_units() as f64 * self.dram.geometry.chunk_bits as f64
+            / 8.0
             / (self.ns_per_chunk() * 1e-9)
     }
 }

@@ -1,0 +1,242 @@
+//! Typed errors for the PIM layer.
+//!
+//! The reliability refactor (see `DESIGN.md`, "Reliability & fault model")
+//! turns the panic-prone crate-boundary APIs into `Result`s so injected
+//! faults propagate as values: layout/addressing violations surface as
+//! [`LayoutError`], kernel-level problems (unsupported instructions,
+//! integrity-check failures) as [`PimError`].
+
+use crate::exec::PimKernelResult;
+use dram::engine::ProtocolError;
+use std::fmt;
+
+/// Addressing or allocation violations in the bank data layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Polynomial index outside the group.
+    PolyOutOfRange {
+        /// Requested polynomial index.
+        poly: usize,
+        /// Polynomials in the group.
+        polys: usize,
+    },
+    /// Chunk index outside the polynomial.
+    ChunkOutOfRange {
+        /// Requested chunk index.
+        chunk: usize,
+        /// Chunks per polynomial.
+        chunks_per_poly: usize,
+    },
+    /// Computed column falls outside the bank row.
+    ColumnOutOfRange {
+        /// Computed column.
+        col: usize,
+        /// Chunks per bank row.
+        chunks_per_row: usize,
+    },
+    /// Computed row falls outside the bank.
+    RowOutOfRange {
+        /// Computed row.
+        row: usize,
+        /// Rows in the bank.
+        rows: usize,
+    },
+    /// Data length does not match the group's allocation.
+    DataSizeMismatch {
+        /// Elements provided.
+        got: usize,
+        /// Elements the allocation holds.
+        want: usize,
+    },
+    /// Allocation would not fit in the remaining bank rows.
+    RowsExhausted {
+        /// Rows the allocation needs.
+        need: usize,
+        /// Rows still free.
+        free: usize,
+    },
+    /// A column-partitioned group cannot hold more polynomials than a row
+    /// has chunks.
+    TooManyPolys {
+        /// Polynomials requested.
+        polys: usize,
+        /// Chunks per bank row.
+        chunks_per_row: usize,
+    },
+    /// Zero-sized allocation request.
+    EmptyAllocation,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::PolyOutOfRange { poly, polys } => {
+                write!(f, "poly index {poly} out of range (group holds {polys})")
+            }
+            LayoutError::ChunkOutOfRange {
+                chunk,
+                chunks_per_poly,
+            } => write!(
+                f,
+                "chunk index {chunk} out of range (poly has {chunks_per_poly} chunks)"
+            ),
+            LayoutError::ColumnOutOfRange {
+                col,
+                chunks_per_row,
+            } => write!(
+                f,
+                "column {col} out of row bounds (row has {chunks_per_row} chunks)"
+            ),
+            LayoutError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of bank bounds (bank has {rows} rows)")
+            }
+            LayoutError::DataSizeMismatch { got, want } => {
+                write!(f, "data has {got} elements but the allocation holds {want}")
+            }
+            LayoutError::RowsExhausted { need, free } => {
+                write!(f, "bank rows exhausted: need {need}, have {free}")
+            }
+            LayoutError::TooManyPolys {
+                polys,
+                chunks_per_row,
+            } => write!(
+                f,
+                "more polynomials ({polys}) than row chunks ({chunks_per_row})"
+            ),
+            LayoutError::EmptyAllocation => write!(f, "empty allocation"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// What the post-kernel integrity check observed.
+///
+/// Carried inside [`PimError::IntegrityViolation`]; the `wasted` field holds
+/// the timing/energy of the failed attempt so schedulers can charge the
+/// retry cost honestly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrityReport {
+    /// Mnemonic of the kernel that failed verification.
+    pub kernel: String,
+    /// Bank cell bit flips detected via PolyGroup checksums.
+    pub bit_flips: u32,
+    /// Bank commands dropped from the lockstep schedule.
+    pub commands_dropped: u32,
+    /// Bank commands corrupted in the lockstep schedule.
+    pub commands_corrupted: u32,
+    /// A stuck MMAC lane, if one is configured (a *hard* fault: retrying
+    /// on PIM cannot succeed).
+    pub stuck_lane: Option<u8>,
+    /// Cost of the failed attempt (still paid by the schedule).
+    pub wasted: PimKernelResult,
+}
+
+impl IntegrityReport {
+    /// Whether retrying on PIM is futile (hard fault).
+    pub fn is_permanent(&self) -> bool {
+        self.stuck_lane.is_some()
+    }
+}
+
+/// Kernel-level PIM failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PimError {
+    /// The instruction cannot run with the configured data-buffer size
+    /// (`G = 0`, the §VII-C hardware restriction).
+    Unsupported {
+        /// Instruction mnemonic.
+        mnemonic: String,
+        /// Configured buffer entries `B`.
+        buffer_entries: usize,
+    },
+    /// A layout/addressing violation.
+    Layout(LayoutError),
+    /// The lockstep schedule violated the DRAM command protocol.
+    Protocol(ProtocolError),
+    /// The post-kernel integrity check failed.
+    IntegrityViolation(Box<IntegrityReport>),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::Unsupported {
+                mnemonic,
+                buffer_entries,
+            } => write!(f, "{mnemonic} unsupported with B = {buffer_entries}"),
+            PimError::Layout(e) => write!(f, "layout error: {e}"),
+            PimError::Protocol(e) => write!(f, "DRAM protocol violation: {e}"),
+            PimError::IntegrityViolation(r) => {
+                write!(
+                    f,
+                    "integrity violation in {}: {} bit flip(s), {} dropped / {} corrupted command(s)",
+                    r.kernel, r.bit_flips, r.commands_dropped, r.commands_corrupted
+                )?;
+                if let Some(lane) = r.stuck_lane {
+                    write!(f, ", MMAC lane {lane} stuck")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PimError::Layout(e) => Some(e),
+            PimError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LayoutError> for PimError {
+    fn from(e: LayoutError) -> Self {
+        PimError::Layout(e)
+    }
+}
+
+impl From<ProtocolError> for PimError {
+    fn from(e: ProtocolError) -> Self {
+        PimError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LayoutError::RowsExhausted { need: 8, free: 2 };
+        assert_eq!(e.to_string(), "bank rows exhausted: need 8, have 2");
+        let p = PimError::Unsupported {
+            mnemonic: "PAccum<4>".into(),
+            buffer_entries: 4,
+        };
+        assert_eq!(p.to_string(), "PAccum<4> unsupported with B = 4");
+        let pe = PimError::from(ProtocolError::ReadWithoutOpenRow);
+        assert_eq!(
+            pe.to_string(),
+            "DRAM protocol violation: RD requires an open row"
+        );
+        let v = PimError::IntegrityViolation(Box::new(IntegrityReport {
+            kernel: "Add".into(),
+            bit_flips: 1,
+            commands_dropped: 0,
+            commands_corrupted: 0,
+            stuck_lane: Some(3),
+            wasted: PimKernelResult::default(),
+        }));
+        assert!(v.to_string().contains("lane 3 stuck"));
+        assert!(matches!(v, PimError::IntegrityViolation(_)));
+    }
+
+    #[test]
+    fn layout_error_converts() {
+        let e: PimError = LayoutError::EmptyAllocation.into();
+        assert!(matches!(e, PimError::Layout(LayoutError::EmptyAllocation)));
+    }
+}

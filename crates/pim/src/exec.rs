@@ -20,6 +20,8 @@ use dram::energy::{AccessDestination, EnergyAccount};
 use dram::engine::{BankCommand, LockstepEngine};
 
 use crate::device::{PimDeviceConfig, PimVariant};
+use crate::error::{IntegrityReport, PimError};
+use crate::fault::FaultInjector;
 use crate::isa::PimInstruction;
 use crate::layout::LayoutPolicy;
 
@@ -111,25 +113,33 @@ impl<'a> PimExecutor<'a> {
 
     /// Executes one kernel.
     ///
-    /// # Panics
-    ///
-    /// Panics if the instruction is unsupported at the configured buffer
-    /// size (`G = 0`), mirroring the hardware restriction of §VII-C.
-    pub fn execute(&self, spec: &PimKernelSpec) -> PimKernelResult {
+    /// Returns [`PimError::Unsupported`] if the instruction cannot run at
+    /// the configured buffer size (`G = 0`), mirroring the hardware
+    /// restriction of §VII-C.
+    pub fn execute(&self, spec: &PimKernelSpec) -> Result<PimKernelResult, PimError> {
+        let (sched, acts_per_bank) = self.build_limb_schedule(spec)?;
+        let per_limb_ns = self.time_limb(spec, &sched, acts_per_bank)?;
+        Ok(self.account(spec, acts_per_bank, per_limb_ns))
+    }
+
+    /// Builds the per-bank lockstep schedule for ONE limb, plus the ACT/PRE
+    /// pairs it carries.
+    fn build_limb_schedule(
+        &self,
+        spec: &PimKernelSpec,
+    ) -> Result<(Vec<BankCommand>, u64), PimError> {
         let profile = spec.instr.profile();
         let b = self.dev.buffer_entries;
         let g = profile.chunk_granularity(b);
-        assert!(
-            g >= 1,
-            "{} unsupported with B = {b}",
-            spec.instr.mnemonic()
-        );
+        if g < 1 {
+            return Err(PimError::Unsupported {
+                mnemonic: spec.instr.mnemonic(),
+                buffer_entries: b,
+            });
+        }
         let c = self.chunks_per_bank_per_limb(spec.n);
         let iters = c.div_ceil(g);
-        let die_groups = self.dev.dram.geometry.die_groups;
-        let limbs_per_group = spec.limbs.div_ceil(die_groups);
 
-        // Build the per-bank lockstep schedule for ONE limb.
         let mut sched: Vec<BankCommand> = Vec::new();
         let mut acts_per_bank = 0u64;
         let mut done = 0usize;
@@ -175,60 +185,141 @@ impl<'a> PimExecutor<'a> {
                 }
             }
         }
+        Ok((sched, acts_per_bank))
+    }
 
+    /// Times the per-limb schedule on the device's microarchitecture.
+    fn time_limb(
+        &self,
+        spec: &PimKernelSpec,
+        sched: &[BankCommand],
+        acts_per_bank: u64,
+    ) -> Result<f64, PimError> {
+        let profile = spec.instr.profile();
+        let c = self.chunks_per_bank_per_limb(spec.n);
         let chunks_per_bank_limb =
             c as u64 * (profile.total_reads() + profile.total_writes()) as u64;
-        let per_limb_ns = match self.dev.variant {
+        Ok(match self.dev.variant {
             PimVariant::NearBank => {
                 let engine = LockstepEngine::new(&self.dev.dram, self.dev.ns_per_chunk());
-                engine.execute(&sched).latency_ns
+                engine.try_execute(sched)?.latency_ns
             }
             PimVariant::CustomHbm { banks_per_unit } => {
                 // The unit streams F banks' chunks back-to-back; row
                 // switches of one bank hide behind the streaming of the
                 // other F−1, leaving switch-time/F plus one fill exposed.
                 let f = banks_per_unit as f64;
-                let stream =
-                    chunks_per_bank_limb as f64 * f * self.dev.ns_per_chunk();
-                let switch_total =
-                    acts_per_bank as f64 * self.dev.dram.timing.row_switch();
+                let stream = chunks_per_bank_limb as f64 * f * self.dev.ns_per_chunk();
+                let switch_total = acts_per_bank as f64 * self.dev.dram.timing.row_switch();
                 stream.max(switch_total / f) + self.dev.dram.timing.row_switch()
             }
-        };
+        })
+    }
 
-        let banks = self.banks_per_group() as u64 * die_groups as u64;
-        let active_banks = (self.banks_per_group()
-            * die_groups.min(spec.limbs)) as u64;
-        let _ = banks;
+    /// Scales per-limb timing to the full kernel and accounts energy and
+    /// traffic.
+    fn account(
+        &self,
+        spec: &PimKernelSpec,
+        acts_per_bank: u64,
+        per_limb_ns: f64,
+    ) -> PimKernelResult {
+        let profile = spec.instr.profile();
+        let c = self.chunks_per_bank_per_limb(spec.n);
+        let die_groups = self.dev.dram.geometry.die_groups;
+        let limbs_per_group = spec.limbs.div_ceil(die_groups);
+        let chunks_per_bank_limb =
+            c as u64 * (profile.total_reads() + profile.total_writes()) as u64;
         let limb_events = spec.limbs as u64 * self.banks_per_group() as u64;
         let mut energy = EnergyAccount::new();
         energy.add_acts(acts_per_bank * limb_events);
-        let bytes = chunks_per_bank_limb * limb_events * (self.dev.dram.geometry.chunk_bits as u64 / 8);
+        let bytes =
+            chunks_per_bank_limb * limb_events * (self.dev.dram.geometry.chunk_bits as u64 / 8);
         let dest = match self.dev.variant {
             PimVariant::NearBank => AccessDestination::NearBank,
             PimVariant::CustomHbm { .. } => AccessDestination::LogicDie,
         };
         energy.add_access(bytes, dest);
-        let _ = active_banks;
 
         PimKernelResult {
             latency_ns: per_limb_ns * limbs_per_group as f64,
             dram_energy: energy,
-            mmac_ops: (spec.n * spec.limbs) as u64
-                * spec.instr.mmac_ops_per_element() as u64,
+            mmac_ops: (spec.n * spec.limbs) as u64 * spec.instr.mmac_ops_per_element() as u64,
             acts_total: acts_per_bank * limb_events,
             bytes_internal: bytes,
         }
     }
 
+    /// Executes one kernel under fault injection.
+    ///
+    /// The injector perturbs the lockstep schedule (drops/corruptions),
+    /// samples bank-cell bit flips, and pins any stuck MMAC lane. When a
+    /// fault fires, the kernel's integrity check fails and the call returns
+    /// [`PimError::IntegrityViolation`]; the carried
+    /// [`IntegrityReport::wasted`] holds the cost of the failed attempt so
+    /// schedulers can charge the retry honestly.
+    ///
+    /// Fault semantics:
+    ///
+    /// - **Dropped/corrupted commands**: the perturbed schedule is timed on
+    ///   the lockstep engine; if it violates the DRAM protocol (a dropped
+    ///   ACT), the bank aborts and the wasted cost falls back to the clean
+    ///   schedule's latency (a conservative bound on the aborted attempt).
+    /// - **Bit flips**: caught by the per-PolyGroup residue checksums after
+    ///   the kernel (see `bankexec::paccum_alg1_verified` for the
+    ///   functional-layer counterpart).
+    /// - **Stuck MMAC lane**: only matters for instructions that use the
+    ///   lanes; it is a *hard* fault ([`IntegrityReport::is_permanent`]),
+    ///   so schedulers should stop retrying on PIM.
+    pub fn execute_with_faults(
+        &self,
+        spec: &PimKernelSpec,
+        injector: &mut FaultInjector,
+    ) -> Result<PimKernelResult, PimError> {
+        let (clean, acts_per_bank) = self.build_limb_schedule(spec)?;
+        let clean_ns = self.time_limb(spec, &clean, acts_per_bank)?;
+
+        let mut perturbed = clean.clone();
+        let cmd_faults = injector.perturb_commands(&mut perturbed);
+        let bit_flip = injector.sample_kernel_bit_flip();
+        let stuck = injector
+            .stuck_lane()
+            .filter(|_| spec.instr.mmac_ops_per_element() > 0);
+
+        let attempt_ns = if cmd_faults.any() {
+            match self.time_limb(spec, &perturbed, acts_per_bank) {
+                Ok(ns) => ns,
+                // Protocol violation: the stream aborts mid-kernel; charge
+                // the clean latency as an upper bound on the wasted time.
+                Err(_) => clean_ns,
+            }
+        } else {
+            clean_ns
+        };
+        let result = self.account(spec, acts_per_bank, attempt_ns);
+
+        if cmd_faults.any() || bit_flip || stuck.is_some() {
+            Err(PimError::IntegrityViolation(Box::new(IntegrityReport {
+                kernel: spec.instr.mnemonic(),
+                bit_flips: bit_flip as u32,
+                commands_dropped: cmd_faults.dropped,
+                commands_corrupted: cmd_faults.corrupted,
+                stuck_lane: stuck,
+                wasted: result,
+            })))
+        } else {
+            Ok(result)
+        }
+    }
+
     /// Executes a sequence of kernels back to back (one PIM kernel launch
     /// in the Anaheim framework can carry many instructions).
-    pub fn execute_sequence(&self, specs: &[PimKernelSpec]) -> PimKernelResult {
+    pub fn execute_sequence(&self, specs: &[PimKernelSpec]) -> Result<PimKernelResult, PimError> {
         let mut total = PimKernelResult::default();
         for s in specs {
-            total.accumulate(&self.execute(s));
+            total.accumulate(&self.execute(s)?);
         }
-        total
+        Ok(total)
     }
 }
 
@@ -264,9 +355,8 @@ mod tests {
             limbs: 54,
             n: 1 << 16,
         };
-        let r = e.execute(&spec);
-        let gpu_ns =
-            e.gpu_bytes_equivalent(&spec) as f64 / (dev.dram.external_bw_gbps * 1e9) * 1e9;
+        let r = e.execute(&spec).unwrap();
+        let gpu_ns = e.gpu_bytes_equivalent(&spec) as f64 / (dev.dram.external_bw_gbps * 1e9) * 1e9;
         assert!(
             r.latency_ns < gpu_ns,
             "PIM {} ns must beat GPU {} ns",
@@ -296,15 +386,14 @@ mod tests {
                 limbs: 54,
                 n: 1 << 16,
             };
-            let r_cp = cp.execute(&spec);
-            let r_na = na.execute(&spec);
+            let r_cp = cp.execute(&spec).unwrap();
+            let r_na = na.execute(&spec).unwrap();
             ratios.push(r_na.latency_ns / r_cp.latency_ns);
             // Single-poly-per-phase instructions (Add) see no CP benefit;
             // everything else must.
             assert!(r_na.acts_total >= r_cp.acts_total, "{instr}");
         }
-        let geomean =
-            (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
         assert!(
             (1.5..4.0).contains(&geomean),
             "w/o-CP slowdown should be around 2×, got {geomean:.2}"
@@ -324,7 +413,7 @@ mod tests {
         for b in [8usize, 16, 32, 64] {
             let dev = base.clone().with_buffer_entries(b);
             let e = nb_exec(&dev);
-            let r = e.execute(&spec);
+            let r = e.execute(&spec).unwrap();
             assert!(
                 r.latency_ns <= prev * 1.001,
                 "B={b} should not be slower than smaller buffer"
@@ -346,9 +435,11 @@ mod tests {
             let large = mk().with_buffer_entries(64);
             let t_small = PimExecutor::new(&small, LayoutPolicy::ColumnPartitioned)
                 .execute(&spec)
+                .unwrap()
                 .latency_ns;
             let t_large = PimExecutor::new(&large, LayoutPolicy::ColumnPartitioned)
                 .execute(&spec)
+                .unwrap()
                 .latency_ns;
             t_small / t_large
         };
@@ -364,16 +455,20 @@ mod tests {
     fn energy_scales_with_traffic() {
         let dev = PimDeviceConfig::a100_near_bank();
         let e = nb_exec(&dev);
-        let small = e.execute(&PimKernelSpec {
-            instr: PimInstruction::Add,
-            limbs: 10,
-            n: 1 << 16,
-        });
-        let large = e.execute(&PimKernelSpec {
-            instr: PimInstruction::Add,
-            limbs: 40,
-            n: 1 << 16,
-        });
+        let small = e
+            .execute(&PimKernelSpec {
+                instr: PimInstruction::Add,
+                limbs: 10,
+                n: 1 << 16,
+            })
+            .unwrap();
+        let large = e
+            .execute(&PimKernelSpec {
+                instr: PimInstruction::Add,
+                limbs: 40,
+                n: 1 << 16,
+            })
+            .unwrap();
         let js = small.energy_joules(&dev);
         let jl = large.energy_joules(&dev);
         assert!((jl / js - 4.0).abs() < 0.1, "energy ∝ limbs: {}", jl / js);
@@ -394,20 +489,29 @@ mod tests {
             limbs: 8,
             n: 1 << 16,
         };
-        let seq = e.execute_sequence(&[s1, s2]);
-        let sum = e.execute(&s1).latency_ns + e.execute(&s2).latency_ns;
+        let seq = e.execute_sequence(&[s1, s2]).unwrap();
+        let sum = e.execute(&s1).unwrap().latency_ns + e.execute(&s2).unwrap().latency_ns;
         assert!((seq.latency_ns - sum).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "unsupported with B = 4")]
-    fn unsupported_at_small_buffer_panics() {
+    fn unsupported_at_small_buffer_is_typed_error() {
         let dev = PimDeviceConfig::a100_near_bank().with_buffer_entries(4);
         let e = nb_exec(&dev);
-        e.execute(&PimKernelSpec {
-            instr: PimInstruction::PAccum(4),
-            limbs: 1,
-            n: 1 << 16,
-        });
+        let err = e
+            .execute(&PimKernelSpec {
+                instr: PimInstruction::PAccum(4),
+                limbs: 1,
+                n: 1 << 16,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PimError::Unsupported {
+                mnemonic: "PAccum<4>".into(),
+                buffer_entries: 4
+            }
+        );
+        assert_eq!(err.to_string(), "PAccum<4> unsupported with B = 4");
     }
 }

@@ -1,0 +1,371 @@
+//! Seedable, deterministic fault injection for the PIM model.
+//!
+//! Real in-memory compute must contend with faulty lanes, dropped commands,
+//! and cell corruption that a clean simulator never exercises. This module
+//! provides the knobs: a [`FaultPlan`] describes *what* can go wrong and how
+//! often, and a [`FaultInjector`] samples concrete fault events from it with
+//! a self-contained SplitMix64 stream — the same seed and plan always yield
+//! the same faults, so figure runs and regression tests stay reproducible.
+//!
+//! Three fault classes (mirroring the reliability literature on deployed
+//! PIM systems):
+//!
+//! - **Bank cell bit flips** — a random bit of a random stored chunk is
+//!   inverted ([`FaultInjector::corrupt_bank`]), caught afterwards by the
+//!   per-PolyGroup residue checksums.
+//! - **Stuck MMAC lanes** — one of the eight 28-bit lanes behind the
+//!   256-bit global I/O always drives its stuck value (a *hard* fault;
+//!   retrying on PIM cannot help).
+//! - **Command drops/corruption** — entries of the per-bank lockstep
+//!   schedule are deleted or perturbed ([`FaultInjector::perturb_commands`]).
+
+use crate::bankexec::{SimulatedBank, ELEMS_PER_CHUNK};
+use crate::layout::PolyGroup;
+use dram::engine::BankCommand;
+
+/// Per-run fault configuration. `FaultPlan::none()` (also `Default`)
+/// disables every fault class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability (per kernel) that a stored bank cell suffers a bit flip.
+    pub bank_flip_prob: f64,
+    /// A permanently stuck MMAC lane (0..8), if any.
+    pub stuck_lane: Option<u8>,
+    /// Probability (per bank command) that the command is dropped.
+    pub cmd_drop_prob: f64,
+    /// Probability (per bank command) that the command is corrupted
+    /// (wrong row on ACT, wrong chunk count on RD/WR).
+    pub cmd_corrupt_prob: f64,
+}
+
+impl FaultPlan {
+    /// A benign plan: no faults.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            bank_flip_prob: 0.0,
+            stuck_lane: None,
+            cmd_drop_prob: 0.0,
+            cmd_corrupt_prob: 0.0,
+        }
+    }
+
+    /// Sets the fault-stream seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-kernel bank bit-flip probability.
+    pub fn with_bank_flips(mut self, prob: f64) -> Self {
+        self.bank_flip_prob = prob;
+        self
+    }
+
+    /// Sticks one MMAC lane.
+    pub fn with_stuck_lane(mut self, lane: u8) -> Self {
+        assert!((lane as usize) < ELEMS_PER_CHUNK, "lanes are 0..8");
+        self.stuck_lane = Some(lane);
+        self
+    }
+
+    /// Sets the per-command drop probability.
+    pub fn with_cmd_drops(mut self, prob: f64) -> Self {
+        self.cmd_drop_prob = prob;
+        self
+    }
+
+    /// Sets the per-command corruption probability.
+    pub fn with_cmd_corruption(mut self, prob: f64) -> Self {
+        self.cmd_corrupt_prob = prob;
+        self
+    }
+
+    /// Whether the plan can produce any fault at all.
+    pub fn is_benign(&self) -> bool {
+        self.bank_flip_prob <= 0.0
+            && self.stuck_lane.is_none()
+            && self.cmd_drop_prob <= 0.0
+            && self.cmd_corrupt_prob <= 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// One injected bank cell bit flip, for logging/assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Bank row of the flipped cell.
+    pub row: usize,
+    /// Chunk column within the row.
+    pub col: usize,
+    /// Element (lane) within the chunk.
+    pub elem: usize,
+    /// Bit index within the 32-bit element.
+    pub bit: u8,
+}
+
+/// What `perturb_commands` did to a schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandFaults {
+    /// Commands deleted.
+    pub dropped: u32,
+    /// Commands altered in place.
+    pub corrupted: u32,
+}
+
+impl CommandFaults {
+    /// Whether any command fault fired.
+    pub fn any(&self) -> bool {
+        self.dropped > 0 || self.corrupted > 0
+    }
+}
+
+/// Running totals across a fault injector's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Bank cell bit flips injected.
+    pub bit_flips: u64,
+    /// Bank commands dropped.
+    pub commands_dropped: u64,
+    /// Bank commands corrupted.
+    pub commands_corrupted: u64,
+}
+
+/// Samples concrete fault events from a [`FaultPlan`].
+///
+/// Internally a SplitMix64 stream — deliberately *not* the workspace `rand`
+/// crate, so the fault sequence is pinned by this module alone and the
+/// non-dev dependency graph of `pim` stays unchanged.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            // Offset so seed 0 still produces a lively stream.
+            state: plan.seed ^ 0x9E37_79B9_7F4A_7C15,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Totals injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The stuck lane, if the plan configures one.
+    pub fn stuck_lane(&self) -> Option<u8> {
+        self.plan.stuck_lane
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Unconditionally flips one random bit inside the group's allocation,
+    /// returning its coordinates. Used by tests and by
+    /// [`maybe_corrupt_bank`](Self::maybe_corrupt_bank).
+    pub fn flip_group_bit(&mut self, bank: &mut SimulatedBank, g: &PolyGroup) -> BitFlip {
+        let poly = self.below(g.polys as u64) as usize;
+        let chunk = self.below(g.chunks_per_poly as u64) as usize;
+        let elem = self.below(ELEMS_PER_CHUNK as u64) as usize;
+        let bit = self.below(32) as u8;
+        let row = g.row_of(poly, chunk);
+        let col = g.col_of(poly, chunk);
+        bank.flip_bit(row, col, elem, bit);
+        self.stats.bit_flips += 1;
+        BitFlip {
+            row,
+            col,
+            elem,
+            bit,
+        }
+    }
+
+    /// With probability `bank_flip_prob`, flips one random bit inside the
+    /// group's allocation.
+    pub fn maybe_corrupt_bank(
+        &mut self,
+        bank: &mut SimulatedBank,
+        g: &PolyGroup,
+    ) -> Option<BitFlip> {
+        let p = self.plan.bank_flip_prob;
+        if self.chance(p) {
+            Some(self.flip_group_bit(bank, g))
+        } else {
+            None
+        }
+    }
+
+    /// Abstract form of [`maybe_corrupt_bank`](Self::maybe_corrupt_bank) for
+    /// the timing model, where no functional [`SimulatedBank`] backs the
+    /// kernel's data: with probability `bank_flip_prob`, reports that a
+    /// stored-cell bit flip hit the kernel's operands (and counts it in
+    /// [`FaultStats::bit_flips`]).
+    pub fn sample_kernel_bit_flip(&mut self) -> bool {
+        let p = self.plan.bank_flip_prob;
+        if self.chance(p) {
+            self.stats.bit_flips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops/corrupts entries of a lockstep bank-command schedule in place.
+    pub fn perturb_commands(&mut self, cmds: &mut Vec<BankCommand>) -> CommandFaults {
+        let mut faults = CommandFaults::default();
+        if self.plan.cmd_drop_prob <= 0.0 && self.plan.cmd_corrupt_prob <= 0.0 {
+            return faults;
+        }
+        let mut i = 0;
+        while i < cmds.len() {
+            if self.chance(self.plan.cmd_drop_prob) {
+                cmds.remove(i);
+                faults.dropped += 1;
+                continue;
+            }
+            if self.chance(self.plan.cmd_corrupt_prob) {
+                cmds[i] = match cmds[i] {
+                    BankCommand::Act { row } => BankCommand::Act { row: row ^ 1 },
+                    BankCommand::Read { chunks } => BankCommand::Read {
+                        chunks: chunks.saturating_add(1),
+                    },
+                    BankCommand::Write { chunks } => BankCommand::Write {
+                        chunks: chunks.saturating_add(1),
+                    },
+                    BankCommand::Pre => BankCommand::Pre,
+                };
+                faults.corrupted += 1;
+            }
+            i += 1;
+        }
+        self.stats.commands_dropped += faults.dropped as u64;
+        self.stats.commands_corrupted += faults.corrupted as u64;
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{LayoutPolicy, PolyGroupAllocator};
+
+    fn small_group() -> (SimulatedBank, PolyGroup) {
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let g = alloc.alloc(2, 16);
+        (SimulatedBank::new(64, 32), g)
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let plan = FaultPlan::none()
+            .with_seed(42)
+            .with_bank_flips(0.7)
+            .with_cmd_drops(0.2)
+            .with_cmd_corruption(0.2);
+        let run = || {
+            let mut inj = FaultInjector::new(plan);
+            let (mut bank, g) = small_group();
+            let flips: Vec<Option<BitFlip>> = (0..16)
+                .map(|_| inj.maybe_corrupt_bank(&mut bank, &g))
+                .collect();
+            let mut cmds = vec![
+                BankCommand::Act { row: 0 },
+                BankCommand::Read { chunks: 4 },
+                BankCommand::Write { chunks: 2 },
+                BankCommand::Pre,
+            ];
+            let f = inj.perturb_commands(&mut cmds);
+            (flips, cmds, f, inj.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn benign_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        assert!(inj.plan().is_benign());
+        let (mut bank, g) = small_group();
+        for _ in 0..100 {
+            assert_eq!(inj.maybe_corrupt_bank(&mut bank, &g), None);
+        }
+        let mut cmds = vec![BankCommand::Act { row: 0 }, BankCommand::Pre];
+        assert!(!inj.perturb_commands(&mut cmds).any());
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_checksum() {
+        let (mut bank, g) = small_group();
+        let before = bank.checksum_group(&g);
+        let mut inj = FaultInjector::new(FaultPlan::none().with_seed(7));
+        let flip = inj.flip_group_bit(&mut bank, &g);
+        assert!(flip.bit < 32 && flip.elem < ELEMS_PER_CHUNK);
+        assert_ne!(bank.checksum_group(&g), before, "checksum must catch it");
+        // Flipping the same bit back restores the checksum.
+        bank.flip_bit(flip.row, flip.col, flip.elem, flip.bit);
+        assert_eq!(bank.checksum_group(&g), before);
+    }
+
+    #[test]
+    fn command_drops_shrink_schedule() {
+        let plan = FaultPlan::none().with_seed(3).with_cmd_drops(1.0);
+        let mut inj = FaultInjector::new(plan);
+        let mut cmds = vec![BankCommand::Act { row: 1 }; 10];
+        let f = inj.perturb_commands(&mut cmds);
+        assert_eq!(f.dropped, 10);
+        assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn stuck_lane_is_validated() {
+        let plan = FaultPlan::none().with_stuck_lane(7);
+        assert_eq!(FaultInjector::new(plan).stuck_lane(), Some(7));
+        assert!(!plan.is_benign());
+    }
+}

@@ -166,8 +166,21 @@ impl PimInstruction {
     pub fn table2(k: usize) -> Vec<PimInstruction> {
         use PimInstruction::*;
         vec![
-            Move, Neg, Add, Sub, Mult, Mac, PMult, PMac, CAdd, CSub, CMult, CMac, Tensor,
-            TensorSq, ModDownEp,
+            Move,
+            Neg,
+            Add,
+            Sub,
+            Mult,
+            Mac,
+            PMult,
+            PMac,
+            CAdd,
+            CSub,
+            CMult,
+            CMac,
+            Tensor,
+            TensorSq,
+            ModDownEp,
             PAccum(k),
             CAccum(k),
         ]

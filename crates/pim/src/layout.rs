@@ -9,6 +9,8 @@
 //! The naive *contiguous* layout gives each polynomial its own rows, paying
 //! one ACT per polynomial per iteration (the w/o-CP ablation of Fig. 10).
 
+use crate::error::LayoutError;
+
 /// Which data placement the execution engine assumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayoutPolicy {
@@ -36,11 +38,40 @@ pub struct PolyGroup {
 }
 
 impl PolyGroup {
+    fn check_indices(&self, poly: usize, chunk: usize) -> Result<(), LayoutError> {
+        if poly >= self.polys {
+            return Err(LayoutError::PolyOutOfRange {
+                poly,
+                polys: self.polys,
+            });
+        }
+        if chunk >= self.chunks_per_poly {
+            return Err(LayoutError::ChunkOutOfRange {
+                chunk,
+                chunks_per_poly: self.chunks_per_poly,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bounds-checked variant of [`row_of`](Self::row_of).
+    pub fn try_row_of(&self, poly: usize, chunk: usize) -> Result<usize, LayoutError> {
+        self.check_indices(poly, chunk)?;
+        Ok(self.first_row + chunk / self.cg_chunks)
+    }
+
+    /// Bounds-checked variant of [`col_of`](Self::col_of).
+    pub fn try_col_of(&self, poly: usize, chunk: usize) -> Result<usize, LayoutError> {
+        self.check_indices(poly, chunk)?;
+        Ok(poly * self.cg_chunks + chunk % self.cg_chunks)
+    }
+
     /// The row holding chunk `idx` of polynomial `poly` in this group.
     ///
     /// # Panics
     ///
-    /// Panics if the indices are out of range.
+    /// Panics if the indices are out of range; use
+    /// [`try_row_of`](Self::try_row_of) for a typed error.
     pub fn row_of(&self, poly: usize, chunk: usize) -> usize {
         assert!(poly < self.polys, "poly index out of range");
         assert!(chunk < self.chunks_per_poly, "chunk index out of range");
@@ -53,7 +84,8 @@ impl PolyGroup {
     ///
     /// # Panics
     ///
-    /// Panics if the indices are out of range.
+    /// Panics if the indices are out of range; use
+    /// [`try_col_of`](Self::try_col_of) for a typed error.
     pub fn col_of(&self, poly: usize, chunk: usize) -> usize {
         assert!(poly < self.polys, "poly index out of range");
         assert!(chunk < self.chunks_per_poly, "chunk index out of range");
@@ -80,7 +112,10 @@ impl PolyGroupAllocator {
     ///
     /// Panics on zero sizes.
     pub fn new(chunks_per_row: usize, total_rows: usize, policy: LayoutPolicy) -> Self {
-        assert!(chunks_per_row >= 1 && total_rows >= 1, "degenerate bank shape");
+        assert!(
+            chunks_per_row >= 1 && total_rows >= 1,
+            "degenerate bank shape"
+        );
         Self {
             chunks_per_row,
             total_rows,
@@ -116,15 +151,32 @@ impl PolyGroupAllocator {
     /// # Panics
     ///
     /// Panics if the group does not fit in the remaining rows, or if a CP
-    /// allocation asks for more polynomials than a row has chunks.
+    /// allocation asks for more polynomials than a row has chunks; use
+    /// [`try_alloc`](Self::try_alloc) for a typed error.
     pub fn alloc(&mut self, polys: usize, chunks_per_poly: usize) -> PolyGroup {
-        assert!(polys >= 1 && chunks_per_poly >= 1, "empty allocation");
+        match self.try_alloc(polys, chunks_per_poly) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`alloc`](Self::alloc).
+    pub fn try_alloc(
+        &mut self,
+        polys: usize,
+        chunks_per_poly: usize,
+    ) -> Result<PolyGroup, LayoutError> {
+        if polys < 1 || chunks_per_poly < 1 {
+            return Err(LayoutError::EmptyAllocation);
+        }
         let (rows, cg_chunks) = match self.policy {
             LayoutPolicy::ColumnPartitioned => {
-                assert!(
-                    polys <= self.chunks_per_row,
-                    "more polynomials than row chunks"
-                );
+                if polys > self.chunks_per_row {
+                    return Err(LayoutError::TooManyPolys {
+                        polys,
+                        chunks_per_row: self.chunks_per_row,
+                    });
+                }
                 // Column groups are power-of-two sized (4/8/16 per row in
                 // the paper's example) so addressing stays trivial.
                 let cg = (self.chunks_per_row / polys.next_power_of_two()).max(1);
@@ -136,11 +188,12 @@ impl PolyGroupAllocator {
                 (rows_per_poly * polys, self.chunks_per_row)
             }
         };
-        assert!(
-            self.next_row + rows <= self.total_rows,
-            "bank rows exhausted: need {rows}, have {}",
-            self.rows_free()
-        );
+        if self.next_row + rows > self.total_rows {
+            return Err(LayoutError::RowsExhausted {
+                need: rows,
+                free: self.rows_free(),
+            });
+        }
         let g = PolyGroup {
             id: self.next_id,
             first_row: self.next_row,
@@ -151,7 +204,7 @@ impl PolyGroupAllocator {
         };
         self.next_row += rows;
         self.next_id += 1;
-        g
+        Ok(g)
     }
 
     /// ACT/PRE pairs needed for one iteration phase touching `polys_touched`
@@ -233,5 +286,50 @@ mod tests {
     fn capacity_enforced() {
         let mut a = PolyGroupAllocator::new(32, 2, LayoutPolicy::Contiguous);
         let _ = a.alloc(4, 32);
+    }
+
+    #[test]
+    fn try_alloc_returns_typed_errors() {
+        let mut a = PolyGroupAllocator::new(32, 2, LayoutPolicy::Contiguous);
+        assert_eq!(
+            a.try_alloc(4, 32),
+            Err(LayoutError::RowsExhausted { need: 4, free: 2 })
+        );
+        assert_eq!(a.try_alloc(0, 16), Err(LayoutError::EmptyAllocation));
+        let mut cp = PolyGroupAllocator::new(8, 64, LayoutPolicy::ColumnPartitioned);
+        assert_eq!(
+            cp.try_alloc(16, 4),
+            Err(LayoutError::TooManyPolys {
+                polys: 16,
+                chunks_per_row: 8
+            })
+        );
+        // Failed attempts must not consume rows or ids.
+        assert_eq!(a.rows_used(), 0);
+        let g = a.try_alloc(1, 32).expect("fits");
+        assert_eq!(g.id, 0);
+    }
+
+    #[test]
+    fn try_addressing_matches_panicking_addressing() {
+        let mut a = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let g = a.alloc(4, 16);
+        for poly in 0..4 {
+            for chunk in 0..16 {
+                assert_eq!(g.try_row_of(poly, chunk), Ok(g.row_of(poly, chunk)));
+                assert_eq!(g.try_col_of(poly, chunk), Ok(g.col_of(poly, chunk)));
+            }
+        }
+        assert_eq!(
+            g.try_row_of(4, 0),
+            Err(LayoutError::PolyOutOfRange { poly: 4, polys: 4 })
+        );
+        assert_eq!(
+            g.try_col_of(0, 16),
+            Err(LayoutError::ChunkOutOfRange {
+                chunk: 16,
+                chunks_per_poly: 16
+            })
+        );
     }
 }

@@ -20,14 +20,18 @@
 
 pub mod bankexec;
 pub mod device;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod isa;
 pub mod layout;
 pub mod mmac;
 
-pub use bankexec::{paccum_alg1, SimulatedBank};
+pub use bankexec::{paccum_alg1, paccum_alg1_verified, SimulatedBank};
 pub use device::{PimDeviceConfig, PimVariant};
+pub use error::{IntegrityReport, LayoutError, PimError};
 pub use exec::{PimExecutor, PimKernelResult, PimKernelSpec};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use isa::{InstrProfile, PimInstruction};
 pub use layout::{LayoutPolicy, PolyGroup, PolyGroupAllocator};
 pub use mmac::{MontgomeryCtx, PimUnit};

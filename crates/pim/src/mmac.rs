@@ -29,7 +29,10 @@ impl MontgomeryCtx {
     /// Panics if `q` is even, < 3, or ≥ 2^28.
     pub fn new(q: u32) -> Self {
         assert!(q % 2 == 1, "Montgomery reduction requires an odd modulus");
-        assert!((3..1 << 28).contains(&q), "q must be a 28-bit-or-less prime");
+        assert!(
+            (3..1 << 28).contains(&q),
+            "q must be a 28-bit-or-less prime"
+        );
         // Newton iteration for q^{-1} mod 2^32.
         let mut inv: u32 = 1;
         for _ in 0..5 {
@@ -378,7 +381,8 @@ mod tests {
         let u = PimUnit::new(Q, 32);
         let k = 4;
         let n = 8;
-        let mk = |s: u32| -> Vec<u32> { (0..n as u32).map(|i| (s * 7919 + i * 104729) % Q).collect() };
+        let mk =
+            |s: u32| -> Vec<u32> { (0..n as u32).map(|i| (s * 7919 + i * 104729) % Q).collect() };
         let a: Vec<Vec<u32>> = (0..k).map(|i| mk(i as u32)).collect();
         let b: Vec<Vec<u32>> = (0..k).map(|i| mk(i as u32 + 10)).collect();
         let p: Vec<Vec<u32>> = (0..k).map(|i| mk(i as u32 + 20)).collect();
@@ -391,11 +395,7 @@ mod tests {
         let mut x = vec![0u32; n];
         let mut y = vec![0u32; n];
         for i in 0..k {
-            let out = u.execute(
-                PimInstruction::PMac,
-                &[&a[i], &b[i], &p[i], &x, &y],
-                &[],
-            );
+            let out = u.execute(PimInstruction::PMac, &[&a[i], &b[i], &p[i], &x, &y], &[]);
             x = out[0].clone();
             y = out[1].clone();
         }
@@ -406,8 +406,8 @@ mod tests {
     #[test]
     fn caccum_semantics() {
         let u = PimUnit::new(Q, 8);
-        let a = vec![vec![2u32, 3], vec![5u32, 7]];
-        let b = vec![vec![1u32, 1], vec![1u32, 1]];
+        let a = [vec![2u32, 3], vec![5u32, 7]];
+        let b = [vec![1u32, 1], vec![1u32, 1]];
         let consts = [100u32, 10, 20];
         let out = u.execute(
             PimInstruction::CAccum(2),

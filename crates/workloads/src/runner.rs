@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use anaheim_core::error::RunError;
 use anaheim_core::framework::{Anaheim, CapacityCheck};
 
 use crate::catalog::Workload;
@@ -31,6 +32,12 @@ pub struct WorkloadNumbers {
     pub pim_dram_gb: f64,
     /// Time share per kernel class.
     pub breakdown_ms: BTreeMap<&'static str, f64>,
+    /// PIM integrity-check failures across all segments and repeats.
+    pub faults_detected: u64,
+    /// PIM retries taken after transient faults.
+    pub pim_retries: u64,
+    /// Degraded-mode segments (wasted PIM attempts + GPU re-executions).
+    pub degraded_segments: u64,
 }
 
 impl WorkloadNumbers {
@@ -60,34 +67,41 @@ impl WorkloadNumbers {
 }
 
 /// Runs a workload on a platform, honouring capacity limits.
-pub fn run_workload(rt: &Anaheim, w: &Workload) -> WorkloadReport {
+///
+/// Per-segment fault/retry counts aggregate into the workload numbers
+/// (scaled by segment repeats) rather than aborting the workload; only
+/// unrecoverable configuration errors surface as [`RunError`].
+pub fn run_workload(rt: &Anaheim, w: &Workload) -> Result<WorkloadReport, RunError> {
     // OoM check against the workload's working set (§VIII-B).
     let capacity = rt.config().gpu.dram_capacity_bytes as u64;
     if w.footprint_bytes > capacity {
-        return WorkloadReport {
+        return Ok(WorkloadReport {
             workload: w.name,
             platform: rt.config().name,
             outcome: None,
-        };
+        });
     }
     let mut nums = WorkloadNumbers::default();
     for seg in &w.segments {
-        let r = rt.run(seg.seq.clone());
+        let r = rt.run(seg.seq.clone())?;
         let _ = matches!(rt.check_capacity(&seg.seq), CapacityCheck::Fits { .. });
         let k = seg.repeat as f64;
         nums.time_ms += r.total_ms() * k;
         nums.energy_j += r.energy_j * k;
         nums.gpu_dram_gb += r.gpu_dram_bytes as f64 * k / 1e9;
         nums.pim_dram_gb += r.pim_dram_bytes as f64 * k / 1e9;
+        nums.faults_detected += r.faults_detected as u64 * seg.repeat;
+        nums.pim_retries += r.pim_retries as u64 * seg.repeat;
+        nums.degraded_segments += r.degraded_segments as u64 * seg.repeat;
         for (class, ns) in &r.breakdown_ns {
             *nums.breakdown_ms.entry(class).or_insert(0.0) += ns * k / 1e6;
         }
     }
-    WorkloadReport {
+    Ok(WorkloadReport {
         workload: w.name,
         platform: rt.config().name,
         outcome: Some(nums),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +120,7 @@ mod tests {
             AnaheimConfig::rtx4090_near_bank(),
         ] {
             let rt = Anaheim::new(cfg);
-            let r = run_workload(&rt, &w);
+            let r = run_workload(&rt, &w).unwrap();
             let nums = r.outcome.expect("Boot fits everywhere");
             assert!(nums.time_ms > 1.0 && nums.time_ms < 1000.0);
             assert!(nums.energy_j > 0.0);
@@ -117,13 +131,20 @@ mod tests {
     fn resnet_oom_on_4090() {
         // §VIII-B / Fig. 8: R20 and R18 fail on the RTX 4090's 24 GB.
         let rt = Anaheim::new(AnaheimConfig::rtx4090_near_bank());
-        assert!(run_workload(&rt, &Workload::resnet20()).outcome.is_none());
+        assert!(run_workload(&rt, &Workload::resnet20())
+            .unwrap()
+            .outcome
+            .is_none());
         assert!(run_workload(&rt, &Workload::resnet18_aespa())
+            .unwrap()
             .outcome
             .is_none());
         // But they run on the A100.
         let a = Anaheim::new(AnaheimConfig::a100_near_bank());
-        assert!(run_workload(&a, &Workload::resnet20()).outcome.is_some());
+        assert!(run_workload(&a, &Workload::resnet20())
+            .unwrap()
+            .outcome
+            .is_some());
     }
 
     #[test]
@@ -133,8 +154,8 @@ mod tests {
         let base = Anaheim::new(AnaheimConfig::a100_baseline());
         let pim = Anaheim::new(AnaheimConfig::a100_near_bank());
         for w in Workload::all() {
-            let b = run_workload(&base, &w).outcome.expect("fits");
-            let p = run_workload(&pim, &w).outcome.expect("fits");
+            let b = run_workload(&base, &w).unwrap().outcome.expect("fits");
+            let p = run_workload(&pim, &w).unwrap().outcome.expect("fits");
             let speedup = b.time_ms / p.time_ms;
             assert!(
                 (1.05..2.2).contains(&speedup),
@@ -151,9 +172,26 @@ mod tests {
     }
 
     #[test]
+    fn fault_counts_aggregate_across_segments() {
+        use pim::fault::FaultPlan;
+        let w = Workload::boot();
+        let cfg = AnaheimConfig::a100_near_bank()
+            .with_fault_plan(FaultPlan::none().with_seed(23).with_bank_flips(0.5));
+        let rt = Anaheim::new(cfg);
+        let r = run_workload(&rt, &w).unwrap();
+        let nums = r.outcome.expect("Boot fits");
+        assert!(nums.faults_detected > 0, "flips at p=0.5 must fire");
+        assert!(nums.degraded_segments > 0);
+        // Degraded, not broken: timing is still finite and positive.
+        assert!(nums.time_ms > 0.0 && nums.time_ms.is_finite());
+    }
+
+    #[test]
     fn t_boot_eff_definition() {
-        let mut n = WorkloadNumbers::default();
-        n.time_ms = 44.0;
+        let n = WorkloadNumbers {
+            time_ms: 44.0,
+            ..Default::default()
+        };
         assert!((n.t_eff_ms(11) - 4.0).abs() < 1e-12);
     }
 }

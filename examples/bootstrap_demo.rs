@@ -31,7 +31,10 @@ fn main() {
 
     let bts = Bootstrapper::new(&ctx, BootstrapConfig::sparse_default());
     let mut rng = StdRng::seed_from_u64(99);
-    println!("generating keys ({} rotations)...", bts.required_rotations().len());
+    println!(
+        "generating keys ({} rotations)...",
+        bts.required_rotations().len()
+    );
     let keys = KeyGenerator::new(&ctx, &mut rng).generate(&bts.required_rotations());
     let enc = Encoder::new(&ctx);
     let ev = Evaluator::new(&ctx);

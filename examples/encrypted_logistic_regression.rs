@@ -38,7 +38,11 @@ fn main() {
     for _ in 0..batch {
         let x1: f64 = rng.gen_range(-1.0..1.0);
         let x2: f64 = rng.gen_range(-1.0..1.0);
-        let label = if 0.8 * x1 - 0.5 * x2 + 0.2 > 0.0 { 1.0 } else { 0.0 };
+        let label = if 0.8 * x1 - 0.5 * x2 + 0.2 > 0.0 {
+            1.0
+        } else {
+            0.0
+        };
         data.push((x1, x2, label));
     }
 
@@ -98,6 +102,9 @@ fn main() {
     let acc = correct as f64 / batch as f64;
     println!("training accuracy: {:.1}%", 100.0 * acc);
     assert!(acc > 0.8, "encrypted training must learn the separator");
-    assert!(w1 > 0.0 && w2 < 0.0, "weight signs must match the generator");
+    assert!(
+        w1 > 0.0 && w2 < 0.0,
+        "weight signs must match the generator"
+    );
     println!("ok");
 }

@@ -34,7 +34,7 @@ fn main() {
     ] {
         let name = cfg.name;
         let rt = Anaheim::new(cfg);
-        let report = rt.run(build());
+        let report = rt.run(build()).expect("preset config runs");
         let speedup = base_ns
             .map(|b: f64| format!("  ({:.2}x)", b / report.total_ns))
             .unwrap_or_default();

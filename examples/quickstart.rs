@@ -36,8 +36,12 @@ fn main() {
     let y: Vec<Complex> = (0..ctx.slots())
         .map(|i| Complex::new(0.5 + (i % 4) as f64 * 0.1, 0.0))
         .collect();
-    let ct_x = keys.public.encrypt(&enc.encode(&x, ctx.max_level()), &mut rng);
-    let ct_y = keys.public.encrypt(&enc.encode(&y, ctx.max_level()), &mut rng);
+    let ct_x = keys
+        .public
+        .encrypt(&enc.encode(&x, ctx.max_level()), &mut rng);
+    let ct_y = keys
+        .public
+        .encrypt(&enc.encode(&y, ctx.max_level()), &mut rng);
 
     // 4. Compute homomorphically: (x + y) · y, then rotate by 4.
     let ev = Evaluator::new(&ctx);
@@ -48,10 +52,10 @@ fn main() {
     // 5. Decrypt & verify.
     let out = enc.decode(&keys.secret.decrypt(&rotated));
     let mut max_err = 0.0f64;
-    for j in 0..ctx.slots() {
+    for (j, &o) in out.iter().enumerate().take(ctx.slots()) {
         let src = (j + 4) % ctx.slots();
         let want = (x[src] + y[src]) * y[src];
-        max_err = max_err.max((out[j] - want).abs());
+        max_err = max_err.max((o - want).abs());
     }
     println!("homomorphic ((x+y)*y) <<4 computed; max error = {max_err:.2e}");
     assert!(max_err < 1e-3, "unexpected error");

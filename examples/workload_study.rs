@@ -22,7 +22,7 @@ fn main() {
     for w in Workload::all() {
         for cfg in &platforms {
             let rt = Anaheim::new(cfg.clone());
-            let r = run_workload(&rt, &w);
+            let r = run_workload(&rt, &w).expect("preset config runs");
             match r.outcome {
                 Some(n) => println!(
                     "{:16} {:28} {:>9.1} ms {:>8.2} J {:>10.3e}",
@@ -44,9 +44,11 @@ fn main() {
     // Headline: T_boot,eff on the A100 pair.
     let boot = Workload::boot();
     let base = run_workload(&Anaheim::new(AnaheimConfig::a100_baseline()), &boot)
+        .expect("preset config runs")
         .outcome
         .expect("fits");
     let pim = run_workload(&Anaheim::new(AnaheimConfig::a100_near_bank()), &boot)
+        .expect("preset config runs")
         .outcome
         .expect("fits");
     println!(

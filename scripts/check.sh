@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository quality gate: formatting, lints (deny warnings), full tests.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -23,8 +23,11 @@
 //! let pim = Anaheim::new(AnaheimConfig::a100_near_bank());
 //! let boot = Workload::boot();
 //!
-//! let b = run_workload(&baseline, &boot).outcome.expect("fits");
-//! let p = run_workload(&pim, &boot).outcome.expect("fits");
+//! let b = run_workload(&baseline, &boot)
+//!     .expect("runs")
+//!     .outcome
+//!     .expect("fits");
+//! let p = run_workload(&pim, &boot).expect("runs").outcome.expect("fits");
 //! let speedup = b.time_ms / p.time_ms;
 //! assert!(speedup > 1.0, "PIM must accelerate bootstrapping");
 //! ```

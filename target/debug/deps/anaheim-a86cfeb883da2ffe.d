@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anaheim-a86cfeb883da2ffe.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanaheim-a86cfeb883da2ffe.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

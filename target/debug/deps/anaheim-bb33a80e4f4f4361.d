@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anaheim-bb33a80e4f4f4361.d: src/lib.rs
+
+/root/repo/target/debug/deps/anaheim-bb33a80e4f4f4361: src/lib.rs
+
+src/lib.rs:

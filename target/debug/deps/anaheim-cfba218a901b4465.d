@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anaheim-cfba218a901b4465.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanaheim-cfba218a901b4465.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libanaheim-cfba218a901b4465.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/anaheim_bench-9744d2cded39fb9e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libanaheim_bench-9744d2cded39fb9e.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libanaheim_bench-9744d2cded39fb9e.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

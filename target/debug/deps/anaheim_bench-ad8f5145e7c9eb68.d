@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/anaheim_bench-ad8f5145e7c9eb68.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/anaheim_bench-ad8f5145e7c9eb68: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ckks_ops-2a44e4f2e661393d.d: crates/bench/benches/ckks_ops.rs
+
+/root/repo/target/debug/deps/ckks_ops-2a44e4f2e661393d: crates/bench/benches/ckks_ops.rs
+
+crates/bench/benches/ckks_ops.rs:

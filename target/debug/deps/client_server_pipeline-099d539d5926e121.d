@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/client_server_pipeline-099d539d5926e121.d: tests/client_server_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_server_pipeline-099d539d5926e121.rmeta: tests/client_server_pipeline.rs Cargo.toml
+
+tests/client_server_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

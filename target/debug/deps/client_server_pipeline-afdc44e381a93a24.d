@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_server_pipeline-afdc44e381a93a24.d: tests/client_server_pipeline.rs
+
+/root/repo/target/debug/deps/client_server_pipeline-afdc44e381a93a24: tests/client_server_pipeline.rs
+
+tests/client_server_pipeline.rs:

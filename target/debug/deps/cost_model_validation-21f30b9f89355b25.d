@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_model_validation-21f30b9f89355b25.d: tests/cost_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_model_validation-21f30b9f89355b25.rmeta: tests/cost_model_validation.rs Cargo.toml
+
+tests/cost_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

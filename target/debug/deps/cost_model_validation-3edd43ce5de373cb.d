@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model_validation-3edd43ce5de373cb.d: tests/cost_model_validation.rs
+
+/root/repo/target/debug/deps/cost_model_validation-3edd43ce5de373cb: tests/cost_model_validation.rs
+
+tests/cost_model_validation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dram-1bc694fb69798e59.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+/root/repo/target/debug/deps/libdram-1bc694fb69798e59.rlib: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+/root/repo/target/debug/deps/libdram-1bc694fb69798e59.rmeta: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/config.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/engine.rs:
+crates/dram/src/regular.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dram-2ece09b153f89d03.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+/root/repo/target/debug/deps/dram-2ece09b153f89d03: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/config.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/engine.rs:
+crates/dram/src/regular.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dram-8d2502c216de8145.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram-8d2502c216de8145.rmeta: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/config.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/engine.rs:
+crates/dram/src/regular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

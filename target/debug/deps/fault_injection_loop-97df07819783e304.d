@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection_loop-97df07819783e304.d: tests/fault_injection_loop.rs
+
+/root/repo/target/debug/deps/fault_injection_loop-97df07819783e304: tests/fault_injection_loop.rs
+
+tests/fault_injection_loop.rs:

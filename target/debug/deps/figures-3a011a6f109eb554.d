@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3a011a6f109eb554.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3a011a6f109eb554: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9616962310d09318.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9616962310d09318: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

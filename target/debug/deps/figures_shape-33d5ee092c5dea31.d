@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_shape-33d5ee092c5dea31.d: tests/figures_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_shape-33d5ee092c5dea31.rmeta: tests/figures_shape.rs Cargo.toml
+
+tests/figures_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

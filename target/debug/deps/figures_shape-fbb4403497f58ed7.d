@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_shape-fbb4403497f58ed7.d: tests/figures_shape.rs
+
+/root/repo/target/debug/deps/figures_shape-fbb4403497f58ed7: tests/figures_shape.rs
+
+tests/figures_shape.rs:

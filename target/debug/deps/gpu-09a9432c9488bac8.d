@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu-09a9432c9488bac8.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/gpu-09a9432c9488bac8: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/model.rs:

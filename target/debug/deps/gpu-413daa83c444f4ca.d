@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpu-413daa83c444f4ca.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/libgpu-413daa83c444f4ca.rlib: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/libgpu-413daa83c444f4ca.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_properties-c45ebbfc0a8ed78c.d: tests/ir_properties.rs
+
+/root/repo/target/debug/deps/ir_properties-c45ebbfc0a8ed78c: tests/ir_properties.rs
+
+tests/ir_properties.rs:

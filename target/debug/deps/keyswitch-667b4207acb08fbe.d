@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keyswitch-667b4207acb08fbe.d: crates/bench/benches/keyswitch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeyswitch-667b4207acb08fbe.rmeta: crates/bench/benches/keyswitch.rs Cargo.toml
+
+crates/bench/benches/keyswitch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

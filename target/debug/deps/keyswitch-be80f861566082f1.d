@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keyswitch-be80f861566082f1.d: crates/bench/benches/keyswitch.rs
+
+/root/repo/target/debug/deps/keyswitch-be80f861566082f1: crates/bench/benches/keyswitch.rs
+
+crates/bench/benches/keyswitch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntt-dedf25f38e34996b.d: crates/bench/benches/ntt.rs
+
+/root/repo/target/debug/deps/ntt-dedf25f38e34996b: crates/bench/benches/ntt.rs
+
+crates/bench/benches/ntt.rs:

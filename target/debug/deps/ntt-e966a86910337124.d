@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntt-e966a86910337124.d: crates/bench/benches/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntt-e966a86910337124.rmeta: crates/bench/benches/ntt.rs Cargo.toml
+
+crates/bench/benches/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_functional_equivalence-13823f5c9d1efb27.d: tests/pim_functional_equivalence.rs
+
+/root/repo/target/debug/deps/pim_functional_equivalence-13823f5c9d1efb27: tests/pim_functional_equivalence.rs
+
+tests/pim_functional_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_model-497d773ac5f7464e.d: crates/bench/benches/pim_model.rs
+
+/root/repo/target/debug/deps/pim_model-497d773ac5f7464e: crates/bench/benches/pim_model.rs
+
+crates/bench/benches/pim_model.rs:

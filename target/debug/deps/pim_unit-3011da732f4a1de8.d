@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pim_unit-3011da732f4a1de8.d: crates/bench/benches/pim_unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpim_unit-3011da732f4a1de8.rmeta: crates/bench/benches/pim_unit.rs Cargo.toml
+
+crates/bench/benches/pim_unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

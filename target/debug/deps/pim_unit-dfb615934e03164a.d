@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_unit-dfb615934e03164a.d: crates/bench/benches/pim_unit.rs
+
+/root/repo/target/debug/deps/pim_unit-dfb615934e03164a: crates/bench/benches/pim_unit.rs
+
+crates/bench/benches/pim_unit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4a2f68a8832ede4b.d: crates/ckks-math/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4a2f68a8832ede4b: crates/ckks-math/tests/properties.rs
+
+crates/ckks-math/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_circuits-fd9cfe37d3161ca4.d: tests/random_circuits.rs
+
+/root/repo/target/debug/deps/random_circuits-fd9cfe37d3161ca4: tests/random_circuits.rs
+
+tests/random_circuits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serial_fuzz-1cb43a62f4c0ff56.d: tests/serial_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserial_fuzz-1cb43a62f4c0ff56.rmeta: tests/serial_fuzz.rs Cargo.toml
+
+tests/serial_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

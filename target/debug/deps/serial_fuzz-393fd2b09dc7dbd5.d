@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serial_fuzz-393fd2b09dc7dbd5.d: tests/serial_fuzz.rs
+
+/root/repo/target/debug/deps/serial_fuzz-393fd2b09dc7dbd5: tests/serial_fuzz.rs
+
+tests/serial_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-9b779e40bfe5b471.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libworkloads-9b779e40bfe5b471.rlib: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libworkloads-9b779e40bfe5b471.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bootstrap_demo-cc2b54f7b171e6e1.d: examples/bootstrap_demo.rs
+
+/root/repo/target/debug/examples/bootstrap_demo-cc2b54f7b171e6e1: examples/bootstrap_demo.rs
+
+examples/bootstrap_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_compare_exchange-04943124586107fe.d: examples/encrypted_compare_exchange.rs
+
+/root/repo/target/debug/examples/encrypted_compare_exchange-04943124586107fe: examples/encrypted_compare_exchange.rs
+
+examples/encrypted_compare_exchange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_logistic_regression-c8e465174af547cf.d: examples/encrypted_logistic_regression.rs
+
+/root/repo/target/debug/examples/encrypted_logistic_regression-c8e465174af547cf: examples/encrypted_logistic_regression.rs
+
+examples/encrypted_logistic_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pim_linear_transform-75e57b3ee739cdf9.d: examples/pim_linear_transform.rs
+
+/root/repo/target/debug/examples/pim_linear_transform-75e57b3ee739cdf9: examples/pim_linear_transform.rs
+
+examples/pim_linear_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cea027950cfe910a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cea027950cfe910a: examples/quickstart.rs
+
+examples/quickstart.rs:

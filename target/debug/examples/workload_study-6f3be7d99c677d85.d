@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_study-6f3be7d99c677d85.d: examples/workload_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_study-6f3be7d99c677d85.rmeta: examples/workload_study.rs Cargo.toml
+
+examples/workload_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_study-9ee63364e20a8741.d: examples/workload_study.rs
+
+/root/repo/target/debug/examples/workload_study-9ee63364e20a8741: examples/workload_study.rs
+
+examples/workload_study.rs:

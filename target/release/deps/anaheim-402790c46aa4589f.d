@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anaheim-402790c46aa4589f.d: src/lib.rs
+
+/root/repo/target/release/deps/libanaheim-402790c46aa4589f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanaheim-402790c46aa4589f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/anaheim_bench-0a3e630ccea1ecd6.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libanaheim_bench-0a3e630ccea1ecd6.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libanaheim_bench-0a3e630ccea1ecd6.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

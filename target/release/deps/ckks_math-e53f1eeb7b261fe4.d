@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ckks_math-e53f1eeb7b261fe4.d: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/release/deps/libckks_math-e53f1eeb7b261fe4.rlib: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/release/deps/libckks_math-e53f1eeb7b261fe4.rmeta: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+crates/ckks-math/src/lib.rs:
+crates/ckks-math/src/modulus.rs:
+crates/ckks-math/src/ntt.rs:
+crates/ckks-math/src/poly.rs:
+crates/ckks-math/src/prime.rs:
+crates/ckks-math/src/rns.rs:
+crates/ckks-math/src/sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f4f4e119c27572aa.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f4f4e119c27572aa: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gpu-b0f18a56986bf976.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/release/deps/libgpu-b0f18a56986bf976.rlib: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/release/deps/libgpu-b0f18a56986bf976.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/model.rs:

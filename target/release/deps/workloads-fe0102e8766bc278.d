@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workloads-fe0102e8766bc278.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/libworkloads-fe0102e8766bc278.rlib: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/libworkloads-fe0102e8766bc278.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-29e38356ef64ae17.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-29e38356ef64ae17: examples/quickstart.rs
+
+examples/quickstart.rs:

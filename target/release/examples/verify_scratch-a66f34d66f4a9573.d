@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_scratch-a66f34d66f4a9573.d: examples/verify_scratch.rs
+
+/root/repo/target/release/examples/verify_scratch-a66f34d66f4a9573: examples/verify_scratch.rs
+
+examples/verify_scratch.rs:

@@ -5,13 +5,11 @@
 //! aggregation) on ciphertext bytes and ships bytes back; the client
 //! decrypts.
 
+use anaheim::ckks::lintrans::LinearTransform;
 use anaheim::ckks::polyeval::PowerSeries;
 use anaheim::ckks::prelude::*;
-use anaheim::ckks::serial::{
-    deserialize_ciphertext, serialize_ciphertext, SerialError,
-};
+use anaheim::ckks::serial::{deserialize_ciphertext, serialize_ciphertext, SerialError};
 use anaheim::ckks::slots::{sum_block, sum_block_rotations};
-use anaheim::ckks::lintrans::LinearTransform;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,6 +81,60 @@ fn private_inference_round_trip() {
             out[j].re
         );
     }
+}
+
+#[test]
+fn server_stops_deep_circuits_with_typed_noise_error() {
+    // A client ships one ciphertext and asks for an unreasonably deep
+    // circuit. The server drives it through the budget-guarded evaluator:
+    // it must refuse with a typed `EvalError::NoiseBudgetExhausted` (never
+    // panic, never return numerically meaningless bytes).
+    let ctx = context();
+    let mut rng = StdRng::seed_from_u64(1005);
+    let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[]);
+    let enc = Encoder::new(&ctx);
+    let m = ctx.slots();
+    let msg: Vec<Complex> = (0..m).map(|_| Complex::new(0.95, 0.0)).collect();
+    let ct = keys
+        .public
+        .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+    let wire = serialize_ciphertext(&ct);
+
+    // --- Server side: guarded evaluation with a 14-bit precision floor.
+    let received = deserialize_ciphertext(&ctx, &wire).expect("valid wire format");
+    let gv = GuardedEvaluator::new(&ctx, 14.0);
+    let mut t = gv.track_fresh(received, 0.95);
+    let mut depth = 0;
+    let err = loop {
+        match gv.square_rescale(&t, &keys.relin) {
+            Ok(next) => {
+                t = next;
+                depth += 1;
+                assert!(depth < 64, "the guard must fire before the chain runs away");
+            }
+            Err(e) => break e,
+        }
+    };
+    assert!(depth >= 2, "a sane budget allows some depth, got {depth}");
+    match err {
+        EvalError::NoiseBudgetExhausted {
+            precision_bits,
+            required_bits,
+            ..
+        } => assert!(precision_bits < required_bits),
+        // With very many levels the chain could instead bottom out — also a
+        // typed error, but with these parameters noise must exhaust first.
+        other => panic!("expected NoiseBudgetExhausted, got {other}"),
+    }
+
+    // The last accepted result still decrypts to the true value.
+    let out = enc.decode(&keys.secret.decrypt(&t.ct));
+    let want = 0.95f64.powi(1 << depth);
+    assert!(
+        (out[0].re - want).abs() < 1e-2,
+        "last guarded result must stay accurate: got {}, want {want}",
+        out[0].re
+    );
 }
 
 #[test]

@@ -20,11 +20,7 @@ fn functional_context() -> CkksContext {
 
 /// The matching model descriptor.
 fn model_params(ctx: &CkksContext) -> ParamSet {
-    ParamSet::custom(
-        ctx.params().log_n,
-        ctx.max_level(),
-        ctx.params().alpha,
-    )
+    ParamSet::custom(ctx.params().log_n, ctx.max_level(), ctx.params().alpha)
 }
 
 #[test]
@@ -173,6 +169,9 @@ fn hoisting_effect_holds_in_both_layers() {
     let model_shift = (sh.ew_limb_ops as f64 / sh.total_ntt_limbs() as f64)
         / (sm.ew_limb_ops as f64 / sm.total_ntt_limbs() as f64);
 
-    assert!(func_shift > 1.3, "functional hoisting shift: {func_shift:.2}");
+    assert!(
+        func_shift > 1.3,
+        "functional hoisting shift: {func_shift:.2}"
+    );
     assert!(model_shift > 1.3, "model hoisting shift: {model_shift:.2}");
 }

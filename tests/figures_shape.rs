@@ -144,7 +144,10 @@ fn fig8_bands() {
     };
     assert!(s("Boot", "near-bank PIM") >= s("Boot", "custom-HBM"));
     let gap = s("Boot", "near-bank PIM") / s("Boot", "custom-HBM");
-    assert!(gap < 1.25, "custom-HBM only slightly lower (§VII-B): {gap:.2}");
+    assert!(
+        gap < 1.25,
+        "custom-HBM only slightly lower (§VII-B): {gap:.2}"
+    );
 }
 
 #[test]
@@ -159,7 +162,10 @@ fn fig10_ablation_shape() {
     for wl in ["Boot", "HELR"] {
         // Fusions monotonically help on both sides.
         assert!(t(wl, "+BasicFuse (GPU)") <= t(wl, "Base (GPU)"), "{wl}");
-        assert!(t(wl, "+ExtraFuse (GPU)") <= t(wl, "+BasicFuse (GPU)"), "{wl}");
+        assert!(
+            t(wl, "+ExtraFuse (GPU)") <= t(wl, "+BasicFuse (GPU)"),
+            "{wl}"
+        );
         assert!(t(wl, "PIM +BasicFuse") <= t(wl, "PIM-Base"), "{wl}");
         // The full PIM configuration beats the strongest GPU baseline.
         assert!(t(wl, "PIM +AutFuse") < t(wl, "+ExtraFuse (GPU)"), "{wl}");
@@ -202,10 +208,18 @@ fn table5_anaheim_vs_literature() {
         if let Some(b) = r.boot_ms {
             match r.system {
                 "100x (V100)" | "TensorFHE (A100)" | "FAB (FPGA)" | "Poseidon (FPGA)" => {
-                    assert!(ours_boot < b, "must beat {}: {ours_boot:.1} vs {b}", r.system)
+                    assert!(
+                        ours_boot < b,
+                        "must beat {}: {ours_boot:.1} vs {b}",
+                        r.system
+                    )
                 }
                 "ARK (ASIC)" | "SHARP (ASIC)" | "CraterLake (ASIC)" => {
-                    assert!(ours_boot > b, "ASICs stay ahead ({}): {ours_boot:.1} vs {b}", r.system)
+                    assert!(
+                        ours_boot > b,
+                        "ASICs stay ahead ({}): {ours_boot:.1} vs {b}",
+                        r.system
+                    )
                 }
                 _ => {}
             }
@@ -226,9 +240,9 @@ fn minks_wins_only_on_asic_like_hardware() {
     use anaheim::core::build::{Builder, LinTransStyle};
     use anaheim::core::framework::{Anaheim, AnaheimConfig, ExecMode};
     use anaheim::core::params::ParamSet;
+    use anaheim::core::passes::FusionConfig;
     use anaheim::gpu::config::{GpuConfig, LibraryProfile};
     use anaheim::pim::layout::LayoutPolicy;
-    use anaheim::core::passes::FusionConfig;
 
     let params = ParamSet::paper_default();
     let k = 16;
@@ -253,8 +267,12 @@ fn minks_wins_only_on_asic_like_hardware() {
             layout: LayoutPolicy::ColumnPartitioned,
             fusion: FusionConfig::gpu_baseline(),
             mode: ExecMode::GpuOnly,
+            fault: None,
         };
-        Anaheim::new(cfg).run(build(style, reorder)).total_ns
+        Anaheim::new(cfg)
+            .run(build(style, reorder))
+            .expect("preset config runs")
+            .total_ns
     };
 
     // On the A100: hoisting clearly beats MinKS (Fig. 2c).
@@ -291,7 +309,9 @@ fn pipelining_gains_would_be_marginal() {
 
     let mut b = Builder::new(ParamSet::paper_default());
     let seq = b.bootstrap();
-    let r = Anaheim::new(AnaheimConfig::a100_near_bank()).run(seq);
+    let r = Anaheim::new(AnaheimConfig::a100_near_bank())
+        .run(seq)
+        .expect("preset config runs");
     let headroom = r.pipelining_headroom();
     assert!(
         headroom < 1.35,

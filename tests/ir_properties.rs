@@ -14,9 +14,8 @@ fn arb_params() -> impl Strategy<Value = ParamSet> {
         Just(ParamSet::with_decomposition(4)),
         Just(ParamSet::with_decomposition(6)),
         Just(ParamSet::with_decomposition(8)),
-        (4u32..9, 3usize..20, 1usize..5).prop_map(|(log_n, l, a)| {
-            ParamSet::custom(log_n, l, a.min(l))
-        }),
+        (4u32..9, 3usize..20, 1usize..5)
+            .prop_map(|(log_n, l, a)| { ParamSet::custom(log_n, l, a.min(l)) }),
     ]
 }
 

@@ -146,7 +146,8 @@ fn pim_unit_processes_real_ciphertext_limbs() {
         .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
 
     // Project limb 0 of both polys into the PIM word size.
-    let to_u32 = |data: &[u64]| -> Vec<u32> { data.iter().map(|&x| (x % Q as u64) as u32).collect() };
+    let to_u32 =
+        |data: &[u64]| -> Vec<u32> { data.iter().map(|&x| (x % Q as u64) as u32).collect() };
     let b32 = to_u32(ct.b().limb(0).data());
     let a32 = to_u32(ct.a().limb(0).data());
 

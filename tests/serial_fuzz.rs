@@ -1,0 +1,156 @@
+//! Fuzz-style property tests for the ciphertext wire format (the
+//! client/server trust boundary): truncated, bit-flipped, length-lying, or
+//! outright random buffers must surface as a typed [`SerialError`] — never
+//! a panic, and never a structurally inconsistent ciphertext.
+
+use std::sync::OnceLock;
+
+use anaheim::ckks::prelude::*;
+use anaheim::ckks::serial::{
+    deserialize_ciphertext, deserialize_plaintext, serialize_ciphertext, serialize_plaintext,
+    SerialError,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> &'static CkksContext {
+    static CTX: OnceLock<CkksContext> = OnceLock::new();
+    CTX.get_or_init(|| CkksContext::new(CkksParams::test_small()))
+}
+
+/// One honestly-serialized ciphertext, shared across cases.
+fn wire_ct() -> &'static [u8] {
+    static WIRE: OnceLock<Vec<u8>> = OnceLock::new();
+    WIRE.get_or_init(|| {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let keys = KeyGenerator::new(ctx, &mut rng).generate(&[]);
+        let enc = Encoder::new(ctx);
+        let msg: Vec<Complex> = (0..ctx.slots())
+            .map(|i| Complex::new(i as f64 * 1e-3, 0.1))
+            .collect();
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        serialize_ciphertext(&ct)
+    })
+}
+
+/// One honestly-serialized plaintext, shared across cases.
+fn wire_pt() -> &'static [u8] {
+    static WIRE: OnceLock<Vec<u8>> = OnceLock::new();
+    WIRE.get_or_init(|| {
+        let ctx = ctx();
+        let enc = Encoder::new(ctx);
+        let msg: Vec<Complex> = vec![Complex::new(0.25, -0.5); ctx.slots()];
+        serialize_plaintext(&enc.encode(&msg, ctx.max_level()))
+    })
+}
+
+/// On `Ok`, the result must at least be internally consistent and
+/// re-serializable (the constructors assert this; reaching them with
+/// inconsistent parts would have panicked already).
+fn check_ct_outcome(r: Result<Ciphertext, SerialError>) {
+    if let Ok(ct) = r {
+        assert!(ct.level() >= 1);
+        let _ = serialize_ciphertext(&ct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_ciphertext_is_typed_truncation(cut in any::<usize>()) {
+        let wire = wire_ct();
+        let cut = cut % wire.len(); // strictly shorter than the full frame
+        prop_assert_eq!(
+            deserialize_ciphertext(ctx(), &wire[..cut]).unwrap_err(),
+            SerialError::Truncated
+        );
+    }
+
+    #[test]
+    fn bit_flipped_ciphertext_never_panics(byte in any::<usize>(), bit in 0u8..8) {
+        let mut wire = wire_ct().to_vec();
+        let i = byte % wire.len();
+        wire[i] ^= 1 << bit;
+        check_ct_outcome(deserialize_ciphertext(ctx(), &wire));
+    }
+
+    #[test]
+    fn burst_corruption_never_panics(
+        flips in prop::collection::vec((any::<usize>(), 0u8..8), 1..32),
+    ) {
+        let mut wire = wire_ct().to_vec();
+        for (byte, bit) in flips {
+            let i = byte % wire.len();
+            wire[i] ^= 1 << bit;
+        }
+        check_ct_outcome(deserialize_ciphertext(ctx(), &wire));
+    }
+
+    #[test]
+    fn length_lying_limb_count_is_rejected_or_consistent(lie in any::<u16>()) {
+        // Offset of the first poly's limb-count field: magic(4) + version(2)
+        // + kind(1) + log_n(1) + scale(8).
+        let mut wire = wire_ct().to_vec();
+        wire[16..18].copy_from_slice(&lie.to_le_bytes());
+        let r = deserialize_ciphertext(ctx(), &wire);
+        let true_limbs = ctx().max_level() as u16;
+        if lie == 0 || lie > true_limbs {
+            prop_assert!(r.is_err(), "impossible limb count {lie} must be rejected");
+        }
+        check_ct_outcome(r);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        check_ct_outcome(deserialize_ciphertext(ctx(), &bytes));
+        let _ = deserialize_plaintext(ctx(), &bytes);
+    }
+
+    #[test]
+    fn bit_flipped_plaintext_never_panics(byte in any::<usize>(), bit in 0u8..8) {
+        let mut wire = wire_pt().to_vec();
+        let i = byte % wire.len();
+        wire[i] ^= 1 << bit;
+        if let Ok(pt) = deserialize_plaintext(ctx(), &wire) {
+            assert!(pt.level() >= 1);
+            let _ = serialize_plaintext(&pt);
+        }
+    }
+}
+
+#[test]
+fn scale_field_is_validated() {
+    // A NaN / infinite / non-positive scale must be a typed error, not a
+    // time bomb inside later arithmetic.
+    for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+        let mut wire = wire_ct().to_vec();
+        wire[8..16].copy_from_slice(&bad.to_le_bytes());
+        assert_eq!(
+            deserialize_ciphertext(ctx(), &wire).unwrap_err(),
+            SerialError::InvalidScale,
+            "scale {bad} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn format_byte_is_validated() {
+    // Flipping the per-poly format byte to Coeff (or junk) must not reach
+    // the asserting Ciphertext constructor.
+    let wire = wire_ct();
+    let fmt_off = 16 + 2; // after the first poly's limb count
+    for v in [0u8, 2, 255] {
+        let mut bad = wire.to_vec();
+        bad[fmt_off] = v;
+        assert_eq!(
+            deserialize_ciphertext(ctx(), &bad).unwrap_err(),
+            SerialError::BadHeader,
+            "format byte {v} must be rejected"
+        );
+    }
+}

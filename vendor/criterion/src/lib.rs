@@ -1,0 +1,252 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of criterion its benches use: `criterion_group!`/
+//! `criterion_main!`, `Criterion::benchmark_group`, `BenchmarkGroup`
+//! (`throughput`, `sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`.
+//!
+//! Measurement is intentionally simple — warm up briefly, run a fixed
+//! sample of timed iterations, report the median per-iteration time — so
+//! `cargo bench` produces indicative numbers without criterion's
+//! statistical machinery or plotting. Numbers print one line per
+//! benchmark: `group/name  time: <median> (<throughput>)`.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut name = function_name.into();
+        let _ = write!(name, "/{parameter}");
+        Self { name }
+    }
+}
+
+/// Times closures handed to `Bencher::iter`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also used to size the per-sample iteration count so one
+        // sample takes roughly a millisecond.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        self.iters_per_sample = per_sample as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        ns[ns.len() / 2]
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        routine(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.name, &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &str, bencher: &Bencher) {
+        let ns = bencher.median_ns_per_iter();
+        let mut line = format!("{}/{:<28} time: {:>12}", self.name, id, format_time(ns));
+        if ns > 0.0 {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    let _ = write!(line, "   {:>10.1} Melem/s", n as f64 / ns * 1_000.0);
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let _ = write!(
+                        line,
+                        "   {:>10.1} MiB/s",
+                        n as f64 / ns * 1e9 / (1 << 20) as f64
+                    );
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_count: 20,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        routine: R,
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, routine);
+        g.finish();
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        let mut acc = 0u64;
+        g.bench_function("sum", |b| b.iter(|| acc = acc.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("param", 8), &8u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

@@ -1,0 +1,652 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! workspace vendors the slice of proptest it uses: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`boxed`, range/tuple/`Just`/`prop_oneof!`
+//! strategies, `prop::collection::vec`, `any::<T>()`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` deterministic
+//! random cases (seeded from the test name and case index, so failures are
+//! reproducible run-to-run). There is **no shrinking** — a failing case
+//! reports its inputs' debug representation via the assertion message
+//! instead. That is a deliberate simplification: the workspace uses
+//! proptest for randomized coverage, not for minimal counterexamples.
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume!`) cases before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                max_global_rejects: 20 * cases + 256,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self::with_cases(64)
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic case RNG (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary 64-bit value via SplitMix64.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next() | 1, next()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+
+        /// Unbiased uniform value in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "below(0)");
+            let zone = u64::MAX - u64::MAX % span;
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Uniform value in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Drives the cases of one `proptest!` test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        seed_base: u64,
+        passed: u32,
+        rejected: u32,
+        attempt: u64,
+    }
+
+    impl TestRunner {
+        /// A runner for a named test.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self {
+                config,
+                name,
+                seed_base: h,
+                passed: 0,
+                rejected: 0,
+                attempt: 0,
+            }
+        }
+
+        /// Whether another case should run.
+        pub fn more_cases(&self) -> bool {
+            if self.rejected >= self.config.max_global_rejects {
+                panic!(
+                    "proptest {}: too many prop_assume! rejections ({})",
+                    self.name, self.rejected
+                );
+            }
+            self.passed < self.config.cases
+        }
+
+        /// The RNG for the next case.
+        pub fn case_rng(&mut self) -> TestRng {
+            self.attempt += 1;
+            TestRng::seed_from_u64(self.seed_base.wrapping_add(self.attempt))
+        }
+
+        /// Records one case outcome; panics (failing the `#[test]`) on
+        /// assertion failure.
+        pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+            match outcome {
+                Ok(()) => self.passed += 1,
+                Err(TestCaseError::Reject(_)) => self.rejected += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest {} failed at case {} (attempt {}): {}",
+                    self.name, self.passed, self.attempt, msg
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates with `self`, then with the strategy `f` returns
+        /// (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Discards generated values failing `pred` (retry with fresh
+        /// draws, bounded).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// `prop_filter` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.new_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.whence)
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased strategy (also what `prop_oneof!` arms become).
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> std::fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased strategies (`prop_oneof!`).
+    #[derive(Debug)]
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds from the (non-empty) arm list.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Marker for `any::<T>()`.
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values only, spread over a wide dynamic range.
+            let mag = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.below(125) as i32) - 62;
+            mag * (2.0f64).powi(exp)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors whose elements come from `element`, with `size` entries.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Module alias so `prop::collection::vec(...)` works after
+/// `use proptest::prelude::*;`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The user-facing prelude.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines deterministic randomized `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            while runner.more_cases() {
+                let mut case_rng = runner.case_rng();
+                $(let $arg = {
+                    let strat = $strat;
+                    $crate::strategy::Strategy::new_value(&strat, &mut case_rng)
+                };)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                runner.record(outcome);
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// `assert!` that fails the proptest case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the proptest case with context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {:?} != {:?}", lhs, rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{} ({:?} vs {:?})", format!($($fmt)*), lhs, rhs
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the proptest case with context.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: both sides equal {:?}", lhs);
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 5u64..10, b in -3i64..3, f in -0.5f64..0.5) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!((-0.5..0.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_oneof(v in prop::collection::vec(0u32..100, 8),
+                         pick in prop_oneof![Just(1usize), Just(2), 3usize..5]) {
+            prop_assert_eq!(v.len(), 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert!((1..5).contains(&pick));
+        }
+
+        #[test]
+        fn map_and_assume(x in (0u32..50).prop_map(|v| v * 2), y in any::<bool>()) {
+            prop_assume!(x != 4);
+            prop_assert!(x % 2 == 0 && x < 100);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = TestRng::seed_from_u64(5);
+        let mut r2 = TestRng::seed_from_u64(5);
+        let s = prop::collection::vec(0u64..1000, 4);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+}
