@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anaheim-73d5a47d99edb762.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanaheim-73d5a47d99edb762.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anaheim-7e79b83c8e99dad4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanaheim-7e79b83c8e99dad4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/anaheim_bench-51f47c88e23a16a7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libanaheim_bench-51f47c88e23a16a7.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

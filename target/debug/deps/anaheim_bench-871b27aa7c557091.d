@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/anaheim_bench-871b27aa7c557091.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libanaheim_bench-871b27aa7c557091.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

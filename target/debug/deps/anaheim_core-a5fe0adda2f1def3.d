@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anaheim_core-a5fe0adda2f1def3.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+/root/repo/target/debug/deps/libanaheim_core-a5fe0adda2f1def3.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/ir.rs:
+crates/core/src/params.rs:
+crates/core/src/passes.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ckks_ops-c930ed9dbbb91175.d: crates/bench/benches/ckks_ops.rs
+
+/root/repo/target/debug/deps/libckks_ops-c930ed9dbbb91175.rmeta: crates/bench/benches/ckks_ops.rs
+
+crates/bench/benches/ckks_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_server_pipeline-2f51ee5a4407ae81.d: tests/client_server_pipeline.rs
+
+/root/repo/target/debug/deps/libclient_server_pipeline-2f51ee5a4407ae81.rmeta: tests/client_server_pipeline.rs
+
+tests/client_server_pipeline.rs:

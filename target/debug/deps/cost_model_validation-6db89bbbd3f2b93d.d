@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model_validation-6db89bbbd3f2b93d.d: tests/cost_model_validation.rs
+
+/root/repo/target/debug/deps/libcost_model_validation-6db89bbbd3f2b93d.rmeta: tests/cost_model_validation.rs
+
+tests/cost_model_validation.rs:

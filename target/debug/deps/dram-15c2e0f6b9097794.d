@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dram-15c2e0f6b9097794.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+/root/repo/target/debug/deps/libdram-15c2e0f6b9097794.rmeta: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/config.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/engine.rs:
+crates/dram/src/regular.rs:

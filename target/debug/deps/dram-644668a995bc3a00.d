@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dram-644668a995bc3a00.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+/root/repo/target/debug/deps/libdram-644668a995bc3a00.rmeta: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/config.rs crates/dram/src/energy.rs crates/dram/src/engine.rs crates/dram/src/regular.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/config.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/engine.rs:
+crates/dram/src/regular.rs:

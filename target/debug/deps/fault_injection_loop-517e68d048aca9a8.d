@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection_loop-517e68d048aca9a8.d: tests/fault_injection_loop.rs
+
+/root/repo/target/debug/deps/libfault_injection_loop-517e68d048aca9a8.rmeta: tests/fault_injection_loop.rs
+
+tests/fault_injection_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4cdda313cab2f832.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-4cdda313cab2f832.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-88b22c50242048d4.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-88b22c50242048d4.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

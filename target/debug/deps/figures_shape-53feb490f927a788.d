@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_shape-53feb490f927a788.d: tests/figures_shape.rs
+
+/root/repo/target/debug/deps/libfigures_shape-53feb490f927a788.rmeta: tests/figures_shape.rs
+
+tests/figures_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu-0ef3f847c0f1fc3c.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/libgpu-0ef3f847c0f1fc3c.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu-38a2d27ea9821398.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+/root/repo/target/debug/deps/libgpu-38a2d27ea9821398.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/config.rs crates/gpu/src/kernel.rs crates/gpu/src/model.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_properties-994ed3cf243868c8.d: tests/ir_properties.rs
+
+/root/repo/target/debug/deps/libir_properties-994ed3cf243868c8.rmeta: tests/ir_properties.rs
+
+tests/ir_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keyswitch-c36b0dfc6aa1a23f.d: crates/bench/benches/keyswitch.rs
+
+/root/repo/target/debug/deps/libkeyswitch-c36b0dfc6aa1a23f.rmeta: crates/bench/benches/keyswitch.rs
+
+crates/bench/benches/keyswitch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ntt-34504fbf5e98f1e2.d: crates/bench/benches/ntt.rs
+
+/root/repo/target/debug/deps/libntt-34504fbf5e98f1e2.rmeta: crates/bench/benches/ntt.rs
+
+crates/bench/benches/ntt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_functional_equivalence-bc9c35847aa61c41.d: tests/pim_functional_equivalence.rs
+
+/root/repo/target/debug/deps/libpim_functional_equivalence-bc9c35847aa61c41.rmeta: tests/pim_functional_equivalence.rs
+
+tests/pim_functional_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_model-fc9acfd2f92fa847.d: crates/bench/benches/pim_model.rs
+
+/root/repo/target/debug/deps/libpim_model-fc9acfd2f92fa847.rmeta: crates/bench/benches/pim_model.rs
+
+crates/bench/benches/pim_model.rs:

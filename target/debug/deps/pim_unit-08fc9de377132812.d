@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_unit-08fc9de377132812.d: crates/bench/benches/pim_unit.rs
+
+/root/repo/target/debug/deps/libpim_unit-08fc9de377132812.rmeta: crates/bench/benches/pim_unit.rs
+
+crates/bench/benches/pim_unit.rs:

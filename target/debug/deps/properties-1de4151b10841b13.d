@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1de4151b10841b13.d: crates/ckks-math/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1de4151b10841b13.rmeta: crates/ckks-math/tests/properties.rs
+
+crates/ckks-math/tests/properties.rs:

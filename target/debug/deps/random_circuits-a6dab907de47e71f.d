@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_circuits-a6dab907de47e71f.d: tests/random_circuits.rs
+
+/root/repo/target/debug/deps/librandom_circuits-a6dab907de47e71f.rmeta: tests/random_circuits.rs
+
+tests/random_circuits.rs:

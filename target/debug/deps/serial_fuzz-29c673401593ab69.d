@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serial_fuzz-29c673401593ab69.d: tests/serial_fuzz.rs
+
+/root/repo/target/debug/deps/libserial_fuzz-29c673401593ab69.rmeta: tests/serial_fuzz.rs
+
+tests/serial_fuzz.rs:

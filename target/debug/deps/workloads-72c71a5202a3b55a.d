@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-72c71a5202a3b55a.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libworkloads-72c71a5202a3b55a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-dc63164f9b3ea21b.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libworkloads-dc63164f9b3ea21b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

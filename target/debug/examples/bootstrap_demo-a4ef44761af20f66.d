@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bootstrap_demo-a4ef44761af20f66.d: examples/bootstrap_demo.rs
+
+/root/repo/target/debug/examples/libbootstrap_demo-a4ef44761af20f66.rmeta: examples/bootstrap_demo.rs
+
+examples/bootstrap_demo.rs:

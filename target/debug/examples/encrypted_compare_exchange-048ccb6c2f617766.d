@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_compare_exchange-048ccb6c2f617766.d: examples/encrypted_compare_exchange.rs
+
+/root/repo/target/debug/examples/libencrypted_compare_exchange-048ccb6c2f617766.rmeta: examples/encrypted_compare_exchange.rs
+
+examples/encrypted_compare_exchange.rs:

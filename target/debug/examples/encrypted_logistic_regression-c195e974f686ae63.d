@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_logistic_regression-c195e974f686ae63.d: examples/encrypted_logistic_regression.rs
+
+/root/repo/target/debug/examples/libencrypted_logistic_regression-c195e974f686ae63.rmeta: examples/encrypted_logistic_regression.rs
+
+examples/encrypted_logistic_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pim_linear_transform-4f72a026e34b9c9e.d: examples/pim_linear_transform.rs
+
+/root/repo/target/debug/examples/libpim_linear_transform-4f72a026e34b9c9e.rmeta: examples/pim_linear_transform.rs
+
+examples/pim_linear_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a392dc8f2123895a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-a392dc8f2123895a.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_study-19e6ec82b54946ea.d: examples/workload_study.rs
+
+/root/repo/target/debug/examples/libworkload_study-19e6ec82b54946ea.rmeta: examples/workload_study.rs
+
+examples/workload_study.rs:
