@@ -1,0 +1,306 @@
+//! Machine-readable microbenchmarks for the limb-parallel hot path.
+//!
+//! Emits `BENCH_ckks.json` and `BENCH_pim.json` (arrays of
+//! `{op, n, limbs, threads, ns_per_op}` records) into the current
+//! directory, sweeping the `parpool` worker count so the speedup of the
+//! limb/digit/bank parallel axes is visible from one run.
+//!
+//! Usage: `bench_json [--quick]`
+//!
+//! `--quick` shrinks the parameter set and thread sweep so `scripts/check.sh`
+//! can smoke-test the harness in seconds; the default configuration is what
+//! `scripts/bench.sh` runs for real measurements.
+
+use ckks::keys::KeyGenerator;
+use ckks::keyswitch::KeySwitcher;
+use ckks::prelude::*;
+use ckks_math::poly::Format;
+use ckks_math::sampling;
+use pim::{
+    alloc_paccum_groups, for_each_bank_parallel, paccum_alg1, LayoutPolicy, MontgomeryCtx,
+    PolyGroup, PolyGroupAllocator, SimulatedBank, ELEMS_PER_CHUNK,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Record {
+    op: &'static str,
+    n: usize,
+    limbs: usize,
+    threads: usize,
+    ns_per_op: f64,
+}
+
+/// Times `f` with one warmup call, then iterates until both `min_iters`
+/// and a minimum wall-clock budget are met.
+fn time_ns(min_iters: usize, min_millis: u128, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0usize;
+    while iters < min_iters || start.elapsed().as_millis() < min_millis {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn write_json(path: &str, records: &[Record]) {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"op\": \"{}\", \"n\": {}, \"limbs\": {}, \"threads\": {}, \"ns_per_op\": {:.1}}}{}\n",
+            r.op,
+            r.n,
+            r.limbs,
+            r.threads,
+            r.ns_per_op,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("]\n");
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+/// Per-op speedup of the widest sweep point over the single-thread baseline.
+fn print_summary(title: &str, records: &[Record]) {
+    println!("\n{title} (speedup vs 1 thread)");
+    let ops: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for r in records {
+            if !seen.contains(&r.op) {
+                seen.push(r.op);
+            }
+        }
+        seen
+    };
+    for op in ops {
+        let base = records
+            .iter()
+            .find(|r| r.op == op && r.threads == 1)
+            .map(|r| r.ns_per_op);
+        let best = records
+            .iter()
+            .filter(|r| r.op == op)
+            .max_by_key(|r| r.threads);
+        if let (Some(base), Some(best)) = (base, best) {
+            println!(
+                "  {:24} {:>12.0} ns -> {:>12.0} ns @ {} threads  ({:.2}x)",
+                op,
+                base,
+                best.ns_per_op,
+                best.threads,
+                base / best.ns_per_op
+            );
+        }
+    }
+}
+
+fn bench_ckks(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
+    let params = if quick {
+        CkksParams::test_small()
+    } else {
+        CkksParams::builder()
+            .log_n(12)
+            .levels(8)
+            .alpha(2)
+            .scale_bits(40)
+            .build()
+    };
+    let ctx = CkksContext::new(params);
+    let n = ctx.params().n();
+    let level = ctx.max_level();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut kg = KeyGenerator::new(&ctx, &mut rng);
+    let sk = kg.gen_secret();
+    let relin = kg.gen_relin(&sk);
+    let ks = KeySwitcher::new(&ctx);
+    let eval = Evaluator::new(&ctx);
+
+    let enc = Encoder::new(&ctx);
+    let msg: Vec<Complex> = (0..ctx.slots())
+        .map(|i| Complex::new(i as f64 * 1e-3, 0.0))
+        .collect();
+    let pt = enc.encode(&msg, level);
+    let pk = kg.gen_public(&sk);
+    let ct = pk.encrypt(&pt, &mut rng);
+
+    let coeff = sampling::uniform(&mut rng, ctx.basis_q(level), Format::Coeff);
+    let mut evalp = coeff.duplicate();
+    evalp.to_eval();
+    let a = sampling::uniform(&mut rng, ctx.basis_q(level), Format::Eval);
+
+    let (min_iters, min_ms) = if quick { (3, 10) } else { (10, 200) };
+    for &threads in sweep {
+        parpool::set_threads(threads);
+        let mut push = |op: &'static str, ns: f64| {
+            records.push(Record {
+                op,
+                n,
+                limbs: level,
+                threads,
+                ns_per_op: ns,
+            })
+        };
+        push(
+            "ntt_forward_batch",
+            time_ns(min_iters, min_ms, || {
+                let mut p = coeff.duplicate();
+                p.to_eval();
+            }),
+        );
+        push(
+            "ntt_inverse_batch",
+            time_ns(min_iters, min_ms, || {
+                let mut p = evalp.duplicate();
+                p.to_coeff();
+            }),
+        );
+        push(
+            "hadd",
+            time_ns(min_iters, min_ms, || {
+                let _ = eval.add(&ct, &ct);
+            }),
+        );
+        push(
+            "keyswitch",
+            time_ns(min_iters, min_ms, || {
+                let _ = ks.switch(&a, &relin, level);
+            }),
+        );
+        push(
+            "mul_relin",
+            time_ns(min_iters, min_ms, || {
+                let _ = eval.mul_relin(&ct, &ct, &relin);
+            }),
+        );
+        push(
+            "rescale",
+            time_ns(min_iters, min_ms, || {
+                let _ = eval.rescale(&ct);
+            }),
+        );
+        push(
+            "automorphism",
+            time_ns(min_iters, min_ms, || {
+                let _ = evalp.automorphism(5);
+            }),
+        );
+    }
+    parpool::set_threads(0);
+}
+
+fn pim_fleet(
+    num_banks: usize,
+    k: usize,
+    c: usize,
+) -> (
+    Vec<SimulatedBank>,
+    MontgomeryCtx,
+    PolyGroup,
+    PolyGroup,
+    PolyGroup,
+) {
+    const Q: u32 = 268369921;
+    let mut alloc = PolyGroupAllocator::new(64, 2 * c, LayoutPolicy::ColumnPartitioned);
+    let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, k, c);
+    let mut rng = StdRng::seed_from_u64(11);
+    let banks = (0..num_banks)
+        .map(|_| {
+            let mut bank = SimulatedBank::new(2 * c, 64);
+            let mut poly = || -> Vec<u32> {
+                (0..c * ELEMS_PER_CHUNK)
+                    .map(|_| rng.gen_range(0..Q))
+                    .collect()
+            };
+            for i in 0..k {
+                bank.store_poly(&pg_p, i, &poly()).unwrap();
+                bank.store_poly(&pg_ab, 2 * i, &poly()).unwrap();
+                bank.store_poly(&pg_ab, 2 * i + 1, &poly()).unwrap();
+            }
+            bank
+        })
+        .collect();
+    (banks, MontgomeryCtx::new(Q), pg_p, pg_ab, pg_out)
+}
+
+fn bench_pim(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
+    let num_banks = 8;
+    let k = 4;
+    let c = if quick { 16 } else { 128 };
+    let (mut banks, mont, pg_p, pg_ab, pg_out) = pim_fleet(num_banks, k, c);
+    let (min_iters, min_ms) = if quick { (3, 10) } else { (10, 200) };
+    for &threads in sweep {
+        parpool::set_threads(threads);
+        let ns = time_ns(min_iters, min_ms, || {
+            let results = for_each_bank_parallel(&mut banks, |_, bank| {
+                paccum_alg1(bank, &mont, k, 16, &pg_p, &pg_ab, &pg_out)
+            });
+            assert!(results.iter().all(|r| r.is_ok()));
+        });
+        records.push(Record {
+            op: "paccum_8banks",
+            n: c * ELEMS_PER_CHUNK,
+            limbs: num_banks,
+            threads,
+            ns_per_op: ns,
+        });
+    }
+    parpool::set_threads(0);
+}
+
+/// Measures how much parallel CPU the machine actually grants: the
+/// throughput ratio of two spin threads vs one. Containers often report
+/// more hardware threads than their cgroup/host contention delivers, and
+/// every speedup in the emitted JSON is bounded by this number.
+fn effective_parallelism() -> f64 {
+    fn spin(iters: u64) -> u64 {
+        let mut x = 1u64;
+        for i in 0..iters {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        x
+    }
+    let iters = 50_000_000;
+    let t0 = Instant::now();
+    std::hint::black_box(spin(iters));
+    let one = t0.elapsed();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || std::hint::black_box(spin(iters))))
+        .collect();
+    for h in handles {
+        h.join().expect("spin thread");
+    }
+    let two = t0.elapsed();
+    2.0 * one.as_secs_f64() / two.as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sweep: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    println!(
+        "bench_json: mode={}, thread sweep {:?}, {} hardware threads, \
+         effective parallelism {:.2}x (2-thread spin calibration)",
+        if quick { "quick" } else { "full" },
+        sweep,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        effective_parallelism()
+    );
+
+    let mut ckks_records = Vec::new();
+    bench_ckks(quick, sweep, &mut ckks_records);
+    write_json("BENCH_ckks.json", &ckks_records);
+    print_summary("CKKS", &ckks_records);
+
+    let mut pim_records = Vec::new();
+    bench_pim(quick, sweep, &mut pim_records);
+    write_json("BENCH_pim.json", &pim_records);
+    print_summary("PIM", &pim_records);
+
+    println!(
+        "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records)",
+        ckks_records.len(),
+        pim_records.len()
+    );
+}

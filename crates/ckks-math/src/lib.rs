@@ -26,6 +26,7 @@
 pub mod modulus;
 pub mod ntt;
 pub mod poly;
+pub mod pool;
 pub mod prime;
 pub mod rns;
 pub mod sampling;

@@ -14,7 +14,7 @@
 //! which power of ψ each output slot evaluates at).
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::modulus::Modulus;
 
@@ -53,6 +53,10 @@ pub struct NttContext {
     /// Lazily derived: exponent `e_j` such that output slot `j` of the
     /// forward transform holds `a(ψ^{e_j})`, plus the inverse map.
     galois: OnceLock<GaloisTables>,
+    /// Memoized per-element permutation tables (HROT applies the same few
+    /// Galois elements thousands of times; rebuilding the `Vec<u32>` per
+    /// rotation was a measurable hot-path allocation).
+    galois_perms: RwLock<HashMap<u64, Arc<GaloisPerm>>>,
 }
 
 #[derive(Debug)]
@@ -61,6 +65,18 @@ struct GaloisTables {
     exponent: Vec<u32>,
     /// `slot_of[e]` = the output slot evaluating ψ^e (only odd `e` occur).
     slot_of: Vec<u32>,
+}
+
+/// Precomputed application tables for one Galois element `g`, covering both
+/// domains. Built once per `(context, g)` and shared via [`Arc`].
+#[derive(Debug)]
+struct GaloisPerm {
+    /// Evaluation domain: `out[j] = in[eval_src[j]]`.
+    eval_src: Vec<u32>,
+    /// Coefficient domain: source `i` lands at `coeff_dst[i]`…
+    coeff_dst: Vec<u32>,
+    /// …negated when the monomial wrapped past `X^n` (`X^n = -1`).
+    coeff_neg: Vec<bool>,
 }
 
 impl NttContext {
@@ -110,6 +126,7 @@ impl NttContext {
             n_inv,
             n_inv_shoup,
             galois: OnceLock::new(),
+            galois_perms: RwLock::new(HashMap::new()),
         }
     }
 
@@ -214,6 +231,48 @@ impl NttContext {
         })
     }
 
+    /// The memoized application tables for `g` (normalized mod `2n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even (such maps are not ring automorphisms here).
+    fn galois_perm(&self, g: u64) -> Arc<GaloisPerm> {
+        assert!(g % 2 == 1, "galois element must be odd");
+        let two_n = 2 * self.n as u64;
+        let g = g % two_n;
+        if let Some(perm) = self.galois_perms.read().expect("galois cache").get(&g) {
+            return perm.clone();
+        }
+        // Build outside the write lock; a racing builder just wins the
+        // insert and both end up sharing one Arc.
+        let tables = self.galois_tables();
+        let eval_src = (0..self.n)
+            .map(|j| {
+                let e = tables.exponent[j] as u64;
+                let src_e = (e * g) % two_n;
+                tables.slot_of[src_e as usize]
+            })
+            .collect();
+        let mut coeff_dst = vec![0u32; self.n];
+        let mut coeff_neg = vec![false; self.n];
+        for i in 0..self.n {
+            let e = (i as u64 * g) % two_n;
+            if e < self.n as u64 {
+                coeff_dst[i] = e as u32;
+            } else {
+                coeff_dst[i] = (e - self.n as u64) as u32;
+                coeff_neg[i] = true;
+            }
+        }
+        let built = Arc::new(GaloisPerm {
+            eval_src,
+            coeff_dst,
+            coeff_neg,
+        });
+        let mut cache = self.galois_perms.write().expect("galois cache");
+        cache.entry(g).or_insert(built).clone()
+    }
+
     /// Returns the evaluation-domain permutation for the automorphism
     /// `X ↦ X^g` (`g` odd): `out[j] = in[perm[j]]`.
     ///
@@ -221,17 +280,7 @@ impl NttContext {
     ///
     /// Panics if `g` is even (such maps are not ring automorphisms here).
     pub fn galois_permutation(&self, g: u64) -> Vec<u32> {
-        assert!(g % 2 == 1, "galois element must be odd");
-        let tables = self.galois_tables();
-        let two_n = 2 * self.n as u64;
-        let g = g % two_n;
-        (0..self.n)
-            .map(|j| {
-                let e = tables.exponent[j] as u64;
-                let src_e = (e * g) % two_n;
-                tables.slot_of[src_e as usize]
-            })
-            .collect()
+        self.galois_perm(g).eval_src.clone()
     }
 
     /// Applies the automorphism `X ↦ X^g` to a coefficient-domain vector.
@@ -243,20 +292,29 @@ impl NttContext {
     ///
     /// Panics if `a.len() != n` or `g` is even.
     pub fn galois_coeff(&self, a: &[u64], g: u64) -> Vec<u64> {
-        assert_eq!(a.len(), self.n, "length mismatch");
-        assert!(g % 2 == 1, "galois element must be odd");
-        let two_n = 2 * self.n as u64;
-        let g = g % two_n;
         let mut out = vec![0u64; self.n];
-        for (i, &c) in a.iter().enumerate() {
-            let e = (i as u64 * g) % two_n;
-            if e < self.n as u64 {
-                out[e as usize] = c;
-            } else {
-                out[(e - self.n as u64) as usize] = self.modulus.neg(c);
-            }
-        }
+        self.galois_coeff_into(a, g, &mut out);
         out
+    }
+
+    /// [`Self::galois_coeff`] writing into a caller-provided buffer (every
+    /// position of `out` is overwritten; the map is a bijection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`, `out.len() != n`, or `g` is even.
+    pub fn galois_coeff_into(&self, a: &[u64], g: u64, out: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        let perm = self.galois_perm(g);
+        for (i, &c) in a.iter().enumerate() {
+            let dst = perm.coeff_dst[i] as usize;
+            out[dst] = if perm.coeff_neg[i] {
+                self.modulus.neg(c)
+            } else {
+                c
+            };
+        }
     }
 
     /// Applies the automorphism `X ↦ X^g` in the evaluation domain via the
@@ -266,9 +324,24 @@ impl NttContext {
     ///
     /// Panics if `a.len() != n` or `g` is even.
     pub fn galois_eval(&self, a: &[u64], g: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.n];
+        self.galois_eval_into(a, g, &mut out);
+        out
+    }
+
+    /// [`Self::galois_eval`] writing into a caller-provided buffer (every
+    /// position of `out` is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`, `out.len() != n`, or `g` is even.
+    pub fn galois_eval_into(&self, a: &[u64], g: u64, out: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
-        let perm = self.galois_permutation(g);
-        perm.iter().map(|&src| a[src as usize]).collect()
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        let perm = self.galois_perm(g);
+        for (dst, &src) in out.iter_mut().zip(&perm.eval_src) {
+            *dst = a[src as usize];
+        }
     }
 
     /// log2 of the ring degree.

@@ -5,10 +5,61 @@
 //! RNS, every polynomial op is limb-wise, which is exactly the property the
 //! Anaheim PIM exploits: element-wise ops decompose into `L × N` independent
 //! modular ops.
+//!
+//! The same independence makes limbs the natural unit of host-side
+//! parallelism: every op here fans out one task per limb on the
+//! [`parpool`] scoped pool when the work is large enough (see
+//! [`EW_MIN_ELEMS`] / [`NTT_MIN_N`]), and falls back to the plain serial
+//! loop otherwise. Tasks touch disjoint limbs only, so results are
+//! bit-identical for any thread count. Limb storage is recycled through the
+//! thread-local [`pool`] free-lists, so steady-state evaluation does not
+//! allocate.
 
 use std::sync::Arc;
 
+use crate::modulus::Modulus;
 use crate::ntt::NttContext;
+use crate::pool;
+
+/// Minimum total residues (`limbs × n`) before an element-wise op fans out
+/// to the thread pool; below this the wakeup cost outweighs the arithmetic.
+pub(crate) const EW_MIN_ELEMS: usize = 1 << 14;
+
+/// Minimum ring degree before per-limb NTT batches fan out; an NTT on a
+/// tiny ring is cheaper than waking a worker.
+pub(crate) const NTT_MIN_N: usize = 256;
+
+/// Runs `f(i, &mut items[i])` for every item, in parallel when `gate` is
+/// true. The closure sees disjoint elements, so parallel and serial orders
+/// produce identical memory states.
+pub(crate) fn for_each_gated<T, F>(gate: bool, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if gate {
+        parpool::par_for_each_mut(items, f);
+    } else {
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x);
+        }
+    }
+}
+
+/// Maps `f(i, &items[i])` over every item in order, in parallel when `gate`
+/// is true. Output order always matches input order.
+pub(crate) fn map_gated<T, U, F>(gate: bool, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if gate {
+        parpool::par_map(items, f)
+    } else {
+        items.iter().enumerate().map(|(i, x)| f(i, x)).collect()
+    }
+}
 
 /// Whether coefficients are stored in the coefficient (power basis) or
 /// evaluation (NTT) domain.
@@ -21,10 +72,31 @@ pub enum Format {
 }
 
 /// One RNS limb: `n` residues modulo a single prime.
-#[derive(Debug, Clone)]
+///
+/// Limb storage comes from (and returns to) the thread-local buffer
+/// [`pool`]: `Clone` copies into a recycled buffer and `Drop` hands the
+/// buffer back instead of freeing it.
+#[derive(Debug)]
 pub struct Limb {
     ctx: Arc<NttContext>,
     data: Vec<u64>,
+}
+
+impl Clone for Limb {
+    fn clone(&self) -> Self {
+        let mut data = pool::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self {
+            ctx: Arc::clone(&self.ctx),
+            data,
+        }
+    }
+}
+
+impl Drop for Limb {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Limb {
@@ -33,7 +105,7 @@ impl Limb {
         let n = ctx.n();
         Self {
             ctx,
-            data: vec![0; n],
+            data: pool::take_zeroed(n),
         }
     }
 
@@ -46,6 +118,19 @@ impl Limb {
         assert_eq!(data.len(), ctx.n(), "limb length mismatch");
         debug_assert!(data.iter().all(|&x| x < ctx.modulus().value()));
         Self { ctx, data }
+    }
+
+    /// Creates a limb by copying residues into a pooled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != ctx.n()`.
+    pub fn from_slice(ctx: Arc<NttContext>, data: &[u64]) -> Self {
+        assert_eq!(data.len(), ctx.n(), "limb length mismatch");
+        debug_assert!(data.iter().all(|&x| x < ctx.modulus().value()));
+        let mut buf = pool::take(data.len());
+        buf.copy_from_slice(data);
+        Self { ctx, data: buf }
     }
 
     /// The prime context of this limb.
@@ -116,13 +201,14 @@ impl Poly {
     /// Panics if `coeffs.len() != n`.
     pub fn from_coeff_i64(basis: &[Arc<NttContext>], coeffs: &[i64]) -> Self {
         let mut p = Self::zero(basis, Format::Coeff);
-        for limb in &mut p.limbs {
+        assert_eq!(coeffs.len(), p.n(), "coefficient count mismatch");
+        let gate = p.fan_out_ew();
+        for_each_gated(gate, &mut p.limbs, |_, limb| {
             let m = *limb.ctx.modulus();
-            assert_eq!(coeffs.len(), limb.data.len(), "coefficient count mismatch");
             for (dst, &c) in limb.data.iter_mut().zip(coeffs) {
                 *dst = m.from_i64(c);
             }
-        }
+        });
         p
     }
 
@@ -181,9 +267,28 @@ impl Poly {
         self.limbs.iter()
     }
 
+    /// All limbs as a mutable slice (for callers that update limbs in
+    /// parallel, e.g. rescaling).
+    #[inline]
+    pub fn limbs_mut(&mut self) -> &mut [Limb] {
+        &mut self.limbs
+    }
+
     /// The RNS basis (prime contexts) of this polynomial.
     pub fn basis(&self) -> Vec<Arc<NttContext>> {
         self.limbs.iter().map(|l| l.ctx.clone()).collect()
+    }
+
+    /// True when element-wise work is large enough to fan out.
+    #[inline]
+    fn fan_out_ew(&self) -> bool {
+        self.limbs.len() >= 2 && self.limbs.len() * self.n() >= EW_MIN_ELEMS
+    }
+
+    /// True when per-limb NTT work is large enough to fan out.
+    #[inline]
+    fn fan_out_ntt(&self) -> bool {
+        self.limbs.len() >= 2 && self.n() >= NTT_MIN_N
     }
 
     fn assert_compatible(&self, other: &Poly) {
@@ -198,6 +303,112 @@ impl Poly {
         }
     }
 
+    /// Out-of-place binary element-wise op into pooled limbs.
+    fn zip_map(&self, other: &Poly, f: impl Fn(&Modulus, u64, u64) -> u64 + Sync) -> Poly {
+        let gate = self.fan_out_ew();
+        let limbs = map_gated(gate, &self.limbs, |i, a| {
+            let m = *a.ctx.modulus();
+            let mut data = pool::take(a.data.len());
+            for ((d, &x), &y) in data.iter_mut().zip(&a.data).zip(&other.limbs[i].data) {
+                *d = f(&m, x, y);
+            }
+            Limb {
+                ctx: Arc::clone(&a.ctx),
+                data,
+            }
+        });
+        Poly {
+            format: self.format,
+            limbs,
+        }
+    }
+
+    /// Out-of-place unary element-wise op into pooled limbs.
+    fn map_unary(&self, f: impl Fn(&Modulus, u64) -> u64 + Sync) -> Poly {
+        let gate = self.fan_out_ew();
+        let limbs = map_gated(gate, &self.limbs, |_, a| {
+            let m = *a.ctx.modulus();
+            let mut data = pool::take(a.data.len());
+            for (d, &x) in data.iter_mut().zip(&a.data) {
+                *d = f(&m, x);
+            }
+            Limb {
+                ctx: Arc::clone(&a.ctx),
+                data,
+            }
+        });
+        Poly {
+            format: self.format,
+            limbs,
+        }
+    }
+
+    /// `self + other` into pooled storage (no intermediate clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if domains, limb counts, or moduli differ.
+    pub fn added(&self, other: &Poly) -> Poly {
+        self.assert_compatible(other);
+        self.zip_map(other, |m, x, y| m.add(x, y))
+    }
+
+    /// `self - other` into pooled storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if domains, limb counts, or moduli differ.
+    pub fn subbed(&self, other: &Poly) -> Poly {
+        self.assert_compatible(other);
+        self.zip_map(other, |m, x, y| m.sub(x, y))
+    }
+
+    /// `-self` into pooled storage.
+    pub fn negated(&self) -> Poly {
+        self.map_unary(|m, x| m.neg(x))
+    }
+
+    /// Hadamard product `self * other` into pooled storage (evaluation
+    /// domain only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in the coefficient domain, or on basis
+    /// mismatch.
+    pub fn multiplied(&self, other: &Poly) -> Poly {
+        assert_eq!(self.format, Format::Eval, "multiplication requires Eval");
+        self.assert_compatible(other);
+        self.zip_map(other, |m, x, y| m.mul(x, y))
+    }
+
+    /// `self * s` into pooled storage.
+    pub fn scaled_i64(&self, s: i64) -> Poly {
+        let gate = self.fan_out_ew();
+        let limbs = map_gated(gate, &self.limbs, |_, a| {
+            let m = *a.ctx.modulus();
+            let sv = m.from_i64(s);
+            let ss = m.shoup(sv);
+            let mut data = pool::take(a.data.len());
+            for (d, &x) in data.iter_mut().zip(&a.data) {
+                *d = m.mul_shoup(x, sv, ss);
+            }
+            Limb {
+                ctx: Arc::clone(&a.ctx),
+                data,
+            }
+        });
+        Poly {
+            format: self.format,
+            limbs,
+        }
+    }
+
+    /// Deep copy into pooled storage. Semantically identical to `Clone`,
+    /// but named so call sites in allocation-free paths are greppable.
+    pub fn duplicate(&self) -> Poly {
+        self.map_unary(|_, x| x)
+    }
+
     /// `self += other`.
     ///
     /// # Panics
@@ -205,12 +416,13 @@ impl Poly {
     /// Panics if domains, limb counts, or moduli differ.
     pub fn add_assign(&mut self, other: &Poly) {
         self.assert_compatible(other);
-        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
-            for (x, &y) in a.data.iter_mut().zip(&b.data) {
+            for (x, &y) in a.data.iter_mut().zip(&other.limbs[i].data) {
                 *x = m.add(*x, y);
             }
-        }
+        });
     }
 
     /// `self -= other`.
@@ -220,22 +432,24 @@ impl Poly {
     /// Panics if domains, limb counts, or moduli differ.
     pub fn sub_assign(&mut self, other: &Poly) {
         self.assert_compatible(other);
-        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
-            for (x, &y) in a.data.iter_mut().zip(&b.data) {
+            for (x, &y) in a.data.iter_mut().zip(&other.limbs[i].data) {
                 *x = m.sub(*x, y);
             }
-        }
+        });
     }
 
     /// `self = -self`.
     pub fn neg_assign(&mut self) {
-        for a in &mut self.limbs {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |_, a| {
             let m = *a.ctx.modulus();
             for x in &mut a.data {
                 *x = m.neg(*x);
             }
-        }
+        });
     }
 
     /// Element-wise (Hadamard) product, i.e. ring multiplication when both
@@ -248,12 +462,13 @@ impl Poly {
     pub fn mul_assign(&mut self, other: &Poly) {
         assert_eq!(self.format, Format::Eval, "multiplication requires Eval");
         self.assert_compatible(other);
-        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
-            for (x, &y) in a.data.iter_mut().zip(&b.data) {
+            for (x, &y) in a.data.iter_mut().zip(&other.limbs[i].data) {
                 *x = m.mul(*x, y);
             }
-        }
+        });
     }
 
     /// Fused multiply-accumulate `self += a * b` (evaluation domain).
@@ -265,12 +480,18 @@ impl Poly {
         assert_eq!(self.format, Format::Eval, "MAC requires Eval");
         self.assert_compatible(a);
         a.assert_compatible(b);
-        for ((dst, x), y) in self.limbs.iter_mut().zip(&a.limbs).zip(&b.limbs) {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |i, dst| {
             let m = *dst.ctx.modulus();
-            for ((d, &u), &v) in dst.data.iter_mut().zip(&x.data).zip(&y.data) {
+            for ((d, &u), &v) in dst
+                .data
+                .iter_mut()
+                .zip(&a.limbs[i].data)
+                .zip(&b.limbs[i].data)
+            {
                 *d = m.reduce_u128(u as u128 * v as u128 + *d as u128);
             }
-        }
+        });
     }
 
     /// Multiplies each limb by a per-limb scalar (already reduced).
@@ -280,53 +501,52 @@ impl Poly {
     /// Panics if `scalars.len() != num_limbs()`.
     pub fn mul_scalar_per_limb(&mut self, scalars: &[u64]) {
         assert_eq!(scalars.len(), self.num_limbs(), "scalar count mismatch");
-        for (a, &s) in self.limbs.iter_mut().zip(scalars) {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
-            let s = m.reduce(s);
+            let s = m.reduce(scalars[i]);
             let ss = m.shoup(s);
             for x in &mut a.data {
                 *x = m.mul_shoup(*x, s, ss);
             }
-        }
+        });
     }
 
     /// Multiplies the whole polynomial by a signed integer scalar.
     pub fn mul_scalar_i64(&mut self, s: i64) {
-        for a in &mut self.limbs {
+        let gate = self.fan_out_ew();
+        for_each_gated(gate, &mut self.limbs, |_, a| {
             let m = *a.ctx.modulus();
             let sv = m.from_i64(s);
             let ss = m.shoup(sv);
             for x in &mut a.data {
                 *x = m.mul_shoup(*x, sv, ss);
             }
-        }
+        });
     }
 
     /// Applies the Galois automorphism `X ↦ X^g`, in whichever domain the
-    /// polynomial currently is.
+    /// polynomial currently is. Uses the memoized permutation tables in
+    /// [`NttContext`] and pooled output limbs.
     ///
     /// # Panics
     ///
     /// Panics if `g` is even.
     pub fn automorphism(&self, g: u64) -> Poly {
-        let limbs = self
-            .limbs
-            .iter()
-            .map(|l| {
-                let data = match self.format {
-                    Format::Coeff => l.ctx.galois_coeff(&l.data, g),
-                    Format::Eval => l.ctx.galois_eval(&l.data, g),
-                };
-                Limb {
-                    ctx: l.ctx.clone(),
-                    data,
-                }
-            })
-            .collect();
-        Poly {
-            format: self.format,
-            limbs,
-        }
+        let fmt = self.format;
+        let gate = self.fan_out_ew();
+        let limbs = map_gated(gate, &self.limbs, |_, l| {
+            let mut data = pool::take(l.data.len());
+            match fmt {
+                Format::Coeff => l.ctx.galois_coeff_into(&l.data, g, &mut data),
+                Format::Eval => l.ctx.galois_eval_into(&l.data, g, &mut data),
+            }
+            Limb {
+                ctx: Arc::clone(&l.ctx),
+                data,
+            }
+        });
+        Poly { format: fmt, limbs }
     }
 
     /// Converts to the evaluation domain in place (no-op if already there).
@@ -334,9 +554,11 @@ impl Poly {
         if self.format == Format::Eval {
             return;
         }
-        for l in &mut self.limbs {
-            l.ctx.clone().forward(&mut l.data);
-        }
+        let gate = self.fan_out_ntt();
+        for_each_gated(gate, &mut self.limbs, |_, l| {
+            let ctx = Arc::clone(&l.ctx);
+            ctx.forward(&mut l.data);
+        });
         self.format = Format::Eval;
     }
 
@@ -345,9 +567,11 @@ impl Poly {
         if self.format == Format::Coeff {
             return;
         }
-        for l in &mut self.limbs {
-            l.ctx.clone().inverse(&mut l.data);
-        }
+        let gate = self.fan_out_ntt();
+        for_each_gated(gate, &mut self.limbs, |_, l| {
+            let ctx = Arc::clone(&l.ctx);
+            ctx.inverse(&mut l.data);
+        });
         self.format = Format::Coeff;
     }
 
@@ -417,6 +641,79 @@ mod tests {
         neg.neg_assign();
         neg.add_assign(&a);
         assert!(neg.limbs().all(|l| l.data().iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn out_of_place_ops_match_assign_variants() {
+        let n = 32;
+        let b = basis(n, 3);
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| i * 7 - 11).collect();
+        let other: Vec<i64> = (0..n as i64).map(|i| 3 - i).collect();
+        let x = Poly::from_coeff_i64(&b, &coeffs);
+        let y = Poly::from_coeff_i64(&b, &other);
+
+        let mut want = x.clone();
+        want.add_assign(&y);
+        let got = x.added(&y);
+        for (l, w) in got.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+
+        let mut want = x.clone();
+        want.sub_assign(&y);
+        let got = x.subbed(&y);
+        for (l, w) in got.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+
+        let mut want = x.clone();
+        want.neg_assign();
+        let got = x.negated();
+        for (l, w) in got.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+
+        let mut want = x.clone();
+        want.mul_scalar_i64(-9);
+        let got = x.scaled_i64(-9);
+        for (l, w) in got.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+
+        let mut xe = x.clone();
+        let mut ye = y.clone();
+        xe.to_eval();
+        ye.to_eval();
+        let mut want = xe.clone();
+        want.mul_assign(&ye);
+        let got = xe.multiplied(&ye);
+        assert_eq!(got.format(), Format::Eval);
+        for (l, w) in got.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+
+        let dup = x.duplicate();
+        for (l, w) in dup.limbs().zip(x.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
+    }
+
+    #[test]
+    fn pooled_limb_roundtrip() {
+        pool::clear();
+        let b = basis(16, 2);
+        let coeffs: Vec<i64> = (0..16).collect();
+        {
+            let a = Poly::from_coeff_i64(&b, &coeffs);
+            let _copy = a.duplicate();
+        }
+        // Both polynomials dropped: their limb buffers must now be pooled.
+        assert!(pool::pooled_buffers() >= 4);
+        let a = Poly::from_coeff_i64(&b, &coeffs);
+        let want = Poly::from_coeff_i64(&b, &coeffs);
+        for (l, w) in a.limbs().zip(want.limbs()) {
+            assert_eq!(l.data(), w.data());
+        }
     }
 
     #[test]
@@ -492,6 +789,43 @@ mod tests {
         for (l, w) in via_eval.limbs().zip(via_coeff.limbs()) {
             assert_eq!(l.data(), w.data());
         }
+    }
+
+    #[test]
+    fn parallel_ops_match_serial() {
+        // Large enough to clear both fan-out gates, exercised at several
+        // thread counts; results must be bit-identical.
+        let n = 1 << 10;
+        let b = basis(n, 8);
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| (i * 31 + 7) % 997 - 498).collect();
+        let other: Vec<i64> = (0..n as i64).map(|i| (i * 17 + 3) % 991 - 495).collect();
+
+        let reference = {
+            parpool::set_threads(1);
+            run_shape(&b, &coeffs, &other)
+        };
+        for t in [2usize, 8] {
+            parpool::set_threads(t);
+            let got = run_shape(&b, &coeffs, &other);
+            assert_eq!(got, reference, "thread count {t} diverged");
+        }
+        parpool::set_threads(0);
+    }
+
+    fn run_shape(b: &[Arc<NttContext>], coeffs: &[i64], other: &[i64]) -> Vec<Vec<u64>> {
+        let mut x = Poly::from_coeff_i64(b, coeffs);
+        let y = Poly::from_coeff_i64(b, other);
+        x.add_assign(&y);
+        let mut s = x.subbed(&y);
+        s.to_eval();
+        let mut ye = y.clone();
+        ye.to_eval();
+        s.mul_assign(&ye);
+        s.mac_assign(&ye, &ye);
+        let rot = s.automorphism(5);
+        let mut out = rot.added(&s);
+        out.to_coeff();
+        out.limbs().map(|l| l.data().to_vec()).collect()
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Thread-local buffer pool for limb-sized `Vec<u64>` allocations.
+//!
+//! Every RNS limb is a `Vec<u64>` of length `n` (the ring degree), and the
+//! hot CKKS path — HADD/HSUB, rescale, key switching — creates and drops
+//! them at a furious rate. Each thread keeps small free-lists keyed by
+//! buffer length, so steady-state evaluation recycles buffers instead of
+//! hitting the allocator: [`Limb`](crate::poly::Limb) takes its storage
+//! from here on construction and returns it on drop.
+//!
+//! The pool is intentionally simple:
+//!
+//! - **thread-local** — no locks; a buffer freed on a different thread than
+//!   it was taken from just migrates free-lists, which is fine;
+//! - **bounded** — at most [`MAX_PER_BUCKET`] buffers per length and
+//!   [`MAX_BUCKETS`] distinct lengths are retained (a process touches only
+//!   a handful of ring degrees), excess buffers fall back to the allocator;
+//! - **content-agnostic** — recycled buffers hold stale residues; takers
+//!   must fully overwrite ([`take_zeroed`] is provided where zero-init is
+//!   actually wanted).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Retained buffers per distinct length.
+const MAX_PER_BUCKET: usize = 64;
+
+/// Retained distinct lengths.
+const MAX_BUCKETS: usize = 16;
+
+thread_local! {
+    static FREE_LISTS: RefCell<HashMap<usize, Vec<Vec<u64>>>> = RefCell::new(HashMap::new());
+}
+
+/// Takes a buffer of exactly `len` words with **unspecified contents**; the
+/// caller must overwrite every element before the values are read.
+pub fn take(len: usize) -> Vec<u64> {
+    if len == 0 {
+        return Vec::new();
+    }
+    FREE_LISTS
+        .with_borrow_mut(|lists| lists.get_mut(&len).and_then(Vec::pop))
+        .unwrap_or_else(|| vec![0; len])
+}
+
+/// Takes a zero-filled buffer of exactly `len` words.
+pub fn take_zeroed(len: usize) -> Vec<u64> {
+    let mut buf = take(len);
+    buf.fill(0);
+    buf
+}
+
+/// Returns a buffer to this thread's pool (dropped if the pool is full or
+/// the buffer's capacity no longer matches its length bucket).
+pub fn give(buf: Vec<u64>) {
+    let len = buf.len();
+    if len == 0 || buf.capacity() < len {
+        return;
+    }
+    FREE_LISTS.with_borrow_mut(|lists| {
+        if let Some(bucket) = lists.get_mut(&len) {
+            if bucket.len() < MAX_PER_BUCKET {
+                bucket.push(buf);
+            }
+        } else if lists.len() < MAX_BUCKETS {
+            lists.insert(len, vec![buf]);
+        }
+    });
+}
+
+/// Number of buffers currently pooled on this thread (all buckets).
+pub fn pooled_buffers() -> usize {
+    FREE_LISTS.with_borrow(|lists| lists.values().map(Vec::len).sum())
+}
+
+/// Drops every pooled buffer on this thread (tests / memory pressure).
+pub fn clear() {
+    FREE_LISTS.with_borrow_mut(HashMap::clear);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_recycles() {
+        clear();
+        let mut a = take(256);
+        assert_eq!(a.len(), 256);
+        a[0] = 0xdead;
+        let ptr = a.as_ptr();
+        give(a);
+        assert_eq!(pooled_buffers(), 1);
+        let b = take(256);
+        assert_eq!(b.as_ptr(), ptr, "buffer must be recycled");
+        assert_eq!(b.len(), 256);
+        give(b);
+        clear();
+    }
+
+    #[test]
+    fn take_zeroed_really_zeroes() {
+        clear();
+        let mut a = take(64);
+        a.fill(7);
+        give(a);
+        let b = take_zeroed(64);
+        assert!(b.iter().all(|&x| x == 0));
+        clear();
+    }
+
+    #[test]
+    fn bucket_capacity_is_bounded() {
+        clear();
+        for _ in 0..(MAX_PER_BUCKET + 10) {
+            give(vec![0; 32]);
+        }
+        assert_eq!(pooled_buffers(), MAX_PER_BUCKET);
+        clear();
+    }
+
+    #[test]
+    fn distinct_lengths_use_distinct_buckets() {
+        clear();
+        give(vec![0; 16]);
+        give(vec![0; 32]);
+        assert_eq!(take(16).len(), 16);
+        assert_eq!(take(32).len(), 32);
+        clear();
+    }
+}

@@ -11,7 +11,15 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 use crate::ntt::NttContext;
-use crate::poly::{Format, Limb, Poly};
+use crate::poly::{for_each_gated, map_gated, Format, Limb, Poly, EW_MIN_ELEMS, NTT_MIN_N};
+use crate::pool;
+
+/// True when `tasks` independent chunks of `elems_per_task` residues are
+/// worth fanning out to the thread pool.
+#[inline]
+fn fan_out(tasks: usize, elems_per_task: usize) -> bool {
+    tasks >= 2 && tasks * elems_per_task >= EW_MIN_ELEMS
+}
 
 /// Arbitrary-precision unsigned integer (little-endian 64-bit limbs).
 ///
@@ -314,16 +322,19 @@ impl BasisConverter {
         assert_eq!(limbs.len(), self.from.len(), "source limb count mismatch");
         let n = self.from[0].n();
         assert!(limbs.iter().all(|l| l.len() == n), "limb length mismatch");
-        // v_i = x_i * (A/a_i)^{-1} mod a_i
-        let mut v = vec![vec![0u64; n]; self.from.len()];
-        for (i, limb) in limbs.iter().enumerate() {
+        // v_i = x_i * (A/a_i)^{-1} mod a_i — independent per source limb.
+        let v: Vec<Vec<u64>> = map_gated(fan_out(limbs.len(), n), limbs, |i, limb| {
             let m = self.from[i].modulus();
             let hs = m.shoup(self.a_hat_inv[i]);
-            for (dst, &x) in v[i].iter_mut().zip(limb.iter()) {
+            let mut out = pool::take(n);
+            for (dst, &x) in out.iter_mut().zip(limb.iter()) {
                 *dst = m.mul_shoup(x, self.a_hat_inv[i], hs);
             }
-        }
+            out
+        });
         // Correction multiples (exact conversion only): e_k = round(Σ v_i/a_i).
+        // The per-position float sum runs in a fixed order regardless of
+        // thread count, keeping rounding deterministic.
         let corrections: Option<Vec<u64>> = exact.then(|| {
             (0..n)
                 .map(|k| {
@@ -336,28 +347,29 @@ impl BasisConverter {
                 })
                 .collect()
         });
-        self.to
-            .iter()
-            .enumerate()
-            .map(|(j, t)| {
-                let m = t.modulus();
-                let mut out = vec![0u64; n];
-                for (i, vi) in v.iter().enumerate() {
-                    let hj = self.a_hat_mod_b[i][j];
-                    for (dst, &x) in out.iter_mut().zip(vi.iter()) {
-                        *dst = m.reduce_u128(*dst as u128 + x as u128 * hj as u128);
-                    }
+        // Each target limb accumulates over all v_i — independent per target.
+        let out = map_gated(fan_out(self.to.len(), limbs.len() * n), &self.to, |j, t| {
+            let m = t.modulus();
+            let mut out = pool::take_zeroed(n);
+            for (i, vi) in v.iter().enumerate() {
+                let hj = self.a_hat_mod_b[i][j];
+                for (dst, &x) in out.iter_mut().zip(vi.iter()) {
+                    *dst = m.reduce_u128(*dst as u128 + x as u128 * hj as u128);
                 }
-                if let Some(es) = &corrections {
-                    let a_j = self.a_mod_b[j];
-                    for (dst, &e) in out.iter_mut().zip(es.iter()) {
-                        let sub = m.mul(m.reduce(e), a_j);
-                        *dst = m.sub(*dst, sub);
-                    }
+            }
+            if let Some(es) = &corrections {
+                let a_j = self.a_mod_b[j];
+                for (dst, &e) in out.iter_mut().zip(es.iter()) {
+                    let sub = m.mul(m.reduce(e), a_j);
+                    *dst = m.sub(*dst, sub);
                 }
-                Limb::from_data(t.clone(), out)
-            })
-            .collect()
+            }
+            Limb::from_data(t.clone(), out)
+        });
+        for vi in v {
+            pool::give(vi);
+        }
+        out
     }
 
     /// Approximate conversion: the output may carry an additive multiple
@@ -446,34 +458,42 @@ impl ModDown {
                 "P limb {i} mismatch"
             );
         }
-        // INTT the P limbs, convert to (the first l primes of) Q.
+        // INTT the P limbs (pooled copies), convert to (the first l primes
+        // of) Q.
+        let n = poly.n();
         let mut p_coeff: Vec<Vec<u64>> = (0..alpha)
-            .map(|i| poly.limb(l + i).data().to_vec())
+            .map(|i| {
+                let mut buf = pool::take(n);
+                buf.copy_from_slice(poly.limb(l + i).data());
+                buf
+            })
             .collect();
-        for (i, data) in p_coeff.iter_mut().enumerate() {
+        let intt_gate = alpha >= 2 && n >= NTT_MIN_N;
+        for_each_gated(intt_gate, &mut p_coeff, |i, data| {
             self.p_to_q.from_basis()[i].inverse(data);
-        }
+        });
         let refs: Vec<&[u64]> = p_coeff.iter().map(|v| v.as_slice()).collect();
         let converted = self.p_to_q.convert_approx(&refs);
         // y_j = (x_j - conv_j) * P^{-1} mod q_j, in the evaluation domain.
-        let limbs: Vec<Limb> = (0..l)
-            .map(|j| {
-                let qc = &self.q_basis[j];
-                let m = qc.modulus();
-                let mut conv = converted[j].data().to_vec();
-                qc.forward(&mut conv);
-                let pinv = self.p_inv_mod_q[j];
-                let pinv_s = m.shoup(pinv);
-                let data: Vec<u64> = poly
-                    .limb(j)
-                    .data()
-                    .iter()
-                    .zip(&conv)
-                    .map(|(&x, &c)| m.mul_shoup(m.sub(x, c), pinv, pinv_s))
-                    .collect();
-                Limb::from_data(qc.clone(), data)
-            })
-            .collect();
+        // One forward NTT per Q limb — independent per limb.
+        let ntt_gate = l >= 2 && n >= NTT_MIN_N;
+        let limbs: Vec<Limb> = map_gated(ntt_gate, &self.q_basis[..l], |j, qc| {
+            let m = qc.modulus();
+            let mut conv = pool::take(n);
+            conv.copy_from_slice(converted[j].data());
+            qc.forward(&mut conv);
+            let pinv = self.p_inv_mod_q[j];
+            let pinv_s = m.shoup(pinv);
+            let mut data = pool::take(n);
+            for ((d, &x), &c) in data.iter_mut().zip(poly.limb(j).data()).zip(conv.iter()) {
+                *d = m.mul_shoup(m.sub(x, c), pinv, pinv_s);
+            }
+            pool::give(conv);
+            Limb::from_data(qc.clone(), data)
+        });
+        for buf in p_coeff {
+            pool::give(buf);
+        }
         Poly::from_limbs(limbs, Format::Eval)
     }
 }
@@ -492,35 +512,39 @@ pub fn rescale_in_place(poly: &mut Poly) {
         poly.num_limbs() > 1,
         "cannot rescale a single-limb polynomial"
     );
+    let n = poly.n();
     let last = poly.pop_limb();
     let q_last = last.ctx().modulus().value();
-    let mut last_coeff = last.data().to_vec();
+    let mut last_coeff = pool::take(n);
+    last_coeff.copy_from_slice(last.data());
     last.ctx().inverse(&mut last_coeff);
     let half = q_last / 2;
-    for j in 0..poly.num_limbs() {
-        let limb = poly.limb(j);
-        let qc = limb.ctx().clone();
+    // Each remaining limb builds its own correction term and runs one
+    // forward NTT — independent per limb.
+    let gate = poly.num_limbs() >= 2 && n >= NTT_MIN_N;
+    let last_coeff_ref = &last_coeff;
+    for_each_gated(gate, poly.limbs_mut(), |_, limb| {
+        let qc = Arc::clone(limb.ctx());
         let m = *qc.modulus();
         // Reduce the centered representative of x_last into q_j.
-        let mut corr: Vec<u64> = last_coeff
-            .iter()
-            .map(|&x| {
-                if x > half {
-                    // x - q_last (negative)
-                    m.from_i64(x as i64 - q_last as i64)
-                } else {
-                    m.reduce(x)
-                }
-            })
-            .collect();
+        let mut corr = pool::take(n);
+        for (d, &x) in corr.iter_mut().zip(last_coeff_ref.iter()) {
+            *d = if x > half {
+                // x - q_last (negative)
+                m.from_i64(x as i64 - q_last as i64)
+            } else {
+                m.reduce(x)
+            };
+        }
         qc.forward(&mut corr);
         let inv = m.inv(m.reduce(q_last));
         let inv_s = m.shoup(inv);
-        let limb = poly.limb_mut(j);
-        for (x, &c) in limb.data_mut().iter_mut().zip(&corr) {
+        for (x, &c) in limb.data_mut().iter_mut().zip(corr.iter()) {
             *x = m.mul_shoup(m.sub(*x, c), inv, inv_s);
         }
-    }
+        pool::give(corr);
+    });
+    pool::give(last_coeff);
 }
 
 /// CRT reconstruction of centered big-integer coefficients from RNS limbs.

@@ -101,6 +101,18 @@ impl Ciphertext {
         self.scale = scale;
     }
 
+    /// Overrides the tracked level after an in-place limb change (used by
+    /// in-place rescaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial's limb count disagrees with `level`.
+    pub fn set_level(&mut self, level: usize) {
+        assert_eq!(self.b.num_limbs(), level, "b limb count must equal level");
+        assert_eq!(self.a.num_limbs(), level, "a limb count must equal level");
+        self.level = level;
+    }
+
     /// The level (number of active `Q` primes).
     pub fn level(&self) -> usize {
         self.level

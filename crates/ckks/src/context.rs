@@ -189,9 +189,9 @@ impl CkksContext {
         let mut conv_iter = converted.into_iter();
         for i in 0..level {
             if range.contains(&i) {
-                limbs.push(Limb::from_data(
+                limbs.push(Limb::from_slice(
                     self.q_ctxs[i].clone(),
-                    digit_limbs[i - range.start].to_vec(),
+                    digit_limbs[i - range.start],
                 ));
             } else {
                 limbs.push(conv_iter.next().expect("converter output exhausted"));

@@ -136,10 +136,8 @@ impl<'a> Evaluator<'a> {
     /// Panics on level or scale mismatch.
     pub fn add(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
         self.assert_aligned(x, y);
-        let mut b = x.b().clone();
-        b.add_assign(y.b());
-        let mut a = x.a().clone();
-        a.add_assign(y.a());
+        let b = x.b().added(y.b());
+        let a = x.a().added(y.a());
         opcount::count_ew(2 * x.level());
         Ciphertext::new(b, a, x.scale(), x.level())
     }
@@ -151,20 +149,16 @@ impl<'a> Evaluator<'a> {
     /// Panics on level or scale mismatch.
     pub fn sub(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
         self.assert_aligned(x, y);
-        let mut b = x.b().clone();
-        b.sub_assign(y.b());
-        let mut a = x.a().clone();
-        a.sub_assign(y.a());
+        let b = x.b().subbed(y.b());
+        let a = x.a().subbed(y.a());
         opcount::count_ew(2 * x.level());
         Ciphertext::new(b, a, x.scale(), x.level())
     }
 
     /// Negation.
     pub fn negate(&self, x: &Ciphertext) -> Ciphertext {
-        let mut b = x.b().clone();
-        b.neg_assign();
-        let mut a = x.a().clone();
-        a.neg_assign();
+        let b = x.b().negated();
+        let a = x.a().negated();
         opcount::count_ew(2 * x.level());
         Ciphertext::new(b, a, x.scale(), x.level())
     }
@@ -178,10 +172,9 @@ impl<'a> Evaluator<'a> {
         assert_eq!(x.level(), p.level(), "level mismatch");
         let rel = (x.scale() - p.scale()).abs() / x.scale().max(p.scale());
         assert!(rel < SCALE_RTOL, "scale mismatch");
-        let mut b = x.b().clone();
-        b.add_assign(p.poly());
+        let b = x.b().added(p.poly());
         opcount::count_ew(x.level());
-        Ciphertext::new(b, x.a().clone(), x.scale(), x.level())
+        Ciphertext::new(b, x.a().duplicate(), x.scale(), x.level())
     }
 
     /// PMULT: plaintext-ciphertext multiplication. The output scale is the
@@ -192,10 +185,8 @@ impl<'a> Evaluator<'a> {
     /// Panics on level mismatch.
     pub fn mul_plain(&self, x: &Ciphertext, p: &Plaintext) -> Ciphertext {
         assert_eq!(x.level(), p.level(), "level mismatch");
-        let mut b = x.b().clone();
-        b.mul_assign(p.poly());
-        let mut a = x.a().clone();
-        a.mul_assign(p.poly());
+        let b = x.b().multiplied(p.poly());
+        let a = x.a().multiplied(p.poly());
         opcount::count_ew(2 * x.level());
         Ciphertext::new(b, a, x.scale() * p.scale(), x.level())
     }
@@ -205,20 +196,16 @@ impl<'a> Evaluator<'a> {
     pub fn mul_scalar(&self, x: &Ciphertext, c: f64) -> Ciphertext {
         let delta = self.ctx.params().scale();
         let v = (c * delta).round() as i64;
-        let mut b = x.b().clone();
-        b.mul_scalar_i64(v);
-        let mut a = x.a().clone();
-        a.mul_scalar_i64(v);
+        let b = x.b().scaled_i64(v);
+        let a = x.a().scaled_i64(v);
         opcount::count_ew(2 * x.level());
         Ciphertext::new(b, a, x.scale() * delta, x.level())
     }
 
     /// Multiplies by a small integer without changing the scale.
     pub fn mul_integer(&self, x: &Ciphertext, v: i64) -> Ciphertext {
-        let mut b = x.b().clone();
-        b.mul_scalar_i64(v);
-        let mut a = x.a().clone();
-        a.mul_scalar_i64(v);
+        let b = x.b().scaled_i64(v);
+        let a = x.a().scaled_i64(v);
         opcount::count_ew(2 * x.level());
         Ciphertext::new(b, a, x.scale(), x.level())
     }
@@ -227,7 +214,7 @@ impl<'a> Evaluator<'a> {
     pub fn add_scalar(&self, x: &Ciphertext, c: f64) -> Ciphertext {
         // A constant vector encodes to the constant polynomial c·Δ, which in
         // the evaluation domain is c·Δ in every residue.
-        let mut b = x.b().clone();
+        let mut b = x.b().duplicate();
         for i in 0..b.num_limbs() {
             let limb = b.limb_mut(i);
             let m = *limb.ctx().modulus();
@@ -237,7 +224,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         opcount::count_ew(x.level());
-        Ciphertext::new(b, x.a().clone(), x.scale(), x.level())
+        Ciphertext::new(b, x.a().duplicate(), x.scale(), x.level())
     }
 
     /// Rescales by the last prime: drops one level and divides the scale.
@@ -246,6 +233,19 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the ciphertext is at level 1.
     pub fn rescale(&self, x: &Ciphertext) -> Ciphertext {
+        let mut out = Ciphertext::new(x.b().duplicate(), x.a().duplicate(), x.scale(), x.level());
+        self.rescale_assign(&mut out);
+        out
+    }
+
+    /// In-place rescale: mutates `x` instead of copying it first. Prefer
+    /// this when the pre-rescale ciphertext is no longer needed (e.g. the
+    /// tensor output inside [`Self::mul_relin_rescale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is at level 1.
+    pub fn rescale_assign(&self, x: &mut Ciphertext) {
         assert!(x.level() > 1, "cannot rescale below level 1");
         let q_last = self
             .ctx
@@ -254,15 +254,17 @@ impl<'a> Evaluator<'a> {
             .expect("non-empty basis")
             .modulus()
             .value();
-        let mut b = x.b().clone();
-        let mut a = x.a().clone();
-        rescale_in_place(&mut b);
-        rescale_in_place(&mut a);
+        let level = x.level();
+        let scale = x.scale();
+        let (b, a) = x.parts_mut();
+        rescale_in_place(b);
+        rescale_in_place(a);
         // 2 × (1 INTT + (level−1) NTT + elementwise fix-up)
         opcount::count_intt(2);
-        opcount::count_ntt(2 * (x.level() - 1));
-        opcount::count_ew(2 * (x.level() - 1));
-        Ciphertext::new(b, a, x.scale() / q_last as f64, x.level() - 1)
+        opcount::count_ntt(2 * (level - 1));
+        opcount::count_ew(2 * (level - 1));
+        x.set_level(level - 1);
+        x.set_scale(scale / q_last as f64);
     }
 
     /// Forces the scale to an exact target by multiplying with a constant
@@ -306,8 +308,8 @@ impl<'a> Evaluator<'a> {
     /// Panics if `level` is zero or above the current level.
     pub fn mod_switch_to(&self, x: &Ciphertext, level: usize) -> Ciphertext {
         assert!(level >= 1 && level <= x.level(), "invalid target level");
-        let mut b = x.b().clone();
-        let mut a = x.a().clone();
+        let mut b = x.b().duplicate();
+        let mut a = x.a().duplicate();
         b.truncate_limbs(level);
         a.truncate_limbs(level);
         Ciphertext::new(b, a, x.scale(), level)
@@ -337,13 +339,10 @@ impl<'a> Evaluator<'a> {
         self.assert_aligned_mul(x, y);
         let level = x.level();
         // Tensor: (d0, d1, d2) = (b1·b2, b1·a2 + a1·b2, a1·a2).
-        let mut d0 = x.b().clone();
-        d0.mul_assign(y.b());
-        let mut d1 = x.b().clone();
-        d1.mul_assign(y.a());
+        let d0 = x.b().multiplied(y.b());
+        let mut d1 = x.b().multiplied(y.a());
         d1.mac_assign(x.a(), y.b());
-        let mut d2 = x.a().clone();
-        d2.mul_assign(y.a());
+        let d2 = x.a().multiplied(y.a());
         opcount::count_ew(4 * level);
         // Relinearize d2 down to (b, a).
         let (kb, ka) = self.ks.switch(&d2, relin, level);
@@ -361,21 +360,18 @@ impl<'a> Evaluator<'a> {
 
     /// HMULT followed by rescale (the common composite).
     pub fn mul_relin_rescale(&self, x: &Ciphertext, y: &Ciphertext, relin: &EvalKey) -> Ciphertext {
-        let t = self.mul_relin(x, y, relin);
-        self.rescale(&t)
+        let mut t = self.mul_relin(x, y, relin);
+        self.rescale_assign(&mut t);
+        t
     }
 
     /// Squares a ciphertext (TensorSq of Table II) with relinearization.
     pub fn square_relin(&self, x: &Ciphertext, relin: &EvalKey) -> Ciphertext {
         let level = x.level();
-        let mut d0 = x.b().clone();
-        d0.mul_assign(x.b());
-        let mut d1 = x.b().clone();
-        d1.mul_assign(x.a());
-        let two = d1.clone();
-        d1.add_assign(&two);
-        let mut d2 = x.a().clone();
-        d2.mul_assign(x.a());
+        let d0 = x.b().multiplied(x.b());
+        let mut d1 = x.b().multiplied(x.a());
+        d1.mul_scalar_i64(2);
+        let d2 = x.a().multiplied(x.a());
         opcount::count_ew(3 * level);
         let (kb, ka) = self.ks.switch(&d2, relin, level);
         let mut b = d0;
@@ -414,8 +410,7 @@ impl<'a> Evaluator<'a> {
     pub fn apply_galois(&self, x: &Ciphertext, g: u64, evk: &EvalKey) -> Ciphertext {
         let level = x.level();
         let (kb, ka) = self.ks.switch(x.a(), evk, level);
-        let mut b = x.b().clone();
-        b.add_assign(&kb);
+        let b = x.b().added(&kb);
         opcount::count_ew(level);
         let b = b.automorphism(g);
         let a = ka.automorphism(g);

@@ -66,28 +66,48 @@ impl<'a> KeySwitcher<'a> {
     pub fn decompose_mod_up(&self, a: &Poly, level: usize) -> HoistedDigits {
         assert_eq!(a.format(), Format::Eval, "expected Eval input");
         assert_eq!(a.num_limbs(), level, "limb count must equal level");
-        let alpha = self.ctx.params().alpha;
         // INTT the input once (shared across digits).
-        let mut coeff = a.clone();
+        let mut coeff = a.duplicate();
         coeff.to_coeff();
         opcount::count_intt(level);
-        let digits = (0..self.ctx.num_digits(level))
-            .map(|j| {
-                let range = self.ctx.digit_range(level, j);
-                let slices: Vec<&[u64]> = range.clone().map(|i| coeff.limb(i).data()).collect();
-                opcount::count_bconv(range.len(), level + alpha - range.len());
-                opcount::count_ntt(level + alpha - range.len());
-                let mut up = self.ctx.mod_up(level, j, &slices);
-                up.to_eval();
-                // The source-digit limbs are already known in the evaluation
-                // domain; copy them through instead of re-transforming.
-                for i in range.clone() {
-                    *up.limb_mut(i) = a.limb(i).clone();
-                }
-                up
+        // Digits are independent: fan one task out per digit. Each task
+        // routes its op counts into a shared sink which is folded back into
+        // this thread's counters after the join, so totals match a serial
+        // run exactly. Nested per-limb parallelism inside a digit degrades
+        // to inline-serial on the workers (the pool is single-job).
+        let num = self.ctx.num_digits(level);
+        let digit_ids: Vec<usize> = (0..num).collect();
+        let sink = opcount::SharedCounts::new();
+        let digits = if num >= 2 {
+            parpool::par_map(&digit_ids, |_, &j| {
+                sink.record(|| self.digit_mod_up(a, &coeff, level, j))
             })
-            .collect();
+        } else {
+            digit_ids
+                .iter()
+                .map(|&j| sink.record(|| self.digit_mod_up(a, &coeff, level, j)))
+                .collect()
+        };
+        sink.fold_into_local();
         HoistedDigits { digits, level }
+    }
+
+    /// ModUp of digit `j`: BConv the digit's limbs to `Q_ℓ ‖ P`, NTT the
+    /// converted limbs, and pass the source limbs through unchanged.
+    fn digit_mod_up(&self, a: &Poly, coeff: &Poly, level: usize, j: usize) -> Poly {
+        let alpha = self.ctx.params().alpha;
+        let range = self.ctx.digit_range(level, j);
+        let slices: Vec<&[u64]> = range.clone().map(|i| coeff.limb(i).data()).collect();
+        opcount::count_bconv(range.len(), level + alpha - range.len());
+        opcount::count_ntt(level + alpha - range.len());
+        let mut up = self.ctx.mod_up(level, j, &slices);
+        up.to_eval();
+        // The source-digit limbs are already known in the evaluation
+        // domain; copy them through instead of re-transforming.
+        for i in range {
+            *up.limb_mut(i) = a.limb(i).clone();
+        }
+        up
     }
 
     /// Phase 2: inner product with an evaluation key, producing an

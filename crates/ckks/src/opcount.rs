@@ -10,8 +10,17 @@
 //! `snapshot()`) only observes work performed on its own thread, so tests
 //! running in parallel (the default test harness) cannot perturb each
 //! other's counts. All library entry points count on the calling thread.
+//!
+//! Parallel sections route through a [`SharedCounts`] sink: code that fans
+//! work out to the `parpool` workers wraps each task in
+//! [`SharedCounts::record`] (so counts land in a shared atomic pot instead
+//! of a worker's thread-locals) and calls
+//! [`SharedCounts::fold_into_local`] after the join. Counts are sums, so
+//! the folded totals are identical to a serial run for any thread count.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 thread_local! {
     static NTT_LIMBS: Cell<u64> = const { Cell::new(0) };
@@ -20,6 +29,66 @@ thread_local! {
     static EW_LIMB_OPS: Cell<u64> = const { Cell::new(0) };
     static AUTOMORPHISM_LIMBS: Cell<u64> = const { Cell::new(0) };
     static KEYSWITCHES: Cell<u64> = const { Cell::new(0) };
+    static SINK: RefCell<Option<Arc<SharedCounts>>> = const { RefCell::new(None) };
+}
+
+/// A shared accumulator that collects op counts from worker threads during
+/// a parallel section, to be folded into the caller's thread-local totals
+/// once the section joins.
+#[derive(Debug, Default)]
+pub struct SharedCounts {
+    ntt: AtomicU64,
+    intt: AtomicU64,
+    bconv: AtomicU64,
+    ew: AtomicU64,
+    automorphism: AtomicU64,
+    keyswitch: AtomicU64,
+}
+
+impl SharedCounts {
+    /// A fresh, empty sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Runs `f` with this thread's counts routed into the shared pot.
+    /// Restores the previous routing on exit (including on panic, so pool
+    /// workers never leak a stale sink).
+    pub fn record<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<SharedCounts>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                SINK.with(|s| *s.borrow_mut() = self.0.take());
+            }
+        }
+        let prev = SINK.with(|s| s.borrow_mut().replace(Arc::clone(self)));
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Drains the pot into the calling thread's counters. Call once, after
+    /// all recorded tasks have joined.
+    pub fn fold_into_local(&self) {
+        NTT_LIMBS.set(NTT_LIMBS.get() + self.ntt.swap(0, Ordering::Relaxed));
+        INTT_LIMBS.set(INTT_LIMBS.get() + self.intt.swap(0, Ordering::Relaxed));
+        BCONV_LIMB_PRODUCTS.set(BCONV_LIMB_PRODUCTS.get() + self.bconv.swap(0, Ordering::Relaxed));
+        EW_LIMB_OPS.set(EW_LIMB_OPS.get() + self.ew.swap(0, Ordering::Relaxed));
+        AUTOMORPHISM_LIMBS
+            .set(AUTOMORPHISM_LIMBS.get() + self.automorphism.swap(0, Ordering::Relaxed));
+        KEYSWITCHES.set(KEYSWITCHES.get() + self.keyswitch.swap(0, Ordering::Relaxed));
+    }
+}
+
+/// Adds `v` to the sink if one is installed on this thread; returns false
+/// when the count should go to the plain thread-locals instead.
+fn sink_add(pick: impl Fn(&SharedCounts) -> &AtomicU64, v: u64) -> bool {
+    SINK.with(|s| match &*s.borrow() {
+        Some(sink) => {
+            pick(sink).fetch_add(v, Ordering::Relaxed);
+            true
+        }
+        None => false,
+    })
 }
 
 /// A snapshot of all counters.
@@ -81,27 +150,40 @@ pub fn reset() {
 }
 
 pub(crate) fn count_ntt(limbs: usize) {
-    NTT_LIMBS.set(NTT_LIMBS.get() + limbs as u64);
+    if !sink_add(|s| &s.ntt, limbs as u64) {
+        NTT_LIMBS.set(NTT_LIMBS.get() + limbs as u64);
+    }
 }
 
 pub(crate) fn count_intt(limbs: usize) {
-    INTT_LIMBS.set(INTT_LIMBS.get() + limbs as u64);
+    if !sink_add(|s| &s.intt, limbs as u64) {
+        INTT_LIMBS.set(INTT_LIMBS.get() + limbs as u64);
+    }
 }
 
 pub(crate) fn count_bconv(source_limbs: usize, target_limbs: usize) {
-    BCONV_LIMB_PRODUCTS.set(BCONV_LIMB_PRODUCTS.get() + (source_limbs * target_limbs) as u64);
+    let v = (source_limbs * target_limbs) as u64;
+    if !sink_add(|s| &s.bconv, v) {
+        BCONV_LIMB_PRODUCTS.set(BCONV_LIMB_PRODUCTS.get() + v);
+    }
 }
 
 pub(crate) fn count_ew(limb_ops: usize) {
-    EW_LIMB_OPS.set(EW_LIMB_OPS.get() + limb_ops as u64);
+    if !sink_add(|s| &s.ew, limb_ops as u64) {
+        EW_LIMB_OPS.set(EW_LIMB_OPS.get() + limb_ops as u64);
+    }
 }
 
 pub(crate) fn count_automorphism(limbs: usize) {
-    AUTOMORPHISM_LIMBS.set(AUTOMORPHISM_LIMBS.get() + limbs as u64);
+    if !sink_add(|s| &s.automorphism, limbs as u64) {
+        AUTOMORPHISM_LIMBS.set(AUTOMORPHISM_LIMBS.get() + limbs as u64);
+    }
 }
 
 pub(crate) fn count_keyswitch() {
-    KEYSWITCHES.set(KEYSWITCHES.get() + 1);
+    if !sink_add(|s| &s.keyswitch, 1) {
+        KEYSWITCHES.set(KEYSWITCHES.get() + 1);
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +208,49 @@ mod tests {
         assert_eq!(d.ew_limb_ops, 7);
         assert_eq!(d.automorphism_limbs, 2);
         assert_eq!(d.keyswitches, 1);
+    }
+
+    #[test]
+    fn sink_folds_worker_counts_into_caller() {
+        let before = snapshot();
+        let sink = SharedCounts::new();
+        // Worker threads record into the sink; their own thread-locals and
+        // the caller's stay untouched until the fold.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    s.record(|| {
+                        count_ntt(3);
+                        count_ew(2);
+                    });
+                    snapshot().ntt_limbs
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0, "worker thread-locals unperturbed");
+        }
+        assert_eq!(snapshot().since(&before).ntt_limbs, 0, "not folded yet");
+        sink.fold_into_local();
+        let d = snapshot().since(&before);
+        assert_eq!(d.ntt_limbs, 12);
+        assert_eq!(d.ew_limb_ops, 8);
+        // A second fold is a no-op (the pot drains on fold).
+        sink.fold_into_local();
+        assert_eq!(snapshot().since(&before).ntt_limbs, 12);
+    }
+
+    #[test]
+    fn record_restores_previous_sink_on_panic() {
+        let sink = SharedCounts::new();
+        let caught = std::panic::catch_unwind(|| sink.record(|| panic!("boom")));
+        assert!(caught.is_err());
+        // The sink must be uninstalled again: this count goes to the
+        // thread-locals, not the pot.
+        let before = snapshot();
+        count_ntt(1);
+        assert_eq!(snapshot().since(&before).ntt_limbs, 1);
     }
 
     #[test]

@@ -373,6 +373,30 @@ pub fn alloc_paccum_groups(
     (pg_p, pg_ab, pg_out)
 }
 
+/// Runs a kernel over every bank concurrently, one `parpool` task per bank
+/// — the host-simulation analogue of the all-bank command broadcast that
+/// gives the Anaheim PIM its throughput (§IV): banks share no state, so
+/// their kernels are embarrassingly parallel.
+///
+/// Each bank's result is returned in bank order. A kernel error in one bank
+/// does not stop the others (matching the per-bank fault containment of the
+/// verified kernels); a kernel that *panics* propagates after all banks
+/// join.
+pub fn for_each_bank_parallel<F>(
+    banks: &mut [SimulatedBank],
+    kernel: F,
+) -> Vec<Result<(), PimError>>
+where
+    F: Fn(usize, &mut SimulatedBank) -> Result<(), PimError> + Sync,
+{
+    let mut work: Vec<(&mut SimulatedBank, Result<(), PimError>)> =
+        banks.iter_mut().map(|b| (b, Ok(()))).collect();
+    parpool::par_for_each_mut(&mut work, |i, slot| {
+        slot.1 = kernel(i, slot.0);
+    });
+    work.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +642,94 @@ mod tests {
                 assert!(!r.is_permanent());
             }
             other => panic!("expected integrity violation, got {other}"),
+        }
+    }
+
+    /// Builds `num` banks, each loaded with an independent seeded PAccum
+    /// instance, and returns them together with the shared groups/context.
+    fn paccum_bank_fleet(
+        num: usize,
+        base_seed: u64,
+    ) -> (
+        Vec<SimulatedBank>,
+        MontgomeryCtx,
+        PolyGroup,
+        PolyGroup,
+        PolyGroup,
+    ) {
+        let k = 4;
+        let c = 16;
+        let mut alloc = PolyGroupAllocator::new(32, 64, LayoutPolicy::ColumnPartitioned);
+        let (pg_p, pg_ab, pg_out) = alloc_paccum_groups(&mut alloc, k, c);
+        let banks = (0..num)
+            .map(|bi| {
+                let mut bank = SimulatedBank::new(64, 32);
+                let mut rng = StdRng::seed_from_u64(base_seed + bi as u64);
+                for i in 0..k {
+                    bank.store_poly(&pg_p, i, &random_poly(c, &mut rng))
+                        .unwrap();
+                    bank.store_poly(&pg_ab, 2 * i, &random_poly(c, &mut rng))
+                        .unwrap();
+                    bank.store_poly(&pg_ab, 2 * i + 1, &random_poly(c, &mut rng))
+                        .unwrap();
+                }
+                bank
+            })
+            .collect();
+        (banks, MontgomeryCtx::new(Q), pg_p, pg_ab, pg_out)
+    }
+
+    #[test]
+    fn parallel_banks_match_serial() {
+        // The all-bank broadcast must be a pure throughput feature: the same
+        // kernel run bank-by-bank and run via `for_each_bank_parallel` (at
+        // several pool widths) must leave bit-identical bank contents.
+        let num = 8;
+        let (mut serial, mont, pg_p, pg_ab, pg_out) = paccum_bank_fleet(num, 500);
+        for bank in serial.iter_mut() {
+            paccum_alg1(bank, &mont, 4, 16, &pg_p, &pg_ab, &pg_out).unwrap();
+        }
+        for threads in [1usize, 2, 8] {
+            parpool::set_threads(threads);
+            let (mut par, mont, pg_p, pg_ab, pg_out) = paccum_bank_fleet(num, 500);
+            let results = for_each_bank_parallel(&mut par, |_, bank| {
+                paccum_alg1(bank, &mont, 4, 16, &pg_p, &pg_ab, &pg_out)
+            });
+            assert!(results.iter().all(|r| r.is_ok()));
+            for (bi, (s, p)) in serial.iter().zip(par.iter()).enumerate() {
+                for out in 0..2 {
+                    assert_eq!(
+                        s.load_poly(&pg_out, out),
+                        p.load_poly(&pg_out, out),
+                        "bank {bi} output {out} @ {threads} threads"
+                    );
+                }
+            }
+        }
+        parpool::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_bank_errors_are_isolated() {
+        // A kernel failing in one bank must not disturb the others: results
+        // come back in bank order with exactly the failing banks marked.
+        let num = 4;
+        let (mut banks, mont, pg_p, pg_ab, pg_out) = paccum_bank_fleet(num, 600);
+        let results = for_each_bank_parallel(&mut banks, |i, bank| {
+            // B = 2 gives G = 0 on odd banks: a per-bank Unsupported error.
+            let b = if i % 2 == 1 { 2 } else { 16 };
+            paccum_alg1(bank, &mont, 4, b, &pg_p, &pg_ab, &pg_out)
+        });
+        assert_eq!(results.len(), num);
+        for (i, r) in results.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(
+                    matches!(r, Err(PimError::Unsupported { .. })),
+                    "bank {i} should fail"
+                );
+            } else {
+                assert!(r.is_ok(), "bank {i} should succeed");
+            }
         }
     }
 

@@ -27,7 +27,10 @@ pub mod isa;
 pub mod layout;
 pub mod mmac;
 
-pub use bankexec::{paccum_alg1, paccum_alg1_verified, SimulatedBank};
+pub use bankexec::{
+    alloc_paccum_groups, for_each_bank_parallel, paccum_alg1, paccum_alg1_verified, SimulatedBank,
+    ELEMS_PER_CHUNK,
+};
 pub use device::{PimDeviceConfig, PimVariant};
 pub use error::{IntegrityReport, LayoutError, PimError};
 pub use exec::{PimExecutor, PimKernelResult, PimKernelSpec};

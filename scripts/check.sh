@@ -13,4 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> parallel equivalence (ANAHEIM_THREADS=1)"
+ANAHEIM_THREADS=1 cargo test -q --test parallel_equivalence
+
+echo "==> parallel equivalence (ANAHEIM_THREADS=8)"
+ANAHEIM_THREADS=8 cargo test -q --test parallel_equivalence
+
+echo "==> bench smoke (scripts/bench.sh --quick)"
+scripts/bench.sh --quick
+
 echo "All checks passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anaheim-31a7168f269871e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/anaheim-31a7168f269871e2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anaheim-9d6e64d9942d4322.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanaheim-9d6e64d9942d4322.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libanaheim-9d6e64d9942d4322.rmeta: src/lib.rs
+
+src/lib.rs:

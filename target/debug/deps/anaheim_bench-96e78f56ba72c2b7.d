@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/anaheim_bench-96e78f56ba72c2b7.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/anaheim_bench-96e78f56ba72c2b7: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

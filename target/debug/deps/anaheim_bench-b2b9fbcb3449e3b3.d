@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/anaheim_bench-b2b9fbcb3449e3b3.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libanaheim_bench-b2b9fbcb3449e3b3.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libanaheim_bench-b2b9fbcb3449e3b3.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

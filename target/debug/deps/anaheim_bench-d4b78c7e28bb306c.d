@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/anaheim_bench-d4b78c7e28bb306c.d: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanaheim_bench-d4b78c7e28bb306c.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anaheim_core-cbb304b70e89fcd0.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+/root/repo/target/debug/deps/anaheim_core-cbb304b70e89fcd0: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/ir.rs:
+crates/core/src/params.rs:
+crates/core/src/passes.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:

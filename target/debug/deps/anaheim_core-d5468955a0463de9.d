@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/anaheim_core-d5468955a0463de9.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+/root/repo/target/debug/deps/libanaheim_core-d5468955a0463de9.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+/root/repo/target/debug/deps/libanaheim_core-d5468955a0463de9.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/ir.rs:
+crates/core/src/params.rs:
+crates/core/src/passes.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/anaheim_core-da53b21068d0d5fa.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanaheim_core-da53b21068d0d5fa.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/ir.rs:
+crates/core/src/params.rs:
+crates/core/src/passes.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-4d722f9bc8a54167.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-4d722f9bc8a54167: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_json-8261352c51106a70.d: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_json-8261352c51106a70.rmeta: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+crates/bench/src/bin/bench_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_json-ce0a907b265e6549.d: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_json-ce0a907b265e6549.rmeta: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+crates/bench/src/bin/bench_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-e6619c0e71fd1dac.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-e6619c0e71fd1dac: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

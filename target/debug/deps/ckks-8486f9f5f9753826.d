@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/ckks-8486f9f5f9753826.d: crates/ckks/src/lib.rs crates/ckks/src/bootstrap.rs crates/ckks/src/chebyshev.rs crates/ckks/src/ciphertext.rs crates/ckks/src/compare.rs crates/ckks/src/complex.rs crates/ckks/src/context.rs crates/ckks/src/encoding.rs crates/ckks/src/eval.rs crates/ckks/src/keys.rs crates/ckks/src/keyswitch.rs crates/ckks/src/lintrans.rs crates/ckks/src/matrix.rs crates/ckks/src/noise.rs crates/ckks/src/opcount.rs crates/ckks/src/params.rs crates/ckks/src/polyeval.rs crates/ckks/src/serial.rs crates/ckks/src/slots.rs crates/ckks/src/specialfft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks-8486f9f5f9753826.rmeta: crates/ckks/src/lib.rs crates/ckks/src/bootstrap.rs crates/ckks/src/chebyshev.rs crates/ckks/src/ciphertext.rs crates/ckks/src/compare.rs crates/ckks/src/complex.rs crates/ckks/src/context.rs crates/ckks/src/encoding.rs crates/ckks/src/eval.rs crates/ckks/src/keys.rs crates/ckks/src/keyswitch.rs crates/ckks/src/lintrans.rs crates/ckks/src/matrix.rs crates/ckks/src/noise.rs crates/ckks/src/opcount.rs crates/ckks/src/params.rs crates/ckks/src/polyeval.rs crates/ckks/src/serial.rs crates/ckks/src/slots.rs crates/ckks/src/specialfft.rs Cargo.toml
+
+crates/ckks/src/lib.rs:
+crates/ckks/src/bootstrap.rs:
+crates/ckks/src/chebyshev.rs:
+crates/ckks/src/ciphertext.rs:
+crates/ckks/src/compare.rs:
+crates/ckks/src/complex.rs:
+crates/ckks/src/context.rs:
+crates/ckks/src/encoding.rs:
+crates/ckks/src/eval.rs:
+crates/ckks/src/keys.rs:
+crates/ckks/src/keyswitch.rs:
+crates/ckks/src/lintrans.rs:
+crates/ckks/src/matrix.rs:
+crates/ckks/src/noise.rs:
+crates/ckks/src/opcount.rs:
+crates/ckks/src/params.rs:
+crates/ckks/src/polyeval.rs:
+crates/ckks/src/serial.rs:
+crates/ckks/src/slots.rs:
+crates/ckks/src/specialfft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

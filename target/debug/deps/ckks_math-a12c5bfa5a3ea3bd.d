@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ckks_math-a12c5bfa5a3ea3bd.d: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/debug/deps/libckks_math-a12c5bfa5a3ea3bd.rlib: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/debug/deps/libckks_math-a12c5bfa5a3ea3bd.rmeta: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+crates/ckks-math/src/lib.rs:
+crates/ckks-math/src/modulus.rs:
+crates/ckks-math/src/ntt.rs:
+crates/ckks-math/src/poly.rs:
+crates/ckks-math/src/pool.rs:
+crates/ckks-math/src/prime.rs:
+crates/ckks-math/src/rns.rs:
+crates/ckks-math/src/sampling.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ckks_math-b319e9e443ffa286.d: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks_math-b319e9e443ffa286.rmeta: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs Cargo.toml
+
+crates/ckks-math/src/lib.rs:
+crates/ckks-math/src/modulus.rs:
+crates/ckks-math/src/ntt.rs:
+crates/ckks-math/src/poly.rs:
+crates/ckks-math/src/pool.rs:
+crates/ckks-math/src/prime.rs:
+crates/ckks-math/src/rns.rs:
+crates/ckks-math/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ckks_math-f65fc1e89fd92d50.d: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/debug/deps/ckks_math-f65fc1e89fd92d50: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+crates/ckks-math/src/lib.rs:
+crates/ckks-math/src/modulus.rs:
+crates/ckks-math/src/ntt.rs:
+crates/ckks-math/src/poly.rs:
+crates/ckks-math/src/pool.rs:
+crates/ckks-math/src/prime.rs:
+crates/ckks-math/src/rns.rs:
+crates/ckks-math/src/sampling.rs:

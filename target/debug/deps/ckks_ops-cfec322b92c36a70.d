@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ckks_ops-cfec322b92c36a70.d: crates/bench/benches/ckks_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks_ops-cfec322b92c36a70.rmeta: crates/bench/benches/ckks_ops.rs Cargo.toml
+
+crates/bench/benches/ckks_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

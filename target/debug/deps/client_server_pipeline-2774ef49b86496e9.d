@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_server_pipeline-2774ef49b86496e9.d: tests/client_server_pipeline.rs
+
+/root/repo/target/debug/deps/client_server_pipeline-2774ef49b86496e9: tests/client_server_pipeline.rs
+
+tests/client_server_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/client_server_pipeline-da866592fd8e5e1f.d: tests/client_server_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_server_pipeline-da866592fd8e5e1f.rmeta: tests/client_server_pipeline.rs Cargo.toml
+
+tests/client_server_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model_validation-4707d1bf1d504ddc.d: tests/cost_model_validation.rs
+
+/root/repo/target/debug/deps/cost_model_validation-4707d1bf1d504ddc: tests/cost_model_validation.rs
+
+tests/cost_model_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_model_validation-d99f11db8e5d752c.d: tests/cost_model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_model_validation-d99f11db8e5d752c.rmeta: tests/cost_model_validation.rs Cargo.toml
+
+tests/cost_model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

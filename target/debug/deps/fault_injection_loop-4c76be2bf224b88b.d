@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection_loop-4c76be2bf224b88b.d: tests/fault_injection_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection_loop-4c76be2bf224b88b.rmeta: tests/fault_injection_loop.rs Cargo.toml
+
+tests/fault_injection_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection_loop-9896015e4a4b03c9.d: tests/fault_injection_loop.rs
+
+/root/repo/target/debug/deps/fault_injection_loop-9896015e4a4b03c9: tests/fault_injection_loop.rs
+
+tests/fault_injection_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-e039506cebef5f14.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-e039506cebef5f14: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_shape-eb5c1764fdbda17a.d: tests/figures_shape.rs
+
+/root/repo/target/debug/deps/figures_shape-eb5c1764fdbda17a: tests/figures_shape.rs
+
+tests/figures_shape.rs:

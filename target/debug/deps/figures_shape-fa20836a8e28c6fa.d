@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_shape-fa20836a8e28c6fa.d: tests/figures_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_shape-fa20836a8e28c6fa.rmeta: tests/figures_shape.rs Cargo.toml
+
+tests/figures_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ir_properties-1aee921cec094066.d: tests/ir_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libir_properties-1aee921cec094066.rmeta: tests/ir_properties.rs Cargo.toml
+
+tests/ir_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

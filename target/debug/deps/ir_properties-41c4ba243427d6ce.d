@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_properties-41c4ba243427d6ce.d: tests/ir_properties.rs
+
+/root/repo/target/debug/deps/ir_properties-41c4ba243427d6ce: tests/ir_properties.rs
+
+tests/ir_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keyswitch-6a1a9ba19a2dab97.d: crates/bench/benches/keyswitch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeyswitch-6a1a9ba19a2dab97.rmeta: crates/bench/benches/keyswitch.rs Cargo.toml
+
+crates/bench/benches/keyswitch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

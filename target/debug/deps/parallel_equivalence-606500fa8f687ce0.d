@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-606500fa8f687ce0.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-606500fa8f687ce0: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_equivalence-bfb5d306ff3ad511.d: tests/parallel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_equivalence-bfb5d306ff3ad511.rmeta: tests/parallel_equivalence.rs Cargo.toml
+
+tests/parallel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

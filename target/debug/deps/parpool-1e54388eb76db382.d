@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parpool-1e54388eb76db382.d: vendor/parpool/src/lib.rs
+
+/root/repo/target/debug/deps/parpool-1e54388eb76db382: vendor/parpool/src/lib.rs
+
+vendor/parpool/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parpool-56179a7d442eb42d.d: vendor/parpool/src/lib.rs
+
+/root/repo/target/debug/deps/libparpool-56179a7d442eb42d.rlib: vendor/parpool/src/lib.rs
+
+/root/repo/target/debug/deps/libparpool-56179a7d442eb42d.rmeta: vendor/parpool/src/lib.rs
+
+vendor/parpool/src/lib.rs:

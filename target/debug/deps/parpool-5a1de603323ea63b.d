@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parpool-5a1de603323ea63b.d: vendor/parpool/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparpool-5a1de603323ea63b.rmeta: vendor/parpool/src/lib.rs Cargo.toml
+
+vendor/parpool/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pim-26a9db8435ce9d95.d: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+/root/repo/target/debug/deps/pim-26a9db8435ce9d95: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+crates/pim/src/lib.rs:
+crates/pim/src/bankexec.rs:
+crates/pim/src/device.rs:
+crates/pim/src/error.rs:
+crates/pim/src/exec.rs:
+crates/pim/src/fault.rs:
+crates/pim/src/isa.rs:
+crates/pim/src/layout.rs:
+crates/pim/src/mmac.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pim-e137d4ca1bb05189.d: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+/root/repo/target/debug/deps/libpim-e137d4ca1bb05189.rlib: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+/root/repo/target/debug/deps/libpim-e137d4ca1bb05189.rmeta: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+crates/pim/src/lib.rs:
+crates/pim/src/bankexec.rs:
+crates/pim/src/device.rs:
+crates/pim/src/error.rs:
+crates/pim/src/exec.rs:
+crates/pim/src/fault.rs:
+crates/pim/src/isa.rs:
+crates/pim/src/layout.rs:
+crates/pim/src/mmac.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pim-fd257db7b0f0d957.d: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpim-fd257db7b0f0d957.rmeta: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs Cargo.toml
+
+crates/pim/src/lib.rs:
+crates/pim/src/bankexec.rs:
+crates/pim/src/device.rs:
+crates/pim/src/error.rs:
+crates/pim/src/exec.rs:
+crates/pim/src/fault.rs:
+crates/pim/src/isa.rs:
+crates/pim/src/layout.rs:
+crates/pim/src/mmac.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pim_functional_equivalence-087c77877a4299dc.d: tests/pim_functional_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpim_functional_equivalence-087c77877a4299dc.rmeta: tests/pim_functional_equivalence.rs Cargo.toml
+
+tests/pim_functional_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

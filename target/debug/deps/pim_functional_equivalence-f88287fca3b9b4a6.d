@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pim_functional_equivalence-f88287fca3b9b4a6.d: tests/pim_functional_equivalence.rs
+
+/root/repo/target/debug/deps/pim_functional_equivalence-f88287fca3b9b4a6: tests/pim_functional_equivalence.rs
+
+tests/pim_functional_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pim_model-5d7ae5c7f9b86d4e.d: crates/bench/benches/pim_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpim_model-5d7ae5c7f9b86d4e.rmeta: crates/bench/benches/pim_model.rs Cargo.toml
+
+crates/bench/benches/pim_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

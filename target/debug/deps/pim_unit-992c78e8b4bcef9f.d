@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pim_unit-992c78e8b4bcef9f.d: crates/bench/benches/pim_unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpim_unit-992c78e8b4bcef9f.rmeta: crates/bench/benches/pim_unit.rs Cargo.toml
+
+crates/bench/benches/pim_unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1ac72da0f0ca3261.d: crates/ckks-math/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1ac72da0f0ca3261: crates/ckks-math/tests/properties.rs
+
+crates/ckks-math/tests/properties.rs:

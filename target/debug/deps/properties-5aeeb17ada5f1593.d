@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5aeeb17ada5f1593.d: crates/ckks-math/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5aeeb17ada5f1593.rmeta: crates/ckks-math/tests/properties.rs Cargo.toml
+
+crates/ckks-math/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_circuits-539ec2a86818ac45.d: tests/random_circuits.rs
+
+/root/repo/target/debug/deps/random_circuits-539ec2a86818ac45: tests/random_circuits.rs
+
+tests/random_circuits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_circuits-7f66e0bee8579345.d: tests/random_circuits.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_circuits-7f66e0bee8579345.rmeta: tests/random_circuits.rs Cargo.toml
+
+tests/random_circuits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serial_fuzz-7abe9117668305ab.d: tests/serial_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserial_fuzz-7abe9117668305ab.rmeta: tests/serial_fuzz.rs Cargo.toml
+
+tests/serial_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serial_fuzz-901b0b84a5187ba6.d: tests/serial_fuzz.rs
+
+/root/repo/target/debug/deps/serial_fuzz-901b0b84a5187ba6: tests/serial_fuzz.rs
+
+tests/serial_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-011282723443e987.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libworkloads-011282723443e987.rlib: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libworkloads-011282723443e987.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

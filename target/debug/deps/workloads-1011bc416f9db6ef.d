@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-1011bc416f9db6ef.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-1011bc416f9db6ef.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

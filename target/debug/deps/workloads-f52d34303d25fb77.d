@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-f52d34303d25fb77.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/workloads-f52d34303d25fb77: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

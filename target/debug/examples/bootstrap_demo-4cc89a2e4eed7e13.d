@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bootstrap_demo-4cc89a2e4eed7e13.d: examples/bootstrap_demo.rs
+
+/root/repo/target/debug/examples/bootstrap_demo-4cc89a2e4eed7e13: examples/bootstrap_demo.rs
+
+examples/bootstrap_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bootstrap_demo-9d3e4aa1749a91a1.d: examples/bootstrap_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbootstrap_demo-9d3e4aa1749a91a1.rmeta: examples/bootstrap_demo.rs Cargo.toml
+
+examples/bootstrap_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_compare_exchange-06707d118aaa27f1.d: examples/encrypted_compare_exchange.rs
+
+/root/repo/target/debug/examples/encrypted_compare_exchange-06707d118aaa27f1: examples/encrypted_compare_exchange.rs
+
+examples/encrypted_compare_exchange.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_compare_exchange-18de014c1174984a.d: examples/encrypted_compare_exchange.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_compare_exchange-18de014c1174984a.rmeta: examples/encrypted_compare_exchange.rs Cargo.toml
+
+examples/encrypted_compare_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

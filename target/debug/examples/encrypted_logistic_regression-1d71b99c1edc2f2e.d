@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_logistic_regression-1d71b99c1edc2f2e.d: examples/encrypted_logistic_regression.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_logistic_regression-1d71b99c1edc2f2e.rmeta: examples/encrypted_logistic_regression.rs Cargo.toml
+
+examples/encrypted_logistic_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

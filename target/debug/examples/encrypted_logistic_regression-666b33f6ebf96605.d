@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_logistic_regression-666b33f6ebf96605.d: examples/encrypted_logistic_regression.rs
+
+/root/repo/target/debug/examples/encrypted_logistic_regression-666b33f6ebf96605: examples/encrypted_logistic_regression.rs
+
+examples/encrypted_logistic_regression.rs:

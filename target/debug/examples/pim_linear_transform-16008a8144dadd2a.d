@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pim_linear_transform-16008a8144dadd2a.d: examples/pim_linear_transform.rs
+
+/root/repo/target/debug/examples/pim_linear_transform-16008a8144dadd2a: examples/pim_linear_transform.rs
+
+examples/pim_linear_transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pim_linear_transform-8c95c79e8bde1345.d: examples/pim_linear_transform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpim_linear_transform-8c95c79e8bde1345.rmeta: examples/pim_linear_transform.rs Cargo.toml
+
+examples/pim_linear_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

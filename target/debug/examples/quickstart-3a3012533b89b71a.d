@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3a3012533b89b71a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3a3012533b89b71a: examples/quickstart.rs
+
+examples/quickstart.rs:

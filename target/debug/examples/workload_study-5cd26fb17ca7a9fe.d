@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_study-5cd26fb17ca7a9fe.d: examples/workload_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_study-5cd26fb17ca7a9fe.rmeta: examples/workload_study.rs Cargo.toml
+
+examples/workload_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_study-b1f0e8088b882218.d: examples/workload_study.rs
+
+/root/repo/target/debug/examples/workload_study-b1f0e8088b882218: examples/workload_study.rs
+
+examples/workload_study.rs:

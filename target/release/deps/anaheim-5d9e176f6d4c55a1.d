@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anaheim-5d9e176f6d4c55a1.d: src/lib.rs
+
+/root/repo/target/release/deps/libanaheim-5d9e176f6d4c55a1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanaheim-5d9e176f6d4c55a1.rmeta: src/lib.rs
+
+src/lib.rs:

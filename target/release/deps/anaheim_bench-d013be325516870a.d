@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/anaheim_bench-d013be325516870a.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libanaheim_bench-d013be325516870a.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libanaheim_bench-d013be325516870a.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/anaheim_core-50ccda2a160f6d6e.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+/root/repo/target/release/deps/libanaheim_core-50ccda2a160f6d6e.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+/root/repo/target/release/deps/libanaheim_core-50ccda2a160f6d6e.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/ir.rs crates/core/src/params.rs crates/core/src/passes.rs crates/core/src/report.rs crates/core/src/schedule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/ir.rs:
+crates/core/src/params.rs:
+crates/core/src/passes.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-c6dfecf69859618f.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-c6dfecf69859618f: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

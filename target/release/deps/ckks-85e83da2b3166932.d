@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/ckks-85e83da2b3166932.d: crates/ckks/src/lib.rs crates/ckks/src/bootstrap.rs crates/ckks/src/chebyshev.rs crates/ckks/src/ciphertext.rs crates/ckks/src/compare.rs crates/ckks/src/complex.rs crates/ckks/src/context.rs crates/ckks/src/encoding.rs crates/ckks/src/eval.rs crates/ckks/src/keys.rs crates/ckks/src/keyswitch.rs crates/ckks/src/lintrans.rs crates/ckks/src/matrix.rs crates/ckks/src/noise.rs crates/ckks/src/opcount.rs crates/ckks/src/params.rs crates/ckks/src/polyeval.rs crates/ckks/src/serial.rs crates/ckks/src/slots.rs crates/ckks/src/specialfft.rs
+
+/root/repo/target/release/deps/libckks-85e83da2b3166932.rlib: crates/ckks/src/lib.rs crates/ckks/src/bootstrap.rs crates/ckks/src/chebyshev.rs crates/ckks/src/ciphertext.rs crates/ckks/src/compare.rs crates/ckks/src/complex.rs crates/ckks/src/context.rs crates/ckks/src/encoding.rs crates/ckks/src/eval.rs crates/ckks/src/keys.rs crates/ckks/src/keyswitch.rs crates/ckks/src/lintrans.rs crates/ckks/src/matrix.rs crates/ckks/src/noise.rs crates/ckks/src/opcount.rs crates/ckks/src/params.rs crates/ckks/src/polyeval.rs crates/ckks/src/serial.rs crates/ckks/src/slots.rs crates/ckks/src/specialfft.rs
+
+/root/repo/target/release/deps/libckks-85e83da2b3166932.rmeta: crates/ckks/src/lib.rs crates/ckks/src/bootstrap.rs crates/ckks/src/chebyshev.rs crates/ckks/src/ciphertext.rs crates/ckks/src/compare.rs crates/ckks/src/complex.rs crates/ckks/src/context.rs crates/ckks/src/encoding.rs crates/ckks/src/eval.rs crates/ckks/src/keys.rs crates/ckks/src/keyswitch.rs crates/ckks/src/lintrans.rs crates/ckks/src/matrix.rs crates/ckks/src/noise.rs crates/ckks/src/opcount.rs crates/ckks/src/params.rs crates/ckks/src/polyeval.rs crates/ckks/src/serial.rs crates/ckks/src/slots.rs crates/ckks/src/specialfft.rs
+
+crates/ckks/src/lib.rs:
+crates/ckks/src/bootstrap.rs:
+crates/ckks/src/chebyshev.rs:
+crates/ckks/src/ciphertext.rs:
+crates/ckks/src/compare.rs:
+crates/ckks/src/complex.rs:
+crates/ckks/src/context.rs:
+crates/ckks/src/encoding.rs:
+crates/ckks/src/eval.rs:
+crates/ckks/src/keys.rs:
+crates/ckks/src/keyswitch.rs:
+crates/ckks/src/lintrans.rs:
+crates/ckks/src/matrix.rs:
+crates/ckks/src/noise.rs:
+crates/ckks/src/opcount.rs:
+crates/ckks/src/params.rs:
+crates/ckks/src/polyeval.rs:
+crates/ckks/src/serial.rs:
+crates/ckks/src/slots.rs:
+crates/ckks/src/specialfft.rs:

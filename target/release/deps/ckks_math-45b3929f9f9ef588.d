@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ckks_math-45b3929f9f9ef588.d: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/release/deps/libckks_math-45b3929f9f9ef588.rlib: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+/root/repo/target/release/deps/libckks_math-45b3929f9f9ef588.rmeta: crates/ckks-math/src/lib.rs crates/ckks-math/src/modulus.rs crates/ckks-math/src/ntt.rs crates/ckks-math/src/poly.rs crates/ckks-math/src/pool.rs crates/ckks-math/src/prime.rs crates/ckks-math/src/rns.rs crates/ckks-math/src/sampling.rs
+
+crates/ckks-math/src/lib.rs:
+crates/ckks-math/src/modulus.rs:
+crates/ckks-math/src/ntt.rs:
+crates/ckks-math/src/poly.rs:
+crates/ckks-math/src/pool.rs:
+crates/ckks-math/src/prime.rs:
+crates/ckks-math/src/rns.rs:
+crates/ckks-math/src/sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-3515fb89d9b3744c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-3515fb89d9b3744c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

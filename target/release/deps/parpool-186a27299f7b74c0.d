@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parpool-186a27299f7b74c0.d: vendor/parpool/src/lib.rs
+
+/root/repo/target/release/deps/libparpool-186a27299f7b74c0.rlib: vendor/parpool/src/lib.rs
+
+/root/repo/target/release/deps/libparpool-186a27299f7b74c0.rmeta: vendor/parpool/src/lib.rs
+
+vendor/parpool/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pim-fc8d2f868c8a6035.d: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+/root/repo/target/release/deps/libpim-fc8d2f868c8a6035.rlib: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+/root/repo/target/release/deps/libpim-fc8d2f868c8a6035.rmeta: crates/pim/src/lib.rs crates/pim/src/bankexec.rs crates/pim/src/device.rs crates/pim/src/error.rs crates/pim/src/exec.rs crates/pim/src/fault.rs crates/pim/src/isa.rs crates/pim/src/layout.rs crates/pim/src/mmac.rs
+
+crates/pim/src/lib.rs:
+crates/pim/src/bankexec.rs:
+crates/pim/src/device.rs:
+crates/pim/src/error.rs:
+crates/pim/src/exec.rs:
+crates/pim/src/fault.rs:
+crates/pim/src/isa.rs:
+crates/pim/src/layout.rs:
+crates/pim/src/mmac.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workloads-9f08e3fa49afda4b.d: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/libworkloads-9f08e3fa49afda4b.rlib: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/libworkloads-9f08e3fa49afda4b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/catalog.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5ea5ca6e33ff09d4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5ea5ca6e33ff09d4: examples/quickstart.rs
+
+examples/quickstart.rs:

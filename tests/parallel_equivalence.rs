@@ -1,0 +1,156 @@
+//! Bit-exact serial-vs-parallel equivalence for the limb-parallel hot path.
+//!
+//! The `parpool` worker count must be a pure throughput knob: every CKKS
+//! primitive — NTT batches, key switching, rescaling, and whole
+//! bootstrap-shaped circuits — must produce bit-identical polynomials and
+//! identical op counts at every thread count. These tests sweep
+//! `parpool::set_threads` over {1, 2, 8} and compare against the serial
+//! baseline. Run them under different `ANAHEIM_THREADS` values too
+//! (`scripts/check.sh` does both 1 and 8): the env var sets the *starting*
+//! count, and `set_threads` overrides it per sweep point.
+
+use anaheim::ckks::keys::KeyGenerator;
+use anaheim::ckks::keyswitch::KeySwitcher;
+use anaheim::ckks::opcount::{self, OpCounts};
+use anaheim::ckks::prelude::*;
+use anaheim::math::poly::{Format, Poly};
+use anaheim::math::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes access to the global parpool thread-count override.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+struct Fixture {
+    ctx: CkksContext,
+    keys: KeySet,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .levels(6)
+                .alpha(2)
+                .scale_bits(40)
+                .build(),
+        );
+        let mut rng = StdRng::seed_from_u64(4242);
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[1, 2]);
+        Fixture { ctx, keys }
+    })
+}
+
+fn poly_data(p: &Poly) -> Vec<Vec<u64>> {
+    (0..p.num_limbs())
+        .map(|i| p.limb(i).data().to_vec())
+        .collect()
+}
+
+fn ct_data(ct: &Ciphertext) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    (poly_data(ct.b()), poly_data(ct.a()))
+}
+
+/// Runs `f` serially, then at 2 and 8 threads, asserting bit-identical
+/// results (including op counts) at every width.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> R) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let counted = |f: &dyn Fn() -> R| -> (R, OpCounts) {
+        let before = opcount::snapshot();
+        let r = f();
+        (r, opcount::snapshot().since(&before))
+    };
+    parpool::set_threads(1);
+    let want = counted(&f);
+    for threads in [2usize, 8] {
+        parpool::set_threads(threads);
+        let got = counted(&f);
+        assert!(
+            got == want,
+            "{what} diverged from serial at {threads} threads"
+        );
+    }
+    parpool::set_threads(0);
+}
+
+#[test]
+fn ntt_roundtrip_is_thread_invariant() {
+    let fix = fixture();
+    let level = fix.ctx.max_level();
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = sampling::uniform(&mut rng, fix.ctx.basis_q(level), Format::Coeff);
+    assert_thread_invariant("NTT round-trip", || {
+        let mut p = base.duplicate();
+        p.to_eval();
+        let eval_data = poly_data(&p);
+        p.to_coeff();
+        (eval_data, poly_data(&p))
+    });
+}
+
+#[test]
+fn keyswitch_is_thread_invariant() {
+    let fix = fixture();
+    let level = fix.ctx.max_level();
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = sampling::uniform(&mut rng, fix.ctx.basis_q(level), Format::Eval);
+    let ks = KeySwitcher::new(&fix.ctx);
+    assert_thread_invariant("key switch", || {
+        let (b, sa) = ks.switch(&a, &fix.keys.relin, level);
+        (poly_data(&b), poly_data(&sa))
+    });
+}
+
+#[test]
+fn rescale_is_thread_invariant() {
+    let fix = fixture();
+    let eval = Evaluator::new(&fix.ctx);
+    let enc = Encoder::new(&fix.ctx);
+    let mut rng = StdRng::seed_from_u64(3);
+    let msg: Vec<Complex> = (0..fix.ctx.slots())
+        .map(|i| Complex::new((i as f64).sin() * 0.3, 0.0))
+        .collect();
+    let pt = enc.encode(&msg, fix.ctx.max_level());
+    let ct = fix.keys.public.encrypt(&pt, &mut rng);
+    let prod = {
+        let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        parpool::set_threads(1);
+        let p = eval.mul_relin(&ct, &ct, &fix.keys.relin);
+        parpool::set_threads(0);
+        p
+    };
+    assert_thread_invariant("rescale", || ct_data(&eval.rescale(&prod)));
+}
+
+#[test]
+fn bootstrap_shaped_circuit_is_thread_invariant() {
+    // A keyswitch-heavy circuit with the op mix of CoeffToSlot/EvalMod
+    // rounds: multiply + relinearize, rescale, rotate, conjugate-free
+    // additions — the exact path where limb, digit, and key-switch
+    // parallelism all compose.
+    let fix = fixture();
+    let eval = Evaluator::new(&fix.ctx);
+    let enc = Encoder::new(&fix.ctx);
+    let mut rng = StdRng::seed_from_u64(4);
+    let msg: Vec<Complex> = (0..fix.ctx.slots())
+        .map(|i| Complex::new((i as f64 * 0.7).cos() * 0.2, (i as f64 * 0.3).sin() * 0.1))
+        .collect();
+    let pt = enc.encode(&msg, fix.ctx.max_level());
+    let ct = fix.keys.public.encrypt(&pt, &mut rng);
+    assert_thread_invariant("bootstrap-shaped circuit", || {
+        let t = eval.mul_relin_rescale(&ct, &ct, &fix.keys.relin);
+        let r1 = eval.rotate(&t, 1, &fix.keys);
+        let t = eval.add(&t, &r1);
+        let t = eval.mul_scalar(&t, 0.5);
+        let t = eval.square_relin(&t, &fix.keys.relin);
+        let t = eval.rescale(&t);
+        let r2 = eval.rotate(&t, 2, &fix.keys);
+        let t = eval.sub(&t, &r2);
+        let t = eval.negate(&t);
+        let t = eval.add_scalar(&t, 0.25);
+        ct_data(&t)
+    });
+}

@@ -1,0 +1,472 @@
+//! Offline, minimal scoped thread pool — an API-compatible subset of the
+//! `rayon` idioms this workspace uses (`scope`/`spawn`, indexed parallel
+//! loops, parallel map).
+//!
+//! The build environment cannot reach crates.io, so like `rand`/`proptest`/
+//! `criterion` this crate is vendored in-tree. It implements exactly the
+//! parallel shapes the CKKS/PIM hot paths need:
+//!
+//! - [`run`] / [`par_range`] — execute `n` independent index tasks;
+//! - [`par_for_each_mut`] — mutate the elements of a slice in parallel;
+//! - [`par_map`] — parallel map over a slice into a fresh `Vec`;
+//! - [`scope`] — rayon-like scope collecting heterogeneous `spawn`s.
+//!
+//! # Scheduling
+//!
+//! One long-lived pool of parked workers is built lazily. Each parallel
+//! section publishes a *job*: a type-erased `Fn(usize)` plus an atomic
+//! cursor over `0..n`. Every participant (the calling thread always joins;
+//! workers join up to the configured thread count) repeatedly *steals* the
+//! next index from the shared bag until the bag is empty — a degenerate
+//! work-stealing scheme with a single shared deque, which is the right
+//! trade-off for the coarse, uniform limb/digit/bank tasks this workspace
+//! runs (tens of microseconds each; queue contention is negligible).
+//!
+//! # Determinism
+//!
+//! Tasks must write disjoint outputs (the helpers guarantee this by
+//! construction). Under that contract results are bit-identical for every
+//! thread count, including 1 — which the workspace's
+//! `parallel_equivalence` suite asserts end to end.
+//!
+//! # Configuration
+//!
+//! - `ANAHEIM_THREADS` (environment): thread count at first use; `1` means
+//!   fully serial (no pool interaction at all).
+//! - [`set_threads`]: runtime override, used by benchmarks and tests to
+//!   sweep thread counts inside one process.
+//!
+//! Nested parallel sections (a parallel region entered from inside a pool
+//! task, or while another job is in flight) degrade to serial inline
+//! execution instead of deadlocking.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::mem::MaybeUninit;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::thread;
+
+/// Hard cap on pool size; far above anything the simulator benefits from.
+const MAX_POOL: usize = 64;
+
+/// Workers always built, so tests can `set_threads(8)` on small machines.
+const MIN_BUILT: usize = 8;
+
+struct Job {
+    /// Type-erased borrow of the caller's task closure. Only dereferenced
+    /// for successfully claimed indices `< n`, all of which complete before
+    /// the submitting call returns — so the borrow never outlives its
+    /// referent.
+    task: *const (dyn Fn(usize) + Sync),
+    n: usize,
+    /// Next index to claim.
+    cursor: AtomicUsize,
+    /// Indices not yet completed; the caller returns when this hits zero.
+    pending: AtomicUsize,
+    /// Workers that joined this job (the caller is participant zero).
+    participants: AtomicUsize,
+    /// Maximum worker participants (thread count minus the caller).
+    max_workers: usize,
+    /// First panic payload from any task, re-thrown on the calling thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: the raw task pointer is only dereferenced under the lifetime
+// protocol documented on `Job::task`; all other fields are Send + Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Wakes workers when a new job is published.
+    work_cv: Condvar,
+    /// Wakes the caller when the last index of its job completes.
+    done_cv: Condvar,
+    built_workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static SPAWN: Once = Once::new();
+/// 0 = unset (resolve from env/hardware on first read).
+static ACTIVE_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn hardware_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("ANAHEIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, MAX_POOL))
+}
+
+fn built_workers() -> usize {
+    hardware_threads()
+        .max(env_threads().unwrap_or(0))
+        .clamp(MIN_BUILT, MAX_POOL)
+}
+
+fn pool() -> &'static Pool {
+    let p = POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            epoch: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        built_workers: built_workers(),
+    });
+    SPAWN.call_once(|| {
+        // Workers beyond the caller: built - 1.
+        for i in 0..p.built_workers.saturating_sub(1) {
+            thread::Builder::new()
+                .name(format!("parpool-{i}"))
+                .spawn(|| worker_loop(POOL.get().expect("pool initialized")))
+                .expect("spawning parpool worker");
+        }
+    });
+    p
+}
+
+/// The effective thread count for parallel sections: the [`set_threads`]
+/// override if present, else `ANAHEIM_THREADS`, else the hardware count.
+pub fn num_threads() -> usize {
+    match ACTIVE_THREADS.load(Ordering::Relaxed) {
+        0 => env_threads().unwrap_or_else(hardware_threads).min(MAX_POOL),
+        n => n,
+    }
+}
+
+/// Overrides the thread count at runtime (clamped to the built pool size).
+/// Returns the effective value. `set_threads(1)` restores fully serial
+/// execution; `set_threads(0)` resets to the environment default.
+pub fn set_threads(n: usize) -> usize {
+    let eff = if n == 0 {
+        0
+    } else {
+        n.clamp(1, built_workers())
+    };
+    ACTIVE_THREADS.store(eff, Ordering::Relaxed);
+    num_threads()
+}
+
+/// True on pool worker threads (parallel sections entered here run inline).
+pub fn is_worker() -> bool {
+    IS_WORKER.get()
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IS_WORKER.set(true);
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("pool lock");
+            loop {
+                if st.epoch != last_epoch {
+                    if let Some(j) = &st.job {
+                        last_epoch = st.epoch;
+                        break j.clone();
+                    }
+                    // Job already retired; don't re-wake for this epoch.
+                    last_epoch = st.epoch;
+                }
+                st = pool.work_cv.wait(st).expect("pool lock");
+            }
+        };
+        if job.participants.fetch_add(1, Ordering::Relaxed) < job.max_workers {
+            claim_loop(pool, &job);
+        }
+    }
+}
+
+fn claim_loop(pool: &Pool, job: &Job) {
+    loop {
+        let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            return;
+        }
+        // SAFETY: index i was claimed, so the submitting call has not
+        // returned yet and the closure is alive (see `Job::task`).
+        let task = unsafe { &*job.task };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| task(i)));
+        if let Err(payload) = result {
+            let mut slot = job.panic.lock().expect("panic slot");
+            slot.get_or_insert(payload);
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last index done: wake the caller (lock pairs with its wait).
+            let _guard = pool.state.lock().expect("pool lock");
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+fn run_serial(n: usize, task: &(dyn Fn(usize) + Sync)) {
+    for i in 0..n {
+        task(i);
+    }
+}
+
+/// Executes `task(0), …, task(n-1)` across the pool. Tasks must write
+/// disjoint outputs. Falls back to inline serial execution when the thread
+/// count is 1, `n < 2`, the caller is itself a pool worker, or another job
+/// is already in flight.
+pub fn run(n: usize, task: &(dyn Fn(usize) + Sync)) {
+    let threads = num_threads();
+    if threads <= 1 || n < 2 || is_worker() {
+        run_serial(n, task);
+        return;
+    }
+    let pool = pool();
+    // Erase the task borrow's lifetime; `Job::task` documents the protocol
+    // that keeps the dereferences inside the borrow's real lifetime.
+    let task_ptr: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task)
+    };
+    let job = Arc::new(Job {
+        task: task_ptr,
+        n,
+        cursor: AtomicUsize::new(0),
+        pending: AtomicUsize::new(n),
+        participants: AtomicUsize::new(0),
+        max_workers: threads - 1,
+        panic: Mutex::new(None),
+    });
+    {
+        let mut st = pool.state.lock().expect("pool lock");
+        if st.job.is_some() {
+            // Another thread's job is in flight; run inline rather than
+            // queueing (keeps the pool single-job and deadlock-free).
+            drop(st);
+            run_serial(n, task);
+            return;
+        }
+        st.job = Some(job.clone());
+        st.epoch += 1;
+        pool.work_cv.notify_all();
+    }
+    // The caller is always a participant.
+    claim_loop(pool, &job);
+    let mut st = pool.state.lock().expect("pool lock");
+    while job.pending.load(Ordering::Acquire) != 0 {
+        st = pool.done_cv.wait(st).expect("pool lock");
+    }
+    st.job = None;
+    drop(st);
+    let payload = job.panic.lock().expect("panic slot").take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Indexed parallel loop (generic-closure convenience over [`run`]).
+pub fn par_range(n: usize, f: impl Fn(usize) + Sync) {
+    run(n, &f);
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: used only to hand each task a pointer to a distinct element.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    // Method (rather than field) access so closures capture `&SendPtr`
+    // — which is Sync — instead of the raw `*mut T` field.
+    #[inline]
+    fn at(&self, i: usize) -> *mut T {
+        // SAFETY: callers index within the slice/buffer this was built from.
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Mutates each slice element in parallel: `f(i, &mut items[i])`.
+pub fn par_for_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(items: &mut [T], f: F) {
+    let base = SendPtr(items.as_mut_ptr());
+    run(items.len(), &|i| {
+        // SAFETY: each index is claimed exactly once, so the &mut refs are
+        // disjoint; `base` outlives the call because `run` joins all tasks.
+        let item = unsafe { &mut *base.at(i) };
+        f(i, item);
+    });
+}
+
+/// Parallel map: returns `[f(0, &items[0]), …]` with the same ordering as a
+/// serial map.
+pub fn par_map<T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    let n = items.len();
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialization; every slot is written
+    // below before the transmute-by-parts.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    run(n, &|i| {
+        let value = f(i, &items[i]);
+        // SAFETY: disjoint slots, one writer per index.
+        unsafe { (*base.at(i)).write(value) };
+    });
+    // SAFETY: all n slots are initialized (run() completed without panic;
+    // on panic we leak the partially initialized buffer, which is safe).
+    let ptr = out.as_mut_ptr() as *mut U;
+    let cap = out.capacity();
+    std::mem::forget(out);
+    unsafe { Vec::from_raw_parts(ptr, n, cap) }
+}
+
+/// A rayon-like scope: closures spawned onto it run in parallel after the
+/// scope body returns; [`scope`] joins them all before returning.
+pub struct Scope<'s> {
+    tasks: RefCell<Vec<Box<dyn FnOnce() + Send + 's>>>,
+}
+
+impl<'s> Scope<'s> {
+    /// Queues `f` for parallel execution at scope exit.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 's) {
+        self.tasks.borrow_mut().push(Box::new(f));
+    }
+}
+
+/// Runs `body`, then executes everything it spawned in parallel, joining
+/// all tasks (and propagating the first panic) before returning.
+pub fn scope<'s, R>(body: impl FnOnce(&Scope<'s>) -> R) -> R {
+    let s = Scope {
+        tasks: RefCell::new(Vec::new()),
+    };
+    type TaskSlot<'s> = Mutex<Option<Box<dyn FnOnce() + Send + 's>>>;
+    let result = body(&s);
+    let tasks = s.tasks.into_inner();
+    let slots: Vec<TaskSlot<'s>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run(slots.len(), &|i| {
+        let task = slots[i].lock().expect("task slot").take();
+        if let Some(task) = task {
+            task();
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that touch the global thread-count override.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(n);
+        let r = f();
+        set_threads(0);
+        r
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial() {
+        for threads in [1usize, 2, 8] {
+            with_threads(threads, || {
+                let mut v: Vec<u64> = (0..1000).collect();
+                par_for_each_mut(&mut v, |i, x| *x = *x * 3 + i as u64);
+                let want: Vec<u64> = (0..1000u64).map(|i| i * 3 + i).collect();
+                assert_eq!(v, want, "threads={threads}");
+            });
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1usize, 4] {
+            with_threads(threads, || {
+                let v: Vec<usize> = (0..257).collect();
+                let out = par_map(&v, |i, &x| x * x + i);
+                let want: Vec<usize> = (0..257).map(|x| x * x + x).collect();
+                assert_eq!(out, want);
+            });
+        }
+    }
+
+    #[test]
+    fn all_indices_run_exactly_once() {
+        with_threads(8, || {
+            let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+            run(500, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn nested_sections_run_inline() {
+        with_threads(4, || {
+            let total = AtomicU64::new(0);
+            run(8, &|_| {
+                // Inner section from a pool task must not deadlock.
+                run(8, &|_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 64);
+        });
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        with_threads(4, || {
+            let a = AtomicU64::new(0);
+            let b = AtomicU64::new(0);
+            let r = scope(|s| {
+                s.spawn(|| {
+                    a.store(7, Ordering::Relaxed);
+                });
+                s.spawn(|| {
+                    b.store(9, Ordering::Relaxed);
+                });
+                42
+            });
+            assert_eq!(r, 42);
+            assert_eq!(a.load(Ordering::Relaxed), 7);
+            assert_eq!(b.load(Ordering::Relaxed), 9);
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        with_threads(4, || {
+            let caught = panic::catch_unwind(|| {
+                run(64, &|i| {
+                    if i == 13 {
+                        panic!("boom at 13");
+                    }
+                });
+            });
+            assert!(caught.is_err(), "task panic must surface");
+            // The pool must remain usable afterwards.
+            let n = AtomicU64::new(0);
+            run(16, &|_| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), 16);
+        });
+    }
+
+    #[test]
+    fn set_threads_clamps_and_resets() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(set_threads(1), 1);
+        assert!(set_threads(10_000) <= MAX_POOL);
+        set_threads(0); // reset to environment default
+        assert!(num_threads() >= 1);
+    }
+}
