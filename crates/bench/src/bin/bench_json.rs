@@ -3,7 +3,10 @@
 //! Emits `BENCH_ckks.json` and `BENCH_pim.json` (arrays of
 //! `{op, n, limbs, threads, ns_per_op}` records) into the current
 //! directory, sweeping the `parpool` worker count so the speedup of the
-//! limb/digit/bank parallel axes is visible from one run.
+//! limb/digit/bank parallel axes is visible from one run, plus
+//! `BENCH_serving.json` — serving-layer soak counters (completions,
+//! deadline misses, sheds, breaker activity) for a clean and a chaos
+//! scenario at a fixed seed.
 //!
 //! Usage: `bench_json [--quick]`
 //!
@@ -249,6 +252,69 @@ fn bench_pim(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
     parpool::set_threads(0);
 }
 
+/// Runs the serving-layer soak in a clean and a chaos scenario and emits
+/// the headline counters. These are virtual-time results — deterministic
+/// for a given seed, so regressions show up as diffs, not noise.
+fn bench_serving(quick: bool) {
+    use serving::soak::{check_invariants, run_soak, SoakConfig};
+    let requests = if quick { 48 } else { 240 };
+    let scenarios = [
+        ("clean", SoakConfig::clean(2024)),
+        ("chaos", SoakConfig::chaos(2024)),
+    ];
+    let mut s = String::from("[\n");
+    println!("\nServing soak ({requests} requests, seed 2024)");
+    for (i, (name, base)) in scenarios.iter().enumerate() {
+        let cfg = SoakConfig {
+            requests,
+            // The chaos stuck-lane window is sized for the full trace;
+            // rescale it so the quick run still exercises the breaker.
+            stuck_window: base.stuck_window.map(|(a, b)| {
+                let scale = requests as f64 / base.requests as f64;
+                (
+                    (a as f64 * scale) as usize,
+                    ((b as f64 * scale) as usize).max((a as f64 * scale) as usize + 4),
+                )
+            }),
+            ..base.clone()
+        };
+        let out = run_soak(&cfg).unwrap_or_else(|e| panic!("{name} soak failed: {e}"));
+        let sum = check_invariants(&cfg, &out)
+            .unwrap_or_else(|e| panic!("{name} soak invariant violated: {e}"));
+        println!("  {name:5} {sum}");
+        s.push_str(&format!(
+            "  {{\"scenario\": \"{}\", \"requests\": {}, \"completed\": {}, \
+             \"deadline_misses\": {}, \"shed_queue_full\": {}, \"shed_infeasible\": {}, \
+             \"faults\": {}, \"breaker_skips\": {}, \"transitions\": {}, \"dead_banks\": {}}}{}\n",
+            name,
+            requests,
+            sum.completed,
+            sum.deadline_misses,
+            sum.shed_queue_full,
+            sum.shed_infeasible,
+            sum.faults,
+            sum.breaker_skips,
+            sum.transitions,
+            sum.dead_banks,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+        if *name == "chaos" {
+            for b in &out.snapshot.banks {
+                println!(
+                    "        bank {}: {} ({} trip(s){})",
+                    b.bank,
+                    b.state,
+                    b.trips,
+                    if b.permanent { ", permanent" } else { "" }
+                );
+            }
+        }
+    }
+    s.push_str("]\n");
+    std::fs::write("BENCH_serving.json", s)
+        .unwrap_or_else(|e| panic!("writing BENCH_serving.json: {e}"));
+}
+
 /// Measures how much parallel CPU the machine actually grants: the
 /// throughput ratio of two spin threads vs one. Containers often report
 /// more hardware threads than their cgroup/host contention delivers, and
@@ -298,8 +364,11 @@ fn main() {
     write_json("BENCH_pim.json", &pim_records);
     print_summary("PIM", &pim_records);
 
+    bench_serving(quick);
+
     println!(
-        "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records)",
+        "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records), \
+         BENCH_serving.json (2 scenarios)",
         ckks_records.len(),
         pim_records.len()
     );

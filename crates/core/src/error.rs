@@ -15,12 +15,25 @@ pub enum RunError {
     /// A PIM kernel failed in a way the GPU fallback cannot absorb
     /// (unsupported instruction, malformed schedule).
     Pim(PimError),
+    /// A [`crate::health::HealthRegistry`] sized for a different device was
+    /// attached: its bank-domain count must match the device's die groups,
+    /// or breaker state would be attributed to the wrong banks.
+    HealthDomainMismatch {
+        /// Domains in the attached registry.
+        registry: usize,
+        /// Die groups on the scheduled device.
+        device: usize,
+    },
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Pim(e) => write!(f, "PIM execution failed: {e}"),
+            RunError::HealthDomainMismatch { registry, device } => write!(
+                f,
+                "health registry has {registry} bank domain(s) but the device has {device} die group(s)"
+            ),
         }
     }
 }
@@ -29,6 +42,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Pim(e) => Some(e),
+            RunError::HealthDomainMismatch { .. } => None,
         }
     }
 }

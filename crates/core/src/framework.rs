@@ -12,10 +12,11 @@ use pim::fault::FaultPlan;
 use pim::layout::LayoutPolicy;
 
 use crate::error::RunError;
+use crate::health::{HealthRegistry, RetryPolicy};
 use crate::ir::OpSequence;
 use crate::passes::{fuse, offload_measured, FusionConfig};
 use crate::report::ExecutionReport;
-use crate::schedule::{footprint_bytes, Scheduler};
+use crate::schedule::{footprint_bytes, Scheduler, MAX_PIM_RETRIES};
 
 /// Whether the PIM devices participate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,8 @@ pub struct AnaheimConfig {
     pub mode: ExecMode,
     /// Fault-injection plan for the PIM path (`None` = fault-free).
     pub fault: Option<FaultPlan>,
+    /// Retry discipline for transient PIM failures.
+    pub retry: RetryPolicy,
 }
 
 impl AnaheimConfig {
@@ -59,6 +62,7 @@ impl AnaheimConfig {
             fusion: FusionConfig::gpu_baseline(),
             mode: ExecMode::GpuOnly,
             fault: None,
+            retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
         }
     }
 
@@ -73,6 +77,7 @@ impl AnaheimConfig {
             fusion: FusionConfig::full(),
             mode: ExecMode::GpuWithPim,
             fault: None,
+            retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
         }
     }
 
@@ -80,6 +85,12 @@ impl AnaheimConfig {
     /// faults and degrade to the GPU when integrity checks fail.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Overrides the retry discipline for transient PIM failures.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -166,6 +177,11 @@ impl Anaheim {
         &self.config
     }
 
+    /// The GPU performance model built from the configuration.
+    pub fn model(&self) -> &GpuModel {
+        &self.model
+    }
+
     /// Checks whether a sequence's data fits the device (§VIII-B).
     pub fn check_capacity(&self, seq: &OpSequence) -> CapacityCheck {
         let footprint = footprint_bytes(seq);
@@ -213,8 +229,68 @@ impl Anaheim {
         }
     }
 
+    /// Like [`Anaheim::run_prepared`], but breaker-gated through the given
+    /// [`HealthRegistry`]. The sequence must already be fused/offloaded —
+    /// the serving layer prepares requests in parallel and then schedules
+    /// them serially through this entry point.
+    pub fn run_prepared_with_health(
+        &self,
+        seq: &OpSequence,
+        registry: &mut HealthRegistry,
+    ) -> Result<ExecutionReport, RunError> {
+        match (self.config.mode, &self.config.pim) {
+            (ExecMode::GpuWithPim, Some(dev)) => {
+                self.pim_scheduler(dev).run_with_health(seq, registry)
+            }
+            _ => Scheduler::gpu_only(&self.model).run(seq),
+        }
+    }
+
+    /// Prepares a sequence for [`Anaheim::run_prepared_with_health`]:
+    /// applies the configured fusion pipeline and, in PIM mode, the
+    /// measured offload pass. Pure — safe to run in parallel across
+    /// requests.
+    pub fn prepare(&self, seq: &mut OpSequence) {
+        fuse(seq, &self.config.fusion);
+        if let (ExecMode::GpuWithPim, Some(dev)) = (self.config.mode, &self.config.pim) {
+            offload_measured(
+                seq,
+                &self.model,
+                dev,
+                self.config.layout,
+                crate::schedule::TRANSITION_NS,
+            );
+        }
+    }
+
+    /// Like [`Anaheim::run`], but with per-bank circuit breaking driven by
+    /// (and feeding back into) the given [`HealthRegistry`]. The registry
+    /// persists across calls — this is the entry point the serving layer
+    /// uses so one request's faults inform the routing of the next.
+    pub fn run_with_health(
+        &self,
+        mut seq: OpSequence,
+        registry: &mut HealthRegistry,
+    ) -> Result<ExecutionReport, RunError> {
+        fuse(&mut seq, &self.config.fusion);
+        match (self.config.mode, &self.config.pim) {
+            (ExecMode::GpuWithPim, Some(dev)) => {
+                offload_measured(
+                    &mut seq,
+                    &self.model,
+                    dev,
+                    self.config.layout,
+                    crate::schedule::TRANSITION_NS,
+                );
+                self.pim_scheduler(dev).run_with_health(&seq, registry)
+            }
+            _ => Scheduler::gpu_only(&self.model).run(&seq),
+        }
+    }
+
     fn pim_scheduler<'a>(&'a self, dev: &'a PimDeviceConfig) -> Scheduler<'a> {
-        let mut s = Scheduler::with_pim(&self.model, dev, self.config.layout);
+        let mut s = Scheduler::with_pim(&self.model, dev, self.config.layout)
+            .with_retry_policy(self.config.retry);
         if let Some(plan) = self.config.fault {
             s = s.with_fault_plan(plan);
         }

@@ -23,6 +23,7 @@
 pub mod build;
 pub mod error;
 pub mod framework;
+pub mod health;
 pub mod ir;
 pub mod params;
 pub mod passes;
@@ -31,6 +32,10 @@ pub mod schedule;
 
 pub use error::RunError;
 pub use framework::{Anaheim, AnaheimConfig, ExecMode};
+pub use health::{
+    BankStatus, BreakerConfig, BreakerState, BreakerTransition, HealthCounters, HealthRegistry,
+    HealthSnapshot, RetryPolicy,
+};
 pub use ir::{Op, OpKind, OpSequence};
 pub use params::ParamSet;
 pub use report::ExecutionReport;

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::health::BreakerTransition;
 use crate::ir::Executor;
 
 /// One bar of the execution timeline.
@@ -52,6 +53,16 @@ pub struct ExecutionReport {
     pub pim_retries: u32,
     /// Degraded-mode segments: wasted PIM attempts plus GPU re-executions.
     pub degraded_segments: u32,
+    /// Kernels that exhausted their PIM attempts and re-executed on the GPU.
+    pub pim_fallbacks: u32,
+    /// Kernels routed straight to the GPU because their bank's circuit
+    /// breaker was open (no PIM attempt was made).
+    pub breaker_skips: u32,
+    /// Idle time charged to the timeline by retry backoff (ns).
+    pub backoff_ns: f64,
+    /// Breaker state changes that occurred during this run (also appended
+    /// to the attached [`crate::health::HealthRegistry`]'s log).
+    pub breaker_transitions: Vec<BreakerTransition>,
 }
 
 impl ExecutionReport {
@@ -171,6 +182,13 @@ impl ExecutionReport {
             line.push_str(&format!(
                 ", {} fault(s) detected ({} retries, {} degraded segments)",
                 self.faults_detected, self.pim_retries, self.degraded_segments
+            ));
+        }
+        if !self.breaker_transitions.is_empty() || self.breaker_skips > 0 {
+            line.push_str(&format!(
+                ", {} breaker transition(s) ({} kernels routed around)",
+                self.breaker_transitions.len(),
+                self.breaker_skips
             ));
         }
         line

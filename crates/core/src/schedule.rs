@@ -9,10 +9,22 @@
 //! With a [`FaultPlan`] attached, every PIM kernel runs under fault
 //! injection and its post-kernel integrity check can fail. The scheduler
 //! then degrades gracefully instead of propagating the failure: transient
-//! faults get up to [`MAX_PIM_RETRIES`] PIM retries, hard faults (a stuck
+//! faults are retried under the configured [`RetryPolicy`] (default: the
+//! legacy [`MAX_PIM_RETRIES`] immediate retries), hard faults (a stuck
 //! MMAC lane) permanently disable the PIM path, and whatever still fails
-//! re-executes on the GPU. Every wasted attempt and GPU re-execution is
-//! charged to the timeline and recorded as a degraded segment.
+//! re-executes on the GPU. Every wasted attempt, backoff, and GPU
+//! re-execution is charged to the timeline and recorded as a degraded
+//! segment.
+//!
+//! With a [`HealthRegistry`] attached ([`Scheduler::run_with_health`]), the
+//! degradation becomes *bank-scoped and stateful*: each PIM kernel is
+//! attributed to a bank health domain (die group), integrity failures feed
+//! that domain's circuit breaker, open breakers route their kernels
+//! straight to the GPU while healthy domains keep serving PIM traffic, and
+//! half-open probes bring recovered banks back. A hard fault opens only the
+//! owning domain's breaker — permanently — instead of disabling PIM
+//! wholesale. The registry persists across runs, which is how the serving
+//! layer makes per-bank decisions *over time*.
 
 use gpu::cache::L2Cache;
 use gpu::kernel::{KernelClass, KernelDesc};
@@ -20,18 +32,21 @@ use gpu::model::GpuModel;
 use pim::device::PimDeviceConfig;
 use pim::error::PimError;
 use pim::exec::{PimExecutor, PimKernelSpec};
-use pim::fault::{FaultInjector, FaultPlan};
+use pim::fault::{BankDomain, FaultInjector, FaultPlan};
 use pim::layout::LayoutPolicy;
 
 use crate::error::RunError;
+use crate::health::{HealthRegistry, PathDecision, RetryPolicy};
 use crate::ir::{Executor, ObjKind, Op, OpKind, OpSequence};
 use crate::report::{ExecutionReport, GanttSegment};
 
 /// GPU↔PIM transition cost (§V-C: "a couple of microseconds").
 pub const TRANSITION_NS: f64 = 2000.0;
 
-/// PIM retries granted to a kernel after transient integrity failures
-/// before it falls back to the GPU.
+/// Legacy default: PIM retries granted to a kernel after transient
+/// integrity failures before it falls back to the GPU. Schedulers built
+/// without an explicit [`RetryPolicy`] behave exactly as if
+/// `RetryPolicy::fixed(MAX_PIM_RETRIES)` were configured.
 pub const MAX_PIM_RETRIES: u32 = 2;
 
 /// Scheduler binding the execution engines.
@@ -40,6 +55,7 @@ pub struct Scheduler<'a> {
     gpu: &'a GpuModel,
     pim: Option<(&'a PimDeviceConfig, LayoutPolicy)>,
     fault: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl<'a> Scheduler<'a> {
@@ -49,6 +65,7 @@ impl<'a> Scheduler<'a> {
             gpu,
             pim: None,
             fault: None,
+            retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
         }
     }
 
@@ -58,6 +75,7 @@ impl<'a> Scheduler<'a> {
             gpu,
             pim: Some((dev, layout)),
             fault: None,
+            retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
         }
     }
 
@@ -65,6 +83,14 @@ impl<'a> Scheduler<'a> {
     /// degrade to the GPU when their integrity checks fail.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Overrides the retry discipline for transient PIM failures. The
+    /// default, [`RetryPolicy::fixed`]`(MAX_PIM_RETRIES)`, reproduces the
+    /// legacy immediate-retry behaviour bit-for-bit.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -104,6 +130,39 @@ impl<'a> Scheduler<'a> {
     /// under an attached [`FaultPlan`] are handled by retry/degradation and
     /// recorded in the report instead.
     pub fn run(&self, seq: &OpSequence) -> Result<ExecutionReport, RunError> {
+        self.run_inner(seq, None)
+    }
+
+    /// Runs the sequence with per-bank circuit breaking: PIM kernels are
+    /// attributed to the registry's bank domains, failures feed the
+    /// domain breakers, and kernels whose breaker is open skip PIM and run
+    /// on the GPU directly. The registry persists state across calls, so
+    /// repeated runs (e.g. serving requests) accumulate health history.
+    ///
+    /// Fails with [`RunError::HealthDomainMismatch`] if the registry was
+    /// sized for a different device.
+    pub fn run_with_health(
+        &self,
+        seq: &OpSequence,
+        registry: &mut HealthRegistry,
+    ) -> Result<ExecutionReport, RunError> {
+        if let Some((dev, _)) = self.pim {
+            let device = dev.dram.geometry.die_groups;
+            if registry.domains() != device {
+                return Err(RunError::HealthDomainMismatch {
+                    registry: registry.domains(),
+                    device,
+                });
+            }
+        }
+        self.run_inner(seq, Some(registry))
+    }
+
+    fn run_inner(
+        &self,
+        seq: &OpSequence,
+        mut health: Option<&mut HealthRegistry>,
+    ) -> Result<ExecutionReport, RunError> {
         let n = seq.params.n() as u64;
         let mut report = ExecutionReport::default();
         let mut cache = L2Cache::new(self.gpu.config().l2_bytes);
@@ -112,6 +171,7 @@ impl<'a> Scheduler<'a> {
         let mut pim_batch: Vec<(PimKernelSpec, &'static str)> = Vec::new();
         let mut injector = self.fault.map(FaultInjector::new);
         let mut pim_disabled = false;
+        let mut kernel_idx = 0u64;
 
         for op in &seq.ops {
             let target = if self.pim.is_some() && !pim_disabled {
@@ -150,6 +210,8 @@ impl<'a> Scheduler<'a> {
                                 pim,
                                 &mut injector,
                                 &mut pim_disabled,
+                                health.as_deref_mut(),
+                                &mut kernel_idx,
                             )?;
                         }
                         now += TRANSITION_NS;
@@ -182,6 +244,8 @@ impl<'a> Scheduler<'a> {
                 pim,
                 &mut injector,
                 &mut pim_disabled,
+                health,
+                &mut kernel_idx,
             )?;
         }
         report.total_ns = now;
@@ -189,8 +253,11 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Drains queued PIM kernels: executes each (under fault injection when
-    /// configured), retries transient integrity failures, and re-executes
-    /// on the GPU what PIM cannot complete.
+    /// configured), retries transient integrity failures under the retry
+    /// policy, and re-executes on the GPU what PIM cannot complete. With a
+    /// [`HealthRegistry`] attached, routing is breaker-gated per bank
+    /// domain instead of the legacy global `pim_disabled` switch.
+    #[allow(clippy::too_many_arguments)]
     fn flush_pim(
         &self,
         batch: &mut Vec<(PimKernelSpec, &'static str)>,
@@ -199,69 +266,214 @@ impl<'a> Scheduler<'a> {
         pim: (&PimDeviceConfig, LayoutPolicy),
         injector: &mut Option<FaultInjector>,
         pim_disabled: &mut bool,
+        mut health: Option<&mut HealthRegistry>,
+        kernel_idx: &mut u64,
     ) -> Result<(), RunError> {
         if batch.is_empty() {
             return Ok(());
         }
         let exec = PimExecutor::new(pim.0, pim.1);
         for (spec, label) in batch.drain(..) {
-            if *pim_disabled {
-                // A prior hard fault took the PIM path out; the rest of
-                // the batch re-executes on the GPU.
-                self.fallback_on_gpu(&exec, &spec, label, now, report);
-                continue;
-            }
-            let mut retries = 0u32;
-            loop {
-                let outcome = match injector.as_mut() {
-                    Some(inj) => exec.execute_with_faults(&spec, inj),
-                    None => exec.execute(&spec),
-                };
-                match outcome {
-                    Ok(r) => {
-                        let start = *now;
-                        *now += r.latency_ns;
-                        report.energy_j += r.energy_joules(pim.0);
-                        report.pim_dram_bytes += r.bytes_internal;
-                        report.push_segment(GanttSegment {
-                            start_ns: start,
-                            end_ns: *now,
-                            executor: Executor::Pim,
-                            class: "element-wise",
-                            label,
-                            degraded: false,
-                        });
-                        break;
-                    }
-                    Err(PimError::IntegrityViolation(violation)) => {
-                        report.faults_detected += 1;
-                        // The failed attempt still burned time and energy.
-                        let start = *now;
-                        *now += violation.wasted.latency_ns;
-                        report.energy_j += violation.wasted.energy_joules(pim.0);
-                        report.pim_dram_bytes += violation.wasted.bytes_internal;
-                        report.push_segment(GanttSegment {
-                            start_ns: start,
-                            end_ns: *now,
-                            executor: Executor::Pim,
-                            class: "element-wise",
-                            label,
-                            degraded: true,
-                        });
-                        if violation.is_permanent() {
-                            // Hard fault (stuck MMAC lane): retrying on PIM
-                            // cannot succeed — disable the path for good.
-                            *pim_disabled = true;
-                        } else if retries < MAX_PIM_RETRIES {
-                            retries += 1;
-                            report.pim_retries += 1;
-                            continue;
-                        }
-                        self.fallback_on_gpu(&exec, &spec, label, now, report);
-                        break;
-                    }
-                    Err(e) => return Err(RunError::Pim(e)),
+            let kid = *kernel_idx;
+            *kernel_idx += 1;
+            match health.as_deref_mut() {
+                Some(reg) => {
+                    self.run_kernel_with_health(
+                        &exec, spec, label, now, report, pim.0, injector, reg, kid,
+                    )?;
                 }
+                None => {
+                    self.run_kernel_legacy(
+                        &exec,
+                        spec,
+                        label,
+                        now,
+                        report,
+                        pim.0,
+                        injector,
+                        pim_disabled,
+                        kid,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges a PIM attempt (successful or wasted) to the timeline.
+    fn charge_pim_segment(
+        &self,
+        r: &pim::exec::PimKernelResult,
+        label: &'static str,
+        degraded: bool,
+        now: &mut f64,
+        report: &mut ExecutionReport,
+        dev: &PimDeviceConfig,
+    ) {
+        let start = *now;
+        *now += r.latency_ns;
+        report.energy_j += r.energy_joules(dev);
+        report.pim_dram_bytes += r.bytes_internal;
+        report.push_segment(GanttSegment {
+            start_ns: start,
+            end_ns: *now,
+            executor: Executor::Pim,
+            class: "element-wise",
+            label,
+            degraded,
+        });
+    }
+
+    /// Computes (and charges, if affordable) the backoff before the next
+    /// retry of kernel `kid`. Returns false when the backoff budget is
+    /// exhausted and the kernel should fall back instead.
+    fn charge_backoff(
+        &self,
+        kid: u64,
+        attempt: u32,
+        backoff_spent: &mut f64,
+        now: &mut f64,
+        report: &mut ExecutionReport,
+    ) -> bool {
+        let b = self.retry.backoff_ns(kid, attempt);
+        if *backoff_spent + b > self.retry.budget_ns {
+            return false;
+        }
+        *backoff_spent += b;
+        *now += b;
+        report.backoff_ns += b;
+        true
+    }
+
+    /// The legacy (registry-free) degradation path: policy-driven retries
+    /// and a global PIM kill switch on the first hard fault.
+    #[allow(clippy::too_many_arguments)]
+    fn run_kernel_legacy(
+        &self,
+        exec: &PimExecutor<'_>,
+        spec: PimKernelSpec,
+        label: &'static str,
+        now: &mut f64,
+        report: &mut ExecutionReport,
+        dev: &PimDeviceConfig,
+        injector: &mut Option<FaultInjector>,
+        pim_disabled: &mut bool,
+        kid: u64,
+    ) -> Result<(), RunError> {
+        if *pim_disabled {
+            // A prior hard fault took the PIM path out; the rest of the
+            // batch re-executes on the GPU.
+            self.fallback_on_gpu(exec, &spec, label, now, report);
+            return Ok(());
+        }
+        let mut retries = 0u32;
+        let mut backoff_spent = 0.0f64;
+        loop {
+            let outcome = match injector.as_mut() {
+                Some(inj) => exec.execute_with_faults(&spec, inj),
+                None => exec.execute(&spec),
+            };
+            match outcome {
+                Ok(r) => {
+                    self.charge_pim_segment(&r, label, false, now, report, dev);
+                    break;
+                }
+                Err(PimError::IntegrityViolation(violation)) => {
+                    report.faults_detected += 1;
+                    // The failed attempt still burned time and energy.
+                    self.charge_pim_segment(&violation.wasted, label, true, now, report, dev);
+                    if violation.is_permanent() {
+                        // Hard fault (stuck MMAC lane): retrying on PIM
+                        // cannot succeed — disable the path for good.
+                        *pim_disabled = true;
+                    } else if retries < self.retry.max_retries
+                        && self.charge_backoff(kid, retries + 1, &mut backoff_spent, now, report)
+                    {
+                        retries += 1;
+                        report.pim_retries += 1;
+                        continue;
+                    }
+                    report.pim_fallbacks += 1;
+                    self.fallback_on_gpu(exec, &spec, label, now, report);
+                    break;
+                }
+                Err(e) => return Err(RunError::Pim(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// The breaker-gated degradation path: the kernel is attributed to a
+    /// bank health domain, an open breaker routes it straight to the GPU,
+    /// and its outcome feeds the domain's breaker. Faults are scoped to
+    /// the owning domain ([`PimExecutor::execute_with_faults_scoped`]), so
+    /// a stuck lane sickens one die group instead of the whole device.
+    #[allow(clippy::too_many_arguments)]
+    fn run_kernel_with_health(
+        &self,
+        exec: &PimExecutor<'_>,
+        spec: PimKernelSpec,
+        label: &'static str,
+        now: &mut f64,
+        report: &mut ExecutionReport,
+        dev: &PimDeviceConfig,
+        injector: &mut Option<FaultInjector>,
+        reg: &mut HealthRegistry,
+        kid: u64,
+    ) -> Result<(), RunError> {
+        let domains = reg.domains() as u32;
+        let bank = reg.assign_domain();
+        let domain = BankDomain::new(bank, domains);
+        let (decision, transition) = reg.decide(bank, *now);
+        if let Some(t) = transition {
+            report.breaker_transitions.push(t);
+        }
+        if decision == PathDecision::Skip {
+            report.breaker_skips += 1;
+            self.fallback_on_gpu(exec, &spec, label, now, report);
+            return Ok(());
+        }
+        let mut retries = 0u32;
+        let mut backoff_spent = 0.0f64;
+        loop {
+            let outcome = match injector.as_mut() {
+                Some(inj) => exec.execute_with_faults_scoped(&spec, inj, Some(domain)),
+                None => exec.execute(&spec),
+            };
+            match outcome {
+                Ok(r) => {
+                    self.charge_pim_segment(&r, label, false, now, report, dev);
+                    if let Some(t) = reg.on_success(bank, *now) {
+                        report.breaker_transitions.push(t);
+                    }
+                    break;
+                }
+                Err(PimError::IntegrityViolation(violation)) => {
+                    report.faults_detected += 1;
+                    reg.counters.faults_detected += 1;
+                    self.charge_pim_segment(&violation.wasted, label, true, now, report, dev);
+                    let permanent = violation.is_permanent();
+                    // A half-open probe gets exactly one attempt; hard
+                    // faults are never retried.
+                    if !permanent
+                        && decision == PathDecision::Allow
+                        && retries < self.retry.max_retries
+                        && self.charge_backoff(kid, retries + 1, &mut backoff_spent, now, report)
+                    {
+                        retries += 1;
+                        report.pim_retries += 1;
+                        reg.counters.pim_retries += 1;
+                        continue;
+                    }
+                    if let Some(t) = reg.on_failure(bank, permanent, *now, violation.cause()) {
+                        report.breaker_transitions.push(t);
+                    }
+                    report.pim_fallbacks += 1;
+                    reg.counters.gpu_fallbacks += 1;
+                    self.fallback_on_gpu(exec, &spec, label, now, report);
+                    break;
+                }
+                Err(e) => return Err(RunError::Pim(e)),
             }
         }
         Ok(())

@@ -137,6 +137,22 @@ impl IntegrityReport {
     pub fn is_permanent(&self) -> bool {
         self.stuck_lane.is_some()
     }
+
+    /// A stable label for the dominant fault cause, used as the `cause`
+    /// field of breaker-transition logs (hard faults dominate transients).
+    pub fn cause(&self) -> &'static str {
+        if self.stuck_lane.is_some() {
+            "stuck-lane"
+        } else if self.bit_flips > 0 {
+            "bit-flip"
+        } else if self.commands_dropped > 0 {
+            "cmd-drop"
+        } else if self.commands_corrupted > 0 {
+            "cmd-corrupt"
+        } else {
+            "unknown"
+        }
+    }
 }
 
 /// Kernel-level PIM failures.

@@ -21,7 +21,7 @@ use dram::engine::{BankCommand, LockstepEngine};
 
 use crate::device::{PimDeviceConfig, PimVariant};
 use crate::error::{IntegrityReport, PimError};
-use crate::fault::FaultInjector;
+use crate::fault::{BankDomain, FaultInjector};
 use crate::isa::PimInstruction;
 use crate::layout::LayoutPolicy;
 
@@ -276,6 +276,23 @@ impl<'a> PimExecutor<'a> {
         spec: &PimKernelSpec,
         injector: &mut FaultInjector,
     ) -> Result<PimKernelResult, PimError> {
+        self.execute_with_faults_scoped(spec, injector, None)
+    }
+
+    /// [`execute_with_faults`](Self::execute_with_faults) scoped to a bank
+    /// health domain: transient faults (bit flips, command perturbations)
+    /// are sampled from the stream as usual and charged to whatever domain
+    /// ran the kernel, but a stuck MMAC lane — a *located* hardware fault —
+    /// only fires when the kernel's domain owns the lane. Bank-scoped
+    /// schedulers use this so one sick die group does not poison kernels
+    /// running on its healthy siblings. `domain = None` reproduces the
+    /// unscoped behaviour (the lane hits every kernel).
+    pub fn execute_with_faults_scoped(
+        &self,
+        spec: &PimKernelSpec,
+        injector: &mut FaultInjector,
+        domain: Option<BankDomain>,
+    ) -> Result<PimKernelResult, PimError> {
         let (clean, acts_per_bank) = self.build_limb_schedule(spec)?;
         let clean_ns = self.time_limb(spec, &clean, acts_per_bank)?;
 
@@ -284,7 +301,8 @@ impl<'a> PimExecutor<'a> {
         let bit_flip = injector.sample_kernel_bit_flip();
         let stuck = injector
             .stuck_lane()
-            .filter(|_| spec.instr.mmac_ops_per_element() > 0);
+            .filter(|_| spec.instr.mmac_ops_per_element() > 0)
+            .filter(|&lane| domain.is_none_or(|d| d.owns_lane(lane)));
 
         let attempt_ns = if cmd_faults.any() {
             match self.time_limb(spec, &perturbed, acts_per_bank) {
@@ -492,6 +510,46 @@ mod tests {
         let seq = e.execute_sequence(&[s1, s2]).unwrap();
         let sum = e.execute(&s1).unwrap().latency_ns + e.execute(&s2).unwrap().latency_ns;
         assert!((seq.latency_ns - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stuck_lane_only_fires_in_its_own_domain() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dev = PimDeviceConfig::a100_near_bank();
+        let e = nb_exec(&dev);
+        let spec = PimKernelSpec {
+            instr: PimInstruction::Add,
+            limbs: 8,
+            n: 1 << 16,
+        };
+        let plan = FaultPlan::none().with_seed(2).with_stuck_lane(5);
+        let domains = 4u32;
+        let sick = BankDomain::of_lane(5, domains);
+
+        // The owning domain sees the hard fault…
+        let mut inj = FaultInjector::new(plan);
+        let err = e
+            .execute_with_faults_scoped(&spec, &mut inj, Some(sick))
+            .unwrap_err();
+        match err {
+            PimError::IntegrityViolation(r) => {
+                assert!(r.is_permanent());
+                assert_eq!(r.cause(), "stuck-lane");
+            }
+            other => panic!("expected IntegrityViolation, got {other}"),
+        }
+
+        // …while every other domain executes cleanly.
+        for idx in (0..domains).filter(|&i| i != sick.index) {
+            let mut inj = FaultInjector::new(plan);
+            let healthy = BankDomain::new(idx, domains);
+            e.execute_with_faults_scoped(&spec, &mut inj, Some(healthy))
+                .unwrap_or_else(|err| panic!("domain {idx} must be healthy: {err}"));
+        }
+
+        // And the unscoped path still hits everything.
+        let mut inj = FaultInjector::new(plan);
+        assert!(e.execute_with_faults_scoped(&spec, &mut inj, None).is_err());
     }
 
     #[test]

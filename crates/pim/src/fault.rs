@@ -41,6 +41,22 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// Derives an independent fault stream for a sub-unit of work (one
+    /// serving request, one shard): the same plan with a new seed mixed
+    /// deterministically from the base seed and `salt`. Outcomes of derived
+    /// streams never depend on the order the units execute in, which is
+    /// what keeps a multi-request chaos soak bit-reproducible.
+    pub fn derive_stream(mut self, salt: u64) -> Self {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.seed = z ^ (z >> 31);
+        self
+    }
+
     /// A benign plan: no faults.
     pub fn none() -> Self {
         Self {
@@ -95,6 +111,43 @@ impl FaultPlan {
 impl Default for FaultPlan {
     fn default() -> Self {
         Self::none()
+    }
+}
+
+/// The health domain a PIM kernel is attributed to, for per-bank fault
+/// accounting. The device's die groups are the natural domain granularity:
+/// all banks of a die group operate in lockstep, so a fault observed by a
+/// kernel is charged to the die group that ran it. Hardware faults with a
+/// physical location (a stuck MMAC lane) map onto a domain via
+/// [`BankDomain::of_lane`], so a bank-scoped scheduler can route around the
+/// sick group while its siblings keep serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankDomain {
+    /// Domain index in `0..count`.
+    pub index: u32,
+    /// Total health domains (die groups) on the device.
+    pub count: u32,
+}
+
+impl BankDomain {
+    /// A domain handle; `index` must be below `count`.
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(index < count, "domain {index} out of range (count {count})");
+        Self { index, count }
+    }
+
+    /// The domain that owns a physical MMAC lane.
+    pub fn of_lane(lane: u8, count: u32) -> Self {
+        assert!(count > 0, "at least one domain");
+        Self {
+            index: lane as u32 % count,
+            count,
+        }
+    }
+
+    /// Whether a stuck lane lives inside this domain.
+    pub fn owns_lane(&self, lane: u8) -> bool {
+        lane as u32 % self.count == self.index
     }
 }
 
@@ -360,6 +413,29 @@ mod tests {
         let f = inj.perturb_commands(&mut cmds);
         assert_eq!(f.dropped, 10);
         assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn derived_streams_are_deterministic_and_distinct() {
+        let base = FaultPlan::none().with_seed(9).with_bank_flips(0.5);
+        let a = base.derive_stream(1);
+        let b = base.derive_stream(2);
+        assert_eq!(a, base.derive_stream(1), "same salt, same stream");
+        assert_ne!(a.seed, b.seed, "different salts diverge");
+        assert_ne!(a.seed, base.seed, "salt 1 must not be the identity");
+        assert_eq!(a.bank_flip_prob, base.bank_flip_prob, "plan knobs survive");
+        // Even salt 0 reseeds: the derived stream is never the parent's.
+        assert_ne!(base.derive_stream(0).seed, base.seed);
+    }
+
+    #[test]
+    fn bank_domain_lane_ownership() {
+        let d = BankDomain::of_lane(5, 4);
+        assert_eq!(d.index, 1);
+        assert!(d.owns_lane(5));
+        assert!(d.owns_lane(1));
+        assert!(!d.owns_lane(2));
+        assert!(!BankDomain::new(0, 4).owns_lane(5));
     }
 
     #[test]

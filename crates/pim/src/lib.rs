@@ -34,7 +34,7 @@ pub use bankexec::{
 pub use device::{PimDeviceConfig, PimVariant};
 pub use error::{IntegrityReport, LayoutError, PimError};
 pub use exec::{PimExecutor, PimKernelResult, PimKernelSpec};
-pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use fault::{BankDomain, FaultInjector, FaultPlan, FaultStats};
 pub use isa::{InstrProfile, PimInstruction};
 pub use layout::{LayoutPolicy, PolyGroup, PolyGroupAllocator};
 pub use mmac::{MontgomeryCtx, PimUnit};

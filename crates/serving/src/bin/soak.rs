@@ -1,0 +1,100 @@
+//! Chaos-soak CLI: replay a seeded fault schedule over a mixed-workload
+//! trace, check the serving invariants, and (optionally) verify that the
+//! run is bit-identical across thread counts.
+//!
+//! ```text
+//! soak [--requests N] [--seed S] [--threads-check] [--quick]
+//! ```
+//!
+//! Exits non-zero on any invariant violation or determinism mismatch.
+
+use serving::soak::{check_invariants, run_soak, SoakConfig};
+
+fn main() {
+    let mut requests = 240usize;
+    let mut seed = 2024u64;
+    let mut threads_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--requests needs a number"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--threads-check" => threads_check = true,
+            // Same seeded soak, sized to finish fast in scripts/check.sh.
+            "--quick" => requests = 200,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let cfg = SoakConfig {
+        requests,
+        ..SoakConfig::chaos(seed)
+    };
+    println!(
+        "soak: {} requests, seed {}, {} lanes, queue {} deep, flips p={}, storms every {}, \
+         stuck lane {} in {:?}",
+        cfg.requests,
+        cfg.seed,
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.flip_probability,
+        cfg.storm_every,
+        cfg.stuck_lane,
+        cfg.stuck_window,
+    );
+
+    let out = run_soak(&cfg).unwrap_or_else(|e| fail(&format!("soak run failed: {e}")));
+    let summary =
+        check_invariants(&cfg, &out).unwrap_or_else(|e| fail(&format!("invariant violated: {e}")));
+    println!("soak: {summary}");
+    for b in &out.snapshot.banks {
+        println!(
+            "  bank {}: {} ({} trip(s){})",
+            b.bank,
+            b.state,
+            b.trips,
+            if b.permanent { ", permanent" } else { "" }
+        );
+    }
+
+    if threads_check {
+        let mut mismatch = false;
+        for threads in [1usize, 8] {
+            parpool::set_threads(threads);
+            let again = run_soak(&cfg).unwrap_or_else(|e| {
+                fail(&format!("soak rerun at {threads} thread(s) failed: {e}"))
+            });
+            let ok = again == out;
+            println!(
+                "soak: ANAHEIM_THREADS={threads}: {}",
+                if ok { "bit-identical" } else { "MISMATCH" }
+            );
+            mismatch |= !ok;
+        }
+        if mismatch {
+            fail("soak outcome depends on thread count");
+        }
+    }
+    println!("soak: all invariants hold");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("soak: {msg}");
+    eprintln!("usage: soak [--requests N] [--seed S] [--threads-check] [--quick]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("soak: FAIL: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,429 @@
+//! The deadline-aware serving engine.
+//!
+//! One engine owns an [`Anaheim`] runtime, a persistent [`HealthRegistry`],
+//! and a virtual-lane model of the accelerator. A trace of requests runs in
+//! three steps:
+//!
+//! 1. **Prepare** (parallel): each request's op sequence is fused/offloaded
+//!    and costed fault-free to get `estimate_ns`. This is pure per-request
+//!    work, fanned out over the vendored `parpool` — results are written to
+//!    disjoint slots, so the outcome is bit-identical for every
+//!    `ANAHEIM_THREADS` value.
+//! 2. **Admit** (serial, virtual time): arrivals are processed in time
+//!    order. A full queue sheds with [`Rejected::QueueFull`]; a request
+//!    whose projected start plus estimate overruns its deadline sheds with
+//!    [`Rejected::DeadlineInfeasible`].
+//! 3. **Dispatch** (serial, virtual time): lanes pick up queued requests in
+//!    pop order; each executes through the breaker-gated scheduler
+//!    ([`Scheduler::run_with_health`]) under its own derived fault stream.
+//!    Requests that finish late are reported as [`Outcome::DeadlineMiss`] —
+//!    never as success.
+//!
+//! The dispatcher being serial in *virtual* time is a determinism decision,
+//! not a throughput one: breaker state is global, so any parallel execution
+//! of requests would make transition order depend on thread scheduling.
+//! All the parallelism lives in step 1, where it is provably
+//! order-independent.
+
+use anaheim_core::framework::{Anaheim, AnaheimConfig};
+use anaheim_core::health::{BreakerConfig, HealthRegistry, HealthSnapshot, RetryPolicy};
+use anaheim_core::ir::OpSequence;
+use anaheim_core::schedule::Scheduler;
+use anaheim_core::RunError;
+use pim::fault::FaultPlan;
+
+use crate::queue::{AdmissionQueue, Queued};
+use crate::request::{Outcome, Priority, Rejected, Request, Response};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// The platform every request runs on. Its fault plan is ignored —
+    /// requests carry their own ([`Request::fault`]).
+    pub platform: AnaheimConfig,
+    /// Breaker tuning for the per-bank health domains.
+    pub breaker: BreakerConfig,
+    /// Virtual execution lanes (concurrent requests in flight).
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl ServingConfig {
+    /// A100 near-bank platform with the serving retry policy, 4 lanes, and
+    /// a 16-deep admission queue.
+    pub fn a100_default(seed: u64) -> Self {
+        Self {
+            platform: AnaheimConfig::a100_near_bank()
+                .with_retry_policy(RetryPolicy::serving_default(seed)),
+            breaker: BreakerConfig::default(),
+            workers: 4,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// A prepared request: fused/offloaded sequence plus its fault-free cost.
+#[derive(Debug, Clone)]
+struct Prepared {
+    id: u64,
+    tenant: u32,
+    priority: Priority,
+    arrival_ns: f64,
+    deadline_ns: f64,
+    estimate_ns: f64,
+    fault: Option<FaultPlan>,
+    label: &'static str,
+    seq: OpSequence,
+}
+
+impl Queued for Prepared {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn priority(&self) -> Priority {
+        self.priority
+    }
+    fn arrival_ns(&self) -> f64 {
+        self.arrival_ns
+    }
+    fn estimate_ns(&self) -> f64 {
+        self.estimate_ns
+    }
+}
+
+/// The serving engine. Health state persists across traces: a bank that
+/// went sick in one trace is still routed around in the next.
+#[derive(Debug)]
+pub struct ServingEngine {
+    rt: Anaheim,
+    registry: HealthRegistry,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+impl ServingEngine {
+    /// Builds the runtime and a health registry sized for its PIM device.
+    pub fn new(cfg: ServingConfig) -> Self {
+        let ServingConfig {
+            mut platform,
+            breaker,
+            workers,
+            queue_capacity,
+        } = cfg;
+        // Requests carry their own fault environments.
+        platform.fault = None;
+        let registry = match &platform.pim {
+            Some(dev) => HealthRegistry::for_device(dev, breaker),
+            None => HealthRegistry::new(1, breaker),
+        };
+        Self {
+            rt: Anaheim::new(platform),
+            registry,
+            workers: workers.max(1),
+            queue_capacity: queue_capacity.max(1),
+        }
+    }
+
+    /// The persistent health registry.
+    pub fn registry(&self) -> &HealthRegistry {
+        &self.registry
+    }
+
+    /// A comparable snapshot of the health state.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Serves a trace of requests, returning one response per request
+    /// (sorted by id). Fails only on configuration-level errors the
+    /// degradation machinery cannot absorb.
+    pub fn run_trace(&mut self, trace: &[Request]) -> Result<Vec<Response>, RunError> {
+        // Step 1: pure per-request preparation, in parallel.
+        let rt = &self.rt;
+        let prepared: Vec<Result<Prepared, RunError>> =
+            parpool::par_map(trace, |_, req| Self::prepare_one(rt, req));
+        let mut prepared: Vec<Prepared> = prepared.into_iter().collect::<Result<_, _>>()?;
+        prepared.sort_by(|a, b| a.arrival_ns.total_cmp(&b.arrival_ns).then(a.id.cmp(&b.id)));
+
+        // Steps 2–3: serial admission + dispatch in virtual time.
+        let queue: AdmissionQueue<Prepared> = AdmissionQueue::new(self.queue_capacity);
+        let mut lanes = vec![0.0f64; self.workers];
+        let mut responses = Vec::with_capacity(trace.len());
+        for p in prepared {
+            let now = p.arrival_ns;
+            self.dispatch_until(&queue, &mut lanes, now, &mut responses)?;
+            self.registry.counters.submitted += 1;
+            if queue.len() >= self.queue_capacity {
+                self.registry.counters.shed_queue_full += 1;
+                responses.push(Self::rejection(&p, Rejected::QueueFull));
+                continue;
+            }
+            let projected = Self::projected_start_ns(&lanes, &queue, &p, now);
+            if projected + p.estimate_ns > p.deadline_ns {
+                self.registry.counters.shed_infeasible += 1;
+                responses.push(Self::rejection(&p, Rejected::DeadlineInfeasible));
+                continue;
+            }
+            let depth = queue.submit(p).expect("capacity checked above");
+            self.registry.note_queue_depth(depth);
+        }
+        self.dispatch_until(&queue, &mut lanes, f64::INFINITY, &mut responses)?;
+        responses.sort_by_key(|r| r.id);
+        Ok(responses)
+    }
+
+    /// Fuses/offloads one request and costs it fault-free. Pure: no shared
+    /// state is touched, so this is safe to fan out.
+    fn prepare_one(rt: &Anaheim, req: &Request) -> Result<Prepared, RunError> {
+        let mut seq = req.seq.clone();
+        rt.prepare(&mut seq);
+        let estimate_ns = rt.run_prepared(&seq)?.total_ns;
+        Ok(Prepared {
+            id: req.id,
+            tenant: req.tenant,
+            priority: req.priority,
+            arrival_ns: req.arrival_ns,
+            deadline_ns: req.deadline_ns,
+            estimate_ns,
+            fault: req.fault,
+            label: req.label,
+            seq,
+        })
+    }
+
+    /// When would `cand` start if admitted now? Simulates the lanes working
+    /// through the queue in pop order with the candidate inserted at its
+    /// priority position.
+    fn projected_start_ns(
+        lanes: &[f64],
+        queue: &AdmissionQueue<Prepared>,
+        cand: &Prepared,
+        now: f64,
+    ) -> f64 {
+        let mut lanes = lanes.to_vec();
+        let mut keys = queue.keys_in_pop_order();
+        keys.push(crate::queue::QueueKey {
+            id: cand.id,
+            priority: cand.priority,
+            arrival_ns: cand.arrival_ns,
+            estimate_ns: cand.estimate_ns,
+        });
+        keys.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then(a.arrival_ns.total_cmp(&b.arrival_ns))
+                .then(a.id.cmp(&b.id))
+        });
+        for k in keys {
+            let lane = Self::earliest_lane(&lanes);
+            let start = lanes[lane].max(now);
+            if k.id == cand.id {
+                return start;
+            }
+            lanes[lane] = start + k.estimate_ns;
+        }
+        unreachable!("candidate is always in the projection")
+    }
+
+    fn earliest_lane(lanes: &[f64]) -> usize {
+        let mut best = 0usize;
+        for i in 1..lanes.len() {
+            if lanes[i] < lanes[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Dispatches queued requests onto lanes while one can start at or
+    /// before `until_ns`.
+    fn dispatch_until(
+        &mut self,
+        queue: &AdmissionQueue<Prepared>,
+        lanes: &mut [f64],
+        until_ns: f64,
+        responses: &mut Vec<Response>,
+    ) -> Result<(), RunError> {
+        loop {
+            let Some(arrival) = queue.peek(|p| p.arrival_ns) else {
+                return Ok(());
+            };
+            let lane = Self::earliest_lane(lanes);
+            let start = lanes[lane].max(arrival);
+            if start > until_ns {
+                return Ok(());
+            }
+            let p = queue.pop().expect("peek saw an item");
+            let (response, finish) = self.execute(p, start)?;
+            lanes[lane] = finish;
+            responses.push(response);
+        }
+    }
+
+    /// Runs one request through the breaker-gated scheduler at virtual
+    /// time `start`.
+    fn execute(&mut self, p: Prepared, start: f64) -> Result<(Response, f64), RunError> {
+        let rt = &self.rt;
+        let registry = &mut self.registry;
+        registry.set_base_ns(start);
+        let cfg = rt.config();
+        let report = match &cfg.pim {
+            Some(dev) if cfg.mode == anaheim_core::framework::ExecMode::GpuWithPim => {
+                let mut s =
+                    Scheduler::with_pim(rt.model(), dev, cfg.layout).with_retry_policy(cfg.retry);
+                if let Some(plan) = p.fault {
+                    s = s.with_fault_plan(plan);
+                }
+                s.run_with_health(&p.seq, registry)?
+            }
+            _ => Scheduler::gpu_only(rt.model()).run(&p.seq)?,
+        };
+        let finish = start + report.total_ns;
+        let outcome = if finish <= p.deadline_ns {
+            registry.counters.completed += 1;
+            Outcome::Completed {
+                start_ns: start,
+                finish_ns: finish,
+                deadline_ns: p.deadline_ns,
+                faults: report.faults_detected,
+                pim_fallbacks: report.pim_fallbacks,
+                breaker_skips: report.breaker_skips,
+            }
+        } else {
+            registry.counters.deadline_misses += 1;
+            Outcome::DeadlineMiss {
+                start_ns: start,
+                finish_ns: finish,
+                deadline_ns: p.deadline_ns,
+            }
+        };
+        Ok((
+            Response {
+                id: p.id,
+                tenant: p.tenant,
+                priority: p.priority,
+                label: p.label,
+                outcome,
+            },
+            finish,
+        ))
+    }
+
+    fn rejection(p: &Prepared, reason: Rejected) -> Response {
+        Response {
+            id: p.id,
+            tenant: p.tenant,
+            priority: p.priority,
+            label: p.label,
+            outcome: Outcome::Rejected(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anaheim_core::build::{Builder, LinTransStyle};
+    use anaheim_core::params::ParamSet;
+
+    fn small_seq() -> OpSequence {
+        let mut b = Builder::new(ParamSet::paper_default());
+        b.lintrans(24, 4, LinTransStyle::Hoisting, true)
+    }
+
+    fn req(id: u64, arrival: f64, deadline: f64, priority: Priority) -> Request {
+        Request {
+            id,
+            tenant: (id % 3) as u32,
+            priority,
+            arrival_ns: arrival,
+            deadline_ns: deadline,
+            seq: small_seq(),
+            fault: None,
+            label: "lintrans",
+        }
+    }
+
+    fn engine() -> ServingEngine {
+        ServingEngine::new(ServingConfig {
+            workers: 2,
+            queue_capacity: 2,
+            ..ServingConfig::a100_default(7)
+        })
+    }
+
+    #[test]
+    fn fault_free_requests_complete_in_order() {
+        let mut e = engine();
+        let trace: Vec<Request> = (0..4)
+            .map(|i| req(i, i as f64 * 1e3, 1e12, Priority::Standard))
+            .collect();
+        let rs = e.run_trace(&trace).unwrap();
+        assert_eq!(rs.len(), 4);
+        assert!(rs.iter().all(|r| r.outcome.is_completed()));
+        assert_eq!(e.registry().counters.completed, 4);
+        assert_eq!(e.registry().counters.submitted, 4);
+    }
+
+    #[test]
+    fn infeasible_deadline_is_shed_not_executed() {
+        let mut e = engine();
+        // Deadline in the past relative to any possible completion.
+        let rs = e
+            .run_trace(&[req(1, 0.0, 1.0, Priority::Interactive)])
+            .unwrap();
+        assert_eq!(
+            rs[0].outcome,
+            Outcome::Rejected(Rejected::DeadlineInfeasible)
+        );
+        assert_eq!(e.registry().counters.shed_infeasible, 1);
+        assert_eq!(e.registry().counters.completed, 0);
+    }
+
+    #[test]
+    fn queue_overflow_sheds_queue_full() {
+        let mut e = engine();
+        // 2 lanes busy + 2 queued = saturation; the rest shed. All arrive
+        // at t=0 so nothing drains in between.
+        let trace: Vec<Request> = (0..7)
+            .map(|i| req(i, 0.0, 1e12, Priority::Standard))
+            .collect();
+        let rs = e.run_trace(&trace).unwrap();
+        let shed = rs
+            .iter()
+            .filter(|r| r.outcome == Outcome::Rejected(Rejected::QueueFull))
+            .count();
+        assert!(shed >= 1, "over-capacity arrivals must shed");
+        assert_eq!(e.registry().counters.shed_queue_full as usize, shed);
+        assert_eq!(e.registry().counters.max_queue_depth, 2);
+        let served = rs.iter().filter(|r| r.outcome.is_completed()).count();
+        assert_eq!(served + shed, 7);
+    }
+
+    #[test]
+    fn interactive_jumps_the_queue() {
+        let mut e = ServingEngine::new(ServingConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServingConfig::a100_default(7)
+        });
+        // One lane: b1 runs; then batch b2..b4 and interactive i all queue.
+        let mut trace = vec![
+            req(0, 0.0, 1e12, Priority::Batch),
+            req(1, 1.0, 1e12, Priority::Batch),
+            req(2, 2.0, 1e12, Priority::Batch),
+            req(3, 3.0, 1e12, Priority::Interactive),
+        ];
+        trace[3].label = "interactive";
+        let rs = e.run_trace(&trace).unwrap();
+        let finish = |id: u64| match rs.iter().find(|r| r.id == id).unwrap().outcome {
+            Outcome::Completed { finish_ns, .. } => finish_ns,
+            ref o => panic!("{id} should complete, got {o:?}"),
+        };
+        assert!(
+            finish(3) < finish(1) && finish(3) < finish(2),
+            "interactive must overtake queued batch work"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! `serving` — the deadline-aware serving layer on top of the Anaheim
+//! runtime (see `DESIGN.md`, "Serving & degradation").
+//!
+//! The paper's framework executes one FHE program at a time; this crate
+//! adds the layer a deployment needs around it:
+//!
+//! - [`request`] — multi-tenant requests with priorities and deadlines,
+//!   typed admission rejections, and honest outcomes (late execution is a
+//!   [`request::Outcome::DeadlineMiss`], never a success).
+//! - [`queue`] — a bounded, `Mutex`-guarded admission queue (std threads
+//!   only, no async runtime) with deterministic pop order.
+//! - [`engine`] — parallel request preparation (vendored `parpool`),
+//!   serial virtual-time dispatch through the breaker-gated scheduler
+//!   ([`anaheim_core::schedule::Scheduler::run_with_health`]), and a
+//!   persistent [`anaheim_core::health::HealthRegistry`].
+//! - [`soak`] — the deterministic chaos-soak harness: seeded mixed-workload
+//!   traces under seeded fault schedules, with machine-checked invariants
+//!   and bit-identical results across `ANAHEIM_THREADS`.
+
+pub mod engine;
+pub mod queue;
+pub mod request;
+pub mod soak;
+
+pub use engine::{ServingConfig, ServingEngine};
+pub use queue::{AdmissionQueue, QueueKey, Queued};
+pub use request::{Outcome, Priority, Rejected, Request, Response};
+pub use soak::{build_trace, check_invariants, run_soak, SoakConfig, SoakOutcome, SoakSummary};

@@ -1,0 +1,263 @@
+//! The bounded, priority-ordered admission queue.
+//!
+//! Thread-safe (a `Mutex` around plain data — no async runtime, per the
+//! workspace's vendored-deps-only rule): multiple std-thread producers may
+//! `submit` concurrently while a consumer pops. The serving engine itself
+//! drains the queue serially in virtual time, which is what keeps soak
+//! runs bit-identical across `ANAHEIM_THREADS`; the locking exists so the
+//! same queue can front real producer threads (see the tests).
+//!
+//! Pop order is total and deterministic: priority (descending), then
+//! arrival time, then id.
+
+use std::sync::Mutex;
+
+use crate::request::{Priority, Rejected};
+
+/// Items the queue can order: anything exposing the scheduling key.
+pub trait Queued {
+    /// Unique id (final tie-breaker).
+    fn id(&self) -> u64;
+    /// Priority class.
+    fn priority(&self) -> Priority;
+    /// Arrival time (virtual ns).
+    fn arrival_ns(&self) -> f64;
+    /// Estimated service time (virtual ns), used for admission projection.
+    fn estimate_ns(&self) -> f64;
+}
+
+/// `true` if `a` pops before `b`.
+fn pops_before<T: Queued>(a: &T, b: &T) -> bool {
+    match a.priority().cmp(&b.priority()) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => match a.arrival_ns().total_cmp(&b.arrival_ns()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.id() < b.id(),
+        },
+    }
+}
+
+/// A bounded multi-producer admission queue with deterministic pop order.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    items: Mutex<Vec<T>>,
+    capacity: usize,
+}
+
+impl<T: Queued> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queued requests right now.
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("queue poisoned").len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits a request, or sheds it with [`Rejected::QueueFull`] when at
+    /// capacity. Returns the queue depth after insertion.
+    pub fn submit(&self, item: T) -> Result<usize, Rejected> {
+        let mut items = self.items.lock().expect("queue poisoned");
+        if items.len() >= self.capacity {
+            return Err(Rejected::QueueFull);
+        }
+        items.push(item);
+        Ok(items.len())
+    }
+
+    /// Removes and returns the next request in pop order.
+    pub fn pop(&self) -> Option<T> {
+        let mut items = self.items.lock().expect("queue poisoned");
+        let mut best = 0usize;
+        if items.is_empty() {
+            return None;
+        }
+        for i in 1..items.len() {
+            if pops_before(&items[i], &items[best]) {
+                best = i;
+            }
+        }
+        Some(items.swap_remove(best))
+    }
+
+    /// Applies `f` to the head (next to pop) without removing it.
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let items = self.items.lock().expect("queue poisoned");
+        let mut best: Option<&T> = None;
+        for it in items.iter() {
+            best = match best {
+                Some(b) if pops_before(b, it) => Some(b),
+                _ => Some(it),
+            };
+        }
+        best.map(f)
+    }
+
+    /// The scheduling keys of all queued items, in pop order — the input
+    /// to the admission-control start-time projection.
+    pub fn keys_in_pop_order(&self) -> Vec<QueueKey> {
+        let items = self.items.lock().expect("queue poisoned");
+        let mut keys: Vec<QueueKey> = items
+            .iter()
+            .map(|it| QueueKey {
+                id: it.id(),
+                priority: it.priority(),
+                arrival_ns: it.arrival_ns(),
+                estimate_ns: it.estimate_ns(),
+            })
+            .collect();
+        keys.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then(a.arrival_ns.total_cmp(&b.arrival_ns))
+                .then(a.id.cmp(&b.id))
+        });
+        keys
+    }
+}
+
+/// The scheduling key of one queued request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueKey {
+    /// Request id.
+    pub id: u64,
+    /// Priority class.
+    pub priority: Priority,
+    /// Arrival time (virtual ns).
+    pub arrival_ns: f64,
+    /// Estimated service time (virtual ns).
+    pub estimate_ns: f64,
+}
+
+impl Queued for QueueKey {
+    fn id(&self) -> u64 {
+        self.id
+    }
+    fn priority(&self) -> Priority {
+        self.priority
+    }
+    fn arrival_ns(&self) -> f64 {
+        self.arrival_ns
+    }
+    fn estimate_ns(&self) -> f64 {
+        self.estimate_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(id: u64, priority: Priority, arrival: f64) -> QueueKey {
+        QueueKey {
+            id,
+            priority,
+            arrival_ns: arrival,
+            estimate_ns: 100.0,
+        }
+    }
+
+    #[test]
+    fn pop_order_is_priority_then_arrival_then_id() {
+        let q = AdmissionQueue::new(8);
+        q.submit(key(3, Priority::Batch, 0.0)).unwrap();
+        q.submit(key(1, Priority::Interactive, 50.0)).unwrap();
+        q.submit(key(2, Priority::Interactive, 10.0)).unwrap();
+        q.submit(key(5, Priority::Standard, 5.0)).unwrap();
+        q.submit(key(4, Priority::Standard, 5.0)).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|k| k.id).collect();
+        assert_eq!(order, vec![2, 1, 4, 5, 3]);
+    }
+
+    #[test]
+    fn capacity_sheds_queue_full() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.submit(key(1, Priority::Standard, 0.0)), Ok(1));
+        assert_eq!(q.submit(key(2, Priority::Standard, 1.0)), Ok(2));
+        assert_eq!(
+            q.submit(key(3, Priority::Interactive, 2.0)),
+            Err(Rejected::QueueFull),
+        );
+        q.pop().unwrap();
+        assert_eq!(q.submit(key(3, Priority::Interactive, 2.0)), Ok(2));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let q: AdmissionQueue<QueueKey> = AdmissionQueue::new(4);
+        assert!(q.peek(|k| k.id).is_none());
+        q.submit(key(7, Priority::Batch, 3.0)).unwrap();
+        q.submit(key(8, Priority::Interactive, 9.0)).unwrap();
+        assert_eq!(q.peek(|k| k.id), Some(8));
+        assert_eq!(q.pop().unwrap().id, 8);
+        assert_eq!(q.peek(|k| k.id), Some(7));
+    }
+
+    #[test]
+    fn keys_in_pop_order_match_pops() {
+        let q = AdmissionQueue::new(8);
+        for (id, p, a) in [
+            (1, Priority::Batch, 4.0),
+            (2, Priority::Interactive, 9.0),
+            (3, Priority::Standard, 1.0),
+        ] {
+            q.submit(key(id, p, a)).unwrap();
+        }
+        let keys: Vec<u64> = q.keys_in_pop_order().iter().map(|k| k.id).collect();
+        let pops: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|k| k.id).collect();
+        assert_eq!(keys, pops);
+    }
+
+    #[test]
+    fn concurrent_producers_never_overfill() {
+        // Multi-tenant submission from std threads: the bound holds under
+        // contention and every submit gets a definitive answer.
+        let q = Arc::new(AdmissionQueue::new(16));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut admitted = 0usize;
+                let mut shed = 0usize;
+                for i in 0..8u64 {
+                    match q.submit(key(t * 100 + i, Priority::Standard, i as f64)) {
+                        Ok(depth) => {
+                            assert!(depth <= 16);
+                            admitted += 1;
+                        }
+                        Err(Rejected::QueueFull) => shed += 1,
+                        Err(other) => panic!("unexpected rejection {other:?}"),
+                    }
+                }
+                (admitted, shed)
+            }));
+        }
+        let (mut admitted, mut shed) = (0, 0);
+        for h in handles {
+            let (a, s) = h.join().unwrap();
+            admitted += a;
+            shed += s;
+        }
+        assert_eq!(admitted + shed, 32);
+        assert_eq!(admitted, 16, "exactly capacity admitted");
+        assert_eq!(q.len(), 16);
+        assert_eq!(shed, 16);
+    }
+}

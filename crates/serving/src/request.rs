@@ -1,0 +1,180 @@
+//! Request, priority, and response types of the serving layer.
+
+use std::fmt;
+
+use anaheim_core::ir::OpSequence;
+use pim::fault::FaultPlan;
+
+/// Priority classes, in ascending urgency. Higher-priority requests pop
+/// first from the admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Throughput work: analytics batches, offline scoring.
+    Batch,
+    /// The default class.
+    Standard,
+    /// Latency-sensitive: tight deadlines, served first.
+    Interactive,
+}
+
+impl Priority {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Standard => "standard",
+            Priority::Interactive => "interactive",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Typed admission-control rejections. Shed load is *not* an error: a
+/// rejected request gets a definitive answer immediately instead of
+/// occupying queue space it cannot use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// Even an immediate dispatch projection cannot meet the deadline, so
+    /// executing would only waste capacity on a guaranteed miss.
+    DeadlineInfeasible,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "queue full"),
+            Rejected::DeadlineInfeasible => write!(f, "deadline infeasible"),
+        }
+    }
+}
+
+/// One inference/bootstrapping request submitted to the serving layer.
+///
+/// All times are virtual nanoseconds on the shared simulation clock.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Unique id (also the tie-breaker for deterministic ordering).
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// Priority class.
+    pub priority: Priority,
+    /// Submission time.
+    pub arrival_ns: f64,
+    /// Absolute deadline.
+    pub deadline_ns: f64,
+    /// The FHE op sequence to execute (unfused; the engine prepares it).
+    pub seq: OpSequence,
+    /// Per-request fault environment (`None` = fault-free). Derived
+    /// per-request streams keep outcomes independent of execution order.
+    pub fault: Option<FaultPlan>,
+    /// Workload label for reports.
+    pub label: &'static str,
+}
+
+/// What happened to a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Finished before its deadline.
+    Completed {
+        /// Dispatch time.
+        start_ns: f64,
+        /// Completion time.
+        finish_ns: f64,
+        /// The deadline it met.
+        deadline_ns: f64,
+        /// PIM integrity faults absorbed while serving it.
+        faults: u32,
+        /// Kernels that fell back to the GPU after exhausting PIM attempts.
+        pim_fallbacks: u32,
+        /// Kernels routed straight to the GPU by an open breaker.
+        breaker_skips: u32,
+    },
+    /// Executed, but finished after its deadline (e.g. fault-recovery time
+    /// ate the slack). Never reported as success.
+    DeadlineMiss {
+        /// Dispatch time.
+        start_ns: f64,
+        /// Completion time (past the deadline).
+        finish_ns: f64,
+        /// The deadline it missed.
+        deadline_ns: f64,
+    },
+    /// Shed at admission with a typed reason.
+    Rejected(Rejected),
+}
+
+impl Outcome {
+    /// True only for on-time completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+
+    /// True when the request was shed at admission.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Outcome::Rejected(_))
+    }
+}
+
+/// The serving layer's answer for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Request id.
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// Priority class.
+    pub priority: Priority,
+    /// Workload label.
+    pub label: &'static str,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_by_urgency() {
+        assert!(Priority::Interactive > Priority::Standard);
+        assert!(Priority::Standard > Priority::Batch);
+    }
+
+    #[test]
+    fn rejection_reasons_display() {
+        assert_eq!(Rejected::QueueFull.to_string(), "queue full");
+        assert_eq!(
+            Rejected::DeadlineInfeasible.to_string(),
+            "deadline infeasible"
+        );
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        let c = Outcome::Completed {
+            start_ns: 0.0,
+            finish_ns: 1.0,
+            deadline_ns: 2.0,
+            faults: 0,
+            pim_fallbacks: 0,
+            breaker_skips: 0,
+        };
+        assert!(c.is_completed() && !c.is_rejected());
+        let r = Outcome::Rejected(Rejected::QueueFull);
+        assert!(!r.is_completed() && r.is_rejected());
+        let m = Outcome::DeadlineMiss {
+            start_ns: 0.0,
+            finish_ns: 3.0,
+            deadline_ns: 2.0,
+        };
+        assert!(!m.is_completed());
+    }
+}

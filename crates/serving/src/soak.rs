@@ -1,0 +1,422 @@
+//! The deterministic chaos-soak harness.
+//!
+//! A soak run replays a seeded trace of mixed CKKS workloads through the
+//! serving engine under a seeded fault schedule — background bit-flip
+//! pressure, periodic fault storms, and a stuck-lane window that
+//! permanently sickens one bank domain — then checks the serving
+//! invariants:
+//!
+//! 1. every request gets exactly one response;
+//! 2. no response claims on-time completion past its deadline;
+//! 3. counters are conserved (completed + missed + shed = submitted);
+//! 4. the stuck-lane window trips a breaker permanently, and the run still
+//!    completes work through GPU fallback.
+//!
+//! Everything is a pure function of [`SoakConfig`]: the trace, the fault
+//! streams, and the virtual-time engine are all seeded, so two runs with
+//! the same config produce bit-identical responses, health snapshots, and
+//! breaker transition logs — at any `ANAHEIM_THREADS` value. The
+//! determinism regression tests and `scripts/soak.sh` both lean on this.
+
+use std::fmt;
+
+use anaheim_core::build::{Builder, LinTransStyle};
+use anaheim_core::framework::Anaheim;
+use anaheim_core::health::{BreakerTransition, HealthSnapshot};
+use anaheim_core::ir::OpSequence;
+use anaheim_core::params::ParamSet;
+use anaheim_core::RunError;
+use pim::fault::FaultPlan;
+
+use crate::engine::{ServingConfig, ServingEngine};
+use crate::request::{Outcome, Priority, Request, Response};
+
+/// Configuration of one soak run. Fully determines the outcome.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Master seed: trace shape, fault streams, retry jitter.
+    pub seed: u64,
+    /// Virtual execution lanes.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Background transient-fault probability per PIM kernel.
+    pub flip_probability: f64,
+    /// Every `storm_every`-th request runs under a fault storm (high flip
+    /// probability), driving transient breaker trips. 0 disables storms.
+    pub storm_every: usize,
+    /// Request index range `[start, end)` whose fault plans include a
+    /// stuck MMAC lane — a hard fault that permanently opens the owning
+    /// bank domain's breaker. `None` disables.
+    pub stuck_window: Option<(usize, usize)>,
+    /// The stuck lane (its domain is `lane % die_groups`).
+    pub stuck_lane: u8,
+    /// Arrival pressure: mean inter-arrival as a fraction of
+    /// `reference_cost / workers`. Below 1.0 the system is overloaded and
+    /// sheds; above it mostly keeps up.
+    pub arrival_factor: f64,
+}
+
+impl SoakConfig {
+    /// The default chaos soak: 240 requests, mild overload, storms every
+    /// 13th request, and a stuck-lane window in the middle third.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            requests: 240,
+            seed,
+            workers: 3,
+            queue_capacity: 12,
+            flip_probability: 0.02,
+            storm_every: 13,
+            stuck_window: Some((80, 100)),
+            stuck_lane: 7,
+            arrival_factor: 0.9,
+        }
+    }
+
+    /// A fault-free control run (same trace shape, no injection).
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            flip_probability: 0.0,
+            storm_every: 0,
+            stuck_window: None,
+            ..Self::chaos(seed)
+        }
+    }
+}
+
+/// Everything a soak run produces, in comparable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakOutcome {
+    /// One response per request, sorted by id.
+    pub responses: Vec<Response>,
+    /// Final health snapshot.
+    pub snapshot: HealthSnapshot,
+    /// The full breaker transition log.
+    pub transitions: Vec<BreakerTransition>,
+}
+
+/// Headline numbers of a soak run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoakSummary {
+    /// Requests served on time.
+    pub completed: u64,
+    /// Requests that executed but missed their deadline.
+    pub deadline_misses: u64,
+    /// Requests shed: queue full.
+    pub shed_queue_full: u64,
+    /// Requests shed: deadline infeasible.
+    pub shed_infeasible: u64,
+    /// PIM integrity faults absorbed.
+    pub faults: u64,
+    /// Kernels routed around open breakers.
+    pub breaker_skips: u64,
+    /// Breaker transitions recorded.
+    pub transitions: u64,
+    /// Bank domains left permanently open.
+    pub dead_banks: u64,
+}
+
+impl fmt::Display for SoakSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} completed, {} deadline misses, {} shed (queue-full {}, infeasible {}), \
+             {} faults absorbed, {} breaker skips, {} transitions, {} dead bank(s)",
+            self.completed,
+            self.deadline_misses,
+            self.shed_queue_full + self.shed_infeasible,
+            self.shed_queue_full,
+            self.shed_infeasible,
+            self.faults,
+            self.breaker_skips,
+            self.transitions,
+            self.dead_banks
+        )
+    }
+}
+
+/// Deterministic 64-bit generator for trace shaping (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds the seeded request trace: mixed workloads, three priority
+/// classes, four tenants, and per-request derived fault streams.
+pub fn build_trace(cfg: &SoakConfig) -> Vec<Request> {
+    let params = ParamSet::paper_default();
+    let mut b = Builder::new(params);
+    let l = 24;
+    // The workload mix, built once and cloned per request.
+    let kinds: Vec<(OpSequence, &'static str)> = vec![
+        (
+            b.lintrans(54, 8, LinTransStyle::Hoisting, true),
+            "lintrans-wide",
+        ),
+        (b.lintrans(l, 4, LinTransStyle::Hoisting, true), "lintrans"),
+        (
+            b.lintrans(l, 6, LinTransStyle::MinKS, false),
+            "lintrans-minks",
+        ),
+        (b.hmult(l), "hmult"),
+        (b.hrot(l), "hrot"),
+        (b.hadd(l), "hadd"),
+    ];
+    // Reference cost: the clean wide lintrans on the serving platform,
+    // used to scale arrivals and deadlines. Deterministic (analytic model).
+    let rt = Anaheim::new(ServingConfig::a100_default(cfg.seed).platform);
+    let t_ref = rt
+        .run(kinds[0].0.clone())
+        .expect("reference workload runs clean")
+        .total_ns;
+
+    let base_fault = FaultPlan::none()
+        .with_seed(cfg.seed ^ 0xFA17_FA17)
+        .with_bank_flips(cfg.flip_probability);
+    let mean_gap = cfg.arrival_factor * t_ref / cfg.workers.max(1) as f64;
+
+    let mut rng = Rng(cfg.seed);
+    let mut arrival = 0.0f64;
+    let mut trace = Vec::with_capacity(cfg.requests);
+    for i in 0..cfg.requests {
+        let h = rng.next();
+        let (seq, label) = &kinds[(h % kinds.len() as u64) as usize];
+        let priority = match h >> 32 & 3 {
+            0 => Priority::Interactive,
+            1 => Priority::Batch,
+            _ => Priority::Standard,
+        };
+        arrival += mean_gap * (0.25 + 1.5 * rng.unit());
+        // Slack scales with the reference cost; interactive is tight
+        // enough that queueing or fault recovery can break it.
+        let slack = match priority {
+            Priority::Interactive => t_ref * (1.2 + 1.0 * rng.unit()),
+            Priority::Standard => t_ref * (3.0 + 3.0 * rng.unit()),
+            Priority::Batch => t_ref * (8.0 + 8.0 * rng.unit()),
+        };
+        let mut fault = None;
+        if cfg.flip_probability > 0.0 || cfg.stuck_window.is_some() || cfg.storm_every > 0 {
+            let mut plan = base_fault.derive_stream(i as u64);
+            if cfg.storm_every > 0 && i % cfg.storm_every == cfg.storm_every - 1 {
+                plan = plan.with_bank_flips(0.9);
+            }
+            if let Some((s, e)) = cfg.stuck_window {
+                if (s..e).contains(&i) {
+                    plan = plan.with_stuck_lane(cfg.stuck_lane);
+                }
+            }
+            fault = Some(plan);
+        }
+        trace.push(Request {
+            id: i as u64,
+            tenant: ((h >> 40) % 4) as u32,
+            priority,
+            arrival_ns: arrival,
+            deadline_ns: arrival + slack,
+            seq: seq.clone(),
+            fault,
+            label,
+        });
+    }
+    trace
+}
+
+/// Runs a full soak: build the trace, serve it, snapshot health.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, RunError> {
+    let trace = build_trace(cfg);
+    let mut engine = ServingEngine::new(ServingConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        ..ServingConfig::a100_default(cfg.seed)
+    });
+    let responses = engine.run_trace(&trace)?;
+    Ok(SoakOutcome {
+        responses,
+        snapshot: engine.snapshot(),
+        transitions: engine.registry().transitions().to_vec(),
+    })
+}
+
+/// Checks the soak invariants, returning the summary on success and the
+/// first violation otherwise.
+pub fn check_invariants(cfg: &SoakConfig, out: &SoakOutcome) -> Result<SoakSummary, String> {
+    if out.responses.len() != cfg.requests {
+        return Err(format!(
+            "expected {} responses, got {}",
+            cfg.requests,
+            out.responses.len()
+        ));
+    }
+    let mut summary = SoakSummary::default();
+    for (i, r) in out.responses.iter().enumerate() {
+        if r.id != i as u64 {
+            return Err(format!("response {i} has id {} (duplicate or gap)", r.id));
+        }
+        match &r.outcome {
+            Outcome::Completed {
+                start_ns,
+                finish_ns,
+                deadline_ns,
+                faults,
+                ..
+            } => {
+                if finish_ns > deadline_ns {
+                    return Err(format!(
+                        "request {} reported Completed past its deadline \
+                         (finish {finish_ns} > deadline {deadline_ns})",
+                        r.id
+                    ));
+                }
+                if finish_ns < start_ns {
+                    return Err(format!("request {} finishes before it starts", r.id));
+                }
+                summary.completed += 1;
+                summary.faults += *faults as u64;
+            }
+            Outcome::DeadlineMiss {
+                finish_ns,
+                deadline_ns,
+                ..
+            } => {
+                if finish_ns <= deadline_ns {
+                    return Err(format!(
+                        "request {} reported DeadlineMiss inside its deadline",
+                        r.id
+                    ));
+                }
+                summary.deadline_misses += 1;
+            }
+            Outcome::Rejected(reason) => match reason {
+                crate::request::Rejected::QueueFull => summary.shed_queue_full += 1,
+                crate::request::Rejected::DeadlineInfeasible => summary.shed_infeasible += 1,
+            },
+        }
+    }
+    let c = &out.snapshot.counters;
+    if c.submitted != cfg.requests as u64 {
+        return Err(format!(
+            "submitted counter {} != trace length {}",
+            c.submitted, cfg.requests
+        ));
+    }
+    if c.completed + c.deadline_misses + c.shed_queue_full + c.shed_infeasible != c.submitted {
+        return Err(format!("counters not conserved: {c:?}"));
+    }
+    if (
+        c.completed,
+        c.deadline_misses,
+        c.shed_queue_full,
+        c.shed_infeasible,
+    ) != (
+        summary.completed,
+        summary.deadline_misses,
+        summary.shed_queue_full,
+        summary.shed_infeasible,
+    ) {
+        return Err(format!(
+            "counters disagree with responses: {c:?} vs {summary:?}"
+        ));
+    }
+    if c.max_queue_depth > cfg.queue_capacity as u64 {
+        return Err(format!(
+            "queue depth {} exceeded capacity {}",
+            c.max_queue_depth, cfg.queue_capacity
+        ));
+    }
+    if summary.completed == 0 {
+        return Err("no request completed".into());
+    }
+    summary.breaker_skips = c.breaker_skips;
+    summary.transitions = out.transitions.len() as u64;
+    summary.dead_banks = out.snapshot.banks.iter().filter(|b| b.permanent).count() as u64;
+    if cfg.stuck_window.is_some() {
+        if summary.dead_banks == 0 {
+            return Err("stuck-lane window never tripped a permanent breaker".into());
+        }
+        if summary.breaker_skips == 0 {
+            return Err("open breaker never routed a kernel around PIM".into());
+        }
+        if out.snapshot.open_banks() == out.snapshot.banks.len() {
+            return Err("every bank open: degradation was not bank-scoped".into());
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> SoakConfig {
+        SoakConfig {
+            requests: 40,
+            stuck_window: Some((10, 16)),
+            ..SoakConfig::chaos(seed)
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_mixed() {
+        let cfg = tiny(3);
+        let a = build_trace(&cfg);
+        let b = build_trace(&cfg);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.id, x.arrival_ns, x.deadline_ns),
+                (y.id, y.arrival_ns, y.deadline_ns)
+            );
+            assert_eq!(x.fault, y.fault);
+        }
+        let labels: std::collections::HashSet<_> = a.iter().map(|r| r.label).collect();
+        assert!(labels.len() >= 3, "mixed workloads: {labels:?}");
+        let priorities: std::collections::HashSet<_> = a.iter().map(|r| r.priority).collect();
+        assert_eq!(priorities.len(), 3, "all three priority classes");
+        // Arrivals are strictly increasing, deadlines after arrivals.
+        for w in a.windows(2) {
+            assert!(w[1].arrival_ns > w[0].arrival_ns);
+        }
+        assert!(a.iter().all(|r| r.deadline_ns > r.arrival_ns));
+        // Derived fault streams are distinct per request.
+        assert_ne!(a[0].fault, a[1].fault);
+    }
+
+    #[test]
+    fn clean_soak_passes_invariants() {
+        let cfg = SoakConfig {
+            requests: 30,
+            ..SoakConfig::clean(11)
+        };
+        let out = run_soak(&cfg).unwrap();
+        let s = check_invariants(&cfg, &out).unwrap();
+        assert_eq!(s.faults, 0);
+        assert_eq!(s.transitions, 0);
+        assert_eq!(s.dead_banks, 0);
+        assert!(s.completed > 0);
+    }
+
+    #[test]
+    fn chaos_soak_trips_breaker_and_passes_invariants() {
+        let cfg = tiny(17);
+        let out = run_soak(&cfg).unwrap();
+        let s = check_invariants(&cfg, &out).unwrap();
+        assert!(s.faults > 0, "chaos must inject faults");
+        assert_eq!(s.dead_banks, 1, "one domain permanently open");
+        assert!(s.transitions >= 1);
+    }
+}

@@ -16,4 +16,4 @@ pub mod catalog;
 pub mod runner;
 
 pub use catalog::Workload;
-pub use runner::{run_workload, WorkloadReport};
+pub use runner::{run_workload, run_workload_with_health, WorkloadNumbers, WorkloadReport};

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use anaheim_core::error::RunError;
 use anaheim_core::framework::{Anaheim, CapacityCheck};
+use anaheim_core::health::HealthRegistry;
 
 use crate::catalog::Workload;
 
@@ -38,6 +39,10 @@ pub struct WorkloadNumbers {
     pub pim_retries: u64,
     /// Degraded-mode segments (wasted PIM attempts + GPU re-executions).
     pub degraded_segments: u64,
+    /// Kernels that fell back to the GPU after exhausting PIM retries.
+    pub pim_fallbacks: u64,
+    /// Kernels routed straight to the GPU by an open circuit breaker.
+    pub breaker_skips: u64,
 }
 
 impl WorkloadNumbers {
@@ -85,23 +90,60 @@ pub fn run_workload(rt: &Anaheim, w: &Workload) -> Result<WorkloadReport, RunErr
     for seg in &w.segments {
         let r = rt.run(seg.seq.clone())?;
         let _ = matches!(rt.check_capacity(&seg.seq), CapacityCheck::Fits { .. });
-        let k = seg.repeat as f64;
-        nums.time_ms += r.total_ms() * k;
-        nums.energy_j += r.energy_j * k;
-        nums.gpu_dram_gb += r.gpu_dram_bytes as f64 * k / 1e9;
-        nums.pim_dram_gb += r.pim_dram_bytes as f64 * k / 1e9;
-        nums.faults_detected += r.faults_detected as u64 * seg.repeat;
-        nums.pim_retries += r.pim_retries as u64 * seg.repeat;
-        nums.degraded_segments += r.degraded_segments as u64 * seg.repeat;
-        for (class, ns) in &r.breakdown_ns {
-            *nums.breakdown_ms.entry(class).or_insert(0.0) += ns * k / 1e6;
-        }
+        accumulate(&mut nums, &r, seg.repeat);
     }
     Ok(WorkloadReport {
         workload: w.name,
         platform: rt.config().name,
         outcome: Some(nums),
     })
+}
+
+/// Like [`run_workload`], but executes every segment through the
+/// breaker-gated path ([`Anaheim::run_with_health`]) so that bank health
+/// persists across segments: a bank that trips during one segment stays
+/// routed-around for the rest of the workload, and the registry's final
+/// [`HealthSnapshot`](anaheim_core::health::HealthSnapshot) describes the
+/// whole run.
+pub fn run_workload_with_health(
+    rt: &Anaheim,
+    w: &Workload,
+    registry: &mut HealthRegistry,
+) -> Result<WorkloadReport, RunError> {
+    let capacity = rt.config().gpu.dram_capacity_bytes as u64;
+    if w.footprint_bytes > capacity {
+        return Ok(WorkloadReport {
+            workload: w.name,
+            platform: rt.config().name,
+            outcome: None,
+        });
+    }
+    let mut nums = WorkloadNumbers::default();
+    for seg in &w.segments {
+        let r = rt.run_with_health(seg.seq.clone(), registry)?;
+        accumulate(&mut nums, &r, seg.repeat);
+    }
+    Ok(WorkloadReport {
+        workload: w.name,
+        platform: rt.config().name,
+        outcome: Some(nums),
+    })
+}
+
+fn accumulate(nums: &mut WorkloadNumbers, r: &anaheim_core::report::ExecutionReport, repeat: u64) {
+    let k = repeat as f64;
+    nums.time_ms += r.total_ms() * k;
+    nums.energy_j += r.energy_j * k;
+    nums.gpu_dram_gb += r.gpu_dram_bytes as f64 * k / 1e9;
+    nums.pim_dram_gb += r.pim_dram_bytes as f64 * k / 1e9;
+    nums.faults_detected += r.faults_detected as u64 * repeat;
+    nums.pim_retries += r.pim_retries as u64 * repeat;
+    nums.degraded_segments += r.degraded_segments as u64 * repeat;
+    nums.pim_fallbacks += r.pim_fallbacks as u64 * repeat;
+    nums.breaker_skips += r.breaker_skips as u64 * repeat;
+    for (class, ns) in &r.breakdown_ns {
+        *nums.breakdown_ms.entry(class).or_insert(0.0) += ns * k / 1e6;
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +225,50 @@ mod tests {
         assert!(nums.faults_detected > 0, "flips at p=0.5 must fire");
         assert!(nums.degraded_segments > 0);
         // Degraded, not broken: timing is still finite and positive.
+        assert!(nums.time_ms > 0.0 && nums.time_ms.is_finite());
+    }
+
+    #[test]
+    fn health_runner_matches_plain_runner_when_healthy() {
+        let cfg = AnaheimConfig::a100_near_bank();
+        let rt = Anaheim::new(cfg.clone());
+        let mut reg = HealthRegistry::for_device(
+            cfg.pim.as_ref().expect("near-bank has PIM"),
+            Default::default(),
+        );
+        let w = Workload::boot();
+        let plain = run_workload(&rt, &w).unwrap().outcome.expect("fits");
+        let healthy = run_workload_with_health(&rt, &w, &mut reg)
+            .unwrap()
+            .outcome
+            .expect("fits");
+        assert_eq!(plain.time_ms, healthy.time_ms);
+        assert_eq!(plain.energy_j, healthy.energy_j);
+        assert_eq!(healthy.breaker_skips, 0);
+        assert_eq!(reg.snapshot().open_banks(), 0);
+    }
+
+    #[test]
+    fn bank_health_persists_across_segments() {
+        use pim::fault::FaultPlan;
+        // A permanently stuck lane: the owning bank's breaker opens early
+        // and every later segment routes around it (breaker_skips > 0).
+        let cfg = AnaheimConfig::a100_near_bank()
+            .with_fault_plan(FaultPlan::none().with_seed(7).with_stuck_lane(3));
+        let mut reg = HealthRegistry::for_device(
+            cfg.pim.as_ref().expect("near-bank has PIM"),
+            Default::default(),
+        );
+        let rt = Anaheim::new(cfg);
+        let w = Workload::helr();
+        let nums = run_workload_with_health(&rt, &w, &mut reg)
+            .unwrap()
+            .outcome
+            .expect("fits");
+        let snap = reg.snapshot();
+        assert_eq!(snap.open_banks(), 1, "exactly the sick bank trips");
+        assert!(nums.breaker_skips > 0, "later kernels skip the open bank");
+        assert!(nums.pim_fallbacks > 0);
         assert!(nums.time_ms > 0.0 && nums.time_ms.is_finite());
     }
 

@@ -22,4 +22,7 @@ ANAHEIM_THREADS=8 cargo test -q --test parallel_equivalence
 echo "==> bench smoke (scripts/bench.sh --quick)"
 scripts/bench.sh --quick
 
+echo "==> serving chaos soak (scripts/soak.sh --quick)"
+scripts/soak.sh --quick
+
 echo "All checks passed."

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Chaos-soak driver for the serving layer.
+#
+# Builds the `soak` binary in release mode and replays a seeded fault
+# schedule over a mixed-workload trace, checking the serving invariants
+# (no panics, no deadline-expired request reported Ok, typed sheds,
+# bounded queue) and — with --threads-check — that the whole outcome is
+# bit-identical across ANAHEIM_THREADS settings.
+#
+# Usage: scripts/soak.sh [--quick] [--requests N] [--seed S] [--threads-check]
+#   --quick   200-request seeded soak with the determinism check; finishes
+#             in seconds (what scripts/check.sh runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=("$@")
+for a in "${args[@]:-}"; do
+  if [[ "$a" == "--quick" ]]; then
+    args+=(--threads-check)
+    break
+  fi
+done
+
+echo "==> cargo build --release -p serving --bin soak"
+cargo build --release -q -p serving --bin soak
+
+echo "==> soak ${args[*]:-}"
+./target/release/soak "${args[@]:-}"

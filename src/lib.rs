@@ -12,6 +12,8 @@
 //! - [`gpu`]: analytical GPU performance/energy model.
 //! - [`core`] (`anaheim-core`): the Anaheim framework — IR, passes, scheduler.
 //! - [`workloads`]: the six paper workloads.
+//! - [`serving`]: the deadline-aware serving layer (admission control,
+//!   per-bank circuit breakers, chaos-soak harness).
 //!
 //! # Running a workload through the Anaheim framework
 //!
@@ -38,4 +40,5 @@ pub use ckks_math as math;
 pub use dram;
 pub use gpu;
 pub use pim;
+pub use serving;
 pub use workloads;

@@ -2,9 +2,11 @@
 //! caught by the residue checksum, the block is re-executed on the trusted
 //! (GPU) path, the workload completes with correct values, and the
 //! execution report records the degradation — the acceptance scenario of
-//! the reliability design (DESIGN.md, "Reliability & fault model").
+//! the reliability design (DESIGN.md, "Reliability & fault model" and
+//! "Serving & degradation").
 
 use anaheim::core::framework::{Anaheim, AnaheimConfig};
+use anaheim::core::health::{BreakerState, HealthRegistry};
 use anaheim::core::schedule::MAX_PIM_RETRIES;
 use anaheim::pim::bankexec::{alloc_paccum_groups, paccum_alg1_verified, ELEMS_PER_CHUNK};
 use anaheim::pim::{
@@ -188,6 +190,77 @@ fn degraded_platform_still_serves_correct_decrypted_values() {
             out[j].re
         );
     }
+}
+
+#[test]
+fn stuck_lane_trips_breaker_and_soak_completes_on_gpu() {
+    // --- Breaker-aware soak: a *persistent* hard fault (stuck MMAC lane)
+    // must not burn retries forever. Under `run_with_health`, the owning
+    // bank domain's breaker opens permanently after the failure threshold,
+    // later kernels route straight to the GPU, and every other domain
+    // stays closed — a sick bank degrades throughput, never availability.
+    use anaheim::workloads::runner::run_workload_with_health;
+
+    let plan = FaultPlan::none().with_seed(53).with_stuck_lane(2);
+    let cfg = AnaheimConfig::a100_near_bank().with_fault_plan(plan);
+    let mut reg = HealthRegistry::for_device(
+        cfg.pim.as_ref().expect("near-bank platform has PIM"),
+        Default::default(),
+    );
+    let rt = Anaheim::new(cfg);
+
+    // Soak the registry across a whole multi-segment workload: the trip
+    // happens early and the rest of the run rides the open breaker.
+    let w = Workload::helr();
+    let nums = run_workload_with_health(&rt, &w, &mut reg)
+        .expect("a stuck lane must degrade, not abort")
+        .outcome
+        .expect("HELR fits on the A100");
+
+    let snap = reg.snapshot();
+    let sick: Vec<_> = snap
+        .banks
+        .iter()
+        .filter(|b| b.state == BreakerState::Open)
+        .collect();
+    assert_eq!(sick.len(), 1, "exactly the owning domain opens");
+    assert!(sick[0].permanent, "a hard fault opens the breaker for good");
+    assert!(
+        snap.banks
+            .iter()
+            .filter(|b| b.bank != sick[0].bank)
+            .all(|b| b.state == BreakerState::Closed && b.trips == 0),
+        "healthy domains must be untouched"
+    );
+
+    // The trip is visible in the log (closed -> open, attributed to the
+    // stuck lane) and the run completed degraded, not dead.
+    let trip = reg
+        .transitions()
+        .iter()
+        .find(|t| t.to == BreakerState::Open)
+        .expect("the trip must be logged");
+    assert_eq!(trip.bank, sick[0].bank);
+    assert_eq!(trip.cause, "stuck-lane");
+    assert!(nums.breaker_skips > 0, "open breaker must be routed around");
+    assert!(
+        nums.pim_retries == 0,
+        "hard faults must not be retried on the sick bank"
+    );
+    assert!(nums.time_ms > 0.0 && nums.time_ms.is_finite());
+
+    // The clean share of the fleet keeps earning its keep: the degraded
+    // near-bank run still beats the GPU-only baseline.
+    let gpu_only = run_workload(&Anaheim::new(AnaheimConfig::a100_baseline()), &w)
+        .unwrap()
+        .outcome
+        .unwrap();
+    assert!(
+        nums.time_ms < gpu_only.time_ms * 1.2,
+        "one sick bank of several must not erase the PIM win: degraded {} ms vs GPU-only {} ms",
+        nums.time_ms,
+        gpu_only.time_ms
+    );
 }
 
 #[test]

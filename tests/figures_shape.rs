@@ -239,8 +239,10 @@ fn minks_wins_only_on_asic_like_hardware() {
     // on GPUs hoisting wins. Both halves of the claim, from one model.
     use anaheim::core::build::{Builder, LinTransStyle};
     use anaheim::core::framework::{Anaheim, AnaheimConfig, ExecMode};
+    use anaheim::core::health::RetryPolicy;
     use anaheim::core::params::ParamSet;
     use anaheim::core::passes::FusionConfig;
+    use anaheim::core::schedule::MAX_PIM_RETRIES;
     use anaheim::gpu::config::{GpuConfig, LibraryProfile};
     use anaheim::pim::layout::LayoutPolicy;
 
@@ -268,6 +270,7 @@ fn minks_wins_only_on_asic_like_hardware() {
             fusion: FusionConfig::gpu_baseline(),
             mode: ExecMode::GpuOnly,
             fault: None,
+            retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
         };
         Anaheim::new(cfg)
             .run(build(style, reorder))

@@ -1,0 +1,117 @@
+//! Acceptance tests for the deadline-aware serving layer (DESIGN.md,
+//! "Serving & degradation"): a seeded chaos soak over ≥200 mixed-workload
+//! requests completes with every invariant intact, overload sheds with
+//! typed rejections instead of stalling, and the whole run — responses,
+//! health snapshot, and breaker transition log — is bit-identical across
+//! `ANAHEIM_THREADS` settings.
+
+use anaheim::serving::soak::{check_invariants, run_soak, SoakConfig};
+use anaheim::serving::{Outcome, Rejected};
+
+#[test]
+fn chaos_soak_over_200_requests_holds_all_invariants() {
+    let cfg = SoakConfig::chaos(2024);
+    assert!(cfg.requests >= 200, "acceptance floor is 200 requests");
+
+    let out = run_soak(&cfg).expect("chaos soak must not error out");
+    let summary = check_invariants(&cfg, &out).expect("soak invariants");
+
+    // Every response is an honest, typed outcome; in particular no request
+    // that expired returns Ok (check_invariants proves it, but the claim
+    // is the acceptance criterion, so spell it out).
+    for r in &out.responses {
+        if let Outcome::Completed {
+            finish_ns,
+            deadline_ns,
+            ..
+        } = r.outcome
+        {
+            assert!(
+                finish_ns <= deadline_ns,
+                "request {} completed past its deadline",
+                r.id
+            );
+        }
+    }
+
+    // The chaos schedule actually bites: faults absorbed, breakers
+    // exercised, and the stuck-lane window kills exactly one bank domain
+    // while the fleet keeps serving.
+    assert!(summary.completed > 0);
+    assert!(summary.faults > 0, "fault storms must fire");
+    assert!(summary.transitions > 0, "breakers must cycle");
+    assert_eq!(summary.dead_banks, 1, "the stuck lane kills one domain");
+    assert!(
+        out.snapshot.open_banks() < out.snapshot.banks.len(),
+        "a sick bank must never take the whole fleet down"
+    );
+}
+
+#[test]
+fn sustained_overload_sheds_with_typed_rejections() {
+    // Crank arrival pressure far past capacity: admission control must
+    // answer every request — completions for what fits, typed rejections
+    // for what doesn't — and the queue bound must hold throughout.
+    let cfg = SoakConfig {
+        arrival_factor: 0.05,
+        ..SoakConfig::clean(11)
+    };
+    let out = run_soak(&cfg).expect("overload must shed, not fail");
+    let summary = check_invariants(&cfg, &out).expect("soak invariants");
+    assert!(
+        summary.shed_queue_full + summary.shed_infeasible > 0,
+        "overload must shed"
+    );
+    let typed_sheds = out
+        .responses
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                Outcome::Rejected(Rejected::QueueFull)
+                    | Outcome::Rejected(Rejected::DeadlineInfeasible)
+            )
+        })
+        .count() as u64;
+    assert_eq!(
+        typed_sheds,
+        summary.shed_queue_full + summary.shed_infeasible
+    );
+    assert!(
+        out.snapshot.counters.max_queue_depth <= cfg.queue_capacity as u64,
+        "backpressure must respect the queue bound"
+    );
+}
+
+#[test]
+fn soak_outcome_is_bit_identical_across_thread_counts() {
+    // Same fault seed + trace ⇒ identical responses, identical health
+    // snapshot, and an identical breaker transition log, whether request
+    // preparation runs on 1 worker thread or 8. This is the determinism
+    // contract that makes chaos runs reproducible in CI.
+    let cfg = SoakConfig::chaos(77);
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 8] {
+        parpool::set_threads(threads);
+        outcomes.push((threads, run_soak(&cfg).expect("soak runs")));
+    }
+    parpool::set_threads(0);
+
+    let (_, baseline) = &outcomes[0];
+    check_invariants(&cfg, baseline).expect("soak invariants");
+    for (threads, out) in &outcomes[1..] {
+        assert_eq!(
+            out.responses, baseline.responses,
+            "responses differ at {threads} thread(s)"
+        );
+        assert_eq!(
+            out.snapshot, baseline.snapshot,
+            "health snapshot differs at {threads} thread(s)"
+        );
+        assert_eq!(
+            out.transitions, baseline.transitions,
+            "breaker transition log differs at {threads} thread(s)"
+        );
+        assert_eq!(out, baseline, "soak outcome depends on thread count");
+    }
+}
