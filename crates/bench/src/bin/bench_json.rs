@@ -1,21 +1,34 @@
 //! Machine-readable microbenchmarks for the limb-parallel hot path.
 //!
 //! Emits `BENCH_ckks.json` and `BENCH_pim.json` (arrays of
-//! `{op, n, limbs, threads, ns_per_op}` records) into the current
+//! `{op, n, limbs, threads, ns_per_op, ...}` records) into the current
 //! directory, sweeping the `parpool` worker count so the speedup of the
 //! limb/digit/bank parallel axes is visible from one run, plus
 //! `BENCH_serving.json` — serving-layer soak counters (completions,
 //! deadline misses, sheds, breaker activity) for a clean and a chaos
-//! scenario at a fixed seed.
+//! scenario at a fixed seed. CKKS records carry the measured op-count
+//! breakdown (`ntt_limbs`, `bconv_limb_products`, …, from
+//! `ckks::opcount`); the PIM record carries the analytic per-iteration
+//! `mmac_ops` and `bytes_internal` of the PAccum fleet.
 //!
-//! Usage: `bench_json [--quick]`
+//! Usage: `bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]`
 //!
 //! `--quick` shrinks the parameter set and thread sweep so `scripts/check.sh`
 //! can smoke-test the harness in seconds; the default configuration is what
 //! `scripts/bench.sh` runs for real measurements.
+//!
+//! `--trace-out FILE` additionally runs the Bootstrap workload on the A100
+//! near-bank platform with telemetry and writes the Chrome `trace_event`
+//! JSON (load it at `ui.perfetto.dev` or `chrome://tracing`).
+//! `--metrics-out FILE` writes the same run's metrics in the Prometheus
+//! text format. Both are virtual-time artifacts: byte-identical for every
+//! `ANAHEIM_THREADS` value.
 
+use anaheim_core::framework::{Anaheim, AnaheimConfig};
+use anaheim_core::telemetry::Telemetry;
 use ckks::keys::KeyGenerator;
 use ckks::keyswitch::KeySwitcher;
+use ckks::opcount;
 use ckks::prelude::*;
 use ckks_math::poly::Format;
 use ckks_math::sampling;
@@ -26,6 +39,7 @@ use pim::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use workloads::{run_workload_traced, Workload};
 
 struct Record {
     op: &'static str,
@@ -33,6 +47,9 @@ struct Record {
     limbs: usize,
     threads: usize,
     ns_per_op: f64,
+    /// Extra integer fields appended to the JSON record (op-count or
+    /// traffic breakdowns).
+    extras: Vec<(&'static str, u64)>,
 }
 
 /// Times `f` with one warmup call, then iterates until both `min_iters`
@@ -52,12 +69,14 @@ fn write_json(path: &str, records: &[Record]) {
     let mut s = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str(&format!(
-            "  {{\"op\": \"{}\", \"n\": {}, \"limbs\": {}, \"threads\": {}, \"ns_per_op\": {:.1}}}{}\n",
-            r.op,
-            r.n,
-            r.limbs,
-            r.threads,
-            r.ns_per_op,
+            "  {{\"op\": \"{}\", \"n\": {}, \"limbs\": {}, \"threads\": {}, \"ns_per_op\": {:.1}",
+            r.op, r.n, r.limbs, r.threads, r.ns_per_op,
+        ));
+        for (k, v) in &r.extras {
+            s.push_str(&format!(", \"{k}\": {v}"));
+        }
+        s.push_str(&format!(
+            "}}{}\n",
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -133,16 +152,67 @@ fn bench_ckks(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
     evalp.to_eval();
     let a = sampling::uniform(&mut rng, ctx.basis_q(level), Format::Eval);
 
+    // Measured op-count breakdown (`ckks::opcount`): one instrumented run
+    // per op, outside the timed loops — the counts are exact and
+    // thread-count independent, so each op's numbers are attached to every
+    // sweep point of that op.
+    let counts: Vec<(&'static str, opcount::OpCounts)> = {
+        let mut measured = Vec::new();
+        let mut measure = |op: &'static str, f: &mut dyn FnMut()| {
+            opcount::reset();
+            f();
+            measured.push((op, opcount::snapshot()));
+        };
+        measure("ntt_forward_batch", &mut || {
+            let mut p = coeff.duplicate();
+            p.to_eval();
+        });
+        measure("ntt_inverse_batch", &mut || {
+            let mut p = evalp.duplicate();
+            p.to_coeff();
+        });
+        measure("hadd", &mut || {
+            let _ = eval.add(&ct, &ct);
+        });
+        measure("keyswitch", &mut || {
+            let _ = ks.switch(&a, &relin, level);
+        });
+        measure("mul_relin", &mut || {
+            let _ = eval.mul_relin(&ct, &ct, &relin);
+        });
+        measure("rescale", &mut || {
+            let _ = eval.rescale(&ct);
+        });
+        measure("automorphism", &mut || {
+            let _ = evalp.automorphism(5);
+        });
+        opcount::reset();
+        measured
+    };
+
     let (min_iters, min_ms) = if quick { (3, 10) } else { (10, 200) };
     for &threads in sweep {
         parpool::set_threads(threads);
         let mut push = |op: &'static str, ns: f64| {
+            let c = counts
+                .iter()
+                .find(|(o, _)| *o == op)
+                .map(|(_, c)| *c)
+                .unwrap_or_default();
             records.push(Record {
                 op,
                 n,
                 limbs: level,
                 threads,
                 ns_per_op: ns,
+                extras: vec![
+                    ("ntt_limbs", c.ntt_limbs),
+                    ("intt_limbs", c.intt_limbs),
+                    ("bconv_limb_products", c.bconv_limb_products),
+                    ("ew_limb_ops", c.ew_limb_ops),
+                    ("automorphism_limbs", c.automorphism_limbs),
+                    ("keyswitches", c.keyswitches),
+                ],
             })
         };
         push(
@@ -241,15 +311,56 @@ fn bench_pim(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
             });
             assert!(results.iter().all(|r| r.is_ok()));
         });
+        // Analytic per-iteration traffic of the PAccum fleet (Alg. 1):
+        // each bank runs k MAC passes over c chunks, producing two
+        // accumulators per lane (2 MACs), and moves p (k), a+b (2k) and the
+        // two outputs through the bank-internal datapath at 4 B/element.
+        let elems = (c * ELEMS_PER_CHUNK) as u64;
+        let fleet = num_banks as u64;
         records.push(Record {
             op: "paccum_8banks",
             n: c * ELEMS_PER_CHUNK,
             limbs: num_banks,
             threads,
             ns_per_op: ns,
+            extras: vec![
+                ("mmac_ops", fleet * 2 * k as u64 * elems),
+                ("bytes_internal", fleet * (3 * k as u64 + 2) * elems * 4),
+            ],
         });
     }
     parpool::set_threads(0);
+}
+
+/// Runs the Bootstrap workload on the A100 near-bank platform with
+/// telemetry and writes the requested artifacts: a Chrome `trace_event`
+/// JSON (`--trace-out`) and/or the Prometheus metrics text
+/// (`--metrics-out`). Fixed seed; purely virtual-time, so the outputs are
+/// byte-identical across `ANAHEIM_THREADS`.
+fn emit_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) {
+    let rt = Anaheim::new(AnaheimConfig::a100_near_bank());
+    let w = Workload::boot();
+    let mut tel = Telemetry::new(42);
+    let report = run_workload_traced(&rt, &w, &mut tel)
+        .unwrap_or_else(|e| panic!("traced Bootstrap run failed: {e}"));
+    let nums = report.outcome.expect("Bootstrap fits the A100");
+    println!(
+        "\nTraced Bootstrap on {}: {:.2} ms, {} spans",
+        report.platform,
+        nums.time_ms,
+        tel.trace.len()
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(path, tel.chrome_trace()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "  wrote {path} (Chrome trace_event JSON, {} spans)",
+            tel.trace.len()
+        );
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, tel.prometheus()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  wrote {path} (Prometheus text format)");
+    }
 }
 
 /// Runs the serving-layer soak in a clean and a chaos scenario and emits
@@ -343,7 +454,31 @@ fn effective_parallelism() -> f64 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--trace-out" => {
+                trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| panic!("--trace-out needs a file path")),
+                )
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| panic!("--metrics-out needs a file path")),
+                )
+            }
+            other => panic!(
+                "unknown argument {other:?}; usage: \
+                 bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]"
+            ),
+        }
+    }
     let sweep: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     println!(
         "bench_json: mode={}, thread sweep {:?}, {} hardware threads, \
@@ -365,6 +500,10 @@ fn main() {
     print_summary("PIM", &pim_records);
 
     bench_serving(quick);
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        emit_telemetry(trace_out.as_deref(), metrics_out.as_deref());
+    }
 
     println!(
         "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records), \

@@ -9,7 +9,7 @@
 //! The same independence makes limbs the natural unit of host-side
 //! parallelism: every op here fans out one task per limb on the
 //! [`parpool`] scoped pool when the work is large enough (see
-//! [`EW_MIN_ELEMS`] / [`NTT_MIN_N`]), and falls back to the plain serial
+//! `EW_MIN_ELEMS` / `NTT_MIN_N`), and falls back to the plain serial
 //! loop otherwise. Tasks touch disjoint limbs only, so results are
 //! bit-identical for any thread count. Limb storage is recycled through the
 //! thread-local [`pool`] free-lists, so steady-state evaluation does not

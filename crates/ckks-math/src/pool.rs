@@ -11,8 +11,8 @@
 //!
 //! - **thread-local** — no locks; a buffer freed on a different thread than
 //!   it was taken from just migrates free-lists, which is fine;
-//! - **bounded** — at most [`MAX_PER_BUCKET`] buffers per length and
-//!   [`MAX_BUCKETS`] distinct lengths are retained (a process touches only
+//! - **bounded** — at most `MAX_PER_BUCKET` buffers per length and
+//!   `MAX_BUCKETS` distinct lengths are retained (a process touches only
 //!   a handful of ring degrees), excess buffers fall back to the allocator;
 //! - **content-agnostic** — recycled buffers hold stale residues; takers
 //!   must fully overwrite ([`take_zeroed`] is provided where zero-init is

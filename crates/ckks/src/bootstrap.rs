@@ -16,7 +16,7 @@
 //!    into coefficients.
 //!
 //! The linear transforms here are evaluated as *dense* DFT matrices via
-//! BSGS. The paper's fftIter-decomposed CoeffToSlot (MAD [2], Fig. 3) is a
+//! BSGS. The paper's fftIter-decomposed CoeffToSlot (MAD \[2\], Fig. 3) is a
 //! performance-level decomposition; its op-level structure is modeled in
 //! `anaheim-core::ir` while this functional implementation keeps the
 //! single-stage matrices (see DESIGN.md substitution notes).
@@ -48,7 +48,7 @@ pub struct BootstrapConfig {
     /// Baby-step count for the BSGS linear transforms.
     pub bsgs_babies: usize,
     /// `Some((c2s, s2c))` switches CoeffToSlot/SlotToCoeff to the
-    /// fftIter-decomposed butterfly factors (MAD [2], Fig. 3) instead of
+    /// fftIter-decomposed butterfly factors (MAD \[2\], Fig. 3) instead of
     /// the dense single-stage DFT matrices.
     pub fft_iter: Option<(usize, usize)>,
 }

@@ -1,5 +1,5 @@
 //! Homomorphic comparison: the building block of the paper's **Sort**
-//! workload [35] (§VII-A).
+//! workload \[35\] (§VII-A).
 //!
 //! CKKS has no native comparisons; the standard technique evaluates a
 //! composite polynomial approximation of the sign function

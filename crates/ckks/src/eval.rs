@@ -6,7 +6,7 @@
 //! - HROT — slot rotation (automorphism + key switching, hoisted form);
 //! - rescaling and level management.
 //!
-//! Rotations use the hoisted "automorphism last" evk structure [8] generated
+//! Rotations use the hoisted "automorphism last" evk structure \[8\] generated
 //! by [`crate::keys::KeyGenerator::gen_rotation`]: the key switch runs on
 //! `a` directly and the automorphism is applied to the two output
 //! polynomials, which is what lets Anaheim reorder automorphism past the
@@ -93,6 +93,30 @@ impl std::error::Error for EvalError {}
 const SCALE_RTOL: f64 = 1e-4;
 
 /// Homomorphic evaluator bound to a context.
+///
+/// ```
+/// use ckks::prelude::*;
+/// use ckks::keys::KeyGenerator;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let ctx = CkksContext::new(CkksParams::test_small());
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut kg = KeyGenerator::new(&ctx, &mut rng);
+/// let sk = kg.gen_secret();
+/// let pk = kg.gen_public(&sk);
+///
+/// let enc = Encoder::new(&ctx);
+/// let msg: Vec<Complex> = (0..ctx.slots())
+///     .map(|i| Complex::new(i as f64 * 0.01, 0.0))
+///     .collect();
+/// let ct = pk.encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+///
+/// let eval = Evaluator::new(&ctx);
+/// let sum = eval.add(&ct, &ct);
+/// let out = enc.decode(&sk.decrypt(&sum));
+/// assert!((out[1].re - 2.0 * msg[1].re).abs() < 1e-6);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Evaluator<'a> {
     ctx: &'a CkksContext,

@@ -5,7 +5,7 @@
 //! `D` decomposition digits, a pair `(b_j, a_j)` with
 //! `b_j = −a_j·s' + e_j + g_j·s''`, where `g_j = P·Q̂_j·[Q̂_j^{-1}]_{Q_j}` is
 //! the RNS gadget. Rotation keys are stored in the *hoisted* ("automorphism
-//! last") form of Bossuat et al. [8], which is the structure Anaheim's
+//! last") form of Bossuat et al. \[8\], which is the structure Anaheim's
 //! reordering relies on (§V-B): the key switches from `φ_g^{-1}(s)` to `s`,
 //! so the automorphism can be applied after the inner product, on just two
 //! polynomials.

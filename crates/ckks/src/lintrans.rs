@@ -367,7 +367,7 @@ impl LinearTransform {
 }
 
 impl LinearTransform {
-    /// BSGS with *double hoisting* (Bossuat et al. [8]; the exact flow of
+    /// BSGS with *double hoisting* (Bossuat et al. \[8\]; the exact flow of
     /// the paper's Fig. 5): the baby rotations' KeyMult outputs stay in the
     /// extended modulus `PQ`, the inner PMACs run on PQ-lifted plaintexts,
     /// and a **single ModDown per giant group** replaces the per-baby

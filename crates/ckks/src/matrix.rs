@@ -1,6 +1,6 @@
 //! Encrypted matrix–vector products — the linear-algebra entry point the
 //! Anaheim framework's high-level library advertises (§V-C) and the
-//! workhorse of the RNN workload [67] (two 128×128 matrix–vector products
+//! workhorse of the RNN workload \[67\] (two 128×128 matrix–vector products
 //! per cell).
 //!
 //! A `d × d` matrix acting on `d`-element vectors replicated across the

@@ -125,6 +125,22 @@ impl OpCounts {
             keyswitches: self.keyswitches - earlier.keyswitches,
         }
     }
+
+    /// Exports the counts as `anaheim_fn_op_limbs{op=…}` gauges (absolute
+    /// sets, so re-exporting is idempotent). The names match the catalogue
+    /// in `docs/METRICS.md`.
+    pub fn export(&self, metrics: &mut obs::MetricsRegistry) {
+        for (op, v) in [
+            ("ntt", self.ntt_limbs),
+            ("intt", self.intt_limbs),
+            ("bconv", self.bconv_limb_products),
+            ("ew", self.ew_limb_ops),
+            ("automorphism", self.automorphism_limbs),
+            ("keyswitch", self.keyswitches),
+        ] {
+            metrics.set_gauge("anaheim_fn_op_limbs", &[("op", op)], v as f64);
+        }
+    }
 }
 
 /// Takes a snapshot of this thread's counters.
@@ -251,6 +267,26 @@ mod tests {
         let before = snapshot();
         count_ntt(1);
         assert_eq!(snapshot().since(&before).ntt_limbs, 1);
+    }
+
+    #[test]
+    fn export_sets_gauges_idempotently() {
+        let counts = OpCounts {
+            ntt_limbs: 3,
+            ew_limb_ops: 7,
+            ..Default::default()
+        };
+        let mut m = obs::MetricsRegistry::new();
+        counts.export(&mut m);
+        counts.export(&mut m);
+        assert_eq!(
+            m.gauge_value("anaheim_fn_op_limbs", &[("op", "ntt")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            m.gauge_value("anaheim_fn_op_limbs", &[("op", "ew")]),
+            Some(7.0)
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! feature" routines the Anaheim framework's high-level library exposes
 //! (§V-C mentions arbitrary polynomial evaluation and DNN support).
 //!
-//! Low-degree activations (AESPA [64] uses degree-2 polynomials, HELR's
+//! Low-degree activations (AESPA \[64\] uses degree-2 polynomials, HELR's
 //! sigmoid a cubic) evaluate directly; higher degrees use the
 //! Paterson–Stockmeyer baby-step/giant-step split for `O(√d)`
 //! multiplications at `O(log d)` depth.
@@ -28,7 +28,7 @@ impl PowerSeries {
         Self { coeffs }
     }
 
-    /// The AESPA-style square activation `ax² + bx + c` [64].
+    /// The AESPA-style square activation `ax² + bx + c` \[64\].
     pub fn quadratic(a: f64, b: f64, c: f64) -> Self {
         Self::new(vec![c, b, a])
     }

@@ -1,6 +1,6 @@
 //! The "special FFT" underlying CKKS encoding, decomposed into butterfly
 //! stages (HEAAN-style), and the extraction of fftIter-grouped sparse
-//! linear-transform factors for decomposed bootstrapping (MAD [2], Fig. 3).
+//! linear-transform factors for decomposed bootstrapping (MAD \[2\], Fig. 3).
 //!
 //! Decoding evaluates the plaintext polynomial at the rotation-group roots
 //! `ζ^{5^j}`. That map factors into `log2(M)` butterfly stages plus a

@@ -318,7 +318,7 @@ impl Builder {
     }
 
     /// HROT: key switch on `a`, add `b`, automorphism last (hoisted evk
-    /// form [8]; Fig. 1 left).
+    /// form \[8\]; Fig. 1 left).
     pub fn hrot(&mut self, level: usize) -> OpSequence {
         let mut seq = OpSequence::new(self.params.clone());
         let ct_b = self.poly(ObjKind::Ciphertext, level);

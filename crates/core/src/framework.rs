@@ -17,6 +17,7 @@ use crate::ir::OpSequence;
 use crate::passes::{fuse, offload_measured, FusionConfig};
 use crate::report::ExecutionReport;
 use crate::schedule::{footprint_bytes, Scheduler, MAX_PIM_RETRIES};
+use crate::telemetry::Telemetry;
 
 /// Whether the PIM devices participate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +204,20 @@ impl Anaheim {
     /// by retry/GPU-fallback and recorded in the report; only failures no
     /// fallback can fix (e.g. an unsupported PIM instruction) surface as
     /// [`RunError`].
+    ///
+    /// ```
+    /// use anaheim_core::build::{Builder, LinTransStyle};
+    /// use anaheim_core::framework::{Anaheim, AnaheimConfig};
+    /// use anaheim_core::params::ParamSet;
+    ///
+    /// let mut b = Builder::new(ParamSet::paper_default());
+    /// let seq = b.lintrans(54, 8, LinTransStyle::Hoisting, true);
+    ///
+    /// let anaheim = Anaheim::new(AnaheimConfig::a100_near_bank());
+    /// let report = anaheim.run(seq).expect("paper-scale lintrans runs");
+    /// assert!(report.total_ns > 0.0);
+    /// assert!(report.pim_dram_bytes > 0, "element-wise blocks ran on PIM");
+    /// ```
     pub fn run(&self, mut seq: OpSequence) -> Result<ExecutionReport, RunError> {
         fuse(&mut seq, &self.config.fusion);
         match (self.config.mode, &self.config.pim) {
@@ -220,12 +235,63 @@ impl Anaheim {
         }
     }
 
+    /// [`run`](Self::run) with telemetry: the schedule is additionally
+    /// recorded into `tel` as virtual-time spans and metrics.
+    ///
+    /// ```
+    /// use anaheim_core::build::{Builder, LinTransStyle};
+    /// use anaheim_core::framework::{Anaheim, AnaheimConfig};
+    /// use anaheim_core::params::ParamSet;
+    /// use anaheim_core::telemetry::Telemetry;
+    ///
+    /// let mut b = Builder::new(ParamSet::paper_default());
+    /// let seq = b.lintrans(54, 8, LinTransStyle::Hoisting, true);
+    /// let mut tel = Telemetry::new(42);
+    /// Anaheim::new(AnaheimConfig::a100_near_bank())
+    ///     .run_traced(seq, &mut tel)
+    ///     .expect("runs");
+    /// assert!(!tel.trace.is_empty());
+    /// assert!(tel.chrome_trace().contains("\"traceEvents\""));
+    /// ```
+    pub fn run_traced(
+        &self,
+        mut seq: OpSequence,
+        tel: &mut Telemetry,
+    ) -> Result<ExecutionReport, RunError> {
+        fuse(&mut seq, &self.config.fusion);
+        match (self.config.mode, &self.config.pim) {
+            (ExecMode::GpuWithPim, Some(dev)) => {
+                offload_measured(
+                    &mut seq,
+                    &self.model,
+                    dev,
+                    self.config.layout,
+                    crate::schedule::TRANSITION_NS,
+                );
+                self.pim_scheduler(dev).run_traced(&seq, tel)
+            }
+            _ => Scheduler::gpu_only(&self.model).run_traced(&seq, tel),
+        }
+    }
+
     /// Runs a sequence without applying any passes (for ablations that
     /// prepare the sequence manually).
     pub fn run_prepared(&self, seq: &OpSequence) -> Result<ExecutionReport, RunError> {
         match (self.config.mode, &self.config.pim) {
             (ExecMode::GpuWithPim, Some(dev)) => self.pim_scheduler(dev).run(seq),
             _ => Scheduler::gpu_only(&self.model).run(seq),
+        }
+    }
+
+    /// [`run_prepared`](Self::run_prepared) with telemetry.
+    pub fn run_prepared_traced(
+        &self,
+        seq: &OpSequence,
+        tel: &mut Telemetry,
+    ) -> Result<ExecutionReport, RunError> {
+        match (self.config.mode, &self.config.pim) {
+            (ExecMode::GpuWithPim, Some(dev)) => self.pim_scheduler(dev).run_traced(seq, tel),
+            _ => Scheduler::gpu_only(&self.model).run_traced(seq, tel),
         }
     }
 
@@ -243,6 +309,22 @@ impl Anaheim {
                 self.pim_scheduler(dev).run_with_health(seq, registry)
             }
             _ => Scheduler::gpu_only(&self.model).run(seq),
+        }
+    }
+
+    /// [`run_prepared_with_health`](Self::run_prepared_with_health) with
+    /// telemetry — the serving layer's traced dispatch path.
+    pub fn run_prepared_with_health_traced(
+        &self,
+        seq: &OpSequence,
+        registry: &mut HealthRegistry,
+        tel: &mut Telemetry,
+    ) -> Result<ExecutionReport, RunError> {
+        match (self.config.mode, &self.config.pim) {
+            (ExecMode::GpuWithPim, Some(dev)) => self
+                .pim_scheduler(dev)
+                .run_with_health_traced(seq, registry, tel),
+            _ => Scheduler::gpu_only(&self.model).run_traced(seq, tel),
         }
     }
 
@@ -285,6 +367,30 @@ impl Anaheim {
                 self.pim_scheduler(dev).run_with_health(&seq, registry)
             }
             _ => Scheduler::gpu_only(&self.model).run(&seq),
+        }
+    }
+
+    /// [`run_with_health`](Self::run_with_health) with telemetry.
+    pub fn run_with_health_traced(
+        &self,
+        mut seq: OpSequence,
+        registry: &mut HealthRegistry,
+        tel: &mut Telemetry,
+    ) -> Result<ExecutionReport, RunError> {
+        fuse(&mut seq, &self.config.fusion);
+        match (self.config.mode, &self.config.pim) {
+            (ExecMode::GpuWithPim, Some(dev)) => {
+                offload_measured(
+                    &mut seq,
+                    &self.model,
+                    dev,
+                    self.config.layout,
+                    crate::schedule::TRANSITION_NS,
+                );
+                self.pim_scheduler(dev)
+                    .run_with_health_traced(&seq, registry, tel)
+            }
+            _ => Scheduler::gpu_only(&self.model).run_traced(&seq, tel),
         }
     }
 

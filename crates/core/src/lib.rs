@@ -19,6 +19,10 @@
 //!    overheads, the L2 model, and Gantt/energy reporting.
 //! 5. [`framework`] — the top-level [`framework::Anaheim`] API tying a GPU
 //!    model and a PIM device together, producing [`report::ExecutionReport`]s.
+//! 6. [`telemetry`] — the deterministic observability glue: a
+//!    [`telemetry::Telemetry`] sink (virtual-time spans + typed metrics,
+//!    backed by the `obs` crate) that the scheduler, serving layer, and
+//!    workload runner record into when tracing is requested.
 
 pub mod build;
 pub mod error;
@@ -29,6 +33,7 @@ pub mod params;
 pub mod passes;
 pub mod report;
 pub mod schedule;
+pub mod telemetry;
 
 pub use error::RunError;
 pub use framework::{Anaheim, AnaheimConfig, ExecMode};
@@ -39,3 +44,4 @@ pub use health::{
 pub use ir::{Op, OpKind, OpSequence};
 pub use params::ParamSet;
 pub use report::ExecutionReport;
+pub use telemetry::Telemetry;

@@ -4,7 +4,7 @@
 //! never needs numeric NTT tables here — the `ckks` crate instantiates
 //! small rings for functional validation, while this descriptor drives the
 //! performance model. Words are 32-bit (Cheddar-style) with double-prime
-//! scaling [1], [45]: one multiplicative *level* consumes **two** limbs.
+//! scaling \[1\], \[45\]: one multiplicative *level* consumes **two** limbs.
 
 /// A CKKS parameter descriptor for the cost model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,7 +15,7 @@ pub struct ParamSet {
     pub l_max: usize,
     /// Number of `P` limbs (α, 14 at `D = 4`).
     pub alpha: usize,
-    /// Decomposition number `D = ⌈L/α⌉` [34].
+    /// Decomposition number `D = ⌈L/α⌉` \[34\].
     pub d: usize,
     /// Word size in bytes (4: 28-bit primes stored as 32-bit words, §VI-A).
     pub word_bytes: usize,
@@ -24,7 +24,7 @@ pub struct ParamSet {
     /// Number of multiplications available between bootstraps
     /// (`L_eff`, Table I; with double-prime scaling each consumes 2 limbs).
     pub l_eff: usize,
-    /// CoeffToSlot FFT decomposition depth (fftIter, MAD [2]).
+    /// CoeffToSlot FFT decomposition depth (fftIter, MAD \[2\]).
     pub fft_iter_c2s: usize,
     /// SlotToCoeff FFT decomposition depth.
     pub fft_iter_s2c: usize,

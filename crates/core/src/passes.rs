@@ -8,7 +8,7 @@
 //!   the accumulation that follows it into a single `AutAccum` kernel,
 //!   removing the intermediate's DRAM round trip.
 //! - **ExtraFuse** (§VII-D): GPU-only producer/consumer element-wise chain
-//!   fusion (e.g. the ModDown fusion of 100x [38]) applied to the baseline
+//!   fusion (e.g. the ModDown fusion of 100x \[38\]) applied to the baseline
 //!   that keeps everything on the GPU.
 //! - **Offload** (§V-A,C): assigns every element-wise block to PIM and
 //!   inserts the user-controlled L2→DRAM write-backs required for

@@ -39,6 +39,7 @@ use crate::error::RunError;
 use crate::health::{HealthRegistry, PathDecision, RetryPolicy};
 use crate::ir::{Executor, ObjKind, Op, OpKind, OpSequence};
 use crate::report::{ExecutionReport, GanttSegment};
+use crate::telemetry::Telemetry;
 
 /// GPU↔PIM transition cost (§V-C: "a couple of microseconds").
 pub const TRANSITION_NS: f64 = 2000.0;
@@ -130,7 +131,19 @@ impl<'a> Scheduler<'a> {
     /// under an attached [`FaultPlan`] are handled by retry/degradation and
     /// recorded in the report instead.
     pub fn run(&self, seq: &OpSequence) -> Result<ExecutionReport, RunError> {
-        self.run_inner(seq, None)
+        self.run_inner(seq, None, None)
+    }
+
+    /// [`run`](Self::run) with telemetry: every kernel, handoff, backoff,
+    /// and limb batch is recorded into `tel` as virtual-time spans and
+    /// metrics. Recording happens only on this serial scheduling path, so
+    /// the exported trace is bit-identical across thread counts.
+    pub fn run_traced(
+        &self,
+        seq: &OpSequence,
+        tel: &mut Telemetry,
+    ) -> Result<ExecutionReport, RunError> {
+        self.run_inner(seq, None, Some(tel))
     }
 
     /// Runs the sequence with per-bank circuit breaking: PIM kernels are
@@ -146,6 +159,23 @@ impl<'a> Scheduler<'a> {
         seq: &OpSequence,
         registry: &mut HealthRegistry,
     ) -> Result<ExecutionReport, RunError> {
+        self.check_domains(registry)?;
+        self.run_inner(seq, Some(registry), None)
+    }
+
+    /// [`run_with_health`](Self::run_with_health) with telemetry; breaker
+    /// transitions additionally land on the trace's `health` track.
+    pub fn run_with_health_traced(
+        &self,
+        seq: &OpSequence,
+        registry: &mut HealthRegistry,
+        tel: &mut Telemetry,
+    ) -> Result<ExecutionReport, RunError> {
+        self.check_domains(registry)?;
+        self.run_inner(seq, Some(registry), Some(tel))
+    }
+
+    fn check_domains(&self, registry: &HealthRegistry) -> Result<(), RunError> {
         if let Some((dev, _)) = self.pim {
             let device = dev.dram.geometry.die_groups;
             if registry.domains() != device {
@@ -155,13 +185,14 @@ impl<'a> Scheduler<'a> {
                 });
             }
         }
-        self.run_inner(seq, Some(registry))
+        Ok(())
     }
 
     fn run_inner(
         &self,
         seq: &OpSequence,
         mut health: Option<&mut HealthRegistry>,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<ExecutionReport, RunError> {
         let n = seq.params.n() as u64;
         let mut report = ExecutionReport::default();
@@ -186,6 +217,9 @@ impl<'a> Scheduler<'a> {
                         _ => unreachable!("only element-wise ops are offloaded"),
                     };
                     if last_exec != Executor::Pim {
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.transition(now, now + TRANSITION_NS);
+                        }
                         now += TRANSITION_NS;
                         report.transitions += 1;
                         last_exec = Executor::Pim;
@@ -212,7 +246,11 @@ impl<'a> Scheduler<'a> {
                                 &mut pim_disabled,
                                 health.as_deref_mut(),
                                 &mut kernel_idx,
+                                tel.as_deref_mut(),
                             )?;
+                        }
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.transition(now, now + TRANSITION_NS);
                         }
                         now += TRANSITION_NS;
                         report.transitions += 1;
@@ -225,6 +263,17 @@ impl<'a> Scheduler<'a> {
                     report.energy_j += cost.energy_j;
                     let start = now;
                     now += cost.time_ns;
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.gpu_kernel(
+                            op.label,
+                            class_label,
+                            start,
+                            now,
+                            desc.dram_bytes(),
+                            cost.bandwidth_bound,
+                            false,
+                        );
+                    }
                     report.push_segment(GanttSegment {
                         start_ns: start,
                         end_ns: now,
@@ -246,9 +295,13 @@ impl<'a> Scheduler<'a> {
                 &mut pim_disabled,
                 health,
                 &mut kernel_idx,
+                tel.as_deref_mut(),
             )?;
         }
         report.total_ns = now;
+        if let Some(t) = tel {
+            t.run_complete(&report);
+        }
         Ok(report)
     }
 
@@ -268,6 +321,7 @@ impl<'a> Scheduler<'a> {
         pim_disabled: &mut bool,
         mut health: Option<&mut HealthRegistry>,
         kernel_idx: &mut u64,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<(), RunError> {
         if batch.is_empty() {
             return Ok(());
@@ -279,7 +333,16 @@ impl<'a> Scheduler<'a> {
             match health.as_deref_mut() {
                 Some(reg) => {
                     self.run_kernel_with_health(
-                        &exec, spec, label, now, report, pim.0, injector, reg, kid,
+                        &exec,
+                        spec,
+                        label,
+                        now,
+                        report,
+                        pim.0,
+                        injector,
+                        reg,
+                        kid,
+                        tel.as_deref_mut(),
                     )?;
                 }
                 None => {
@@ -293,6 +356,7 @@ impl<'a> Scheduler<'a> {
                         injector,
                         pim_disabled,
                         kid,
+                        tel.as_deref_mut(),
                     )?;
                 }
             }
@@ -301,6 +365,7 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Charges a PIM attempt (successful or wasted) to the timeline.
+    #[allow(clippy::too_many_arguments)]
     fn charge_pim_segment(
         &self,
         r: &pim::exec::PimKernelResult,
@@ -309,11 +374,15 @@ impl<'a> Scheduler<'a> {
         now: &mut f64,
         report: &mut ExecutionReport,
         dev: &PimDeviceConfig,
+        tel: Option<&mut Telemetry>,
     ) {
         let start = *now;
         *now += r.latency_ns;
         report.energy_j += r.energy_joules(dev);
         report.pim_dram_bytes += r.bytes_internal;
+        if let Some(t) = tel {
+            t.pim_kernel(label, start, *now, r, degraded);
+        }
         report.push_segment(GanttSegment {
             start_ns: start,
             end_ns: *now,
@@ -334,10 +403,16 @@ impl<'a> Scheduler<'a> {
         backoff_spent: &mut f64,
         now: &mut f64,
         report: &mut ExecutionReport,
+        tel: Option<&mut Telemetry>,
     ) -> bool {
         let b = self.retry.backoff_ns(kid, attempt);
         if *backoff_spent + b > self.retry.budget_ns {
             return false;
+        }
+        if let Some(t) = tel {
+            if b > 0.0 {
+                t.backoff(*now, *now + b);
+            }
         }
         *backoff_spent += b;
         *now += b;
@@ -359,11 +434,12 @@ impl<'a> Scheduler<'a> {
         injector: &mut Option<FaultInjector>,
         pim_disabled: &mut bool,
         kid: u64,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<(), RunError> {
         if *pim_disabled {
             // A prior hard fault took the PIM path out; the rest of the
             // batch re-executes on the GPU.
-            self.fallback_on_gpu(exec, &spec, label, now, report);
+            self.fallback_on_gpu(exec, &spec, label, now, report, tel);
             return Ok(());
         }
         let mut retries = 0u32;
@@ -375,26 +451,50 @@ impl<'a> Scheduler<'a> {
             };
             match outcome {
                 Ok(r) => {
-                    self.charge_pim_segment(&r, label, false, now, report, dev);
+                    self.charge_pim_segment(&r, label, false, now, report, dev, tel.as_deref_mut());
                     break;
                 }
                 Err(PimError::IntegrityViolation(violation)) => {
                     report.faults_detected += 1;
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.fault();
+                    }
                     // The failed attempt still burned time and energy.
-                    self.charge_pim_segment(&violation.wasted, label, true, now, report, dev);
+                    self.charge_pim_segment(
+                        &violation.wasted,
+                        label,
+                        true,
+                        now,
+                        report,
+                        dev,
+                        tel.as_deref_mut(),
+                    );
                     if violation.is_permanent() {
                         // Hard fault (stuck MMAC lane): retrying on PIM
                         // cannot succeed — disable the path for good.
                         *pim_disabled = true;
                     } else if retries < self.retry.max_retries
-                        && self.charge_backoff(kid, retries + 1, &mut backoff_spent, now, report)
+                        && self.charge_backoff(
+                            kid,
+                            retries + 1,
+                            &mut backoff_spent,
+                            now,
+                            report,
+                            tel.as_deref_mut(),
+                        )
                     {
                         retries += 1;
                         report.pim_retries += 1;
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.retry();
+                        }
                         continue;
                     }
                     report.pim_fallbacks += 1;
-                    self.fallback_on_gpu(exec, &spec, label, now, report);
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.fallback();
+                    }
+                    self.fallback_on_gpu(exec, &spec, label, now, report, tel);
                     break;
                 }
                 Err(e) => return Err(RunError::Pim(e)),
@@ -420,17 +520,24 @@ impl<'a> Scheduler<'a> {
         injector: &mut Option<FaultInjector>,
         reg: &mut HealthRegistry,
         kid: u64,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<(), RunError> {
         let domains = reg.domains() as u32;
         let bank = reg.assign_domain();
         let domain = BankDomain::new(bank, domains);
         let (decision, transition) = reg.decide(bank, *now);
         if let Some(t) = transition {
+            if let Some(tl) = tel.as_deref_mut() {
+                tl.breaker_transition(&t, *now);
+            }
             report.breaker_transitions.push(t);
         }
         if decision == PathDecision::Skip {
             report.breaker_skips += 1;
-            self.fallback_on_gpu(exec, &spec, label, now, report);
+            if let Some(tl) = tel.as_deref_mut() {
+                tl.breaker_skip();
+            }
+            self.fallback_on_gpu(exec, &spec, label, now, report, tel);
             return Ok(());
         }
         let mut retries = 0u32;
@@ -442,8 +549,11 @@ impl<'a> Scheduler<'a> {
             };
             match outcome {
                 Ok(r) => {
-                    self.charge_pim_segment(&r, label, false, now, report, dev);
+                    self.charge_pim_segment(&r, label, false, now, report, dev, tel.as_deref_mut());
                     if let Some(t) = reg.on_success(bank, *now) {
+                        if let Some(tl) = tel.as_deref_mut() {
+                            tl.breaker_transition(&t, *now);
+                        }
                         report.breaker_transitions.push(t);
                     }
                     break;
@@ -451,26 +561,53 @@ impl<'a> Scheduler<'a> {
                 Err(PimError::IntegrityViolation(violation)) => {
                     report.faults_detected += 1;
                     reg.counters.faults_detected += 1;
-                    self.charge_pim_segment(&violation.wasted, label, true, now, report, dev);
+                    if let Some(tl) = tel.as_deref_mut() {
+                        tl.fault();
+                    }
+                    self.charge_pim_segment(
+                        &violation.wasted,
+                        label,
+                        true,
+                        now,
+                        report,
+                        dev,
+                        tel.as_deref_mut(),
+                    );
                     let permanent = violation.is_permanent();
                     // A half-open probe gets exactly one attempt; hard
                     // faults are never retried.
                     if !permanent
                         && decision == PathDecision::Allow
                         && retries < self.retry.max_retries
-                        && self.charge_backoff(kid, retries + 1, &mut backoff_spent, now, report)
+                        && self.charge_backoff(
+                            kid,
+                            retries + 1,
+                            &mut backoff_spent,
+                            now,
+                            report,
+                            tel.as_deref_mut(),
+                        )
                     {
                         retries += 1;
                         report.pim_retries += 1;
                         reg.counters.pim_retries += 1;
+                        if let Some(tl) = tel.as_deref_mut() {
+                            tl.retry();
+                        }
                         continue;
                     }
                     if let Some(t) = reg.on_failure(bank, permanent, *now, violation.cause()) {
+                        if let Some(tl) = tel.as_deref_mut() {
+                            tl.breaker_transition(&t, *now);
+                        }
                         report.breaker_transitions.push(t);
                     }
                     report.pim_fallbacks += 1;
                     reg.counters.gpu_fallbacks += 1;
-                    self.fallback_on_gpu(exec, &spec, label, now, report);
+                    if let Some(tl) = tel.as_deref_mut() {
+                        tl.fallback();
+                    }
+                    self.fallback_on_gpu(exec, &spec, label, now, report, tel);
                     break;
                 }
                 Err(e) => return Err(RunError::Pim(e)),
@@ -489,7 +626,11 @@ impl<'a> Scheduler<'a> {
         label: &'static str,
         now: &mut f64,
         report: &mut ExecutionReport,
+        mut tel: Option<&mut Telemetry>,
     ) {
+        if let Some(t) = tel.as_deref_mut() {
+            t.transition(*now, *now + TRANSITION_NS);
+        }
         *now += TRANSITION_NS;
         report.transitions += 1;
         let p = spec.instr.profile();
@@ -502,6 +643,17 @@ impl<'a> Scheduler<'a> {
         report.energy_j += cost.energy_j;
         let start = *now;
         *now += cost.time_ns;
+        if let Some(t) = tel {
+            t.gpu_kernel(
+                label,
+                "element-wise",
+                start,
+                *now,
+                desc.dram_bytes(),
+                cost.bandwidth_bound,
+                true,
+            );
+        }
         report.push_segment(GanttSegment {
             start_ns: start,
             end_ns: *now,

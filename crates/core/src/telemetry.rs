@@ -1,0 +1,477 @@
+//! Deterministic observability glue: the [`Telemetry`] sink the scheduler,
+//! serving layer, and workload runner record into.
+//!
+//! A `Telemetry` bundles an `obs` [`TraceRecorder`] (hierarchical spans in
+//! the scheduler's virtual-time domain: segment → kernel → limb batch) with
+//! a [`MetricsRegistry`] (the counters/gauges/histograms catalogued in
+//! `docs/METRICS.md`). Every recording site is reached only from serial,
+//! virtual-time-ordered code — the scheduler loop and the serving dispatch
+//! lane — so two runs of the same workload produce byte-identical exports
+//! regardless of `ANAHEIM_THREADS`. Span ids come from the recorder's
+//! seeded SplitMix64 stream, never a wall clock or thread id.
+//!
+//! Tracing is strictly opt-in: the scheduler takes `Option<&mut Telemetry>`
+//! internally, and the untraced entry points pass `None`, so the disabled
+//! path costs one branch per recording site and allocates nothing.
+
+use obs::{MetricsRegistry, SpanId, TraceRecorder};
+use pim::exec::PimKernelResult;
+
+use crate::health::{BreakerTransition, HealthSnapshot};
+use crate::report::ExecutionReport;
+
+/// Metric names recorded by the scheduler and exporters, kept as constants
+/// so the code, the tests, and `docs/METRICS.md` cannot drift apart.
+pub mod names {
+    /// Kernels executed, by `executor` (gpu/pim) and `class`.
+    pub const KERNELS_TOTAL: &str = "anaheim_kernels_total";
+    /// Per-kernel virtual duration histogram, by `executor` and `class`.
+    pub const KERNEL_NS: &str = "anaheim_kernel_ns";
+    /// Bytes moved over the GPU's HBM interface (post-L2 DRAM traffic).
+    pub const HBM_BYTES: &str = "anaheim_hbm_bytes_total";
+    /// Bytes streamed bank ↔ PIM unit, never crossing the external bus.
+    pub const PIM_INTERNAL_BYTES: &str = "anaheim_pim_internal_bytes_total";
+    /// Modular ops executed by the PIM MMAC lanes.
+    pub const PIM_MMAC_OPS: &str = "anaheim_pim_mmac_ops_total";
+    /// ACT/PRE pairs issued by PIM kernels.
+    pub const PIM_ACTS: &str = "anaheim_pim_acts_total";
+    /// GPU↔PIM stream handoffs.
+    pub const TRANSITIONS: &str = "anaheim_transitions_total";
+    /// Integrity-check failures observed on the PIM path.
+    pub const FAULTS: &str = "anaheim_faults_detected_total";
+    /// PIM retries taken after transient failures.
+    pub const RETRIES: &str = "anaheim_pim_retries_total";
+    /// Kernels re-executed on the GPU after exhausting PIM attempts.
+    pub const FALLBACKS: &str = "anaheim_pim_fallbacks_total";
+    /// Kernels routed straight to the GPU by an open breaker.
+    pub const BREAKER_SKIPS: &str = "anaheim_breaker_skips_total";
+    /// Breaker state changes, by destination state (`to`).
+    pub const BREAKER_TRANSITIONS: &str = "anaheim_breaker_transitions_total";
+    /// Retry backoff charged to the timeline (gauge, ns).
+    pub const BACKOFF_NS: &str = "anaheim_backoff_ns";
+    /// Virtual time at the end of the last run (gauge, ns).
+    pub const VIRTUAL_TIME_NS: &str = "anaheim_virtual_time_ns";
+    /// Energy accumulated across runs (gauge, J).
+    pub const ENERGY_J: &str = "anaheim_energy_joules";
+    /// Per-bank breaker state (0 closed, 1 half-open, 2 open), by `bank`.
+    pub const BANK_STATE: &str = "anaheim_bank_state";
+    /// Per-bank breaker trips, by `bank`.
+    pub const BANK_TRIPS: &str = "anaheim_bank_trips_total";
+    /// High-water mark of the serving admission queue.
+    pub const QUEUE_DEPTH_MAX: &str = "anaheim_queue_depth_max";
+    /// Serving lifecycle events, by `event` (submitted/completed/…).
+    pub const SERVING_EVENTS: &str = "anaheim_serving_events_total";
+    /// Slack (deadline − finish) of completed requests (histogram, ns).
+    pub const DEADLINE_SLACK_NS: &str = "anaheim_deadline_slack_ns";
+    /// End-to-end latency of completed requests (histogram, ns).
+    pub const REQUEST_LATENCY_NS: &str = "anaheim_request_latency_ns";
+    /// FN-level CKKS op counts in limbs, by `op` (exported by
+    /// `ckks::opcount::OpCounts::export`).
+    pub const FN_OP_LIMBS: &str = "anaheim_fn_op_limbs";
+}
+
+/// Deadline-slack / latency bucket bounds: 1 µs … 10 s in decades.
+const SLACK_BOUNDS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// The recording sink: one trace recorder plus one metrics registry.
+///
+/// Layers record through the typed hooks below (the scheduler) or directly
+/// into the public fields (serving, workloads, benches) using the names in
+/// [`names`].
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// The virtual-time span recorder.
+    pub trace: TraceRecorder,
+    /// The typed metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// A telemetry sink whose span ids are seeded with `seed`, with the
+    /// full Anaheim metric catalogue described up front.
+    pub fn new(seed: u64) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        metrics.describe_counter(
+            names::KERNELS_TOTAL,
+            "Kernels executed, by executor and class",
+            "kernels",
+        );
+        metrics.describe_histogram(
+            names::KERNEL_NS,
+            "Per-kernel virtual duration",
+            "ns",
+            obs::metrics::DEFAULT_NS_BOUNDS,
+        );
+        metrics.describe_counter(
+            names::HBM_BYTES,
+            "Bytes moved over the GPU HBM interface (post-L2)",
+            "bytes",
+        );
+        metrics.describe_counter(
+            names::PIM_INTERNAL_BYTES,
+            "Bytes streamed bank-to-PIM-unit, internal to the stack",
+            "bytes",
+        );
+        metrics.describe_counter(
+            names::PIM_MMAC_OPS,
+            "Modular ops executed by PIM MMAC lanes",
+            "ops",
+        );
+        metrics.describe_counter(
+            names::PIM_ACTS,
+            "ACT/PRE pairs issued by PIM kernels",
+            "acts",
+        );
+        metrics.describe_counter(names::TRANSITIONS, "GPU-PIM stream handoffs", "handoffs");
+        metrics.describe_counter(
+            names::FAULTS,
+            "Integrity-check failures on the PIM path",
+            "faults",
+        );
+        metrics.describe_counter(
+            names::RETRIES,
+            "PIM retries after transient failures",
+            "retries",
+        );
+        metrics.describe_counter(
+            names::FALLBACKS,
+            "Kernels re-executed on the GPU after exhausting PIM attempts",
+            "kernels",
+        );
+        metrics.describe_counter(
+            names::BREAKER_SKIPS,
+            "Kernels routed straight to the GPU by an open breaker",
+            "kernels",
+        );
+        metrics.describe_counter(
+            names::BREAKER_TRANSITIONS,
+            "Breaker state changes, by destination state",
+            "transitions",
+        );
+        metrics.describe_gauge(
+            names::BACKOFF_NS,
+            "Retry backoff charged to the timeline",
+            "ns",
+        );
+        metrics.describe_gauge(
+            names::VIRTUAL_TIME_NS,
+            "Virtual time at the end of the last run",
+            "ns",
+        );
+        metrics.describe_gauge(names::ENERGY_J, "Energy accumulated across runs", "J");
+        metrics.describe_gauge(
+            names::BANK_STATE,
+            "Breaker state per bank domain (0 closed, 1 half-open, 2 open)",
+            "state",
+        );
+        metrics.describe_counter(names::BANK_TRIPS, "Breaker trips per bank domain", "trips");
+        metrics.describe_gauge(
+            names::QUEUE_DEPTH_MAX,
+            "High-water mark of the serving admission queue",
+            "requests",
+        );
+        metrics.describe_counter(
+            names::SERVING_EVENTS,
+            "Serving lifecycle events, by event",
+            "requests",
+        );
+        metrics.describe_histogram(
+            names::DEADLINE_SLACK_NS,
+            "Slack (deadline minus finish) of completed requests",
+            "ns",
+            SLACK_BOUNDS,
+        );
+        metrics.describe_histogram(
+            names::REQUEST_LATENCY_NS,
+            "End-to-end latency of completed requests",
+            "ns",
+            SLACK_BOUNDS,
+        );
+        metrics.describe_gauge(
+            names::FN_OP_LIMBS,
+            "FN-level CKKS op counts in limbs, by op",
+            "limbs",
+        );
+        Self {
+            trace: TraceRecorder::new(seed),
+            metrics,
+        }
+    }
+
+    /// Sets the virtual-time base for subsequent spans (mirrors
+    /// `HealthRegistry::set_base_ns`; the serving layer sets both to each
+    /// request's start time so the exported timeline is globally ordered).
+    pub fn set_base_ns(&mut self, base_ns: f64) {
+        self.trace.set_base_ns(base_ns);
+    }
+
+    /// Renders the trace as Chrome `trace_event` JSON (Perfetto-loadable).
+    pub fn chrome_trace(&self) -> String {
+        obs::export::chrome_trace_json(&self.trace)
+    }
+
+    /// Renders the metrics in the Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+
+    /// Opens a segment-level span (workload segments, serving requests).
+    pub fn open_segment(
+        &mut self,
+        name: impl Into<String>,
+        track: &'static str,
+        start_ns: f64,
+    ) -> SpanId {
+        self.trace.open(name, "segment", track, start_ns)
+    }
+
+    /// Closes a segment span opened with [`Self::open_segment`].
+    pub fn close_segment(&mut self, id: SpanId, end_ns: f64) {
+        self.trace.close(id, end_ns);
+    }
+
+    /// Records a GPU kernel: one leaf span on the `GPU` track plus kernel
+    /// counters and the duration histogram.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gpu_kernel(
+        &mut self,
+        label: &'static str,
+        class: &'static str,
+        start_ns: f64,
+        end_ns: f64,
+        dram_bytes: u64,
+        bandwidth_bound: bool,
+        degraded: bool,
+    ) {
+        self.trace.leaf(
+            label,
+            class,
+            "GPU",
+            start_ns,
+            end_ns,
+            vec![
+                ("bytes", dram_bytes.into()),
+                ("bandwidth_bound", bandwidth_bound.into()),
+                ("degraded", degraded.into()),
+            ],
+        );
+        self.metrics.inc(
+            names::KERNELS_TOTAL,
+            &[("executor", "gpu"), ("class", class)],
+            1,
+        );
+        self.metrics.observe(
+            names::KERNEL_NS,
+            &[("executor", "gpu"), ("class", class)],
+            end_ns - start_ns,
+        );
+        self.metrics.inc(names::HBM_BYTES, &[], dram_bytes);
+    }
+
+    /// Records a PIM kernel: a kernel span on the `PIM` track with one
+    /// child span per sequential limb batch (the kernel's latency divides
+    /// evenly across `r.limb_batches` die-group-parallel rounds), plus the
+    /// PIM traffic/compute counters.
+    pub fn pim_kernel(
+        &mut self,
+        label: &'static str,
+        start_ns: f64,
+        end_ns: f64,
+        r: &PimKernelResult,
+        degraded: bool,
+    ) {
+        let id = self.trace.open(label, "element-wise", "PIM", start_ns);
+        let batches = r.limb_batches.max(1);
+        let dt = (end_ns - start_ns) / batches as f64;
+        for b in 0..batches {
+            self.trace.leaf(
+                format!("limb-batch {b}"),
+                "limb-batch",
+                "PIM",
+                start_ns + b as f64 * dt,
+                start_ns + (b + 1) as f64 * dt,
+                vec![("batch", b.into())],
+            );
+        }
+        self.trace.annotate(id, "bytes_internal", r.bytes_internal);
+        self.trace.annotate(id, "mmac_ops", r.mmac_ops);
+        self.trace.annotate(id, "degraded", degraded);
+        self.trace.close(id, end_ns);
+        self.metrics.inc(
+            names::KERNELS_TOTAL,
+            &[("executor", "pim"), ("class", "element-wise")],
+            1,
+        );
+        self.metrics.observe(
+            names::KERNEL_NS,
+            &[("executor", "pim"), ("class", "element-wise")],
+            end_ns - start_ns,
+        );
+        self.metrics
+            .inc(names::PIM_INTERNAL_BYTES, &[], r.bytes_internal);
+        self.metrics.inc(names::PIM_MMAC_OPS, &[], r.mmac_ops);
+        self.metrics.inc(names::PIM_ACTS, &[], r.acts_total);
+    }
+
+    /// Records one GPU↔PIM stream handoff.
+    pub fn transition(&mut self, start_ns: f64, end_ns: f64) {
+        self.trace
+            .leaf("handoff", "transition", "stream", start_ns, end_ns, vec![]);
+        self.metrics.inc(names::TRANSITIONS, &[], 1);
+    }
+
+    /// Records retry backoff charged to the timeline.
+    pub fn backoff(&mut self, start_ns: f64, end_ns: f64) {
+        self.trace
+            .leaf("backoff", "backoff", "PIM", start_ns, end_ns, vec![]);
+        self.metrics
+            .add_gauge(names::BACKOFF_NS, &[], end_ns - start_ns);
+    }
+
+    /// Records an integrity-check failure.
+    pub fn fault(&mut self) {
+        self.metrics.inc(names::FAULTS, &[], 1);
+    }
+
+    /// Records a PIM retry.
+    pub fn retry(&mut self) {
+        self.metrics.inc(names::RETRIES, &[], 1);
+    }
+
+    /// Records a GPU fallback after exhausted PIM attempts.
+    pub fn fallback(&mut self) {
+        self.metrics.inc(names::FALLBACKS, &[], 1);
+    }
+
+    /// Records a kernel skipped past PIM by an open breaker.
+    pub fn breaker_skip(&mut self) {
+        self.metrics.inc(names::BREAKER_SKIPS, &[], 1);
+    }
+
+    /// Records a breaker state change: a zero-width marker span on the
+    /// `health` track at local scheduler time `local_now_ns`, plus the
+    /// destination-state counter.
+    pub fn breaker_transition(&mut self, t: &BreakerTransition, local_now_ns: f64) {
+        let to = t.to.to_string();
+        self.trace.leaf(
+            format!("bank{} {}\u{2192}{}", t.bank, t.from, t.to),
+            "breaker",
+            "health",
+            local_now_ns,
+            local_now_ns,
+            vec![("cause", t.cause.into())],
+        );
+        self.metrics
+            .inc(names::BREAKER_TRANSITIONS, &[("to", &to)], 1);
+    }
+
+    /// Records run-level aggregates after a scheduler run completes.
+    pub fn run_complete(&mut self, report: &ExecutionReport) {
+        self.metrics.set_gauge(
+            names::VIRTUAL_TIME_NS,
+            &[],
+            self.trace.base_ns() + report.total_ns,
+        );
+        self.metrics
+            .add_gauge(names::ENERGY_J, &[], report.energy_j);
+    }
+
+    /// Exports a [`HealthSnapshot`] idempotently (absolute sets, no
+    /// increments), so re-exporting after every request converges on the
+    /// final state instead of double counting.
+    pub fn export_health(&mut self, snap: &HealthSnapshot) {
+        for b in &snap.banks {
+            let bank = b.bank.to_string();
+            let state = match b.state {
+                crate::health::BreakerState::Closed => 0.0,
+                crate::health::BreakerState::HalfOpen => 1.0,
+                crate::health::BreakerState::Open => 2.0,
+            };
+            self.metrics
+                .set_gauge(names::BANK_STATE, &[("bank", &bank)], state);
+            self.metrics
+                .set_counter(names::BANK_TRIPS, &[("bank", &bank)], b.trips as u64);
+        }
+        let c = &snap.counters;
+        for (event, v) in [
+            ("submitted", c.submitted),
+            ("completed", c.completed),
+            ("deadline-miss", c.deadline_misses),
+            ("shed-queue-full", c.shed_queue_full),
+            ("shed-infeasible", c.shed_infeasible),
+            ("probes", c.probes),
+            ("probe-failures", c.probe_failures),
+        ] {
+            self.metrics
+                .set_counter(names::SERVING_EVENTS, &[("event", event)], v);
+        }
+        self.metrics
+            .set_gauge(names::QUEUE_DEPTH_MAX, &[], c.max_queue_depth as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_described_up_front() {
+        let t = Telemetry::new(1);
+        let text = t.metrics.render_prometheus();
+        // Descriptions alone render nothing until a series exists.
+        assert!(text.is_empty());
+        let mut t = Telemetry::new(1);
+        t.metrics.inc(names::TRANSITIONS, &[], 1);
+        let text = t.metrics.render_prometheus();
+        assert!(text.contains("# HELP anaheim_transitions_total"));
+        assert!(text.contains("# TYPE anaheim_transitions_total counter"));
+    }
+
+    #[test]
+    fn pim_kernel_emits_limb_batch_children() {
+        let mut t = Telemetry::new(3);
+        let r = PimKernelResult {
+            latency_ns: 400.0,
+            limb_batches: 4,
+            bytes_internal: 1024,
+            mmac_ops: 99,
+            ..Default::default()
+        };
+        t.pim_kernel("PAccum", 100.0, 500.0, &r, false);
+        // 1 kernel span + 4 limb-batch children.
+        assert_eq!(t.trace.len(), 5);
+        let kernel = &t.trace.spans()[0];
+        assert_eq!(kernel.cat, "element-wise");
+        for (i, s) in t.trace.spans()[1..].iter().enumerate() {
+            assert_eq!(s.parent, Some(kernel.id));
+            assert_eq!(s.cat, "limb-batch");
+            assert!((s.start_ns - (100.0 + i as f64 * 100.0)).abs() < 1e-9);
+        }
+        assert_eq!(
+            t.metrics.counter_value(
+                names::KERNELS_TOTAL,
+                &[("executor", "pim"), ("class", "element-wise")]
+            ),
+            1
+        );
+        assert_eq!(
+            t.metrics.counter_value(names::PIM_INTERNAL_BYTES, &[]),
+            1024
+        );
+    }
+
+    #[test]
+    fn health_export_is_idempotent() {
+        use crate::health::{BreakerConfig, HealthRegistry};
+        let mut reg = HealthRegistry::new(2, BreakerConfig::default());
+        reg.counters.completed = 5;
+        reg.on_failure(1, true, 3.0, "stuck-lane");
+        let mut t = Telemetry::new(0);
+        t.export_health(&reg.snapshot());
+        let once = t.prometheus();
+        t.export_health(&reg.snapshot());
+        assert_eq!(once, t.prometheus(), "re-export must not double count");
+        assert!(once.contains("anaheim_bank_state{bank=\"1\"} 2"));
+        assert!(once.contains("anaheim_serving_events_total{event=\"completed\"} 5"));
+    }
+}

@@ -3,7 +3,7 @@
 //! FHE data objects are huge and uniform (a limb is `N` words; an evk is
 //! hundreds of MB), so a byte-accurate cache simulation adds nothing over
 //! object-granularity LRU: an access either finds the whole object resident
-//! or streams it from DRAM (§III-A D1). This is also how MAD [2] reasons
+//! or streams it from DRAM (§III-A D1). This is also how MAD \[2\] reasons
 //! about caching, which the paper borrows for its DRAM-traffic estimates
 //! (§V-D).
 

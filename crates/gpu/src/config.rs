@@ -113,7 +113,7 @@ pub struct LibraryProfile {
 }
 
 impl LibraryProfile {
-    /// Cheddar [44] — the paper's baseline library.
+    /// Cheddar \[44\] — the paper's baseline library.
     pub fn cheddar() -> Self {
         Self {
             name: "Cheddar",
@@ -124,7 +124,7 @@ impl LibraryProfile {
         }
     }
 
-    /// 100x [38].
+    /// 100x \[38\].
     pub fn hundredx() -> Self {
         Self {
             name: "100x",
@@ -135,7 +135,7 @@ impl LibraryProfile {
         }
     }
 
-    /// Phantom [77].
+    /// Phantom \[77\].
     pub fn phantom() -> Self {
         Self {
             name: "Phantom",

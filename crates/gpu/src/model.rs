@@ -12,6 +12,10 @@ pub struct KernelCost {
     pub energy_j: f64,
     /// True if the bandwidth side of the roofline bound the kernel.
     pub bandwidth_bound: bool,
+    /// The compute side of the roofline, before taking the max.
+    pub compute_ns: f64,
+    /// The memory side of the roofline, before taking the max.
+    pub mem_ns: f64,
 }
 
 impl KernelCost {
@@ -20,6 +24,8 @@ impl KernelCost {
         self.time_ns += other.time_ns;
         self.energy_j += other.energy_j;
         self.bandwidth_bound = self.bandwidth_bound || other.bandwidth_bound;
+        self.compute_ns += other.compute_ns;
+        self.mem_ns += other.mem_ns;
     }
 }
 
@@ -78,6 +84,8 @@ impl GpuModel {
             time_ns,
             energy_j,
             bandwidth_bound: mem_ns > compute_ns,
+            compute_ns,
+            mem_ns,
         }
     }
 

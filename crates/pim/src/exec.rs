@@ -49,6 +49,11 @@ pub struct PimKernelResult {
     pub acts_total: u64,
     /// Total bytes streamed between banks and PIM units.
     pub bytes_internal: u64,
+    /// Sequential limb batches (`⌈limbs/die_groups⌉`): each batch runs one
+    /// limb on every die group in parallel, so the kernel's latency divides
+    /// evenly across them. Trace exporters use this to draw the
+    /// segment → kernel → limb-batch hierarchy.
+    pub limb_batches: u64,
 }
 
 impl PimKernelResult {
@@ -65,6 +70,7 @@ impl PimKernelResult {
         self.mmac_ops += other.mmac_ops;
         self.acts_total += other.acts_total;
         self.bytes_internal += other.bytes_internal;
+        self.limb_batches += other.limb_batches;
     }
 }
 
@@ -247,6 +253,7 @@ impl<'a> PimExecutor<'a> {
             mmac_ops: (spec.n * spec.limbs) as u64 * spec.instr.mmac_ops_per_element() as u64,
             acts_total: acts_per_bank * limb_events,
             bytes_internal: bytes,
+            limb_batches: limbs_per_group as u64,
         }
     }
 

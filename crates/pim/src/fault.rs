@@ -11,7 +11,7 @@
 //! PIM systems):
 //!
 //! - **Bank cell bit flips** — a random bit of a random stored chunk is
-//!   inverted ([`FaultInjector::corrupt_bank`]), caught afterwards by the
+//!   inverted ([`FaultInjector::maybe_corrupt_bank`]), caught afterwards by the
 //!   per-PolyGroup residue checksums.
 //! - **Stuck MMAC lanes** — one of the eight 28-bit lanes behind the
 //!   256-bit global I/O always drives its stuck value (a *hard* fault;
@@ -25,6 +25,21 @@ use dram::engine::BankCommand;
 
 /// Per-run fault configuration. `FaultPlan::none()` (also `Default`)
 /// disables every fault class.
+///
+/// ```
+/// use pim::fault::FaultPlan;
+///
+/// let plan = FaultPlan::none()
+///     .with_seed(23)
+///     .with_bank_flips(0.01)
+///     .with_stuck_lane(3);
+/// assert!(!plan.is_benign());
+///
+/// // Derived streams re-seed deterministically: the same (seed, salt)
+/// // always yields the same stream, independent of execution order.
+/// assert_eq!(plan.derive_stream(5).seed, plan.derive_stream(5).seed);
+/// assert_ne!(plan.derive_stream(5).seed, plan.derive_stream(6).seed);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the deterministic fault stream.

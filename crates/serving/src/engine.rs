@@ -29,6 +29,7 @@ use anaheim_core::framework::{Anaheim, AnaheimConfig};
 use anaheim_core::health::{BreakerConfig, HealthRegistry, HealthSnapshot, RetryPolicy};
 use anaheim_core::ir::OpSequence;
 use anaheim_core::schedule::Scheduler;
+use anaheim_core::telemetry::{names, Telemetry};
 use anaheim_core::RunError;
 use pim::fault::FaultPlan;
 
@@ -138,8 +139,52 @@ impl ServingEngine {
     /// Serves a trace of requests, returning one response per request
     /// (sorted by id). Fails only on configuration-level errors the
     /// degradation machinery cannot absorb.
+    ///
+    /// ```
+    /// use anaheim_core::build::{Builder, LinTransStyle};
+    /// use anaheim_core::params::ParamSet;
+    /// use serving::{Priority, Request, ServingConfig, ServingEngine};
+    ///
+    /// let mut b = Builder::new(ParamSet::paper_default());
+    /// let req = Request {
+    ///     id: 0,
+    ///     tenant: 0,
+    ///     priority: Priority::Standard,
+    ///     arrival_ns: 0.0,
+    ///     deadline_ns: 1e12,
+    ///     seq: b.lintrans(24, 4, LinTransStyle::Hoisting, true),
+    ///     fault: None,
+    ///     label: "lintrans",
+    /// };
+    /// let mut engine = ServingEngine::new(ServingConfig::a100_default(7));
+    /// let responses = engine.run_trace(&[req]).expect("serves");
+    /// assert!(responses[0].outcome.is_completed());
+    /// ```
     pub fn run_trace(&mut self, trace: &[Request]) -> Result<Vec<Response>, RunError> {
-        // Step 1: pure per-request preparation, in parallel.
+        self.run_trace_inner(trace, None)
+    }
+
+    /// [`run_trace`](Self::run_trace) with telemetry: each dispatched
+    /// request becomes a `serving`-track span (children: its kernels),
+    /// latency/slack land in histograms, and the final health snapshot is
+    /// exported idempotently. Recording happens only on the serial
+    /// dispatch lane, so the exports are bit-identical across
+    /// `ANAHEIM_THREADS`.
+    pub fn run_trace_traced(
+        &mut self,
+        trace: &[Request],
+        tel: &mut Telemetry,
+    ) -> Result<Vec<Response>, RunError> {
+        self.run_trace_inner(trace, Some(tel))
+    }
+
+    fn run_trace_inner(
+        &mut self,
+        trace: &[Request],
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<Vec<Response>, RunError> {
+        // Step 1: pure per-request preparation, in parallel. Nothing is
+        // recorded here — telemetry is confined to the serial lane below.
         let rt = &self.rt;
         let prepared: Vec<Result<Prepared, RunError>> =
             parpool::par_map(trace, |_, req| Self::prepare_one(rt, req));
@@ -152,25 +197,51 @@ impl ServingEngine {
         let mut responses = Vec::with_capacity(trace.len());
         for p in prepared {
             let now = p.arrival_ns;
-            self.dispatch_until(&queue, &mut lanes, now, &mut responses)?;
+            self.dispatch_until(&queue, &mut lanes, now, &mut responses, tel.as_deref_mut())?;
             self.registry.counters.submitted += 1;
             if queue.len() >= self.queue_capacity {
                 self.registry.counters.shed_queue_full += 1;
+                Self::shed_marker(tel.as_deref_mut(), &p, "queue-full");
                 responses.push(Self::rejection(&p, Rejected::QueueFull));
                 continue;
             }
             let projected = Self::projected_start_ns(&lanes, &queue, &p, now);
             if projected + p.estimate_ns > p.deadline_ns {
                 self.registry.counters.shed_infeasible += 1;
+                Self::shed_marker(tel.as_deref_mut(), &p, "deadline-infeasible");
                 responses.push(Self::rejection(&p, Rejected::DeadlineInfeasible));
                 continue;
             }
             let depth = queue.submit(p).expect("capacity checked above");
             self.registry.note_queue_depth(depth);
         }
-        self.dispatch_until(&queue, &mut lanes, f64::INFINITY, &mut responses)?;
+        self.dispatch_until(
+            &queue,
+            &mut lanes,
+            f64::INFINITY,
+            &mut responses,
+            tel.as_deref_mut(),
+        )?;
+        if let Some(t) = tel {
+            t.export_health(&self.registry.snapshot());
+        }
         responses.sort_by_key(|r| r.id);
         Ok(responses)
+    }
+
+    /// Records a zero-width shed marker at the request's arrival time.
+    fn shed_marker(tel: Option<&mut Telemetry>, p: &Prepared, reason: &'static str) {
+        if let Some(t) = tel {
+            t.set_base_ns(0.0);
+            t.trace.leaf(
+                format!("req{} shed", p.id),
+                "shed",
+                "serving",
+                p.arrival_ns,
+                p.arrival_ns,
+                vec![("reason", reason.into())],
+            );
+        }
     }
 
     /// Fuses/offloads one request and costs it fault-free. Pure: no shared
@@ -244,6 +315,7 @@ impl ServingEngine {
         lanes: &mut [f64],
         until_ns: f64,
         responses: &mut Vec<Response>,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<(), RunError> {
         loop {
             let Some(arrival) = queue.peek(|p| p.arrival_ns) else {
@@ -255,7 +327,7 @@ impl ServingEngine {
                 return Ok(());
             }
             let p = queue.pop().expect("peek saw an item");
-            let (response, finish) = self.execute(p, start)?;
+            let (response, finish) = self.execute(p, start, tel.as_deref_mut())?;
             lanes[lane] = finish;
             responses.push(response);
         }
@@ -263,10 +335,21 @@ impl ServingEngine {
 
     /// Runs one request through the breaker-gated scheduler at virtual
     /// time `start`.
-    fn execute(&mut self, p: Prepared, start: f64) -> Result<(Response, f64), RunError> {
+    fn execute(
+        &mut self,
+        p: Prepared,
+        start: f64,
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<(Response, f64), RunError> {
         let rt = &self.rt;
         let registry = &mut self.registry;
         registry.set_base_ns(start);
+        let span = tel.as_deref_mut().map(|t| {
+            // Trace and registry share the same base so kernel spans and
+            // breaker markers land inside this request's window.
+            t.set_base_ns(start);
+            t.open_segment(format!("req{} {}", p.id, p.label), "serving", 0.0)
+        });
         let cfg = rt.config();
         let report = match &cfg.pim {
             Some(dev) if cfg.mode == anaheim_core::framework::ExecMode::GpuWithPim => {
@@ -275,9 +358,15 @@ impl ServingEngine {
                 if let Some(plan) = p.fault {
                     s = s.with_fault_plan(plan);
                 }
-                s.run_with_health(&p.seq, registry)?
+                match tel.as_deref_mut() {
+                    Some(t) => s.run_with_health_traced(&p.seq, registry, t)?,
+                    None => s.run_with_health(&p.seq, registry)?,
+                }
             }
-            _ => Scheduler::gpu_only(rt.model()).run(&p.seq)?,
+            _ => match tel.as_deref_mut() {
+                Some(t) => Scheduler::gpu_only(rt.model()).run_traced(&p.seq, t)?,
+                None => Scheduler::gpu_only(rt.model()).run(&p.seq)?,
+            },
         };
         let finish = start + report.total_ns;
         let outcome = if finish <= p.deadline_ns {
@@ -298,6 +387,26 @@ impl ServingEngine {
                 deadline_ns: p.deadline_ns,
             }
         };
+        if let (Some(t), Some(id)) = (tel, span) {
+            let completed = matches!(outcome, Outcome::Completed { .. });
+            t.trace.annotate(id, "deadline_ns", p.deadline_ns);
+            t.trace.annotate(
+                id,
+                "outcome",
+                if completed {
+                    "completed"
+                } else {
+                    "deadline-miss"
+                },
+            );
+            t.close_segment(id, report.total_ns);
+            t.metrics
+                .observe(names::REQUEST_LATENCY_NS, &[], report.total_ns);
+            if completed {
+                t.metrics
+                    .observe(names::DEADLINE_SLACK_NS, &[], p.deadline_ns - finish);
+            }
+        }
         Ok((
             Response {
                 id: p.id,
@@ -399,6 +508,45 @@ mod tests {
         assert_eq!(e.registry().counters.max_queue_depth, 2);
         let served = rs.iter().filter(|r| r.outcome.is_completed()).count();
         assert_eq!(served + shed, 7);
+    }
+
+    #[test]
+    fn traced_run_records_request_segments_and_health() {
+        let mut e = engine();
+        let trace: Vec<Request> = (0..2)
+            .map(|i| req(i, i as f64 * 1e3, 1e12, Priority::Standard))
+            .collect();
+        let mut tel = Telemetry::new(7);
+        let rs = e.run_trace_traced(&trace, &mut tel).unwrap();
+        assert!(rs.iter().all(|r| r.outcome.is_completed()));
+        let segments: Vec<_> = tel
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.track == "serving" && s.cat == "segment")
+            .collect();
+        assert_eq!(segments.len(), 2, "one segment span per dispatched request");
+        assert!(segments.iter().any(|s| s.name == "req0 lintrans"));
+        // Kernel spans nest under the request segments.
+        assert!(tel.trace.spans().iter().any(|s| s.cat == "element-wise"));
+        // Latency observed per request; health exported once at the end.
+        let lat = tel
+            .metrics
+            .histogram(names::REQUEST_LATENCY_NS, &[])
+            .unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(
+            tel.metrics
+                .counter_value(names::SERVING_EVENTS, &[("event", "submitted")]),
+            2
+        );
+        // The same trace, replayed through a fresh engine, renders
+        // byte-identically (the serial-lane determinism contract).
+        let mut e2 = engine();
+        let mut tel2 = Telemetry::new(7);
+        e2.run_trace_traced(&trace, &mut tel2).unwrap();
+        assert_eq!(tel.chrome_trace(), tel2.chrome_trace());
+        assert_eq!(tel.prometheus(), tel2.prometheus());
     }
 
     #[test]

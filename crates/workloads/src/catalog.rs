@@ -55,7 +55,7 @@ impl Workload {
         }
     }
 
-    /// **HELR** [33]: one iteration of 1024-batch logistic-regression
+    /// **HELR** \[33\]: one iteration of 1024-batch logistic-regression
     /// training on 14×14 MNIST; only 196 weights need bootstrapping, so
     /// the (sparse-slot) bootstrap is cheap and ModSwitch dominates
     /// (§VII-B). `L_eff = 10`.
@@ -95,7 +95,7 @@ impl Workload {
         }
     }
 
-    /// **Sort** [35]: two-way sorting of 2^14 values via a bitonic-style
+    /// **Sort** \[35\]: two-way sorting of 2^14 values via a bitonic-style
     /// k-way network: `log²(2^14) ≈ 105` comparator stages, each a
     /// minimax-composite comparison (~9 multiplicative levels) plus swap
     /// arithmetic; a bootstrap roughly every `L_eff = 9` multiplications.
@@ -141,7 +141,7 @@ impl Workload {
         }
     }
 
-    /// **RNN** [67]: 200 evaluations of an RNN cell over a 32-batch of
+    /// **RNN** \[67\]: 200 evaluations of an RNN cell over a 32-batch of
     /// 128-long embeddings: two 128×128 matrix-vector products + tanh
     /// activation per cell; a bootstrap every other cell (`L_eff = 10`).
     pub fn rnn() -> Self {
@@ -182,7 +182,7 @@ impl Workload {
         }
     }
 
-    /// **ResNet20** [49]: CIFAR-10 inference with multiplexed parallel
+    /// **ResNet20** \[49\]: CIFAR-10 inference with multiplexed parallel
     /// convolutions: ~20 convolution layers (rotation-heavy linear
     /// transforms) + AESPA-free square activations + ~30 bootstraps.
     /// `L_eff = 8`. Needs > 24 GB ⇒ OoM on the RTX 4090 (§VIII-B).
@@ -227,7 +227,7 @@ impl Workload {
         }
     }
 
-    /// **ResNet18-AESPA** [37], [64]: ImageNet (224×224×3) inference via
+    /// **ResNet18-AESPA** \[37\], \[64\]: ImageNet (224×224×3) inference via
     /// NeuJeans with AESPA activations — the heavyweight workload:
     /// wide convolutions over many ciphertexts and ~45 bootstraps.
     /// `L_eff = 7`. Needs > 40 GB (§VIII-B).

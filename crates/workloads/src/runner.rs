@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use anaheim_core::error::RunError;
 use anaheim_core::framework::{Anaheim, CapacityCheck};
 use anaheim_core::health::HealthRegistry;
+use anaheim_core::telemetry::Telemetry;
 
 use crate::catalog::Workload;
 
@@ -123,6 +124,86 @@ pub fn run_workload_with_health(
         let r = rt.run_with_health(seg.seq.clone(), registry)?;
         accumulate(&mut nums, &r, seg.repeat);
     }
+    Ok(WorkloadReport {
+        workload: w.name,
+        platform: rt.config().name,
+        outcome: Some(nums),
+    })
+}
+
+/// Like [`run_workload`], but records every segment into `tel`: one
+/// `workload`-track span per segment (kernel spans nest inside), with the
+/// trace base advanced by the segment's *total* repeated duration so
+/// consecutive segments tile the virtual timeline. Each segment instance
+/// is simulated once and its span annotated with `repeat` — repeats are
+/// collapsed in the trace exactly as they are in the cost model.
+///
+/// Recording happens on the (serial) calling thread only, so the exported
+/// trace and metrics are bit-identical for every `ANAHEIM_THREADS` value.
+pub fn run_workload_traced(
+    rt: &Anaheim,
+    w: &Workload,
+    tel: &mut Telemetry,
+) -> Result<WorkloadReport, RunError> {
+    let capacity = rt.config().gpu.dram_capacity_bytes as u64;
+    if w.footprint_bytes > capacity {
+        return Ok(WorkloadReport {
+            workload: w.name,
+            platform: rt.config().name,
+            outcome: None,
+        });
+    }
+    let mut nums = WorkloadNumbers::default();
+    let mut clock_ns = 0.0f64;
+    for seg in &w.segments {
+        tel.set_base_ns(clock_ns);
+        let span = tel.open_segment(format!("{} {}", w.name, seg.name), "workload", 0.0);
+        let r = rt.run_traced(seg.seq.clone(), tel)?;
+        tel.trace.annotate(span, "repeat", seg.repeat);
+        tel.close_segment(span, r.total_ns);
+        clock_ns += r.total_ns * seg.repeat as f64;
+        accumulate(&mut nums, &r, seg.repeat);
+    }
+    Ok(WorkloadReport {
+        workload: w.name,
+        platform: rt.config().name,
+        outcome: Some(nums),
+    })
+}
+
+/// [`run_workload_with_health`] with telemetry — segment spans as in
+/// [`run_workload_traced`], plus breaker-transition markers from the
+/// health-gated scheduler and a final idempotent export of the registry's
+/// snapshot.
+pub fn run_workload_with_health_traced(
+    rt: &Anaheim,
+    w: &Workload,
+    registry: &mut HealthRegistry,
+    tel: &mut Telemetry,
+) -> Result<WorkloadReport, RunError> {
+    let capacity = rt.config().gpu.dram_capacity_bytes as u64;
+    if w.footprint_bytes > capacity {
+        return Ok(WorkloadReport {
+            workload: w.name,
+            platform: rt.config().name,
+            outcome: None,
+        });
+    }
+    let mut nums = WorkloadNumbers::default();
+    let mut clock_ns = 0.0f64;
+    for seg in &w.segments {
+        // Only the *trace* base advances: the registry clock is left
+        // exactly as in the untraced variant so breaker behaviour (and
+        // therefore the numbers) cannot differ between the two paths.
+        tel.set_base_ns(clock_ns);
+        let span = tel.open_segment(format!("{} {}", w.name, seg.name), "workload", 0.0);
+        let r = rt.run_with_health_traced(seg.seq.clone(), registry, tel)?;
+        tel.trace.annotate(span, "repeat", seg.repeat);
+        tel.close_segment(span, r.total_ns);
+        clock_ns += r.total_ns * seg.repeat as f64;
+        accumulate(&mut nums, &r, seg.repeat);
+    }
+    tel.export_health(&registry.snapshot());
     Ok(WorkloadReport {
         workload: w.name,
         platform: rt.config().name,
@@ -270,6 +351,36 @@ mod tests {
         assert!(nums.breaker_skips > 0, "later kernels skip the open bank");
         assert!(nums.pim_fallbacks > 0);
         assert!(nums.time_ms > 0.0 && nums.time_ms.is_finite());
+    }
+
+    #[test]
+    fn traced_runner_matches_plain_and_tiles_segments() {
+        let rt = Anaheim::new(AnaheimConfig::a100_near_bank());
+        let w = Workload::boot();
+        let plain = run_workload(&rt, &w).unwrap().outcome.expect("fits");
+        let mut tel = Telemetry::new(9);
+        let traced = run_workload_traced(&rt, &w, &mut tel)
+            .unwrap()
+            .outcome
+            .expect("fits");
+        // Tracing is observational: identical numbers.
+        assert_eq!(plain.time_ms, traced.time_ms);
+        assert_eq!(plain.energy_j, traced.energy_j);
+        // One workload-track span per segment, tiled in virtual time.
+        let segs: Vec<_> = tel
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.track == "workload")
+            .collect();
+        assert_eq!(segs.len(), w.segments.len());
+        for pair in segs.windows(2) {
+            assert!(
+                pair[1].start_ns >= pair[0].end_ns,
+                "segments must not overlap on the timeline"
+            );
+        }
+        assert!(tel.trace.open_spans() == 0, "all spans closed");
     }
 
     #[test]

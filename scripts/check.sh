@@ -13,11 +13,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace
+
 echo "==> parallel equivalence (ANAHEIM_THREADS=1)"
 ANAHEIM_THREADS=1 cargo test -q --test parallel_equivalence
 
 echo "==> parallel equivalence (ANAHEIM_THREADS=8)"
 ANAHEIM_THREADS=8 cargo test -q --test parallel_equivalence
+
+echo "==> trace determinism (ANAHEIM_THREADS=1)"
+ANAHEIM_THREADS=1 cargo test -q --test trace_determinism
+
+echo "==> trace determinism (ANAHEIM_THREADS=8)"
+ANAHEIM_THREADS=8 cargo test -q --test trace_determinism
 
 echo "==> bench smoke (scripts/bench.sh --quick)"
 scripts/bench.sh --quick

@@ -14,6 +14,8 @@
 //! - [`workloads`]: the six paper workloads.
 //! - [`serving`]: the deadline-aware serving layer (admission control,
 //!   per-bank circuit breakers, chaos-soak harness).
+//! - [`obs`]: deterministic observability — virtual-time spans, a typed
+//!   metrics registry, Prometheus/Chrome-trace exporters.
 //!
 //! # Running a workload through the Anaheim framework
 //!
@@ -39,6 +41,7 @@ pub use ckks;
 pub use ckks_math as math;
 pub use dram;
 pub use gpu;
+pub use obs;
 pub use pim;
 pub use serving;
 pub use workloads;

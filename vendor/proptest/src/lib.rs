@@ -445,7 +445,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
 
