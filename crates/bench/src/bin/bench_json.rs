@@ -426,6 +426,55 @@ fn bench_serving(quick: bool) {
         .unwrap_or_else(|e| panic!("writing BENCH_serving.json: {e}"));
 }
 
+/// Evaluates the analytic scheduler on the fused+offloaded Bootstrap
+/// sequence in Serial vs Pipelined mode (A100 near-bank) and appends one
+/// row per mode to both record sets. These rows are pure model output —
+/// virtual time, thread-count independent — so `scripts/check.sh` can gate
+/// the §V-C overlap bound (speedup in (1.0, 1.35]) and work conservation
+/// straight from the JSON.
+fn bench_schedule(ckks_records: &mut Vec<Record>, pim_records: &mut Vec<Record>) {
+    use anaheim_core::build::Builder;
+    use anaheim_core::params::ParamSet;
+    use anaheim_core::schedule::ScheduleMode;
+
+    let params = ParamSet::paper_default();
+    let n = 1usize << params.log_n;
+    let limbs = params.l_max;
+    println!("\nSchedule model (Bootstrap on A100 near-bank)");
+    for (op, mode) in [
+        ("sched_boot_serial", ScheduleMode::Serial),
+        ("sched_boot_pipelined", ScheduleMode::Pipelined),
+    ] {
+        let rt = Anaheim::new(AnaheimConfig::a100_near_bank().with_schedule_mode(mode));
+        let seq = Builder::new(params.clone()).bootstrap();
+        let report = rt
+            .run(seq)
+            .unwrap_or_else(|e| panic!("schedule-model Bootstrap run failed: {e}"));
+        println!(
+            "  {op:22} {:>10.3} ms  (overlap {:.3} ms, {} segments, {} transitions)",
+            report.total_ns / 1e6,
+            report.stream_overlap_ns / 1e6,
+            report.segments.len(),
+            report.transitions
+        );
+        let shared = |bytes_key: &'static str, bytes: u64| Record {
+            op,
+            n,
+            limbs,
+            threads: 1,
+            ns_per_op: report.total_ns,
+            extras: vec![
+                (bytes_key, bytes),
+                ("transitions", u64::from(report.transitions)),
+                ("segments", report.segments.len() as u64),
+                ("overlap_ns", report.stream_overlap_ns.round() as u64),
+            ],
+        };
+        ckks_records.push(shared("gpu_dram_bytes", report.gpu_dram_bytes));
+        pim_records.push(shared("pim_dram_bytes", report.pim_dram_bytes));
+    }
+}
+
 /// Measures how much parallel CPU the machine actually grants: the
 /// throughput ratio of two spin threads vs one. Containers often report
 /// more hardware threads than their cgroup/host contention delivers, and
@@ -453,6 +502,16 @@ fn effective_parallelism() -> f64 {
     2.0 * one.as_secs_f64() / two.as_secs_f64()
 }
 
+const USAGE: &str = "usage: bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]";
+
+/// Reports a command-line problem on stderr and exits nonzero. Argument
+/// mistakes are operator errors, not harness bugs — no panic, no backtrace.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_json: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut quick = false;
     let mut trace_out: Option<String> = None;
@@ -464,19 +523,16 @@ fn main() {
             "--trace-out" => {
                 trace_out = Some(
                     args.next()
-                        .unwrap_or_else(|| panic!("--trace-out needs a file path")),
+                        .unwrap_or_else(|| usage_error("--trace-out needs a file path")),
                 )
             }
             "--metrics-out" => {
                 metrics_out = Some(
                     args.next()
-                        .unwrap_or_else(|| panic!("--metrics-out needs a file path")),
+                        .unwrap_or_else(|| usage_error("--metrics-out needs a file path")),
                 )
             }
-            other => panic!(
-                "unknown argument {other:?}; usage: \
-                 bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]"
-            ),
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
     let sweep: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
@@ -491,13 +547,15 @@ fn main() {
 
     let mut ckks_records = Vec::new();
     bench_ckks(quick, sweep, &mut ckks_records);
-    write_json("BENCH_ckks.json", &ckks_records);
     print_summary("CKKS", &ckks_records);
 
     let mut pim_records = Vec::new();
     bench_pim(quick, sweep, &mut pim_records);
-    write_json("BENCH_pim.json", &pim_records);
     print_summary("PIM", &pim_records);
+
+    bench_schedule(&mut ckks_records, &mut pim_records);
+    write_json("BENCH_ckks.json", &ckks_records);
+    write_json("BENCH_pim.json", &pim_records);
 
     bench_serving(quick);
 

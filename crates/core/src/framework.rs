@@ -16,7 +16,7 @@ use crate::health::{HealthRegistry, RetryPolicy};
 use crate::ir::OpSequence;
 use crate::passes::{fuse, offload_measured, FusionConfig};
 use crate::report::ExecutionReport;
-use crate::schedule::{footprint_bytes, Scheduler, MAX_PIM_RETRIES};
+use crate::schedule::{footprint_bytes, ScheduleMode, Scheduler, MAX_PIM_RETRIES};
 use crate::telemetry::Telemetry;
 
 /// Whether the PIM devices participate.
@@ -49,6 +49,9 @@ pub struct AnaheimConfig {
     pub fault: Option<FaultPlan>,
     /// Retry discipline for transient PIM failures.
     pub retry: RetryPolicy,
+    /// Timeline discipline: serial handoffs (the paper's design, default)
+    /// or two overlapped virtual streams.
+    pub schedule: ScheduleMode,
 }
 
 impl AnaheimConfig {
@@ -64,6 +67,7 @@ impl AnaheimConfig {
             mode: ExecMode::GpuOnly,
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
+            schedule: ScheduleMode::Serial,
         }
     }
 
@@ -79,6 +83,7 @@ impl AnaheimConfig {
             mode: ExecMode::GpuWithPim,
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
+            schedule: ScheduleMode::Serial,
         }
     }
 
@@ -92,6 +97,14 @@ impl AnaheimConfig {
     /// Overrides the retry discipline for transient PIM failures.
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    /// Selects the timeline discipline ([`ScheduleMode::Serial`] by
+    /// default; [`ScheduleMode::Pipelined`] overlaps independent GPU/PIM
+    /// work across two virtual streams).
+    pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
+        self.schedule = mode;
         self
     }
 
@@ -396,7 +409,8 @@ impl Anaheim {
 
     fn pim_scheduler<'a>(&'a self, dev: &'a PimDeviceConfig) -> Scheduler<'a> {
         let mut s = Scheduler::with_pim(&self.model, dev, self.config.layout)
-            .with_retry_policy(self.config.retry);
+            .with_retry_policy(self.config.retry)
+            .with_mode(self.config.schedule);
         if let Some(plan) = self.config.fault {
             s = s.with_fault_plan(plan);
         }
@@ -481,6 +495,23 @@ mod tests {
         assert!(r.faults_detected > 0, "flips at p=0.5 must fire");
         assert!(r.degraded_segments > 0);
         assert!(r.total_ns > 0.0);
+    }
+
+    #[test]
+    fn pipelined_schedule_mode_threads_through_framework() {
+        let mut b = Builder::new(ParamSet::paper_default());
+        let seq = b.bootstrap();
+        let serial = Anaheim::new(AnaheimConfig::a100_near_bank())
+            .run(seq.clone())
+            .unwrap();
+        let cfg = AnaheimConfig::a100_near_bank().with_schedule_mode(ScheduleMode::Pipelined);
+        let pipe = Anaheim::new(cfg).run(seq).unwrap();
+        let speedup = serial.total_ns / pipe.total_ns;
+        assert!(
+            speedup > 1.0 && speedup <= 1.35,
+            "§V-C band violated through the framework: {speedup:.4}x"
+        );
+        assert!(pipe.stream_overlap_ns > 0.0);
     }
 
     #[test]

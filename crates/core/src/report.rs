@@ -63,6 +63,10 @@ pub struct ExecutionReport {
     /// Breaker state changes that occurred during this run (also appended
     /// to the attached [`crate::health::HealthRegistry`]'s log).
     pub breaker_transitions: Vec<BreakerTransition>,
+    /// Virtual time the pipelined schedule overlapped across the two
+    /// streams: the serial-equivalent length (kernel time + handoffs +
+    /// backoff) minus the pipelined makespan. Always 0 in serial mode.
+    pub stream_overlap_ns: f64,
 }
 
 impl ExecutionReport {

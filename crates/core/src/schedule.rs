@@ -26,6 +26,8 @@
 //! wholesale. The registry persists across runs, which is how the serving
 //! layer makes per-bank decisions *over time*.
 
+use std::collections::HashMap;
+
 use gpu::cache::L2Cache;
 use gpu::kernel::{KernelClass, KernelDesc};
 use gpu::model::GpuModel;
@@ -50,6 +52,22 @@ pub const TRANSITION_NS: f64 = 2000.0;
 /// `RetryPolicy::fixed(MAX_PIM_RETRIES)` were configured.
 pub const MAX_PIM_RETRIES: u32 = 2;
 
+/// How the scheduler lays kernels onto the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// One timeline: every GPU↔PIM handoff serializes the two engines
+    /// (the paper's deliberate §V-C design). The default, and
+    /// bit-identical to the pre-mode scheduler.
+    #[default]
+    Serial,
+    /// Two virtual streams (GPU, PIM): data-independent work overlaps in
+    /// virtual time, and only dependencies that actually cross streams pay
+    /// the `TRANSITION_NS` handoff. Models the double-buffered stream
+    /// pipelining of GPU FHE libraries; §V-C bounds its win on
+    /// bootstrapping below 1.35×.
+    Pipelined,
+}
+
 /// Scheduler binding the execution engines.
 #[derive(Debug)]
 pub struct Scheduler<'a> {
@@ -57,6 +75,7 @@ pub struct Scheduler<'a> {
     pim: Option<(&'a PimDeviceConfig, LayoutPolicy)>,
     fault: Option<FaultPlan>,
     retry: RetryPolicy,
+    mode: ScheduleMode,
 }
 
 impl<'a> Scheduler<'a> {
@@ -67,6 +86,7 @@ impl<'a> Scheduler<'a> {
             pim: None,
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
+            mode: ScheduleMode::Serial,
         }
     }
 
@@ -77,7 +97,18 @@ impl<'a> Scheduler<'a> {
             pim: Some((dev, layout)),
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
+            mode: ScheduleMode::Serial,
         }
+    }
+
+    /// Selects the timeline discipline. [`ScheduleMode::Serial`] (the
+    /// default) is bit-identical to the pre-mode scheduler;
+    /// [`ScheduleMode::Pipelined`] overlaps independent work across two
+    /// virtual streams. Pipelined has no effect without a PIM device —
+    /// GPU-only sequences have a single stream either way.
+    pub fn with_mode(mut self, mode: ScheduleMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Attaches a fault plan: PIM kernels run under fault injection and
@@ -194,6 +225,9 @@ impl<'a> Scheduler<'a> {
         mut health: Option<&mut HealthRegistry>,
         mut tel: Option<&mut Telemetry>,
     ) -> Result<ExecutionReport, RunError> {
+        if self.mode == ScheduleMode::Pipelined && self.pim.is_some() {
+            return self.run_inner_pipelined(seq, health, tel);
+        }
         let n = seq.params.n() as u64;
         let mut report = ExecutionReport::default();
         let mut cache = L2Cache::new(self.gpu.config().l2_bytes);
@@ -303,6 +337,519 @@ impl<'a> Scheduler<'a> {
             t.run_complete(&report);
         }
         Ok(report)
+    }
+
+    /// The pipelined two-stream pass. Ops are still visited in issue order
+    /// — so the stateful L2 model, the fault-injector stream, and breaker
+    /// decisions consume exactly the serial sequence — but each op is
+    /// placed on its own stream's cursor at the earliest point its data
+    /// dependencies allow. A dependency whose producer ran on the other
+    /// stream pays one [`TRANSITION_NS`] handoff; same-stream work queues
+    /// back-to-back for free. Coherence write-backs carry no tracked
+    /// read/write sets, so every PIM kernel additionally waits for the
+    /// last write-back to land plus one handoff — the conservative barrier
+    /// that keeps PIM from reading stale bank rows.
+    ///
+    /// `report.transitions` uses the same counting rule as serial mode
+    /// (issue-order executor switches plus one per GPU fallback), so for a
+    /// fault-free run `total_ns + stream_overlap_ns` reconstructs the
+    /// serial makespan exactly.
+    fn run_inner_pipelined(
+        &self,
+        seq: &OpSequence,
+        mut health: Option<&mut HealthRegistry>,
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<ExecutionReport, RunError> {
+        let n = seq.params.n() as u64;
+        let (dev, layout) = self.pim.expect("pipelined pass requires a PIM device");
+        let exec = PimExecutor::new(dev, layout);
+        let mut report = ExecutionReport::default();
+        let mut cache = L2Cache::new(self.gpu.config().l2_bytes);
+        let mut injector = self.fault.map(FaultInjector::new);
+        let mut pim_disabled = false;
+        let mut kernel_idx = 0u64;
+
+        // Stream cursors and the dependency horizon. `writer_end` maps an
+        // object to its last producer's completion (overwrite: builders
+        // allocate SSA-style, so the last write in issue order is the
+        // program-order dependency); `reader_end` max-merges, because a
+        // later-issued reader can finish earlier on the other stream.
+        let mut gpu_now = 0.0f64;
+        let mut pim_now = 0.0f64;
+        let mut last_flush_end = 0.0f64;
+        let mut writer_end: HashMap<u64, (f64, Executor)> = HashMap::new();
+        let mut reader_end: HashMap<u64, (f64, Executor)> = HashMap::new();
+
+        let mut last_exec = Executor::Gpu;
+        // Issue-order run-length segments per stream, for telemetry.
+        let mut seg_idx = 0u32;
+        let mut prev_seg_end = 0.0f64;
+        let mut cur_seg: Option<(Executor, f64, f64, u32, f64)> = None;
+
+        for op in &seq.ops {
+            let target = if !pim_disabled {
+                op.executor
+            } else {
+                Executor::Gpu
+            };
+            let ready = Self::dep_ready_ns(op, target, &writer_end, &reader_end);
+            let (start, done, done_on) = match target {
+                Executor::Gpu => {
+                    let (class_label, class) = Self::kernel_class(&op.kind);
+                    let desc = self.describe_gpu_op(op, n, class, &mut cache);
+                    let cost = self.gpu.cost(&desc);
+                    report.gpu_dram_bytes += desc.dram_bytes();
+                    report.energy_j += cost.energy_j;
+                    let start = gpu_now.max(ready);
+                    if last_exec != Executor::Gpu {
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.transition((start - TRANSITION_NS).max(0.0), start);
+                        }
+                        report.transitions += 1;
+                        last_exec = Executor::Gpu;
+                    }
+                    let end = start + cost.time_ns;
+                    gpu_now = end;
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.gpu_kernel(
+                            op.label,
+                            class_label,
+                            start,
+                            end,
+                            desc.dram_bytes(),
+                            cost.bandwidth_bound,
+                            false,
+                        );
+                    }
+                    report.push_segment(GanttSegment {
+                        start_ns: start,
+                        end_ns: end,
+                        executor: Executor::Gpu,
+                        class: class_label,
+                        label: op.label,
+                        degraded: false,
+                    });
+                    if matches!(op.kind, OpKind::WriteBack { .. }) {
+                        last_flush_end = end;
+                    }
+                    (start, end, Executor::Gpu)
+                }
+                Executor::Pim => {
+                    let (instr, limbs) = match op.kind {
+                        OpKind::Ew { instr, limbs } => (instr, limbs),
+                        _ => unreachable!("only element-wise ops are offloaded"),
+                    };
+                    let spec = PimKernelSpec {
+                        instr,
+                        limbs,
+                        n: n as usize,
+                    };
+                    let kid = kernel_idx;
+                    kernel_idx += 1;
+                    let start = pim_now.max(ready).max(last_flush_end + TRANSITION_NS);
+                    if last_exec != Executor::Pim {
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.transition((start - TRANSITION_NS).max(0.0), start);
+                        }
+                        report.transitions += 1;
+                        last_exec = Executor::Pim;
+                    }
+                    let (done, done_on) = match health.as_deref_mut() {
+                        Some(reg) => self.pipelined_kernel_with_health(
+                            &exec,
+                            spec,
+                            op.label,
+                            start,
+                            &mut pim_now,
+                            &mut gpu_now,
+                            &mut report,
+                            dev,
+                            &mut injector,
+                            reg,
+                            kid,
+                            tel.as_deref_mut(),
+                        )?,
+                        None => self.pipelined_kernel_legacy(
+                            &exec,
+                            spec,
+                            op.label,
+                            start,
+                            &mut pim_now,
+                            &mut gpu_now,
+                            &mut report,
+                            dev,
+                            &mut injector,
+                            &mut pim_disabled,
+                            kid,
+                            tel.as_deref_mut(),
+                        )?,
+                    };
+                    (start, done, done_on)
+                }
+            };
+            Self::note_completion(op, done, done_on, &mut writer_end, &mut reader_end);
+            match cur_seg.as_mut() {
+                Some(s) if s.0 == target => {
+                    s.2 = s.2.max(done);
+                    s.3 += 1;
+                }
+                _ => {
+                    if let Some((ex, s0, s1, ops, slide)) = cur_seg.take() {
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.stream_segment(Self::stream_name(ex), seg_idx, s0, s1, ops, slide);
+                        }
+                        seg_idx += 1;
+                        prev_seg_end = s1;
+                    }
+                    let slide = if seg_idx == 0 {
+                        0.0
+                    } else {
+                        (prev_seg_end + TRANSITION_NS - start).max(0.0)
+                    };
+                    cur_seg = Some((target, start, done, 1, slide));
+                }
+            }
+        }
+        if let Some((ex, s0, s1, ops, slide)) = cur_seg.take() {
+            if let Some(t) = tel.as_deref_mut() {
+                t.stream_segment(Self::stream_name(ex), seg_idx, s0, s1, ops, slide);
+            }
+        }
+        report.total_ns = gpu_now.max(pim_now);
+        // How much virtual time the two streams hid: the serial-equivalent
+        // span (kernels + handoffs + backoff) minus the pipelined makespan.
+        let kernel_ns: f64 = report.breakdown_ns.values().sum();
+        let serial_equiv =
+            kernel_ns + f64::from(report.transitions) * TRANSITION_NS + report.backoff_ns;
+        report.stream_overlap_ns = (serial_equiv - report.total_ns).max(0.0);
+        if let Some(t) = tel {
+            t.stream_overlap(report.stream_overlap_ns);
+            t.run_complete(&report);
+        }
+        Ok(report)
+    }
+
+    fn stream_name(ex: Executor) -> &'static str {
+        match ex {
+            Executor::Gpu => "gpu",
+            Executor::Pim => "pim",
+        }
+    }
+
+    /// Earliest start permitted by `op`'s RAW/WAR/WAW dependencies, with a
+    /// [`TRANSITION_NS`] penalty on every edge whose other endpoint ran on
+    /// the opposite stream.
+    fn dep_ready_ns(
+        op: &Op,
+        target: Executor,
+        writer_end: &HashMap<u64, (f64, Executor)>,
+        reader_end: &HashMap<u64, (f64, Executor)>,
+    ) -> f64 {
+        let cross = |(t, e): (f64, Executor)| {
+            if e == target {
+                t
+            } else {
+                t + TRANSITION_NS
+            }
+        };
+        let mut ready = 0.0f64;
+        for r in &op.reads {
+            if let Some(&w) = writer_end.get(&r.id) {
+                ready = ready.max(cross(w));
+            }
+        }
+        for w in &op.writes {
+            if let Some(&p) = writer_end.get(&w.id) {
+                ready = ready.max(cross(p));
+            }
+            if let Some(&p) = reader_end.get(&w.id) {
+                ready = ready.max(cross(p));
+            }
+        }
+        ready
+    }
+
+    /// Publishes `op`'s completion into the dependency horizon.
+    fn note_completion(
+        op: &Op,
+        end: f64,
+        on: Executor,
+        writer_end: &mut HashMap<u64, (f64, Executor)>,
+        reader_end: &mut HashMap<u64, (f64, Executor)>,
+    ) {
+        for r in &op.reads {
+            let e = reader_end.entry(r.id).or_insert((end, on));
+            if end >= e.0 {
+                *e = (end, on);
+            }
+        }
+        for w in &op.writes {
+            writer_end.insert(w.id, (end, on));
+        }
+    }
+
+    /// Pipelined twin of [`Self::run_kernel_legacy`]: attempts, retries,
+    /// and backoff charge the PIM stream from `start`; a GPU fallback
+    /// queues behind the GPU stream after one handoff. Returns the op's
+    /// completion time and which engine finished it.
+    #[allow(clippy::too_many_arguments)]
+    fn pipelined_kernel_legacy(
+        &self,
+        exec: &PimExecutor<'_>,
+        spec: PimKernelSpec,
+        label: &'static str,
+        start: f64,
+        pim_now: &mut f64,
+        gpu_now: &mut f64,
+        report: &mut ExecutionReport,
+        dev: &PimDeviceConfig,
+        injector: &mut Option<FaultInjector>,
+        pim_disabled: &mut bool,
+        kid: u64,
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<(f64, Executor), RunError> {
+        let mut cursor = start;
+        let mut retries = 0u32;
+        let mut backoff_spent = 0.0f64;
+        loop {
+            let outcome = match injector.as_mut() {
+                Some(inj) => exec.execute_with_faults(&spec, inj),
+                None => exec.execute(&spec),
+            };
+            match outcome {
+                Ok(r) => {
+                    self.charge_pim_segment(
+                        &r,
+                        label,
+                        false,
+                        &mut cursor,
+                        report,
+                        dev,
+                        tel.as_deref_mut(),
+                    );
+                    *pim_now = cursor;
+                    return Ok((cursor, Executor::Pim));
+                }
+                Err(PimError::IntegrityViolation(violation)) => {
+                    report.faults_detected += 1;
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.fault();
+                    }
+                    self.charge_pim_segment(
+                        &violation.wasted,
+                        label,
+                        true,
+                        &mut cursor,
+                        report,
+                        dev,
+                        tel.as_deref_mut(),
+                    );
+                    if violation.is_permanent() {
+                        *pim_disabled = true;
+                    } else if retries < self.retry.max_retries
+                        && self.charge_backoff(
+                            kid,
+                            retries + 1,
+                            &mut backoff_spent,
+                            &mut cursor,
+                            report,
+                            tel.as_deref_mut(),
+                        )
+                    {
+                        retries += 1;
+                        report.pim_retries += 1;
+                        if let Some(t) = tel.as_deref_mut() {
+                            t.retry();
+                        }
+                        continue;
+                    }
+                    report.pim_fallbacks += 1;
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.fallback();
+                    }
+                    *pim_now = cursor;
+                    let done =
+                        self.pipelined_fallback(exec, &spec, label, cursor, gpu_now, report, tel);
+                    return Ok((done, Executor::Gpu));
+                }
+                Err(e) => return Err(RunError::Pim(e)),
+            }
+        }
+    }
+
+    /// Pipelined twin of [`Self::run_kernel_with_health`]: breaker-gated
+    /// routing with the attempt clock on the PIM stream and fallbacks on
+    /// the GPU stream.
+    #[allow(clippy::too_many_arguments)]
+    fn pipelined_kernel_with_health(
+        &self,
+        exec: &PimExecutor<'_>,
+        spec: PimKernelSpec,
+        label: &'static str,
+        start: f64,
+        pim_now: &mut f64,
+        gpu_now: &mut f64,
+        report: &mut ExecutionReport,
+        dev: &PimDeviceConfig,
+        injector: &mut Option<FaultInjector>,
+        reg: &mut HealthRegistry,
+        kid: u64,
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<(f64, Executor), RunError> {
+        let domains = reg.domains() as u32;
+        let bank = reg.assign_domain();
+        let domain = BankDomain::new(bank, domains);
+        let (decision, transition) = reg.decide(bank, start);
+        if let Some(t) = transition {
+            if let Some(tl) = tel.as_deref_mut() {
+                tl.breaker_transition(&t, start);
+            }
+            report.breaker_transitions.push(t);
+        }
+        if decision == PathDecision::Skip {
+            report.breaker_skips += 1;
+            if let Some(tl) = tel.as_deref_mut() {
+                tl.breaker_skip();
+            }
+            // No PIM attempt was made, so the PIM cursor does not move.
+            let done = self.pipelined_fallback(exec, &spec, label, start, gpu_now, report, tel);
+            return Ok((done, Executor::Gpu));
+        }
+        let mut cursor = start;
+        let mut retries = 0u32;
+        let mut backoff_spent = 0.0f64;
+        loop {
+            let outcome = match injector.as_mut() {
+                Some(inj) => exec.execute_with_faults_scoped(&spec, inj, Some(domain)),
+                None => exec.execute(&spec),
+            };
+            match outcome {
+                Ok(r) => {
+                    self.charge_pim_segment(
+                        &r,
+                        label,
+                        false,
+                        &mut cursor,
+                        report,
+                        dev,
+                        tel.as_deref_mut(),
+                    );
+                    if let Some(t) = reg.on_success(bank, cursor) {
+                        if let Some(tl) = tel.as_deref_mut() {
+                            tl.breaker_transition(&t, cursor);
+                        }
+                        report.breaker_transitions.push(t);
+                    }
+                    *pim_now = cursor;
+                    return Ok((cursor, Executor::Pim));
+                }
+                Err(PimError::IntegrityViolation(violation)) => {
+                    report.faults_detected += 1;
+                    reg.counters.faults_detected += 1;
+                    if let Some(tl) = tel.as_deref_mut() {
+                        tl.fault();
+                    }
+                    self.charge_pim_segment(
+                        &violation.wasted,
+                        label,
+                        true,
+                        &mut cursor,
+                        report,
+                        dev,
+                        tel.as_deref_mut(),
+                    );
+                    let permanent = violation.is_permanent();
+                    if !permanent
+                        && decision == PathDecision::Allow
+                        && retries < self.retry.max_retries
+                        && self.charge_backoff(
+                            kid,
+                            retries + 1,
+                            &mut backoff_spent,
+                            &mut cursor,
+                            report,
+                            tel.as_deref_mut(),
+                        )
+                    {
+                        retries += 1;
+                        report.pim_retries += 1;
+                        reg.counters.pim_retries += 1;
+                        if let Some(tl) = tel.as_deref_mut() {
+                            tl.retry();
+                        }
+                        continue;
+                    }
+                    if let Some(t) = reg.on_failure(bank, permanent, cursor, violation.cause()) {
+                        if let Some(tl) = tel.as_deref_mut() {
+                            tl.breaker_transition(&t, cursor);
+                        }
+                        report.breaker_transitions.push(t);
+                    }
+                    report.pim_fallbacks += 1;
+                    reg.counters.gpu_fallbacks += 1;
+                    if let Some(tl) = tel.as_deref_mut() {
+                        tl.fallback();
+                    }
+                    *pim_now = cursor;
+                    let done =
+                        self.pipelined_fallback(exec, &spec, label, cursor, gpu_now, report, tel);
+                    return Ok((done, Executor::Gpu));
+                }
+                Err(e) => return Err(RunError::Pim(e)),
+            }
+        }
+    }
+
+    /// Pipelined twin of [`Self::fallback_on_gpu`]: the re-dispatch pays
+    /// one handoff from the failed attempt's end and then queues behind
+    /// whatever the GPU stream is already running, so a fallback can never
+    /// overlap another kernel on the same engine.
+    #[allow(clippy::too_many_arguments)]
+    fn pipelined_fallback(
+        &self,
+        exec: &PimExecutor<'_>,
+        spec: &PimKernelSpec,
+        label: &'static str,
+        fail_end: f64,
+        gpu_now: &mut f64,
+        report: &mut ExecutionReport,
+        mut tel: Option<&mut Telemetry>,
+    ) -> f64 {
+        let start = gpu_now.max(fail_end + TRANSITION_NS);
+        if let Some(t) = tel.as_deref_mut() {
+            t.transition((start - TRANSITION_NS).max(0.0), start);
+        }
+        report.transitions += 1;
+        let p = spec.instr.profile();
+        let dram_read = (p.total_reads() * spec.limbs * spec.n * 4) as u64;
+        let dram_write = exec.gpu_bytes_equivalent(spec) - dram_read;
+        let int_ops = (spec.n * spec.limbs) as u64 * spec.instr.mmac_ops_per_element() as u64 * 6;
+        let desc = KernelDesc::new(KernelClass::ElementWise, int_ops, dram_read, dram_write);
+        let cost = self.gpu.cost(&desc);
+        report.gpu_dram_bytes += desc.dram_bytes();
+        report.energy_j += cost.energy_j;
+        let end = start + cost.time_ns;
+        if let Some(t) = tel {
+            t.gpu_kernel(
+                label,
+                "element-wise",
+                start,
+                end,
+                desc.dram_bytes(),
+                cost.bandwidth_bound,
+                true,
+            );
+        }
+        report.push_segment(GanttSegment {
+            start_ns: start,
+            end_ns: end,
+            executor: Executor::Gpu,
+            class: "element-wise",
+            label,
+            degraded: true,
+        });
+        *gpu_now = end;
+        end
     }
 
     /// Drains queued PIM kernels: executes each (under fault injection when
@@ -903,6 +1450,117 @@ mod tests {
         // 7 evks of ~2·4·(54+14) limbs minimum.
         let evk = ParamSet::paper_default().evk_bytes() as u64;
         assert!(fp > 7 * evk / 2, "footprint must include the evks");
+    }
+
+    fn offloaded_bootstrap(m: &GpuModel, dev: &PimDeviceConfig) -> OpSequence {
+        let mut seq = Builder::new(ParamSet::paper_default()).bootstrap();
+        fuse(&mut seq, &FusionConfig::full());
+        crate::passes::offload_measured(
+            &mut seq,
+            m,
+            dev,
+            LayoutPolicy::ColumnPartitioned,
+            TRANSITION_NS,
+        );
+        seq
+    }
+
+    #[test]
+    fn pipelined_bootstrap_speedup_within_v_c_band() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let seq = offloaded_bootstrap(&m, &dev);
+        let serial = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&seq)
+            .unwrap();
+        let pipe = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_mode(ScheduleMode::Pipelined)
+            .run(&seq)
+            .unwrap();
+        let speedup = serial.total_ns / pipe.total_ns;
+        assert!(
+            speedup > 1.0 && speedup <= 1.35,
+            "§V-C band violated: {speedup:.4}x"
+        );
+        assert!(
+            speedup <= serial.pipelining_headroom() + 1e-9,
+            "cannot beat the perfect-overlap bound"
+        );
+        // Work is conserved: identical kernels, bytes, energy, handoffs.
+        assert_eq!(serial.gpu_dram_bytes, pipe.gpu_dram_bytes);
+        assert_eq!(serial.pim_dram_bytes, pipe.pim_dram_bytes);
+        assert_eq!(serial.transitions, pipe.transitions);
+        assert_eq!(serial.segments.len(), pipe.segments.len());
+        assert!((serial.energy_j - pipe.energy_j).abs() < 1e-9);
+        // Overlap accounting reconstructs the serial makespan.
+        assert!(
+            (pipe.total_ns + pipe.stream_overlap_ns - serial.total_ns).abs() < 1e-3,
+            "overlap {} + total {} vs serial {}",
+            pipe.stream_overlap_ns,
+            pipe.total_ns,
+            serial.total_ns
+        );
+    }
+
+    #[test]
+    fn pipelined_gpu_only_sequence_matches_serial() {
+        // No PIM ops → one stream → the pipelined pass degenerates to the
+        // serial schedule exactly.
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::gpu_baseline());
+        let serial = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&seq)
+            .unwrap();
+        let pipe = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_mode(ScheduleMode::Pipelined)
+            .run(&seq)
+            .unwrap();
+        assert_eq!(serial.total_ns, pipe.total_ns);
+        assert_eq!(serial.gpu_dram_bytes, pipe.gpu_dram_bytes);
+        assert_eq!(serial.transitions, pipe.transitions);
+        assert!(pipe.stream_overlap_ns < 1e-3);
+    }
+
+    #[test]
+    fn pipelined_mode_is_deterministic_under_faults() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::full());
+        offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let plan = FaultPlan::none().with_seed(11).with_bank_flips(1.0);
+        let run = || {
+            Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+                .with_mode(ScheduleMode::Pipelined)
+                .with_fault_plan(plan)
+                .run(&seq)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.faults_detected > 0, "injection must bite");
+        assert_eq!(a.total_ns, b.total_ns);
+        assert_eq!(a.faults_detected, b.faults_detected);
+        assert_eq!(a.pim_fallbacks, b.pim_fallbacks);
+        // Every fallback queues behind the GPU stream: no two GPU
+        // segments may overlap.
+        let mut gpu_ends: Vec<(f64, f64)> = a
+            .segments
+            .iter()
+            .filter(|s| s.executor == Executor::Gpu)
+            .map(|s| (s.start_ns, s.end_ns))
+            .collect();
+        gpu_ends.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for w in gpu_ends.windows(2) {
+            assert!(w[1].0 >= w[0].1 - 1e-9, "GPU segments overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn serial_is_the_default_mode() {
+        assert_eq!(ScheduleMode::default(), ScheduleMode::Serial);
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub mod names {
     /// FN-level CKKS op counts in limbs, by `op` (exported by
     /// `ckks::opcount::OpCounts::export`).
     pub const FN_OP_LIMBS: &str = "anaheim_fn_op_limbs";
+    /// Pipelined-mode stream segments scheduled, by `stream` (gpu/pim).
+    pub const STREAM_SEGMENTS: &str = "anaheim_stream_segments_total";
+    /// Virtual time the pipelined schedule overlapped across the two
+    /// streams in the last run (gauge, ns).
+    pub const STREAM_OVERLAP_NS: &str = "anaheim_stream_overlap_ns";
 }
 
 /// Deadline-slack / latency bucket bounds: 1 µs … 10 s in decades.
@@ -191,6 +196,16 @@ impl Telemetry {
             names::FN_OP_LIMBS,
             "FN-level CKKS op counts in limbs, by op",
             "limbs",
+        );
+        metrics.describe_counter(
+            names::STREAM_SEGMENTS,
+            "Pipelined-mode stream segments scheduled, by stream",
+            "segments",
+        );
+        metrics.describe_gauge(
+            names::STREAM_OVERLAP_NS,
+            "Virtual time overlapped across the GPU/PIM streams in the last run",
+            "ns",
         );
         Self {
             trace: TraceRecorder::new(seed),
@@ -363,6 +378,48 @@ impl Telemetry {
         );
         self.metrics
             .inc(names::BREAKER_TRANSITIONS, &[("to", &to)], 1);
+    }
+
+    /// Records one pipelined-mode stream segment: a span on the stream's
+    /// own telemetry track (`gpu-stream`/`pim-stream`) annotated with how
+    /// far it slid left relative to a serial handoff schedule, plus the
+    /// per-stream segment counter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_segment(
+        &mut self,
+        stream: &'static str,
+        index: u32,
+        start_ns: f64,
+        end_ns: f64,
+        ops: u32,
+        slide_ns: f64,
+    ) {
+        let track: &'static str = match stream {
+            "gpu" => "gpu-stream",
+            _ => "pim-stream",
+        };
+        self.trace.leaf(
+            format!("segment {index}"),
+            "stream-segment",
+            track,
+            start_ns,
+            end_ns,
+            vec![
+                ("ops", u64::from(ops).into()),
+                ("slide_ns", slide_ns.into()),
+            ],
+        );
+        self.metrics
+            .inc(names::STREAM_SEGMENTS, &[("stream", stream)], 1);
+    }
+
+    /// Records the stream-overlap gauge after a pipelined run. Called only
+    /// from the pipelined scheduler path so serial-mode exports stay
+    /// byte-identical to previous releases (describing a metric renders
+    /// nothing until a series exists).
+    pub fn stream_overlap(&mut self, overlap_ns: f64) {
+        self.metrics
+            .set_gauge(names::STREAM_OVERLAP_NS, &[], overlap_ns);
     }
 
     /// Records run-level aggregates after a scheduler run completes.

@@ -33,8 +33,60 @@ use anaheim_core::telemetry::{names, Telemetry};
 use anaheim_core::RunError;
 use pim::fault::FaultPlan;
 
-use crate::queue::{AdmissionQueue, Queued};
+use crate::queue::{AdmissionQueue, PopKey, QueueKey, Queued};
 use crate::request::{Outcome, Priority, Rejected, Request, Response};
+
+/// The lane with the earliest free time (ties to the lowest index).
+pub(crate) fn earliest_lane(lanes: &[f64]) -> usize {
+    let mut best = 0usize;
+    for i in 1..lanes.len() {
+        if lanes[i] < lanes[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// One dispatcher step: the lane and start time of the queue's head, if it
+/// can start at or before `until_ns`. Shared by
+/// [`ServingEngine::dispatch_until`] and the property tests, so the test
+/// drains exactly the dispatcher's schedule.
+pub(crate) fn next_dispatch<T: Queued>(
+    queue: &AdmissionQueue<T>,
+    lanes: &[f64],
+    until_ns: f64,
+) -> Option<(usize, f64)> {
+    let arrival = queue.peek(|p| p.arrival_ns())?;
+    let lane = earliest_lane(lanes);
+    let start = lanes[lane].max(arrival);
+    (start <= until_ns).then_some((lane, start))
+}
+
+/// When would a request with key `cand` start if the queued `keys` plus
+/// the candidate drained onto `lanes` in pop order from `now`? The sort
+/// uses [`PopKey`] — the same total order the queue itself maintains — so
+/// the projection cannot disagree with the dispatcher about who goes
+/// first.
+pub(crate) fn projected_start_from_keys(
+    lanes: &[f64],
+    mut keys: Vec<QueueKey>,
+    cand: QueueKey,
+    now: f64,
+) -> f64 {
+    let cand_id = cand.id;
+    keys.push(cand);
+    keys.sort_by_key(PopKey::of);
+    let mut lanes = lanes.to_vec();
+    for k in keys {
+        let lane = earliest_lane(&lanes);
+        let start = lanes[lane].max(now);
+        if k.id == cand_id {
+            return start;
+        }
+        lanes[lane] = start + k.estimate_ns;
+    }
+    unreachable!("candidate is always in the projection")
+}
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -272,39 +324,17 @@ impl ServingEngine {
         cand: &Prepared,
         now: f64,
     ) -> f64 {
-        let mut lanes = lanes.to_vec();
-        let mut keys = queue.keys_in_pop_order();
-        keys.push(crate::queue::QueueKey {
-            id: cand.id,
-            priority: cand.priority,
-            arrival_ns: cand.arrival_ns,
-            estimate_ns: cand.estimate_ns,
-        });
-        keys.sort_by(|a, b| {
-            b.priority
-                .cmp(&a.priority)
-                .then(a.arrival_ns.total_cmp(&b.arrival_ns))
-                .then(a.id.cmp(&b.id))
-        });
-        for k in keys {
-            let lane = Self::earliest_lane(&lanes);
-            let start = lanes[lane].max(now);
-            if k.id == cand.id {
-                return start;
-            }
-            lanes[lane] = start + k.estimate_ns;
-        }
-        unreachable!("candidate is always in the projection")
-    }
-
-    fn earliest_lane(lanes: &[f64]) -> usize {
-        let mut best = 0usize;
-        for i in 1..lanes.len() {
-            if lanes[i] < lanes[best] {
-                best = i;
-            }
-        }
-        best
+        projected_start_from_keys(
+            lanes,
+            queue.keys_in_pop_order(),
+            QueueKey {
+                id: cand.id,
+                priority: cand.priority,
+                arrival_ns: cand.arrival_ns,
+                estimate_ns: cand.estimate_ns,
+            },
+            now,
+        )
     }
 
     /// Dispatches queued requests onto lanes while one can start at or
@@ -318,14 +348,9 @@ impl ServingEngine {
         mut tel: Option<&mut Telemetry>,
     ) -> Result<(), RunError> {
         loop {
-            let Some(arrival) = queue.peek(|p| p.arrival_ns) else {
+            let Some((lane, start)) = next_dispatch(queue, lanes, until_ns) else {
                 return Ok(());
             };
-            let lane = Self::earliest_lane(lanes);
-            let start = lanes[lane].max(arrival);
-            if start > until_ns {
-                return Ok(());
-            }
             let p = queue.pop().expect("peek saw an item");
             let (response, finish) = self.execute(p, start, tel.as_deref_mut())?;
             lanes[lane] = finish;
@@ -353,8 +378,9 @@ impl ServingEngine {
         let cfg = rt.config();
         let report = match &cfg.pim {
             Some(dev) if cfg.mode == anaheim_core::framework::ExecMode::GpuWithPim => {
-                let mut s =
-                    Scheduler::with_pim(rt.model(), dev, cfg.layout).with_retry_policy(cfg.retry);
+                let mut s = Scheduler::with_pim(rt.model(), dev, cfg.layout)
+                    .with_retry_policy(cfg.retry)
+                    .with_mode(cfg.schedule);
                 if let Some(plan) = p.fault {
                     s = s.with_fault_plan(plan);
                 }
@@ -435,6 +461,7 @@ mod tests {
     use super::*;
     use anaheim_core::build::{Builder, LinTransStyle};
     use anaheim_core::params::ParamSet;
+    use proptest::prelude::*;
 
     fn small_seq() -> OpSequence {
         let mut b = Builder::new(ParamSet::paper_default());
@@ -547,6 +574,108 @@ mod tests {
         e2.run_trace_traced(&trace, &mut tel2).unwrap();
         assert_eq!(tel.chrome_trace(), tel2.chrome_trace());
         assert_eq!(tel.prometheus(), tel2.prometheus());
+    }
+
+    #[test]
+    fn pipelined_platform_serves_and_replays_identically() {
+        use anaheim_core::schedule::ScheduleMode;
+        let mk = || {
+            ServingEngine::new(ServingConfig {
+                workers: 2,
+                queue_capacity: 4,
+                platform: AnaheimConfig::a100_near_bank()
+                    .with_retry_policy(RetryPolicy::serving_default(7))
+                    .with_schedule_mode(ScheduleMode::Pipelined),
+                breaker: BreakerConfig::default(),
+            })
+        };
+        let trace: Vec<Request> = (0..3)
+            .map(|i| req(i, i as f64 * 1e3, 1e12, Priority::Standard))
+            .collect();
+        let mut tel = Telemetry::new(9);
+        let rs = mk().run_trace_traced(&trace, &mut tel).unwrap();
+        assert!(rs.iter().all(|r| r.outcome.is_completed()));
+        // Pipelined runs put segments on their own stream tracks.
+        assert!(tel
+            .trace
+            .spans()
+            .iter()
+            .any(|s| s.track == "gpu-stream" || s.track == "pim-stream"));
+        let mut tel2 = Telemetry::new(9);
+        mk().run_trace_traced(&trace, &mut tel2).unwrap();
+        assert_eq!(tel.chrome_trace(), tel2.chrome_trace());
+        assert_eq!(tel.prometheus(), tel2.prometheus());
+    }
+
+    /// Generates a static-queue scenario: every item has arrived and every
+    /// lane's free time is at or past the last arrival, so the projection
+    /// (which clocks from `now`) and the dispatcher (which clocks from
+    /// each head's arrival) see the same floor.
+    fn arb_scenario() -> impl Strategy<Value = (Vec<QueueKey>, Vec<f64>)> {
+        (
+            prop::collection::vec((0u8..3, 0u32..8, 1u32..2000), 1..20),
+            prop::collection::vec(0u32..500, 1..5),
+        )
+            .prop_map(|(raw, lane_offsets)| {
+                let keys: Vec<QueueKey> = raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (p, arrival, estimate))| QueueKey {
+                        id: i as u64,
+                        priority: match p {
+                            0 => Priority::Batch,
+                            1 => Priority::Standard,
+                            _ => Priority::Interactive,
+                        },
+                        arrival_ns: f64::from(arrival) * 100.0,
+                        estimate_ns: f64::from(estimate),
+                    })
+                    .collect();
+                let t = keys.iter().map(|k| k.arrival_ns).fold(0.0, f64::max);
+                let lanes = lane_offsets.into_iter().map(|o| t + f64::from(o)).collect();
+                (keys, lanes)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_projection_and_pop_order_match_dispatch(scenario in arb_scenario()) {
+            let (keys, lanes0) = scenario;
+            let now = keys.iter().map(|k| k.arrival_ns).fold(0.0, f64::max);
+            let q = AdmissionQueue::new(keys.len());
+            for k in &keys {
+                q.submit(*k).unwrap();
+            }
+            let listed: Vec<u64> = q.keys_in_pop_order().iter().map(|k| k.id).collect();
+            // Drain exactly the dispatcher's schedule (shared helper).
+            let mut lanes = lanes0.clone();
+            let mut starts = std::collections::HashMap::new();
+            let mut actual: Vec<u64> = Vec::new();
+            while let Some((lane, start)) = next_dispatch(&q, &lanes, f64::INFINITY) {
+                let k = q.pop().expect("next_dispatch saw a head");
+                starts.insert(k.id, start);
+                actual.push(k.id);
+                lanes[lane] = start + k.estimate_ns;
+            }
+            prop_assert_eq!(&actual, &listed, "keys_in_pop_order must be the dispatch order");
+            // Admission projection must predict each item's actual start
+            // bit-exactly, given the others queued ahead of it.
+            for cand in &keys {
+                let others: Vec<QueueKey> =
+                    keys.iter().filter(|k| k.id != cand.id).copied().collect();
+                let projected = projected_start_from_keys(&lanes0, others, *cand, now);
+                prop_assert_eq!(
+                    projected.to_bits(),
+                    starts[&cand.id].to_bits(),
+                    "projection diverged for id {} ({} vs {})",
+                    cand.id,
+                    projected,
+                    starts[&cand.id]
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,9 +8,16 @@
 //! same queue can front real producer threads (see the tests).
 //!
 //! Pop order is total and deterministic: priority (descending), then
-//! arrival time, then id.
+//! arrival time, then id. That order is defined exactly once — by the
+//! derived `Ord` on [`PopKey`] — and the queue stores items in a
+//! `BTreeMap` keyed by it, so `pop`, `peek`, and `keys_in_pop_order` all
+//! read the same head in O(log n) instead of re-deriving the order with
+//! per-call scans (the old O(n) scan per pop made a full soak drain
+//! O(n²), and `peek` carried its own reduction that could drift from
+//! `pop`'s).
 
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::request::{Priority, Rejected};
 
@@ -26,23 +33,47 @@ pub trait Queued {
     fn estimate_ns(&self) -> f64;
 }
 
-/// `true` if `a` pops before `b`.
-fn pops_before<T: Queued>(a: &T, b: &T) -> bool {
-    match a.priority().cmp(&b.priority()) {
-        std::cmp::Ordering::Greater => true,
-        std::cmp::Ordering::Less => false,
-        std::cmp::Ordering::Equal => match a.arrival_ns().total_cmp(&b.arrival_ns()) {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => a.id() < b.id(),
-        },
+/// Monotone `f64 → u64` key encoding: for all non-NaN-free pairs,
+/// `a.total_cmp(&b) == f64_order_bits(a).cmp(&f64_order_bits(b))`.
+fn f64_order_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// The pop-order key: the single definition of "who goes next", shared by
+/// [`AdmissionQueue::pop`], [`AdmissionQueue::peek`],
+/// [`AdmissionQueue::keys_in_pop_order`], and the serving engine's
+/// start-time projection. The derived `Ord` *is* the queue discipline —
+/// priority descending, then arrival ascending (`total_cmp`), then id —
+/// so the two sides can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PopKey {
+    prio: std::cmp::Reverse<Priority>,
+    arrival_bits: u64,
+    id: u64,
+}
+
+impl PopKey {
+    /// The pop-order key of `item`.
+    pub fn of<T: Queued>(item: &T) -> Self {
+        Self {
+            prio: std::cmp::Reverse(item.priority()),
+            arrival_bits: f64_order_bits(item.arrival_ns()),
+            id: item.id(),
+        }
     }
 }
 
 /// A bounded multi-producer admission queue with deterministic pop order.
 #[derive(Debug)]
 pub struct AdmissionQueue<T> {
-    items: Mutex<Vec<T>>,
+    // Ids are unique per trace, so `PopKey` (which ends in the id) never
+    // collides and the map holds every submitted item.
+    items: Mutex<BTreeMap<PopKey, T>>,
     capacity: usize,
 }
 
@@ -50,9 +81,17 @@ impl<T: Queued> AdmissionQueue<T> {
     /// An empty queue holding at most `capacity` requests.
     pub fn new(capacity: usize) -> Self {
         Self {
-            items: Mutex::new(Vec::with_capacity(capacity)),
+            items: Mutex::new(BTreeMap::new()),
             capacity,
         }
+    }
+
+    /// The protected data is plain values and every critical section
+    /// leaves it consistent, so a producer that panicked while holding the
+    /// lock must not cascade into the engine: recover the guard instead of
+    /// unwrapping the poison.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<PopKey, T>> {
+        self.items.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Capacity the queue was built with.
@@ -62,7 +101,7 @@ impl<T: Queued> AdmissionQueue<T> {
 
     /// Queued requests right now.
     pub fn len(&self) -> usize {
-        self.items.lock().expect("queue poisoned").len()
+        self.lock().len()
     }
 
     /// True when nothing is queued.
@@ -73,62 +112,36 @@ impl<T: Queued> AdmissionQueue<T> {
     /// Admits a request, or sheds it with [`Rejected::QueueFull`] when at
     /// capacity. Returns the queue depth after insertion.
     pub fn submit(&self, item: T) -> Result<usize, Rejected> {
-        let mut items = self.items.lock().expect("queue poisoned");
+        let mut items = self.lock();
         if items.len() >= self.capacity {
             return Err(Rejected::QueueFull);
         }
-        items.push(item);
+        items.insert(PopKey::of(&item), item);
         Ok(items.len())
     }
 
     /// Removes and returns the next request in pop order.
     pub fn pop(&self) -> Option<T> {
-        let mut items = self.items.lock().expect("queue poisoned");
-        let mut best = 0usize;
-        if items.is_empty() {
-            return None;
-        }
-        for i in 1..items.len() {
-            if pops_before(&items[i], &items[best]) {
-                best = i;
-            }
-        }
-        Some(items.swap_remove(best))
+        self.lock().pop_first().map(|(_, item)| item)
     }
 
     /// Applies `f` to the head (next to pop) without removing it.
     pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
-        let items = self.items.lock().expect("queue poisoned");
-        let mut best: Option<&T> = None;
-        for it in items.iter() {
-            best = match best {
-                Some(b) if pops_before(b, it) => Some(b),
-                _ => Some(it),
-            };
-        }
-        best.map(f)
+        self.lock().first_key_value().map(|(_, item)| f(item))
     }
 
     /// The scheduling keys of all queued items, in pop order — the input
     /// to the admission-control start-time projection.
     pub fn keys_in_pop_order(&self) -> Vec<QueueKey> {
-        let items = self.items.lock().expect("queue poisoned");
-        let mut keys: Vec<QueueKey> = items
-            .iter()
+        self.lock()
+            .values()
             .map(|it| QueueKey {
                 id: it.id(),
                 priority: it.priority(),
                 arrival_ns: it.arrival_ns(),
                 estimate_ns: it.estimate_ns(),
             })
-            .collect();
-        keys.sort_by(|a, b| {
-            b.priority
-                .cmp(&a.priority)
-                .then(a.arrival_ns.total_cmp(&b.arrival_ns))
-                .then(a.id.cmp(&b.id))
-        });
-        keys
+            .collect()
     }
 }
 
@@ -163,6 +176,7 @@ impl Queued for QueueKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::Arc;
 
     fn key(id: u64, priority: Priority, arrival: f64) -> QueueKey {
@@ -171,6 +185,20 @@ mod tests {
             priority,
             arrival_ns: arrival,
             estimate_ns: 100.0,
+        }
+    }
+
+    /// Reference oracle for the pop order, kept separate from [`PopKey`]
+    /// on purpose: `true` if `a` pops before `b`.
+    fn pops_before(a: &QueueKey, b: &QueueKey) -> bool {
+        match a.priority.cmp(&b.priority) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match a.arrival_ns.total_cmp(&b.arrival_ns) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a.id < b.id,
+            },
         }
     }
 
@@ -226,6 +254,50 @@ mod tests {
     }
 
     #[test]
+    fn negative_and_special_arrivals_order_like_total_cmp() {
+        // The f64→u64 key encoding must agree with total_cmp across sign
+        // and magnitude boundaries.
+        let values = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.0,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            2.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for a in values {
+            for b in values {
+                assert_eq!(
+                    f64_order_bits(a).cmp(&f64_order_bits(b)),
+                    a.total_cmp(&b),
+                    "encoding diverged at {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        // A producer that panics while holding the lock (here: inside the
+        // peek closure) poisons the mutex; the queue must keep serving.
+        let q = Arc::new(AdmissionQueue::new(4));
+        q.submit(key(1, Priority::Standard, 0.0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let died = std::thread::spawn(move || {
+            q2.peek(|_| -> () { panic!("producer died mid-inspection") })
+        })
+        .join();
+        assert!(died.is_err(), "the producer thread must have panicked");
+        assert_eq!(q.len(), 1, "len must not panic on a poisoned lock");
+        assert_eq!(q.submit(key(2, Priority::Interactive, 1.0)), Ok(2));
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 1);
+    }
+
+    #[test]
     fn concurrent_producers_never_overfill() {
         // Multi-tenant submission from std threads: the bound holds under
         // contention and every submit gets a definitive answer.
@@ -259,5 +331,62 @@ mod tests {
         assert_eq!(admitted, 16, "exactly capacity admitted");
         assert_eq!(q.len(), 16);
         assert_eq!(shed, 16);
+    }
+
+    fn arb_keys() -> impl Strategy<Value = Vec<QueueKey>> {
+        // Coarse arrival buckets force ties so the id tie-break is
+        // exercised, not just reachable; ids are positions, so unique.
+        prop::collection::vec((0u8..3, 0u32..8, 1u32..2000), 1..24).prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (p, arrival, estimate))| QueueKey {
+                    id: i as u64,
+                    priority: match p {
+                        0 => Priority::Batch,
+                        1 => Priority::Standard,
+                        _ => Priority::Interactive,
+                    },
+                    arrival_ns: f64::from(arrival) * 100.0,
+                    estimate_ns: f64::from(estimate),
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_sequence_matches_keys_and_oracle(keys in arb_keys()) {
+            let q = AdmissionQueue::new(keys.len());
+            for k in &keys {
+                q.submit(*k).unwrap();
+            }
+            let listed = q.keys_in_pop_order();
+            // Oracle: selection sort by the reference comparator.
+            let mut oracle = keys.clone();
+            oracle.sort_by(|a, b| {
+                if pops_before(a, b) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            let mut popped = Vec::new();
+            loop {
+                let head = q.peek(|k| k.id);
+                match q.pop() {
+                    Some(k) => {
+                        prop_assert_eq!(head, Some(k.id), "peek must agree with pop");
+                        popped.push(k);
+                    }
+                    None => {
+                        prop_assert_eq!(head, None);
+                        break;
+                    }
+                }
+            }
+            let ids = |v: &[QueueKey]| v.iter().map(|k| k.id).collect::<Vec<_>>();
+            prop_assert_eq!(ids(&popped), ids(&listed));
+            prop_assert_eq!(ids(&popped), ids(&oracle));
+        }
     }
 }

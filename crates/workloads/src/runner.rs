@@ -44,6 +44,11 @@ pub struct WorkloadNumbers {
     pub pim_fallbacks: u64,
     /// Kernels routed straight to the GPU by an open circuit breaker.
     pub breaker_skips: u64,
+    /// Virtual time the pipelined schedule overlapped across the GPU and
+    /// PIM streams, in ms. Always 0 under [`ScheduleMode::Serial`].
+    ///
+    /// [`ScheduleMode::Serial`]: anaheim_core::schedule::ScheduleMode::Serial
+    pub overlap_ms: f64,
 }
 
 impl WorkloadNumbers {
@@ -222,6 +227,7 @@ fn accumulate(nums: &mut WorkloadNumbers, r: &anaheim_core::report::ExecutionRep
     nums.degraded_segments += r.degraded_segments as u64 * repeat;
     nums.pim_fallbacks += r.pim_fallbacks as u64 * repeat;
     nums.breaker_skips += r.breaker_skips as u64 * repeat;
+    nums.overlap_ms += r.stream_overlap_ns * k / 1e6;
     for (class, ns) in &r.breakdown_ns {
         *nums.breakdown_ms.entry(class).or_insert(0.0) += ns * k / 1e6;
     }
@@ -248,6 +254,31 @@ mod tests {
             assert!(nums.time_ms > 1.0 && nums.time_ms < 1000.0);
             assert!(nums.energy_j > 0.0);
         }
+    }
+
+    #[test]
+    fn pipelined_boot_overlaps_within_band() {
+        use anaheim_core::schedule::ScheduleMode;
+        let w = Workload::boot();
+        let serial = Anaheim::new(AnaheimConfig::a100_near_bank());
+        let pipe = Anaheim::new(
+            AnaheimConfig::a100_near_bank().with_schedule_mode(ScheduleMode::Pipelined),
+        );
+        let s = run_workload(&serial, &w).unwrap().outcome.expect("fits");
+        let p = run_workload(&pipe, &w).unwrap().outcome.expect("fits");
+        assert_eq!(s.overlap_ms, 0.0, "serial mode never overlaps");
+        assert!(p.overlap_ms > 0.0, "pipelined boot should overlap streams");
+        let speedup = s.time_ms / p.time_ms;
+        assert!(
+            speedup > 1.0 && speedup <= 1.35,
+            "pipelined boot speedup {speedup:.3} outside §V-C band"
+        );
+        // Overlap accounts exactly for the saved wall-clock (fault-free).
+        assert!((p.time_ms + p.overlap_ms - s.time_ms).abs() < 1e-6);
+        // Work-conserving: same traffic and energy either way.
+        assert!((s.gpu_dram_gb - p.gpu_dram_gb).abs() < 1e-12);
+        assert!((s.pim_dram_gb - p.pim_dram_gb).abs() < 1e-12);
+        assert!((s.energy_j - p.energy_j).abs() < 1e-9);
     }
 
     #[test]

@@ -37,4 +37,38 @@ scripts/bench.sh --quick
 echo "==> serving chaos soak (scripts/soak.sh --quick)"
 scripts/soak.sh --quick
 
+echo "==> pipelined schedule gate (BENCH_ckks.json / BENCH_pim.json)"
+python3 - <<'EOF'
+import json, sys
+
+def rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for r in data:
+        if r["op"].startswith("sched_boot_"):
+            out[r["op"].removeprefix("sched_boot_")] = r
+    for mode in ("serial", "pipelined"):
+        if mode not in out:
+            sys.exit(f"{path}: missing sched_boot_{mode} row")
+    return out
+
+for path, bytes_key in (
+    ("BENCH_ckks.json", "gpu_dram_bytes"),
+    ("BENCH_pim.json", "pim_dram_bytes"),
+):
+    r = rows(path)
+    s, p = r["serial"], r["pipelined"]
+    # Work conservation: pipelining reorders virtual time, never work.
+    for key in (bytes_key, "transitions", "segments"):
+        if s[key] != p[key]:
+            sys.exit(f"{path}: {key} differs between modes ({s[key]} vs {p[key]})")
+    if s["overlap_ns"] != 0:
+        sys.exit(f"{path}: serial mode reported overlap {s['overlap_ns']}")
+    speedup = s["ns_per_op"] / p["ns_per_op"]
+    if not 1.0 < speedup <= 1.35:
+        sys.exit(f"{path}: pipelined Bootstrap speedup {speedup:.4f} outside (1.0, 1.35]")
+    print(f"  {path}: speedup {speedup:.4f}x, overlap {p['overlap_ns']/1e6:.3f} ms — ok")
+EOF
+
 echo "All checks passed."

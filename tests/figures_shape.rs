@@ -242,7 +242,7 @@ fn minks_wins_only_on_asic_like_hardware() {
     use anaheim::core::health::RetryPolicy;
     use anaheim::core::params::ParamSet;
     use anaheim::core::passes::FusionConfig;
-    use anaheim::core::schedule::MAX_PIM_RETRIES;
+    use anaheim::core::schedule::{ScheduleMode, MAX_PIM_RETRIES};
     use anaheim::gpu::config::{GpuConfig, LibraryProfile};
     use anaheim::pim::layout::LayoutPolicy;
 
@@ -271,6 +271,7 @@ fn minks_wins_only_on_asic_like_hardware() {
             mode: ExecMode::GpuOnly,
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
+            schedule: ScheduleMode::Serial,
         };
         Anaheim::new(cfg)
             .run(build(style, reorder))

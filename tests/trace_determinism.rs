@@ -40,6 +40,31 @@ fn bootstrap_trace_and_metrics_identical_across_thread_counts() {
     assert_eq!(prom1, prom8, "metrics must not depend on threads");
 }
 
+fn pipelined_boot_exports(threads: usize) -> (String, String) {
+    with_threads(threads, || {
+        use anaheim::core::schedule::ScheduleMode;
+        let rt = Anaheim::new(
+            AnaheimConfig::a100_near_bank().with_schedule_mode(ScheduleMode::Pipelined),
+        );
+        let mut tel = Telemetry::new(42);
+        run_workload_traced(&rt, &Workload::boot(), &mut tel).expect("Boot runs");
+        (tel.chrome_trace(), tel.prometheus())
+    })
+}
+
+#[test]
+fn pipelined_trace_and_metrics_identical_across_thread_counts() {
+    // The pipelined scheduler issues in serial program order and only the
+    // virtual stream cursors differ from serial mode, so its stream-segment
+    // spans and overlap gauge obey the same byte-identity contract.
+    let (trace1, prom1) = pipelined_boot_exports(1);
+    let (trace8, prom8) = pipelined_boot_exports(8);
+    assert!(trace1.contains("gpu-stream") && trace1.contains("pim-stream"));
+    assert!(prom1.contains("anaheim_stream_overlap_ns"));
+    assert_eq!(trace1, trace8, "pipelined trace must not depend on threads");
+    assert_eq!(prom1, prom8, "pipelined metrics must not depend on threads");
+}
+
 fn health_exports(threads: usize) -> (String, String) {
     with_threads(threads, || {
         let cfg = AnaheimConfig::a100_near_bank();
