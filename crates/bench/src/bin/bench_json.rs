@@ -363,11 +363,15 @@ fn emit_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) {
     }
 }
 
-/// Runs the serving-layer soak in a clean and a chaos scenario and emits
-/// the headline counters. These are virtual-time results — deterministic
-/// for a given seed, so regressions show up as diffs, not noise.
+/// Runs the serving-layer soak in a clean and a chaos scenario plus the
+/// sharded streaming fleet soak, and emits the headline counters. The
+/// clean/chaos rows are virtual-time results — deterministic for a given
+/// seed, so regressions show up as diffs, not noise. The stream-chaos row
+/// additionally carries wall-clock throughput (`wall_ms`, `wall_rps`),
+/// which is machine-dependent and informational only; every other field
+/// in it is deterministic.
 fn bench_serving(quick: bool) {
-    use serving::soak::{check_invariants, run_soak, SoakConfig};
+    use serving::soak::{check_invariants, run_soak, run_soak_stream, SoakConfig};
     let requests = if quick { 48 } else { 240 };
     let scenarios = [
         ("clean", SoakConfig::clean(2024)),
@@ -375,7 +379,7 @@ fn bench_serving(quick: bool) {
     ];
     let mut s = String::from("[\n");
     println!("\nServing soak ({requests} requests, seed 2024)");
-    for (i, (name, base)) in scenarios.iter().enumerate() {
+    for (name, base) in scenarios.iter() {
         let cfg = SoakConfig {
             requests,
             // The chaos stuck-lane window is sized for the full trace;
@@ -396,7 +400,7 @@ fn bench_serving(quick: bool) {
         s.push_str(&format!(
             "  {{\"scenario\": \"{}\", \"requests\": {}, \"completed\": {}, \
              \"deadline_misses\": {}, \"shed_queue_full\": {}, \"shed_infeasible\": {}, \
-             \"faults\": {}, \"breaker_skips\": {}, \"transitions\": {}, \"dead_banks\": {}}}{}\n",
+             \"faults\": {}, \"breaker_skips\": {}, \"transitions\": {}, \"dead_banks\": {}}},\n",
             name,
             requests,
             sum.completed,
@@ -407,7 +411,6 @@ fn bench_serving(quick: bool) {
             sum.breaker_skips,
             sum.transitions,
             sum.dead_banks,
-            if i + 1 == scenarios.len() { "" } else { "," }
         ));
         if *name == "chaos" {
             for b in &out.snapshot.banks {
@@ -421,6 +424,46 @@ fn bench_serving(quick: bool) {
             }
         }
     }
+
+    // The sharded streaming fleet soak: failover counters plus throughput.
+    let stream_cfg = SoakConfig {
+        requests: if quick { 2_000 } else { 20_000 },
+        ..SoakConfig::fleet_chaos(2024)
+    };
+    let wall = Instant::now();
+    let out = run_soak_stream(&stream_cfg, None)
+        .unwrap_or_else(|e| panic!("stream-chaos soak invariant violated: {e}"));
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let sum = out.summary;
+    println!(
+        "  stream-chaos ({} shards) {sum}\n        wall {:.0} ms ({:.0} req/s)",
+        stream_cfg.shards,
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3)
+    );
+    s.push_str(&format!(
+        "  {{\"scenario\": \"stream-chaos\", \"requests\": {}, \"shards\": {}, \
+         \"completed\": {}, \"deadline_misses\": {}, \"shed_queue_full\": {}, \
+         \"shed_infeasible\": {}, \"rerouted\": {}, \"all_shards_unhealthy\": {}, \
+         \"faults\": {}, \"breaker_skips\": {}, \"drains\": {}, \"readmits\": {}, \
+         \"dead_banks\": {}, \"virtual_rps\": {:.1}, \"wall_ms\": {:.1}, \"wall_rps\": {:.1}}}\n",
+        sum.requests,
+        stream_cfg.shards,
+        sum.completed,
+        sum.deadline_misses,
+        sum.shed_queue_full,
+        sum.shed_infeasible,
+        sum.rerouted,
+        sum.all_shards_unhealthy,
+        sum.faults,
+        sum.breaker_skips,
+        sum.drains,
+        sum.readmits,
+        sum.dead_banks,
+        sum.virtual_rps(),
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3),
+    ));
     s.push_str("]\n");
     std::fs::write("BENCH_serving.json", s)
         .unwrap_or_else(|e| panic!("writing BENCH_serving.json: {e}"));
@@ -565,7 +608,7 @@ fn main() {
 
     println!(
         "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records), \
-         BENCH_serving.json (2 scenarios)",
+         BENCH_serving.json (3 scenarios)",
         ckks_records.len(),
         pim_records.len()
     );

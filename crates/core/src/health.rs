@@ -475,6 +475,24 @@ impl HealthRegistry {
         Some(self.push_transition(bank, from, BreakerState::Open, now, cause))
     }
 
+    /// Domains whose breaker is currently open (sick and routed around).
+    pub fn open_domains(&self) -> usize {
+        self.breakers
+            .iter()
+            .filter(|b| b.state == BreakerState::Open)
+            .count()
+    }
+
+    /// Fraction of domains currently open, in `[0, 1]` (0.0 for an empty
+    /// registry) — the shard layer's unhealthiness signal.
+    pub fn open_fraction(&self) -> f64 {
+        if self.breakers.is_empty() {
+            0.0
+        } else {
+            self.open_domains() as f64 / self.breakers.len() as f64
+        }
+    }
+
     /// A comparable snapshot of the registry.
     pub fn snapshot(&self) -> HealthSnapshot {
         HealthSnapshot {
@@ -590,6 +608,94 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.banks[1].permanent);
         assert_eq!(snap.open_banks(), 1);
+    }
+
+    #[test]
+    fn half_open_retrip_escalates_cooldown_to_cap_with_logged_transitions() {
+        // Every probe fails. Trip at t=2 (threshold 3, failures at 0/1/2),
+        // then each HalfOpen → Open re-trip doubles the cooldown until the
+        // 8000 ns cap: probes at 1002, 3002, 7002, 15002 — cooldowns
+        // 1000, 2000, 4000, 8000, 8000 (saturated).
+        let mut reg = HealthRegistry::new(1, cfg());
+        for t in 0..3 {
+            reg.on_failure(0, false, t as f64, "bit-flip");
+        }
+        let probe_times = [1002.0, 3002.0, 7002.0, 15002.0];
+        for &at in &probe_times {
+            // Just before the cooldown elapses: still skipping.
+            assert_eq!(reg.decide(0, at - 1.0).0, PathDecision::Skip, "t={at}");
+            let (d, t) = reg.decide(0, at);
+            assert_eq!(d, PathDecision::Probe);
+            let t = t.expect("cooldown transition");
+            assert_eq!((t.from, t.to), (BreakerState::Open, BreakerState::HalfOpen));
+            assert_eq!((t.at_ns, t.cause), (at, "cooldown"));
+            let t = reg.on_failure(0, false, at, "bit-flip").expect("re-trips");
+            assert_eq!((t.from, t.to), (BreakerState::HalfOpen, BreakerState::Open));
+            assert_eq!((t.at_ns, t.cause), (at, "bit-flip"));
+        }
+        // Cooldown saturated at the cap: next probe window opens 8000 ns
+        // after the last failed probe, not 16000.
+        assert_eq!(reg.decide(0, 23_001.0).0, PathDecision::Skip);
+        assert_eq!(reg.decide(0, 23_002.0).0, PathDecision::Probe);
+        assert_eq!(reg.counters.probes, 5);
+        assert_eq!(reg.counters.probe_failures, 4);
+        // Log shape: 1 initial trip + 4 × (cooldown, re-trip) + final cooldown.
+        let causes: Vec<&str> = reg.transitions().iter().map(|t| t.cause).collect();
+        let mut expect = vec!["bit-flip"];
+        for _ in 0..4 {
+            expect.extend(["cooldown", "bit-flip"]);
+        }
+        expect.push("cooldown");
+        assert_eq!(causes, expect);
+        let snap = reg.snapshot();
+        assert_eq!(snap.banks[0].trips, 5);
+        assert!(!snap.banks[0].permanent);
+    }
+
+    #[test]
+    fn permanent_fault_at_half_open_pins_breaker_forever() {
+        // The doubling-cooldown ladder runs out of road when a probe hits a
+        // hard fault: the HalfOpen → Open trip is logged with its cause and
+        // the breaker never half-opens again.
+        let mut reg = HealthRegistry::new(2, cfg());
+        for t in 0..3 {
+            reg.on_failure(0, false, t as f64, "bit-flip");
+        }
+        assert_eq!(reg.decide(0, 1002.0).0, PathDecision::Probe);
+        let t = reg
+            .on_failure(0, true, 1002.0, "stuck-lane")
+            .expect("trips");
+        assert_eq!((t.from, t.to), (BreakerState::HalfOpen, BreakerState::Open));
+        assert_eq!(t.cause, "stuck-lane");
+        // Far past every cooldown the ladder could ever reach: still open,
+        // still skipping, and the skip is counted.
+        let skips_before = reg.counters.breaker_skips;
+        assert_eq!(reg.decide(0, 1e12).0, PathDecision::Skip);
+        assert_eq!(reg.counters.breaker_skips, skips_before + 1);
+        let snap = reg.snapshot();
+        assert!(snap.banks[0].permanent);
+        assert_eq!(snap.banks[0].trips, 2);
+        // The healthy sibling keeps the fraction at one-half.
+        assert_eq!(reg.open_domains(), 1);
+        assert_eq!(reg.open_fraction(), 0.5);
+        assert_eq!(reg.decide(1, 1e12).0, PathDecision::Allow);
+    }
+
+    #[test]
+    fn open_fraction_tracks_breaker_states() {
+        let mut reg = HealthRegistry::new(4, cfg());
+        assert_eq!(reg.open_fraction(), 0.0);
+        reg.on_failure(0, true, 0.0, "stuck-lane");
+        reg.on_failure(1, true, 0.0, "stuck-lane");
+        assert_eq!(reg.open_domains(), 2);
+        assert_eq!(reg.open_fraction(), 0.5);
+        // A half-open breaker is no longer counted as open.
+        for t in 0..3 {
+            reg.on_failure(2, false, t as f64, "bit-flip");
+        }
+        assert_eq!(reg.open_fraction(), 0.75);
+        assert_eq!(reg.decide(2, 1002.0).0, PathDecision::Probe);
+        assert_eq!(reg.open_fraction(), 0.5);
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub mod names {
     /// FN-level CKKS op counts in limbs, by `op` (exported by
     /// `ckks::opcount::OpCounts::export`).
     pub const FN_OP_LIMBS: &str = "anaheim_fn_op_limbs";
+    /// Per-shard state (0 up, 1 draining, 2 cooling, 3 probation), by
+    /// `shard`.
+    pub const SHARD_STATE: &str = "anaheim_shard_state";
+    /// Shard lifecycle events, by `shard` and `event`
+    /// (rerouted-in/drains/readmits/probe-failures).
+    pub const SHARD_EVENTS: &str = "anaheim_shard_events_total";
     /// Pipelined-mode stream segments scheduled, by `stream` (gpu/pim).
     pub const STREAM_SEGMENTS: &str = "anaheim_stream_segments_total";
     /// Virtual time the pipelined schedule overlapped across the two
@@ -77,6 +83,20 @@ pub mod names {
 
 /// Deadline-slack / latency bucket bounds: 1 µs … 10 s in decades.
 const SLACK_BOUNDS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Display-track names for replica shards (`"shard-0"` …). Span tracks are
+/// `&'static str`, so the table is static; fleets wider than the table wrap
+/// modulo its length (tracks are a display concern, not an identity).
+const SHARD_TRACKS: [&str; 16] = [
+    "shard-0", "shard-1", "shard-2", "shard-3", "shard-4", "shard-5", "shard-6", "shard-7",
+    "shard-8", "shard-9", "shard-10", "shard-11", "shard-12", "shard-13", "shard-14", "shard-15",
+];
+
+/// The display track for replica shard `shard` (`"shard-3"` for shard 3;
+/// shards past 15 wrap onto the 16-entry static table).
+pub fn shard_track(shard: u32) -> &'static str {
+    SHARD_TRACKS[shard as usize % SHARD_TRACKS.len()]
+}
 
 /// The recording sink: one trace recorder plus one metrics registry.
 ///
@@ -196,6 +216,16 @@ impl Telemetry {
             names::FN_OP_LIMBS,
             "FN-level CKKS op counts in limbs, by op",
             "limbs",
+        );
+        metrics.describe_gauge(
+            names::SHARD_STATE,
+            "Replica shard state (0 up, 1 draining, 2 cooling, 3 probation)",
+            "state",
+        );
+        metrics.describe_counter(
+            names::SHARD_EVENTS,
+            "Shard lifecycle events, by shard and event",
+            "events",
         );
         metrics.describe_counter(
             names::STREAM_SEGMENTS,
@@ -515,6 +545,14 @@ mod tests {
             t.metrics.counter_value(names::PIM_INTERNAL_BYTES, &[]),
             1024
         );
+    }
+
+    #[test]
+    fn shard_tracks_are_stable_and_wrap() {
+        assert_eq!(shard_track(0), "shard-0");
+        assert_eq!(shard_track(15), "shard-15");
+        assert_eq!(shard_track(16), "shard-0");
+        assert_eq!(shard_track(35), "shard-3");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::fmt::Write as _;
 /// assert!(json.contains("\"limbs\":24"));
 /// ```
 pub fn chrome_trace_json(rec: &TraceRecorder) -> String {
-    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut out = String::from(CHROME_TRACE_HEADER);
     let mut first = true;
 
     // One metadata event per track, in first-appearance order; the tid
@@ -46,12 +46,7 @@ pub fn chrome_trace_json(rec: &TraceRecorder) -> String {
             out.push(',');
         }
         first = false;
-        let _ = write!(
-            out,
-            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":{}}}}}",
-            json_string(track)
-        );
+        write_meta_event(&mut out, tid, track);
     }
 
     for s in rec.spans() {
@@ -60,33 +55,55 @@ pub fn chrome_trace_json(rec: &TraceRecorder) -> String {
         }
         first = false;
         let tid = tracks.iter().position(|&t| t == s.track).unwrap_or(0);
-        let ts = s.start_ns / 1000.0;
-        let dur = (s.end_ns - s.start_ns).max(0.0) / 1000.0;
-        let _ = write!(
-            out,
-            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":{},\"cat\":{},\
-             \"ts\":{},\"dur\":{},\"id\":\"0x{:x}\"",
-            json_string(&s.name),
-            json_string(s.cat),
-            json_number(ts),
-            json_number(dur),
-            s.id.0,
-        );
-        out.push_str(",\"args\":{");
-        if let Some(p) = s.parent {
-            let _ = write!(out, "\"parent\":\"0x{:x}\"", p.0);
-        }
-        for (i, (k, v)) in s.args.iter().enumerate() {
-            if i > 0 || s.parent.is_some() {
-                out.push(',');
-            }
-            let _ = write!(out, "{}:{}", json_string(k), render_arg(v));
-        }
-        out.push_str("}}");
+        write_span_event(&mut out, s, tid);
     }
 
-    out.push_str("]}");
+    out.push_str(CHROME_TRACE_FOOTER);
     out
+}
+
+/// The opening of the Chrome "JSON Object Format" document, shared with the
+/// streaming sink so both emit the same framing.
+pub(crate) const CHROME_TRACE_HEADER: &str = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+/// The closing of the Chrome trace document.
+pub(crate) const CHROME_TRACE_FOOTER: &str = "]}";
+
+/// Appends one `"M"` thread-name metadata event mapping `tid` to `track`.
+pub(crate) fn write_meta_event(out: &mut String, tid: usize, track: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":{}}}}}",
+        json_string(track)
+    );
+}
+
+/// Appends one `"X"` complete event for `s` on thread `tid`.
+pub(crate) fn write_span_event(out: &mut String, s: &crate::span::Span, tid: usize) {
+    let ts = s.start_ns / 1000.0;
+    let dur = (s.end_ns - s.start_ns).max(0.0) / 1000.0;
+    let _ = write!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":{},\"cat\":{},\
+         \"ts\":{},\"dur\":{},\"id\":\"0x{:x}\"",
+        json_string(&s.name),
+        json_string(s.cat),
+        json_number(ts),
+        json_number(dur),
+        s.id.0,
+    );
+    out.push_str(",\"args\":{");
+    if let Some(p) = s.parent {
+        let _ = write!(out, "\"parent\":\"0x{:x}\"", p.0);
+    }
+    for (i, (k, v)) in s.args.iter().enumerate() {
+        if i > 0 || s.parent.is_some() {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(k), render_arg(v));
+    }
+    out.push_str("}}");
 }
 
 fn render_arg(v: &ArgValue) -> String {

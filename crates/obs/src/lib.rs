@@ -19,6 +19,9 @@
 //!   ([`MetricsRegistry::render_prometheus`]) and Chrome `trace_event`
 //!   JSON ([`export::chrome_trace_json`]) that loads directly in
 //!   Perfetto / `chrome://tracing`.
+//! - [`stream`] — a bounded [`StreamingTraceSink`] (rolling ring of recent
+//!   spans + incremental Chrome-trace writing) so arbitrarily long runs —
+//!   the million-request chaos soak — keep trace memory constant.
 //!
 //! The crate is dependency-free and knows nothing about FHE: the metric
 //! and span *names* used by the Anaheim stack are catalogued in
@@ -35,6 +38,8 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod stream;
 
 pub use metrics::{Histogram, MetricKind, MetricsRegistry};
 pub use span::{ArgValue, Span, SpanId, TraceRecorder};
+pub use stream::StreamingTraceSink;

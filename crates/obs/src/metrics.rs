@@ -47,11 +47,39 @@ struct SeriesKey {
 
 impl SeriesKey {
     fn new(name: &'static str, labels: &[(&'static str, &str)]) -> Self {
-        let mut labels: Vec<(&'static str, String)> =
-            labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect();
+        assert_valid_metric_name(name);
+        let mut labels: Vec<(&'static str, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert_valid_label_name(k);
+                (*k, (*v).to_string())
+            })
+            .collect();
         labels.sort();
         Self { name, labels }
     }
+}
+
+/// Validates a Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`). Names
+/// are compile-time constants, so a violation is a programming error and
+/// panics rather than producing an exposition no scraper can parse.
+fn assert_valid_metric_name(name: &str) {
+    let ok = !name.is_empty()
+        && name.bytes().enumerate().all(|(i, b)| {
+            b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit())
+        });
+    assert!(ok, "invalid Prometheus metric name: {name:?}");
+}
+
+/// Validates a Prometheus label name (`[a-zA-Z_][a-zA-Z0-9_]*`; colons are
+/// metric-name-only).
+fn assert_valid_label_name(name: &str) {
+    let ok = !name.is_empty()
+        && name
+            .bytes()
+            .enumerate()
+            .all(|(i, b)| b.is_ascii_alphabetic() || b == b'_' || (i > 0 && b.is_ascii_digit()));
+    assert!(ok, "invalid Prometheus label name: {name:?}");
 }
 
 /// Default histogram bounds for virtual-time durations in nanoseconds:
@@ -134,7 +162,14 @@ impl MetricsRegistry {
     }
 
     /// Registers HELP/unit metadata for a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid Prometheus metric name (as do all the
+    /// recording methods): names are `'static` programmer input, and an
+    /// invalid one would render an exposition no scraper can parse.
     pub fn describe_counter(&mut self, name: &'static str, help: &'static str, unit: &'static str) {
+        assert_valid_metric_name(name);
         self.descs.insert(
             name,
             MetricDesc {
@@ -148,6 +183,7 @@ impl MetricsRegistry {
 
     /// Registers HELP/unit metadata for a gauge.
     pub fn describe_gauge(&mut self, name: &'static str, help: &'static str, unit: &'static str) {
+        assert_valid_metric_name(name);
         self.descs.insert(
             name,
             MetricDesc {
@@ -167,6 +203,7 @@ impl MetricsRegistry {
         unit: &'static str,
         bounds: &'static [f64],
     ) {
+        assert_valid_metric_name(name);
         self.descs.insert(
             name,
             MetricDesc {
@@ -410,6 +447,64 @@ mod tests {
             m.render_prometheus()
         };
         assert_eq!(build(false), build(true), "insertion order must not leak");
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_per_exposition_format() {
+        // Label *values* are runtime data (tenant names, file paths, user
+        // strings) and may be hostile; the exposition must escape `\`,
+        // `"`, and newlines so one bad value cannot forge extra series or
+        // break line framing.
+        let mut m = MetricsRegistry::new();
+        let hostile = "a\\b\"c\nd} evil_total{x=\"y\"} 999";
+        m.inc("requests_total", &[("tenant", hostile)], 1);
+        m.set_gauge("depth", &[("path", "C:\\temp\\\"q\"\n")], 2.0);
+        let text = m.render_prometheus();
+        assert!(text
+            .contains("requests_total{tenant=\"a\\\\b\\\"c\\nd} evil_total{x=\\\"y\\\"} 999\"} 1"));
+        assert!(text.contains("depth{path=\"C:\\\\temp\\\\\\\"q\\\"\\n\"} 2"));
+        // No raw newline survives inside a sample line: every rendered
+        // line is exactly one sample or one comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(" 1") || line.ends_with(" 2"),
+                "line framing broken by hostile value: {line:?}"
+            );
+        }
+        // And the hostile payload never starts a line (series forgery).
+        assert!(!text.lines().any(|l| l.starts_with("evil_total")));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn hostile_metric_name_panics() {
+        let mut m = MetricsRegistry::new();
+        m.inc("bad name{", &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus metric name")]
+    fn metric_name_must_not_start_with_digit() {
+        let mut m = MetricsRegistry::new();
+        m.describe_counter("9lives_total", "nope", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Prometheus label name")]
+    fn hostile_label_name_panics() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("ok_metric", &[("bad-label", "v")], 1.0);
+    }
+
+    #[test]
+    fn valid_names_pass_validation() {
+        let mut m = MetricsRegistry::new();
+        m.inc("anaheim:requests_total", &[("shard_0", "x")], 1);
+        m.describe_gauge("_private9", "leading underscore ok", "");
+        assert_eq!(
+            m.counter_value("anaheim:requests_total", &[("shard_0", "x")]),
+            1
+        );
     }
 
     #[test]

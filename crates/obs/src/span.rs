@@ -220,6 +220,20 @@ impl TraceRecorder {
         &self.spans
     }
 
+    /// Removes and returns every *completed* span, leaving open spans (and
+    /// the id stream, seed, and base) untouched — the hand-off point for a
+    /// streaming sink that bounds recorder memory over long runs. Spans
+    /// recorded before the outermost still-open span are drained; the open
+    /// tail stays so parent/child structure keeps working.
+    pub fn drain_completed(&mut self) -> Vec<Span> {
+        let keep_from = self.stack.first().copied().unwrap_or(self.spans.len());
+        let drained: Vec<Span> = self.spans.drain(..keep_from).collect();
+        for idx in &mut self.stack {
+            *idx -= keep_from;
+        }
+        drained
+    }
+
     /// Number of recorded spans.
     pub fn len(&self) -> usize {
         self.spans.len()
@@ -290,6 +304,37 @@ mod tests {
         let a = t.open("a", "c", "GPU", 0.0);
         let _b = t.open("b", "c", "GPU", 0.0);
         t.close(a, 1.0);
+    }
+
+    #[test]
+    fn drain_completed_preserves_open_spans_and_id_stream() {
+        let mut t = TraceRecorder::new(5);
+        // Reference run: ids with no draining.
+        let mut r = TraceRecorder::new(5);
+        let ids: Vec<SpanId> = (0..4)
+            .map(|i| r.leaf("k", "c", "GPU", i as f64, i as f64, vec![]))
+            .collect();
+
+        let a = t.leaf("k", "c", "GPU", 0.0, 0.0, vec![]);
+        assert_eq!(a, ids[0]);
+        let drained = t.drain_completed();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+        // The id stream continues where it left off.
+        let seg = t.open("seg", "segment", "GPU", 1.0);
+        assert_eq!(seg, ids[1]);
+        let child = t.leaf("k", "c", "GPU", 1.0, 1.0, vec![]);
+        assert_eq!(child, ids[2]);
+        // Draining with an open span keeps the open tail (and its child,
+        // recorded after it) in place.
+        let drained = t.drain_completed();
+        assert!(drained.is_empty(), "nothing before the open span");
+        assert_eq!(t.len(), 2);
+        t.close(seg, 2.0);
+        let after = t.leaf("k", "c", "GPU", 2.0, 2.0, vec![]);
+        assert_eq!(after, ids[3]);
+        assert_eq!(t.drain_completed().len(), 3);
+        assert_eq!(t.open_spans(), 0);
     }
 
     #[test]

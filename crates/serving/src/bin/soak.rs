@@ -4,41 +4,145 @@
 //!
 //! ```text
 //! soak [--requests N] [--seed S] [--threads-check] [--quick]
+//!      [--stream] [--shards N] [--snapshot-out FILE]
+//!      [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]
 //! ```
 //!
-//! Exits non-zero on any invariant violation or determinism mismatch.
+//! `--stream` switches to the sharded, bounded-memory streaming soak
+//! ([`run_soak_stream`]): the trace is generated lazily, responses are
+//! invariant-checked and dropped as they are produced, completed spans
+//! stream through a bounded sink (incrementally written to `--trace-out`
+//! when given), and the Prometheus exposition is rewritten to
+//! `--metrics-out` periodically. `--snapshot-out` writes the deterministic
+//! per-shard snapshot text — the artifact `scripts/check.sh` byte-compares
+//! across `ANAHEIM_THREADS`. `--rss-budget-kb` reads the process's peak
+//! RSS (`VmHWM` in `/proc/self/status`) after the run and fails if the
+//! budget was exceeded — the memory-boundedness gate.
+//!
+//! Unknown or malformed flags print usage on stderr and exit 2. Any
+//! invariant violation, determinism mismatch, or busted RSS budget exits
+//! 1. Success exits 0.
 
-use serving::soak::{check_invariants, run_soak, SoakConfig};
+use std::io::Write as _;
+use std::path::PathBuf;
 
-fn main() {
-    let mut requests = 240usize;
-    let mut seed = 2024u64;
-    let mut threads_check = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--requests" => {
-                requests = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--requests needs a number"));
-            }
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
-            }
-            "--threads-check" => threads_check = true,
-            // Same seeded soak, sized to finish fast in scripts/check.sh.
-            "--quick" => requests = 200,
-            other => usage(&format!("unknown flag {other}")),
+use anaheim_core::Telemetry;
+use obs::StreamingTraceSink;
+use serving::soak::{check_invariants, run_soak, run_soak_stream, SoakConfig};
+use serving::StreamObs;
+
+/// Parsed command line. Defaults resolve against the chosen mode's
+/// config ([`SoakConfig::chaos`] or [`SoakConfig::fleet_chaos`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Opts {
+    requests: Option<usize>,
+    seed: u64,
+    threads_check: bool,
+    stream: bool,
+    shards: Option<u32>,
+    snapshot_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    rss_budget_kb: Option<u64>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            requests: None,
+            seed: 2024,
+            threads_check: false,
+            stream: false,
+            shards: None,
+            snapshot_out: None,
+            trace_out: None,
+            metrics_out: None,
+            rss_budget_kb: None,
         }
     }
+}
 
+/// Strict flag parsing: every flag is known, every value well-formed, or
+/// the whole invocation is rejected (the caller prints usage and exits 2).
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    fn value<'a, T: std::str::FromStr>(
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a String>,
+    ) -> Result<T, String> {
+        let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        raw.parse()
+            .map_err(|_| format!("{flag}: malformed value {raw:?}"))
+    }
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => o.requests = Some(value("--requests", &mut it)?),
+            "--seed" => o.seed = value("--seed", &mut it)?,
+            "--threads-check" => o.threads_check = true,
+            // Same seeded soak, sized to finish fast in scripts/check.sh.
+            "--quick" => o.requests = Some(200),
+            "--stream" => o.stream = true,
+            "--shards" => o.shards = Some(value("--shards", &mut it)?),
+            "--snapshot-out" => {
+                o.snapshot_out = Some(PathBuf::from(value::<String>("--snapshot-out", &mut it)?))
+            }
+            "--trace-out" => {
+                o.trace_out = Some(PathBuf::from(value::<String>("--trace-out", &mut it)?))
+            }
+            "--metrics-out" => {
+                o.metrics_out = Some(PathBuf::from(value::<String>("--metrics-out", &mut it)?))
+            }
+            "--rss-budget-kb" => o.rss_budget_kb = Some(value("--rss-budget-kb", &mut it)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !o.stream {
+        for (set, flag) in [
+            (o.shards.is_some(), "--shards"),
+            (o.snapshot_out.is_some(), "--snapshot-out"),
+            (o.trace_out.is_some(), "--trace-out"),
+            (o.metrics_out.is_some(), "--metrics-out"),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --stream"));
+            }
+        }
+    }
+    Ok(o)
+}
+
+/// Peak resident set of this process so far, from `VmHWM` in
+/// `/proc/self/status` (kB). `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args).unwrap_or_else(|e| usage(&e));
+    if opts.stream {
+        run_stream_mode(&opts);
+    } else {
+        run_batch_mode(&opts);
+    }
+    check_rss(&opts);
+    println!("soak: all invariants hold");
+}
+
+/// The original single-engine soak: every response retained and checked
+/// offline; optional in-process thread-count determinism check.
+fn run_batch_mode(opts: &Opts) {
     let cfg = SoakConfig {
-        requests,
-        ..SoakConfig::chaos(seed)
+        requests: opts.requests.unwrap_or(240),
+        ..SoakConfig::chaos(opts.seed)
     };
     println!(
         "soak: {} requests, seed {}, {} lanes, queue {} deep, flips p={}, storms every {}, \
@@ -67,7 +171,7 @@ fn main() {
         );
     }
 
-    if threads_check {
+    if opts.threads_check {
         let mut mismatch = false;
         for threads in [1usize, 8] {
             parpool::set_threads(threads);
@@ -85,16 +189,222 @@ fn main() {
             fail("soak outcome depends on thread count");
         }
     }
-    println!("soak: all invariants hold");
+}
+
+/// The sharded streaming soak: bounded memory at any request count.
+fn run_stream_mode(opts: &Opts) {
+    let mut cfg = SoakConfig::fleet_chaos(opts.seed);
+    if let Some(r) = opts.requests {
+        cfg.requests = r;
+    }
+    if let Some(s) = opts.shards {
+        cfg.shards = s;
+    }
+    println!(
+        "soak: streaming {} requests over {} shard(s), seed {}, {} lanes/shard, \
+         queue {} deep, flips p={}, shard storm {:?}, stuck lane {} in {:?}",
+        cfg.requests,
+        cfg.shards,
+        cfg.seed,
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.flip_probability,
+        cfg.shard_storm,
+        cfg.stuck_lane,
+        cfg.stuck_window,
+    );
+
+    let mut tel = Telemetry::new(cfg.seed);
+    let mut sink = match &opts.trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", path.display())));
+            StreamingTraceSink::with_writer(4096, Box::new(std::io::BufWriter::new(file)))
+        }
+        None => StreamingTraceSink::new(4096),
+    };
+    let mut stream_obs = StreamObs::new(&mut tel, &mut sink);
+    if let Some(m) = &opts.metrics_out {
+        stream_obs = stream_obs.with_prometheus(m.clone(), 65_536);
+    }
+
+    let out = run_soak_stream(&cfg, Some(&mut stream_obs))
+        .unwrap_or_else(|e| fail(&format!("invariant violated: {e}")));
+    if let Some(e) = stream_obs.prom_io_error() {
+        fail(&format!("metrics write failed: {e}"));
+    }
+    drop(stream_obs);
+    println!("soak: {}", out.summary);
+    for s in &out.snapshots {
+        let c = s.counters;
+        println!(
+            "  shard {}: state={} rerouted-in={} drains={} readmits={} probe-failures={} \
+             completed={} dead-banks={}",
+            s.shard,
+            s.state,
+            c.rerouted_in,
+            c.drains,
+            c.readmits,
+            c.probe_failures,
+            s.health.counters.completed,
+            s.health.banks.iter().filter(|b| b.permanent).count(),
+        );
+    }
+    println!(
+        "soak: trace spans accepted={} evicted={} written={}",
+        sink.accepted(),
+        sink.evicted(),
+        sink.written()
+    );
+    sink.finish()
+        .unwrap_or_else(|e| fail(&format!("trace write failed: {e}")));
+
+    if let Some(path) = &opts.snapshot_out {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", path.display())));
+        f.write_all(out.snapshot_text.as_bytes())
+            .and_then(|()| f.flush())
+            .unwrap_or_else(|e| fail(&format!("snapshot write failed: {e}")));
+        println!("soak: snapshot text -> {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, tel.prometheus())
+            .unwrap_or_else(|e| fail(&format!("metrics write failed: {e}")));
+        println!("soak: metrics -> {}", path.display());
+    }
+
+    if opts.threads_check {
+        let mut mismatch = false;
+        for threads in [1usize, 8] {
+            parpool::set_threads(threads);
+            let again = run_soak_stream(&cfg, None).unwrap_or_else(|e| {
+                fail(&format!("soak rerun at {threads} thread(s) failed: {e}"))
+            });
+            let ok = again.snapshot_text == out.snapshot_text && again.summary == out.summary;
+            println!(
+                "soak: ANAHEIM_THREADS={threads}: {}",
+                if ok { "bit-identical" } else { "MISMATCH" }
+            );
+            mismatch |= !ok;
+        }
+        if mismatch {
+            fail("streaming soak outcome depends on thread count");
+        }
+    }
+}
+
+/// Reports peak RSS and enforces `--rss-budget-kb` (the memory-boundedness
+/// gate of the million-request soak).
+fn check_rss(opts: &Opts) {
+    let Some(peak) = peak_rss_kb() else {
+        if opts.rss_budget_kb.is_some() {
+            fail("--rss-budget-kb: cannot read VmHWM from /proc/self/status");
+        }
+        return;
+    };
+    println!("soak: peak RSS {peak} kB (VmHWM)");
+    if let Some(budget) = opts.rss_budget_kb {
+        if peak > budget {
+            fail(&format!("peak RSS {peak} kB exceeds budget {budget} kB"));
+        }
+        println!("soak: within RSS budget {budget} kB");
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("soak: {msg}");
-    eprintln!("usage: soak [--requests N] [--seed S] [--threads-check] [--quick]");
+    eprintln!(
+        "usage: soak [--requests N] [--seed S] [--threads-check] [--quick]\n\
+         \x20           [--stream] [--shards N] [--snapshot-out FILE]\n\
+         \x20           [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]"
+    );
     std::process::exit(2);
 }
 
 fn fail(msg: &str) -> ! {
     eprintln!("soak: FAIL: {msg}");
     std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_stream_invocation() {
+        let o = parse_args(&args(&[
+            "--stream",
+            "--requests",
+            "1000000",
+            "--seed",
+            "7",
+            "--shards",
+            "8",
+            "--snapshot-out",
+            "snap.txt",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.prom",
+            "--rss-budget-kb",
+            "524288",
+            "--threads-check",
+        ]))
+        .unwrap();
+        assert!(o.stream && o.threads_check);
+        assert_eq!(o.requests, Some(1_000_000));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.shards, Some(8));
+        assert_eq!(
+            o.snapshot_out.as_deref(),
+            Some(std::path::Path::new("snap.txt"))
+        );
+        assert_eq!(o.rss_budget_kb, Some(524_288));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_flags() {
+        assert!(parse_args(&args(&["--frobnicate"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_args(&args(&["--requests"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_args(&args(&["--requests", "many"]))
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(parse_args(&args(&["--seed", "-3"]))
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(parse_args(&args(&["--rss-budget-kb", "1.5"]))
+            .unwrap_err()
+            .contains("malformed"));
+    }
+
+    #[test]
+    fn stream_only_flags_require_stream() {
+        for (flag, value) in [
+            ("--shards", "2"),
+            ("--snapshot-out", "snap.txt"),
+            ("--trace-out", "trace.json"),
+            ("--metrics-out", "metrics.prom"),
+        ] {
+            let e = parse_args(&args(&[flag, value])).unwrap_err();
+            assert!(e.contains("requires --stream"), "{flag}: {e}");
+        }
+        assert!(parse_args(&args(&["--stream", "--shards", "2"])).is_ok());
+    }
+
+    #[test]
+    fn defaults_are_batch_mode() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o, Opts::default());
+        assert!(!o.stream);
+        assert_eq!(o.seed, 2024);
+        assert_eq!(o.requests, None);
+    }
 }

@@ -25,6 +25,8 @@
 //! All the parallelism lives in step 1, where it is provably
 //! order-independent.
 
+use std::sync::Arc;
+
 use anaheim_core::framework::{Anaheim, AnaheimConfig};
 use anaheim_core::health::{BreakerConfig, HealthRegistry, HealthSnapshot, RetryPolicy};
 use anaheim_core::ir::OpSequence;
@@ -117,17 +119,77 @@ impl ServingConfig {
 }
 
 /// A prepared request: fused/offloaded sequence plus its fault-free cost.
+/// Crate-visible so the shard layer can admit/dispatch prepared work
+/// through its own queues.
 #[derive(Debug, Clone)]
-struct Prepared {
-    id: u64,
-    tenant: u32,
-    priority: Priority,
-    arrival_ns: f64,
-    deadline_ns: f64,
-    estimate_ns: f64,
-    fault: Option<FaultPlan>,
-    label: &'static str,
-    seq: OpSequence,
+pub(crate) struct Prepared {
+    pub(crate) id: u64,
+    pub(crate) tenant: u32,
+    pub(crate) priority: Priority,
+    pub(crate) arrival_ns: f64,
+    pub(crate) deadline_ns: f64,
+    pub(crate) estimate_ns: f64,
+    pub(crate) fault: Option<FaultPlan>,
+    pub(crate) label: &'static str,
+    /// Prepared sequence, shared: requests built from the same template
+    /// Arc prepare once and share the result.
+    pub(crate) seq: Arc<OpSequence>,
+    /// Set by the shard router when the home shard was not accepting: the
+    /// home shard id, so the executing shard wraps the outcome in
+    /// [`Outcome::Rerouted`].
+    pub(crate) rerouted_from: Option<u32>,
+}
+
+/// Prepares a batch of requests, deduplicating by sequence identity: the
+/// distinct `Arc<OpSequence>` pointers are collected serially (in
+/// first-occurrence order, so the list is deterministic), fused/offloaded
+/// and costed in parallel over the vendored `parpool` (pure per-template
+/// work written to disjoint slots — bit-identical for every
+/// `ANAHEIM_THREADS`), and the shared results fanned back out. A
+/// million-request soak over six workload templates prepares six
+/// sequences, not a million.
+pub(crate) fn prepare_batch(rt: &Anaheim, reqs: &[Request]) -> Result<Vec<Prepared>, RunError> {
+    let mut uniques: Vec<&Arc<OpSequence>> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let ptr = Arc::as_ptr(&req.seq);
+        let slot = match uniques.iter().position(|u| Arc::as_ptr(u) == ptr) {
+            Some(i) => i,
+            None => {
+                uniques.push(&req.seq);
+                uniques.len() - 1
+            }
+        };
+        slot_of.push(slot);
+    }
+    let prepared_uniques: Vec<Result<(Arc<OpSequence>, f64), RunError>> =
+        parpool::par_map(&uniques, |_, u| {
+            let mut seq = (***u).clone();
+            rt.prepare(&mut seq);
+            let estimate_ns = rt.run_prepared(&seq)?.total_ns;
+            Ok((Arc::new(seq), estimate_ns))
+        });
+    let prepared_uniques: Vec<(Arc<OpSequence>, f64)> =
+        prepared_uniques.into_iter().collect::<Result<_, _>>()?;
+    Ok(reqs
+        .iter()
+        .zip(&slot_of)
+        .map(|(req, &slot)| {
+            let (seq, estimate_ns) = &prepared_uniques[slot];
+            Prepared {
+                id: req.id,
+                tenant: req.tenant,
+                priority: req.priority,
+                arrival_ns: req.arrival_ns,
+                deadline_ns: req.deadline_ns,
+                estimate_ns: *estimate_ns,
+                fault: req.fault,
+                label: req.label,
+                seq: Arc::clone(seq),
+                rerouted_from: None,
+            }
+        })
+        .collect())
 }
 
 impl Queued for Prepared {
@@ -204,7 +266,7 @@ impl ServingEngine {
     ///     priority: Priority::Standard,
     ///     arrival_ns: 0.0,
     ///     deadline_ns: 1e12,
-    ///     seq: b.lintrans(24, 4, LinTransStyle::Hoisting, true),
+    ///     seq: std::sync::Arc::new(b.lintrans(24, 4, LinTransStyle::Hoisting, true)),
     ///     fault: None,
     ///     label: "lintrans",
     /// };
@@ -235,12 +297,10 @@ impl ServingEngine {
         trace: &[Request],
         mut tel: Option<&mut Telemetry>,
     ) -> Result<Vec<Response>, RunError> {
-        // Step 1: pure per-request preparation, in parallel. Nothing is
-        // recorded here — telemetry is confined to the serial lane below.
-        let rt = &self.rt;
-        let prepared: Vec<Result<Prepared, RunError>> =
-            parpool::par_map(trace, |_, req| Self::prepare_one(rt, req));
-        let mut prepared: Vec<Prepared> = prepared.into_iter().collect::<Result<_, _>>()?;
+        // Step 1: pure per-request preparation, in parallel (deduplicated
+        // by template identity). Nothing is recorded here — telemetry is
+        // confined to the serial lane below.
+        let mut prepared = prepare_batch(&self.rt, trace)?;
         prepared.sort_by(|a, b| a.arrival_ns.total_cmp(&b.arrival_ns).then(a.id.cmp(&b.id)));
 
         // Steps 2–3: serial admission + dispatch in virtual time.
@@ -253,14 +313,14 @@ impl ServingEngine {
             self.registry.counters.submitted += 1;
             if queue.len() >= self.queue_capacity {
                 self.registry.counters.shed_queue_full += 1;
-                Self::shed_marker(tel.as_deref_mut(), &p, "queue-full");
+                Self::shed_marker(tel.as_deref_mut(), &p, "queue-full", "serving");
                 responses.push(Self::rejection(&p, Rejected::QueueFull));
                 continue;
             }
             let projected = Self::projected_start_ns(&lanes, &queue, &p, now);
             if projected + p.estimate_ns > p.deadline_ns {
                 self.registry.counters.shed_infeasible += 1;
-                Self::shed_marker(tel.as_deref_mut(), &p, "deadline-infeasible");
+                Self::shed_marker(tel.as_deref_mut(), &p, "deadline-infeasible", "serving");
                 responses.push(Self::rejection(&p, Rejected::DeadlineInfeasible));
                 continue;
             }
@@ -281,14 +341,20 @@ impl ServingEngine {
         Ok(responses)
     }
 
-    /// Records a zero-width shed marker at the request's arrival time.
-    fn shed_marker(tel: Option<&mut Telemetry>, p: &Prepared, reason: &'static str) {
+    /// Records a zero-width shed marker at the request's arrival time on
+    /// `track` (`"serving"` unsharded, `"shard-N"` per shard).
+    pub(crate) fn shed_marker(
+        tel: Option<&mut Telemetry>,
+        p: &Prepared,
+        reason: &'static str,
+        track: &'static str,
+    ) {
         if let Some(t) = tel {
             t.set_base_ns(0.0);
             t.trace.leaf(
                 format!("req{} shed", p.id),
                 "shed",
-                "serving",
+                track,
                 p.arrival_ns,
                 p.arrival_ns,
                 vec![("reason", reason.into())],
@@ -296,29 +362,10 @@ impl ServingEngine {
         }
     }
 
-    /// Fuses/offloads one request and costs it fault-free. Pure: no shared
-    /// state is touched, so this is safe to fan out.
-    fn prepare_one(rt: &Anaheim, req: &Request) -> Result<Prepared, RunError> {
-        let mut seq = req.seq.clone();
-        rt.prepare(&mut seq);
-        let estimate_ns = rt.run_prepared(&seq)?.total_ns;
-        Ok(Prepared {
-            id: req.id,
-            tenant: req.tenant,
-            priority: req.priority,
-            arrival_ns: req.arrival_ns,
-            deadline_ns: req.deadline_ns,
-            estimate_ns,
-            fault: req.fault,
-            label: req.label,
-            seq,
-        })
-    }
-
     /// When would `cand` start if admitted now? Simulates the lanes working
     /// through the queue in pop order with the candidate inserted at its
     /// priority position.
-    fn projected_start_ns(
+    pub(crate) fn projected_start_ns(
         lanes: &[f64],
         queue: &AdmissionQueue<Prepared>,
         cand: &Prepared,
@@ -352,19 +399,20 @@ impl ServingEngine {
                 return Ok(());
             };
             let p = queue.pop().expect("peek saw an item");
-            let (response, finish) = self.execute(p, start, tel.as_deref_mut())?;
+            let (response, finish) = self.execute(p, start, tel.as_deref_mut(), "serving")?;
             lanes[lane] = finish;
             responses.push(response);
         }
     }
 
     /// Runs one request through the breaker-gated scheduler at virtual
-    /// time `start`.
-    fn execute(
+    /// time `start`, recording its segment span on `track`.
+    pub(crate) fn execute(
         &mut self,
         p: Prepared,
         start: f64,
         mut tel: Option<&mut Telemetry>,
+        track: &'static str,
     ) -> Result<(Response, f64), RunError> {
         let rt = &self.rt;
         let registry = &mut self.registry;
@@ -373,7 +421,7 @@ impl ServingEngine {
             // Trace and registry share the same base so kernel spans and
             // breaker markers land inside this request's window.
             t.set_base_ns(start);
-            t.open_segment(format!("req{} {}", p.id, p.label), "serving", 0.0)
+            t.open_segment(format!("req{} {}", p.id, p.label), track, 0.0)
         });
         let cfg = rt.config();
         let report = match &cfg.pim {
@@ -445,7 +493,7 @@ impl ServingEngine {
         ))
     }
 
-    fn rejection(p: &Prepared, reason: Rejected) -> Response {
+    pub(crate) fn rejection(p: &Prepared, reason: Rejected) -> Response {
         Response {
             id: p.id,
             tenant: p.tenant,
@@ -453,6 +501,26 @@ impl ServingEngine {
             label: p.label,
             outcome: Outcome::Rejected(reason),
         }
+    }
+
+    /// The underlying runtime (shard layer: shared preparation).
+    pub(crate) fn runtime(&self) -> &Anaheim {
+        &self.rt
+    }
+
+    /// Mutable access to the registry (shard layer: fleet accounting).
+    pub(crate) fn registry_mut(&mut self) -> &mut HealthRegistry {
+        &mut self.registry
+    }
+
+    /// Virtual execution lanes.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admission queue capacity.
+    pub(crate) fn queue_capacity(&self) -> usize {
+        self.queue_capacity
     }
 }
 
@@ -463,9 +531,9 @@ mod tests {
     use anaheim_core::params::ParamSet;
     use proptest::prelude::*;
 
-    fn small_seq() -> OpSequence {
+    fn small_seq() -> Arc<OpSequence> {
         let mut b = Builder::new(ParamSet::paper_default());
-        b.lintrans(24, 4, LinTransStyle::Hoisting, true)
+        Arc::new(b.lintrans(24, 4, LinTransStyle::Hoisting, true))
     }
 
     fn req(id: u64, arrival: f64, deadline: f64, priority: Priority) -> Request {
@@ -487,6 +555,42 @@ mod tests {
             queue_capacity: 2,
             ..ServingConfig::a100_default(7)
         })
+    }
+
+    #[test]
+    fn prepare_batch_dedups_shared_templates() {
+        let e = engine();
+        let tpl = small_seq();
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request {
+                id: i,
+                tenant: 0,
+                priority: Priority::Standard,
+                arrival_ns: 0.0,
+                deadline_ns: 1e12,
+                seq: Arc::clone(&tpl),
+                fault: None,
+                label: "lintrans",
+            })
+            .collect();
+        let prepped = prepare_batch(e.runtime(), &reqs).unwrap();
+        assert_eq!(prepped.len(), 4);
+        assert!(
+            prepped
+                .windows(2)
+                .all(|w| Arc::ptr_eq(&w[0].seq, &w[1].seq)),
+            "one shared template prepares once"
+        );
+        // The deduped estimate is bit-identical to preparing a private
+        // clone of the same sequence.
+        let mut lone = reqs[0].clone();
+        lone.seq = Arc::new((*tpl).clone());
+        let distinct = prepare_batch(e.runtime(), &[lone]).unwrap();
+        assert_eq!(
+            prepped[0].estimate_ns.to_bits(),
+            distinct[0].estimate_ns.to_bits()
+        );
+        assert!(!Arc::ptr_eq(&prepped[0].seq, &distinct[0].seq));
     }
 
     #[test]

@@ -13,16 +13,35 @@
 //!   serial virtual-time dispatch through the breaker-gated scheduler
 //!   ([`anaheim_core::schedule::Scheduler::run_with_health`]), and a
 //!   persistent [`anaheim_core::health::HealthRegistry`].
+//! - [`router`] — seeded rendezvous hashing from tenants to replica
+//!   shards: stable homes, minimal movement on failover.
+//! - [`shard`] — replica shards with deterministic failover: each shard
+//!   owns its own engine, breaker set, and lanes; sick shards drain, cool
+//!   down, and re-admit through a probe while the router re-routes their
+//!   tenants ([`request::Outcome::Rerouted`]) — and only a fully sick
+//!   fleet rejects ([`request::Rejected::AllShardsUnhealthy`]).
 //! - [`soak`] — the deterministic chaos-soak harness: seeded mixed-workload
 //!   traces under seeded fault schedules, with machine-checked invariants
-//!   and bit-identical results across `ANAHEIM_THREADS`.
+//!   and bit-identical results across `ANAHEIM_THREADS`. Streaming mode
+//!   pushes a million requests through the sharded fleet in bounded
+//!   memory.
 
 pub mod engine;
 pub mod queue;
 pub mod request;
+pub mod router;
+pub mod shard;
 pub mod soak;
 
 pub use engine::{ServingConfig, ServingEngine};
 pub use queue::{AdmissionQueue, QueueKey, Queued};
 pub use request::{Outcome, Priority, Rejected, Request, Response};
-pub use soak::{build_trace, check_invariants, run_soak, SoakConfig, SoakOutcome, SoakSummary};
+pub use router::ShardRouter;
+pub use shard::{
+    FleetCounters, ShardConfig, ShardCounters, ShardSnapshot, ShardState, ShardTransition,
+    ShardedEngine, StreamObs,
+};
+pub use soak::{
+    build_trace, check_invariants, run_soak, run_soak_stream, shard_config_for, SoakConfig,
+    SoakOutcome, SoakSummary, StreamOutcome, StreamSummary, TraceGen,
+};

@@ -1,6 +1,7 @@
 //! Request, priority, and response types of the serving layer.
 
 use std::fmt;
+use std::sync::Arc;
 
 use anaheim_core::ir::OpSequence;
 use pim::fault::FaultPlan;
@@ -44,6 +45,9 @@ pub enum Rejected {
     /// Even an immediate dispatch projection cannot meet the deadline, so
     /// executing would only waste capacity on a guaranteed miss.
     DeadlineInfeasible,
+    /// Sharded serving only: no replica shard is accepting work (every
+    /// shard is draining, cooling, or has a probe already in flight).
+    AllShardsUnhealthy,
 }
 
 impl fmt::Display for Rejected {
@@ -51,6 +55,7 @@ impl fmt::Display for Rejected {
         match self {
             Rejected::QueueFull => write!(f, "queue full"),
             Rejected::DeadlineInfeasible => write!(f, "deadline infeasible"),
+            Rejected::AllShardsUnhealthy => write!(f, "all shards unhealthy"),
         }
     }
 }
@@ -71,7 +76,10 @@ pub struct Request {
     /// Absolute deadline.
     pub deadline_ns: f64,
     /// The FHE op sequence to execute (unfused; the engine prepares it).
-    pub seq: OpSequence,
+    /// Shared: trace generators reuse a handful of workload templates
+    /// across millions of requests, and the engine dedups preparation by
+    /// pointer identity, so cloning a request never copies the sequence.
+    pub seq: Arc<OpSequence>,
     /// Per-request fault environment (`None` = fault-free). Derived
     /// per-request streams keep outcomes independent of execution order.
     pub fault: Option<FaultPlan>,
@@ -109,17 +117,39 @@ pub enum Outcome {
     },
     /// Shed at admission with a typed reason.
     Rejected(Rejected),
+    /// Sharded serving only: the request's home shard was not accepting
+    /// (draining or cooling), so the router sent it to a healthy replica.
+    /// Wraps what then happened there — exactly one level deep, since a
+    /// request is routed once.
+    Rerouted {
+        /// The home shard that was not accepting.
+        from_shard: u32,
+        /// The replica that took the request.
+        to_shard: u32,
+        /// What happened on the replica.
+        outcome: Box<Outcome>,
+    },
 }
 
 impl Outcome {
-    /// True only for on-time completion.
+    /// True only for on-time completion (looking through rerouting).
     pub fn is_completed(&self) -> bool {
-        matches!(self, Outcome::Completed { .. })
+        matches!(self.final_outcome(), Outcome::Completed { .. })
     }
 
-    /// True when the request was shed at admission.
+    /// True when the request was shed at admission (looking through
+    /// rerouting: a request rerouted into a full replica queue still got
+    /// shed).
     pub fn is_rejected(&self) -> bool {
-        matches!(self, Outcome::Rejected(_))
+        matches!(self.final_outcome(), Outcome::Rejected(_))
+    }
+
+    /// The terminal outcome, unwrapping [`Outcome::Rerouted`].
+    pub fn final_outcome(&self) -> &Outcome {
+        match self {
+            Outcome::Rerouted { outcome, .. } => outcome.final_outcome(),
+            other => other,
+        }
     }
 }
 
@@ -155,6 +185,36 @@ mod tests {
             Rejected::DeadlineInfeasible.to_string(),
             "deadline infeasible"
         );
+        assert_eq!(
+            Rejected::AllShardsUnhealthy.to_string(),
+            "all shards unhealthy"
+        );
+    }
+
+    #[test]
+    fn rerouted_predicates_look_through_the_wrapper() {
+        let done = Outcome::Completed {
+            start_ns: 0.0,
+            finish_ns: 1.0,
+            deadline_ns: 2.0,
+            faults: 0,
+            pim_fallbacks: 0,
+            breaker_skips: 0,
+        };
+        let rerouted = Outcome::Rerouted {
+            from_shard: 0,
+            to_shard: 2,
+            outcome: Box::new(done.clone()),
+        };
+        assert!(rerouted.is_completed());
+        assert!(!rerouted.is_rejected());
+        assert_eq!(rerouted.final_outcome(), &done);
+        let shed = Outcome::Rerouted {
+            from_shard: 1,
+            to_shard: 0,
+            outcome: Box::new(Outcome::Rejected(Rejected::QueueFull)),
+        };
+        assert!(shed.is_rejected() && !shed.is_completed());
     }
 
     #[test]

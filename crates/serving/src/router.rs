@@ -1,0 +1,157 @@
+//! Deterministic tenant → shard routing.
+//!
+//! The fleet partitions its PIM stacks into replica shards; the router
+//! decides which shard serves which tenant. Rendezvous (highest-random-
+//! weight) hashing gives the two properties the shard layer needs:
+//!
+//! - **Stability**: a tenant's home shard depends only on (seed, tenant,
+//!   shard count) — never on request order, thread count, or which shards
+//!   happen to be sick — so routing decisions replay bit-identically.
+//! - **Minimal disruption on failover**: when a shard stops accepting, each
+//!   of its tenants independently falls to its *next-ranked* shard instead
+//!   of the whole key space reshuffling, and returns home the moment the
+//!   shard is readmitted.
+//!
+//! Scores are SplitMix64 hashes of (seed, tenant, shard); ties (which a
+//! 64-bit hash makes vanishingly rare, but determinism must not depend on
+//! "rare") break to the lower shard id.
+
+/// Seeded rendezvous-hash router over a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    seed: u64,
+    shards: u32,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (at least one), scored from `seed`.
+    pub fn new(seed: u64, shards: u32) -> Self {
+        Self {
+            seed,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The rendezvous weight of `shard` for `tenant` — pure arithmetic on
+    /// (seed, tenant, shard).
+    fn score(&self, tenant: u32, shard: u32) -> u64 {
+        splitmix64(
+            self.seed
+                ^ (u64::from(tenant).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ (u64::from(shard).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)),
+        )
+    }
+
+    /// The tenant's home shard: the highest-scoring shard with every shard
+    /// eligible.
+    pub fn home_shard(&self, tenant: u32) -> u32 {
+        let mut best = 0u32;
+        let mut best_score = self.score(tenant, 0);
+        for shard in 1..self.shards {
+            let s = self.score(tenant, shard);
+            if s > best_score {
+                best = shard;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    /// The highest-ranked shard for `tenant` among those currently
+    /// accepting (`accepting[shard]`), or `None` when no shard is. Ties
+    /// break to the lower shard id.
+    pub fn route(&self, tenant: u32, accepting: &[bool]) -> Option<u32> {
+        let mut best: Option<(u32, u64)> = None;
+        for shard in 0..self.shards.min(accepting.len() as u32) {
+            if !accepting[shard as usize] {
+                continue;
+            }
+            let s = self.score(tenant, shard);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((shard, s));
+            }
+        }
+        best.map(|(shard, _)| shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_shard_is_stable_and_seed_dependent() {
+        let r = ShardRouter::new(7, 4);
+        let homes: Vec<u32> = (0..32).map(|t| r.home_shard(t)).collect();
+        assert_eq!(homes, (0..32).map(|t| r.home_shard(t)).collect::<Vec<_>>());
+        let r2 = ShardRouter::new(8, 4);
+        assert_ne!(
+            homes,
+            (0..32).map(|t| r2.home_shard(t)).collect::<Vec<_>>(),
+            "a different seed shuffles the placement"
+        );
+    }
+
+    #[test]
+    fn every_shard_gets_tenants() {
+        let r = ShardRouter::new(42, 4);
+        let mut seen = [false; 4];
+        for t in 0..256 {
+            seen[r.home_shard(t) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "rendezvous spreads the key space");
+    }
+
+    #[test]
+    fn route_with_all_accepting_is_the_home_shard() {
+        let r = ShardRouter::new(3, 5);
+        for t in 0..64 {
+            assert_eq!(r.route(t, &[true; 5]), Some(r.home_shard(t)));
+        }
+    }
+
+    #[test]
+    fn failover_moves_only_the_sick_shards_tenants() {
+        let r = ShardRouter::new(11, 4);
+        let mut accepting = [true; 4];
+        accepting[2] = false;
+        for t in 0..128 {
+            let home = r.home_shard(t);
+            let routed = r.route(t, &accepting).unwrap();
+            if home != 2 {
+                assert_eq!(routed, home, "healthy tenants stay put");
+            } else {
+                assert_ne!(routed, 2, "tenant of the sick shard fails over");
+            }
+        }
+    }
+
+    #[test]
+    fn no_accepting_shard_routes_nowhere() {
+        let r = ShardRouter::new(0, 3);
+        assert_eq!(r.route(9, &[false, false, false]), None);
+        // Exactly one accepting shard takes everything.
+        for t in 0..16 {
+            assert_eq!(r.route(t, &[false, true, false]), Some(1));
+        }
+    }
+
+    #[test]
+    fn shard_count_floors_at_one() {
+        let r = ShardRouter::new(5, 0);
+        assert_eq!(r.shards(), 1);
+        assert_eq!(r.home_shard(123), 0);
+    }
+}

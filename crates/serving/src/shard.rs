@@ -1,0 +1,978 @@
+//! Replica shards with deterministic failover.
+//!
+//! One [`ServingEngine`] models a single PIM fleet with one shared health
+//! registry: a fault storm that opens enough breakers degrades *every*
+//! tenant. A [`ShardedEngine`] partitions the fleet into N replica shards
+//! — each owning its own engine (whole PIM stack),
+//! [`HealthRegistry`](anaheim_core::health::HealthRegistry)
+//! breaker set, admission queue, and virtual-time lane cursor — behind a
+//! seeded rendezvous [`ShardRouter`]. Blast radius becomes per-shard: when
+//! a shard's breakers trip past [`ShardConfig::unhealthy_open_fraction`],
+//! it stops accepting, drains its in-flight work, cools down, and is
+//! re-admitted through a HalfOpen-style probe, while the router sends its
+//! tenants to the next-ranked healthy replica with typed
+//! [`Outcome::Rerouted`] accounting. Only when *no* shard accepts does a
+//! request fail, with [`Rejected::AllShardsUnhealthy`].
+//!
+//! The shard state machine mirrors the per-bank breaker one level up:
+//!
+//! ```text
+//! Up --breaker-threshold--> Draining --drained--> Cooling
+//!  ^                                                 | cooldown elapsed
+//!  +--probe-ok-- Probation <-------------------------+
+//!        (probe-fail: back to Cooling, cooldown doubled up to a cap)
+//! ```
+//!
+//! Everything stays on the serial virtual-time path: shards advance in id
+//! order to each arrival, routing reads only (seed, tenant, accepting
+//! set), and telemetry records from the dispatch lane — so responses,
+//! per-shard [`HealthSnapshot`]s, and the rendered snapshot text are
+//! byte-identical for every `ANAHEIM_THREADS` value. Preparation (the
+//! only parallel stage) is deduplicated by template identity, which is
+//! what lets [`ShardedEngine::run_stream`] push a million requests
+//! through in bounded memory when paired with a
+//! [`StreamingTraceSink`].
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use anaheim_core::health::{BreakerState, HealthSnapshot};
+use anaheim_core::telemetry::{names, shard_track, Telemetry};
+use anaheim_core::RunError;
+use obs::StreamingTraceSink;
+
+use crate::engine::{next_dispatch, prepare_batch, Prepared, ServingConfig, ServingEngine};
+use crate::queue::AdmissionQueue;
+use crate::request::{Outcome, Rejected, Request, Response};
+use crate::router::ShardRouter;
+
+/// Tuning of the shard layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Number of replica shards (at least one).
+    pub shards: u32,
+    /// Seed of the rendezvous router.
+    pub router_seed: u64,
+    /// A shard whose registry's [`open_fraction`] reaches this value stops
+    /// accepting and drains (and a probe returning at or above it fails).
+    ///
+    /// [`open_fraction`]: anaheim_core::health::HealthRegistry::open_fraction
+    pub unhealthy_open_fraction: f64,
+    /// Cooldown between finishing a drain and the re-admission probe
+    /// (virtual ns). Doubles after each failed probe.
+    pub drain_cooldown_ns: f64,
+    /// Cooldown growth factor after a failed probe.
+    pub cooldown_multiplier: f64,
+    /// Upper bound on the shard cooldown (ns).
+    pub max_cooldown_ns: f64,
+}
+
+impl ShardConfig {
+    /// `shards` replicas with the default failover tuning: drain at half
+    /// the breakers open, 8 ms drain cooldown doubling to a 128 ms cap.
+    pub fn new(shards: u32) -> Self {
+        Self {
+            shards: shards.max(1),
+            router_seed: 0x5AAD_0001,
+            unhealthy_open_fraction: 0.5,
+            drain_cooldown_ns: 8.0e6,
+            cooldown_multiplier: 2.0,
+            max_cooldown_ns: 1.28e8,
+        }
+    }
+}
+
+/// Shard lifecycle states (the breaker cycle, one level up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Healthy and accepting.
+    Up,
+    /// Past the breaker threshold: not accepting, finishing queued work.
+    Draining,
+    /// Drained and waiting out its cooldown.
+    Cooling,
+    /// Accepting exactly one probe request to test re-admission.
+    Probation,
+}
+
+impl ShardState {
+    /// Numeric code for the `anaheim_shard_state` gauge.
+    pub fn code(&self) -> u8 {
+        match self {
+            ShardState::Up => 0,
+            ShardState::Draining => 1,
+            ShardState::Cooling => 2,
+            ShardState::Probation => 3,
+        }
+    }
+}
+
+impl fmt::Display for ShardState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardState::Up => "up",
+            ShardState::Draining => "draining",
+            ShardState::Cooling => "cooling",
+            ShardState::Probation => "probation",
+        })
+    }
+}
+
+/// Monotone per-shard lifecycle counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Requests this shard served for another shard's tenants.
+    pub rerouted_in: u64,
+    /// Up → Draining transitions.
+    pub drains: u64,
+    /// Successful probes (Probation → Up).
+    pub readmits: u64,
+    /// Failed probes (Probation → Cooling).
+    pub probe_failures: u64,
+}
+
+/// One shard state change, for the per-shard transition log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardTransition {
+    /// The shard.
+    pub shard: u32,
+    /// State before.
+    pub from: ShardState,
+    /// State after.
+    pub to: ShardState,
+    /// Virtual time of the transition (ns).
+    pub at_ns: f64,
+    /// `"breaker-threshold"`, `"drained"`, `"cooldown"`, `"probe-ok"`, or
+    /// `"probe-fail"`.
+    pub cause: &'static str,
+}
+
+/// Comparable view of one shard — what the thread-count determinism gate
+/// diffs, via [`ShardedEngine::render_snapshots`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The shard.
+    pub shard: u32,
+    /// Current lifecycle state.
+    pub state: ShardState,
+    /// Lifecycle counters.
+    pub counters: ShardCounters,
+    /// The shard's own health registry snapshot.
+    pub health: HealthSnapshot,
+    /// The full shard transition log.
+    pub transitions: Vec<ShardTransition>,
+    /// Finish time of the shard's busiest lane (ns).
+    pub last_finish_ns: f64,
+}
+
+/// Fleet-level routing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Requests submitted to the fleet.
+    pub submitted: u64,
+    /// Requests routed away from a non-accepting home shard.
+    pub rerouted: u64,
+    /// Requests rejected because no shard was accepting.
+    pub rejected_all_unhealthy: u64,
+}
+
+/// Streaming observability for [`ShardedEngine::run_stream`]: completed
+/// spans drain into a bounded sink after every request, and the Prometheus
+/// text can be re-written to a file on a fixed cadence — both keep memory
+/// constant over arbitrarily long runs.
+#[derive(Debug)]
+pub struct StreamObs<'a> {
+    tel: &'a mut Telemetry,
+    sink: &'a mut StreamingTraceSink,
+    prom_path: Option<PathBuf>,
+    prom_every: u64,
+    prom_io_error: Option<std::io::Error>,
+    ticks: u64,
+}
+
+impl<'a> StreamObs<'a> {
+    /// Streams `tel`'s completed spans into `sink` after every request.
+    pub fn new(tel: &'a mut Telemetry, sink: &'a mut StreamingTraceSink) -> Self {
+        Self {
+            tel,
+            sink,
+            prom_path: None,
+            prom_every: 0,
+            prom_io_error: None,
+            ticks: 0,
+        }
+    }
+
+    /// Additionally rewrites the Prometheus exposition to `path` every
+    /// `every` requests (0 disables). IO errors are latched, not fatal —
+    /// the virtual-time run never depends on filesystem state.
+    pub fn with_prometheus(mut self, path: PathBuf, every: u64) -> Self {
+        self.prom_path = Some(path);
+        self.prom_every = every;
+        self
+    }
+
+    /// The first error hit writing the Prometheus file, if any.
+    pub fn prom_io_error(&self) -> Option<&std::io::Error> {
+        self.prom_io_error.as_ref()
+    }
+
+    fn after_request(&mut self) {
+        self.sink.drain_from(&mut self.tel.trace);
+        self.ticks += 1;
+        if self.prom_every > 0 && self.ticks.is_multiple_of(self.prom_every) {
+            if let (Some(path), None) = (&self.prom_path, &self.prom_io_error) {
+                if let Err(e) = std::fs::write(path, self.tel.prometheus()) {
+                    self.prom_io_error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+/// One replica shard: an engine (runtime + registry), its queue, its
+/// lanes, and its lifecycle state.
+#[derive(Debug)]
+struct Shard {
+    id: u32,
+    engine: ServingEngine,
+    queue: AdmissionQueue<Prepared>,
+    lanes: Vec<f64>,
+    state: ShardState,
+    /// When a Cooling shard may enter Probation (ns).
+    readmit_at_ns: f64,
+    /// Cooldown the next drain/failed probe will use.
+    next_cooldown_ns: f64,
+    /// A probe request is queued or running; Probation admits no more.
+    probe_inflight: bool,
+    counters: ShardCounters,
+    transitions: Vec<ShardTransition>,
+}
+
+impl Shard {
+    fn new(id: u32, cfg: ServingConfig, shard_cfg: &ShardConfig) -> Self {
+        let engine = ServingEngine::new(cfg);
+        let lanes = vec![0.0; engine.workers()];
+        let queue = AdmissionQueue::new(engine.queue_capacity());
+        Self {
+            id,
+            engine,
+            queue,
+            lanes,
+            state: ShardState::Up,
+            readmit_at_ns: 0.0,
+            next_cooldown_ns: shard_cfg.drain_cooldown_ns,
+            probe_inflight: false,
+            counters: ShardCounters::default(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Records a state change: the log entry plus a zero-width marker span
+    /// on this shard's track.
+    fn transition(
+        &mut self,
+        to: ShardState,
+        at_ns: f64,
+        cause: &'static str,
+        tel: Option<&mut Telemetry>,
+    ) {
+        let from = self.state;
+        self.state = to;
+        self.transitions.push(ShardTransition {
+            shard: self.id,
+            from,
+            to,
+            at_ns,
+            cause,
+        });
+        if let Some(t) = tel {
+            t.set_base_ns(0.0);
+            t.trace.leaf(
+                format!("shard{} {from}\u{2192}{to}", self.id),
+                "shard",
+                shard_track(self.id),
+                at_ns,
+                at_ns,
+                vec![("cause", cause.into())],
+            );
+        }
+    }
+
+    /// Advances the lifecycle clock to `now` (Cooling → Probation when the
+    /// cooldown has elapsed) and reports whether the shard accepts a new
+    /// request at `now`.
+    fn poll_accepting(&mut self, now: f64, tel: Option<&mut Telemetry>) -> bool {
+        if self.state == ShardState::Cooling && now >= self.readmit_at_ns {
+            let at = self.readmit_at_ns;
+            self.probe_inflight = false;
+            self.transition(ShardState::Probation, at, "cooldown", tel);
+        }
+        match self.state {
+            ShardState::Up => true,
+            ShardState::Probation => !self.probe_inflight,
+            ShardState::Draining | ShardState::Cooling => false,
+        }
+    }
+
+    /// Wraps an outcome in [`Outcome::Rerouted`] when the request was sent
+    /// here from another home shard.
+    fn wrap(rerouted_from: Option<u32>, to_shard: u32, mut resp: Response) -> Response {
+        if let Some(from_shard) = rerouted_from {
+            resp.outcome = Outcome::Rerouted {
+                from_shard,
+                to_shard,
+                outcome: Box::new(resp.outcome),
+            };
+        }
+        resp
+    }
+
+    /// Admission (serial, virtual time): the same queue-full / infeasible
+    /// discipline as the unsharded engine, against this shard's queue and
+    /// lanes. A request admitted while on Probation is the shard's probe.
+    fn admit(
+        &mut self,
+        p: Prepared,
+        now: f64,
+        mut tel: Option<&mut Telemetry>,
+        out: &mut Vec<Response>,
+    ) {
+        self.engine.registry_mut().counters.submitted += 1;
+        let track = shard_track(self.id);
+        if self.queue.len() >= self.engine.queue_capacity() {
+            self.engine.registry_mut().counters.shed_queue_full += 1;
+            ServingEngine::shed_marker(tel.as_deref_mut(), &p, "queue-full", track);
+            out.push(Self::wrap(
+                p.rerouted_from,
+                self.id,
+                ServingEngine::rejection(&p, Rejected::QueueFull),
+            ));
+            return;
+        }
+        let projected = ServingEngine::projected_start_ns(&self.lanes, &self.queue, &p, now);
+        if projected + p.estimate_ns > p.deadline_ns {
+            self.engine.registry_mut().counters.shed_infeasible += 1;
+            ServingEngine::shed_marker(tel, &p, "deadline-infeasible", track);
+            out.push(Self::wrap(
+                p.rerouted_from,
+                self.id,
+                ServingEngine::rejection(&p, Rejected::DeadlineInfeasible),
+            ));
+            return;
+        }
+        let probe = self.state == ShardState::Probation;
+        let depth = self.queue.submit(p).expect("capacity checked above");
+        self.engine.registry_mut().note_queue_depth(depth);
+        if probe {
+            self.probe_inflight = true;
+        }
+    }
+
+    /// Dispatches queued work while something can start at or before
+    /// `until_ns`, evaluating the lifecycle after every execution: Up
+    /// drains past the breaker threshold; a probe's result decides
+    /// re-admission; a Draining shard whose queue empties starts cooling.
+    fn advance_to(
+        &mut self,
+        until_ns: f64,
+        cfg: &ShardConfig,
+        mut tel: Option<&mut Telemetry>,
+        out: &mut Vec<Response>,
+    ) -> Result<(), RunError> {
+        while let Some((lane, start)) = next_dispatch(&self.queue, &self.lanes, until_ns) {
+            let p = self.queue.pop().expect("peek saw an item");
+            let rerouted_from = p.rerouted_from;
+            let was_probe = self.probe_inflight && self.state == ShardState::Probation;
+            let (resp, finish) =
+                self.engine
+                    .execute(p, start, tel.as_deref_mut(), shard_track(self.id))?;
+            self.lanes[lane] = finish;
+            out.push(Self::wrap(rerouted_from, self.id, resp));
+            let frac = self.engine.registry().open_fraction();
+            match self.state {
+                ShardState::Up if frac >= cfg.unhealthy_open_fraction => {
+                    self.counters.drains += 1;
+                    self.transition(
+                        ShardState::Draining,
+                        finish,
+                        "breaker-threshold",
+                        tel.as_deref_mut(),
+                    );
+                }
+                ShardState::Probation if was_probe => {
+                    self.probe_inflight = false;
+                    if frac < cfg.unhealthy_open_fraction {
+                        self.counters.readmits += 1;
+                        self.next_cooldown_ns = cfg.drain_cooldown_ns;
+                        self.transition(ShardState::Up, finish, "probe-ok", tel.as_deref_mut());
+                    } else {
+                        self.counters.probe_failures += 1;
+                        self.readmit_at_ns = finish + self.next_cooldown_ns;
+                        self.next_cooldown_ns = (self.next_cooldown_ns * cfg.cooldown_multiplier)
+                            .min(cfg.max_cooldown_ns);
+                        self.transition(
+                            ShardState::Cooling,
+                            finish,
+                            "probe-fail",
+                            tel.as_deref_mut(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.state == ShardState::Draining && self.queue.is_empty() {
+            // In-flight work executes synchronously at dispatch, so an
+            // empty queue means the drain is complete; the drain ends when
+            // the busiest lane goes idle.
+            let drained_at = self.lanes.iter().copied().fold(0.0, f64::max);
+            self.readmit_at_ns = drained_at + self.next_cooldown_ns;
+            self.transition(ShardState::Cooling, drained_at, "drained", tel);
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: self.id,
+            state: self.state,
+            counters: self.counters,
+            health: self.engine.snapshot(),
+            transitions: self.transitions.clone(),
+            last_finish_ns: self.lanes.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// N replica shards behind a rendezvous router, with drain/probe failover.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    router: ShardRouter,
+    cfg: ShardConfig,
+    fleet: FleetCounters,
+}
+
+/// Reborrows the telemetry inside an optional [`StreamObs`].
+fn tel_of<'x>(obs: &'x mut Option<&mut StreamObs<'_>>) -> Option<&'x mut Telemetry> {
+    obs.as_mut().map(|o| &mut *o.tel)
+}
+
+impl ShardedEngine {
+    /// `shard_cfg.shards` replicas, each built from its own copy of
+    /// `serving` (same platform, its own registry and lanes).
+    pub fn new(serving: ServingConfig, shard_cfg: ShardConfig) -> Self {
+        let shards = (0..shard_cfg.shards.max(1))
+            .map(|id| Shard::new(id, serving.clone(), &shard_cfg))
+            .collect();
+        Self {
+            shards,
+            router: ShardRouter::new(shard_cfg.router_seed, shard_cfg.shards.max(1)),
+            cfg: shard_cfg,
+            fleet: FleetCounters::default(),
+        }
+    }
+
+    /// The tenant router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Fleet-level routing counters.
+    pub fn fleet(&self) -> FleetCounters {
+        self.fleet
+    }
+
+    /// The shard configuration in force.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Serves a stream of requests in bounded memory, invoking
+    /// `on_response` for every response as it is produced (execution
+    /// order — deterministic, but not sorted by id; a million-request run
+    /// cannot buffer and sort). Requests must arrive in nondecreasing
+    /// `(arrival_ns, id)` order, which every seeded trace generator
+    /// guarantees.
+    ///
+    /// Preparation runs chunk-by-chunk, deduplicated by template identity;
+    /// with `obs`, completed spans drain into the bounded sink after every
+    /// request and the final fleet state is exported to the metrics
+    /// registry.
+    pub fn run_stream<I, F>(
+        &mut self,
+        requests: I,
+        mut on_response: F,
+        mut obs: Option<&mut StreamObs<'_>>,
+    ) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = Request>,
+        F: FnMut(&Response),
+    {
+        const CHUNK: usize = 1024;
+        let mut it = requests.into_iter();
+        let mut buf: Vec<Request> = Vec::with_capacity(CHUNK);
+        let mut last_key = (f64::NEG_INFINITY, 0u64);
+        let mut out: Vec<Response> = Vec::new();
+        loop {
+            buf.clear();
+            while buf.len() < CHUNK {
+                match it.next() {
+                    Some(r) => buf.push(r),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                break;
+            }
+            let prepared = prepare_batch(self.shards[0].engine.runtime(), &buf)?;
+            for p in prepared {
+                assert!(
+                    (p.arrival_ns, p.id) >= last_key,
+                    "run_stream requires nondecreasing (arrival, id) order \
+                     (request {} at {} after {:?})",
+                    p.id,
+                    p.arrival_ns,
+                    last_key
+                );
+                last_key = (p.arrival_ns, p.id);
+                self.step(p, &mut out, obs.as_deref_mut())?;
+                for r in out.drain(..) {
+                    on_response(&r);
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.after_request();
+                }
+            }
+        }
+        for shard in &mut self.shards {
+            shard.advance_to(f64::INFINITY, &self.cfg, tel_of(&mut obs), &mut out)?;
+        }
+        for r in out.drain(..) {
+            on_response(&r);
+        }
+        if let Some(o) = obs {
+            self.export_fleet(o.tel);
+            o.after_request();
+        }
+        Ok(())
+    }
+
+    /// One serial step: advance every shard to the arrival, poll who is
+    /// accepting, route, and admit (or reject fleet-wide).
+    fn step(
+        &mut self,
+        mut p: Prepared,
+        out: &mut Vec<Response>,
+        mut obs: Option<&mut StreamObs<'_>>,
+    ) -> Result<(), RunError> {
+        self.fleet.submitted += 1;
+        let now = p.arrival_ns;
+        for shard in &mut self.shards {
+            shard.advance_to(now, &self.cfg, tel_of(&mut obs), out)?;
+        }
+        let mut accepting = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            accepting.push(shard.poll_accepting(now, tel_of(&mut obs)));
+        }
+        let home = self.router.home_shard(p.tenant);
+        match self.router.route(p.tenant, &accepting) {
+            None => {
+                self.fleet.rejected_all_unhealthy += 1;
+                ServingEngine::shed_marker(tel_of(&mut obs), &p, "all-shards-unhealthy", "serving");
+                out.push(ServingEngine::rejection(&p, Rejected::AllShardsUnhealthy));
+            }
+            Some(sid) => {
+                if sid != home {
+                    self.fleet.rerouted += 1;
+                    self.shards[sid as usize].counters.rerouted_in += 1;
+                    p.rerouted_from = Some(home);
+                }
+                self.shards[sid as usize].admit(p, now, tel_of(&mut obs), out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Comparable snapshots of every shard, in shard order.
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards.iter().map(Shard::snapshot).collect()
+    }
+
+    /// Renders the fleet state as deterministic text — the artifact the
+    /// thread-count determinism gate byte-compares. Covers the fleet
+    /// counters and, per shard: state, lifecycle counters, health
+    /// counters, bank statuses, and the full shard transition log.
+    pub fn render_snapshots(&self) -> String {
+        let mut s = String::new();
+        let f = &self.fleet;
+        let _ = writeln!(
+            s,
+            "fleet: submitted={} rerouted={} all-shards-unhealthy={}",
+            f.submitted, f.rerouted, f.rejected_all_unhealthy
+        );
+        for snap in self.snapshots() {
+            let c = snap.counters;
+            let _ = writeln!(
+                s,
+                "shard {}: state={} rerouted-in={} drains={} readmits={} \
+                 probe-failures={} last-finish-ns={}",
+                snap.shard,
+                snap.state,
+                c.rerouted_in,
+                c.drains,
+                c.readmits,
+                c.probe_failures,
+                snap.last_finish_ns
+            );
+            let h = &snap.health.counters;
+            let _ = writeln!(
+                s,
+                "  health: submitted={} completed={} deadline-misses={} \
+                 shed-queue-full={} shed-infeasible={} faults={} retries={} \
+                 fallbacks={} breaker-skips={} probes={} probe-failures={} \
+                 max-queue-depth={}",
+                h.submitted,
+                h.completed,
+                h.deadline_misses,
+                h.shed_queue_full,
+                h.shed_infeasible,
+                h.faults_detected,
+                h.pim_retries,
+                h.gpu_fallbacks,
+                h.breaker_skips,
+                h.probes,
+                h.probe_failures,
+                h.max_queue_depth
+            );
+            let _ = write!(s, "  banks:");
+            for b in &snap.health.banks {
+                let _ = write!(
+                    s,
+                    " {}={}{}(trips {})",
+                    b.bank,
+                    b.state,
+                    if b.permanent { "!" } else { "" },
+                    b.trips
+                );
+            }
+            let _ = writeln!(s);
+            let _ = writeln!(s, "  breaker-transitions: {}", snap.health.transitions);
+            for (i, t) in snap.transitions.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  [{i}] {}\u{2192}{} at {} cause={}",
+                    t.from, t.to, t.at_ns, t.cause
+                );
+            }
+        }
+        s
+    }
+
+    /// Exports the fleet state into the metrics registry, idempotently:
+    /// per-shard state/lifecycle counters, per-(shard, bank) breaker
+    /// state, per-shard serving events, and the fleet routing counters.
+    pub fn export_fleet(&self, tel: &mut Telemetry) {
+        for shard in &self.shards {
+            let sid = shard.id.to_string();
+            tel.metrics.set_gauge(
+                names::SHARD_STATE,
+                &[("shard", &sid)],
+                f64::from(shard.state.code()),
+            );
+            let c = shard.counters;
+            for (event, v) in [
+                ("rerouted-in", c.rerouted_in),
+                ("drains", c.drains),
+                ("readmits", c.readmits),
+                ("probe-failures", c.probe_failures),
+            ] {
+                tel.metrics.set_counter(
+                    names::SHARD_EVENTS,
+                    &[("shard", &sid), ("event", event)],
+                    v,
+                );
+            }
+            let snap = shard.engine.snapshot();
+            for b in &snap.banks {
+                let bank = b.bank.to_string();
+                let state = match b.state {
+                    BreakerState::Closed => 0.0,
+                    BreakerState::HalfOpen => 1.0,
+                    BreakerState::Open => 2.0,
+                };
+                tel.metrics.set_gauge(
+                    names::BANK_STATE,
+                    &[("bank", &bank), ("shard", &sid)],
+                    state,
+                );
+                tel.metrics.set_counter(
+                    names::BANK_TRIPS,
+                    &[("bank", &bank), ("shard", &sid)],
+                    u64::from(b.trips),
+                );
+            }
+            let h = &snap.counters;
+            for (event, v) in [
+                ("submitted", h.submitted),
+                ("completed", h.completed),
+                ("deadline-miss", h.deadline_misses),
+                ("shed-queue-full", h.shed_queue_full),
+                ("shed-infeasible", h.shed_infeasible),
+            ] {
+                tel.metrics.set_counter(
+                    names::SERVING_EVENTS,
+                    &[("event", event), ("shard", &sid)],
+                    v,
+                );
+            }
+        }
+        for (event, v) in [
+            ("rerouted", self.fleet.rerouted),
+            ("all-shards-unhealthy", self.fleet.rejected_all_unhealthy),
+        ] {
+            tel.metrics
+                .set_counter(names::SERVING_EVENTS, &[("event", event)], v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use anaheim_core::build::{Builder, LinTransStyle};
+    use anaheim_core::ir::OpSequence;
+    use anaheim_core::params::ParamSet;
+    use pim::fault::FaultPlan;
+
+    use crate::request::Priority;
+
+    fn small_tpl() -> Arc<OpSequence> {
+        let mut b = Builder::new(ParamSet::paper_default());
+        Arc::new(b.hadd(24))
+    }
+
+    fn wide_tpl() -> Arc<OpSequence> {
+        let mut b = Builder::new(ParamSet::paper_default());
+        Arc::new(b.lintrans(24, 4, LinTransStyle::Hoisting, true))
+    }
+
+    fn req(id: u64, tenant: u32, arrival: f64, seq: &Arc<OpSequence>) -> Request {
+        Request {
+            id,
+            tenant,
+            priority: Priority::Standard,
+            arrival_ns: arrival,
+            deadline_ns: 1e15,
+            seq: Arc::clone(seq),
+            fault: None,
+            label: "shard-test",
+        }
+    }
+
+    fn fleet(shards: u32, shard_cfg: ShardConfig) -> ShardedEngine {
+        ShardedEngine::new(
+            ServingConfig {
+                workers: 2,
+                queue_capacity: 4,
+                ..ServingConfig::a100_default(7)
+            },
+            ShardConfig {
+                shards,
+                ..shard_cfg
+            },
+        )
+    }
+
+    fn collect(engine: &mut ShardedEngine, reqs: Vec<Request>) -> Vec<Response> {
+        let mut got = Vec::new();
+        engine
+            .run_stream(reqs, |r| got.push(r.clone()), None)
+            .unwrap();
+        got
+    }
+
+    /// A tenant whose home is `shard` under the engine's router.
+    fn tenant_on(engine: &ShardedEngine, shard: u32) -> u32 {
+        (0..1024)
+            .find(|&t| engine.router().home_shard(t) == shard)
+            .expect("rendezvous covers every shard within 1024 tenants")
+    }
+
+    #[test]
+    fn clean_fleet_serves_everyone_at_home() {
+        let mut e = fleet(2, ShardConfig::new(2));
+        let tpl = small_tpl();
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| req(i, i as u32, i as f64 * 1e6, &tpl))
+            .collect();
+        let got = collect(&mut e, reqs);
+        assert_eq!(got.len(), 8);
+        assert!(got.iter().all(|r| r.outcome.is_completed()));
+        assert!(got
+            .iter()
+            .all(|r| !matches!(r.outcome, Outcome::Rerouted { .. })));
+        let f = e.fleet();
+        assert_eq!(
+            (f.submitted, f.rerouted, f.rejected_all_unhealthy),
+            (8, 0, 0)
+        );
+        // Conservation: per-shard submissions sum to the fleet total.
+        let per_shard: u64 = e
+            .snapshots()
+            .iter()
+            .map(|s| s.health.counters.submitted)
+            .sum();
+        assert_eq!(per_shard, 8);
+        assert!(e.snapshots().iter().all(|s| s.state == ShardState::Up));
+    }
+
+    #[test]
+    fn stuck_shard_drains_and_reroutes_its_tenants() {
+        let cfg = ShardConfig {
+            // One permanently-open domain out of 8 crosses the threshold,
+            // and the cooldown is long enough that no probe happens.
+            unhealthy_open_fraction: 0.1,
+            drain_cooldown_ns: 1e15,
+            ..ShardConfig::new(2)
+        };
+        let mut e = fleet(2, cfg);
+        let t0 = tenant_on(&e, 0);
+        let t1 = tenant_on(&e, 1);
+        let tpl = small_tpl();
+        // The stuck lane is a hard MMAC fault, so the faulted request must
+        // be one with PIM-offloaded kernels (lintrans, not hadd).
+        let mut r0 = req(0, t0, 0.0, &wide_tpl());
+        r0.fault = Some(FaultPlan::none().with_seed(5).with_stuck_lane(3));
+        let reqs = vec![r0, req(1, t0, 1e9, &tpl), req(2, t1, 2e9, &tpl)];
+        let got = collect(&mut e, reqs);
+        assert_eq!(got.len(), 3);
+        // The stuck request itself completes (GPU fallback absorbs it).
+        assert!(got.iter().all(|r| r.outcome.is_completed()));
+        let rerouted = got
+            .iter()
+            .find(|r| matches!(r.outcome, Outcome::Rerouted { .. }))
+            .expect("home shard 0 was draining, its tenant must fail over");
+        assert_eq!(rerouted.id, 1);
+        match &rerouted.outcome {
+            Outcome::Rerouted {
+                from_shard,
+                to_shard,
+                outcome,
+            } => {
+                assert_eq!((*from_shard, *to_shard), (0, 1));
+                assert!(matches!(**outcome, Outcome::Completed { .. }));
+            }
+            o => panic!("unexpected outcome {o:?}"),
+        }
+        let snaps = e.snapshots();
+        assert_eq!(snaps[0].state, ShardState::Cooling, "drained, now cooling");
+        assert_eq!(snaps[0].counters.drains, 1);
+        assert_eq!(snaps[1].counters.rerouted_in, 1);
+        assert_eq!(e.fleet().rerouted, 1);
+        let causes: Vec<&str> = snaps[0].transitions.iter().map(|t| t.cause).collect();
+        assert_eq!(causes, vec!["breaker-threshold", "drained"]);
+        // Tenant 1's request never left home.
+        assert!(got
+            .iter()
+            .filter(|r| r.id == 2)
+            .all(|r| !matches!(r.outcome, Outcome::Rerouted { .. })));
+    }
+
+    #[test]
+    fn single_shard_fleet_rejects_when_unhealthy() {
+        let cfg = ShardConfig {
+            unhealthy_open_fraction: 0.1,
+            drain_cooldown_ns: 1e15,
+            ..ShardConfig::new(1)
+        };
+        let mut e = fleet(1, cfg);
+        let tpl = small_tpl();
+        let mut r0 = req(0, 3, 0.0, &wide_tpl());
+        r0.fault = Some(FaultPlan::none().with_seed(5).with_stuck_lane(3));
+        let reqs = vec![r0, req(1, 3, 1e9, &tpl), req(2, 4, 2e9, &tpl)];
+        let got = collect(&mut e, reqs);
+        let rejected = got
+            .iter()
+            .filter(|r| r.outcome == Outcome::Rejected(Rejected::AllShardsUnhealthy))
+            .count();
+        assert_eq!(rejected, 2, "everything after the drain is rejected");
+        assert_eq!(e.fleet().rejected_all_unhealthy, 2);
+        // Conservation holds with fleet-level rejections included.
+        let per_shard: u64 = e
+            .snapshots()
+            .iter()
+            .map(|s| s.health.counters.submitted)
+            .sum();
+        assert_eq!(
+            per_shard + e.fleet().rejected_all_unhealthy,
+            e.fleet().submitted
+        );
+    }
+
+    #[test]
+    fn transient_storm_drains_then_probe_readmits() {
+        let cfg = ShardConfig {
+            unhealthy_open_fraction: 0.1,
+            drain_cooldown_ns: 2e5,
+            ..ShardConfig::new(1)
+        };
+        let mut e = fleet(1, cfg);
+        let storm_tpl = wide_tpl();
+        let tpl = small_tpl();
+        // A storm request whose every PIM kernel fails transiently: enough
+        // consecutive failures per domain to trip breakers past the
+        // threshold, but nothing permanent.
+        let mut storm = req(0, 9, 0.0, &storm_tpl);
+        storm.fault = Some(FaultPlan::none().with_seed(11).with_bank_flips(1.0));
+        // The probe (id 1) must itself touch every die group to close the
+        // transiently-opened breakers, so it is a wide lintrans too.
+        let reqs = vec![storm, req(1, 9, 1e9, &storm_tpl), req(2, 9, 2e9, &tpl)];
+        let got = collect(&mut e, reqs);
+        assert_eq!(got.len(), 3);
+        let snap = &e.snapshots()[0];
+        assert_eq!(snap.counters.drains, 1, "storm must drain the shard");
+        assert_eq!(snap.counters.readmits, 1, "clean probe must readmit it");
+        assert_eq!(snap.state, ShardState::Up);
+        let causes: Vec<&str> = snap.transitions.iter().map(|t| t.cause).collect();
+        assert_eq!(
+            causes,
+            vec!["breaker-threshold", "drained", "cooldown", "probe-ok"]
+        );
+        // The probe request (id 1) completed on its home shard, unwrapped.
+        assert!(got.iter().all(|r| r.outcome.is_completed()));
+        assert_eq!(e.fleet().rejected_all_unhealthy, 0);
+    }
+
+    #[test]
+    fn streaming_run_matches_itself_and_exports_fleet_metrics() {
+        let run = || {
+            let mut e = fleet(2, ShardConfig::new(2));
+            let tpl = small_tpl();
+            let mut tel = Telemetry::new(7);
+            let mut sink = StreamingTraceSink::new(32);
+            let mut obs = StreamObs::new(&mut tel, &mut sink);
+            let mut got = Vec::new();
+            let reqs: Vec<Request> = (0..6)
+                .map(|i| req(i, i as u32, i as f64 * 1e6, &tpl))
+                .collect();
+            e.run_stream(reqs, |r| got.push(r.clone()), Some(&mut obs))
+                .unwrap();
+            (e.render_snapshots(), tel.prometheus(), got, sink.accepted())
+        };
+        let (snap_a, prom_a, got_a, spans_a) = run();
+        let (snap_b, prom_b, got_b, spans_b) = run();
+        assert_eq!(snap_a, snap_b, "snapshot text replays byte-identically");
+        assert_eq!(prom_a, prom_b);
+        assert_eq!(got_a, got_b);
+        assert_eq!(spans_a, spans_b);
+        assert!(spans_a > 0, "spans streamed through the sink");
+        assert!(prom_a.contains("anaheim_shard_state{shard=\"0\"} 0"));
+        assert!(prom_a.contains("anaheim_shard_events_total"));
+        assert!(snap_a.starts_with("fleet: submitted=6"));
+    }
+}

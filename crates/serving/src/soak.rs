@@ -12,6 +12,21 @@
 //! 4. the stuck-lane window trips a breaker permanently, and the run still
 //!    completes work through GPU fallback.
 //!
+//! Two harnesses share one trace generator:
+//!
+//! - [`run_soak`] — the single-engine soak: materializes the trace, serves
+//!   it, returns every response for offline comparison
+//!   ([`check_invariants`]).
+//! - [`run_soak_stream`] — the sharded, bounded-memory soak: the trace is
+//!   *generated lazily* ([`TraceGen`]), served through a
+//!   [`ShardedEngine`], and every response is checked by a streaming
+//!   accumulator the moment it is produced, then dropped. Memory stays
+//!   constant in the request count (a bitmap plus counters), which is what
+//!   lets the million-request gate in `scripts/check.sh` run at all. A
+//!   shard-storm window sickens one shard's tenants so the run provably
+//!   exercises failover: the shard drains, its tenants re-route, and a
+//!   probe re-admits it.
+//!
 //! Everything is a pure function of [`SoakConfig`]: the trace, the fault
 //! streams, and the virtual-time engine are all seeded, so two runs with
 //! the same config produce bit-identical responses, health snapshots, and
@@ -19,6 +34,7 @@
 //! determinism regression tests and `scripts/soak.sh` both lean on this.
 
 use std::fmt;
+use std::sync::Arc;
 
 use anaheim_core::build::{Builder, LinTransStyle};
 use anaheim_core::framework::Anaheim;
@@ -29,7 +45,9 @@ use anaheim_core::RunError;
 use pim::fault::FaultPlan;
 
 use crate::engine::{ServingConfig, ServingEngine};
-use crate::request::{Outcome, Priority, Request, Response};
+use crate::request::{Outcome, Priority, Rejected, Request, Response};
+use crate::router::ShardRouter;
+use crate::shard::{ShardConfig, ShardSnapshot, ShardedEngine, StreamObs};
 
 /// Configuration of one soak run. Fully determines the outcome.
 #[derive(Debug, Clone)]
@@ -38,9 +56,9 @@ pub struct SoakConfig {
     pub requests: usize,
     /// Master seed: trace shape, fault streams, retry jitter.
     pub seed: u64,
-    /// Virtual execution lanes.
+    /// Virtual execution lanes (per shard, in streaming mode).
     pub workers: usize,
-    /// Admission queue capacity.
+    /// Admission queue capacity (per shard, in streaming mode).
     pub queue_capacity: usize,
     /// Background transient-fault probability per PIM kernel.
     pub flip_probability: f64,
@@ -54,9 +72,17 @@ pub struct SoakConfig {
     /// The stuck lane (its domain is `lane % die_groups`).
     pub stuck_lane: u8,
     /// Arrival pressure: mean inter-arrival as a fraction of
-    /// `reference_cost / workers`. Below 1.0 the system is overloaded and
-    /// sheds; above it mostly keeps up.
+    /// `reference_cost / total lanes`. Below 1.0 the system is overloaded
+    /// and sheds; above it mostly keeps up.
     pub arrival_factor: f64,
+    /// Replica shards for the streaming soak ([`run_soak_stream`]); the
+    /// single-engine [`run_soak`] ignores it.
+    pub shards: u32,
+    /// Request index range `[start, end)` during which requests from
+    /// tenants homed on shard 0 run under a near-certain fault storm —
+    /// the deterministic way to drain one shard and force failover.
+    /// `None` disables. Streaming soak only.
+    pub shard_storm: Option<(usize, usize)>,
 }
 
 impl SoakConfig {
@@ -73,6 +99,8 @@ impl SoakConfig {
             stuck_window: Some((80, 100)),
             stuck_lane: 7,
             arrival_factor: 0.9,
+            shards: 1,
+            shard_storm: None,
         }
     }
 
@@ -84,6 +112,37 @@ impl SoakConfig {
             stuck_window: None,
             ..Self::chaos(seed)
         }
+    }
+
+    /// The default fleet chaos soak for streaming mode: 4 replica shards,
+    /// background flips, a shard-storm window that drains shard 0 (its
+    /// tenants fail over, a probe later re-admits it), and a stuck-lane
+    /// window that leaves a permanent dead bank on whichever shard serves
+    /// it. Scale `requests` up (the million-request gate does) — every
+    /// other knob is per-request, so the windows stay early and the bulk
+    /// of the run measures steady-state throughput.
+    pub fn fleet_chaos(seed: u64) -> Self {
+        Self {
+            requests: 4000,
+            seed,
+            workers: 2,
+            queue_capacity: 8,
+            flip_probability: 0.01,
+            storm_every: 0,
+            stuck_window: Some((600, 620)),
+            stuck_lane: 7,
+            arrival_factor: 0.9,
+            shards: 4,
+            shard_storm: Some((150, 260)),
+        }
+    }
+}
+
+/// The shard-layer configuration a soak config implies.
+pub fn shard_config_for(cfg: &SoakConfig) -> ShardConfig {
+    ShardConfig {
+        router_seed: cfg.seed ^ 0x5AAD_F1EE,
+        ..ShardConfig::new(cfg.shards)
     }
 }
 
@@ -156,64 +215,127 @@ impl Rng {
     }
 }
 
-/// Builds the seeded request trace: mixed workloads, three priority
-/// classes, four tenants, and per-request derived fault streams.
-pub fn build_trace(cfg: &SoakConfig) -> Vec<Request> {
-    let params = ParamSet::paper_default();
-    let mut b = Builder::new(params);
-    let l = 24;
-    // The workload mix, built once and cloned per request.
-    let kinds: Vec<(OpSequence, &'static str)> = vec![
-        (
-            b.lintrans(54, 8, LinTransStyle::Hoisting, true),
-            "lintrans-wide",
-        ),
-        (b.lintrans(l, 4, LinTransStyle::Hoisting, true), "lintrans"),
-        (
-            b.lintrans(l, 6, LinTransStyle::MinKS, false),
-            "lintrans-minks",
-        ),
-        (b.hmult(l), "hmult"),
-        (b.hrot(l), "hrot"),
-        (b.hadd(l), "hadd"),
-    ];
-    // Reference cost: the clean wide lintrans on the serving platform,
-    // used to scale arrivals and deadlines. Deterministic (analytic model).
-    let rt = Anaheim::new(ServingConfig::a100_default(cfg.seed).platform);
-    let t_ref = rt
-        .run(kinds[0].0.clone())
-        .expect("reference workload runs clean")
-        .total_ns;
+/// Lazy seeded trace generator: the same mixed workloads, priority
+/// classes, tenants, and derived fault streams as [`build_trace`], but
+/// produced one request at a time so a million-request soak holds six
+/// workload templates (shared `Arc`s), not a million sequences.
+pub struct TraceGen {
+    cfg: SoakConfig,
+    kinds: Vec<(Arc<OpSequence>, &'static str)>,
+    base_fault: FaultPlan,
+    mean_gap: f64,
+    t_ref: f64,
+    /// Present when the config shards: the shard-storm window targets
+    /// tenants homed on shard 0 under this router.
+    router: Option<ShardRouter>,
+    rng: Rng,
+    arrival: f64,
+    i: usize,
+}
 
-    let base_fault = FaultPlan::none()
-        .with_seed(cfg.seed ^ 0xFA17_FA17)
-        .with_bank_flips(cfg.flip_probability);
-    let mean_gap = cfg.arrival_factor * t_ref / cfg.workers.max(1) as f64;
+impl TraceGen {
+    /// Builds the workload templates and reference cost for `cfg`.
+    pub fn new(cfg: &SoakConfig) -> Self {
+        let params = ParamSet::paper_default();
+        let mut b = Builder::new(params);
+        let l = 24;
+        // The workload mix, built once and shared by every request.
+        let kinds: Vec<(Arc<OpSequence>, &'static str)> = vec![
+            (
+                Arc::new(b.lintrans(54, 8, LinTransStyle::Hoisting, true)),
+                "lintrans-wide",
+            ),
+            (
+                Arc::new(b.lintrans(l, 4, LinTransStyle::Hoisting, true)),
+                "lintrans",
+            ),
+            (
+                Arc::new(b.lintrans(l, 6, LinTransStyle::MinKS, false)),
+                "lintrans-minks",
+            ),
+            (Arc::new(b.hmult(l)), "hmult"),
+            (Arc::new(b.hrot(l)), "hrot"),
+            (Arc::new(b.hadd(l)), "hadd"),
+        ];
+        // Reference cost: the clean wide lintrans on the serving platform,
+        // used to scale arrivals and deadlines. Deterministic (analytic
+        // model).
+        let rt = Anaheim::new(ServingConfig::a100_default(cfg.seed).platform);
+        let t_ref = rt
+            .run((*kinds[0].0).clone())
+            .expect("reference workload runs clean")
+            .total_ns;
 
-    let mut rng = Rng(cfg.seed);
-    let mut arrival = 0.0f64;
-    let mut trace = Vec::with_capacity(cfg.requests);
-    for i in 0..cfg.requests {
-        let h = rng.next();
-        let (seq, label) = &kinds[(h % kinds.len() as u64) as usize];
+        let base_fault = FaultPlan::none()
+            .with_seed(cfg.seed ^ 0xFA17_FA17)
+            .with_bank_flips(cfg.flip_probability);
+        let lanes = cfg.workers.max(1) * cfg.shards.max(1) as usize;
+        let mean_gap = cfg.arrival_factor * t_ref / lanes as f64;
+        let router = (cfg.shards > 1)
+            .then(|| ShardRouter::new(shard_config_for(cfg).router_seed, cfg.shards));
+        Self {
+            cfg: cfg.clone(),
+            kinds,
+            base_fault,
+            mean_gap,
+            t_ref,
+            router,
+            rng: Rng(cfg.seed),
+            arrival: 0.0,
+            i: 0,
+        }
+    }
+
+    /// The reference cost arrivals and deadlines are scaled by (ns).
+    pub fn reference_cost_ns(&self) -> f64 {
+        self.t_ref
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        let cfg = &self.cfg;
+        let i = self.i;
+        if i >= cfg.requests {
+            return None;
+        }
+        self.i += 1;
+        let h = self.rng.next();
+        let (seq, label) = &self.kinds[(h % self.kinds.len() as u64) as usize];
         let priority = match h >> 32 & 3 {
             0 => Priority::Interactive,
             1 => Priority::Batch,
             _ => Priority::Standard,
         };
-        arrival += mean_gap * (0.25 + 1.5 * rng.unit());
+        let tenant = ((h >> 40) % 64) as u32;
+        self.arrival += self.mean_gap * (0.25 + 1.5 * self.rng.unit());
         // Slack scales with the reference cost; interactive is tight
         // enough that queueing or fault recovery can break it.
         let slack = match priority {
-            Priority::Interactive => t_ref * (1.2 + 1.0 * rng.unit()),
-            Priority::Standard => t_ref * (3.0 + 3.0 * rng.unit()),
-            Priority::Batch => t_ref * (8.0 + 8.0 * rng.unit()),
+            Priority::Interactive => self.t_ref * (1.2 + 1.0 * self.rng.unit()),
+            Priority::Standard => self.t_ref * (3.0 + 3.0 * self.rng.unit()),
+            Priority::Batch => self.t_ref * (8.0 + 8.0 * self.rng.unit()),
         };
         let mut fault = None;
-        if cfg.flip_probability > 0.0 || cfg.stuck_window.is_some() || cfg.storm_every > 0 {
-            let mut plan = base_fault.derive_stream(i as u64);
+        if cfg.flip_probability > 0.0
+            || cfg.stuck_window.is_some()
+            || cfg.storm_every > 0
+            || cfg.shard_storm.is_some()
+        {
+            let mut plan = self.base_fault.derive_stream(i as u64);
             if cfg.storm_every > 0 && i % cfg.storm_every == cfg.storm_every - 1 {
                 plan = plan.with_bank_flips(0.9);
+            }
+            if let Some((s, e)) = cfg.shard_storm {
+                let on_shard0 = self
+                    .router
+                    .as_ref()
+                    .is_none_or(|r| r.home_shard(tenant) == 0);
+                if (s..e).contains(&i) && on_shard0 {
+                    plan = plan.with_bank_flips(0.98);
+                }
             }
             if let Some((s, e)) = cfg.stuck_window {
                 if (s..e).contains(&i) {
@@ -222,18 +344,28 @@ pub fn build_trace(cfg: &SoakConfig) -> Vec<Request> {
             }
             fault = Some(plan);
         }
-        trace.push(Request {
+        Some(Request {
             id: i as u64,
-            tenant: ((h >> 40) % 4) as u32,
+            tenant,
             priority,
-            arrival_ns: arrival,
-            deadline_ns: arrival + slack,
-            seq: seq.clone(),
+            arrival_ns: self.arrival,
+            deadline_ns: self.arrival + slack,
+            seq: Arc::clone(seq),
             fault,
             label,
-        });
+        })
     }
-    trace
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.requests - self.i;
+        (left, Some(left))
+    }
+}
+
+/// Builds the seeded request trace: mixed workloads, three priority
+/// classes, 64 tenants, and per-request derived fault streams.
+pub fn build_trace(cfg: &SoakConfig) -> Vec<Request> {
+    TraceGen::new(cfg).collect()
 }
 
 /// Runs a full soak: build the trace, serve it, snapshot health.
@@ -302,9 +434,18 @@ pub fn check_invariants(cfg: &SoakConfig, out: &SoakOutcome) -> Result<SoakSumma
                 summary.deadline_misses += 1;
             }
             Outcome::Rejected(reason) => match reason {
-                crate::request::Rejected::QueueFull => summary.shed_queue_full += 1,
-                crate::request::Rejected::DeadlineInfeasible => summary.shed_infeasible += 1,
+                Rejected::QueueFull => summary.shed_queue_full += 1,
+                Rejected::DeadlineInfeasible => summary.shed_infeasible += 1,
+                Rejected::AllShardsUnhealthy => {
+                    return Err(format!(
+                        "request {} rejected AllShardsUnhealthy in a single-engine soak",
+                        r.id
+                    ))
+                }
             },
+            Outcome::Rerouted { .. } => {
+                return Err(format!("request {} rerouted in a single-engine soak", r.id))
+            }
         }
     }
     let c = &out.snapshot.counters;
@@ -358,6 +499,308 @@ pub fn check_invariants(cfg: &SoakConfig, out: &SoakOutcome) -> Result<SoakSumma
     Ok(summary)
 }
 
+/// Headline numbers of a streaming fleet soak.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamSummary {
+    /// Requests generated and submitted to the fleet.
+    pub requests: u64,
+    /// Served on time (including after a re-route).
+    pub completed: u64,
+    /// Executed late.
+    pub deadline_misses: u64,
+    /// Shed at a shard: queue full.
+    pub shed_queue_full: u64,
+    /// Shed at a shard: deadline infeasible.
+    pub shed_infeasible: u64,
+    /// Routed away from a non-accepting home shard.
+    pub rerouted: u64,
+    /// Rejected fleet-wide: no shard accepting.
+    pub all_shards_unhealthy: u64,
+    /// PIM integrity faults absorbed (all shards).
+    pub faults: u64,
+    /// Kernels routed around open breakers (all shards).
+    pub breaker_skips: u64,
+    /// Shard drains (all shards).
+    pub drains: u64,
+    /// Shard re-admissions via probe (all shards).
+    pub readmits: u64,
+    /// Bank domains left permanently open (all shards).
+    pub dead_banks: u64,
+    /// Finish time of the busiest lane in the fleet (virtual ns).
+    pub last_finish_ns: f64,
+}
+
+impl StreamSummary {
+    /// Virtual-time throughput: requests per virtual second.
+    pub fn virtual_rps(&self) -> f64 {
+        if self.last_finish_ns > 0.0 {
+            self.requests as f64 / (self.last_finish_ns * 1e-9)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for StreamSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests: {} completed, {} deadline misses, {} shed \
+             (queue-full {}, infeasible {}), {} rerouted, {} all-shards-unhealthy, \
+             {} faults absorbed, {} breaker skips, {} drains, {} readmits, \
+             {} dead bank(s), {:.0} req/virtual-s",
+            self.requests,
+            self.completed,
+            self.deadline_misses,
+            self.shed_queue_full + self.shed_infeasible,
+            self.shed_queue_full,
+            self.shed_infeasible,
+            self.rerouted,
+            self.all_shards_unhealthy,
+            self.faults,
+            self.breaker_skips,
+            self.drains,
+            self.readmits,
+            self.dead_banks,
+            self.virtual_rps()
+        )
+    }
+}
+
+/// What a streaming soak leaves behind: the summary, the per-shard
+/// snapshots, and their deterministic text rendering (the artifact the
+/// thread-count gate byte-compares). Responses themselves were checked on
+/// the fly and dropped.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Headline numbers.
+    pub summary: StreamSummary,
+    /// Per-shard snapshots, in shard order.
+    pub snapshots: Vec<ShardSnapshot>,
+    /// [`ShardedEngine::render_snapshots`] output.
+    pub snapshot_text: String,
+}
+
+/// Streaming invariant accumulator: every response is validated the
+/// moment it is produced, then dropped. State is a presence bitmap
+/// (`requests / 8` bytes — 125 KiB at a million) plus counters, so the
+/// check itself cannot blow the memory budget it guards.
+struct StreamInvariants {
+    capacity: usize,
+    seen: Vec<u64>,
+    summary: StreamSummary,
+    error: Option<String>,
+}
+
+impl StreamInvariants {
+    fn new(requests: usize) -> Self {
+        Self {
+            capacity: requests,
+            seen: vec![0u64; requests.div_ceil(64)],
+            summary: StreamSummary::default(),
+            error: None,
+        }
+    }
+
+    fn observe(&mut self, r: &Response) {
+        if self.error.is_none() {
+            if let Err(e) = self.check(r) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn check(&mut self, r: &Response) -> Result<(), String> {
+        let id = r.id as usize;
+        if id >= self.capacity {
+            return Err(format!("response id {id} out of range"));
+        }
+        let (w, b) = (id / 64, id % 64);
+        if self.seen[w] >> b & 1 == 1 {
+            return Err(format!("duplicate response for request {id}"));
+        }
+        self.seen[w] |= 1 << b;
+        self.summary.requests += 1;
+        let mut outcome = &r.outcome;
+        if let Outcome::Rerouted {
+            from_shard,
+            to_shard,
+            outcome: inner,
+        } = outcome
+        {
+            if from_shard == to_shard {
+                return Err(format!("request {id} rerouted to its own home shard"));
+            }
+            if matches!(**inner, Outcome::Rerouted { .. }) {
+                return Err(format!("request {id} rerouted more than once"));
+            }
+            self.summary.rerouted += 1;
+            outcome = inner;
+        }
+        match outcome {
+            Outcome::Completed {
+                start_ns,
+                finish_ns,
+                deadline_ns,
+                faults,
+                breaker_skips,
+                ..
+            } => {
+                if finish_ns > deadline_ns {
+                    return Err(format!(
+                        "request {id} reported Completed past its deadline \
+                         (finish {finish_ns} > deadline {deadline_ns})"
+                    ));
+                }
+                if finish_ns < start_ns {
+                    return Err(format!("request {id} finishes before it starts"));
+                }
+                self.summary.completed += 1;
+                self.summary.faults += u64::from(*faults);
+                self.summary.breaker_skips += u64::from(*breaker_skips);
+                if *finish_ns > self.summary.last_finish_ns {
+                    self.summary.last_finish_ns = *finish_ns;
+                }
+            }
+            Outcome::DeadlineMiss {
+                finish_ns,
+                deadline_ns,
+                ..
+            } => {
+                if finish_ns <= deadline_ns {
+                    return Err(format!(
+                        "request {id} reported DeadlineMiss inside its deadline"
+                    ));
+                }
+                self.summary.deadline_misses += 1;
+                if *finish_ns > self.summary.last_finish_ns {
+                    self.summary.last_finish_ns = *finish_ns;
+                }
+            }
+            Outcome::Rejected(Rejected::QueueFull) => self.summary.shed_queue_full += 1,
+            Outcome::Rejected(Rejected::DeadlineInfeasible) => self.summary.shed_infeasible += 1,
+            Outcome::Rejected(Rejected::AllShardsUnhealthy) => {
+                if self.summary.rerouted > 0 && matches!(r.outcome, Outcome::Rerouted { .. }) {
+                    return Err(format!(
+                        "request {id}: AllShardsUnhealthy cannot be wrapped in Rerouted"
+                    ));
+                }
+                self.summary.all_shards_unhealthy += 1;
+            }
+            Outcome::Rerouted { .. } => unreachable!("unwrapped above"),
+        }
+        Ok(())
+    }
+
+    /// End-of-run checks against the engine's own accounting.
+    fn finish(mut self, cfg: &SoakConfig, engine: &ShardedEngine) -> Result<StreamOutcome, String> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.summary.requests != cfg.requests as u64 {
+            return Err(format!(
+                "expected {} responses, got {}",
+                cfg.requests, self.summary.requests
+            ));
+        }
+        let fleet = engine.fleet();
+        if fleet.submitted != cfg.requests as u64 {
+            return Err(format!(
+                "fleet submitted {} != trace length {}",
+                fleet.submitted, cfg.requests
+            ));
+        }
+        if self.summary.rerouted != fleet.rerouted {
+            return Err(format!(
+                "rerouted responses {} disagree with fleet counter {}",
+                self.summary.rerouted, fleet.rerouted
+            ));
+        }
+        if self.summary.all_shards_unhealthy != fleet.rejected_all_unhealthy {
+            return Err(format!(
+                "all-shards-unhealthy responses {} disagree with fleet counter {}",
+                self.summary.all_shards_unhealthy, fleet.rejected_all_unhealthy
+            ));
+        }
+        let snapshots = engine.snapshots();
+        let mut shard_submitted = 0u64;
+        for s in &snapshots {
+            let c = &s.health.counters;
+            shard_submitted += c.submitted;
+            if c.completed + c.deadline_misses + c.shed_queue_full + c.shed_infeasible
+                != c.submitted
+            {
+                return Err(format!("shard {} counters not conserved: {c:?}", s.shard));
+            }
+            if c.max_queue_depth > cfg.queue_capacity as u64 {
+                return Err(format!(
+                    "shard {} queue depth {} exceeded capacity {}",
+                    s.shard, c.max_queue_depth, cfg.queue_capacity
+                ));
+            }
+            self.summary.drains += s.counters.drains;
+            self.summary.readmits += s.counters.readmits;
+            self.summary.dead_banks += s.health.banks.iter().filter(|b| b.permanent).count() as u64;
+        }
+        if shard_submitted + fleet.rejected_all_unhealthy != fleet.submitted {
+            return Err(format!(
+                "requests leaked: {} on shards + {} rejected != {} submitted",
+                shard_submitted, fleet.rejected_all_unhealthy, fleet.submitted
+            ));
+        }
+        if self.summary.completed == 0 {
+            return Err("no request completed".into());
+        }
+        if cfg.shard_storm.is_some() {
+            if self.summary.drains == 0 {
+                return Err("shard-storm window never drained a shard".into());
+            }
+            if self.summary.readmits == 0 {
+                return Err("no drained shard was re-admitted by a probe".into());
+            }
+            if self.summary.rerouted == 0 {
+                return Err("no request failed over to a replica".into());
+            }
+        }
+        if cfg.stuck_window.is_some() && self.summary.dead_banks == 0 {
+            return Err("stuck-lane window never tripped a permanent breaker".into());
+        }
+        let snapshot_text = engine.render_snapshots();
+        Ok(StreamOutcome {
+            summary: self.summary,
+            snapshots,
+            snapshot_text,
+        })
+    }
+}
+
+/// Runs the sharded, bounded-memory streaming soak: the trace is generated
+/// lazily, served through a [`ShardedEngine`] built from
+/// [`shard_config_for`], and every response is invariant-checked as it is
+/// produced, then dropped. With `obs`, completed spans stream through the
+/// bounded sink and the fleet state is exported to the metrics registry.
+///
+/// Returns the first invariant violation (or engine error) as `Err`.
+pub fn run_soak_stream(
+    cfg: &SoakConfig,
+    obs: Option<&mut StreamObs<'_>>,
+) -> Result<StreamOutcome, String> {
+    let gen = TraceGen::new(cfg);
+    let mut engine = ShardedEngine::new(
+        ServingConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+            ..ServingConfig::a100_default(cfg.seed)
+        },
+        shard_config_for(cfg),
+    );
+    let mut inv = StreamInvariants::new(cfg.requests);
+    engine
+        .run_stream(gen, |r| inv.observe(r), obs)
+        .map_err(|e| format!("engine error: {e}"))?;
+    inv.finish(cfg, &engine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +809,21 @@ mod tests {
         SoakConfig {
             requests: 40,
             stuck_window: Some((10, 16)),
+            ..SoakConfig::chaos(seed)
+        }
+    }
+
+    fn fleet_tiny(seed: u64) -> SoakConfig {
+        SoakConfig {
+            requests: 360,
+            shards: 2,
+            workers: 2,
+            queue_capacity: 8,
+            flip_probability: 0.005,
+            storm_every: 0,
+            stuck_window: None,
+            arrival_factor: 1.2,
+            shard_storm: Some((40, 90)),
             ..SoakConfig::chaos(seed)
         }
     }
@@ -394,6 +852,42 @@ mod tests {
         assert!(a.iter().all(|r| r.deadline_ns > r.arrival_ns));
         // Derived fault streams are distinct per request.
         assert_ne!(a[0].fault, a[1].fault);
+        // Templates are shared, not cloned per request.
+        let mut x = a.iter();
+        let first = x.next().unwrap();
+        assert!(a
+            .iter()
+            .any(|r| r.id != first.id && Arc::ptr_eq(&r.seq, &first.seq)));
+    }
+
+    #[test]
+    fn lazy_generator_matches_materialized_trace() {
+        let cfg = fleet_tiny(5);
+        let lazy: Vec<Request> = TraceGen::new(&cfg).collect();
+        let eager = build_trace(&cfg);
+        assert_eq!(lazy.len(), eager.len());
+        for (x, y) in lazy.iter().zip(&eager) {
+            assert_eq!(
+                (x.id, x.tenant, x.arrival_ns),
+                (y.id, y.tenant, y.arrival_ns)
+            );
+            assert_eq!(x.fault, y.fault);
+        }
+        // The shard storm hits only shard-0 tenants, only in the window.
+        let router = ShardRouter::new(shard_config_for(&cfg).router_seed, cfg.shards);
+        let (s, e) = cfg.shard_storm.unwrap();
+        assert!(lazy
+            .iter()
+            .filter(|r| (s..e).contains(&(r.id as usize)))
+            .any(|r| router.home_shard(r.tenant) == 0));
+        for r in &lazy {
+            let stormed = r.fault.as_ref().is_some_and(|f| !f.is_benign())
+                && router.home_shard(r.tenant) == 0
+                && (s..e).contains(&(r.id as usize));
+            if !(s..e).contains(&(r.id as usize)) || router.home_shard(r.tenant) != 0 {
+                assert!(!stormed);
+            }
+        }
     }
 
     #[test]
@@ -418,5 +912,22 @@ mod tests {
         assert!(s.faults > 0, "chaos must inject faults");
         assert_eq!(s.dead_banks, 1, "one domain permanently open");
         assert!(s.transitions >= 1);
+    }
+
+    #[test]
+    fn fleet_stream_soak_fails_over_and_passes_invariants() {
+        let cfg = fleet_tiny(21);
+        let out = run_soak_stream(&cfg, None).unwrap();
+        let s = out.summary;
+        assert_eq!(s.requests, 360);
+        assert!(s.drains >= 1, "storm must drain shard 0: {s:?}");
+        assert!(s.readmits >= 1, "probe must re-admit: {s:?}");
+        assert!(s.rerouted >= 1, "tenants must fail over: {s:?}");
+        assert!(s.completed > 0);
+        assert!(out.snapshot_text.starts_with("fleet: submitted=360"));
+        // The run replays bit-identically, snapshot text included.
+        let again = run_soak_stream(&cfg, None).unwrap();
+        assert_eq!(out.snapshot_text, again.snapshot_text);
+        assert_eq!(out.summary, again.summary);
     }
 }

@@ -18,8 +18,9 @@ use anaheim::serving::{Outcome, Priority, Request, ServingConfig, ServingEngine}
 fn main() {
     // --- Part 1: a hand-built trace through the engine API.
     let mut b = Builder::new(ParamSet::paper_default());
-    let heavy = b.lintrans(24, 6, anaheim::core::build::LinTransStyle::Hoisting, true);
-    let light = b.hmult(24);
+    let heavy =
+        std::sync::Arc::new(b.lintrans(24, 6, anaheim::core::build::LinTransStyle::Hoisting, true));
+    let light = std::sync::Arc::new(b.hmult(24));
 
     let mut engine = ServingEngine::new(ServingConfig::a100_default(2024));
     // Reference cost for picking arrivals/deadlines in virtual ns.
@@ -61,7 +62,7 @@ fn main() {
             priority,
             arrival_ns: arrival,
             deadline_ns: arrival + slack,
-            seq: seq.clone(),
+            seq: std::sync::Arc::clone(seq),
             fault,
             label,
         });
@@ -94,6 +95,11 @@ fn main() {
                 deadline_ns / 1e6
             ),
             Outcome::Rejected(why) => format!("shed: {why}"),
+            Outcome::Rerouted {
+                from_shard,
+                to_shard,
+                ..
+            } => format!("rerouted shard {from_shard} -> {to_shard}"),
         };
         println!(
             "  req {} tenant {} {:11} {:20} -> {verdict}",

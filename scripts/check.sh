@@ -37,6 +37,32 @@ scripts/bench.sh --quick
 echo "==> serving chaos soak (scripts/soak.sh --quick)"
 scripts/soak.sh --quick
 
+# Streaming fleet soak: the million-request memory-boundedness and
+# determinism gate. Runs the sharded streaming soak twice — once per
+# ANAHEIM_THREADS setting — under a peak-RSS budget (VmHWM, enforced by
+# the binary) and byte-compares the per-shard snapshot text. Override
+# the request count or budget via the environment for quicker local runs:
+#   STREAM_SOAK_REQUESTS=50000 STREAM_SOAK_RSS_BUDGET_KB=65536 scripts/check.sh
+STREAM_SOAK_REQUESTS="${STREAM_SOAK_REQUESTS:-1000000}"
+STREAM_SOAK_RSS_BUDGET_KB="${STREAM_SOAK_RSS_BUDGET_KB:-262144}"
+echo "==> streaming fleet soak ($STREAM_SOAK_REQUESTS requests, RSS budget ${STREAM_SOAK_RSS_BUDGET_KB} kB)"
+snap_dir="$(mktemp -d)"
+trap 'rm -rf "$snap_dir"' EXIT
+for threads in 1 8; do
+  echo "==> streaming fleet soak (ANAHEIM_THREADS=$threads)"
+  ANAHEIM_THREADS="$threads" ./target/release/soak --stream \
+    --requests "$STREAM_SOAK_REQUESTS" \
+    --rss-budget-kb "$STREAM_SOAK_RSS_BUDGET_KB" \
+    --snapshot-out "$snap_dir/snap-t$threads.txt"
+done
+if cmp -s "$snap_dir/snap-t1.txt" "$snap_dir/snap-t8.txt"; then
+  echo "  per-shard snapshots byte-identical across ANAHEIM_THREADS=1/8 — ok"
+else
+  echo "FAIL: streaming soak snapshots differ across thread counts" >&2
+  diff "$snap_dir/snap-t1.txt" "$snap_dir/snap-t8.txt" | head -20 >&2
+  exit 1
+fi
+
 echo "==> pipelined schedule gate (BENCH_ckks.json / BENCH_pim.json)"
 python3 - <<'EOF'
 import json, sys

@@ -8,8 +8,18 @@
 # bit-identical across ANAHEIM_THREADS settings.
 #
 # Usage: scripts/soak.sh [--quick] [--requests N] [--seed S] [--threads-check]
+#                        [--stream] [--shards N] [--snapshot-out FILE]
+#                        [--trace-out FILE] [--metrics-out FILE]
+#                        [--rss-budget-kb N]
 #   --quick   200-request seeded soak with the determinism check; finishes
 #             in seconds (what scripts/check.sh runs)
+#   --stream  sharded bounded-memory streaming soak: lazy trace generation,
+#             rendezvous-hash routing with replica failover, responses
+#             checked and dropped as produced. --snapshot-out writes the
+#             deterministic per-shard snapshot text (the artifact
+#             scripts/check.sh byte-compares across ANAHEIM_THREADS);
+#             --rss-budget-kb fails the run if peak RSS (VmHWM) exceeds
+#             the budget. All flags forward to the soak binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

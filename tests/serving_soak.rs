@@ -3,10 +3,13 @@
 //! requests completes with every invariant intact, overload sheds with
 //! typed rejections instead of stalling, and the whole run — responses,
 //! health snapshot, and breaker transition log — is bit-identical across
-//! `ANAHEIM_THREADS` settings.
+//! `ANAHEIM_THREADS` settings. The fleet tests hold the same bar for the
+//! sharded streaming soak: failover fires (a shard drains, its tenants
+//! re-route, a probe re-admits it) and the per-shard snapshot text is
+//! byte-identical across thread counts.
 
-use anaheim::serving::soak::{check_invariants, run_soak, SoakConfig};
-use anaheim::serving::{Outcome, Rejected};
+use anaheim::serving::soak::{check_invariants, run_soak, run_soak_stream, SoakConfig};
+use anaheim::serving::{Outcome, Rejected, ShardState};
 
 #[test]
 fn chaos_soak_over_200_requests_holds_all_invariants() {
@@ -113,5 +116,77 @@ fn soak_outcome_is_bit_identical_across_thread_counts() {
             "breaker transition log differs at {threads} thread(s)"
         );
         assert_eq!(out, baseline, "soak outcome depends on thread count");
+    }
+}
+
+/// The CI fleet configuration at a request count that keeps the test fast
+/// (`scripts/check.sh` runs the full million-request gate).
+fn fleet_cfg() -> SoakConfig {
+    SoakConfig {
+        requests: 2_000,
+        ..SoakConfig::fleet_chaos(2024)
+    }
+}
+
+#[test]
+fn fleet_stream_soak_fails_over_and_recovers() {
+    let cfg = fleet_cfg();
+    let out = run_soak_stream(&cfg, None).expect("fleet soak invariants");
+    let s = &out.summary;
+
+    // The shard storm actually bites and failover runs its full cycle:
+    // at least one shard drains, its tenants land elsewhere as honest
+    // Rerouted outcomes, and a probe brings the shard back up.
+    assert!(s.completed > 0, "the fleet must keep serving");
+    assert!(s.drains >= 1, "the storm must drain a shard");
+    assert!(s.readmits >= 1, "a drained shard must re-admit");
+    assert!(s.rerouted >= 1, "drained tenants must be re-routed");
+    assert!(s.faults > 0, "fault storms must fire");
+
+    // Recovery is visible in the lifecycle log: some shard walked
+    // draining → cooling → probation and back to up via a good probe.
+    assert_eq!(out.snapshots.len(), cfg.shards as usize);
+    assert!(
+        out.snapshots
+            .iter()
+            .any(|sn| sn.transitions.iter().any(|t| t.cause == "probe-ok")),
+        "at least one probe must succeed"
+    );
+    // Every shard ends the run serving again — no shard is wedged in a
+    // drain it never leaves.
+    for sn in &out.snapshots {
+        assert_eq!(sn.state, ShardState::Up, "shard {} stuck", sn.shard);
+    }
+}
+
+#[test]
+fn fleet_stream_soak_is_bit_identical_across_thread_counts() {
+    // The sharded streaming path keeps the same determinism contract as
+    // the batch soak: all routing, breaker, and lifecycle decisions run
+    // on serial virtual-time lanes, so the rendered per-shard snapshot
+    // text — the artifact scripts/check.sh byte-compares — cannot depend
+    // on `ANAHEIM_THREADS`.
+    let cfg = fleet_cfg();
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 8] {
+        parpool::set_threads(threads);
+        outcomes.push((threads, run_soak_stream(&cfg, None).expect("fleet soak")));
+    }
+    parpool::set_threads(0);
+
+    let (_, baseline) = &outcomes[0];
+    for (threads, out) in &outcomes[1..] {
+        assert_eq!(
+            out.summary, baseline.summary,
+            "stream summary differs at {threads} thread(s)"
+        );
+        assert_eq!(
+            out.snapshot_text, baseline.snapshot_text,
+            "snapshot text differs at {threads} thread(s)"
+        );
+        assert_eq!(
+            out.snapshots, baseline.snapshots,
+            "shard snapshots differ at {threads} thread(s)"
+        );
     }
 }

@@ -105,7 +105,7 @@ fn serving_exports(threads: usize) -> (String, String) {
                     },
                     arrival_ns: i as f64 * 5e4,
                     deadline_ns: 1e12,
-                    seq: b.lintrans(24, 4, LinTransStyle::Hoisting, true),
+                    seq: std::sync::Arc::new(b.lintrans(24, 4, LinTransStyle::Hoisting, true)),
                     fault: None,
                     label: "lintrans",
                 }
