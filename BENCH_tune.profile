@@ -1,0 +1,9 @@
+# anaheim parallelism tuning profile v1
+par_eff = 1.000
+dispatch_ns = 519.6
+job_ns = 0.0
+min_gain = 1.150
+elementwise_per_elem_ns = 1.1205
+ntt_per_elem_ns = 4.0119
+bconv_per_elem_ns = 2.6068
+automorphism_per_elem_ns = 1.3707

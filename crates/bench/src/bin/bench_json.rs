@@ -1,17 +1,26 @@
 //! Machine-readable microbenchmarks for the limb-parallel hot path.
 //!
 //! Emits `BENCH_ckks.json` and `BENCH_pim.json` (arrays of
-//! `{op, n, limbs, threads, ns_per_op, ...}` records) into the current
-//! directory, sweeping the `parpool` worker count so the speedup of the
-//! limb/digit/bank parallel axes is visible from one run, plus
-//! `BENCH_serving.json` — serving-layer soak counters (completions,
-//! deadline misses, sheds, breaker activity) for a clean and a chaos
-//! scenario at a fixed seed. CKKS records carry the measured op-count
-//! breakdown (`ntt_limbs`, `bconv_limb_products`, …, from
-//! `ckks::opcount`); the PIM record carries the analytic per-iteration
-//! `mmac_ops` and `bytes_internal` of the PAccum fleet.
+//! `{op, n, limbs, threads, ns_per_op, ns_per_op_p50, samples, ...}`
+//! records) into the current directory, sweeping both the `parpool`
+//! worker count and — in full mode — the paper's Table IV ring sizes
+//! (N ∈ {2¹³, 2¹⁴, 2¹⁵, 2¹⁶} at matching limb depths, plus the small
+//! rings the regression gate watches), so the speedup story is measured
+//! where Anaheim actually lives. Also writes `BENCH_serving.json` —
+//! serving-layer soak counters (completions, deadline misses, sheds,
+//! breaker activity) for a clean and a chaos scenario at a fixed seed.
+//! CKKS records carry the measured op-count breakdown (`ntt_limbs`,
+//! `bconv_limb_products`, …, from `ckks::opcount`); the PIM record
+//! carries the analytic per-iteration `mmac_ops` and `bytes_internal` of
+//! the PAccum fleet.
 //!
-//! Usage: `bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]`
+//! Every timed row is a median over several samples with a warmup pass
+//! (`ns_per_op_p50`; the historical `ns_per_op` mean is kept so existing
+//! readers of the JSON keep working), which keeps the tuner calibration
+//! and the check.sh regression gates from being noise-driven.
+//!
+//! Usage: `bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]
+//! [--tune-out FILE]`
 //!
 //! `--quick` shrinks the parameter set and thread sweep so `scripts/check.sh`
 //! can smoke-test the harness in seconds; the default configuration is what
@@ -23,6 +32,13 @@
 //! `--metrics-out FILE` writes the same run's metrics in the Prometheus
 //! text format. Both are virtual-time artifacts: byte-identical for every
 //! `ANAHEIM_THREADS` value.
+//!
+//! `--tune-out FILE` runs the parallelism calibration pass and writes a
+//! `ckks_math::tune` profile (`key = value` text): measured per-op-class
+//! serial costs, pool dispatch overheads, and the host's effective
+//! parallelism. Point `ANAHEIM_PAR_PROFILE` at the file to drive the
+//! serial-vs-parallel tuner with measured numbers instead of the seeded
+//! defaults.
 
 use anaheim_core::framework::{Anaheim, AnaheimConfig};
 use anaheim_core::telemetry::Telemetry;
@@ -46,31 +62,109 @@ struct Record {
     n: usize,
     limbs: usize,
     threads: usize,
+    /// Mean ns per iteration over all samples (the historical field).
     ns_per_op: f64,
+    /// Median of the per-sample means — robust against a noisy sample.
+    ns_per_op_p50: f64,
+    /// Number of timing samples behind the two figures (1 for analytic
+    /// model rows, which have no measurement noise).
+    samples: usize,
     /// Extra integer fields appended to the JSON record (op-count or
     /// traffic breakdowns).
     extras: Vec<(&'static str, u64)>,
 }
 
-/// Times `f` with one warmup call, then iterates until both `min_iters`
-/// and a minimum wall-clock budget are met.
-fn time_ns(min_iters: usize, min_millis: u128, mut f: impl FnMut()) -> f64 {
-    f();
+/// Mean and median of repeated timing samples.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    mean: f64,
+    p50: f64,
+    samples: usize,
+}
+
+/// Per-(op, ring) timing budget: how many samples to take and the floor
+/// each sample must meet (iterations and wall-clock) before its mean
+/// counts.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    samples: usize,
+    min_iters: usize,
+    min_millis: u128,
+}
+
+impl Timing {
+    fn from_means(means: Vec<f64>) -> Timing {
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let mut sorted = means.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mid = sorted.len() / 2;
+        let p50 = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        };
+        Timing {
+            mean,
+            p50,
+            samples: means.len(),
+        }
+    }
+}
+
+/// One timing sample: iterate `f` until both `min_iters` and `min_millis`
+/// are met, return the per-iteration mean.
+fn one_sample(budget: Budget, f: &mut impl FnMut()) -> f64 {
     let start = Instant::now();
     let mut iters = 0usize;
-    while iters < min_iters || start.elapsed().as_millis() < min_millis {
+    while iters < budget.min_iters.max(1) || start.elapsed().as_millis() < budget.min_millis {
         f();
         iters += 1;
     }
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// Times `f` with one warmup call, then takes `budget.samples` independent
+/// samples; each sample iterates until both `min_iters` and `min_millis`
+/// are met and records its own mean. Returns the mean-of-samples and the
+/// median sample, so one descheduling blip cannot drag a row.
+fn time_ns(budget: Budget, mut f: impl FnMut()) -> Timing {
+    f();
+    let mut means = Vec::with_capacity(budget.samples);
+    for _ in 0..budget.samples.max(1) {
+        means.push(one_sample(budget, &mut f));
+    }
+    Timing::from_means(means)
+}
+
+/// Times `f` across a whole thread sweep with the sweep points
+/// *interleaved per sample round*: round r takes one sample at every
+/// thread count before round r+1 starts. On a busy host, slow drift
+/// (frequency scaling, noisy neighbours) then lands on every thread count
+/// equally instead of biasing whichever block ran last — which is what the
+/// `scripts/check.sh` small-ring gate compares. Returns one `Timing` per
+/// sweep entry, in order.
+fn time_sweep(budget: Budget, sweep: &[usize], mut f: impl FnMut()) -> Vec<Timing> {
+    let mut means: Vec<Vec<f64>> = vec![Vec::with_capacity(budget.samples); sweep.len()];
+    for &threads in sweep {
+        parpool::set_threads(threads);
+        f(); // warmup at each width (pool spawn, cache touch)
+    }
+    for _ in 0..budget.samples.max(1) {
+        for (i, &threads) in sweep.iter().enumerate() {
+            parpool::set_threads(threads);
+            means[i].push(one_sample(budget, &mut f));
+        }
+    }
+    means.into_iter().map(Timing::from_means).collect()
+}
+
 fn write_json(path: &str, records: &[Record]) {
     let mut s = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str(&format!(
-            "  {{\"op\": \"{}\", \"n\": {}, \"limbs\": {}, \"threads\": {}, \"ns_per_op\": {:.1}",
-            r.op, r.n, r.limbs, r.threads, r.ns_per_op,
+            "  {{\"op\": \"{}\", \"n\": {}, \"limbs\": {}, \"threads\": {}, \
+             \"ns_per_op\": {:.1}, \"ns_per_op_p50\": {:.1}, \"samples\": {}",
+            r.op, r.n, r.limbs, r.threads, r.ns_per_op, r.ns_per_op_p50, r.samples,
         ));
         for (k, v) in &r.extras {
             s.push_str(&format!(", \"{k}\": {v}"));
@@ -84,51 +178,43 @@ fn write_json(path: &str, records: &[Record]) {
     std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 }
 
-/// Per-op speedup of the widest sweep point over the single-thread baseline.
+/// Per-(op, ring) speedup of the widest sweep point over the
+/// single-thread baseline, using the median figures.
 fn print_summary(title: &str, records: &[Record]) {
-    println!("\n{title} (speedup vs 1 thread)");
-    let ops: Vec<&'static str> = {
+    println!("\n{title} (speedup vs 1 thread, p50)");
+    let groups: Vec<(&'static str, usize)> = {
         let mut seen = Vec::new();
         for r in records {
-            if !seen.contains(&r.op) {
-                seen.push(r.op);
+            if !seen.contains(&(r.op, r.n)) {
+                seen.push((r.op, r.n));
             }
         }
         seen
     };
-    for op in ops {
+    for (op, n) in groups {
         let base = records
             .iter()
-            .find(|r| r.op == op && r.threads == 1)
-            .map(|r| r.ns_per_op);
+            .find(|r| r.op == op && r.n == n && r.threads == 1)
+            .map(|r| r.ns_per_op_p50);
         let best = records
             .iter()
-            .filter(|r| r.op == op)
+            .filter(|r| r.op == op && r.n == n)
             .max_by_key(|r| r.threads);
         if let (Some(base), Some(best)) = (base, best) {
             println!(
-                "  {:24} {:>12.0} ns -> {:>12.0} ns @ {} threads  ({:.2}x)",
+                "  {:24} n={:<6} {:>12.0} ns -> {:>12.0} ns @ {} threads  ({:.2}x)",
                 op,
+                n,
                 base,
-                best.ns_per_op,
+                best.ns_per_op_p50,
                 best.threads,
-                base / best.ns_per_op
+                base / best.ns_per_op_p50
             );
         }
     }
 }
 
-fn bench_ckks(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
-    let params = if quick {
-        CkksParams::test_small()
-    } else {
-        CkksParams::builder()
-            .log_n(12)
-            .levels(8)
-            .alpha(2)
-            .scale_bits(40)
-            .build()
-    };
+fn bench_ckks(params: CkksParams, budget: Budget, sweep: &[usize], records: &mut Vec<Record>) {
     let ctx = CkksContext::new(params);
     let n = ctx.params().n();
     let level = ctx.max_level();
@@ -190,21 +276,23 @@ fn bench_ckks(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
         measured
     };
 
-    let (min_iters, min_ms) = if quick { (3, 10) } else { (10, 200) };
-    for &threads in sweep {
-        parpool::set_threads(threads);
-        let mut push = |op: &'static str, ns: f64| {
-            let c = counts
-                .iter()
-                .find(|(o, _)| *o == op)
-                .map(|(_, c)| *c)
-                .unwrap_or_default();
+    // Thread counts are interleaved per sample round (`time_sweep`) so host
+    // drift cannot masquerade as a per-thread-count regression.
+    let mut push = |op: &'static str, timings: Vec<Timing>| {
+        let c = counts
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|(_, c)| *c)
+            .unwrap_or_default();
+        for (&threads, t) in sweep.iter().zip(&timings) {
             records.push(Record {
                 op,
                 n,
                 limbs: level,
                 threads,
-                ns_per_op: ns,
+                ns_per_op: t.mean,
+                ns_per_op_p50: t.p50,
+                samples: t.samples,
                 extras: vec![
                     ("ntt_limbs", c.ntt_limbs),
                     ("intt_limbs", c.intt_limbs),
@@ -214,52 +302,52 @@ fn bench_ckks(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
                     ("keyswitches", c.keyswitches),
                 ],
             })
-        };
-        push(
-            "ntt_forward_batch",
-            time_ns(min_iters, min_ms, || {
-                let mut p = coeff.duplicate();
-                p.to_eval();
-            }),
-        );
-        push(
-            "ntt_inverse_batch",
-            time_ns(min_iters, min_ms, || {
-                let mut p = evalp.duplicate();
-                p.to_coeff();
-            }),
-        );
-        push(
-            "hadd",
-            time_ns(min_iters, min_ms, || {
-                let _ = eval.add(&ct, &ct);
-            }),
-        );
-        push(
-            "keyswitch",
-            time_ns(min_iters, min_ms, || {
-                let _ = ks.switch(&a, &relin, level);
-            }),
-        );
-        push(
-            "mul_relin",
-            time_ns(min_iters, min_ms, || {
-                let _ = eval.mul_relin(&ct, &ct, &relin);
-            }),
-        );
-        push(
-            "rescale",
-            time_ns(min_iters, min_ms, || {
-                let _ = eval.rescale(&ct);
-            }),
-        );
-        push(
-            "automorphism",
-            time_ns(min_iters, min_ms, || {
-                let _ = evalp.automorphism(5);
-            }),
-        );
-    }
+        }
+    };
+    push(
+        "ntt_forward_batch",
+        time_sweep(budget, sweep, || {
+            let mut p = coeff.duplicate();
+            p.to_eval();
+        }),
+    );
+    push(
+        "ntt_inverse_batch",
+        time_sweep(budget, sweep, || {
+            let mut p = evalp.duplicate();
+            p.to_coeff();
+        }),
+    );
+    push(
+        "hadd",
+        time_sweep(budget, sweep, || {
+            let _ = eval.add(&ct, &ct);
+        }),
+    );
+    push(
+        "keyswitch",
+        time_sweep(budget, sweep, || {
+            let _ = ks.switch(&a, &relin, level);
+        }),
+    );
+    push(
+        "mul_relin",
+        time_sweep(budget, sweep, || {
+            let _ = eval.mul_relin(&ct, &ct, &relin);
+        }),
+    );
+    push(
+        "rescale",
+        time_sweep(budget, sweep, || {
+            let _ = eval.rescale(&ct);
+        }),
+    );
+    push(
+        "automorphism",
+        time_sweep(budget, sweep, || {
+            let _ = evalp.automorphism(5);
+        }),
+    );
     parpool::set_threads(0);
 }
 
@@ -302,10 +390,22 @@ fn bench_pim(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
     let k = 4;
     let c = if quick { 16 } else { 128 };
     let (mut banks, mont, pg_p, pg_ab, pg_out) = pim_fleet(num_banks, k, c);
-    let (min_iters, min_ms) = if quick { (3, 10) } else { (10, 200) };
+    let budget = if quick {
+        Budget {
+            samples: 3,
+            min_iters: 2,
+            min_millis: 4,
+        }
+    } else {
+        Budget {
+            samples: 5,
+            min_iters: 3,
+            min_millis: 40,
+        }
+    };
     for &threads in sweep {
         parpool::set_threads(threads);
-        let ns = time_ns(min_iters, min_ms, || {
+        let t = time_ns(budget, || {
             let results = for_each_bank_parallel(&mut banks, |_, bank| {
                 paccum_alg1(bank, &mont, k, 16, &pg_p, &pg_ab, &pg_out)
             });
@@ -322,7 +422,9 @@ fn bench_pim(quick: bool, sweep: &[usize], records: &mut Vec<Record>) {
             n: c * ELEMS_PER_CHUNK,
             limbs: num_banks,
             threads,
-            ns_per_op: ns,
+            ns_per_op: t.mean,
+            ns_per_op_p50: t.p50,
+            samples: t.samples,
             extras: vec![
                 ("mmac_ops", fleet * 2 * k as u64 * elems),
                 ("bytes_internal", fleet * (3 * k as u64 + 2) * elems * 4),
@@ -506,6 +608,8 @@ fn bench_schedule(ckks_records: &mut Vec<Record>, pim_records: &mut Vec<Record>)
             limbs,
             threads: 1,
             ns_per_op: report.total_ns,
+            ns_per_op_p50: report.total_ns,
+            samples: 1,
             extras: vec![
                 (bytes_key, bytes),
                 ("transitions", u64::from(report.transitions)),
@@ -545,7 +649,100 @@ fn effective_parallelism() -> f64 {
     2.0 * one.as_secs_f64() / two.as_secs_f64()
 }
 
-const USAGE: &str = "usage: bench_json [--quick] [--trace-out FILE] [--metrics-out FILE]";
+/// Calibrates a `ckks_math::tune` profile against this host: measures the
+/// serial per-element cost of each op class on a representative shape
+/// (forced-serial so the tuner cannot interfere with its own
+/// measurement), the pool's dispatch/per-job overhead, and the effective
+/// parallelism, then restores the environment profile. The returned
+/// profile is what `--tune-out` writes and `ANAHEIM_PAR_PROFILE` loads.
+fn calibrate_tune_profile(quick: bool, par_eff: f64) -> ckks_math::tune::Profile {
+    use ckks_math::modulus::Modulus;
+    use ckks_math::ntt::NttContext;
+    use ckks_math::poly::Poly;
+    use ckks_math::prime::generate_ntt_primes;
+    use ckks_math::rns::BasisConverter;
+    use ckks_math::tune::{self, Profile};
+    use std::sync::Arc;
+
+    let (log_n, limbs) = if quick { (10usize, 4usize) } else { (12, 8) };
+    let n = 1usize << log_n;
+    let basis: Vec<Arc<NttContext>> = generate_ntt_primes(45, 2 * limbs, 2 * n as u64)
+        .into_iter()
+        .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+        .collect();
+    let (from, to) = basis.split_at(limbs);
+    let coeffs: Vec<i64> = (0..n as i64).map(|i| (i * 37 + 5) % 1001 - 500).collect();
+    let x = Poly::from_coeff_i64(from, &coeffs);
+    let y = Poly::from_coeff_i64(from, &coeffs);
+    let conv = BasisConverter::new(from, to);
+    let budget = Budget {
+        samples: if quick { 3 } else { 5 },
+        min_iters: 3,
+        min_millis: if quick { 2 } else { 15 },
+    };
+
+    // Serial-profile measurements: per-class ns per model work unit.
+    tune::set_profile(Profile::serial());
+    let total = (limbs * n) as f64;
+    let ew = {
+        let mut acc = x.duplicate();
+        time_ns(budget, || acc.add_assign(&y)).p50 / total
+    };
+    let ntt = {
+        let mut p = x.duplicate();
+        time_ns(budget, || {
+            p.to_eval();
+            p.to_coeff();
+        })
+        .p50 / (2.0 * total * log_n as f64)
+    };
+    let bconv = {
+        let refs: Vec<&[u64]> = (0..limbs).map(|i| x.limb(i).data()).collect();
+        // Model form: `to` items of `limbs·n` elements each.
+        time_ns(budget, || {
+            let _ = conv.convert_approx(&refs);
+        })
+        .p50 / (to.len() as f64 * total)
+    };
+    let auto = time_ns(budget, || {
+        let _ = x.automorphism(5);
+    })
+    .p50 / total;
+
+    // Pool overhead: time an empty chunked fan-out at two job counts and
+    // solve `cost(j) = dispatch + j·job` from the pair.
+    parpool::set_threads(8);
+    let overhead = |jobs: usize| {
+        time_ns(
+            Budget {
+                samples: 5,
+                min_iters: 50,
+                min_millis: 1,
+            },
+            || {
+                parpool::run_chunked(jobs, jobs, &|i| {
+                    std::hint::black_box(i);
+                })
+            },
+        )
+        .p50
+    };
+    let (t2, t8) = (overhead(2), overhead(8));
+    let job_ns = ((t8 - t2) / 6.0).max(0.0);
+    let dispatch_ns = (t2 - 2.0 * job_ns).max(0.0);
+    parpool::set_threads(0);
+    tune::reset_profile();
+
+    let mut p = Profile::default_seeded();
+    p.par_eff = par_eff.max(1.0);
+    p.dispatch_ns = dispatch_ns;
+    p.job_ns = job_ns;
+    p.per_elem_ns = [ew, ntt, bconv, auto];
+    p
+}
+
+const USAGE: &str =
+    "usage: bench_json [--quick] [--trace-out FILE] [--metrics-out FILE] [--tune-out FILE]";
 
 /// Reports a command-line problem on stderr and exits nonzero. Argument
 /// mistakes are operator errors, not harness bugs — no panic, no backtrace.
@@ -559,6 +756,7 @@ fn main() {
     let mut quick = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut tune_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -575,21 +773,130 @@ fn main() {
                         .unwrap_or_else(|| usage_error("--metrics-out needs a file path")),
                 )
             }
+            "--tune-out" => {
+                tune_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--tune-out needs a file path")),
+                )
+            }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
     let sweep: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let par_eff = effective_parallelism();
     println!(
         "bench_json: mode={}, thread sweep {:?}, {} hardware threads, \
          effective parallelism {:.2}x (2-thread spin calibration)",
         if quick { "quick" } else { "full" },
         sweep,
         std::thread::available_parallelism().map_or(1, |p| p.get()),
-        effective_parallelism()
+        par_eff
     );
 
+    if let Some(path) = &tune_out {
+        let profile = calibrate_tune_profile(quick, par_eff);
+        std::fs::write(path, profile.to_profile_string())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "  wrote {path} (tune profile: par_eff {:.2}, dispatch {:.0} ns, job {:.0} ns, \
+             per-elem ns [ew {:.2}, ntt {:.2}, bconv {:.2}, auto {:.2}])",
+            profile.par_eff,
+            profile.dispatch_ns,
+            profile.job_ns,
+            profile.per_elem_ns[0],
+            profile.per_elem_ns[1],
+            profile.per_elem_ns[2],
+            profile.per_elem_ns[3],
+        );
+    }
+
+    // Ring sweep: quick mode keeps the historical smoke shape; full mode
+    // covers the small rings the no-regression gate watches (2¹⁰, 2¹²)
+    // plus the paper's Table IV sizes (2¹³–2¹⁶) at growing limb depths.
+    // Timing budgets shrink as N grows — at 2¹⁶ a single keyswitch is
+    // tens of milliseconds, so a handful of single-iteration samples is
+    // both affordable and (with the median) stable.
+    let configs: Vec<(CkksParams, Budget)> = if quick {
+        vec![(
+            CkksParams::test_small(),
+            Budget {
+                samples: 3,
+                min_iters: 2,
+                min_millis: 4,
+            },
+        )]
+    } else {
+        let ring = |log_n: u32, levels: usize, alpha: usize| {
+            CkksParams::builder()
+                .log_n(log_n)
+                .levels(levels)
+                .alpha(alpha)
+                .scale_bits(40)
+                .build()
+        };
+        vec![
+            // The small rings feed the check.sh no-regression gate, so they
+            // get the deepest sample budget: a 9-sample median is what keeps
+            // a noisy-neighbour blip from tripping a 5% threshold.
+            (
+                ring(10, 4, 2),
+                Budget {
+                    samples: 9,
+                    min_iters: 3,
+                    min_millis: 30,
+                },
+            ),
+            (
+                ring(12, 8, 2),
+                Budget {
+                    samples: 9,
+                    min_iters: 3,
+                    min_millis: 30,
+                },
+            ),
+            (
+                ring(13, 8, 2),
+                Budget {
+                    samples: 5,
+                    min_iters: 2,
+                    min_millis: 30,
+                },
+            ),
+            (
+                ring(14, 12, 3),
+                Budget {
+                    samples: 5,
+                    min_iters: 1,
+                    min_millis: 30,
+                },
+            ),
+            (
+                ring(15, 16, 4),
+                Budget {
+                    samples: 3,
+                    min_iters: 1,
+                    min_millis: 0,
+                },
+            ),
+            (
+                ring(16, 24, 4),
+                Budget {
+                    samples: 3,
+                    min_iters: 1,
+                    min_millis: 0,
+                },
+            ),
+        ]
+    };
+
     let mut ckks_records = Vec::new();
-    bench_ckks(quick, sweep, &mut ckks_records);
+    for (params, budget) in configs {
+        println!(
+            "  ckks ring: n=2^{} levels={} alpha={}",
+            params.log_n, params.levels, params.alpha
+        );
+        bench_ckks(params, budget, sweep, &mut ckks_records);
+    }
     print_summary("CKKS", &ckks_records);
 
     let mut pim_records = Vec::new();

@@ -30,6 +30,7 @@ pub mod pool;
 pub mod prime;
 pub mod rns;
 pub mod sampling;
+pub mod tune;
 
 pub use modulus::Modulus;
 pub use ntt::NttContext;

@@ -7,38 +7,34 @@
 //! modular ops.
 //!
 //! The same independence makes limbs the natural unit of host-side
-//! parallelism: every op here fans out one task per limb on the
-//! [`parpool`] scoped pool when the work is large enough (see
-//! `EW_MIN_ELEMS` / `NTT_MIN_N`), and falls back to the plain serial
-//! loop otherwise. Tasks touch disjoint limbs only, so results are
-//! bit-identical for any thread count. Limb storage is recycled through the
-//! thread-local [`pool`] free-lists, so steady-state evaluation does not
-//! allocate.
+//! parallelism: every op here consults the [`tune`] cost model, which
+//! decides per batch whether to run the plain serial loop or to fuse the
+//! limbs into a handful of chunked [`parpool`] jobs (see
+//! [`tune::decide`]). Chunks are disjoint and iterate in serial order, so
+//! results are bit-identical for any thread count and any tuning profile.
+//! Limb storage is recycled through the thread-local [`pool`] free-lists,
+//! so steady-state evaluation does not allocate.
 
 use std::sync::Arc;
 
 use crate::modulus::Modulus;
 use crate::ntt::NttContext;
 use crate::pool;
+use crate::tune::{self, OpClass};
 
-/// Minimum total residues (`limbs × n`) before an element-wise op fans out
-/// to the thread pool; below this the wakeup cost outweighs the arithmetic.
-pub(crate) const EW_MIN_ELEMS: usize = 1 << 14;
-
-/// Minimum ring degree before per-limb NTT batches fan out; an NTT on a
-/// tiny ring is cheaper than waking a worker.
-pub(crate) const NTT_MIN_N: usize = 256;
-
-/// Runs `f(i, &mut items[i])` for every item, in parallel when `gate` is
-/// true. The closure sees disjoint elements, so parallel and serial orders
-/// produce identical memory states.
-pub(crate) fn for_each_gated<T, F>(gate: bool, items: &mut [T], f: F)
+/// Runs `f(i, &mut items[i])` for every item, fanning out into chunked
+/// pool jobs when the [`tune`] cost model predicts a win for this op class
+/// and shape. The closure sees disjoint elements and chunk-internal order
+/// matches the serial loop, so parallel and serial runs produce identical
+/// memory states.
+pub(crate) fn for_each_tuned<T, F>(class: OpClass, elems_per_item: usize, items: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    if gate {
-        parpool::par_for_each_mut(items, f);
+    let d = tune::decide(class, items.len(), elems_per_item);
+    if d.parallel() {
+        parpool::par_for_each_mut_chunked(items, d.jobs, f);
     } else {
         for (i, x) in items.iter_mut().enumerate() {
             f(i, x);
@@ -46,16 +42,18 @@ where
     }
 }
 
-/// Maps `f(i, &items[i])` over every item in order, in parallel when `gate`
-/// is true. Output order always matches input order.
-pub(crate) fn map_gated<T, U, F>(gate: bool, items: &[T], f: F) -> Vec<U>
+/// Maps `f(i, &items[i])` over every item in order, fanning out into
+/// chunked pool jobs when the [`tune`] cost model predicts a win. Output
+/// order always matches input order.
+pub(crate) fn map_tuned<T, U, F>(class: OpClass, elems_per_item: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    if gate {
-        parpool::par_map(items, f)
+    let d = tune::decide(class, items.len(), elems_per_item);
+    if d.parallel() {
+        parpool::par_map_chunked(items, d.jobs, f)
     } else {
         items.iter().enumerate().map(|(i, x)| f(i, x)).collect()
     }
@@ -202,8 +200,8 @@ impl Poly {
     pub fn from_coeff_i64(basis: &[Arc<NttContext>], coeffs: &[i64]) -> Self {
         let mut p = Self::zero(basis, Format::Coeff);
         assert_eq!(coeffs.len(), p.n(), "coefficient count mismatch");
-        let gate = p.fan_out_ew();
-        for_each_gated(gate, &mut p.limbs, |_, limb| {
+        let n = p.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut p.limbs, |_, limb| {
             let m = *limb.ctx.modulus();
             for (dst, &c) in limb.data.iter_mut().zip(coeffs) {
                 *dst = m.from_i64(c);
@@ -279,18 +277,6 @@ impl Poly {
         self.limbs.iter().map(|l| l.ctx.clone()).collect()
     }
 
-    /// True when element-wise work is large enough to fan out.
-    #[inline]
-    fn fan_out_ew(&self) -> bool {
-        self.limbs.len() >= 2 && self.limbs.len() * self.n() >= EW_MIN_ELEMS
-    }
-
-    /// True when per-limb NTT work is large enough to fan out.
-    #[inline]
-    fn fan_out_ntt(&self) -> bool {
-        self.limbs.len() >= 2 && self.n() >= NTT_MIN_N
-    }
-
     fn assert_compatible(&self, other: &Poly) {
         assert_eq!(self.format, other.format, "domain mismatch");
         assert_eq!(self.num_limbs(), other.num_limbs(), "limb count mismatch");
@@ -305,8 +291,7 @@ impl Poly {
 
     /// Out-of-place binary element-wise op into pooled limbs.
     fn zip_map(&self, other: &Poly, f: impl Fn(&Modulus, u64, u64) -> u64 + Sync) -> Poly {
-        let gate = self.fan_out_ew();
-        let limbs = map_gated(gate, &self.limbs, |i, a| {
+        let limbs = map_tuned(OpClass::Elementwise, self.n(), &self.limbs, |i, a| {
             let m = *a.ctx.modulus();
             let mut data = pool::take(a.data.len());
             for ((d, &x), &y) in data.iter_mut().zip(&a.data).zip(&other.limbs[i].data) {
@@ -325,8 +310,7 @@ impl Poly {
 
     /// Out-of-place unary element-wise op into pooled limbs.
     fn map_unary(&self, f: impl Fn(&Modulus, u64) -> u64 + Sync) -> Poly {
-        let gate = self.fan_out_ew();
-        let limbs = map_gated(gate, &self.limbs, |_, a| {
+        let limbs = map_tuned(OpClass::Elementwise, self.n(), &self.limbs, |_, a| {
             let m = *a.ctx.modulus();
             let mut data = pool::take(a.data.len());
             for (d, &x) in data.iter_mut().zip(&a.data) {
@@ -383,8 +367,7 @@ impl Poly {
 
     /// `self * s` into pooled storage.
     pub fn scaled_i64(&self, s: i64) -> Poly {
-        let gate = self.fan_out_ew();
-        let limbs = map_gated(gate, &self.limbs, |_, a| {
+        let limbs = map_tuned(OpClass::Elementwise, self.n(), &self.limbs, |_, a| {
             let m = *a.ctx.modulus();
             let sv = m.from_i64(s);
             let ss = m.shoup(sv);
@@ -416,8 +399,8 @@ impl Poly {
     /// Panics if domains, limb counts, or moduli differ.
     pub fn add_assign(&mut self, other: &Poly) {
         self.assert_compatible(other);
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |i, a| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
             for (x, &y) in a.data.iter_mut().zip(&other.limbs[i].data) {
                 *x = m.add(*x, y);
@@ -432,8 +415,8 @@ impl Poly {
     /// Panics if domains, limb counts, or moduli differ.
     pub fn sub_assign(&mut self, other: &Poly) {
         self.assert_compatible(other);
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |i, a| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
             for (x, &y) in a.data.iter_mut().zip(&other.limbs[i].data) {
                 *x = m.sub(*x, y);
@@ -443,8 +426,8 @@ impl Poly {
 
     /// `self = -self`.
     pub fn neg_assign(&mut self) {
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |_, a| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |_, a| {
             let m = *a.ctx.modulus();
             for x in &mut a.data {
                 *x = m.neg(*x);
@@ -462,8 +445,8 @@ impl Poly {
     pub fn mul_assign(&mut self, other: &Poly) {
         assert_eq!(self.format, Format::Eval, "multiplication requires Eval");
         self.assert_compatible(other);
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |i, a| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
             for (x, &y) in a.data.iter_mut().zip(&other.limbs[i].data) {
                 *x = m.mul(*x, y);
@@ -480,8 +463,8 @@ impl Poly {
         assert_eq!(self.format, Format::Eval, "MAC requires Eval");
         self.assert_compatible(a);
         a.assert_compatible(b);
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |i, dst| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |i, dst| {
             let m = *dst.ctx.modulus();
             for ((d, &u), &v) in dst
                 .data
@@ -501,8 +484,8 @@ impl Poly {
     /// Panics if `scalars.len() != num_limbs()`.
     pub fn mul_scalar_per_limb(&mut self, scalars: &[u64]) {
         assert_eq!(scalars.len(), self.num_limbs(), "scalar count mismatch");
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |i, a| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |i, a| {
             let m = *a.ctx.modulus();
             let s = m.reduce(scalars[i]);
             let ss = m.shoup(s);
@@ -514,8 +497,8 @@ impl Poly {
 
     /// Multiplies the whole polynomial by a signed integer scalar.
     pub fn mul_scalar_i64(&mut self, s: i64) {
-        let gate = self.fan_out_ew();
-        for_each_gated(gate, &mut self.limbs, |_, a| {
+        let n = self.n();
+        for_each_tuned(OpClass::Elementwise, n, &mut self.limbs, |_, a| {
             let m = *a.ctx.modulus();
             let sv = m.from_i64(s);
             let ss = m.shoup(sv);
@@ -534,8 +517,7 @@ impl Poly {
     /// Panics if `g` is even.
     pub fn automorphism(&self, g: u64) -> Poly {
         let fmt = self.format;
-        let gate = self.fan_out_ew();
-        let limbs = map_gated(gate, &self.limbs, |_, l| {
+        let limbs = map_tuned(OpClass::Automorphism, self.n(), &self.limbs, |_, l| {
             let mut data = pool::take(l.data.len());
             match fmt {
                 Format::Coeff => l.ctx.galois_coeff_into(&l.data, g, &mut data),
@@ -554,8 +536,8 @@ impl Poly {
         if self.format == Format::Eval {
             return;
         }
-        let gate = self.fan_out_ntt();
-        for_each_gated(gate, &mut self.limbs, |_, l| {
+        let n = self.n();
+        for_each_tuned(OpClass::Ntt, n, &mut self.limbs, |_, l| {
             let ctx = Arc::clone(&l.ctx);
             ctx.forward(&mut l.data);
         });
@@ -567,8 +549,8 @@ impl Poly {
         if self.format == Format::Coeff {
             return;
         }
-        let gate = self.fan_out_ntt();
-        for_each_gated(gate, &mut self.limbs, |_, l| {
+        let n = self.n();
+        for_each_tuned(OpClass::Ntt, n, &mut self.limbs, |_, l| {
             let ctx = Arc::clone(&l.ctx);
             ctx.inverse(&mut l.data);
         });

@@ -11,15 +11,9 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 use crate::ntt::NttContext;
-use crate::poly::{for_each_gated, map_gated, Format, Limb, Poly, EW_MIN_ELEMS, NTT_MIN_N};
+use crate::poly::{for_each_tuned, map_tuned, Format, Limb, Poly};
 use crate::pool;
-
-/// True when `tasks` independent chunks of `elems_per_task` residues are
-/// worth fanning out to the thread pool.
-#[inline]
-fn fan_out(tasks: usize, elems_per_task: usize) -> bool {
-    tasks >= 2 && tasks * elems_per_task >= EW_MIN_ELEMS
-}
+use crate::tune::OpClass;
 
 /// Arbitrary-precision unsigned integer (little-endian 64-bit limbs).
 ///
@@ -323,7 +317,7 @@ impl BasisConverter {
         let n = self.from[0].n();
         assert!(limbs.iter().all(|l| l.len() == n), "limb length mismatch");
         // v_i = x_i * (A/a_i)^{-1} mod a_i — independent per source limb.
-        let v: Vec<Vec<u64>> = map_gated(fan_out(limbs.len(), n), limbs, |i, limb| {
+        let v: Vec<Vec<u64>> = map_tuned(OpClass::Elementwise, n, limbs, |i, limb| {
             let m = self.from[i].modulus();
             let hs = m.shoup(self.a_hat_inv[i]);
             let mut out = pool::take(n);
@@ -348,7 +342,7 @@ impl BasisConverter {
                 .collect()
         });
         // Each target limb accumulates over all v_i — independent per target.
-        let out = map_gated(fan_out(self.to.len(), limbs.len() * n), &self.to, |j, t| {
+        let out = map_tuned(OpClass::BConv, limbs.len() * n, &self.to, |j, t| {
             let m = t.modulus();
             let mut out = pool::take_zeroed(n);
             for (i, vi) in v.iter().enumerate() {
@@ -468,16 +462,18 @@ impl ModDown {
                 buf
             })
             .collect();
-        let intt_gate = alpha >= 2 && n >= NTT_MIN_N;
-        for_each_gated(intt_gate, &mut p_coeff, |i, data| {
+        // Both NTT batches here go through the same tuner class, keyed on
+        // their *actual* batch size (α inverse transforms, then l forward
+        // transforms) — the old static gates keyed the two phases on
+        // different quantities for the same kind of work.
+        for_each_tuned(OpClass::Ntt, n, &mut p_coeff, |i, data| {
             self.p_to_q.from_basis()[i].inverse(data);
         });
         let refs: Vec<&[u64]> = p_coeff.iter().map(|v| v.as_slice()).collect();
         let converted = self.p_to_q.convert_approx(&refs);
         // y_j = (x_j - conv_j) * P^{-1} mod q_j, in the evaluation domain.
         // One forward NTT per Q limb — independent per limb.
-        let ntt_gate = l >= 2 && n >= NTT_MIN_N;
-        let limbs: Vec<Limb> = map_gated(ntt_gate, &self.q_basis[..l], |j, qc| {
+        let limbs: Vec<Limb> = map_tuned(OpClass::Ntt, n, &self.q_basis[..l], |j, qc| {
             let m = qc.modulus();
             let mut conv = pool::take(n);
             conv.copy_from_slice(converted[j].data());
@@ -521,9 +517,8 @@ pub fn rescale_in_place(poly: &mut Poly) {
     let half = q_last / 2;
     // Each remaining limb builds its own correction term and runs one
     // forward NTT — independent per limb.
-    let gate = poly.num_limbs() >= 2 && n >= NTT_MIN_N;
     let last_coeff_ref = &last_coeff;
-    for_each_gated(gate, poly.limbs_mut(), |_, limb| {
+    for_each_tuned(OpClass::Ntt, n, poly.limbs_mut(), |_, limb| {
         let qc = Arc::clone(limb.ctx());
         let m = *qc.modulus();
         // Reduce the centered representative of x_last into q_j.

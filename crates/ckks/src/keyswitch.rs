@@ -70,16 +70,22 @@ impl<'a> KeySwitcher<'a> {
         let mut coeff = a.duplicate();
         coeff.to_coeff();
         opcount::count_intt(level);
-        // Digits are independent: fan one task out per digit. Each task
-        // routes its op counts into a shared sink which is folded back into
-        // this thread's counters after the join, so totals match a serial
-        // run exactly. Nested per-limb parallelism inside a digit degrades
-        // to inline-serial on the workers (the pool is single-job).
+        // Digits are independent: let the tuner decide whether to fan them
+        // out as chunked pool jobs. Each task routes its op counts into a
+        // shared sink which is folded back into this thread's counters
+        // after the join, so totals match a serial run exactly. Nested
+        // per-limb parallelism inside a digit degrades to inline-serial on
+        // the workers (the pool is single-job). A digit's dominant work is
+        // the `level + α − |digit|` forward NTTs of its ModUp, so the batch
+        // is costed as NTT-class over that many rings.
         let num = self.ctx.num_digits(level);
+        let alpha = self.ctx.params().alpha;
         let digit_ids: Vec<usize> = (0..num).collect();
         let sink = opcount::SharedCounts::new();
-        let digits = if num >= 2 {
-            parpool::par_map(&digit_ids, |_, &j| {
+        let decision =
+            ckks_math::tune::decide(ckks_math::tune::OpClass::Ntt, num, (level + alpha) * a.n());
+        let digits = if decision.parallel() {
+            parpool::par_map_chunked(&digit_ids, decision.jobs, |_, &j| {
                 sink.record(|| self.digit_mod_up(a, &coeff, level, j))
             })
         } else {

@@ -373,10 +373,14 @@ pub fn alloc_paccum_groups(
     (pg_p, pg_ab, pg_out)
 }
 
-/// Runs a kernel over every bank concurrently, one `parpool` task per bank
-/// — the host-simulation analogue of the all-bank command broadcast that
-/// gives the Anaheim PIM its throughput (§IV): banks share no state, so
-/// their kernels are embarrassingly parallel.
+/// Runs a kernel over every bank concurrently, fusing the banks into a few
+/// chunked `parpool` jobs — the host-simulation analogue of the all-bank
+/// command broadcast that gives the Anaheim PIM its throughput (§IV):
+/// banks share no state, so their kernels are embarrassingly parallel, and
+/// chunking pays pool overhead once per worker instead of once per bank.
+/// The `ckks_math::tune` cost model decides the fan-out (bank capacity as
+/// the per-item work proxy), so hosts that grant no real parallelism run
+/// the banks serially instead of paying pool overhead for nothing.
 ///
 /// Each bank's result is returned in bank order. A kernel error in one bank
 /// does not stop the others (matching the per-bank fault containment of the
@@ -389,11 +393,25 @@ pub fn for_each_bank_parallel<F>(
 where
     F: Fn(usize, &mut SimulatedBank) -> Result<(), PimError> + Sync,
 {
+    let elems_per_bank = banks
+        .first()
+        .map_or(0, |b| b.rows() * b.chunks_per_row() * ELEMS_PER_CHUNK);
     let mut work: Vec<(&mut SimulatedBank, Result<(), PimError>)> =
         banks.iter_mut().map(|b| (b, Ok(()))).collect();
-    parpool::par_for_each_mut(&mut work, |i, slot| {
-        slot.1 = kernel(i, slot.0);
-    });
+    let decision = ckks_math::tune::decide(
+        ckks_math::tune::OpClass::Elementwise,
+        work.len(),
+        elems_per_bank,
+    );
+    if decision.parallel() {
+        parpool::par_for_each_mut_chunked(&mut work, decision.jobs, |i, slot| {
+            slot.1 = kernel(i, slot.0);
+        });
+    } else {
+        for (i, slot) in work.iter_mut().enumerate() {
+            slot.1 = kernel(i, slot.0);
+        }
+    }
     work.into_iter().map(|(_, r)| r).collect()
 }
 

@@ -34,6 +34,56 @@ ANAHEIM_THREADS=8 cargo test -q --test trace_determinism
 echo "==> bench smoke (scripts/bench.sh --quick)"
 scripts/bench.sh --quick
 
+# Small-ring no-regression gate: below the paper's operating point the
+# tuner must keep multi-thread rows from losing to the single-thread
+# baseline (the pre-tuner hot path was up to 2.5x slower at n=1024 with 4
+# threads). For every timed CKKS op at N <= 2^12, each multi-thread row's
+# p50 must stay within SMALL_RING_MAX_RATIO of the 1-thread row, plus an
+# absolute slack floor (5 µs) so ops in the tens-of-microseconds range
+# aren't gated below the host's timing-noise floor — the regression this
+# gate exists to catch was 2.5x, two orders of magnitude above the slack:
+#   SMALL_RING_MAX_RATIO=1.10 SMALL_RING_SLACK_NS=8000 scripts/check.sh
+echo "==> small-ring no-regression gate (BENCH_ckks.json)"
+SMALL_RING_MAX_RATIO="${SMALL_RING_MAX_RATIO:-1.05}" \
+SMALL_RING_SLACK_NS="${SMALL_RING_SLACK_NS:-5000}" \
+python3 - <<'EOF'
+import json, os, sys
+
+ratio = float(os.environ["SMALL_RING_MAX_RATIO"])
+slack = float(os.environ["SMALL_RING_SLACK_NS"])
+with open("BENCH_ckks.json") as f:
+    data = json.load(f)
+
+def ns(r):
+    return r.get("ns_per_op_p50", r["ns_per_op"])
+
+base = {}
+for r in data:
+    if r["op"].startswith("sched_"):
+        continue  # analytic model rows, no thread sweep
+    if r["n"] <= 4096 and r["threads"] == 1:
+        base[(r["op"], r["n"], r["limbs"])] = ns(r)
+
+checked = 0
+for r in data:
+    if r["op"].startswith("sched_") or r["n"] > 4096 or r["threads"] == 1:
+        continue
+    key = (r["op"], r["n"], r["limbs"])
+    if key not in base:
+        sys.exit(f"BENCH_ckks.json: no 1-thread baseline for {key}")
+    limit = max(base[key] * ratio, base[key] + slack)
+    if ns(r) > limit:
+        sys.exit(
+            f"BENCH_ckks.json: {r['op']} n={r['n']} at {r['threads']} threads "
+            f"regressed: {ns(r):.0f} ns vs 1-thread {base[key]:.0f} ns "
+            f"(limit {limit:.0f} ns)"
+        )
+    checked += 1
+if checked == 0:
+    sys.exit("BENCH_ckks.json: small-ring gate matched no rows")
+print(f"  {checked} multi-thread small-ring rows within {ratio}x (+{slack:.0f} ns) — ok")
+EOF
+
 echo "==> serving chaos soak (scripts/soak.sh --quick)"
 scripts/soak.sh --quick
 

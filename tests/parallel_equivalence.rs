@@ -13,11 +13,16 @@ use anaheim::ckks::keys::KeyGenerator;
 use anaheim::ckks::keyswitch::KeySwitcher;
 use anaheim::ckks::opcount::{self, OpCounts};
 use anaheim::ckks::prelude::*;
+use anaheim::math::modulus::Modulus;
+use anaheim::math::ntt::NttContext;
 use anaheim::math::poly::{Format, Poly};
+use anaheim::math::prime::generate_ntt_primes;
+use anaheim::math::rns::{rescale_in_place, ModDown};
 use anaheim::math::sampling;
+use anaheim::math::tune::{self, Profile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Serializes access to the global parpool thread-count override.
 static THREAD_LOCK: Mutex<()> = Mutex::new(());
@@ -74,6 +79,133 @@ fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(what: &str, f: impl F
         );
     }
     parpool::set_threads(0);
+}
+
+/// The tuner profiles the ring sweeps exercise: forced-serial, forced
+/// fan-out-everything, and the host defaults. Together with the thread
+/// sweep this covers both sides of every cost-model decision: a profile
+/// may only change *scheduling*, never results.
+fn sweep_profiles() -> [(&'static str, Profile); 3] {
+    [
+        ("serial", Profile::serial()),
+        ("max_parallel", Profile::max_parallel()),
+        ("default", Profile::default_seeded()),
+    ]
+}
+
+/// Runs `f` under the serial profile at 1 thread, then under every
+/// profile × thread-count combination, asserting bit-identical results.
+/// Restores the environment profile afterwards.
+fn assert_profile_and_thread_invariant<R: PartialEq + std::fmt::Debug>(
+    what: &str,
+    f: impl Fn() -> R,
+) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    tune::set_profile(Profile::serial());
+    parpool::set_threads(1);
+    let want = f();
+    for (pname, profile) in sweep_profiles() {
+        tune::set_profile(profile);
+        for threads in [1usize, 2, 8] {
+            parpool::set_threads(threads);
+            let got = f();
+            assert!(
+                got == want,
+                "{what} diverged under profile {pname} at {threads} threads"
+            );
+        }
+    }
+    tune::reset_profile();
+    parpool::set_threads(0);
+}
+
+/// An NTT/elementwise/automorphism/BConv/rescale workout over one ring,
+/// touching every tuned fan-out path in `ckks-math` (including the ModDown
+/// INTT and NTT batches whose gates used to be asymmetric). Returns all
+/// limb data so the sweep can compare bit-for-bit.
+fn math_workout(log_n: u32, levels: usize) -> Vec<Vec<Vec<u64>>> {
+    let n = 1usize << log_n;
+    let alpha = 2usize;
+    let basis: Vec<Arc<NttContext>> = generate_ntt_primes(45, levels + alpha, 2 * n as u64)
+        .into_iter()
+        .map(|q| Arc::new(NttContext::new(n, Modulus::new(q))))
+        .collect();
+    let (q_basis, p_basis) = basis.split_at(levels);
+    let mod_down = ModDown::new(q_basis, p_basis);
+    let coeffs: Vec<i64> = (0..n as i64).map(|i| (i * 31 + 7) % 997 - 498).collect();
+    let other: Vec<i64> = (0..n as i64).map(|i| (i * 17 + 3) % 991 - 495).collect();
+
+    let mut x = Poly::from_coeff_i64(q_basis, &coeffs);
+    let y = Poly::from_coeff_i64(q_basis, &other);
+    x.add_assign(&y);
+    let mut s = x.subbed(&y);
+    s.to_eval();
+    let mut ye = y.duplicate();
+    ye.to_eval();
+    s.mul_assign(&ye);
+    s.mac_assign(&ye, &ye);
+    let rot = s.automorphism(5);
+    let mut sum = rot.added(&s);
+    let mut rescaled = sum.duplicate();
+    rescale_in_place(&mut rescaled);
+    // ModDown input: limbs over Q ‖ P in the evaluation domain.
+    let mut full = Poly::from_coeff_i64(&basis, &coeffs);
+    full.to_eval();
+    let down = mod_down.apply(&full);
+    sum.to_coeff();
+    [sum, rescaled, down]
+        .iter()
+        .map(|p| {
+            (0..p.num_limbs())
+                .map(|i| p.limb(i).data().to_vec())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn tuned_paths_match_serial_across_rings_and_profiles() {
+    // Ring sizes spanning the tuner's decision boundary: at 2^10 the model
+    // keeps everything serial, by 2^13 NTT batches fan out under the
+    // max_parallel profile. (The paper-scale rings 2^14..2^16 run the same
+    // sweep in the #[ignore]d test below — too slow for a debug-mode CI
+    // pass.)
+    for (log_n, levels) in [(10u32, 4usize), (12, 6), (13, 3)] {
+        assert_profile_and_thread_invariant(&format!("math workout n=2^{log_n}"), || {
+            math_workout(log_n, levels)
+        });
+    }
+}
+
+#[test]
+#[ignore = "paper-scale rings; run with --ignored (release profile recommended)"]
+fn tuned_paths_match_serial_at_paper_rings() {
+    for (log_n, levels) in [(14u32, 4usize), (15, 4), (16, 3)] {
+        assert_profile_and_thread_invariant(&format!("math workout n=2^{log_n}"), || {
+            math_workout(log_n, levels)
+        });
+    }
+}
+
+#[test]
+fn keyswitch_is_profile_invariant() {
+    // The digit fan-out (chunked pool jobs + shared op-count sink) must
+    // produce identical polynomials AND identical op-count totals under
+    // every profile × thread combination.
+    let fix = fixture();
+    let level = fix.ctx.max_level();
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = sampling::uniform(&mut rng, fix.ctx.basis_q(level), Format::Eval);
+    let ks = KeySwitcher::new(&fix.ctx);
+    assert_profile_and_thread_invariant("key switch (profiles)", || {
+        let before = opcount::snapshot();
+        let (b, sa) = ks.switch(&a, &fix.keys.relin, level);
+        (
+            poly_data(&b),
+            poly_data(&sa),
+            opcount::snapshot().since(&before),
+        )
+    });
 }
 
 #[test]

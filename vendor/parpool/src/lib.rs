@@ -276,6 +276,33 @@ pub fn par_range(n: usize, f: impl Fn(usize) + Sync) {
     run(n, &f);
 }
 
+/// Executes `task(0), …, task(n-1)` fused into at most `jobs` contiguous
+/// chunks, each chunk a single pool task iterating its indices serially in
+/// ascending order.
+///
+/// This is the fan-out shape for fine-grained work: instead of one pool
+/// task per index (`n` wakeups and `n` bag claims), the caller picks a
+/// chunking factor — typically [`num_threads`] — and pays pool overhead
+/// once per chunk. Index order *within* a chunk matches the serial loop
+/// and chunks are disjoint, so outputs are bit-identical to [`run`] and to
+/// the plain serial loop. `jobs <= 1` (or `n < 2`) runs inline serially.
+pub fn run_chunked(n: usize, jobs: usize, task: &(dyn Fn(usize) + Sync)) {
+    let jobs = jobs.min(n);
+    if jobs <= 1 || n < 2 {
+        run_serial(n, task);
+        return;
+    }
+    // Balanced contiguous partition: chunk c covers [c·n/jobs, (c+1)·n/jobs),
+    // sizes differing by at most one. jobs ≤ n keeps every chunk non-empty.
+    run(jobs, &|c| {
+        let start = c * n / jobs;
+        let end = (c + 1) * n / jobs;
+        for i in start..end {
+            task(i);
+        }
+    });
+}
+
 struct SendPtr<T>(*mut T);
 // SAFETY: used only to hand each task a pointer to a distinct element.
 unsafe impl<T> Send for SendPtr<T> {}
@@ -302,6 +329,24 @@ pub fn par_for_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(items: &mut [T], f
     });
 }
 
+/// [`par_for_each_mut`] fused into at most `jobs` chunked pool tasks (see
+/// [`run_chunked`]): `f(i, &mut items[i])` for every `i`, bit-identical to
+/// the serial loop for any `jobs`.
+pub fn par_for_each_mut_chunked<T: Send, F: Fn(usize, &mut T) + Sync>(
+    items: &mut [T],
+    jobs: usize,
+    f: F,
+) {
+    let base = SendPtr(items.as_mut_ptr());
+    run_chunked(items.len(), jobs, &|i| {
+        // SAFETY: each index is visited exactly once (chunks partition the
+        // range), so the &mut refs are disjoint; `base` outlives the call
+        // because `run_chunked` joins all tasks.
+        let item = unsafe { &mut *base.at(i) };
+        f(i, item);
+    });
+}
+
 /// Parallel map: returns `[f(0, &items[0]), …]` with the same ordering as a
 /// serial map.
 pub fn par_map<T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
@@ -318,6 +363,33 @@ pub fn par_map<T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync>(items: &[T], f: F
     });
     // SAFETY: all n slots are initialized (run() completed without panic;
     // on panic we leak the partially initialized buffer, which is safe).
+    let ptr = out.as_mut_ptr() as *mut U;
+    let cap = out.capacity();
+    std::mem::forget(out);
+    unsafe { Vec::from_raw_parts(ptr, n, cap) }
+}
+
+/// [`par_map`] fused into at most `jobs` chunked pool tasks (see
+/// [`run_chunked`]): output order and values are identical to the serial
+/// map for any `jobs`.
+pub fn par_map_chunked<T: Sync, U: Send, F: Fn(usize, &T) -> U + Sync>(
+    items: &[T],
+    jobs: usize,
+    f: F,
+) -> Vec<U> {
+    let n = items.len();
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialization; every slot is written
+    // below before the transmute-by-parts.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    run_chunked(n, jobs, &|i| {
+        let value = f(i, &items[i]);
+        // SAFETY: disjoint slots, one writer per index.
+        unsafe { (*base.at(i)).write(value) };
+    });
+    // SAFETY: all n slots are initialized (run_chunked completed without
+    // panic; on panic we leak the partially initialized buffer — safe).
     let ptr = out.as_mut_ptr() as *mut U;
     let cap = out.capacity();
     std::mem::forget(out);
@@ -394,6 +466,36 @@ mod tests {
                 assert_eq!(out, want);
             });
         }
+    }
+
+    #[test]
+    fn chunked_matches_serial_for_any_job_count() {
+        for threads in [1usize, 4, 8] {
+            with_threads(threads, || {
+                for jobs in [0usize, 1, 2, 3, 7, 8, 100, 1000] {
+                    let mut v: Vec<u64> = (0..999).collect();
+                    par_for_each_mut_chunked(&mut v, jobs, |i, x| *x = *x * 3 + i as u64);
+                    let want: Vec<u64> = (0..999u64).map(|i| i * 3 + i).collect();
+                    assert_eq!(v, want, "threads={threads} jobs={jobs}");
+
+                    let src: Vec<usize> = (0..257).collect();
+                    let out = par_map_chunked(&src, jobs, |i, &x| x * x + i);
+                    let want: Vec<usize> = (0..257).map(|x| x * x + x).collect();
+                    assert_eq!(out, want, "threads={threads} jobs={jobs}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn chunked_indices_run_exactly_once_in_chunk_order() {
+        with_threads(8, || {
+            let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+            run_chunked(500, 8, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
     }
 
     #[test]
