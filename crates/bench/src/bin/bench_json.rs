@@ -8,7 +8,10 @@
 //! rings the regression gate watches), so the speedup story is measured
 //! where Anaheim actually lives. Also writes `BENCH_serving.json` —
 //! serving-layer soak counters (completions, deadline misses, sheds,
-//! breaker activity) for a clean and a chaos scenario at a fixed seed.
+//! breaker activity, hedge/cancellation accounting) for clean, chaos,
+//! stream-chaos, and hedge-chaos scenarios at a fixed seed, each row
+//! carrying its provenance (fault seed, lane/shard config, thread
+//! setting).
 //! CKKS records carry the measured op-count breakdown (`ntt_limbs`,
 //! `bconv_limb_products`, …, from `ckks::opcount`); the PIM record
 //! carries the analytic per-iteration `mmac_ops` and `bytes_internal` of
@@ -466,14 +469,18 @@ fn emit_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) {
 }
 
 /// Runs the serving-layer soak in a clean and a chaos scenario plus the
-/// sharded streaming fleet soak, and emits the headline counters. The
-/// clean/chaos rows are virtual-time results — deterministic for a given
-/// seed, so regressions show up as diffs, not noise. The stream-chaos row
-/// additionally carries wall-clock throughput (`wall_ms`, `wall_rps`),
-/// which is machine-dependent and informational only; every other field
-/// in it is deterministic.
+/// sharded streaming fleet soak and the hedge-chaos soak (GPU fault
+/// domain + budget cancellation + hedged re-execution), and emits the
+/// headline counters. The clean/chaos rows are virtual-time results —
+/// deterministic for a given seed, so regressions show up as diffs, not
+/// noise. The stream rows additionally carry wall-clock throughput
+/// (`wall_ms`, `wall_rps`), which is machine-dependent and informational
+/// only; every other field is deterministic. Every row records its
+/// provenance — the fault seed plus the lane/shard/thread configuration
+/// that produced it — so a diff in the counters can be replayed exactly.
 fn bench_serving(quick: bool) {
     use serving::soak::{check_invariants, run_soak, run_soak_stream, SoakConfig};
+    let threads_env = std::env::var("ANAHEIM_THREADS").unwrap_or_else(|_| "auto".into());
     let requests = if quick { 48 } else { 240 };
     let scenarios = [
         ("clean", SoakConfig::clean(2024)),
@@ -500,10 +507,14 @@ fn bench_serving(quick: bool) {
             .unwrap_or_else(|e| panic!("{name} soak invariant violated: {e}"));
         println!("  {name:5} {sum}");
         s.push_str(&format!(
-            "  {{\"scenario\": \"{}\", \"requests\": {}, \"completed\": {}, \
+            "  {{\"scenario\": \"{}\", \"fault_seed\": {}, \"workers\": {}, \
+             \"anaheim_threads\": \"{}\", \"requests\": {}, \"completed\": {}, \
              \"deadline_misses\": {}, \"shed_queue_full\": {}, \"shed_infeasible\": {}, \
              \"faults\": {}, \"breaker_skips\": {}, \"transitions\": {}, \"dead_banks\": {}}},\n",
             name,
+            cfg.seed,
+            cfg.workers,
+            threads_env,
             requests,
             sum.completed,
             sum.deadline_misses,
@@ -544,11 +555,15 @@ fn bench_serving(quick: bool) {
         sum.requests as f64 / (wall_ms * 1e-3)
     );
     s.push_str(&format!(
-        "  {{\"scenario\": \"stream-chaos\", \"requests\": {}, \"shards\": {}, \
+        "  {{\"scenario\": \"stream-chaos\", \"fault_seed\": {}, \"workers\": {}, \
+         \"anaheim_threads\": \"{}\", \"requests\": {}, \"shards\": {}, \
          \"completed\": {}, \"deadline_misses\": {}, \"shed_queue_full\": {}, \
          \"shed_infeasible\": {}, \"rerouted\": {}, \"all_shards_unhealthy\": {}, \
          \"faults\": {}, \"breaker_skips\": {}, \"drains\": {}, \"readmits\": {}, \
-         \"dead_banks\": {}, \"virtual_rps\": {:.1}, \"wall_ms\": {:.1}, \"wall_rps\": {:.1}}}\n",
+         \"dead_banks\": {}, \"virtual_rps\": {:.1}, \"wall_ms\": {:.1}, \"wall_rps\": {:.1}}},\n",
+        stream_cfg.seed,
+        stream_cfg.workers,
+        threads_env,
         sum.requests,
         stream_cfg.shards,
         sum.completed,
@@ -557,6 +572,63 @@ fn bench_serving(quick: bool) {
         sum.shed_infeasible,
         sum.rerouted,
         sum.all_shards_unhealthy,
+        sum.faults,
+        sum.breaker_skips,
+        sum.drains,
+        sum.readmits,
+        sum.dead_banks,
+        sum.virtual_rps(),
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3),
+    ));
+
+    // The hedge-chaos soak: the GPU fault domain (stream stalls + transfer
+    // bit-flips) on top of the fleet storm, with deadline-budget
+    // cancellation and hedged re-execution on. The invariant checker
+    // inside `run_soak_stream` already requires ≥1 hedge launch, ≥1 hedge
+    // win, and ≥1 cancellation for this config — a row that prints at all
+    // is a row whose hedging actually fired.
+    let hedge_cfg = SoakConfig {
+        requests: if quick { 2_000 } else { 20_000 },
+        ..SoakConfig::hedge_chaos(2024)
+    };
+    let wall = Instant::now();
+    let out = run_soak_stream(&hedge_cfg, None)
+        .unwrap_or_else(|e| panic!("hedge-chaos soak invariant violated: {e}"));
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let sum = out.summary;
+    println!(
+        "  hedge-chaos ({} shards) {sum}\n        wall {:.0} ms ({:.0} req/s)",
+        hedge_cfg.shards,
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3)
+    );
+    s.push_str(&format!(
+        "  {{\"scenario\": \"hedge-chaos\", \"fault_seed\": {}, \"workers\": {}, \
+         \"anaheim_threads\": \"{}\", \"requests\": {}, \"shards\": {}, \
+         \"completed\": {}, \"deadline_misses\": {}, \"cancelled\": {}, \
+         \"integrity_failures\": {}, \"shed_queue_full\": {}, \"shed_infeasible\": {}, \
+         \"rerouted\": {}, \"all_shards_unhealthy\": {}, \"hedges_launched\": {}, \
+         \"hedges_won\": {}, \"hedges_wasted\": {}, \"hedges_suppressed\": {}, \
+         \"faults\": {}, \"breaker_skips\": {}, \"drains\": {}, \"readmits\": {}, \
+         \"dead_banks\": {}, \"virtual_rps\": {:.1}, \"wall_ms\": {:.1}, \"wall_rps\": {:.1}}}\n",
+        hedge_cfg.seed,
+        hedge_cfg.workers,
+        threads_env,
+        sum.requests,
+        hedge_cfg.shards,
+        sum.completed,
+        sum.deadline_misses,
+        sum.cancelled,
+        sum.integrity_failures,
+        sum.shed_queue_full,
+        sum.shed_infeasible,
+        sum.rerouted,
+        sum.all_shards_unhealthy,
+        sum.hedges_launched,
+        sum.hedges_won,
+        sum.hedges_wasted,
+        sum.hedges_suppressed,
         sum.faults,
         sum.breaker_skips,
         sum.drains,
@@ -915,7 +987,7 @@ fn main() {
 
     println!(
         "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records), \
-         BENCH_serving.json (3 scenarios)",
+         BENCH_serving.json (4 scenarios)",
         ckks_records.len(),
         pim_records.len()
     );

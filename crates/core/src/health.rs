@@ -248,6 +248,12 @@ pub struct HealthCounters {
     pub completed: u64,
     /// Requests that missed their deadline (serving layer).
     pub deadline_misses: u64,
+    /// Requests cancelled mid-flight when their deadline budget ran out
+    /// (serving layer, budget propagation enabled).
+    pub cancelled_over_budget: u64,
+    /// Requests whose end-to-end integrity verdict failed (a corrupted
+    /// result reached the output instead of being absorbed per-kernel).
+    pub integrity_failures: u64,
     /// Requests shed at admission: queue full.
     pub shed_queue_full: u64,
     /// Requests shed at admission: deadline infeasible.

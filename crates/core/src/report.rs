@@ -67,6 +67,20 @@ pub struct ExecutionReport {
     /// streams: the serial-equivalent length (kernel time + handoffs +
     /// backoff) minus the pipelined makespan. Always 0 in serial mode.
     pub stream_overlap_ns: f64,
+    /// True when the run was cancelled at a segment boundary because the
+    /// scheduler's deadline budget ran out; `total_ns` is then the virtual
+    /// time consumed and `segments` holds only the work actually done.
+    pub cancelled: bool,
+    /// GPU stream stalls injected by the fault plan (latency-only events).
+    pub gpu_stalls: u32,
+    /// GPU transfer bit flips injected by the fault plan. Each one also
+    /// fails the end-to-end integrity verdict.
+    pub gpu_faults: u32,
+    /// End-to-end integrity verdict: true when a corrupted result survived
+    /// to the output. PIM faults are caught by per-kernel residue checksums
+    /// and retried or re-executed, so they never set this; GPU transfer
+    /// flips have no per-kernel check and always do.
+    pub integrity_failed: bool,
 }
 
 impl ExecutionReport {
@@ -193,6 +207,21 @@ impl ExecutionReport {
                 ", {} breaker transition(s) ({} kernels routed around)",
                 self.breaker_transitions.len(),
                 self.breaker_skips
+            ));
+        }
+        if self.gpu_stalls > 0 || self.gpu_faults > 0 {
+            line.push_str(&format!(
+                ", {} GPU stall(s), {} GPU transfer flip(s)",
+                self.gpu_stalls, self.gpu_faults
+            ));
+        }
+        if self.integrity_failed {
+            line.push_str(", e2e integrity FAILED");
+        }
+        if self.cancelled {
+            line.push_str(&format!(
+                ", CANCELLED over budget after {} segment(s)",
+                self.segments.len()
             ));
         }
         line

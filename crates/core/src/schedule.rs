@@ -76,6 +76,7 @@ pub struct Scheduler<'a> {
     fault: Option<FaultPlan>,
     retry: RetryPolicy,
     mode: ScheduleMode,
+    budget_ns: Option<f64>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -87,6 +88,7 @@ impl<'a> Scheduler<'a> {
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
             mode: ScheduleMode::Serial,
+            budget_ns: None,
         }
     }
 
@@ -98,6 +100,7 @@ impl<'a> Scheduler<'a> {
             fault: None,
             retry: RetryPolicy::fixed(MAX_PIM_RETRIES),
             mode: ScheduleMode::Serial,
+            budget_ns: None,
         }
     }
 
@@ -124,6 +127,42 @@ impl<'a> Scheduler<'a> {
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
         self
+    }
+
+    /// Attaches a deadline budget in virtual ns: at every segment boundary
+    /// (each op in issue order, each queued PIM kernel) the scheduler checks
+    /// the clock, and a run that is already past its budget stops there with
+    /// [`ExecutionReport::cancelled`] set instead of burning the remaining
+    /// cost. A run whose last segment finishes late is *not* cancelled —
+    /// the work is done, so it reports as an ordinary late completion.
+    /// Without a budget (the default) the timeline is untouched.
+    pub fn with_deadline_budget(mut self, budget_ns: f64) -> Self {
+        self.budget_ns = Some(budget_ns);
+        self
+    }
+
+    fn over_budget(&self, now: f64) -> bool {
+        self.budget_ns.is_some_and(|b| now > b)
+    }
+
+    /// Samples the GPU-side fault domain at one GPU kernel launch: returns
+    /// the extra latency of an injected stream stall, and fails the
+    /// end-to-end integrity verdict on an injected transfer bit flip (the
+    /// GPU path has no per-kernel residue check to catch it earlier).
+    /// Zero-probability plans draw nothing from the fault stream.
+    fn apply_gpu_faults(injector: &mut Option<FaultInjector>, report: &mut ExecutionReport) -> f64 {
+        let mut extra = 0.0;
+        if let Some(inj) = injector.as_mut() {
+            if let Some(stall) = inj.sample_gpu_stall() {
+                extra += stall;
+                report.gpu_stalls += 1;
+            }
+            if inj.sample_gpu_transfer_flip() {
+                report.gpu_faults += 1;
+                report.integrity_failed = true;
+            }
+        }
+        extra
     }
 
     /// Integer ops a GPU kernel of this kind executes (one modmul ≈ 8
@@ -239,6 +278,10 @@ impl<'a> Scheduler<'a> {
         let mut kernel_idx = 0u64;
 
         for op in &seq.ops {
+            if self.over_budget(now) {
+                report.cancelled = true;
+                break;
+            }
             let target = if self.pim.is_some() && !pim_disabled {
                 op.executor
             } else {
@@ -295,8 +338,9 @@ impl<'a> Scheduler<'a> {
                     let cost = self.gpu.cost(&desc);
                     report.gpu_dram_bytes += desc.dram_bytes();
                     report.energy_j += cost.energy_j;
+                    let stall = Self::apply_gpu_faults(&mut injector, &mut report);
                     let start = now;
-                    now += cost.time_ns;
+                    now += cost.time_ns + stall;
                     if let Some(t) = tel.as_deref_mut() {
                         t.gpu_kernel(
                             op.label,
@@ -387,6 +431,10 @@ impl<'a> Scheduler<'a> {
         let mut cur_seg: Option<(Executor, f64, f64, u32, f64)> = None;
 
         for op in &seq.ops {
+            if self.over_budget(gpu_now.max(pim_now)) {
+                report.cancelled = true;
+                break;
+            }
             let target = if !pim_disabled {
                 op.executor
             } else {
@@ -400,6 +448,7 @@ impl<'a> Scheduler<'a> {
                     let cost = self.gpu.cost(&desc);
                     report.gpu_dram_bytes += desc.dram_bytes();
                     report.energy_j += cost.energy_j;
+                    let stall = Self::apply_gpu_faults(&mut injector, &mut report);
                     let start = gpu_now.max(ready);
                     if last_exec != Executor::Gpu {
                         if let Some(t) = tel.as_deref_mut() {
@@ -408,7 +457,7 @@ impl<'a> Scheduler<'a> {
                         report.transitions += 1;
                         last_exec = Executor::Gpu;
                     }
-                    let end = start + cost.time_ns;
+                    let end = start + cost.time_ns + stall;
                     gpu_now = end;
                     if let Some(t) = tel.as_deref_mut() {
                         t.gpu_kernel(
@@ -668,8 +717,9 @@ impl<'a> Scheduler<'a> {
                         t.fallback();
                     }
                     *pim_now = cursor;
-                    let done =
-                        self.pipelined_fallback(exec, &spec, label, cursor, gpu_now, report, tel);
+                    let done = self.pipelined_fallback(
+                        exec, &spec, label, cursor, gpu_now, report, injector, tel,
+                    );
                     return Ok((done, Executor::Gpu));
                 }
                 Err(e) => return Err(RunError::Pim(e)),
@@ -712,7 +762,8 @@ impl<'a> Scheduler<'a> {
                 tl.breaker_skip();
             }
             // No PIM attempt was made, so the PIM cursor does not move.
-            let done = self.pipelined_fallback(exec, &spec, label, start, gpu_now, report, tel);
+            let done =
+                self.pipelined_fallback(exec, &spec, label, start, gpu_now, report, injector, tel);
             return Ok((done, Executor::Gpu));
         }
         let mut cursor = start;
@@ -791,8 +842,9 @@ impl<'a> Scheduler<'a> {
                         tl.fallback();
                     }
                     *pim_now = cursor;
-                    let done =
-                        self.pipelined_fallback(exec, &spec, label, cursor, gpu_now, report, tel);
+                    let done = self.pipelined_fallback(
+                        exec, &spec, label, cursor, gpu_now, report, injector, tel,
+                    );
                     return Ok((done, Executor::Gpu));
                 }
                 Err(e) => return Err(RunError::Pim(e)),
@@ -813,6 +865,7 @@ impl<'a> Scheduler<'a> {
         fail_end: f64,
         gpu_now: &mut f64,
         report: &mut ExecutionReport,
+        injector: &mut Option<FaultInjector>,
         mut tel: Option<&mut Telemetry>,
     ) -> f64 {
         let start = gpu_now.max(fail_end + TRANSITION_NS);
@@ -828,7 +881,8 @@ impl<'a> Scheduler<'a> {
         let cost = self.gpu.cost(&desc);
         report.gpu_dram_bytes += desc.dram_bytes();
         report.energy_j += cost.energy_j;
-        let end = start + cost.time_ns;
+        let stall = Self::apply_gpu_faults(injector, report);
+        let end = start + cost.time_ns + stall;
         if let Some(t) = tel {
             t.gpu_kernel(
                 label,
@@ -875,6 +929,12 @@ impl<'a> Scheduler<'a> {
         }
         let exec = PimExecutor::new(pim.0, pim.1);
         for (spec, label) in batch.drain(..) {
+            if self.over_budget(*now) {
+                // Budget ran out between queued kernels: drop the rest of
+                // the batch (the drain consumes it) and cancel the run.
+                report.cancelled = true;
+                break;
+            }
             let kid = *kernel_idx;
             *kernel_idx += 1;
             match health.as_deref_mut() {
@@ -986,7 +1046,7 @@ impl<'a> Scheduler<'a> {
         if *pim_disabled {
             // A prior hard fault took the PIM path out; the rest of the
             // batch re-executes on the GPU.
-            self.fallback_on_gpu(exec, &spec, label, now, report, tel);
+            self.fallback_on_gpu(exec, &spec, label, now, report, injector, tel);
             return Ok(());
         }
         let mut retries = 0u32;
@@ -1041,7 +1101,7 @@ impl<'a> Scheduler<'a> {
                     if let Some(t) = tel.as_deref_mut() {
                         t.fallback();
                     }
-                    self.fallback_on_gpu(exec, &spec, label, now, report, tel);
+                    self.fallback_on_gpu(exec, &spec, label, now, report, injector, tel);
                     break;
                 }
                 Err(e) => return Err(RunError::Pim(e)),
@@ -1084,7 +1144,7 @@ impl<'a> Scheduler<'a> {
             if let Some(tl) = tel.as_deref_mut() {
                 tl.breaker_skip();
             }
-            self.fallback_on_gpu(exec, &spec, label, now, report, tel);
+            self.fallback_on_gpu(exec, &spec, label, now, report, injector, tel);
             return Ok(());
         }
         let mut retries = 0u32;
@@ -1154,7 +1214,7 @@ impl<'a> Scheduler<'a> {
                     if let Some(tl) = tel.as_deref_mut() {
                         tl.fallback();
                     }
-                    self.fallback_on_gpu(exec, &spec, label, now, report, tel);
+                    self.fallback_on_gpu(exec, &spec, label, now, report, injector, tel);
                     break;
                 }
                 Err(e) => return Err(RunError::Pim(e)),
@@ -1166,6 +1226,7 @@ impl<'a> Scheduler<'a> {
     /// Re-executes a failed PIM kernel on the GPU. The operands are
     /// PIM-resident, so the kernel streams everything through DRAM with no
     /// L2 reuse, and the re-dispatch pays one PIM→GPU handoff.
+    #[allow(clippy::too_many_arguments)]
     fn fallback_on_gpu(
         &self,
         exec: &PimExecutor<'_>,
@@ -1173,6 +1234,7 @@ impl<'a> Scheduler<'a> {
         label: &'static str,
         now: &mut f64,
         report: &mut ExecutionReport,
+        injector: &mut Option<FaultInjector>,
         mut tel: Option<&mut Telemetry>,
     ) {
         if let Some(t) = tel.as_deref_mut() {
@@ -1188,8 +1250,9 @@ impl<'a> Scheduler<'a> {
         let cost = self.gpu.cost(&desc);
         report.gpu_dram_bytes += desc.dram_bytes();
         report.energy_j += cost.energy_j;
+        let stall = Self::apply_gpu_faults(injector, report);
         let start = *now;
-        *now += cost.time_ns;
+        *now += cost.time_ns + stall;
         if let Some(t) = tel {
             t.gpu_kernel(
                 label,
@@ -1561,6 +1624,103 @@ mod tests {
     #[test]
     fn serial_is_the_default_mode() {
         assert_eq!(ScheduleMode::default(), ScheduleMode::Serial);
+    }
+
+    #[test]
+    fn deadline_budget_cancels_mid_flight() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::full());
+        offload(&mut seq, &OffloadPolicy::from_parts(1802.0, 16.0, 2000.0));
+        let clean = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .run(&seq)
+            .unwrap();
+        assert!(!clean.cancelled);
+
+        // A generous budget changes nothing.
+        let roomy = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_deadline_budget(clean.total_ns * 10.0)
+            .run(&seq)
+            .unwrap();
+        assert!(!roomy.cancelled);
+        assert_eq!(roomy.total_ns, clean.total_ns);
+        assert_eq!(roomy.segments.len(), clean.segments.len());
+
+        // A tight budget cancels at a segment boundary: only part of the
+        // work ran, and the consumed time is what the report carries.
+        let tight = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_deadline_budget(clean.total_ns * 0.3)
+            .run(&seq)
+            .unwrap();
+        assert!(tight.cancelled, "30% budget must cancel the run");
+        assert!(tight.total_ns < clean.total_ns);
+        assert!(tight.segments.len() < clean.segments.len());
+        assert!(tight.summary_line().contains("CANCELLED over budget"));
+    }
+
+    #[test]
+    fn deadline_budget_cancels_pipelined_runs_too() {
+        let m = gpu_model();
+        let dev = PimDeviceConfig::a100_near_bank();
+        let seq = offloaded_bootstrap(&m, &dev);
+        let clean = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_mode(ScheduleMode::Pipelined)
+            .run(&seq)
+            .unwrap();
+        let tight = Scheduler::with_pim(&m, &dev, LayoutPolicy::ColumnPartitioned)
+            .with_mode(ScheduleMode::Pipelined)
+            .with_deadline_budget(clean.total_ns * 0.25)
+            .run(&seq)
+            .unwrap();
+        assert!(tight.cancelled);
+        assert!(tight.total_ns < clean.total_ns);
+    }
+
+    #[test]
+    fn gpu_stalls_add_latency_only() {
+        let m = gpu_model();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::gpu_baseline());
+        let clean = Scheduler::gpu_only(&m).run(&seq).unwrap();
+        let plan = FaultPlan::none().with_seed(7).with_gpu_stalls(1.0, 5000.0);
+        let r = Scheduler::gpu_only(&m)
+            .with_fault_plan(plan)
+            .run(&seq)
+            .unwrap();
+        let kernels = clean.segments.len() as u32;
+        assert_eq!(r.gpu_stalls, kernels, "every launch must stall at p=1");
+        assert_eq!(r.gpu_faults, 0);
+        assert!(!r.integrity_failed, "stalls are latency-only");
+        let expected = clean.total_ns + f64::from(kernels) * 5000.0;
+        assert!(
+            (r.total_ns - expected).abs() < 1e-6,
+            "stall latency must be additive: {} vs {}",
+            r.total_ns,
+            expected
+        );
+        assert_eq!(r.energy_j, clean.energy_j, "stalls burn time, not energy");
+    }
+
+    #[test]
+    fn gpu_transfer_flips_fail_e2e_integrity() {
+        let m = gpu_model();
+        let mut seq = lt(true);
+        fuse(&mut seq, &FusionConfig::gpu_baseline());
+        let clean = Scheduler::gpu_only(&m).run(&seq).unwrap();
+        let plan = FaultPlan::none().with_seed(9).with_gpu_transfer_flips(1.0);
+        let r = Scheduler::gpu_only(&m)
+            .with_fault_plan(plan)
+            .run(&seq)
+            .unwrap();
+        assert!(r.integrity_failed, "a flip must fail the e2e verdict");
+        assert_eq!(r.gpu_faults, clean.segments.len() as u32);
+        assert_eq!(r.gpu_stalls, 0);
+        assert_eq!(
+            r.total_ns, clean.total_ns,
+            "flips are silent: no timeline impact"
+        );
+        assert!(r.summary_line().contains("e2e integrity FAILED"));
     }
 
     #[test]

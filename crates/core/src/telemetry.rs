@@ -79,6 +79,12 @@ pub mod names {
     /// Virtual time the pipelined schedule overlapped across the two
     /// streams in the last run (gauge, ns).
     pub const STREAM_OVERLAP_NS: &str = "anaheim_stream_overlap_ns";
+    /// Hedged re-executions, by `result` (launched/won/wasted/suppressed).
+    pub const HEDGES: &str = "anaheim_hedges_total";
+    /// Requests cancelled mid-flight when their deadline budget ran out.
+    pub const CANCELLED_OVER_BUDGET: &str = "anaheim_cancelled_over_budget_total";
+    /// Requests whose end-to-end integrity verdict failed.
+    pub const E2E_INTEGRITY_FAILURES: &str = "anaheim_e2e_integrity_failures_total";
 }
 
 /// Deadline-slack / latency bucket bounds: 1 µs … 10 s in decades.
@@ -236,6 +242,17 @@ impl Telemetry {
             names::STREAM_OVERLAP_NS,
             "Virtual time overlapped across the GPU/PIM streams in the last run",
             "ns",
+        );
+        metrics.describe_counter(names::HEDGES, "Hedged re-executions, by result", "requests");
+        metrics.describe_counter(
+            names::CANCELLED_OVER_BUDGET,
+            "Requests cancelled mid-flight when their deadline budget ran out",
+            "requests",
+        );
+        metrics.describe_counter(
+            names::E2E_INTEGRITY_FAILURES,
+            "Requests whose end-to-end integrity verdict failed",
+            "requests",
         );
         Self {
             trace: TraceRecorder::new(seed),
@@ -494,6 +511,17 @@ impl Telemetry {
         }
         self.metrics
             .set_gauge(names::QUEUE_DEPTH_MAX, &[], c.max_queue_depth as f64);
+        // Guarded: only materialize the hardening counters once they fire,
+        // so exports from budget-free, fault-free runs stay byte-identical
+        // to previous releases.
+        if c.cancelled_over_budget > 0 {
+            self.metrics
+                .set_counter(names::CANCELLED_OVER_BUDGET, &[], c.cancelled_over_budget);
+        }
+        if c.integrity_failures > 0 {
+            self.metrics
+                .set_counter(names::E2E_INTEGRITY_FAILURES, &[], c.integrity_failures);
+        }
     }
 }
 

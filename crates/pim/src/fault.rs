@@ -18,6 +18,18 @@
 //!   retrying on PIM cannot help).
 //! - **Command drops/corruption** — entries of the per-bank lockstep
 //!   schedule are deleted or perturbed ([`FaultInjector::perturb_commands`]).
+//!
+//! The plan also carries the *GPU-side* fault domain so a chaos storm can
+//! exercise both executors of a hybrid schedule:
+//!
+//! - **Stream stalls** — a GPU kernel's stream hiccups and the kernel takes
+//!   `gpu_stall_ns` longer ([`FaultInjector::sample_gpu_stall`]); purely a
+//!   latency event, the result stays correct.
+//! - **Transfer bit flips** — a result transfer off the GPU is silently
+//!   corrupted ([`FaultInjector::sample_gpu_transfer_flip`]). Unlike PIM
+//!   faults there is no per-kernel residue checksum on this path, so the
+//!   corruption is only caught by the *end-to-end* integrity verdict the
+//!   scheduler attaches to its report.
 
 use crate::bankexec::{SimulatedBank, ELEMS_PER_CHUNK};
 use crate::layout::PolyGroup;
@@ -53,6 +65,15 @@ pub struct FaultPlan {
     /// Probability (per bank command) that the command is corrupted
     /// (wrong row on ACT, wrong chunk count on RD/WR).
     pub cmd_corrupt_prob: f64,
+    /// Probability (per GPU kernel) that the kernel's stream stalls and the
+    /// kernel takes [`gpu_stall_ns`](Self::gpu_stall_ns) longer.
+    pub gpu_stall_prob: f64,
+    /// Extra latency charged when a GPU stream stall fires.
+    pub gpu_stall_ns: f64,
+    /// Probability (per GPU kernel) that the kernel's result transfer is
+    /// silently corrupted — caught only by the end-to-end integrity
+    /// verdict, never by a per-kernel check.
+    pub gpu_flip_prob: f64,
 }
 
 impl FaultPlan {
@@ -80,6 +101,9 @@ impl FaultPlan {
             stuck_lane: None,
             cmd_drop_prob: 0.0,
             cmd_corrupt_prob: 0.0,
+            gpu_stall_prob: 0.0,
+            gpu_stall_ns: 0.0,
+            gpu_flip_prob: 0.0,
         }
     }
 
@@ -114,12 +138,29 @@ impl FaultPlan {
         self
     }
 
+    /// Enables GPU stream stalls: with probability `prob` per GPU kernel,
+    /// the kernel takes `stall_ns` longer.
+    pub fn with_gpu_stalls(mut self, prob: f64, stall_ns: f64) -> Self {
+        assert!(stall_ns >= 0.0, "stall latency must be non-negative");
+        self.gpu_stall_prob = prob;
+        self.gpu_stall_ns = stall_ns;
+        self
+    }
+
+    /// Sets the per-GPU-kernel transfer bit-flip probability.
+    pub fn with_gpu_transfer_flips(mut self, prob: f64) -> Self {
+        self.gpu_flip_prob = prob;
+        self
+    }
+
     /// Whether the plan can produce any fault at all.
     pub fn is_benign(&self) -> bool {
         self.bank_flip_prob <= 0.0
             && self.stuck_lane.is_none()
             && self.cmd_drop_prob <= 0.0
             && self.cmd_corrupt_prob <= 0.0
+            && self.gpu_stall_prob <= 0.0
+            && self.gpu_flip_prob <= 0.0
     }
 }
 
@@ -204,6 +245,10 @@ pub struct FaultStats {
     pub commands_dropped: u64,
     /// Bank commands corrupted.
     pub commands_corrupted: u64,
+    /// GPU stream stalls injected.
+    pub gpu_stalls: u64,
+    /// GPU transfer bit flips injected.
+    pub gpu_transfer_flips: u64,
 }
 
 /// Samples concrete fault events from a [`FaultPlan`].
@@ -317,6 +362,34 @@ impl FaultInjector {
         let p = self.plan.bank_flip_prob;
         if self.chance(p) {
             self.stats.bit_flips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// With probability `gpu_stall_prob`, reports a GPU stream stall and
+    /// returns the extra latency to charge (and counts it in
+    /// [`FaultStats::gpu_stalls`]). Probability-zero plans draw nothing
+    /// from the stream, so enabling the GPU domain later cannot perturb
+    /// PIM-only fault sequences.
+    pub fn sample_gpu_stall(&mut self) -> Option<f64> {
+        if self.chance(self.plan.gpu_stall_prob) {
+            self.stats.gpu_stalls += 1;
+            Some(self.plan.gpu_stall_ns)
+        } else {
+            None
+        }
+    }
+
+    /// With probability `gpu_flip_prob`, reports that the kernel's result
+    /// transfer was silently corrupted (and counts it in
+    /// [`FaultStats::gpu_transfer_flips`]). The caller is responsible for
+    /// failing the end-to-end integrity verdict — there is no per-kernel
+    /// detection on the GPU path.
+    pub fn sample_gpu_transfer_flip(&mut self) -> bool {
+        if self.chance(self.plan.gpu_flip_prob) {
+            self.stats.gpu_transfer_flips += 1;
             true
         } else {
             false
@@ -458,5 +531,74 @@ mod tests {
         let plan = FaultPlan::none().with_stuck_lane(7);
         assert_eq!(FaultInjector::new(plan).stuck_lane(), Some(7));
         assert!(!plan.is_benign());
+    }
+
+    #[test]
+    fn gpu_faults_make_a_plan_non_benign() {
+        assert!(!FaultPlan::none().with_gpu_stalls(0.1, 500.0).is_benign());
+        assert!(!FaultPlan::none().with_gpu_transfer_flips(0.1).is_benign());
+        // Zero-probability GPU knobs stay benign.
+        assert!(FaultPlan::none().with_gpu_stalls(0.0, 500.0).is_benign());
+        assert!(FaultPlan::none().with_gpu_transfer_flips(0.0).is_benign());
+    }
+
+    #[test]
+    fn gpu_fault_sampling_is_deterministic() {
+        let plan = FaultPlan::none()
+            .with_seed(77)
+            .with_gpu_stalls(0.4, 1500.0)
+            .with_gpu_transfer_flips(0.3);
+        let run = || {
+            let mut inj = FaultInjector::new(plan);
+            let events: Vec<(Option<f64>, bool)> = (0..64)
+                .map(|_| (inj.sample_gpu_stall(), inj.sample_gpu_transfer_flip()))
+                .collect();
+            (events, inj.stats())
+        };
+        let (events, stats) = run();
+        assert_eq!(run(), (events.clone(), stats), "same seed, same GPU faults");
+        assert!(stats.gpu_stalls > 0 && stats.gpu_transfer_flips > 0);
+        assert!(events
+            .iter()
+            .all(|(s, _)| s.is_none() || *s == Some(1500.0)));
+    }
+
+    #[test]
+    fn zero_probability_gpu_knobs_consume_no_stream() {
+        // A PIM-only plan must sample identically whether or not the GPU
+        // sites also poll the injector: chance(0) short-circuits.
+        let plan = FaultPlan::none().with_seed(13).with_bank_flips(0.5);
+        let mut plain = FaultInjector::new(plan);
+        let mut polled = FaultInjector::new(plan);
+        let a: Vec<bool> = (0..32).map(|_| plain.sample_kernel_bit_flip()).collect();
+        let b: Vec<bool> = (0..32)
+            .map(|_| {
+                assert_eq!(polled.sample_gpu_stall(), None);
+                assert!(!polled.sample_gpu_transfer_flip());
+                polled.sample_kernel_bit_flip()
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_stream_round_trips_gpu_knobs() {
+        let base = FaultPlan::none()
+            .with_seed(21)
+            .with_bank_flips(0.05)
+            .with_gpu_stalls(0.2, 2500.0)
+            .with_gpu_transfer_flips(0.1);
+        let d = base.derive_stream(9);
+        assert_eq!(d, base.derive_stream(9), "same salt, same derived plan");
+        assert_ne!(d.seed, base.seed);
+        // Every knob except the seed survives derivation.
+        assert_eq!(
+            FaultPlan {
+                seed: base.seed,
+                ..d
+            },
+            base,
+            "derive_stream must only reseed"
+        );
     }
 }

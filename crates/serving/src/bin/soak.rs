@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! soak [--requests N] [--seed S] [--threads-check] [--quick]
-//!      [--stream] [--shards N] [--snapshot-out FILE]
+//!      [--stream] [--hedge] [--shards N] [--snapshot-out FILE]
 //!      [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]
 //! ```
 //!
@@ -18,6 +18,13 @@
 //! across `ANAHEIM_THREADS`. `--rss-budget-kb` reads the process's peak
 //! RSS (`VmHWM` in `/proc/self/status`) after the run and fails if the
 //! budget was exceeded — the memory-boundedness gate.
+//!
+//! `--hedge` (requires `--stream`) swaps the base scenario to
+//! [`SoakConfig::hedge_chaos`]: a GPU fault domain (stream stalls +
+//! transfer bit-flips) on top of the fleet storm, with deadline-budget
+//! cancellation and hedged re-execution enabled. The streaming invariants
+//! then additionally require at least one hedge launch, one hedge win,
+//! and one over-budget cancellation.
 //!
 //! Unknown or malformed flags print usage on stderr and exit 2. Any
 //! invariant violation, determinism mismatch, or busted RSS budget exits
@@ -39,6 +46,7 @@ struct Opts {
     seed: u64,
     threads_check: bool,
     stream: bool,
+    hedge: bool,
     shards: Option<u32>,
     snapshot_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -53,6 +61,7 @@ impl Default for Opts {
             seed: 2024,
             threads_check: false,
             stream: false,
+            hedge: false,
             shards: None,
             snapshot_out: None,
             trace_out: None,
@@ -83,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             // Same seeded soak, sized to finish fast in scripts/check.sh.
             "--quick" => o.requests = Some(200),
             "--stream" => o.stream = true,
+            "--hedge" => o.hedge = true,
             "--shards" => o.shards = Some(value("--shards", &mut it)?),
             "--snapshot-out" => {
                 o.snapshot_out = Some(PathBuf::from(value::<String>("--snapshot-out", &mut it)?))
@@ -99,6 +109,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if !o.stream {
         for (set, flag) in [
+            (o.hedge, "--hedge"),
             (o.shards.is_some(), "--shards"),
             (o.snapshot_out.is_some(), "--snapshot-out"),
             (o.trace_out.is_some(), "--trace-out"),
@@ -193,7 +204,11 @@ fn run_batch_mode(opts: &Opts) {
 
 /// The sharded streaming soak: bounded memory at any request count.
 fn run_stream_mode(opts: &Opts) {
-    let mut cfg = SoakConfig::fleet_chaos(opts.seed);
+    let mut cfg = if opts.hedge {
+        SoakConfig::hedge_chaos(opts.seed)
+    } else {
+        SoakConfig::fleet_chaos(opts.seed)
+    };
     if let Some(r) = opts.requests {
         cfg.requests = r;
     }
@@ -212,6 +227,26 @@ fn run_stream_mode(opts: &Opts) {
         cfg.shard_storm,
         cfg.stuck_lane,
         cfg.stuck_window,
+    );
+    if opts.hedge {
+        println!(
+            "soak: hedge-chaos: gpu stalls p={} ({} virtual ns), transfer flips p={}, \
+             budget cancellation on, hedging on",
+            cfg.gpu_stall_prob, cfg.gpu_stall_ns, cfg.gpu_flip_prob,
+        );
+    }
+    // Provenance: everything a reader needs to reproduce this run
+    // bit-for-bit (the fault streams derive from the seed; the thread
+    // count must NOT change the artifacts — that is the gate).
+    println!(
+        "soak: provenance: fault-seed={} shards={} workers-per-shard={} \
+         ANAHEIM_THREADS={} hedge={} cancel={}",
+        cfg.seed,
+        cfg.shards,
+        cfg.workers,
+        std::env::var("ANAHEIM_THREADS").unwrap_or_else(|_| "auto".into()),
+        cfg.hedge,
+        cfg.cancel,
     );
 
     let mut tel = Telemetry::new(cfg.seed);
@@ -315,7 +350,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("soak: {msg}");
     eprintln!(
         "usage: soak [--requests N] [--seed S] [--threads-check] [--quick]\n\
-         \x20           [--stream] [--shards N] [--snapshot-out FILE]\n\
+         \x20           [--stream] [--hedge] [--shards N] [--snapshot-out FILE]\n\
          \x20           [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]"
     );
     std::process::exit(2);
@@ -338,6 +373,7 @@ mod tests {
     fn parses_the_full_stream_invocation() {
         let o = parse_args(&args(&[
             "--stream",
+            "--hedge",
             "--requests",
             "1000000",
             "--seed",
@@ -355,7 +391,7 @@ mod tests {
             "--threads-check",
         ]))
         .unwrap();
-        assert!(o.stream && o.threads_check);
+        assert!(o.stream && o.threads_check && o.hedge);
         assert_eq!(o.requests, Some(1_000_000));
         assert_eq!(o.seed, 7);
         assert_eq!(o.shards, Some(8));
@@ -397,6 +433,10 @@ mod tests {
             assert!(e.contains("requires --stream"), "{flag}: {e}");
         }
         assert!(parse_args(&args(&["--stream", "--shards", "2"])).is_ok());
+        // --hedge is a stream-mode scenario switch, not a batch knob.
+        let e = parse_args(&args(&["--hedge"])).unwrap_err();
+        assert!(e.contains("requires --stream"), "{e}");
+        assert!(parse_args(&args(&["--stream", "--hedge"])).is_ok());
     }
 
     #[test]

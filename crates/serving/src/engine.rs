@@ -102,6 +102,12 @@ pub struct ServingConfig {
     pub workers: usize,
     /// Admission queue capacity.
     pub queue_capacity: usize,
+    /// Propagate each request's deadline into the scheduler as an execution
+    /// budget: a request that exhausts it is cancelled at the next segment
+    /// boundary ([`Outcome::Cancelled`]) instead of running to a post-hoc
+    /// miss. Off by default — the no-budget path is bit-identical to the
+    /// pre-budget engine.
+    pub cancel_over_budget: bool,
 }
 
 impl ServingConfig {
@@ -114,6 +120,7 @@ impl ServingConfig {
             breaker: BreakerConfig::default(),
             workers: 4,
             queue_capacity: 16,
+            cancel_over_budget: false,
         }
     }
 }
@@ -215,6 +222,7 @@ pub struct ServingEngine {
     registry: HealthRegistry,
     workers: usize,
     queue_capacity: usize,
+    cancel_over_budget: bool,
 }
 
 impl ServingEngine {
@@ -225,6 +233,7 @@ impl ServingEngine {
             breaker,
             workers,
             queue_capacity,
+            cancel_over_budget,
         } = cfg;
         // Requests carry their own fault environments.
         platform.fault = None;
@@ -237,6 +246,7 @@ impl ServingEngine {
             registry,
             workers: workers.max(1),
             queue_capacity: queue_capacity.max(1),
+            cancel_over_budget,
         }
     }
 
@@ -424,6 +434,11 @@ impl ServingEngine {
             t.open_segment(format!("req{} {}", p.id, p.label), track, 0.0)
         });
         let cfg = rt.config();
+        // The run starts at local virtual time 0, so the remaining deadline
+        // headroom is the budget the scheduler may spend.
+        let budget_ns = self
+            .cancel_over_budget
+            .then_some((p.deadline_ns - start).max(0.0));
         let report = match &cfg.pim {
             Some(dev) if cfg.mode == anaheim_core::framework::ExecMode::GpuWithPim => {
                 let mut s = Scheduler::with_pim(rt.model(), dev, cfg.layout)
@@ -432,23 +447,49 @@ impl ServingEngine {
                 if let Some(plan) = p.fault {
                     s = s.with_fault_plan(plan);
                 }
+                if let Some(b) = budget_ns {
+                    s = s.with_deadline_budget(b);
+                }
                 match tel.as_deref_mut() {
                     Some(t) => s.run_with_health_traced(&p.seq, registry, t)?,
                     None => s.run_with_health(&p.seq, registry)?,
                 }
             }
-            _ => match tel.as_deref_mut() {
-                Some(t) => Scheduler::gpu_only(rt.model()).run_traced(&p.seq, t)?,
-                None => Scheduler::gpu_only(rt.model()).run(&p.seq)?,
-            },
+            _ => {
+                let mut s = Scheduler::gpu_only(rt.model());
+                if let Some(plan) = p.fault {
+                    s = s.with_fault_plan(plan);
+                }
+                if let Some(b) = budget_ns {
+                    s = s.with_deadline_budget(b);
+                }
+                match tel.as_deref_mut() {
+                    Some(t) => s.run_traced(&p.seq, t)?,
+                    None => s.run(&p.seq)?,
+                }
+            }
         };
         let finish = start + report.total_ns;
-        let outcome = if finish <= p.deadline_ns {
+        let outcome = if report.cancelled {
+            registry.counters.cancelled_over_budget += 1;
+            Outcome::Cancelled {
+                start_ns: start,
+                consumed_ns: report.total_ns,
+                segments_done: report.segments.len() as u32,
+            }
+        } else if report.integrity_failed {
+            registry.counters.integrity_failures += 1;
+            Outcome::IntegrityFailure {
+                start_ns: start,
+                finish_ns: finish,
+            }
+        } else if finish <= p.deadline_ns {
             registry.counters.completed += 1;
             Outcome::Completed {
                 start_ns: start,
                 finish_ns: finish,
                 deadline_ns: p.deadline_ns,
+                deadline_slack_ns: p.deadline_ns - finish,
                 faults: report.faults_detected,
                 pim_fallbacks: report.pim_fallbacks,
                 breaker_skips: report.breaker_skips,
@@ -467,10 +508,11 @@ impl ServingEngine {
             t.trace.annotate(
                 id,
                 "outcome",
-                if completed {
-                    "completed"
-                } else {
-                    "deadline-miss"
+                match outcome {
+                    Outcome::Completed { .. } => "completed",
+                    Outcome::Cancelled { .. } => "cancelled",
+                    Outcome::IntegrityFailure { .. } => "integrity-failure",
+                    _ => "deadline-miss",
                 },
             );
             t.close_segment(id, report.total_ns);
@@ -691,6 +733,7 @@ mod tests {
                     .with_retry_policy(RetryPolicy::serving_default(7))
                     .with_schedule_mode(ScheduleMode::Pipelined),
                 breaker: BreakerConfig::default(),
+                cancel_over_budget: false,
             })
         };
         let trace: Vec<Request> = (0..3)

@@ -98,6 +98,10 @@ pub enum Outcome {
         finish_ns: f64,
         /// The deadline it met.
         deadline_ns: f64,
+        /// How much deadline headroom was left (`deadline_ns - finish_ns`,
+        /// always >= 0 here), so success-path tightness is assertable
+        /// without recomputing it from the other fields.
+        deadline_slack_ns: f64,
         /// PIM integrity faults absorbed while serving it.
         faults: u32,
         /// Kernels that fell back to the GPU after exhausting PIM attempts.
@@ -115,8 +119,42 @@ pub enum Outcome {
         /// The deadline it missed.
         deadline_ns: f64,
     },
+    /// Cancelled mid-flight at a segment boundary: its deadline budget ran
+    /// out, so the scheduler stopped instead of burning the remaining cost
+    /// to produce a guaranteed miss.
+    Cancelled {
+        /// Dispatch time.
+        start_ns: f64,
+        /// Virtual time consumed before the cancellation point.
+        consumed_ns: f64,
+        /// Timeline segments that had already executed.
+        segments_done: u32,
+    },
+    /// Executed to completion, but the end-to-end integrity verdict failed:
+    /// a GPU transfer bit flip corrupted a result that no per-kernel residue
+    /// check could catch. Never reported as success — this is the typed
+    /// alternative to a silent wrong answer.
+    IntegrityFailure {
+        /// Dispatch time.
+        start_ns: f64,
+        /// Completion time of the corrupted run.
+        finish_ns: f64,
+    },
     /// Shed at admission with a typed reason.
     Rejected(Rejected),
+    /// Sharded serving only: the primary execution looked risky (projected
+    /// late, cancelled, or integrity-failed), so a deterministic hedge ran
+    /// on the rendezvous-next sibling shard. Wraps the winning execution's
+    /// outcome; exactly one [`Outcome::Hedged`] is emitted per hedged
+    /// request.
+    Hedged {
+        /// The shard whose execution won.
+        winner: u32,
+        /// Virtual time the losing execution consumed (wasted work).
+        loser_consumed_ns: f64,
+        /// The winning execution's outcome.
+        outcome: Box<Outcome>,
+    },
     /// Sharded serving only: the request's home shard was not accepting
     /// (draining or cooling), so the router sent it to a healthy replica.
     /// Wraps what then happened there — exactly one level deep, since a
@@ -144,10 +182,13 @@ impl Outcome {
         matches!(self.final_outcome(), Outcome::Rejected(_))
     }
 
-    /// The terminal outcome, unwrapping [`Outcome::Rerouted`].
+    /// The terminal outcome, unwrapping [`Outcome::Rerouted`] and
+    /// [`Outcome::Hedged`].
     pub fn final_outcome(&self) -> &Outcome {
         match self {
-            Outcome::Rerouted { outcome, .. } => outcome.final_outcome(),
+            Outcome::Rerouted { outcome, .. } | Outcome::Hedged { outcome, .. } => {
+                outcome.final_outcome()
+            }
             other => other,
         }
     }
@@ -197,6 +238,7 @@ mod tests {
             start_ns: 0.0,
             finish_ns: 1.0,
             deadline_ns: 2.0,
+            deadline_slack_ns: 1.0,
             faults: 0,
             pim_fallbacks: 0,
             breaker_skips: 0,
@@ -223,6 +265,7 @@ mod tests {
             start_ns: 0.0,
             finish_ns: 1.0,
             deadline_ns: 2.0,
+            deadline_slack_ns: 1.0,
             faults: 0,
             pim_fallbacks: 0,
             breaker_skips: 0,
@@ -236,5 +279,47 @@ mod tests {
             deadline_ns: 2.0,
         };
         assert!(!m.is_completed());
+        let cancelled = Outcome::Cancelled {
+            start_ns: 0.0,
+            consumed_ns: 1.5,
+            segments_done: 3,
+        };
+        assert!(!cancelled.is_completed() && !cancelled.is_rejected());
+        let bad = Outcome::IntegrityFailure {
+            start_ns: 0.0,
+            finish_ns: 1.0,
+        };
+        assert!(!bad.is_completed(), "a corrupted result is never a success");
+    }
+
+    #[test]
+    fn hedged_predicates_look_through_the_wrapper() {
+        let done = Outcome::Completed {
+            start_ns: 2.0,
+            finish_ns: 3.0,
+            deadline_ns: 5.0,
+            deadline_slack_ns: 2.0,
+            faults: 0,
+            pim_fallbacks: 0,
+            breaker_skips: 0,
+        };
+        let hedged = Outcome::Hedged {
+            winner: 1,
+            loser_consumed_ns: 4.0,
+            outcome: Box::new(done.clone()),
+        };
+        assert!(hedged.is_completed());
+        assert_eq!(hedged.final_outcome(), &done);
+        // A hedge that still lost to the clock unwraps to the miss.
+        let missed = Outcome::Hedged {
+            winner: 0,
+            loser_consumed_ns: 1.0,
+            outcome: Box::new(Outcome::DeadlineMiss {
+                start_ns: 0.0,
+                finish_ns: 9.0,
+                deadline_ns: 5.0,
+            }),
+        };
+        assert!(!missed.is_completed());
     }
 }

@@ -85,11 +85,31 @@ impl ShardRouter {
         }
         best.map(|(shard, _)| shard)
     }
+
+    /// The hedge sibling: the highest-ranked accepting shard for `tenant`
+    /// *excluding* `exclude` (the shard already executing the primary), or
+    /// `None` when no other shard accepts. Pure rendezvous arithmetic, so
+    /// the sibling is as stable as the home shard: it depends only on
+    /// (seed, tenant, accepting set), never on request order.
+    pub fn next_shard(&self, tenant: u32, exclude: u32, accepting: &[bool]) -> Option<u32> {
+        let mut best: Option<(u32, u64)> = None;
+        for shard in 0..self.shards.min(accepting.len() as u32) {
+            if shard == exclude || !accepting[shard as usize] {
+                continue;
+            }
+            let s = self.score(tenant, shard);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((shard, s));
+            }
+        }
+        best.map(|(shard, _)| shard)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn home_shard_is_stable_and_seed_dependent() {
@@ -153,5 +173,62 @@ mod tests {
         let r = ShardRouter::new(5, 0);
         assert_eq!(r.shards(), 1);
         assert_eq!(r.home_shard(123), 0);
+    }
+
+    #[test]
+    fn next_shard_excludes_the_primary_and_tracks_rank() {
+        let r = ShardRouter::new(17, 4);
+        for t in 0..128 {
+            let home = r.home_shard(t);
+            let sib = r.next_shard(t, home, &[true; 4]).unwrap();
+            assert_ne!(sib, home, "a hedge never lands on its own primary");
+            // The sibling is exactly where the tenant would fail over to.
+            let mut without_home = [true; 4];
+            without_home[home as usize] = false;
+            assert_eq!(r.route(t, &without_home), Some(sib));
+        }
+        // With only the primary accepting there is nowhere to hedge.
+        let t = 9;
+        let home = r.home_shard(t);
+        let mut only_home = [false; 4];
+        only_home[home as usize] = true;
+        assert_eq!(r.next_shard(t, home, &only_home), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Flipping one shard's accepting bit reroutes only that shard's
+        /// tenants: everyone else's route is untouched, and the displaced
+        /// tenants land on their stable next-ranked shard.
+        #[test]
+        fn flipping_one_accepting_bit_moves_only_that_shards_tenants(
+            seed in any::<u64>(),
+            shards in 2u32..8,
+            flipped in 0u32..8,
+            tenants in prop::collection::vec(any::<u32>(), 1..64),
+        ) {
+            let flipped = flipped % shards;
+            let r = ShardRouter::new(seed, shards);
+            let all = vec![true; shards as usize];
+            let mut one_down = all.clone();
+            one_down[flipped as usize] = false;
+            for &t in &tenants {
+                let before = r.route(t, &all).unwrap();
+                let after = r.route(t, &one_down).unwrap();
+                if before != flipped {
+                    prop_assert_eq!(after, before, "unaffected tenant moved");
+                } else {
+                    prop_assert!(after != flipped, "displaced tenant stayed");
+                    prop_assert_eq!(
+                        Some(after),
+                        r.next_shard(t, flipped, &all),
+                        "failover target is the rendezvous-next sibling"
+                    );
+                }
+                // Restoring the bit sends everyone straight home.
+                prop_assert_eq!(r.route(t, &all).unwrap(), before);
+            }
+        }
     }
 }

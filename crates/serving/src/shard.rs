@@ -14,6 +14,14 @@
 //! [`Outcome::Rerouted`] accounting. Only when *no* shard accepts does a
 //! request fail, with [`Rejected::AllShardsUnhealthy`].
 //!
+//! With [`ShardConfig::hedging`] enabled, the fleet also re-executes
+//! suspicious primaries: a dispatch whose projected deadline margin is
+//! thin, a run cancelled over budget, or one whose end-to-end integrity
+//! verdict fails is raced/re-run on the tenant's rendezvous-next sibling
+//! shard (per-tenant token bucket guarding against hedge storms), and the
+//! better execution is reported as [`Outcome::Hedged`] — exactly one
+//! outcome per request, with the loser's virtual time accounted as waste.
+//!
 //! The shard state machine mirrors the per-bank breaker one level up:
 //!
 //! ```text
@@ -66,11 +74,30 @@ pub struct ShardConfig {
     pub cooldown_multiplier: f64,
     /// Upper bound on the shard cooldown (ns).
     pub max_cooldown_ns: f64,
+    /// Hedged re-execution: when a primary looks risky at dispatch
+    /// (projected deadline margin below [`hedge_slack_fraction`] of its
+    /// estimate) or fails mid-flight (cancelled over budget, or its
+    /// end-to-end integrity verdict fails), re-run it deterministically on
+    /// the rendezvous-next sibling shard and keep the better outcome.
+    /// Off by default: a fleet without hedging is bit-identical to one
+    /// built before the knob existed.
+    ///
+    /// [`hedge_slack_fraction`]: ShardConfig::hedge_slack_fraction
+    pub hedging: bool,
+    /// A primary whose projected margin `deadline - (start + estimate)` is
+    /// below this fraction of its estimate is hedged at dispatch.
+    pub hedge_slack_fraction: f64,
+    /// Per-tenant token-bucket burst: how many hedges a tenant may launch
+    /// back-to-back before the refill rate gates it (hedge-storm guard).
+    pub hedge_burst: f64,
+    /// Per-tenant token refill rate, in hedges per virtual second.
+    pub hedge_refill_per_s: f64,
 }
 
 impl ShardConfig {
     /// `shards` replicas with the default failover tuning: drain at half
     /// the breakers open, 8 ms drain cooldown doubling to a 128 ms cap.
+    /// Hedging is off.
     pub fn new(shards: u32) -> Self {
         Self {
             shards: shards.max(1),
@@ -79,9 +106,19 @@ impl ShardConfig {
             drain_cooldown_ns: 8.0e6,
             cooldown_multiplier: 2.0,
             max_cooldown_ns: 1.28e8,
+            hedging: false,
+            hedge_slack_fraction: 0.25,
+            hedge_burst: 4.0,
+            hedge_refill_per_s: 200.0,
         }
     }
 }
+
+/// Salt folded into a hedged request's fault-stream derivation, so the
+/// hedge replays under its own independent (but still per-request
+/// deterministic) fault environment instead of re-hitting the primary's
+/// exact fault sequence.
+const HEDGE_SALT: u64 = 0x4ED6_E5A1_0F0C_9B3D;
 
 /// Shard lifecycle states (the breaker cycle, one level up).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +212,75 @@ pub struct FleetCounters {
     pub rerouted: u64,
     /// Requests rejected because no shard was accepting.
     pub rejected_all_unhealthy: u64,
+    /// Hedges actually executed on a sibling shard. Each adds one to the
+    /// sibling's `submitted` health counter, so per-shard conservation
+    /// reads `executions = fleet submissions + hedges_launched`.
+    pub hedges_launched: u64,
+    /// Hedges whose execution beat the primary (better outcome, or the
+    /// same outcome class finishing strictly earlier).
+    pub hedges_won: u64,
+    /// Hedges the primary still beat — the hedge's virtual time was
+    /// wasted work, accounted in [`Outcome::Hedged::loser_consumed_ns`].
+    pub hedges_wasted: u64,
+    /// Hedge triggers suppressed by the per-tenant token bucket or for
+    /// lack of an accepting sibling; the primary outcome stands.
+    pub hedges_suppressed: u64,
+}
+
+/// A primary execution held back for hedge resolution: the fleet decides
+/// whether to re-run it on the rendezvous-next sibling, then emits exactly
+/// one response for the request.
+#[derive(Debug)]
+struct HedgeCandidate {
+    /// Clone of the prepared request (Arc-backed, so cheap) for the hedge
+    /// execution.
+    prepared: Prepared,
+    rerouted_from: Option<u32>,
+    primary_shard: u32,
+    /// The primary's unwrapped response.
+    primary_resp: Response,
+    primary_start_ns: f64,
+    primary_finish_ns: f64,
+    /// When the hedge may start: the primary's dispatch time for a risky
+    /// projection (the hedge races it), its finish time for a mid-flight
+    /// failure (nothing suspected it earlier).
+    trigger_ns: f64,
+}
+
+/// Severity rank for hedge-winner selection — lower is better; ties break
+/// to the primary (and, within a rank, to the strictly earlier finish).
+fn outcome_rank(o: &Outcome) -> u8 {
+    match o.final_outcome() {
+        Outcome::Completed { .. } => 0,
+        Outcome::DeadlineMiss { .. } => 1,
+        Outcome::Cancelled { .. } => 2,
+        Outcome::IntegrityFailure { .. } => 3,
+        // `final_outcome` never returns a wrapper, and executions are
+        // never sheds; rank them last for exhaustiveness.
+        Outcome::Rejected(_) | Outcome::Rerouted { .. } | Outcome::Hedged { .. } => 4,
+    }
+}
+
+/// Wraps a winning execution's response in [`Outcome::Hedged`].
+fn hedged(winner: u32, loser_consumed_ns: f64, resp: Response) -> Response {
+    let Response {
+        id,
+        tenant,
+        priority,
+        label,
+        outcome,
+    } = resp;
+    Response {
+        id,
+        tenant,
+        priority,
+        label,
+        outcome: Outcome::Hedged {
+            winner,
+            loser_consumed_ns,
+            outcome: Box::new(outcome),
+        },
+    }
 }
 
 /// Streaming observability for [`ShardedEngine::run_stream`]: completed
@@ -374,22 +480,58 @@ impl Shard {
     /// `until_ns`, evaluating the lifecycle after every execution: Up
     /// drains past the breaker threshold; a probe's result decides
     /// re-admission; a Draining shard whose queue empties starts cooling.
+    ///
+    /// With `hedges` present (fleet-level hedging enabled), executions that
+    /// look risky at dispatch or fail mid-flight are held back as
+    /// [`HedgeCandidate`]s instead of being pushed to `out`; the fleet
+    /// resolves them — exactly one response per request either way.
     fn advance_to(
         &mut self,
         until_ns: f64,
         cfg: &ShardConfig,
         mut tel: Option<&mut Telemetry>,
         out: &mut Vec<Response>,
+        mut hedges: Option<&mut Vec<HedgeCandidate>>,
     ) -> Result<(), RunError> {
         while let Some((lane, start)) = next_dispatch(&self.queue, &self.lanes, until_ns) {
             let p = self.queue.pop().expect("peek saw an item");
             let rerouted_from = p.rerouted_from;
             let was_probe = self.probe_inflight && self.state == ShardState::Probation;
+            // Risk is projected at dispatch, before execution: a primary
+            // with little deadline margin races its hedge from the start.
+            let hedge_probe = hedges.as_ref().map(|_| {
+                let margin = p.deadline_ns - (start + p.estimate_ns);
+                (margin < cfg.hedge_slack_fraction * p.estimate_ns, p.clone())
+            });
             let (resp, finish) =
                 self.engine
                     .execute(p, start, tel.as_deref_mut(), shard_track(self.id))?;
             self.lanes[lane] = finish;
-            out.push(Self::wrap(rerouted_from, self.id, resp));
+            match hedge_probe {
+                Some((risky, prepared)) => {
+                    let failed = matches!(
+                        resp.outcome,
+                        Outcome::Cancelled { .. } | Outcome::IntegrityFailure { .. }
+                    );
+                    if risky || failed {
+                        hedges
+                            .as_deref_mut()
+                            .expect("hedge_probe implies hedges")
+                            .push(HedgeCandidate {
+                                prepared,
+                                rerouted_from,
+                                primary_shard: self.id,
+                                primary_resp: resp,
+                                primary_start_ns: start,
+                                primary_finish_ns: finish,
+                                trigger_ns: if risky { start } else { finish },
+                            });
+                    } else {
+                        out.push(Self::wrap(rerouted_from, self.id, resp));
+                    }
+                }
+                None => out.push(Self::wrap(rerouted_from, self.id, resp)),
+            }
             let frac = self.engine.registry().open_fraction();
             match self.state {
                 ShardState::Up if frac >= cfg.unhealthy_open_fraction => {
@@ -446,13 +588,17 @@ impl Shard {
     }
 }
 
-/// N replica shards behind a rendezvous router, with drain/probe failover.
+/// N replica shards behind a rendezvous router, with drain/probe failover
+/// and (opt-in) hedged re-execution.
 #[derive(Debug)]
 pub struct ShardedEngine {
     shards: Vec<Shard>,
     router: ShardRouter,
     cfg: ShardConfig,
     fleet: FleetCounters,
+    /// Per-tenant hedge token buckets: `(tokens, last_refill_ns)` in
+    /// virtual time. A `BTreeMap` so iteration/debug order is stable.
+    hedge_tokens: std::collections::BTreeMap<u32, (f64, f64)>,
 }
 
 /// Reborrows the telemetry inside an optional [`StreamObs`].
@@ -472,6 +618,7 @@ impl ShardedEngine {
             router: ShardRouter::new(shard_cfg.router_seed, shard_cfg.shards.max(1)),
             cfg: shard_cfg,
             fleet: FleetCounters::default(),
+            hedge_tokens: std::collections::BTreeMap::new(),
         }
     }
 
@@ -516,6 +663,7 @@ impl ShardedEngine {
         let mut buf: Vec<Request> = Vec::with_capacity(CHUNK);
         let mut last_key = (f64::NEG_INFINITY, 0u64);
         let mut out: Vec<Response> = Vec::new();
+        let mut hedges: Vec<HedgeCandidate> = Vec::new();
         loop {
             buf.clear();
             while buf.len() < CHUNK {
@@ -538,7 +686,7 @@ impl ShardedEngine {
                     last_key
                 );
                 last_key = (p.arrival_ns, p.id);
-                self.step(p, &mut out, obs.as_deref_mut())?;
+                self.step(p, &mut out, &mut hedges, obs.as_deref_mut())?;
                 for r in out.drain(..) {
                     on_response(&r);
                 }
@@ -547,9 +695,12 @@ impl ShardedEngine {
                 }
             }
         }
+        let hedging = self.cfg.hedging;
         for shard in &mut self.shards {
-            shard.advance_to(f64::INFINITY, &self.cfg, tel_of(&mut obs), &mut out)?;
+            let h = if hedging { Some(&mut hedges) } else { None };
+            shard.advance_to(f64::INFINITY, &self.cfg, tel_of(&mut obs), &mut out, h)?;
         }
+        self.resolve_hedges(&mut hedges, &mut out, &mut obs)?;
         for r in out.drain(..) {
             on_response(&r);
         }
@@ -561,18 +712,23 @@ impl ShardedEngine {
     }
 
     /// One serial step: advance every shard to the arrival, poll who is
-    /// accepting, route, and admit (or reject fleet-wide).
+    /// accepting, route, admit (or reject fleet-wide), and resolve any
+    /// hedge candidates the advance produced.
     fn step(
         &mut self,
         mut p: Prepared,
         out: &mut Vec<Response>,
+        hedges: &mut Vec<HedgeCandidate>,
         mut obs: Option<&mut StreamObs<'_>>,
     ) -> Result<(), RunError> {
         self.fleet.submitted += 1;
         let now = p.arrival_ns;
+        let hedging = self.cfg.hedging;
         for shard in &mut self.shards {
-            shard.advance_to(now, &self.cfg, tel_of(&mut obs), out)?;
+            let h = if hedging { Some(&mut *hedges) } else { None };
+            shard.advance_to(now, &self.cfg, tel_of(&mut obs), out, h)?;
         }
+        self.resolve_hedges(hedges, out, &mut obs)?;
         let mut accepting = Vec::with_capacity(self.shards.len());
         for shard in &mut self.shards {
             accepting.push(shard.poll_accepting(now, tel_of(&mut obs)));
@@ -596,6 +752,114 @@ impl ShardedEngine {
         Ok(())
     }
 
+    /// Takes one hedge token from `tenant`'s bucket at virtual time `now`,
+    /// refilling first. Deterministic: depends only on (config, tenant,
+    /// the sequence of trigger times).
+    fn take_hedge_token(&mut self, tenant: u32, now: f64) -> bool {
+        let entry = self
+            .hedge_tokens
+            .entry(tenant)
+            .or_insert((self.cfg.hedge_burst, now));
+        let refilled = (entry.0 + (now - entry.1).max(0.0) * self.cfg.hedge_refill_per_s * 1e-9)
+            .min(self.cfg.hedge_burst);
+        *entry = (refilled, now);
+        if refilled >= 1.0 {
+            entry.0 = refilled - 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resolves held-back hedge candidates, in collection order (shard
+    /// order, then execution order — deterministic). Each either launches
+    /// a hedge on the rendezvous-next accepting sibling (token permitting)
+    /// and emits the better execution wrapped in [`Outcome::Hedged`], or
+    /// is suppressed and emits the primary outcome unchanged. Exactly one
+    /// response per candidate either way.
+    fn resolve_hedges(
+        &mut self,
+        cands: &mut Vec<HedgeCandidate>,
+        out: &mut Vec<Response>,
+        obs: &mut Option<&mut StreamObs<'_>>,
+    ) -> Result<(), RunError> {
+        let cfg = self.cfg;
+        for c in cands.drain(..) {
+            let now = c.trigger_ns;
+            // Hedge only onto fully-Up siblings: Probation is reserved for
+            // the shard's own probe, Draining/Cooling take no new work.
+            let accepting: Vec<bool> = self
+                .shards
+                .iter()
+                .map(|s| s.state == ShardState::Up)
+                .collect();
+            let sibling = self
+                .router
+                .next_shard(c.prepared.tenant, c.primary_shard, &accepting);
+            let sib = match sibling {
+                Some(s) if self.take_hedge_token(c.prepared.tenant, now) => s,
+                _ => {
+                    self.fleet.hedges_suppressed += 1;
+                    out.push(Shard::wrap(
+                        c.rerouted_from,
+                        c.primary_shard,
+                        c.primary_resp,
+                    ));
+                    continue;
+                }
+            };
+            self.fleet.hedges_launched += 1;
+            let mut hp = c.prepared;
+            hp.fault = hp.fault.map(|f| f.derive_stream(hp.id ^ HEDGE_SALT));
+            let (hresp, hstart, hfinish) = {
+                let shard = &mut self.shards[sib as usize];
+                // The hedge is an extra execution, not an extra fleet
+                // submission: count it into the sibling's registry so the
+                // per-shard outcome/submission conservation keeps holding.
+                shard.engine.registry_mut().counters.submitted += 1;
+                let mut lane = 0;
+                for l in 1..shard.lanes.len() {
+                    if shard.lanes[l] < shard.lanes[lane] {
+                        lane = l;
+                    }
+                }
+                let start = shard.lanes[lane].max(now);
+                let (hresp, hfinish) =
+                    shard
+                        .engine
+                        .execute(hp, start, tel_of(obs), shard_track(sib))?;
+                shard.lanes[lane] = hfinish;
+                // A hedge that trips the sibling past the breaker
+                // threshold drains it, same as a queued dispatch would.
+                let frac = shard.engine.registry().open_fraction();
+                if shard.state == ShardState::Up && frac >= cfg.unhealthy_open_fraction {
+                    shard.counters.drains += 1;
+                    shard.transition(
+                        ShardState::Draining,
+                        hfinish,
+                        "breaker-threshold",
+                        tel_of(obs),
+                    );
+                }
+                (hresp, start, hfinish)
+            };
+            let hedge_wins = {
+                let pr = outcome_rank(&c.primary_resp.outcome);
+                let hr = outcome_rank(&hresp.outcome);
+                hr < pr || (hr == pr && hfinish < c.primary_finish_ns)
+            };
+            let resp = if hedge_wins {
+                self.fleet.hedges_won += 1;
+                hedged(sib, c.primary_finish_ns - c.primary_start_ns, hresp)
+            } else {
+                self.fleet.hedges_wasted += 1;
+                hedged(c.primary_shard, hfinish - hstart, c.primary_resp)
+            };
+            out.push(Shard::wrap(c.rerouted_from, c.primary_shard, resp));
+        }
+        Ok(())
+    }
+
     /// Comparable snapshots of every shard, in shard order.
     pub fn snapshots(&self) -> Vec<ShardSnapshot> {
         self.shards.iter().map(Shard::snapshot).collect()
@@ -610,8 +874,15 @@ impl ShardedEngine {
         let f = &self.fleet;
         let _ = writeln!(
             s,
-            "fleet: submitted={} rerouted={} all-shards-unhealthy={}",
-            f.submitted, f.rerouted, f.rejected_all_unhealthy
+            "fleet: submitted={} rerouted={} all-shards-unhealthy={} \
+             hedges-launched={} hedges-won={} hedges-wasted={} hedges-suppressed={}",
+            f.submitted,
+            f.rerouted,
+            f.rejected_all_unhealthy,
+            f.hedges_launched,
+            f.hedges_won,
+            f.hedges_wasted,
+            f.hedges_suppressed
         );
         for snap in self.snapshots() {
             let c = snap.counters;
@@ -631,12 +902,15 @@ impl ShardedEngine {
             let _ = writeln!(
                 s,
                 "  health: submitted={} completed={} deadline-misses={} \
+                 cancelled={} integrity-failures={} \
                  shed-queue-full={} shed-infeasible={} faults={} retries={} \
                  fallbacks={} breaker-skips={} probes={} probe-failures={} \
                  max-queue-depth={}",
                 h.submitted,
                 h.completed,
                 h.deadline_misses,
+                h.cancelled_over_budget,
+                h.integrity_failures,
                 h.shed_queue_full,
                 h.shed_infeasible,
                 h.faults_detected,
@@ -728,6 +1002,20 @@ impl ShardedEngine {
                     v,
                 );
             }
+            // Guarded like the registry-level exports: a clean fleet's
+            // exposition stays exactly as it was before these existed.
+            for (event, v) in [
+                ("cancelled-over-budget", h.cancelled_over_budget),
+                ("integrity-failure", h.integrity_failures),
+            ] {
+                if v > 0 {
+                    tel.metrics.set_counter(
+                        names::SERVING_EVENTS,
+                        &[("event", event), ("shard", &sid)],
+                        v,
+                    );
+                }
+            }
         }
         for (event, v) in [
             ("rerouted", self.fleet.rerouted),
@@ -735,6 +1023,17 @@ impl ShardedEngine {
         ] {
             tel.metrics
                 .set_counter(names::SERVING_EVENTS, &[("event", event)], v);
+        }
+        if self.cfg.hedging {
+            for (result, v) in [
+                ("launched", self.fleet.hedges_launched),
+                ("won", self.fleet.hedges_won),
+                ("wasted", self.fleet.hedges_wasted),
+                ("suppressed", self.fleet.hedges_suppressed),
+            ] {
+                tel.metrics
+                    .set_counter(names::HEDGES, &[("result", result)], v);
+            }
         }
     }
 }
@@ -946,6 +1245,163 @@ mod tests {
         // The probe request (id 1) completed on its home shard, unwrapped.
         assert!(got.iter().all(|r| r.outcome.is_completed()));
         assert_eq!(e.fleet().rejected_all_unhealthy, 0);
+    }
+
+    /// A hedging fleet and a deterministic trace whose requests carry GPU
+    /// transfer flips: at `flip_prob = 1.0` every primary fails its
+    /// end-to-end integrity verdict, which is the deterministic
+    /// (estimate-independent) hedge trigger; at small probabilities the
+    /// primary and its hedge draw independent streams and can diverge.
+    fn hedge_fleet(seed: u64, burst: f64, flip_prob: f64) -> (ShardedEngine, Vec<Request>) {
+        let cfg = ShardConfig {
+            hedging: true,
+            hedge_burst: burst,
+            hedge_refill_per_s: 1e6,
+            ..ShardConfig::new(2)
+        };
+        let e = fleet(2, cfg);
+        let tpl = wide_tpl();
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| {
+                let mut r = req(i, i as u32, i as f64 * 1e7, &tpl);
+                r.fault = Some(
+                    FaultPlan::none()
+                        .with_seed(seed)
+                        .with_gpu_transfer_flips(flip_prob),
+                );
+                r
+            })
+            .collect();
+        (e, reqs)
+    }
+
+    #[test]
+    fn hedged_requests_get_exactly_one_outcome_and_replay_identically() {
+        let run = |seed| {
+            let (mut e, reqs) = hedge_fleet(seed, 4.0, 1.0);
+            let got = collect(&mut e, reqs);
+            let executions: u64 = e
+                .snapshots()
+                .iter()
+                .map(|s| s.health.counters.submitted)
+                .sum();
+            (e.fleet(), got, e.render_snapshots(), executions)
+        };
+        let (f, got, snap, executions) = run(3);
+        assert_eq!(got.len(), 6, "exactly one response per request");
+        let mut ids: Vec<u64> = got.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+        assert!(f.hedges_launched > 0, "tight deadlines must trigger hedges");
+        assert_eq!(
+            f.hedges_won + f.hedges_wasted,
+            f.hedges_launched,
+            "every launched hedge is scored exactly once"
+        );
+        assert_eq!(
+            executions,
+            f.submitted + f.hedges_launched,
+            "each hedge is one extra execution on the sibling's registry"
+        );
+        let (f2, got2, snap2, _) = run(3);
+        assert_eq!(f, f2);
+        assert_eq!(got, got2, "hedging replays byte-identically");
+        assert_eq!(snap, snap2);
+        assert!(snap.contains("hedges-launched="));
+    }
+
+    #[test]
+    fn a_hedge_can_beat_a_fault_slowed_primary() {
+        // The primary and its hedge draw independent fault streams
+        // (HEDGE_SALT), so at a small flip probability some seed corrupts
+        // the primary while its hedge stays clean — a rank-0 Completed
+        // beating a rank-3 IntegrityFailure. Search a few seeds and pin
+        // the first winner's shape.
+        for seed in 0..64 {
+            let (mut e, reqs) = hedge_fleet(seed, 4.0, 0.02);
+            let got = collect(&mut e, reqs);
+            if e.fleet().hedges_won == 0 {
+                continue;
+            }
+            let h = got
+                .iter()
+                .find_map(|r| match &r.outcome {
+                    Outcome::Hedged {
+                        winner,
+                        loser_consumed_ns,
+                        outcome,
+                    } => Some((*winner, *loser_consumed_ns, outcome.clone())),
+                    Outcome::Rerouted { outcome, .. } => match outcome.as_ref() {
+                        Outcome::Hedged {
+                            winner,
+                            loser_consumed_ns,
+                            outcome,
+                        } => Some((*winner, *loser_consumed_ns, outcome.clone())),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .expect("hedges_won > 0 implies a Hedged response");
+            let (_winner, loser_consumed, _inner) = h;
+            assert!(
+                loser_consumed > 0.0,
+                "the losing execution consumed real virtual time"
+            );
+            return;
+        }
+        panic!("no seed in 0..64 produced a hedge win");
+    }
+
+    #[test]
+    fn hedges_are_suppressed_without_tokens_or_siblings() {
+        // Zero burst: triggers fire but the bucket never grants a token.
+        let (mut e, reqs) = hedge_fleet(3, 0.0, 1.0);
+        let got = collect(&mut e, reqs);
+        let f = e.fleet();
+        assert_eq!(f.hedges_launched, 0);
+        assert!(f.hedges_suppressed > 0, "failing primaries were throttled");
+        assert!(
+            got.iter().all(|r| matches!(
+                r.outcome.final_outcome(),
+                Outcome::IntegrityFailure { .. }
+            ) && !matches!(r.outcome, Outcome::Hedged { .. })),
+            "suppressed hedges emit the primary outcome unchanged"
+        );
+        // Single-shard fleet: a trigger has nowhere to go.
+        let cfg = ShardConfig {
+            hedging: true,
+            ..ShardConfig::new(1)
+        };
+        let mut e1 = fleet(1, cfg);
+        let tpl = wide_tpl();
+        let mut r = req(0, 5, 0.0, &tpl);
+        r.fault = Some(FaultPlan::none().with_seed(1).with_gpu_transfer_flips(1.0));
+        let got1 = collect(&mut e1, vec![r]);
+        assert_eq!(got1.len(), 1);
+        assert_eq!(e1.fleet().hedges_launched, 0);
+        assert_eq!(e1.fleet().hedges_suppressed, 1);
+    }
+
+    #[test]
+    fn hedging_disabled_emits_no_hedge_accounting() {
+        let mut e = fleet(2, ShardConfig::new(2));
+        let tpl = wide_tpl();
+        let mut r = req(0, 1, 0.0, &tpl);
+        // Would trigger the failure path if hedging were on.
+        r.fault = Some(FaultPlan::none().with_seed(1).with_gpu_transfer_flips(1.0));
+        let got = collect(&mut e, vec![r]);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].outcome, Outcome::IntegrityFailure { .. }));
+        let f = e.fleet();
+        assert_eq!(
+            (
+                f.hedges_launched,
+                f.hedges_won,
+                f.hedges_wasted,
+                f.hedges_suppressed
+            ),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -94,12 +94,32 @@ fn main() {
                 finish_ns / 1e6,
                 deadline_ns / 1e6
             ),
+            Outcome::Cancelled {
+                consumed_ns,
+                segments_done,
+                ..
+            } => format!(
+                "CANCELLED over budget after {:.2} ms ({segments_done} segment(s))",
+                consumed_ns / 1e6
+            ),
+            Outcome::IntegrityFailure { finish_ns, .. } => format!(
+                "INTEGRITY FAILURE at {:.2} ms (corrupted result, not a success)",
+                finish_ns / 1e6
+            ),
             Outcome::Rejected(why) => format!("shed: {why}"),
             Outcome::Rerouted {
                 from_shard,
                 to_shard,
                 ..
             } => format!("rerouted shard {from_shard} -> {to_shard}"),
+            Outcome::Hedged {
+                winner,
+                loser_consumed_ns,
+                ..
+            } => format!(
+                "hedged: shard {winner} won ({:.2} ms wasted on the loser)",
+                loser_consumed_ns / 1e6
+            ),
         };
         println!(
             "  req {} tenant {} {:11} {:20} -> {verdict}",

@@ -113,6 +113,40 @@ else
   exit 1
 fi
 
+# Hedge-chaos gate: the GPU fault domain (stream stalls + transfer
+# bit-flips) with deadline-budget cancellation and hedged re-execution on.
+# The soak binary's streaming invariants already enforce exactly-one
+# outcome per request, >=1 hedge launch/win, and >=1 cancellation under
+# this config; here we additionally byte-compare the snapshot across
+# thread counts and independently grep the artifact for nonzero hedge
+# wins and cancellations, so a silently-neutered scenario cannot pass.
+#   HEDGE_SOAK_REQUESTS=5000 scripts/check.sh
+HEDGE_SOAK_REQUESTS="${HEDGE_SOAK_REQUESTS:-20000}"
+echo "==> hedge-chaos streaming soak ($HEDGE_SOAK_REQUESTS requests)"
+for threads in 1 8; do
+  echo "==> hedge-chaos streaming soak (ANAHEIM_THREADS=$threads)"
+  ANAHEIM_THREADS="$threads" ./target/release/soak --stream --hedge \
+    --requests "$HEDGE_SOAK_REQUESTS" \
+    --rss-budget-kb "$STREAM_SOAK_RSS_BUDGET_KB" \
+    --snapshot-out "$snap_dir/hedge-t$threads.txt"
+done
+if cmp -s "$snap_dir/hedge-t1.txt" "$snap_dir/hedge-t8.txt"; then
+  echo "  hedge-chaos snapshots byte-identical across ANAHEIM_THREADS=1/8 — ok"
+else
+  echo "FAIL: hedge-chaos snapshots differ across thread counts" >&2
+  diff "$snap_dir/hedge-t1.txt" "$snap_dir/hedge-t8.txt" | head -20 >&2
+  exit 1
+fi
+if ! grep -Eq 'hedges-won=[1-9]' "$snap_dir/hedge-t1.txt"; then
+  echo "FAIL: hedge-chaos soak recorded zero hedge wins" >&2
+  exit 1
+fi
+if ! grep -Eq 'cancelled=[1-9]' "$snap_dir/hedge-t1.txt"; then
+  echo "FAIL: hedge-chaos soak recorded zero over-budget cancellations" >&2
+  exit 1
+fi
+echo "  hedge wins and over-budget cancellations present in the snapshot — ok"
+
 echo "==> pipelined schedule gate (BENCH_ckks.json / BENCH_pim.json)"
 python3 - <<'EOF'
 import json, sys

@@ -8,7 +8,7 @@
 # bit-identical across ANAHEIM_THREADS settings.
 #
 # Usage: scripts/soak.sh [--quick] [--requests N] [--seed S] [--threads-check]
-#                        [--stream] [--shards N] [--snapshot-out FILE]
+#                        [--stream] [--hedge] [--shards N] [--snapshot-out FILE]
 #                        [--trace-out FILE] [--metrics-out FILE]
 #                        [--rss-budget-kb N]
 #   --quick   200-request seeded soak with the determinism check; finishes
@@ -20,6 +20,11 @@
 #             scripts/check.sh byte-compares across ANAHEIM_THREADS);
 #             --rss-budget-kb fails the run if peak RSS (VmHWM) exceeds
 #             the budget. All flags forward to the soak binary.
+#   --hedge   (with --stream) hedge-chaos scenario: GPU stream stalls and
+#             transfer bit-flips on top of the fleet storm, with
+#             deadline-budget cancellation and hedged re-execution on.
+#             The invariants then also require >=1 hedge launch, >=1
+#             hedge win, and >=1 over-budget cancellation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
