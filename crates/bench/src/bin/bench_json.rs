@@ -8,10 +8,10 @@
 //! rings the regression gate watches), so the speedup story is measured
 //! where Anaheim actually lives. Also writes `BENCH_serving.json` —
 //! serving-layer soak counters (completions, deadline misses, sheds,
-//! breaker activity, hedge/cancellation accounting) for clean, chaos,
-//! stream-chaos, and hedge-chaos scenarios at a fixed seed, each row
-//! carrying its provenance (fault seed, lane/shard config, thread
-//! setting).
+//! breaker activity, hedge/cancellation accounting, evaluation-key batch
+//! amortization) for clean, chaos, stream-chaos, batched-fleet, and
+//! hedge-chaos scenarios at a fixed seed, each row carrying its
+//! provenance (fault seed, lane/shard config, thread setting).
 //! CKKS records carry the measured op-count breakdown (`ntt_limbs`,
 //! `bconv_limb_products`, …, from `ckks::opcount`); the PIM record
 //! carries the analytic per-iteration `mmac_ops` and `bytes_internal` of
@@ -582,6 +582,63 @@ fn bench_serving(quick: bool) {
         sum.requests as f64 / (wall_ms * 1e-3),
     ));
 
+    // The batched-fleet soak: a small tenant pool over a fault-free
+    // two-shard fleet with same-tenant batch serving on. The invariant
+    // checker already requires ≥1 amortized fetch and that saved bytes
+    // reconcile with shard hit bytes; the row carries the evk hit/miss
+    // split so `scripts/check.sh` can gate conservation
+    // (hit + miss == uncached) and a nonzero saving from the JSON.
+    let batch_cfg = SoakConfig {
+        requests: if quick { 2_000 } else { 20_000 },
+        ..SoakConfig::batched_fleet(2024)
+    };
+    let wall = Instant::now();
+    let out = run_soak_stream(&batch_cfg, None)
+        .unwrap_or_else(|e| panic!("batched-fleet soak invariant violated: {e}"));
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let sum = out.summary;
+    println!(
+        "  batched-fleet ({} shards, {} tenants) {sum}\n        wall {:.0} ms ({:.0} req/s)",
+        batch_cfg.shards,
+        batch_cfg.tenants,
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3)
+    );
+    s.push_str(&format!(
+        "  {{\"scenario\": \"batched-fleet\", \"fault_seed\": {}, \"workers\": {}, \
+         \"anaheim_threads\": \"{}\", \"requests\": {}, \"shards\": {}, \"tenants\": {}, \
+         \"completed\": {}, \"deadline_misses\": {}, \"shed_queue_full\": {}, \
+         \"shed_infeasible\": {}, \"rerouted\": {}, \"all_shards_unhealthy\": {}, \
+         \"faults\": {}, \"breaker_skips\": {}, \"drains\": {}, \"readmits\": {}, \
+         \"dead_banks\": {}, \"evk_hit_bytes\": {}, \"evk_miss_bytes\": {}, \
+         \"evk_bytes_saved\": {}, \"batches\": {}, \"virtual_rps\": {:.1}, \
+         \"wall_ms\": {:.1}, \"wall_rps\": {:.1}}},\n",
+        batch_cfg.seed,
+        batch_cfg.workers,
+        threads_env,
+        sum.requests,
+        batch_cfg.shards,
+        batch_cfg.tenants,
+        sum.completed,
+        sum.deadline_misses,
+        sum.shed_queue_full,
+        sum.shed_infeasible,
+        sum.rerouted,
+        sum.all_shards_unhealthy,
+        sum.faults,
+        sum.breaker_skips,
+        sum.drains,
+        sum.readmits,
+        sum.dead_banks,
+        sum.evk_hit_bytes,
+        sum.evk_miss_bytes,
+        sum.evk_saved_bytes,
+        sum.batches,
+        sum.virtual_rps(),
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3),
+    ));
+
     // The hedge-chaos soak: the GPU fault domain (stream stalls + transfer
     // bit-flips) on top of the fleet storm, with deadline-budget
     // cancellation and hedged re-execution on. The invariant checker
@@ -692,6 +749,91 @@ fn bench_schedule(ckks_records: &mut Vec<Record>, pim_records: &mut Vec<Record>)
         ckks_records.push(shared("gpu_dram_bytes", report.gpu_dram_bytes));
         pim_records.push(shared("pim_dram_bytes", report.pim_dram_bytes));
     }
+}
+
+/// Evaluation-key DRAM-traffic model (the `docs/KEYS.md` trajectory):
+/// replays every `Evk` read of a built sequence through the A100's
+/// object-granularity L2 ([`gpu::L2Cache`], 40 MB) and reports the
+/// hit/miss byte split next to the uncached total
+/// ([`anaheim_core::ir::OpSequence::evk_read_bytes`]). Pure model rows — samples = 1,
+/// virtual time = DRAM bytes at A100 bandwidth — named with the `sched_`
+/// prefix so the small-ring perf gate skips them; `scripts/check.sh`
+/// asserts `evk_hit_bytes + evk_miss_bytes == evk_uncached_bytes` on
+/// every row carrying the fields.
+fn bench_evk_traffic(records: &mut Vec<Record>) {
+    use anaheim_core::build::{Builder, LinTransStyle};
+    use anaheim_core::ir::{ObjKind, OpSequence};
+    use anaheim_core::params::ParamSet;
+    use gpu::{GpuConfig, L2Cache};
+
+    let gpu_cfg = GpuConfig::a100_80gb();
+    // GB/s reads as bytes/ns, so the division below lands in ns directly.
+    let bw_bytes_per_ns = gpu_cfg.dram_bw_gbps;
+    println!(
+        "\nEvaluation-key traffic model (A100 L2 {} MB)",
+        gpu_cfg.l2_bytes >> 20
+    );
+
+    let mut replay = |op: &'static str, headline: &'static str, seq: &OpSequence| {
+        let params = &seq.params;
+        let mut l2 = L2Cache::new(gpu_cfg.l2_bytes);
+        for o in &seq.ops {
+            for r in o.reads.iter().filter(|r| r.kind == ObjKind::Evk) {
+                l2.read(r.id, r.bytes as usize);
+            }
+        }
+        let uncached = seq.evk_read_bytes();
+        let (hit, miss) = (l2.hit_bytes(), l2.miss_bytes());
+        assert_eq!(hit + miss, uncached, "every evk read is a hit or a miss");
+        println!(
+            "  {op:24} evk {:>8.1} MB uncached -> {:>8.1} MB DRAM ({:.1} MB amortized), \
+             key {:.1} MB",
+            uncached as f64 / 1e6,
+            miss as f64 / 1e6,
+            hit as f64 / 1e6,
+            params.evk_bytes() as f64 / 1e6,
+        );
+        records.push(Record {
+            op,
+            n: params.n(),
+            limbs: params.l_max,
+            threads: 1,
+            ns_per_op: miss as f64 / bw_bytes_per_ns,
+            ns_per_op_p50: miss as f64 / bw_bytes_per_ns,
+            samples: 1,
+            extras: vec![
+                (headline, miss),
+                ("evk_uncached_bytes", uncached),
+                ("evk_hit_bytes", hit),
+                ("evk_miss_bytes", miss),
+                ("evk_bytes", params.evk_bytes() as u64),
+            ],
+        });
+    };
+
+    // Fig. 2b decomposition sweep: Bootstrap switches keys with a fresh
+    // evk every time (relin, conjugation, per-step rotations), so nothing
+    // revisits inside 40 MB and the evk traffic is all DRAM — the paper's
+    // reason to move keyswitching near memory in the first place.
+    for d in [2usize, 3, 4, 6, 8] {
+        let op = match d {
+            2 => "sched_evk_boot_d2",
+            3 => "sched_evk_boot_d3",
+            4 => "sched_evk_boot_d4",
+            6 => "sched_evk_boot_d6",
+            8 => "sched_evk_boot_d8",
+            _ => unreachable!(),
+        };
+        let seq = Builder::new(ParamSet::with_decomposition(d)).bootstrap();
+        replay(op, "bytes_per_bootstrap", &seq);
+    }
+
+    // MinKS reuses one rotation key for every step (§III-B): at a shallow
+    // level the shared per-digit objects fit in L2, so every revisit is a
+    // hit — the single-program analogue of the serving layer's
+    // same-tenant batch amortization.
+    let seq = Builder::new(ParamSet::paper_default()).lintrans(14, 8, LinTransStyle::MinKS, false);
+    replay("sched_evk_lintrans_minks", "evk_dram_bytes", &seq);
 }
 
 /// Measures how much parallel CPU the machine actually grants: the
@@ -976,6 +1118,7 @@ fn main() {
     print_summary("PIM", &pim_records);
 
     bench_schedule(&mut ckks_records, &mut pim_records);
+    bench_evk_traffic(&mut ckks_records);
     write_json("BENCH_ckks.json", &ckks_records);
     write_json("BENCH_pim.json", &pim_records);
 
@@ -987,7 +1130,7 @@ fn main() {
 
     println!(
         "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records), \
-         BENCH_serving.json (4 scenarios)",
+         BENCH_serving.json (5 scenarios)",
         ckks_records.len(),
         pim_records.len()
     );

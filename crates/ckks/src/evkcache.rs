@@ -1,0 +1,462 @@
+//! Evaluation-key working-set cache with optional runtime regeneration.
+//!
+//! Evaluation keys dominate the memory traffic of bootstrapped CKKS (ARK
+//! quantifies the bottleneck; the paper's §V-D DRAM estimates motivate the
+//! same object-granularity reasoning as `gpu::cache::L2Cache`). This module
+//! gives the functional library the matching working-set model: an
+//! [`EvkCache`] keyed by *key identity* ([`EvkId`]: relin / rotation-`r` /
+//! conjugation) with byte-level hit/miss accounting riding
+//! [`EvalKey::size_bytes_32`], so the cost model can see exactly how many
+//! evk bytes an evaluation pulled from DRAM versus the cache.
+//!
+//! Two backings are provided:
+//!
+//! - **Fetch** ([`EvkCache::over_keyset`]): misses copy the key out of a
+//!   materialized [`KeySet`] — the conventional "keys live in DRAM" model.
+//! - **Regenerate** ([`EvkCache::regenerating`]): misses *derive* the key on
+//!   the fly from the secret key and a per-identity seeded RNG stream, à la
+//!   ARK's runtime data generation — trading recompute for DRAM bytes.
+//!   Derivation is deterministic: [`derive_evk`] with the same
+//!   `(master_seed, id)` always produces bit-identical key material, and
+//!   [`seeded_keyset`] builds a whole `KeySet` from the same per-identity
+//!   streams, so Fetch-mode and Regenerate-mode execution produce
+//!   bit-identical ciphertexts (pinned by the tests below).
+//!
+//! Accounting contract: every access charges the key's full
+//! `size_bytes_32()` to exactly one of `hit_bytes` or `miss_bytes`, so
+//! `hit_bytes + miss_bytes` equals the uncached total — the conservation
+//! law `scripts/check.sh` gates on BENCH rows. In Regenerate mode the same
+//! miss bytes are also counted as `regen_bytes`: bytes that were *not*
+//! streamed from DRAM but recomputed, so DRAM traffic is
+//! `miss_bytes − regen_bytes`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::CkksContext;
+use crate::keys::{EvalKey, KeyGenerator, KeySet, SecretKey};
+
+/// Identity of an evaluation key within a key set: the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvkId {
+    /// The relinearization key (`s² → s`).
+    Relin,
+    /// The hoisted rotation key for slot distance `r`.
+    Rotation(isize),
+    /// The conjugation key (`g = 2N−1`).
+    Conjugation,
+}
+
+impl EvkId {
+    /// Normalizes a rotation distance modulo the slot count (the same
+    /// normalization [`KeySet::rotation`] applies on lookup).
+    pub fn normalized(self, slots: usize) -> Self {
+        match self {
+            EvkId::Rotation(r) => EvkId::Rotation(r.rem_euclid(slots as isize)),
+            other => other,
+        }
+    }
+
+    /// A stable 64-bit tag for seeding the per-identity RNG stream
+    /// (SplitMix64 finalizer over a variant/distance encoding).
+    pub fn tag(self) -> u64 {
+        let raw = match self {
+            EvkId::Relin => 1u64 << 62,
+            EvkId::Conjugation => 2u64 << 62,
+            EvkId::Rotation(r) => r as u64 & ((1u64 << 62) - 1),
+        };
+        splitmix64(raw)
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates structured inputs into seed material.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Byte-level access statistics of an [`EvkCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvkCacheStats {
+    /// Number of [`EvkCache::get`] calls that resolved a key.
+    pub accesses: u64,
+    /// Bytes served from resident keys (no DRAM traffic).
+    pub hit_bytes: u64,
+    /// Bytes charged on misses (`hit_bytes + miss_bytes` = uncached total).
+    pub miss_bytes: u64,
+    /// The subset of `miss_bytes` satisfied by on-the-fly regeneration
+    /// instead of a DRAM fetch (0 in Fetch mode).
+    pub regen_bytes: u64,
+}
+
+impl EvkCacheStats {
+    /// Miss bytes that actually crossed the DRAM interface.
+    pub fn dram_bytes(&self) -> u64 {
+        self.miss_bytes - self.regen_bytes
+    }
+}
+
+/// Where a missing key comes from.
+#[derive(Debug)]
+enum Backing {
+    /// Copy out of a materialized key set (DRAM fetch).
+    Fetch(KeySet),
+    /// Derive from the secret key with a per-identity seeded RNG.
+    Regenerate { secret: SecretKey, master_seed: u64 },
+}
+
+/// Byte-capacity LRU cache of evaluation keys, keyed by [`EvkId`].
+///
+/// Mirrors `gpu::cache::L2Cache`'s object-granularity policy: an access
+/// either finds the whole key resident or misses in full; keys larger than
+/// the capacity stream (they are handed out but never become resident).
+#[derive(Debug)]
+pub struct EvkCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    /// id → (key, last-use stamp)
+    resident: HashMap<EvkId, (EvalKey, u64)>,
+    /// Holding slot for a streamed (oversized) key, so `get` can still
+    /// return a reference; replaced on the next streamed miss.
+    streamed: Option<(EvkId, EvalKey)>,
+    clock: u64,
+    stats: EvkCacheStats,
+    backing: Backing,
+}
+
+impl EvkCache {
+    /// A Fetch-mode cache in front of a materialized key set.
+    pub fn over_keyset(capacity_bytes: usize, keys: KeySet) -> Self {
+        Self::new(capacity_bytes, Backing::Fetch(keys))
+    }
+
+    /// A Regenerate-mode cache deriving missing keys from `secret` with
+    /// per-identity streams seeded from `master_seed`.
+    pub fn regenerating(capacity_bytes: usize, secret: SecretKey, master_seed: u64) -> Self {
+        Self::new(
+            capacity_bytes,
+            Backing::Regenerate {
+                secret,
+                master_seed,
+            },
+        )
+    }
+
+    fn new(capacity_bytes: usize, backing: Backing) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+            resident: HashMap::new(),
+            streamed: None,
+            clock: 0,
+            stats: EvkCacheStats::default(),
+            backing,
+        }
+    }
+
+    /// Resolves a key by identity, counting the access.
+    ///
+    /// Returns `None` only in Fetch mode when the backing key set lacks the
+    /// requested rotation key (Regenerate mode can derive any identity).
+    pub fn get(&mut self, ctx: &CkksContext, id: EvkId) -> Option<&EvalKey> {
+        let id = id.normalized(ctx.slots());
+        self.clock += 1;
+        if let Some(entry) = self.resident.get_mut(&id) {
+            entry.1 = self.clock;
+            self.stats.accesses += 1;
+            self.stats.hit_bytes += entry.0.size_bytes_32() as u64;
+            return self.resident.get(&id).map(|(k, _)| k);
+        }
+        let (key, regenerated) = match &self.backing {
+            Backing::Fetch(keys) => (
+                match id {
+                    EvkId::Relin => keys.relin.clone(),
+                    EvkId::Conjugation => keys.conjugation.clone(),
+                    EvkId::Rotation(r) => keys.rotation(r, ctx.slots())?.clone(),
+                },
+                false,
+            ),
+            Backing::Regenerate {
+                secret,
+                master_seed,
+            } => (derive_evk(ctx, secret, *master_seed, id), true),
+        };
+        let bytes = key.size_bytes_32();
+        self.stats.accesses += 1;
+        self.stats.miss_bytes += bytes as u64;
+        if regenerated {
+            self.stats.regen_bytes += bytes as u64;
+        }
+        if bytes > self.capacity_bytes {
+            // Streaming key: never resident, held only until the next one.
+            self.streamed = Some((id, key));
+            return self.streamed.as_ref().map(|(_, k)| k);
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&vid, _)| vid)
+                .expect("cache overfull but empty");
+            self.evict(victim);
+        }
+        self.resident.insert(id, (key, self.clock));
+        self.used_bytes += bytes;
+        self.resident.get(&id).map(|(k, _)| k)
+    }
+
+    fn evict(&mut self, id: EvkId) {
+        if let Some((key, _)) = self.resident.remove(&id) {
+            self.used_bytes -= key.size_bytes_32();
+        }
+    }
+
+    /// Is the key currently resident?
+    pub fn contains(&self, id: EvkId, slots: usize) -> bool {
+        self.resident.contains_key(&id.normalized(slots))
+    }
+
+    /// Bytes of key material currently resident.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> EvkCacheStats {
+        self.stats
+    }
+}
+
+/// The RNG seed for the key stream of identity `id` under `master_seed`.
+fn stream_seed(master_seed: u64, tag: u64) -> u64 {
+    splitmix64(master_seed ^ tag)
+}
+
+/// Tag reserved for the secret-key stream (distinct from every [`EvkId`]).
+const SECRET_TAG: u64 = 3u64 << 62;
+/// Tag reserved for the public-key stream.
+const PUBLIC_TAG: u64 = (3u64 << 62) | 1;
+
+/// Derives the secret key of the `master_seed` key family. Regeneration and
+/// [`seeded_keyset`] both start from this key, which is what makes the two
+/// execution modes bit-identical.
+pub fn derive_secret(ctx: &CkksContext, master_seed: u64) -> SecretKey {
+    let mut rng = StdRng::seed_from_u64(stream_seed(master_seed, splitmix64(SECRET_TAG)));
+    KeyGenerator::new(ctx, &mut rng).gen_secret()
+}
+
+/// Deterministically derives the evaluation key `id` of the `master_seed`
+/// family: the RNG stream is seeded from `(master_seed, id.tag())` alone, so
+/// the same identity always yields bit-identical key material regardless of
+/// derivation order.
+pub fn derive_evk(ctx: &CkksContext, secret: &SecretKey, master_seed: u64, id: EvkId) -> EvalKey {
+    let id = id.normalized(ctx.slots());
+    let mut rng = StdRng::seed_from_u64(stream_seed(master_seed, id.tag()));
+    let mut kg = KeyGenerator::new(ctx, &mut rng);
+    match id {
+        EvkId::Relin => kg.gen_relin(secret),
+        EvkId::Conjugation => kg.gen_conjugation(secret),
+        EvkId::Rotation(r) => kg.gen_rotation(secret, r),
+    }
+}
+
+/// Materializes the full `KeySet` of a `master_seed` key family: every key
+/// comes from the same per-identity stream [`derive_evk`] uses, so a
+/// Fetch-mode cache over this set and a Regenerate-mode cache with the same
+/// seed hold bit-identical key material.
+pub fn seeded_keyset(ctx: &CkksContext, master_seed: u64, rotations: &[isize]) -> KeySet {
+    let secret = derive_secret(ctx, master_seed);
+    let public = {
+        let mut rng = StdRng::seed_from_u64(stream_seed(master_seed, splitmix64(PUBLIC_TAG)));
+        KeyGenerator::new(ctx, &mut rng).gen_public(&secret)
+    };
+    let relin = derive_evk(ctx, &secret, master_seed, EvkId::Relin);
+    let conjugation = derive_evk(ctx, &secret, master_seed, EvkId::Conjugation);
+    let mut keys = KeySet {
+        secret,
+        public,
+        relin,
+        rotations: HashMap::new(),
+        conjugation,
+    };
+    for &r in rotations {
+        let r = r.rem_euclid(ctx.slots() as isize);
+        if r != 0 && keys.rotation(r, ctx.slots()).is_none() {
+            let key = derive_evk(ctx, &keys.secret, master_seed, EvkId::Rotation(r));
+            keys.add_rotation(r, key);
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::encoding::Encoder;
+    use crate::eval::Evaluator;
+    use crate::params::CkksParams;
+    use crate::serial::serialize_ciphertext;
+    use rand::rngs::StdRng;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams::test_small())
+    }
+
+    #[test]
+    fn ids_normalize_and_tag_distinctly() {
+        let slots = 512;
+        assert_eq!(
+            EvkId::Rotation(1).normalized(slots),
+            EvkId::Rotation(1 - slots as isize).normalized(slots)
+        );
+        assert_ne!(EvkId::Relin.tag(), EvkId::Conjugation.tag());
+        assert_ne!(EvkId::Relin.tag(), EvkId::Rotation(0).tag());
+        assert_ne!(EvkId::Rotation(1).tag(), EvkId::Rotation(2).tag());
+    }
+
+    #[test]
+    fn conservation_holds_across_hits_misses_and_eviction() {
+        let c = ctx();
+        let keys = seeded_keyset(&c, 7, &[1, 2, 3]);
+        let evk_bytes = keys.relin.size_bytes_32() as u64;
+        // Room for exactly two keys: the third access evicts.
+        let mut cache = EvkCache::over_keyset(2 * evk_bytes as usize, keys);
+        let ids = [
+            EvkId::Relin,
+            EvkId::Rotation(1),
+            EvkId::Relin,
+            EvkId::Rotation(1),
+            EvkId::Rotation(2), // evicts the LRU entry
+            EvkId::Rotation(2),
+        ];
+        let mut uncached = 0u64;
+        for id in ids {
+            assert!(cache.get(&c, id).is_some());
+            uncached += evk_bytes;
+        }
+        let s = cache.stats();
+        assert_eq!(s.accesses, ids.len() as u64);
+        assert_eq!(s.hit_bytes + s.miss_bytes, uncached, "conservation");
+        assert_eq!(s.hit_bytes, 3 * evk_bytes, "repeat accesses hit");
+        assert_eq!(s.miss_bytes, 3 * evk_bytes, "three distinct keys miss");
+        assert_eq!(s.regen_bytes, 0, "fetch mode never regenerates");
+        assert!(cache.used_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = ctx();
+        let keys = seeded_keyset(&c, 8, &[1, 2, 3]);
+        let evk_bytes = keys.relin.size_bytes_32();
+        let mut cache = EvkCache::over_keyset(2 * evk_bytes, keys);
+        let slots = c.slots();
+        cache.get(&c, EvkId::Rotation(1)).unwrap();
+        cache.get(&c, EvkId::Rotation(2)).unwrap();
+        cache.get(&c, EvkId::Rotation(1)).unwrap(); // touch 1
+        cache.get(&c, EvkId::Rotation(3)).unwrap(); // evicts 2
+        assert!(cache.contains(EvkId::Rotation(1), slots));
+        assert!(!cache.contains(EvkId::Rotation(2), slots));
+        assert!(cache.contains(EvkId::Rotation(3), slots));
+    }
+
+    #[test]
+    fn oversized_keys_stream_without_residency() {
+        let c = ctx();
+        let keys = seeded_keyset(&c, 9, &[]);
+        let evk_bytes = keys.relin.size_bytes_32() as u64;
+        let mut cache = EvkCache::over_keyset(1, keys);
+        assert!(cache.get(&c, EvkId::Relin).is_some());
+        assert!(cache.get(&c, EvkId::Relin).is_some());
+        let s = cache.stats();
+        assert_eq!(s.miss_bytes, 2 * evk_bytes, "streams miss every time");
+        assert_eq!(s.hit_bytes, 0);
+        assert_eq!(cache.used_bytes(), 0, "never resident");
+    }
+
+    #[test]
+    fn missing_rotation_is_none_in_fetch_mode_only() {
+        let c = ctx();
+        let keys = seeded_keyset(&c, 10, &[1]);
+        let mut fetch = EvkCache::over_keyset(usize::MAX, keys);
+        assert!(fetch.get(&c, EvkId::Rotation(5)).is_none());
+        let secret = derive_secret(&c, 10);
+        let mut regen = EvkCache::regenerating(usize::MAX, secret, 10);
+        assert!(regen.get(&c, EvkId::Rotation(5)).is_some());
+        assert_eq!(regen.stats().regen_bytes, regen.stats().miss_bytes);
+    }
+
+    #[test]
+    fn regenerated_keys_are_bit_identical_to_the_seeded_keyset() {
+        let c = ctx();
+        let master = 42;
+        let keys = seeded_keyset(&c, master, &[1, 3]);
+        let secret = derive_secret(&c, master);
+        let mut regen = EvkCache::regenerating(usize::MAX, secret, master);
+        for (id, want) in [
+            (EvkId::Relin, &keys.relin),
+            (EvkId::Conjugation, &keys.conjugation),
+            (EvkId::Rotation(1), keys.rotation(1, c.slots()).unwrap()),
+            (EvkId::Rotation(3), keys.rotation(3, c.slots()).unwrap()),
+        ] {
+            let got = regen.get(&c, id).unwrap();
+            assert_eq!(got.num_digits(), want.num_digits());
+            for j in 0..want.num_digits() {
+                let (gb, ga) = got.digit(j);
+                let (wb, wa) = want.digit(j);
+                for i in 0..wb.num_limbs() {
+                    assert_eq!(gb.limb(i).data(), wb.limb(i).data(), "{id:?} b[{j}][{i}]");
+                    assert_eq!(ga.limb(i).data(), wa.limb(i).data(), "{id:?} a[{j}][{i}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_regenerated_execution_produce_identical_ciphertexts() {
+        // The acceptance pin: the same circuit driven through a Fetch-mode
+        // cache and a Regenerate-mode cache (same master seed, same
+        // encryption randomness) yields byte-identical serialized outputs.
+        let c = ctx();
+        let master = 2024;
+        let keys = seeded_keyset(&c, master, &[1, 2]);
+        let secret = derive_secret(&c, master);
+        let enc = Encoder::new(&c);
+        let ev = Evaluator::new(&c);
+        let msg: Vec<Complex> = (0..c.slots())
+            .map(|i| Complex::new((i as f64).sin() * 0.4, 0.1))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, c.max_level()), &mut rng);
+
+        let mut fetch = EvkCache::over_keyset(usize::MAX, keys);
+        let mut regen = EvkCache::regenerating(usize::MAX, secret, master);
+        let run = |cache: &mut EvkCache| {
+            let sq = ev.mul_relin_cached(&ct, &ct, cache);
+            let rot = ev.rotate_cached(&sq, 1, cache).expect("key derivable");
+            ev.conjugate_cached(&rot, cache)
+        };
+        let a = serialize_ciphertext(&run(&mut fetch));
+        let b = serialize_ciphertext(&run(&mut regen));
+        assert_eq!(a, b, "fetch and regenerate modes must be bit-identical");
+        // Both charged identical uncached byte totals; only the DRAM split
+        // differs (regeneration recomputes every missed byte).
+        let sf = fetch.stats();
+        let sr = regen.stats();
+        assert_eq!(sf.hit_bytes + sf.miss_bytes, sr.hit_bytes + sr.miss_bytes);
+        assert_eq!(sf.dram_bytes(), sf.miss_bytes);
+        assert_eq!(sr.dram_bytes(), 0, "regeneration avoids all DRAM fetches");
+    }
+}

@@ -97,6 +97,11 @@ pub struct EvalKey {
 }
 
 impl EvalKey {
+    /// Reassembles a key from its digit pairs (deserialization path).
+    pub(crate) fn from_digits(digits: Vec<(Poly, Poly)>) -> Self {
+        Self { digits }
+    }
+
     /// The number of decomposition digits `D`.
     pub fn num_digits(&self) -> usize {
         self.digits.len()
@@ -370,6 +375,51 @@ mod tests {
             "wraps mod slots"
         );
         assert!(keys.rotation(3, m).is_none());
+    }
+
+    #[test]
+    fn rotation_wraps_at_slot_boundaries() {
+        let (ctx, keys) = setup(); // keys for distances {1, 2}
+        let m = ctx.slots();
+        let m_i = m as isize;
+        // Every representative of the residue class resolves to the same key
+        // object: ±k·slots offsets and the exact slot-count boundary.
+        let base = keys.rotation(1, m).expect("base key") as *const EvalKey;
+        for r in [1, 1 + m_i, 1 - m_i, 1 + 3 * m_i, 1 - 2 * m_i] {
+            let k = keys.rotation(r, m).expect("wraps to distance 1");
+            assert!(std::ptr::eq(k, base), "r={r} must resolve to the same key");
+        }
+        // Distance 0 (and all multiples of the slot count) normalizes to the
+        // identity rotation, which is never stored.
+        for r in [0, m_i, -m_i, 2 * m_i] {
+            assert!(keys.rotation(r, m).is_none(), "r={r} is the identity");
+        }
+        // Negative distances wrap to their positive complement.
+        assert!(
+            std::ptr::eq(
+                keys.rotation(-(m_i - 2), m).expect("complement of 2"),
+                keys.rotation(2, m).expect("distance 2")
+            ),
+            "-(slots-2) and 2 are the same class"
+        );
+    }
+
+    #[test]
+    fn generation_normalizes_requested_distances() {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let m = ctx.slots() as isize;
+        let mut rng = StdRng::seed_from_u64(43);
+        // m + 2 wraps to 2; -1 wraps to slots − 1; m wraps to the identity
+        // and must not produce a key.
+        let keys = KeyGenerator::new(&ctx, &mut rng).generate(&[m + 2, -1, m]);
+        assert_eq!(keys.rotations.len(), 2);
+        assert!(keys.rotation(2, ctx.slots()).is_some());
+        assert!(keys.rotation(-1, ctx.slots()).is_some());
+        assert!(
+            keys.rotation(m - 1, ctx.slots()).is_some(),
+            "same class as -1"
+        );
+        assert!(keys.rotation(0, ctx.slots()).is_none());
     }
 
     #[test]

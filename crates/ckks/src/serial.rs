@@ -7,15 +7,27 @@
 //! residue data and metadata cross the wire.
 //!
 //! Format (little-endian): magic `b"ANHM"`, version u16, kind u8,
-//! `log2 N` u8, limb count u16, format u8, scale f64, then per limb the
-//! modulus u64 followed by `N` residues u64.
+//! `log2 N` u8, then a kind-specific body. Ciphertexts and plaintexts carry
+//! scale f64 followed by their polynomials; an evaluation key carries its
+//! digit count u16 followed by `2·D` full-basis polynomials. Each polynomial
+//! is limb count u16, format u8, then per limb the modulus u64 followed by
+//! `N` residues u64.
+//!
+//! Evaluation keys ship over the wire in key-distribution and
+//! cache-warming flows (docs/KEYS.md), so they get the same framed format;
+//! their polynomials are validated against the full `Q‖P` chain with an
+//! *exact* limb count, where ciphertext polynomials validate against a
+//! prefix of the `Q` chain.
 
 use std::fmt;
+use std::sync::Arc;
 
+use ckks_math::ntt::NttContext;
 use ckks_math::poly::{Format, Limb, Poly};
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
+use crate::keys::EvalKey;
 
 const MAGIC: &[u8; 4] = b"ANHM";
 const VERSION: u16 = 1;
@@ -60,6 +72,7 @@ impl std::error::Error for SerialError {}
 enum Kind {
     Ciphertext = 1,
     Plaintext = 2,
+    EvalKey = 3,
 }
 
 struct Writer(Vec<u8>);
@@ -123,18 +136,25 @@ fn write_poly(w: &mut Writer, p: &Poly) {
     }
 }
 
-fn read_poly(r: &mut Reader<'_>, ctx: &CkksContext) -> Result<Poly, SerialError> {
+/// Reads one polynomial, validating its limbs against `chain` in order.
+/// `exact` requires the limb count to equal the chain length (full-basis key
+/// polynomials); otherwise any non-empty prefix is accepted (ciphertexts at
+/// reduced level).
+fn read_poly_in(
+    r: &mut Reader<'_>,
+    chain: &[Arc<NttContext>],
+    n: usize,
+    exact: bool,
+) -> Result<Poly, SerialError> {
     let limbs = r.u16()? as usize;
     let format = match r.u8()? {
         0 => Format::Coeff,
         1 => Format::Eval,
         _ => return Err(SerialError::BadHeader),
     };
-    if limbs == 0 || limbs > ctx.max_level() {
+    if limbs == 0 || limbs > chain.len() || (exact && limbs != chain.len()) {
         return Err(SerialError::ModulusMismatch);
     }
-    let n = ctx.n();
-    let chain = ctx.basis_q(ctx.max_level());
     let mut out = Vec::with_capacity(limbs);
     for prime_ctx in chain.iter().take(limbs) {
         let q = r.u64()?;
@@ -152,6 +172,11 @@ fn read_poly(r: &mut Reader<'_>, ctx: &CkksContext) -> Result<Poly, SerialError>
         out.push(Limb::from_data(prime_ctx.clone(), data));
     }
     Ok(Poly::from_limbs(out, format))
+}
+
+/// Reads a ciphertext/plaintext polynomial: any prefix of the `Q` chain.
+fn read_poly(r: &mut Reader<'_>, ctx: &CkksContext) -> Result<Poly, SerialError> {
+    read_poly_in(r, ctx.basis_q(ctx.max_level()), ctx.n(), false)
 }
 
 fn write_header(w: &mut Writer, kind: Kind, log_n: u8) {
@@ -250,6 +275,52 @@ pub fn deserialize_plaintext(ctx: &CkksContext, bytes: &[u8]) -> Result<Plaintex
     let poly = read_poly(&mut r, ctx)?;
     let level = poly.num_limbs();
     Ok(Plaintext::new(poly, scale, level))
+}
+
+/// Serializes an evaluation key: digit count u16, then per digit the
+/// `(b_j, a_j)` full-basis polynomial pair.
+pub fn serialize_evalkey(evk: &EvalKey) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    let (b0, _) = evk.digit(0);
+    let log_n = b0.n().trailing_zeros() as u8;
+    write_header(&mut w, Kind::EvalKey, log_n);
+    w.u16(evk.num_digits() as u16);
+    for j in 0..evk.num_digits() {
+        let (b, a) = evk.digit(j);
+        write_poly(&mut w, b);
+        write_poly(&mut w, a);
+    }
+    w.0
+}
+
+/// Deserializes an evaluation key against a context. Key polynomials must
+/// cover the context's full `Q‖P` basis exactly and sit in the evaluation
+/// domain, and the digit count must match the context's decomposition
+/// number.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] on malformed or mismatching input.
+pub fn deserialize_evalkey(ctx: &CkksContext, bytes: &[u8]) -> Result<EvalKey, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let log_n = read_header(&mut r, Kind::EvalKey)?;
+    check_degree(log_n, ctx)?;
+    let d = r.u16()? as usize;
+    if d != ctx.decomposition_number() {
+        return Err(SerialError::ModulusMismatch);
+    }
+    let chain = ctx.basis_full();
+    let mut digits = Vec::with_capacity(d);
+    for _ in 0..d {
+        let b = read_poly_in(&mut r, &chain, ctx.n(), true)?;
+        let a = read_poly_in(&mut r, &chain, ctx.n(), true)?;
+        // Keys live in the evaluation domain, like ciphertexts.
+        if b.format() != Format::Eval || a.format() != Format::Eval {
+            return Err(SerialError::BadHeader);
+        }
+        digits.push((b, a));
+    }
+    Ok(EvalKey::from_digits(digits))
 }
 
 #[cfg(test)]
@@ -368,6 +439,81 @@ mod tests {
             deserialize_ciphertext(&other, &bytes).unwrap_err(),
             SerialError::DegreeMismatch
         );
+    }
+
+    #[test]
+    fn evalkey_corrupt_inputs_rejected() {
+        let (ctx, keys) = setup();
+        let bytes = serialize_evalkey(&keys.relin);
+
+        assert_eq!(
+            deserialize_evalkey(&ctx, &bytes[..bytes.len() - 1]).unwrap_err(),
+            SerialError::Truncated
+        );
+        // A ciphertext payload is the wrong kind.
+        let enc = Encoder::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(135);
+        let msg: Vec<Complex> = vec![Complex::ZERO; ctx.slots()];
+        let ct = keys
+            .public
+            .encrypt(&enc.encode(&msg, ctx.max_level()), &mut rng);
+        assert_eq!(
+            deserialize_evalkey(&ctx, &serialize_ciphertext(&ct)).unwrap_err(),
+            SerialError::WrongKind
+        );
+        // Digit count must match the context's decomposition number.
+        let mut bad = bytes.clone();
+        bad[8] = bad[8].wrapping_add(1); // digit-count u16 follows the 8-byte header
+        assert_eq!(
+            deserialize_evalkey(&ctx, &bad).unwrap_err(),
+            SerialError::ModulusMismatch
+        );
+        // And an evk is not a ciphertext.
+        assert_eq!(
+            deserialize_ciphertext(&ctx, &bytes).unwrap_err(),
+            SerialError::WrongKind
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Round-trips randomly generated evaluation keys and pins
+        /// `size_bytes_32` against the serialized length: the wire stores
+        /// 8-byte words, the size model counts the paper's 4-byte words, so
+        /// the residue payload is exactly `2 × size_bytes_32` plus a
+        /// computable framing overhead.
+        #[test]
+        fn evalkey_roundtrip_pins_size_model(seed in 0u64..(1u64 << 48), pick in 0usize..4) {
+            let ctx = CkksContext::new(CkksParams::test_small());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut kg = KeyGenerator::new(&ctx, &mut rng);
+            let sk = kg.gen_secret();
+            let evk = match pick {
+                0 => kg.gen_relin(&sk),
+                1 => kg.gen_conjugation(&sk),
+                r => kg.gen_rotation(&sk, r as isize),
+            };
+
+            let bytes = serialize_evalkey(&evk);
+            let limbs = ctx.max_level() + ctx.params().alpha;
+            let d = evk.num_digits();
+            // 8-byte header + u16 digit count + per poly (u16 limbs + u8
+            // format + u64 modulus per limb) + the residue payload.
+            let overhead = 8 + 2 + 2 * d * (3 + 8 * limbs);
+            proptest::prop_assert_eq!(bytes.len(), overhead + 2 * evk.size_bytes_32());
+
+            let back = deserialize_evalkey(&ctx, &bytes).expect("roundtrip");
+            proptest::prop_assert_eq!(back.num_digits(), d);
+            for j in 0..d {
+                let (gb, ga) = back.digit(j);
+                let (wb, wa) = evk.digit(j);
+                for i in 0..limbs {
+                    proptest::prop_assert_eq!(gb.limb(i).data(), wb.limb(i).data());
+                    proptest::prop_assert_eq!(ga.limb(i).data(), wa.limb(i).data());
+                }
+            }
+        }
     }
 
     #[test]

@@ -335,6 +335,20 @@ impl OpSequence {
             .map(|r| r.bytes)
             .sum()
     }
+
+    /// Bytes of evaluation-key reads alone, counting every read (an object
+    /// read twice is charged twice). This is the sequence's *uncached* evk
+    /// traffic: what a run pulls from DRAM with no evk cache and no
+    /// same-tenant amortization — the baseline the serving layer's
+    /// hit/miss/saved accounting conserves against.
+    pub fn evk_read_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .flat_map(|o| o.reads.iter())
+            .filter(|r| r.kind == ObjKind::Evk)
+            .map(|r| r.bytes)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -436,5 +450,28 @@ mod tests {
         );
         assert_eq!(seq.stream_bytes(), 1010);
         assert_eq!(seq.ideal_bytes(), 1110);
+        assert_eq!(seq.evk_read_bytes(), 1000, "evk reads alone");
+    }
+
+    #[test]
+    fn evk_read_bytes_charges_repeat_reads() {
+        // MinKS-style reuse reads the same evk object once per step; the
+        // uncached baseline charges each read.
+        let mut alloc = ObjAlloc::new();
+        let mut seq = OpSequence::new(params());
+        let evk = alloc.fresh(ObjKind::Evk, 500);
+        for _ in 0..3 {
+            seq.push(
+                Op::new(
+                    OpKind::Ew {
+                        instr: PimInstruction::PMac,
+                        limbs: 1,
+                    },
+                    "pmac",
+                )
+                .read(evk),
+            );
+        }
+        assert_eq!(seq.evk_read_bytes(), 1500);
     }
 }

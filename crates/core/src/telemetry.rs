@@ -85,10 +85,21 @@ pub mod names {
     pub const CANCELLED_OVER_BUDGET: &str = "anaheim_cancelled_over_budget_total";
     /// Requests whose end-to-end integrity verdict failed.
     pub const E2E_INTEGRITY_FAILURES: &str = "anaheim_e2e_integrity_failures_total";
+    /// Evaluation-key bytes served from the evk working set (batch-amortized
+    /// fetches the tenant's earlier request already paid for).
+    pub const EVK_CACHE_HIT_BYTES: &str = "anaheim_evk_cache_hit_bytes_total";
+    /// Evaluation-key bytes fetched from DRAM (cold fetches at batch heads).
+    pub const EVK_CACHE_MISS_BYTES: &str = "anaheim_evk_cache_miss_bytes_total";
+    /// Requests per closed same-tenant dispatch batch (histogram).
+    pub const BATCH_SIZE: &str = "anaheim_batch_size";
 }
 
 /// Deadline-slack / latency bucket bounds: 1 µs … 10 s in decades.
 const SLACK_BOUNDS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Batch-size bucket bounds: powers of two up to the widest batch a
+/// same-tenant run plausibly reaches before the stream interleaves.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 
 /// Display-track names for replica shards (`"shard-0"` …). Span tracks are
 /// `&'static str`, so the table is static; fleets wider than the table wrap
@@ -253,6 +264,22 @@ impl Telemetry {
             names::E2E_INTEGRITY_FAILURES,
             "Requests whose end-to-end integrity verdict failed",
             "requests",
+        );
+        metrics.describe_counter(
+            names::EVK_CACHE_HIT_BYTES,
+            "Evaluation-key bytes amortized by same-tenant batching",
+            "bytes",
+        );
+        metrics.describe_counter(
+            names::EVK_CACHE_MISS_BYTES,
+            "Evaluation-key bytes fetched cold at batch heads",
+            "bytes",
+        );
+        metrics.describe_histogram(
+            names::BATCH_SIZE,
+            "Requests per closed same-tenant dispatch batch",
+            "requests",
+            BATCH_BOUNDS,
         );
         Self {
             trace: TraceRecorder::new(seed),

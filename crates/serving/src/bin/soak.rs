@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! soak [--requests N] [--seed S] [--threads-check] [--quick]
-//!      [--stream] [--hedge] [--shards N] [--snapshot-out FILE]
+//!      [--stream] [--hedge] [--batch] [--shards N] [--snapshot-out FILE]
 //!      [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]
+//!      [--help]
 //! ```
 //!
 //! `--stream` switches to the sharded, bounded-memory streaming soak
@@ -26,9 +27,16 @@
 //! then additionally require at least one hedge launch, one hedge win,
 //! and one over-budget cancellation.
 //!
-//! Unknown or malformed flags print usage on stderr and exit 2. Any
-//! invariant violation, determinism mismatch, or busted RSS budget exits
-//! 1. Success exits 0.
+//! `--batch` (requires `--stream`, conflicts with `--hedge`) swaps the
+//! base scenario to [`SoakConfig::batched_fleet`]: a small tenant pool
+//! over a fault-free two-shard fleet with same-tenant batch serving
+//! enabled, so the streaming invariants additionally require that at
+//! least one evaluation-key fetch was amortized and that the saved bytes
+//! reconcile with the per-shard hit bytes.
+//!
+//! `--help` / `-h` print usage on stdout and exit 0. Unknown or malformed
+//! flags print usage on stderr and exit 2. Any invariant violation,
+//! determinism mismatch, or busted RSS budget exits 1. Success exits 0.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -47,6 +55,7 @@ struct Opts {
     threads_check: bool,
     stream: bool,
     hedge: bool,
+    batch: bool,
     shards: Option<u32>,
     snapshot_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -62,6 +71,7 @@ impl Default for Opts {
             threads_check: false,
             stream: false,
             hedge: false,
+            batch: false,
             shards: None,
             snapshot_out: None,
             trace_out: None,
@@ -93,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--quick" => o.requests = Some(200),
             "--stream" => o.stream = true,
             "--hedge" => o.hedge = true,
+            "--batch" => o.batch = true,
             "--shards" => o.shards = Some(value("--shards", &mut it)?),
             "--snapshot-out" => {
                 o.snapshot_out = Some(PathBuf::from(value::<String>("--snapshot-out", &mut it)?))
@@ -107,9 +118,15 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if o.batch && o.hedge {
+        // The presets are disjoint scenarios; picking both would silently
+        // drop one, so refuse instead.
+        return Err("--batch conflicts with --hedge".into());
+    }
     if !o.stream {
         for (set, flag) in [
             (o.hedge, "--hedge"),
+            (o.batch, "--batch"),
             (o.shards.is_some(), "--shards"),
             (o.snapshot_out.is_some(), "--snapshot-out"),
             (o.trace_out.is_some(), "--trace-out"),
@@ -138,6 +155,10 @@ fn peak_rss_kb() -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if wants_help(&args) {
+        println!("{}", usage_text());
+        return;
+    }
     let opts = parse_args(&args).unwrap_or_else(|e| usage(&e));
     if opts.stream {
         run_stream_mode(&opts);
@@ -206,6 +227,8 @@ fn run_batch_mode(opts: &Opts) {
 fn run_stream_mode(opts: &Opts) {
     let mut cfg = if opts.hedge {
         SoakConfig::hedge_chaos(opts.seed)
+    } else if opts.batch {
+        SoakConfig::batched_fleet(opts.seed)
     } else {
         SoakConfig::fleet_chaos(opts.seed)
     };
@@ -235,18 +258,26 @@ fn run_stream_mode(opts: &Opts) {
             cfg.gpu_stall_prob, cfg.gpu_stall_ns, cfg.gpu_flip_prob,
         );
     }
+    if opts.batch {
+        println!(
+            "soak: batched-fleet: {} tenants, same-tenant batch serving on \
+             (evaluation-key fetches amortized within a batch)",
+            cfg.tenants,
+        );
+    }
     // Provenance: everything a reader needs to reproduce this run
     // bit-for-bit (the fault streams derive from the seed; the thread
     // count must NOT change the artifacts — that is the gate).
     println!(
         "soak: provenance: fault-seed={} shards={} workers-per-shard={} \
-         ANAHEIM_THREADS={} hedge={} cancel={}",
+         ANAHEIM_THREADS={} hedge={} cancel={} batching={}",
         cfg.seed,
         cfg.shards,
         cfg.workers,
         std::env::var("ANAHEIM_THREADS").unwrap_or_else(|_| "auto".into()),
         cfg.hedge,
         cfg.cancel,
+        cfg.batching,
     );
 
     let mut tel = Telemetry::new(cfg.seed);
@@ -346,13 +377,25 @@ fn check_rss(opts: &Opts) {
     }
 }
 
+/// True when the invocation is a help request (`--help` or `-h` anywhere
+/// on the line). Checked before strict parsing so `soak --help` succeeds
+/// even next to otherwise-invalid flags.
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// The usage block, shared by `--help` (stdout, exit 0) and parse errors
+/// (stderr, exit 2).
+fn usage_text() -> &'static str {
+    "usage: soak [--requests N] [--seed S] [--threads-check] [--quick]\n\
+     \x20           [--stream] [--hedge] [--batch] [--shards N] [--snapshot-out FILE]\n\
+     \x20           [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]\n\
+     \x20           [--help]"
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("soak: {msg}");
-    eprintln!(
-        "usage: soak [--requests N] [--seed S] [--threads-check] [--quick]\n\
-         \x20           [--stream] [--hedge] [--shards N] [--snapshot-out FILE]\n\
-         \x20           [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]"
-    );
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
@@ -437,6 +480,39 @@ mod tests {
         let e = parse_args(&args(&["--hedge"])).unwrap_err();
         assert!(e.contains("requires --stream"), "{e}");
         assert!(parse_args(&args(&["--stream", "--hedge"])).is_ok());
+        // So is --batch, and the two scenarios are mutually exclusive.
+        let e = parse_args(&args(&["--batch"])).unwrap_err();
+        assert!(e.contains("requires --stream"), "{e}");
+        assert!(parse_args(&args(&["--stream", "--batch"])).is_ok());
+        let e = parse_args(&args(&["--stream", "--batch", "--hedge"])).unwrap_err();
+        assert!(e.contains("conflicts"), "{e}");
+    }
+
+    #[test]
+    fn help_is_detected_anywhere_on_the_line() {
+        assert!(wants_help(&args(&["--help"])));
+        assert!(wants_help(&args(&["-h"])));
+        assert!(wants_help(&args(&["--stream", "--help", "--nonsense"])));
+        assert!(!wants_help(&args(&["--stream"])));
+        assert!(!wants_help(&[]));
+        // The usage text names every flag the parser accepts.
+        for flag in [
+            "--requests",
+            "--seed",
+            "--threads-check",
+            "--quick",
+            "--stream",
+            "--hedge",
+            "--batch",
+            "--shards",
+            "--snapshot-out",
+            "--trace-out",
+            "--metrics-out",
+            "--rss-budget-kb",
+            "--help",
+        ] {
+            assert!(usage_text().contains(flag), "usage missing {flag}");
+        }
     }
 
     #[test]

@@ -167,6 +167,20 @@ pub enum Outcome {
         /// What happened on the replica.
         outcome: Box<Outcome>,
     },
+    /// Same-tenant batch serving only
+    /// ([`ServingConfig::batching`](crate::ServingConfig::batching)): this
+    /// dispatch joined the running same-tenant batch on its shard, so its
+    /// evaluation-key working set was already resident — the fetch the
+    /// batch head paid for is amortized, not repeated. Wraps what then
+    /// happened to the execution.
+    Batched {
+        /// Evaluation-key bytes this request did not re-fetch
+        /// (its sequence's
+        /// [`evk_read_bytes`](anaheim_core::ir::OpSequence::evk_read_bytes)).
+        evk_bytes_saved: u64,
+        /// The execution's outcome.
+        outcome: Box<Outcome>,
+    },
 }
 
 impl Outcome {
@@ -182,13 +196,13 @@ impl Outcome {
         matches!(self.final_outcome(), Outcome::Rejected(_))
     }
 
-    /// The terminal outcome, unwrapping [`Outcome::Rerouted`] and
-    /// [`Outcome::Hedged`].
+    /// The terminal outcome, unwrapping [`Outcome::Rerouted`],
+    /// [`Outcome::Hedged`], and [`Outcome::Batched`].
     pub fn final_outcome(&self) -> &Outcome {
         match self {
-            Outcome::Rerouted { outcome, .. } | Outcome::Hedged { outcome, .. } => {
-                outcome.final_outcome()
-            }
+            Outcome::Rerouted { outcome, .. }
+            | Outcome::Hedged { outcome, .. }
+            | Outcome::Batched { outcome, .. } => outcome.final_outcome(),
             other => other,
         }
     }
@@ -290,6 +304,35 @@ mod tests {
             finish_ns: 1.0,
         };
         assert!(!bad.is_completed(), "a corrupted result is never a success");
+    }
+
+    #[test]
+    fn batched_predicates_look_through_the_wrapper() {
+        let done = Outcome::Completed {
+            start_ns: 0.0,
+            finish_ns: 1.0,
+            deadline_ns: 2.0,
+            deadline_slack_ns: 1.0,
+            faults: 0,
+            pim_fallbacks: 0,
+            breaker_skips: 0,
+        };
+        let batched = Outcome::Batched {
+            evk_bytes_saved: 4096,
+            outcome: Box::new(done.clone()),
+        };
+        assert!(batched.is_completed());
+        assert_eq!(batched.final_outcome(), &done);
+        // A batch member that still missed its deadline unwraps to the miss.
+        let missed = Outcome::Batched {
+            evk_bytes_saved: 4096,
+            outcome: Box::new(Outcome::DeadlineMiss {
+                start_ns: 0.0,
+                finish_ns: 9.0,
+                deadline_ns: 5.0,
+            }),
+        };
+        assert!(!missed.is_completed());
     }
 
     #[test]

@@ -50,7 +50,9 @@ use anaheim_core::telemetry::{names, shard_track, Telemetry};
 use anaheim_core::RunError;
 use obs::StreamingTraceSink;
 
-use crate::engine::{next_dispatch, prepare_batch, Prepared, ServingConfig, ServingEngine};
+use crate::engine::{
+    next_dispatch, prepare_batch, BatchStats, Prepared, ServingConfig, ServingEngine,
+};
 use crate::queue::AdmissionQueue;
 use crate::request::{Outcome, Rejected, Request, Response};
 use crate::router::ShardRouter;
@@ -201,6 +203,9 @@ pub struct ShardSnapshot {
     pub transitions: Vec<ShardTransition>,
     /// Finish time of the shard's busiest lane (ns).
     pub last_finish_ns: f64,
+    /// Same-tenant batch evk accounting (all zeros with
+    /// [`ServingConfig::batching`] off).
+    pub evk: BatchStats,
 }
 
 /// Fleet-level routing counters.
@@ -257,7 +262,10 @@ fn outcome_rank(o: &Outcome) -> u8 {
         Outcome::IntegrityFailure { .. } => 3,
         // `final_outcome` never returns a wrapper, and executions are
         // never sheds; rank them last for exhaustiveness.
-        Outcome::Rejected(_) | Outcome::Rerouted { .. } | Outcome::Hedged { .. } => 4,
+        Outcome::Rejected(_)
+        | Outcome::Rerouted { .. }
+        | Outcome::Hedged { .. }
+        | Outcome::Batched { .. } => 4,
     }
 }
 
@@ -503,10 +511,24 @@ impl Shard {
                 let margin = p.deadline_ns - (start + p.estimate_ns);
                 (margin < cfg.hedge_slack_fraction * p.estimate_ns, p.clone())
             });
-            let (resp, finish) =
+            // A batch is a maximal run of consecutive same-tenant
+            // dispatches on THIS shard's serial lane — it never crosses a
+            // shard, because each shard owns its own tracker.
+            let saved = self.engine.note_batch_dispatch(
+                p.tenant,
+                p.seq.evk_read_bytes(),
+                tel.as_deref_mut(),
+            );
+            let (mut resp, finish) =
                 self.engine
                     .execute(p, start, tel.as_deref_mut(), shard_track(self.id))?;
             self.lanes[lane] = finish;
+            if saved > 0 {
+                resp.outcome = Outcome::Batched {
+                    evk_bytes_saved: saved,
+                    outcome: Box::new(resp.outcome),
+                };
+            }
             match hedge_probe {
                 Some((risky, prepared)) => {
                     let failed = matches!(
@@ -584,6 +606,7 @@ impl Shard {
             health: self.engine.snapshot(),
             transitions: self.transitions.clone(),
             last_finish_ns: self.lanes.iter().copied().fold(0.0, f64::max),
+            evk: self.engine.evk_stats(),
         }
     }
 }
@@ -595,6 +618,9 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     router: ShardRouter,
     cfg: ShardConfig,
+    /// Same-tenant batching is on ([`ServingConfig::batching`]): the
+    /// snapshot text carries the per-shard evk lines.
+    batching: bool,
     fleet: FleetCounters,
     /// Per-tenant hedge token buckets: `(tokens, last_refill_ns)` in
     /// virtual time. A `BTreeMap` so iteration/debug order is stable.
@@ -610,6 +636,7 @@ impl ShardedEngine {
     /// `shard_cfg.shards` replicas, each built from its own copy of
     /// `serving` (same platform, its own registry and lanes).
     pub fn new(serving: ServingConfig, shard_cfg: ShardConfig) -> Self {
+        let batching = serving.batching;
         let shards = (0..shard_cfg.shards.max(1))
             .map(|id| Shard::new(id, serving.clone(), &shard_cfg))
             .collect();
@@ -617,6 +644,7 @@ impl ShardedEngine {
             shards,
             router: ShardRouter::new(shard_cfg.router_seed, shard_cfg.shards.max(1)),
             cfg: shard_cfg,
+            batching,
             fleet: FleetCounters::default(),
             hedge_tokens: std::collections::BTreeMap::new(),
         }
@@ -699,6 +727,9 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             let h = if hedging { Some(&mut hedges) } else { None };
             shard.advance_to(f64::INFINITY, &self.cfg, tel_of(&mut obs), &mut out, h)?;
+            // End of stream: the shard's open same-tenant batch closes so
+            // its size lands in the histogram and the stats.
+            shard.engine.flush_batch(tel_of(&mut obs));
         }
         self.resolve_hedges(&mut hedges, &mut out, &mut obs)?;
         for r in out.drain(..) {
@@ -933,6 +964,21 @@ impl ShardedEngine {
                 );
             }
             let _ = writeln!(s);
+            // Gated on the batching knob so a non-batching fleet's text is
+            // byte-identical to one rendered before the evk line existed.
+            if self.batching {
+                let e = snap.evk;
+                let _ = writeln!(
+                    s,
+                    "  evk: hit-bytes={} miss-bytes={} saved-bytes={} \
+                     batches={} max-batch={}",
+                    e.hit_bytes,
+                    e.miss_bytes,
+                    e.saved_bytes(),
+                    e.batches,
+                    e.max_batch
+                );
+            }
             let _ = writeln!(s, "  breaker-transitions: {}", snap.health.transitions);
             for (i, t) in snap.transitions.iter().enumerate() {
                 let _ = writeln!(
@@ -1016,6 +1062,8 @@ impl ShardedEngine {
                     );
                 }
             }
+            // Batch evk bytes, per shard; zero-guarded inside.
+            shard.engine.export_evk(tel, Some(shard.id));
         }
         for (event, v) in [
             ("rerouted", self.fleet.rerouted),
@@ -1402,6 +1450,68 @@ mod tests {
             ),
             (0, 0, 0, 0)
         );
+    }
+
+    #[test]
+    fn batched_fleet_amortizes_per_shard_and_renders_evk_lines() {
+        let mk = |batching| {
+            ShardedEngine::new(
+                ServingConfig {
+                    workers: 2,
+                    queue_capacity: 8,
+                    batching,
+                    ..ServingConfig::a100_default(7)
+                },
+                ShardConfig::new(2),
+            )
+        };
+        let mut e = mk(true);
+        // Two tenants, one homed on each shard, each submitting a run of
+        // back-to-back requests: every shard sees one maximal batch.
+        let t0 = tenant_on(&e, 0);
+        let t1 = tenant_on(&e, 1);
+        let tpl = wide_tpl();
+        let mut reqs = Vec::new();
+        for i in 0..4u64 {
+            reqs.push(req(i, t0, i as f64 * 1e3, &tpl));
+        }
+        for i in 4..8u64 {
+            reqs.push(req(i, t1, 1e4 + i as f64 * 1e3, &tpl));
+        }
+        let got = collect(&mut e, reqs.clone());
+        assert_eq!(got.len(), 8);
+        assert!(got.iter().all(|r| r.outcome.is_completed()));
+        let saved: u64 = got
+            .iter()
+            .map(|r| match r.outcome {
+                Outcome::Batched {
+                    evk_bytes_saved, ..
+                } => evk_bytes_saved,
+                _ => 0,
+            })
+            .sum();
+        assert!(saved > 0, "same-tenant runs must amortize evk fetches");
+        let snaps = e.snapshots();
+        let hit: u64 = snaps.iter().map(|s| s.evk.hit_bytes).sum();
+        let miss: u64 = snaps.iter().map(|s| s.evk.miss_bytes).sum();
+        assert_eq!(saved, hit, "response accounting matches shard stats");
+        // Conservation: each of the 8 dispatches charged exactly once, and
+        // a batch never crosses a shard (each shard has its own heads).
+        assert_eq!(hit + miss, 8 * miss / 2);
+        assert!(snaps.iter().all(|s| s.evk.miss_bytes > 0));
+        let text = e.render_snapshots();
+        assert!(
+            text.contains("evk: hit-bytes="),
+            "batching fleet renders the evk line: {text}"
+        );
+        // The same trace with batching off: no wrapper, no evk line, and
+        // the snapshot text has no trace of the feature.
+        let mut off = mk(false);
+        let got_off = collect(&mut off, reqs);
+        assert!(got_off
+            .iter()
+            .all(|r| !matches!(r.outcome, Outcome::Batched { .. })));
+        assert!(!off.render_snapshots().contains("evk:"));
     }
 
     #[test]

@@ -99,6 +99,15 @@ pub struct SoakConfig {
     /// are cancelled mid-flight instead of running to a post-hoc miss
     /// ([`ServingConfig::cancel_over_budget`]).
     pub cancel: bool,
+    /// Tenant population the trace draws from. The default 64 reproduces
+    /// every pre-existing trace bit-exactly; a small population makes
+    /// consecutive same-tenant dispatches — and therefore batching wins —
+    /// likely.
+    pub tenants: u32,
+    /// Enable same-tenant batch serving in the streaming fleet soak
+    /// ([`ServingConfig::batching`]). Streaming soak only; the
+    /// single-engine [`run_soak`] ignores it.
+    pub batching: bool,
 }
 
 impl SoakConfig {
@@ -122,6 +131,8 @@ impl SoakConfig {
             gpu_flip_prob: 0.0,
             hedge: false,
             cancel: false,
+            tenants: 64,
+            batching: false,
         }
     }
 
@@ -152,6 +163,30 @@ impl SoakConfig {
             stuck_window: Some((600, 620)),
             shards: 4,
             shard_storm: Some((150, 260)),
+            ..Self::chaos(seed)
+        }
+    }
+
+    /// The batched-fleet soak: a small tenant population on a two-shard
+    /// fault-free fleet with same-tenant batch serving on, so runs of
+    /// consecutive same-tenant dispatches amortize their evaluation-key
+    /// fetches ([`ServingConfig::batching`]). The `batch` gate in
+    /// `scripts/check.sh` replays it at two thread counts and
+    /// byte-compares the snapshot text — including the per-shard
+    /// `evk: … saved-bytes=…` lines.
+    pub fn batched_fleet(seed: u64) -> Self {
+        Self {
+            requests: 2000,
+            workers: 2,
+            queue_capacity: 8,
+            flip_probability: 0.0,
+            storm_every: 0,
+            stuck_window: None,
+            arrival_factor: 1.1,
+            shards: 2,
+            shard_storm: None,
+            tenants: 4,
+            batching: true,
             ..Self::chaos(seed)
         }
     }
@@ -363,7 +398,7 @@ impl Iterator for TraceGen {
             1 => Priority::Batch,
             _ => Priority::Standard,
         };
-        let tenant = ((h >> 40) % 64) as u32;
+        let tenant = ((h >> 40) % u64::from(cfg.tenants.max(1))) as u32;
         self.arrival += self.mean_gap * (0.25 + 1.5 * self.rng.unit());
         // Slack scales with the reference cost; interactive is tight
         // enough that queueing or fault recovery can break it.
@@ -539,6 +574,9 @@ pub fn check_invariants(cfg: &SoakConfig, out: &SoakOutcome) -> Result<SoakSumma
             Outcome::Hedged { .. } => {
                 return Err(format!("request {} hedged in a single-engine soak", r.id))
             }
+            Outcome::Batched { .. } => {
+                return Err(format!("request {} batched in a single-engine soak", r.id))
+            }
         }
     }
     let c = &out.snapshot.counters;
@@ -642,6 +680,16 @@ pub struct StreamSummary {
     pub readmits: u64,
     /// Bank domains left permanently open (all shards).
     pub dead_banks: u64,
+    /// Evk bytes amortized by same-tenant batching (all shards).
+    pub evk_hit_bytes: u64,
+    /// Evk bytes fetched cold at batch heads (all shards).
+    pub evk_miss_bytes: u64,
+    /// Evk bytes reported saved by [`Outcome::Batched`] responses — equal
+    /// to `evk_hit_bytes` when hedging is off (hedge re-executions bypass
+    /// the dispatch lane, so their primaries' wrappers can be absorbed).
+    pub evk_saved_bytes: u64,
+    /// Same-tenant batches closed (all shards; zero with batching off).
+    pub batches: u64,
     /// Finish time of the busiest lane in the fleet (virtual ns).
     pub last_finish_ns: f64,
 }
@@ -687,7 +735,15 @@ impl fmt::Display for StreamSummary {
             self.readmits,
             self.dead_banks,
             self.virtual_rps()
-        )
+        )?;
+        if self.batches > 0 {
+            write!(
+                f,
+                ", evk {} hit / {} miss / {} saved bytes over {} batches",
+                self.evk_hit_bytes, self.evk_miss_bytes, self.evk_saved_bytes, self.batches
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -774,6 +830,8 @@ impl StreamInvariants {
             if *loser_consumed_ns < 0.0 {
                 return Err(format!("request {id}: hedge loser consumed negative time"));
             }
+            // A hedged primary may carry a Batched wrapper from its
+            // dispatch; everything else below Hedged must be terminal.
             if matches!(
                 **inner,
                 Outcome::Hedged { .. } | Outcome::Rerouted { .. } | Outcome::Rejected(_)
@@ -783,6 +841,28 @@ impl StreamInvariants {
                 ));
             }
             self.hedged_seen += 1;
+            outcome = inner;
+        }
+        if let Outcome::Batched {
+            evk_bytes_saved,
+            outcome: inner,
+        } = outcome
+        {
+            if *evk_bytes_saved == 0 {
+                return Err(format!("request {id}: Batched with nothing saved"));
+            }
+            if matches!(
+                **inner,
+                Outcome::Batched { .. }
+                    | Outcome::Hedged { .. }
+                    | Outcome::Rerouted { .. }
+                    | Outcome::Rejected(_)
+            ) {
+                return Err(format!(
+                    "request {id}: Batched must wrap a terminal execution outcome"
+                ));
+            }
+            self.summary.evk_saved_bytes += evk_bytes_saved;
             outcome = inner;
         }
         match outcome {
@@ -861,7 +941,9 @@ impl StreamInvariants {
                 }
                 self.summary.all_shards_unhealthy += 1;
             }
-            Outcome::Rerouted { .. } | Outcome::Hedged { .. } => unreachable!("unwrapped above"),
+            Outcome::Rerouted { .. } | Outcome::Hedged { .. } | Outcome::Batched { .. } => {
+                unreachable!("unwrapped above")
+            }
         }
         Ok(())
     }
@@ -940,6 +1022,9 @@ impl StreamInvariants {
             self.summary.drains += s.counters.drains;
             self.summary.readmits += s.counters.readmits;
             self.summary.dead_banks += s.health.banks.iter().filter(|b| b.permanent).count() as u64;
+            self.summary.evk_hit_bytes += s.evk.hit_bytes;
+            self.summary.evk_miss_bytes += s.evk.miss_bytes;
+            self.summary.batches += s.evk.batches;
         }
         // Hedges execute on a sibling's registry without a fleet
         // submission, so executions = submissions + hedges.
@@ -987,6 +1072,24 @@ impl StreamInvariants {
         if cfg.stuck_window.is_some() && self.summary.dead_banks == 0 {
             return Err("stuck-lane window never tripped a permanent breaker".into());
         }
+        if cfg.batching {
+            if self.summary.evk_saved_bytes == 0 {
+                return Err("batching enabled but no evk fetch was amortized".into());
+            }
+            // Hedge re-executions bypass the dispatch lane, so response
+            // and shard accounting can legitimately diverge under hedging;
+            // everywhere else they must agree byte-for-byte.
+            if !cfg.hedge && self.summary.evk_saved_bytes != self.summary.evk_hit_bytes {
+                return Err(format!(
+                    "Batched responses saved {} bytes but shards recorded {} hit bytes",
+                    self.summary.evk_saved_bytes, self.summary.evk_hit_bytes
+                ));
+            }
+        } else if self.summary.evk_saved_bytes + self.summary.evk_hit_bytes + self.summary.batches
+            != 0
+        {
+            return Err("batching disabled but batch accounting is nonzero".into());
+        }
         let snapshot_text = engine.render_snapshots();
         Ok(StreamOutcome {
             summary: self.summary,
@@ -1013,6 +1116,7 @@ pub fn run_soak_stream(
             workers: cfg.workers,
             queue_capacity: cfg.queue_capacity,
             cancel_over_budget: cfg.cancel,
+            batching: cfg.batching,
             ..ServingConfig::a100_default(cfg.seed)
         },
         shard_config_for(cfg),
@@ -1193,6 +1297,54 @@ mod tests {
         // check_invariants; determinism:
         let again = run_soak(&cfg).unwrap();
         assert_eq!(out.responses, again.responses);
+    }
+
+    #[test]
+    fn batched_fleet_stream_soak_amortizes_evk_fetches() {
+        let cfg = SoakConfig {
+            requests: 400,
+            ..SoakConfig::batched_fleet(31)
+        };
+        let out = run_soak_stream(&cfg, None).unwrap();
+        let s = out.summary;
+        assert_eq!(s.requests, 400);
+        // finish() already enforces saved > 0 and saved == shard hit bytes
+        // (no hedging in this preset); pin the headline shape too.
+        assert!(s.evk_saved_bytes > 0, "{s}");
+        assert_eq!(s.evk_saved_bytes, s.evk_hit_bytes, "{s}");
+        assert!(s.evk_miss_bytes > 0, "every batch head pays a full fetch");
+        assert!(s.batches > 0, "{s}");
+        assert!(s.completed > 0, "{s}");
+        assert!(s.to_string().contains("evk"), "summary reports evk: {s}");
+        assert!(out.snapshot_text.contains("evk: hit-bytes="));
+        let again = run_soak_stream(&cfg, None).unwrap();
+        assert_eq!(out.snapshot_text, again.snapshot_text);
+        assert_eq!(out.summary, again.summary);
+    }
+
+    #[test]
+    fn unbatched_fleet_stream_soak_has_zero_batch_accounting() {
+        // Same trace shape, batching off: the summary must show no batch
+        // accounting at all (finish() errors otherwise) and the snapshot
+        // text must not grow an evk line.
+        let cfg = SoakConfig {
+            requests: 400,
+            batching: false,
+            ..SoakConfig::batched_fleet(31)
+        };
+        let out = run_soak_stream(&cfg, None).unwrap();
+        let s = out.summary;
+        assert_eq!(
+            (
+                s.evk_saved_bytes,
+                s.evk_hit_bytes,
+                s.evk_miss_bytes,
+                s.batches
+            ),
+            (0, 0, 0, 0),
+            "{s}"
+        );
+        assert!(!out.snapshot_text.contains("evk:"));
     }
 
     #[test]

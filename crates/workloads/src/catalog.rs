@@ -286,6 +286,18 @@ impl Workload {
             Self::resnet18_aespa(),
         ]
     }
+
+    /// Uncached evaluation-key DRAM traffic of one full run: the sum of
+    /// every segment's `OpSequence::evk_read_bytes()`, weighted by how
+    /// often the segment repeats. This is the per-workload
+    /// bytes-per-bootstrap-style figure of `docs/KEYS.md` — what the
+    /// evk cache and batch amortization have to beat.
+    pub fn evk_read_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.seq.evk_read_bytes() * s.repeat)
+            .sum()
+    }
 }
 
 /// Small helper: extend a sequence in place (keyswitch-aware).
@@ -319,6 +331,23 @@ mod tests {
                 assert!(!s.seq.is_empty(), "{}/{}", w.name, s.name);
                 assert!(s.repeat >= 1);
             }
+        }
+    }
+
+    #[test]
+    fn evk_read_bytes_sums_segments_with_repeats() {
+        // Boot is a single unrepeated bootstrap, so the workload figure
+        // must equal the raw sequence's uncached evk traffic.
+        let boot = Workload::boot();
+        let direct = Builder::new(ParamSet::paper_default()).bootstrap();
+        assert!(boot.evk_read_bytes() > 0);
+        assert_eq!(boot.evk_read_bytes(), direct.evk_read_bytes());
+        // Every paper workload switches keys somewhere, and repeats must
+        // scale the figure linearly (segments are weighted by `repeat`).
+        for w in Workload::all() {
+            assert!(w.evk_read_bytes() > 0, "{} reads no evks?", w.name);
+            let unrepeated: u64 = w.segments.iter().map(|s| s.seq.evk_read_bytes()).sum();
+            assert!(w.evk_read_bytes() >= unrepeated, "{}", w.name);
         }
     }
 

@@ -120,6 +120,12 @@ fn main() {
                 "hedged: shard {winner} won ({:.2} ms wasted on the loser)",
                 loser_consumed_ns / 1e6
             ),
+            Outcome::Batched {
+                evk_bytes_saved, ..
+            } => format!(
+                "batched: joined the running same-tenant batch ({:.1} MB of evk fetches saved)",
+                *evk_bytes_saved as f64 / 1e6
+            ),
         };
         println!(
             "  req {} tenant {} {:11} {:20} -> {verdict}",

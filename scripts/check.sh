@@ -181,4 +181,116 @@ for path, bytes_key in (
     print(f"  {path}: speedup {speedup:.4f}x, overlap {p['overlap_ns']/1e6:.3f} ms — ok")
 EOF
 
+# Batched-fleet gate: same-tenant batch serving over the two-shard fleet.
+# The soak binary's streaming invariants already require >=1 amortized
+# evaluation-key fetch and that the saved bytes reconcile with the
+# per-shard hit bytes; here we additionally byte-compare the snapshot
+# across thread counts and independently grep the artifact for a nonzero
+# saving, so a silently-disabled batcher cannot pass.
+#   BATCH_SOAK_REQUESTS=2000 scripts/check.sh
+BATCH_SOAK_REQUESTS="${BATCH_SOAK_REQUESTS:-20000}"
+echo "==> batched-fleet streaming soak ($BATCH_SOAK_REQUESTS requests)"
+for threads in 1 8; do
+  echo "==> batched-fleet streaming soak (ANAHEIM_THREADS=$threads)"
+  ANAHEIM_THREADS="$threads" ./target/release/soak --stream --batch \
+    --requests "$BATCH_SOAK_REQUESTS" \
+    --rss-budget-kb "$STREAM_SOAK_RSS_BUDGET_KB" \
+    --snapshot-out "$snap_dir/batch-t$threads.txt"
+done
+if cmp -s "$snap_dir/batch-t1.txt" "$snap_dir/batch-t8.txt"; then
+  echo "  batched-fleet snapshots byte-identical across ANAHEIM_THREADS=1/8 — ok"
+else
+  echo "FAIL: batched-fleet snapshots differ across thread counts" >&2
+  diff "$snap_dir/batch-t1.txt" "$snap_dir/batch-t8.txt" | head -20 >&2
+  exit 1
+fi
+if ! grep -Eq 'saved-bytes=[1-9]' "$snap_dir/batch-t1.txt"; then
+  echo "FAIL: batched-fleet soak amortized zero evaluation-key bytes" >&2
+  exit 1
+fi
+echo "  evaluation-key bytes amortized in the snapshot — ok"
+
+# Evaluation-key traffic conservation gate (docs/KEYS.md): on every BENCH
+# row carrying the evk split, cached plus missed bytes must equal the
+# uncached total — the cache model reclassifies traffic, it never
+# invents or loses bytes. The MinKS row must amortize something (that is
+# the point of the single shared key), and the batched-fleet serving row's
+# saved bytes must equal its hit bytes.
+echo "==> evaluation-key conservation gate (BENCH_ckks.json / BENCH_serving.json)"
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_ckks.json") as f:
+    ckks = json.load(f)
+rows = [r for r in ckks if "evk_uncached_bytes" in r]
+if not any(r["op"].startswith("sched_evk_boot_") for r in rows):
+    sys.exit("BENCH_ckks.json: no sched_evk_boot_* rows")
+for r in rows:
+    hit, miss, total = r["evk_hit_bytes"], r["evk_miss_bytes"], r["evk_uncached_bytes"]
+    if hit + miss != total:
+        sys.exit(
+            f"BENCH_ckks.json: {r['op']}: hit {hit} + miss {miss} != uncached {total}"
+        )
+minks = [r for r in rows if r["op"] == "sched_evk_lintrans_minks"]
+if not minks or minks[0]["evk_hit_bytes"] == 0:
+    sys.exit("BENCH_ckks.json: MinKS row amortized nothing")
+print(f"  {len(rows)} evk rows conserve bytes; MinKS amortized "
+      f"{minks[0]['evk_hit_bytes']/1e6:.1f} MB — ok")
+
+with open("BENCH_serving.json") as f:
+    serving = json.load(f)
+batched = [r for r in serving if r["scenario"] == "batched-fleet"]
+if not batched:
+    sys.exit("BENCH_serving.json: no batched-fleet row")
+b = batched[0]
+if b["evk_bytes_saved"] == 0:
+    sys.exit("BENCH_serving.json: batched-fleet saved zero evk bytes")
+if b["evk_bytes_saved"] != b["evk_hit_bytes"]:
+    sys.exit(
+        f"BENCH_serving.json: saved {b['evk_bytes_saved']} != hit {b['evk_hit_bytes']}"
+    )
+if b["evk_miss_bytes"] == 0:
+    sys.exit("BENCH_serving.json: batch heads paid no fetches?")
+print(f"  batched-fleet saved {b['evk_bytes_saved']/1e9:.1f} GB over "
+      f"{b['batches']} batches, saved == hit — ok")
+EOF
+
+# Documentation integrity gate: every relative markdown link resolves, and
+# every telemetry metric name declared in `core::telemetry::names` is
+# documented in docs/METRICS.md — new metrics cannot land undocumented.
+echo "==> documentation integrity gate (markdown links + metric names)"
+python3 - <<'EOF'
+import os, re, sys
+
+docs = ["README.md", "DESIGN.md", "ROADMAP.md", "PAPER.md", "EXPERIMENTS.md"]
+docs += [os.path.join("docs", f) for f in sorted(os.listdir("docs")) if f.endswith(".md")]
+bad = []
+checked = 0
+for doc in docs:
+    if not os.path.exists(doc):
+        continue
+    text = open(doc).read()
+    # Strip fenced code blocks: links there are illustrative, not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in re.findall(r"\]\(([^)#]+?)(?:#[^)]*)?\)", text):
+        if re.match(r"[a-z+]+:", target):  # http:, https:, mailto:
+            continue
+        path = os.path.normpath(os.path.join(os.path.dirname(doc), target))
+        checked += 1
+        if not os.path.exists(path):
+            bad.append(f"{doc}: broken link -> {target}")
+if bad:
+    sys.exit("\n".join(bad))
+print(f"  {checked} relative links resolve — ok")
+
+names = set(
+    re.findall(r'"(anaheim_[a-z_]+)"', open("crates/core/src/telemetry.rs").read())
+)
+metrics_doc = open("docs/METRICS.md").read()
+missing = sorted(n for n in names if n not in metrics_doc)
+if missing:
+    sys.exit("docs/METRICS.md: undocumented metrics: " + ", ".join(missing))
+print(f"  {len(names)} telemetry metric names documented in docs/METRICS.md — ok")
+EOF
+
 echo "All checks passed."
