@@ -9,7 +9,8 @@
 //! where Anaheim actually lives. Also writes `BENCH_serving.json` —
 //! serving-layer soak counters (completions, deadline misses, sheds,
 //! breaker activity, hedge/cancellation accounting, evaluation-key batch
-//! amortization) for clean, chaos, stream-chaos, batched-fleet, and
+//! amortization, batch-aware reordering) for clean, chaos, stream-chaos,
+//! batched-fleet, ordered-fleet, and
 //! hedge-chaos scenarios at a fixed seed, each row carrying its
 //! provenance (fault seed, lane/shard config, thread setting).
 //! CKKS records carry the measured op-count breakdown (`ntt_limbs`,
@@ -469,8 +470,10 @@ fn emit_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) {
 }
 
 /// Runs the serving-layer soak in a clean and a chaos scenario plus the
-/// sharded streaming fleet soak and the hedge-chaos soak (GPU fault
-/// domain + budget cancellation + hedged re-execution), and emits the
+/// sharded streaming fleet soak, the batched-fleet and ordered-fleet
+/// soaks (evk batch amortization, with and without batch-aware dispatch
+/// ordering), and the hedge-chaos soak (GPU fault domain + budget
+/// cancellation + hedged re-execution), and emits the
 /// headline counters. The clean/chaos rows are virtual-time results —
 /// deterministic for a given seed, so regressions show up as diffs, not
 /// noise. The stream rows additionally carry wall-clock throughput
@@ -634,6 +637,68 @@ fn bench_serving(quick: bool) {
         sum.evk_miss_bytes,
         sum.evk_saved_bytes,
         sum.batches,
+        sum.virtual_rps(),
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3),
+    ));
+
+    // The ordered-fleet soak: the batched-fleet trace with batch-aware
+    // dispatch ordering on — the engine pulls same-tenant work forward
+    // under the slack budget and credits each amortized evk fetch back to
+    // the lane as virtual time. The invariant checker already requires ≥1
+    // reorder and a nonzero lane credit; `scripts/check.sh` additionally
+    // gates `evk_bytes_saved` ≥ the batched-fleet row's and `virtual_rps`
+    // ≥ the batched-fleet row's from this JSON.
+    let ordered_cfg = SoakConfig {
+        requests: if quick { 2_000 } else { 20_000 },
+        ..SoakConfig::ordered_fleet(2024)
+    };
+    let wall = Instant::now();
+    let out = run_soak_stream(&ordered_cfg, None)
+        .unwrap_or_else(|e| panic!("ordered-fleet soak invariant violated: {e}"));
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let sum = out.summary;
+    println!(
+        "  ordered-fleet ({} shards, {} tenants) {sum}\n        wall {:.0} ms ({:.0} req/s)",
+        ordered_cfg.shards,
+        ordered_cfg.tenants,
+        wall_ms,
+        sum.requests as f64 / (wall_ms * 1e-3)
+    );
+    s.push_str(&format!(
+        "  {{\"scenario\": \"ordered-fleet\", \"fault_seed\": {}, \"workers\": {}, \
+         \"anaheim_threads\": \"{}\", \"requests\": {}, \"shards\": {}, \"tenants\": {}, \
+         \"completed\": {}, \"deadline_misses\": {}, \"shed_queue_full\": {}, \
+         \"shed_infeasible\": {}, \"rerouted\": {}, \"all_shards_unhealthy\": {}, \
+         \"faults\": {}, \"breaker_skips\": {}, \"drains\": {}, \"readmits\": {}, \
+         \"dead_banks\": {}, \"evk_hit_bytes\": {}, \"evk_miss_bytes\": {}, \
+         \"evk_bytes_saved\": {}, \"batches\": {}, \"reorders\": {}, \
+         \"reorder_denied_slack\": {}, \"evk_saved_ns\": {:.0}, \"virtual_rps\": {:.1}, \
+         \"wall_ms\": {:.1}, \"wall_rps\": {:.1}}},\n",
+        ordered_cfg.seed,
+        ordered_cfg.workers,
+        threads_env,
+        sum.requests,
+        ordered_cfg.shards,
+        ordered_cfg.tenants,
+        sum.completed,
+        sum.deadline_misses,
+        sum.shed_queue_full,
+        sum.shed_infeasible,
+        sum.rerouted,
+        sum.all_shards_unhealthy,
+        sum.faults,
+        sum.breaker_skips,
+        sum.drains,
+        sum.readmits,
+        sum.dead_banks,
+        sum.evk_hit_bytes,
+        sum.evk_miss_bytes,
+        sum.evk_saved_bytes,
+        sum.batches,
+        sum.reorders,
+        sum.reorder_denied_slack,
+        sum.evk_saved_ns,
         sum.virtual_rps(),
         wall_ms,
         sum.requests as f64 / (wall_ms * 1e-3),
@@ -1130,7 +1195,7 @@ fn main() {
 
     println!(
         "\nwrote BENCH_ckks.json ({} records), BENCH_pim.json ({} records), \
-         BENCH_serving.json (5 scenarios)",
+         BENCH_serving.json (6 scenarios)",
         ckks_records.len(),
         pim_records.len()
     );

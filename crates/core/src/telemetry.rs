@@ -92,14 +92,30 @@ pub mod names {
     pub const EVK_CACHE_MISS_BYTES: &str = "anaheim_evk_cache_miss_bytes_total";
     /// Requests per closed same-tenant dispatch batch (histogram).
     pub const BATCH_SIZE: &str = "anaheim_batch_size";
+    /// Same-tenant requests pulled forward past strangers at dispatch
+    /// (slack-bounded batch-aware ordering).
+    pub const REORDERS: &str = "anaheim_reorders_total";
+    /// Reorder candidates denied because a bypassed request's slack
+    /// budget (or the K-bypass bound) would have been exceeded.
+    pub const REORDER_DENIED_SLACK: &str = "anaheim_reorder_denied_slack_total";
+    /// Completed requests that missed their deadline (overran into
+    /// negative slack; the slack histogram records them as 0).
+    pub const DEADLINE_OVERRUNS: &str = "anaheim_deadline_overruns_total";
+    /// Virtual nanoseconds credited back to dispatch lanes by evk-fetch
+    /// amortization in the last run (gauge; bytes saved priced at DRAM
+    /// bandwidth).
+    pub const EVK_SAVED_NS: &str = "anaheim_evk_saved_ns";
 }
 
 /// Deadline-slack / latency bucket bounds: 1 µs … 10 s in decades.
 const SLACK_BOUNDS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
 
 /// Batch-size bucket bounds: powers of two up to the widest batch a
-/// same-tenant run plausibly reaches before the stream interleaves.
-const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// same-tenant run plausibly reaches before the stream interleaves. The
+/// 64 bound exists so runs longer than 32 — exactly what batch-aware
+/// ordering produces — land in a labeled bucket instead of vanishing
+/// into the implicit `+Inf` overflow slot.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Display-track names for replica shards (`"shard-0"` …). Span tracks are
 /// `&'static str`, so the table is static; fleets wider than the table wrap
@@ -280,6 +296,26 @@ impl Telemetry {
             "Requests per closed same-tenant dispatch batch",
             "requests",
             BATCH_BOUNDS,
+        );
+        metrics.describe_counter(
+            names::REORDERS,
+            "Same-tenant requests pulled forward past strangers at dispatch",
+            "requests",
+        );
+        metrics.describe_counter(
+            names::REORDER_DENIED_SLACK,
+            "Reorder candidates denied by a bypassed request's slack budget",
+            "requests",
+        );
+        metrics.describe_counter(
+            names::DEADLINE_OVERRUNS,
+            "Completed requests that missed their deadline",
+            "requests",
+        );
+        metrics.describe_gauge(
+            names::EVK_SAVED_NS,
+            "Virtual ns credited to dispatch lanes by evk-fetch amortization",
+            "ns",
         );
         Self {
             trace: TraceRecorder::new(seed),
@@ -608,6 +644,24 @@ mod tests {
         assert_eq!(shard_track(15), "shard-15");
         assert_eq!(shard_track(16), "shard-0");
         assert_eq!(shard_track(35), "shard-3");
+    }
+
+    #[test]
+    fn batch_size_overflow_bucket_is_labeled() {
+        // A 40-long same-tenant run (longer than the old 32 top bound)
+        // must land in an explicit labeled bucket, not silently in the
+        // implicit `+Inf` overflow slot.
+        let mut t = Telemetry::new(7);
+        t.metrics.observe(names::BATCH_SIZE, &[], 40.0);
+        let text = t.metrics.render_prometheus();
+        assert!(
+            text.contains("anaheim_batch_size_bucket{le=\"64\"} 1"),
+            "40-long run must be visible under the labeled 64 bound:\n{text}"
+        );
+        assert!(
+            text.contains("anaheim_batch_size_bucket{le=\"32\"} 0"),
+            "a 40-long run is not a <=32 run:\n{text}"
+        );
     }
 
     #[test]

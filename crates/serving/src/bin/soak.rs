@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! soak [--requests N] [--seed S] [--threads-check] [--quick]
-//!      [--stream] [--hedge] [--batch] [--shards N] [--snapshot-out FILE]
-//!      [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]
-//!      [--help]
+//!      [--stream] [--hedge] [--batch] [--ordered] [--shards N]
+//!      [--snapshot-out FILE] [--trace-out FILE] [--metrics-out FILE]
+//!      [--rss-budget-kb N] [--help]
 //! ```
 //!
 //! `--stream` switches to the sharded, bounded-memory streaming soak
@@ -27,12 +27,22 @@
 //! then additionally require at least one hedge launch, one hedge win,
 //! and one over-budget cancellation.
 //!
-//! `--batch` (requires `--stream`, conflicts with `--hedge`) swaps the
-//! base scenario to [`SoakConfig::batched_fleet`]: a small tenant pool
-//! over a fault-free two-shard fleet with same-tenant batch serving
-//! enabled, so the streaming invariants additionally require that at
-//! least one evaluation-key fetch was amortized and that the saved bytes
-//! reconcile with the per-shard hit bytes.
+//! `--batch` (requires `--stream`) swaps the base scenario to
+//! [`SoakConfig::batched_fleet`]: a small tenant pool over a fault-free
+//! two-shard fleet with same-tenant batch serving enabled, so the
+//! streaming invariants additionally require that at least one
+//! evaluation-key fetch was amortized and that the saved bytes reconcile
+//! with the per-shard hit bytes. `--batch --hedge` composes the two into
+//! [`SoakConfig::batch_hedge_chaos`] — the hedge-chaos fault domain with
+//! batch serving on, pinning that fleet conservation survives both
+//! features firing in one run.
+//!
+//! `--ordered` (requires `--stream`, implies `--batch`'s scenario) swaps
+//! to [`SoakConfig::ordered_fleet`]: batch-aware dispatch ordering forms
+//! same-tenant runs under the slack budget and credits each saved
+//! evaluation-key fetch back to the lane as virtual time. The invariants
+//! then additionally require at least one reorder and a nonzero lane
+//! credit.
 //!
 //! `--help` / `-h` print usage on stdout and exit 0. Unknown or malformed
 //! flags print usage on stderr and exit 2. Any invariant violation,
@@ -56,6 +66,7 @@ struct Opts {
     stream: bool,
     hedge: bool,
     batch: bool,
+    ordered: bool,
     shards: Option<u32>,
     snapshot_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -72,6 +83,7 @@ impl Default for Opts {
             stream: false,
             hedge: false,
             batch: false,
+            ordered: false,
             shards: None,
             snapshot_out: None,
             trace_out: None,
@@ -104,6 +116,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--stream" => o.stream = true,
             "--hedge" => o.hedge = true,
             "--batch" => o.batch = true,
+            "--ordered" => o.ordered = true,
             "--shards" => o.shards = Some(value("--shards", &mut it)?),
             "--snapshot-out" => {
                 o.snapshot_out = Some(PathBuf::from(value::<String>("--snapshot-out", &mut it)?))
@@ -118,15 +131,17 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if o.batch && o.hedge {
-        // The presets are disjoint scenarios; picking both would silently
-        // drop one, so refuse instead.
-        return Err("--batch conflicts with --hedge".into());
+    if o.ordered && o.hedge {
+        // The ordered-fleet scenario is fault-free by construction; its
+        // invariants (>=1 reorder, nonzero lane credit) are not calibrated
+        // for the hedge storm, so refuse instead of silently dropping one.
+        return Err("--ordered conflicts with --hedge".into());
     }
     if !o.stream {
         for (set, flag) in [
             (o.hedge, "--hedge"),
             (o.batch, "--batch"),
+            (o.ordered, "--ordered"),
             (o.shards.is_some(), "--shards"),
             (o.snapshot_out.is_some(), "--snapshot-out"),
             (o.trace_out.is_some(), "--trace-out"),
@@ -225,7 +240,11 @@ fn run_batch_mode(opts: &Opts) {
 
 /// The sharded streaming soak: bounded memory at any request count.
 fn run_stream_mode(opts: &Opts) {
-    let mut cfg = if opts.hedge {
+    let mut cfg = if opts.ordered {
+        SoakConfig::ordered_fleet(opts.seed)
+    } else if opts.batch && opts.hedge {
+        SoakConfig::batch_hedge_chaos(opts.seed)
+    } else if opts.hedge {
         SoakConfig::hedge_chaos(opts.seed)
     } else if opts.batch {
         SoakConfig::batched_fleet(opts.seed)
@@ -258,11 +277,17 @@ fn run_stream_mode(opts: &Opts) {
             cfg.gpu_stall_prob, cfg.gpu_stall_ns, cfg.gpu_flip_prob,
         );
     }
-    if opts.batch {
+    if cfg.batching {
         println!(
             "soak: batched-fleet: {} tenants, same-tenant batch serving on \
              (evaluation-key fetches amortized within a batch)",
             cfg.tenants,
+        );
+    }
+    if cfg.ordering {
+        println!(
+            "soak: ordered-fleet: batch-aware dispatch ordering on \
+             (slack-bounded same-tenant run formation with lane credit)",
         );
     }
     // Provenance: everything a reader needs to reproduce this run
@@ -270,7 +295,7 @@ fn run_stream_mode(opts: &Opts) {
     // count must NOT change the artifacts — that is the gate).
     println!(
         "soak: provenance: fault-seed={} shards={} workers-per-shard={} \
-         ANAHEIM_THREADS={} hedge={} cancel={} batching={}",
+         ANAHEIM_THREADS={} hedge={} cancel={} batching={} ordering={}",
         cfg.seed,
         cfg.shards,
         cfg.workers,
@@ -278,6 +303,7 @@ fn run_stream_mode(opts: &Opts) {
         cfg.hedge,
         cfg.cancel,
         cfg.batching,
+        cfg.ordering,
     );
 
     let mut tel = Telemetry::new(cfg.seed);
@@ -388,9 +414,9 @@ fn wants_help(args: &[String]) -> bool {
 /// (stderr, exit 2).
 fn usage_text() -> &'static str {
     "usage: soak [--requests N] [--seed S] [--threads-check] [--quick]\n\
-     \x20           [--stream] [--hedge] [--batch] [--shards N] [--snapshot-out FILE]\n\
-     \x20           [--trace-out FILE] [--metrics-out FILE] [--rss-budget-kb N]\n\
-     \x20           [--help]"
+     \x20           [--stream] [--hedge] [--batch] [--ordered] [--shards N]\n\
+     \x20           [--snapshot-out FILE] [--trace-out FILE] [--metrics-out FILE]\n\
+     \x20           [--rss-budget-kb N] [--help]"
 }
 
 fn usage(msg: &str) -> ! {
@@ -480,11 +506,17 @@ mod tests {
         let e = parse_args(&args(&["--hedge"])).unwrap_err();
         assert!(e.contains("requires --stream"), "{e}");
         assert!(parse_args(&args(&["--stream", "--hedge"])).is_ok());
-        // So is --batch, and the two scenarios are mutually exclusive.
+        // So are --batch and --ordered.
         let e = parse_args(&args(&["--batch"])).unwrap_err();
         assert!(e.contains("requires --stream"), "{e}");
         assert!(parse_args(&args(&["--stream", "--batch"])).is_ok());
-        let e = parse_args(&args(&["--stream", "--batch", "--hedge"])).unwrap_err();
+        let e = parse_args(&args(&["--ordered"])).unwrap_err();
+        assert!(e.contains("requires --stream"), "{e}");
+        assert!(parse_args(&args(&["--stream", "--ordered"])).is_ok());
+        // --batch composes with --hedge (batch_hedge_chaos); --ordered is
+        // a fault-free scenario and refuses the hedge storm.
+        assert!(parse_args(&args(&["--stream", "--batch", "--hedge"])).is_ok());
+        let e = parse_args(&args(&["--stream", "--ordered", "--hedge"])).unwrap_err();
         assert!(e.contains("conflicts"), "{e}");
     }
 
@@ -504,6 +536,7 @@ mod tests {
             "--stream",
             "--hedge",
             "--batch",
+            "--ordered",
             "--shards",
             "--snapshot-out",
             "--trace-out",

@@ -121,6 +121,46 @@ pub struct ServingConfig {
     /// [`OpSequence::evk_read_bytes`]: anaheim_core::ir::OpSequence::evk_read_bytes
     /// [`Outcome::Batched`]: crate::request::Outcome::Batched
     pub batching: bool,
+    /// Batch-aware dispatch ordering: at dispatch time the engine may pull
+    /// a same-tenant request forward past at most
+    /// [`OrderingConfig::max_bypass`] strangers to extend the open batch,
+    /// but only when every bypassed request retains non-negative projected
+    /// deadline slack (each is charged the candidate's estimate against
+    /// the slack budget granted at admission). The evaluation-key bytes a
+    /// join amortizes are credited back to the dispatch lane as virtual
+    /// time at [`OrderingConfig::evk_bytes_per_ns`], which is what turns
+    /// `evk_bytes_saved` into throughput. Requires [`batching`]; `None`
+    /// (the default) leaves dispatch order bit-identical to the plain
+    /// batching overlay.
+    ///
+    /// [`batching`]: ServingConfig::batching
+    pub ordering: Option<OrderingConfig>,
+}
+
+/// Tuning for batch-aware dispatch ordering
+/// ([`ServingConfig::ordering`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderingConfig {
+    /// Strangers a candidate may be pulled past in one swap, and the
+    /// most times any single queued request may be bypassed — the
+    /// K-bypass starvation bound.
+    pub max_bypass: u32,
+    /// Evaluation-key fetch bandwidth used to price saved bytes into
+    /// virtual nanoseconds credited to the dispatch lane (bytes per
+    /// virtual ns; GB/s reads as bytes/ns).
+    pub evk_bytes_per_ns: f64,
+}
+
+impl OrderingConfig {
+    /// K = 4 bypasses, evk fetches priced at the A100's 1802 GB/s DRAM
+    /// bandwidth (`GpuConfig::a100`), matching the `sched_evk_*` rows'
+    /// streaming-time model.
+    pub fn a100_default() -> Self {
+        Self {
+            max_bypass: 4,
+            evk_bytes_per_ns: 1802.0,
+        }
+    }
 }
 
 impl ServingConfig {
@@ -135,6 +175,7 @@ impl ServingConfig {
             queue_capacity: 16,
             cancel_over_budget: false,
             batching: false,
+            ordering: None,
         }
     }
 }
@@ -157,6 +198,12 @@ pub struct BatchStats {
     pub batches: u64,
     /// Widest batch observed.
     pub max_batch: u64,
+    /// Same-tenant requests pulled forward past strangers by batch-aware
+    /// ordering ([`ServingConfig::ordering`]); 0 with ordering off.
+    pub reorders: u64,
+    /// Reorder candidates denied because a bypassed request's slack
+    /// budget or the K-bypass bound would have been exceeded.
+    pub reorder_denied_slack: u64,
 }
 
 impl BatchStats {
@@ -221,6 +268,12 @@ impl BatchState {
 }
 
 /// A prepared request: fused/offloaded sequence plus its fault-free cost.
+/// One entry of a dry-run slack charge: the queued request's id, its
+/// slack budget after absorbing the candidate's estimate, and whether
+/// the charge also counts against its `max_bypass` allowance (true only
+/// for requests ahead of the candidate in pop order).
+type SlackCharge = (u64, f64, bool);
+
 /// Crate-visible so the shard layer can admit/dispatch prepared work
 /// through its own queues.
 #[derive(Debug, Clone)]
@@ -233,6 +286,11 @@ pub(crate) struct Prepared {
     pub(crate) estimate_ns: f64,
     pub(crate) fault: Option<FaultPlan>,
     pub(crate) label: &'static str,
+    /// Slack budget granted at admission: the projected deadline headroom
+    /// `(deadline − projected_start − estimate).max(0)`. Batch-aware
+    /// ordering may delay this request by at most this much, total, across
+    /// every bypass it suffers. 0 until admission grants it.
+    pub(crate) slack_ns: f64,
     /// Prepared sequence, shared: requests built from the same template
     /// Arc prepare once and share the result.
     pub(crate) seq: Arc<OpSequence>,
@@ -287,6 +345,7 @@ pub(crate) fn prepare_batch(rt: &Anaheim, reqs: &[Request]) -> Result<Vec<Prepar
                 estimate_ns: *estimate_ns,
                 fault: req.fault,
                 label: req.label,
+                slack_ns: 0.0,
                 seq: Arc::clone(seq),
                 rerouted_from: None,
             }
@@ -320,6 +379,15 @@ pub struct ServingEngine {
     cancel_over_budget: bool,
     batching: bool,
     batch: BatchState,
+    ordering: Option<OrderingConfig>,
+    /// Per-request bypass ledger for batch-aware ordering, keyed by id:
+    /// how often the queued request has been bypassed and how much of its
+    /// admission-granted slack budget remains. Entries appear at first
+    /// bypass and are dropped at dispatch; all mutation is on the serial
+    /// dispatch path, so the ledger replays bit-identically.
+    bypass_ledger: std::collections::BTreeMap<u64, (u32, f64)>,
+    /// Virtual ns credited back to dispatch lanes by evk amortization.
+    evk_saved_ns: f64,
 }
 
 impl ServingEngine {
@@ -332,6 +400,7 @@ impl ServingEngine {
             queue_capacity,
             cancel_over_budget,
             batching,
+            ordering,
         } = cfg;
         // Requests carry their own fault environments.
         platform.fault = None;
@@ -347,6 +416,9 @@ impl ServingEngine {
             cancel_over_budget,
             batching,
             batch: BatchState::default(),
+            ordering,
+            bypass_ledger: std::collections::BTreeMap::new(),
+            evk_saved_ns: 0.0,
         }
     }
 
@@ -380,6 +452,124 @@ impl ServingEngine {
         }
     }
 
+    /// Virtual ns the evk-fetch credit took off the dispatch lanes (0.0
+    /// with [`ServingConfig::ordering`] off).
+    pub fn evk_saved_ns(&self) -> f64 {
+        self.evk_saved_ns
+    }
+
+    /// One dispatcher step with batch-aware ordering: the lane, start
+    /// time, item, and whether the item was pulled forward out of pop
+    /// order. With ordering off (or batching off) this is exactly
+    /// [`next_dispatch`] + [`AdmissionQueue::pop`] — bit-identical to the
+    /// plain overlay.
+    ///
+    /// With ordering on, when the head would break the open same-tenant
+    /// run, the first `max_bypass + 1` queued items are scanned in pop
+    /// order for a same-tenant candidate with nonzero evk traffic. The
+    /// swap commits only if the candidate can also start by `until_ns`,
+    /// every bypassed request (ahead of the candidate in pop order) has
+    /// been bypassed fewer than `max_bypass` times, and *every* queued
+    /// request retains enough of its admission-granted slack budget to
+    /// absorb the candidate's estimate; otherwise the denial is counted
+    /// and the head dispatches as usual. The whole queue is charged — not
+    /// just the bypass window — because pulling a job forward perturbs
+    /// lane packing for items far behind it too; list scheduling bounds
+    /// any one item's extra delay by the moved job's length, so charging
+    /// the full estimate to everyone is a conservative over-approximation
+    /// of the imposed delay.
+    pub(crate) fn select_dispatch(
+        &mut self,
+        queue: &AdmissionQueue<Prepared>,
+        lanes: &[f64],
+        until_ns: f64,
+    ) -> Option<(usize, f64, Prepared, bool)> {
+        let (lane, start) = next_dispatch(queue, lanes, until_ns)?;
+        if let Some((key, cand_start, charged)) = self.reorder_candidate(queue, lanes, until_ns) {
+            let p = queue.take(key).expect("window scan saw the candidate");
+            for (id, remaining, counts_as_bypass) in &charged {
+                let entry = self.bypass_ledger.entry(*id).or_insert((0, 0.0));
+                if *counts_as_bypass {
+                    entry.0 += 1;
+                }
+                entry.1 = *remaining;
+            }
+            self.batch.stats.reorders += 1;
+            self.bypass_ledger.remove(&p.id);
+            return Some((lane, cand_start, p, true));
+        }
+        let p = queue.pop().expect("peek saw an item");
+        self.bypass_ledger.remove(&p.id);
+        Some((lane, start, p, false))
+    }
+
+    /// The committed reorder, if any: the candidate's [`PopKey`], its
+    /// start time, and the post-charge ledger state
+    /// `(id, remaining, counts_as_bypass)` of every other queued request
+    /// — `counts_as_bypass` is true for requests the candidate jumps over
+    /// (ahead of it in pop order), false for requests behind it, which
+    /// only pay the lane-packing charge. Denials are counted here; `None`
+    /// means "dispatch the head".
+    fn reorder_candidate(
+        &mut self,
+        queue: &AdmissionQueue<Prepared>,
+        lanes: &[f64],
+        until_ns: f64,
+    ) -> Option<(PopKey, f64, Vec<SlackCharge>)> {
+        let cfg = (self.batching).then_some(self.ordering).flatten()?;
+        // Only extend an open run: a swap that *opens* a run saves no
+        // fetch over letting the head open one instead.
+        let run_tenant = self.batch.last_tenant?;
+        if queue.peek(|p| p.tenant)? == run_tenant {
+            return None;
+        }
+        let mut cand: Option<(u64, f64, f64)> = None;
+        let key = queue.find_in_window(cfg.max_bypass as usize + 1, |_, p| {
+            if p.tenant == run_tenant && p.seq.evk_read_bytes() > 0 {
+                cand = Some((p.id, p.arrival_ns, p.estimate_ns));
+                true
+            } else {
+                false
+            }
+        })?;
+        let (cand_id, cand_arrival, cand_estimate) = cand.expect("find matched");
+        let lane = earliest_lane(lanes);
+        let cand_start = lanes[lane].max(cand_arrival);
+        if cand_start > until_ns {
+            return None;
+        }
+        // Dry-run the charge over the whole queue in pop order: items
+        // ahead of the candidate are bypassed (K-bound applies), items
+        // behind it only absorb the lane-packing perturbation.
+        let mut charged: Vec<SlackCharge> = Vec::new();
+        let mut before_candidate = true;
+        let mut denied = false;
+        queue.for_each(|p| {
+            if denied {
+                return;
+            }
+            if p.id == cand_id {
+                before_candidate = false;
+                return;
+            }
+            let (count, remaining) = self
+                .bypass_ledger
+                .get(&p.id)
+                .copied()
+                .unwrap_or((0, p.slack_ns));
+            if (before_candidate && count >= cfg.max_bypass) || remaining < cand_estimate {
+                denied = true;
+                return;
+            }
+            charged.push((p.id, remaining - cand_estimate, before_candidate));
+        });
+        if denied {
+            self.batch.stats.reorder_denied_slack += 1;
+            return None;
+        }
+        Some((key, cand_start, charged))
+    }
+
     /// Exports the batch byte counters idempotently, guarded so a
     /// non-batching run's exposition is byte-identical to one rendered
     /// before the counters existed.
@@ -397,6 +587,18 @@ impl ServingEngine {
         if s.miss_bytes > 0 {
             tel.metrics
                 .set_counter(names::EVK_CACHE_MISS_BYTES, &labels, s.miss_bytes);
+        }
+        if s.reorders > 0 {
+            tel.metrics
+                .set_counter(names::REORDERS, &labels, s.reorders);
+        }
+        if s.reorder_denied_slack > 0 {
+            tel.metrics
+                .set_counter(names::REORDER_DENIED_SLACK, &labels, s.reorder_denied_slack);
+        }
+        if self.evk_saved_ns > 0.0 {
+            tel.metrics
+                .set_gauge(names::EVK_SAVED_NS, &labels, self.evk_saved_ns);
         }
     }
 
@@ -467,7 +669,7 @@ impl ServingEngine {
         let queue: AdmissionQueue<Prepared> = AdmissionQueue::new(self.queue_capacity);
         let mut lanes = vec![0.0f64; self.workers];
         let mut responses = Vec::with_capacity(trace.len());
-        for p in prepared {
+        for mut p in prepared {
             let now = p.arrival_ns;
             self.dispatch_until(&queue, &mut lanes, now, &mut responses, tel.as_deref_mut())?;
             self.registry.counters.submitted += 1;
@@ -484,6 +686,9 @@ impl ServingEngine {
                 responses.push(Self::rejection(&p, Rejected::DeadlineInfeasible));
                 continue;
             }
+            // The projected deadline headroom is the slack budget batch-
+            // aware ordering may later spend delaying this request.
+            p.slack_ns = (p.deadline_ns - projected - p.estimate_ns).max(0.0);
             let depth = queue.submit(p).expect("capacity checked above");
             self.registry.note_queue_depth(depth);
         }
@@ -557,17 +762,20 @@ impl ServingEngine {
         mut tel: Option<&mut Telemetry>,
     ) -> Result<(), RunError> {
         loop {
-            let Some((lane, start)) = next_dispatch(queue, lanes, until_ns) else {
+            let Some((lane, start, p, reordered)) = self.select_dispatch(queue, lanes, until_ns)
+            else {
                 return Ok(());
             };
-            let p = queue.pop().expect("peek saw an item");
             let saved =
                 self.note_batch_dispatch(p.tenant, p.seq.evk_read_bytes(), tel.as_deref_mut());
-            let (mut response, finish) = self.execute(p, start, tel.as_deref_mut(), "serving")?;
+            let credit_ns = self.lane_credit_ns(saved);
+            let (mut response, finish) =
+                self.execute(p, start, credit_ns, tel.as_deref_mut(), "serving")?;
             lanes[lane] = finish;
             if saved > 0 {
                 response.outcome = Outcome::Batched {
                     evk_bytes_saved: saved,
+                    reordered,
                     outcome: Box::new(response.outcome),
                 };
             }
@@ -575,12 +783,27 @@ impl ServingEngine {
         }
     }
 
+    /// The virtual-time lane credit for a dispatch that amortized `saved`
+    /// evk bytes: the fetch time those bytes would have cost at the
+    /// ordering config's bandwidth. 0.0 with ordering off — the plain
+    /// batching overlay observes savings but never converts them to time.
+    pub(crate) fn lane_credit_ns(&self, saved: u64) -> f64 {
+        match self.ordering {
+            Some(cfg) if self.batching && saved > 0 => saved as f64 / cfg.evk_bytes_per_ns,
+            _ => 0.0,
+        }
+    }
+
     /// Runs one request through the breaker-gated scheduler at virtual
-    /// time `start`, recording its segment span on `track`.
+    /// time `start`, recording its segment span on `track`. `credit_ns`
+    /// is the evk-fetch time the dispatch amortized away (0.0 except for
+    /// batch joiners under [`ServingConfig::ordering`]); it shortens the
+    /// request's virtual occupancy, never below zero.
     pub(crate) fn execute(
         &mut self,
         p: Prepared,
         start: f64,
+        credit_ns: f64,
         mut tel: Option<&mut Telemetry>,
         track: &'static str,
     ) -> Result<(Response, f64), RunError> {
@@ -629,7 +852,14 @@ impl ServingEngine {
                 }
             }
         };
-        let finish = start + report.total_ns;
+        // The amortized evk fetch shortens the virtual occupancy; the
+        // realized credit is capped at the run's own duration. With
+        // `credit_ns == 0.0` (ordering off, or not a joiner) this is
+        // bit-identical to the uncredited path.
+        let credit = credit_ns.max(0.0).min(report.total_ns);
+        self.evk_saved_ns += credit;
+        let total_ns = report.total_ns - credit;
+        let finish = start + total_ns;
         let outcome = if report.cancelled {
             registry.counters.cancelled_over_budget += 1;
             Outcome::Cancelled {
@@ -649,7 +879,9 @@ impl ServingEngine {
                 start_ns: start,
                 finish_ns: finish,
                 deadline_ns: p.deadline_ns,
-                deadline_slack_ns: p.deadline_ns - finish,
+                // Clamped: slack is headroom, never negative (an overrun
+                // is a DeadlineMiss, counted separately).
+                deadline_slack_ns: (p.deadline_ns - finish).max(0.0),
                 faults: report.faults_detected,
                 pim_fallbacks: report.pim_fallbacks,
                 breaker_skips: report.breaker_skips,
@@ -675,12 +907,24 @@ impl ServingEngine {
                     _ => "deadline-miss",
                 },
             );
-            t.close_segment(id, report.total_ns);
-            t.metrics
-                .observe(names::REQUEST_LATENCY_NS, &[], report.total_ns);
+            t.close_segment(id, total_ns);
+            t.metrics.observe(names::REQUEST_LATENCY_NS, &[], total_ns);
             if completed {
-                t.metrics
-                    .observe(names::DEADLINE_SLACK_NS, &[], p.deadline_ns - finish);
+                // Clamped like the outcome field: a completion's slack is
+                // non-negative by construction, but the histogram must
+                // never see a negative value even if the branch
+                // conditions drift.
+                t.metrics.observe(
+                    names::DEADLINE_SLACK_NS,
+                    &[],
+                    (p.deadline_ns - finish).max(0.0),
+                );
+            } else if matches!(outcome, Outcome::DeadlineMiss { .. }) {
+                // A late completion has zero slack, not negative slack:
+                // record the overrun in its own counter so the slack
+                // quantiles ordering decisions rely on stay non-negative.
+                t.metrics.observe(names::DEADLINE_SLACK_NS, &[], 0.0);
+                t.metrics.inc(names::DEADLINE_OVERRUNS, &[], 1);
             }
         }
         Ok((
@@ -895,6 +1139,7 @@ mod tests {
                 breaker: BreakerConfig::default(),
                 cancel_over_budget: false,
                 batching: false,
+                ordering: None,
             })
         };
         let trace: Vec<Request> = (0..3)
@@ -1056,6 +1301,278 @@ mod tests {
         }
         // The uncached baseline is the sum of all six dispatched evk reads.
         assert_eq!(s.uncached_bytes(), 2 * s.miss_bytes);
+    }
+
+    #[test]
+    fn deadline_overrun_counts_separately_and_slack_stays_non_negative() {
+        let mut e = engine();
+        let mut tel = Telemetry::new(7);
+        // Bypass admission (which would shed the infeasible deadline) and
+        // execute directly: the miss must record 0.0 slack — never a
+        // negative value — plus one overrun tick in its own counter.
+        let late = prepare_batch(e.runtime(), &[req(0, 0.0, 1.0, Priority::Standard)]).unwrap();
+        let (resp, _) = e
+            .execute(
+                late.into_iter().next().unwrap(),
+                0.0,
+                0.0,
+                Some(&mut tel),
+                "serving",
+            )
+            .unwrap();
+        assert!(matches!(resp.outcome, Outcome::DeadlineMiss { .. }));
+        let slack = tel
+            .metrics
+            .histogram(names::DEADLINE_SLACK_NS, &[])
+            .unwrap();
+        assert_eq!(slack.count(), 1);
+        assert_eq!(
+            slack.sum().to_bits(),
+            0.0f64.to_bits(),
+            "a miss is zero slack, not negative"
+        );
+        assert_eq!(tel.metrics.counter_value(names::DEADLINE_OVERRUNS, &[]), 1);
+        // An on-time completion reports non-negative slack and leaves the
+        // overrun counter alone.
+        let ok = prepare_batch(e.runtime(), &[req(1, 0.0, 1e12, Priority::Standard)]).unwrap();
+        let (resp, _) = e
+            .execute(
+                ok.into_iter().next().unwrap(),
+                0.0,
+                0.0,
+                Some(&mut tel),
+                "serving",
+            )
+            .unwrap();
+        match resp.outcome {
+            Outcome::Completed {
+                deadline_slack_ns, ..
+            } => assert!(deadline_slack_ns >= 0.0),
+            ref o => panic!("expected completion, got {o:?}"),
+        }
+        let slack = tel
+            .metrics
+            .histogram(names::DEADLINE_SLACK_NS, &[])
+            .unwrap();
+        assert_eq!(slack.count(), 2);
+        assert!(slack.sum() > 0.0);
+        assert_eq!(tel.metrics.counter_value(names::DEADLINE_OVERRUNS, &[]), 1);
+    }
+
+    #[test]
+    fn ordering_pulls_same_tenant_work_forward_within_slack() {
+        let mk = |ordering| {
+            ServingEngine::new(ServingConfig {
+                workers: 1,
+                queue_capacity: 8,
+                batching: true,
+                ordering,
+                ..ServingConfig::a100_default(7)
+            })
+        };
+        // One lane; tenants arrive A A B A. While the A-run is open, the
+        // stranger B heads the queue with the third A right behind it:
+        // ordering pulls that A forward (B has ample slack), so the run
+        // closes at width 3 and the pulled request is marked reordered.
+        let tenants = [0u32, 0, 1, 0];
+        let trace: Vec<Request> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mut r = req(i as u64, i as f64, 1e12, Priority::Standard);
+                r.tenant = t;
+                r
+            })
+            .collect();
+        let mut e = mk(Some(OrderingConfig::a100_default()));
+        let rs = e.run_trace(&trace).unwrap();
+        assert!(rs.iter().all(|r| r.outcome.final_outcome().is_completed()));
+        let s = e.evk_stats();
+        assert_eq!(s.reorders, 1, "{s:?}");
+        assert_eq!(s.max_batch, 3, "the pulled request extends the A-run");
+        assert!(
+            matches!(
+                rs.iter().find(|r| r.id == 3).unwrap().outcome,
+                Outcome::Batched {
+                    reordered: true,
+                    ..
+                }
+            ),
+            "the pulled-forward joiner is marked reordered"
+        );
+        assert!(
+            matches!(
+                rs.iter().find(|r| r.id == 1).unwrap().outcome,
+                Outcome::Batched {
+                    reordered: false,
+                    ..
+                }
+            ),
+            "an in-order joiner is not"
+        );
+        assert!(
+            e.evk_saved_ns() > 0.0,
+            "the amortized fetch is credited back to the lane"
+        );
+        // The bypassed stranger still completes within its deadline.
+        assert!(rs
+            .iter()
+            .find(|r| r.id == 2)
+            .unwrap()
+            .outcome
+            .is_completed());
+        // Same trace with ordering off: no reorders, no credit, and the
+        // run stays split by the stranger.
+        let mut off = mk(None);
+        let rs_off = off.run_trace(&trace).unwrap();
+        assert_eq!(off.evk_stats().reorders, 0);
+        assert_eq!(off.evk_saved_ns(), 0.0);
+        assert!(!rs_off.iter().any(|r| matches!(
+            r.outcome,
+            Outcome::Batched {
+                reordered: true,
+                ..
+            }
+        )));
+    }
+
+    /// A fabricated prepared request for dispatch-order tests: no
+    /// execution happens, so the sequence is shared and the cost fields
+    /// are whatever the scenario says.
+    fn fabricated(k: &QueueKey, tenant: u32, slack_ns: f64, seq: &Arc<OpSequence>) -> Prepared {
+        Prepared {
+            id: k.id,
+            tenant,
+            priority: k.priority,
+            arrival_ns: k.arrival_ns,
+            deadline_ns: f64::INFINITY,
+            estimate_ns: k.estimate_ns,
+            fault: None,
+            label: "fabricated",
+            slack_ns,
+            seq: Arc::clone(seq),
+            rerouted_from: None,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Satellite: with ordering off, [`ServingEngine::select_dispatch`]
+        /// is exactly pop order — `keys_in_pop_order` predicts the drain
+        /// item for item, nothing is flagged reordered, and the reorder
+        /// counters stay zero. (Batching stays ON: the overlay alone must
+        /// never touch dispatch order.)
+        #[test]
+        fn prop_ordering_off_is_exact_pop_order(scenario in arb_scenario()) {
+            let (keys, lanes0) = scenario;
+            let seq = small_seq();
+            let mut e = ServingEngine::new(ServingConfig {
+                workers: lanes0.len(),
+                queue_capacity: keys.len(),
+                batching: true,
+                ordering: None,
+                ..ServingConfig::a100_default(7)
+            });
+            let q: AdmissionQueue<Prepared> = AdmissionQueue::new(keys.len());
+            for k in &keys {
+                q.submit(fabricated(k, (k.id % 3) as u32, 0.0, &seq)).unwrap();
+            }
+            let listed: Vec<u64> = q.keys_in_pop_order().iter().map(|k| k.id).collect();
+            let mut lanes = lanes0.clone();
+            let mut actual: Vec<u64> = Vec::new();
+            while let Some((lane, start, p, reordered)) =
+                e.select_dispatch(&q, &lanes, f64::INFINITY)
+            {
+                prop_assert!(!reordered, "ordering off must never reorder");
+                e.note_batch_dispatch(p.tenant, p.seq.evk_read_bytes(), None);
+                lanes[lane] = start + p.estimate_ns;
+                actual.push(p.id);
+            }
+            prop_assert_eq!(&actual, &listed, "ordering off must drain in pop order");
+            prop_assert_eq!(e.evk_stats().reorders, 0);
+            prop_assert_eq!(e.evk_stats().reorder_denied_slack, 0);
+            prop_assert_eq!(e.evk_saved_ns().to_bits(), 0.0f64.to_bits());
+        }
+
+        /// The starvation proof: with ordering on, under random
+        /// arrival/priority/tenant/slack mixes, (a) no request is ever
+        /// bypassed more than `max_bypass` times, and (b) every request's
+        /// realized start stays within its pop-order projected start plus
+        /// its granted slack budget — the reorder engine can never spend
+        /// delay it was not granted.
+        #[test]
+        fn prop_bypass_bounded_by_k_and_slack_budget(
+            scenario in arb_scenario(),
+            slacks in prop::collection::vec(0u32..4000, 20),
+        ) {
+            let (keys, lanes0) = scenario;
+            let now = keys.iter().map(|k| k.arrival_ns).fold(0.0, f64::max);
+            let seq = small_seq();
+            let max_bypass = 2u32;
+            let mut e = ServingEngine::new(ServingConfig {
+                workers: lanes0.len(),
+                queue_capacity: keys.len(),
+                batching: true,
+                ordering: Some(OrderingConfig { max_bypass, evk_bytes_per_ns: 1802.0 }),
+                ..ServingConfig::a100_default(7)
+            });
+            let granted: std::collections::HashMap<u64, f64> = keys
+                .iter()
+                .map(|k| (k.id, f64::from(slacks[k.id as usize % slacks.len()])))
+                .collect();
+            let q: AdmissionQueue<Prepared> = AdmissionQueue::new(keys.len());
+            for k in &keys {
+                q.submit(fabricated(k, (k.id % 3) as u32, granted[&k.id], &seq))
+                    .unwrap();
+            }
+            // Pop-order baseline: the start each request was promised at
+            // admission (same projection the engine grants slack against).
+            let projected: std::collections::HashMap<u64, f64> = keys
+                .iter()
+                .map(|cand| {
+                    let others: Vec<QueueKey> =
+                        keys.iter().filter(|k| k.id != cand.id).copied().collect();
+                    (cand.id, projected_start_from_keys(&lanes0, others, *cand, now))
+                })
+                .collect();
+            let mut lanes = lanes0.clone();
+            let mut bypasses: std::collections::HashMap<u64, u32> = Default::default();
+            let mut realized: std::collections::HashMap<u64, f64> = Default::default();
+            loop {
+                let before: Vec<u64> = q.keys_in_pop_order().iter().map(|k| k.id).collect();
+                let Some((lane, start, p, reordered)) =
+                    e.select_dispatch(&q, &lanes, f64::INFINITY)
+                else {
+                    break;
+                };
+                if reordered {
+                    for id in before.iter().take_while(|id| **id != p.id) {
+                        *bypasses.entry(*id).or_insert(0) += 1;
+                    }
+                }
+                e.note_batch_dispatch(p.tenant, p.seq.evk_read_bytes(), None);
+                realized.insert(p.id, start);
+                lanes[lane] = start + p.estimate_ns;
+            }
+            prop_assert_eq!(realized.len(), keys.len(), "every request dispatches: no starvation");
+            for (id, count) in &bypasses {
+                prop_assert!(
+                    *count <= max_bypass,
+                    "request {} bypassed {} times (bound {})",
+                    id, count, max_bypass
+                );
+            }
+            for k in &keys {
+                let r = realized[&k.id];
+                let bound = projected[&k.id] + granted[&k.id];
+                prop_assert!(
+                    r <= bound + 1e-6,
+                    "request {} started at {} past its projected {} + slack {}",
+                    k.id, r, projected[&k.id], granted[&k.id]
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod router;
 pub mod shard;
 pub mod soak;
 
-pub use engine::{BatchStats, ServingConfig, ServingEngine};
+pub use engine::{BatchStats, OrderingConfig, ServingConfig, ServingEngine};
 pub use queue::{AdmissionQueue, QueueKey, Queued};
 pub use request::{Outcome, Priority, Rejected, Request, Response};
 pub use router::ShardRouter;

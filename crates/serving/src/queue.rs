@@ -143,6 +143,43 @@ impl<T: Queued> AdmissionQueue<T> {
             })
             .collect()
     }
+
+    /// Applies `f` to each of the first `window` items in pop order (head
+    /// first) and returns the [`PopKey`] of the first item for which `f`
+    /// returns true — the windowed candidate scan batch-aware ordering
+    /// uses to find a same-tenant request within K bypasses of the head.
+    /// Read-only: the queue is not mutated.
+    pub fn find_in_window(
+        &self,
+        window: usize,
+        mut f: impl FnMut(usize, &T) -> bool,
+    ) -> Option<PopKey> {
+        self.lock()
+            .iter()
+            .take(window)
+            .enumerate()
+            .find(|(pos, (_, item))| f(*pos, item))
+            .map(|(_, (key, _))| *key)
+    }
+
+    /// Applies `f` to every queued item in pop order (head first).
+    /// Read-only: the queue is not mutated. Batch-aware ordering uses this
+    /// to charge every queued request's slack budget before committing a
+    /// reorder — a pulled-forward job can perturb lane packing for items
+    /// far beyond the bypass window, so all of them must absorb it.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for item in self.lock().values() {
+            f(item);
+        }
+    }
+
+    /// Removes and returns the item stored under `key`, if present — the
+    /// commit half of a reorder: the candidate found by
+    /// [`find_in_window`](Self::find_in_window) is taken out of order,
+    /// everything else keeps its [`PopKey`] position.
+    pub fn take(&self, key: PopKey) -> Option<T> {
+        self.lock().remove(&key)
+    }
 }
 
 /// The scheduling key of one queued request.
@@ -251,6 +288,31 @@ mod tests {
         let keys: Vec<u64> = q.keys_in_pop_order().iter().map(|k| k.id).collect();
         let pops: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|k| k.id).collect();
         assert_eq!(keys, pops);
+    }
+
+    #[test]
+    fn find_in_window_scans_pop_order_and_take_removes_by_key() {
+        let q = AdmissionQueue::new(8);
+        q.submit(key(3, Priority::Batch, 0.0)).unwrap();
+        q.submit(key(1, Priority::Interactive, 50.0)).unwrap();
+        q.submit(key(2, Priority::Interactive, 10.0)).unwrap();
+        q.submit(key(5, Priority::Standard, 5.0)).unwrap();
+        // Pop order is [2, 1, 5, 3]; a window of 3 must see exactly the
+        // first three, head first.
+        let mut seen = Vec::new();
+        let hit = q.find_in_window(3, |pos, k| {
+            seen.push((pos, k.id));
+            k.id == 5
+        });
+        assert_eq!(seen, vec![(0, 2), (1, 1), (2, 5)]);
+        let hit = hit.expect("id 5 is within the window");
+        // A window that ends before the match finds nothing.
+        assert_eq!(q.find_in_window(2, |_, k| k.id == 5), None);
+        // Taking by key removes exactly that item; the rest keep order.
+        assert_eq!(q.take(hit).unwrap().id, 5);
+        assert_eq!(q.take(hit), None, "double-take must miss");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|k| k.id).collect();
+        assert_eq!(order, vec![2, 1, 3]);
     }
 
     #[test]

@@ -178,6 +178,11 @@ pub enum Outcome {
         /// (its sequence's
         /// [`evk_read_bytes`](anaheim_core::ir::OpSequence::evk_read_bytes)).
         evk_bytes_saved: u64,
+        /// True when batch-aware ordering
+        /// ([`ServingConfig::ordering`](crate::ServingConfig::ordering))
+        /// pulled this request forward past strangers to join the batch;
+        /// false when the run formed on its own in arrival order.
+        reordered: bool,
         /// The execution's outcome.
         outcome: Box<Outcome>,
     },
@@ -319,6 +324,7 @@ mod tests {
         };
         let batched = Outcome::Batched {
             evk_bytes_saved: 4096,
+            reordered: false,
             outcome: Box::new(done.clone()),
         };
         assert!(batched.is_completed());
@@ -326,6 +332,7 @@ mod tests {
         // A batch member that still missed its deadline unwraps to the miss.
         let missed = Outcome::Batched {
             evk_bytes_saved: 4096,
+            reordered: true,
             outcome: Box::new(Outcome::DeadlineMiss {
                 start_ns: 0.0,
                 finish_ns: 9.0,

@@ -50,9 +50,7 @@ use anaheim_core::telemetry::{names, shard_track, Telemetry};
 use anaheim_core::RunError;
 use obs::StreamingTraceSink;
 
-use crate::engine::{
-    next_dispatch, prepare_batch, BatchStats, Prepared, ServingConfig, ServingEngine,
-};
+use crate::engine::{prepare_batch, BatchStats, Prepared, ServingConfig, ServingEngine};
 use crate::queue::AdmissionQueue;
 use crate::request::{Outcome, Rejected, Request, Response};
 use crate::router::ShardRouter;
@@ -206,6 +204,9 @@ pub struct ShardSnapshot {
     /// Same-tenant batch evk accounting (all zeros with
     /// [`ServingConfig::batching`] off).
     pub evk: BatchStats,
+    /// Virtual ns the evk lane credit took off this shard's lanes (0.0
+    /// with [`ServingConfig::ordering`] off).
+    pub evk_saved_ns: f64,
 }
 
 /// Fleet-level routing counters.
@@ -477,6 +478,10 @@ impl Shard {
             return;
         }
         let probe = self.state == ShardState::Probation;
+        // The projected deadline headroom is the slack budget batch-aware
+        // ordering may later spend delaying this request.
+        let mut p = p;
+        p.slack_ns = (p.deadline_ns - projected - p.estimate_ns).max(0.0);
         let depth = self.queue.submit(p).expect("capacity checked above");
         self.engine.registry_mut().note_queue_depth(depth);
         if probe {
@@ -501,8 +506,10 @@ impl Shard {
         out: &mut Vec<Response>,
         mut hedges: Option<&mut Vec<HedgeCandidate>>,
     ) -> Result<(), RunError> {
-        while let Some((lane, start)) = next_dispatch(&self.queue, &self.lanes, until_ns) {
-            let p = self.queue.pop().expect("peek saw an item");
+        while let Some((lane, start, p, reordered)) =
+            self.engine
+                .select_dispatch(&self.queue, &self.lanes, until_ns)
+        {
             let rerouted_from = p.rerouted_from;
             let was_probe = self.probe_inflight && self.state == ShardState::Probation;
             // Risk is projected at dispatch, before execution: a primary
@@ -519,13 +526,19 @@ impl Shard {
                 p.seq.evk_read_bytes(),
                 tel.as_deref_mut(),
             );
-            let (mut resp, finish) =
-                self.engine
-                    .execute(p, start, tel.as_deref_mut(), shard_track(self.id))?;
+            let credit_ns = self.engine.lane_credit_ns(saved);
+            let (mut resp, finish) = self.engine.execute(
+                p,
+                start,
+                credit_ns,
+                tel.as_deref_mut(),
+                shard_track(self.id),
+            )?;
             self.lanes[lane] = finish;
             if saved > 0 {
                 resp.outcome = Outcome::Batched {
                     evk_bytes_saved: saved,
+                    reordered,
                     outcome: Box::new(resp.outcome),
                 };
             }
@@ -607,6 +620,7 @@ impl Shard {
             transitions: self.transitions.clone(),
             last_finish_ns: self.lanes.iter().copied().fold(0.0, f64::max),
             evk: self.engine.evk_stats(),
+            evk_saved_ns: self.engine.evk_saved_ns(),
         }
     }
 }
@@ -621,6 +635,9 @@ pub struct ShardedEngine {
     /// Same-tenant batching is on ([`ServingConfig::batching`]): the
     /// snapshot text carries the per-shard evk lines.
     batching: bool,
+    /// Batch-aware ordering is on ([`ServingConfig::ordering`]): the evk
+    /// snapshot lines additionally carry the reorder/credit ledger.
+    ordering: bool,
     fleet: FleetCounters,
     /// Per-tenant hedge token buckets: `(tokens, last_refill_ns)` in
     /// virtual time. A `BTreeMap` so iteration/debug order is stable.
@@ -637,6 +654,7 @@ impl ShardedEngine {
     /// `serving` (same platform, its own registry and lanes).
     pub fn new(serving: ServingConfig, shard_cfg: ShardConfig) -> Self {
         let batching = serving.batching;
+        let ordering = serving.ordering.is_some();
         let shards = (0..shard_cfg.shards.max(1))
             .map(|id| Shard::new(id, serving.clone(), &shard_cfg))
             .collect();
@@ -645,6 +663,7 @@ impl ShardedEngine {
             router: ShardRouter::new(shard_cfg.router_seed, shard_cfg.shards.max(1)),
             cfg: shard_cfg,
             batching,
+            ordering,
             fleet: FleetCounters::default(),
             hedge_tokens: std::collections::BTreeMap::new(),
         }
@@ -855,10 +874,12 @@ impl ShardedEngine {
                     }
                 }
                 let start = shard.lanes[lane].max(now);
+                // Hedges bypass dispatch and are never batch-accounted,
+                // so they carry no evk lane credit.
                 let (hresp, hfinish) =
                     shard
                         .engine
-                        .execute(hp, start, tel_of(obs), shard_track(sib))?;
+                        .execute(hp, start, 0.0, tel_of(obs), shard_track(sib))?;
                 shard.lanes[lane] = hfinish;
                 // A hedge that trips the sibling past the breaker
                 // threshold drains it, same as a queued dispatch would.
@@ -977,6 +998,16 @@ impl ShardedEngine {
                     e.saved_bytes(),
                     e.batches,
                     e.max_batch
+                );
+            }
+            // Gated on the ordering knob the same way: a plain batching
+            // fleet's text is byte-identical to the pre-ordering render.
+            if self.ordering {
+                let e = snap.evk;
+                let _ = writeln!(
+                    s,
+                    "  ordering: reorders={} denied-slack={} saved-ns={:.0}",
+                    e.reorders, e.reorder_denied_slack, snap.evk_saved_ns
                 );
             }
             let _ = writeln!(s, "  breaker-transitions: {}", snap.health.transitions);

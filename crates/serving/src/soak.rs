@@ -44,7 +44,7 @@ use anaheim_core::params::ParamSet;
 use anaheim_core::RunError;
 use pim::fault::FaultPlan;
 
-use crate::engine::{ServingConfig, ServingEngine};
+use crate::engine::{OrderingConfig, ServingConfig, ServingEngine};
 use crate::request::{Outcome, Priority, Rejected, Request, Response};
 use crate::router::ShardRouter;
 use crate::shard::{ShardConfig, ShardSnapshot, ShardedEngine, StreamObs};
@@ -108,6 +108,12 @@ pub struct SoakConfig {
     /// ([`ServingConfig::batching`]). Streaming soak only; the
     /// single-engine [`run_soak`] ignores it.
     pub batching: bool,
+    /// Enable batch-aware dispatch ordering on top of batching
+    /// ([`ServingConfig::ordering`], A100-default tuning): same-tenant
+    /// requests may be pulled forward past strangers under the slack
+    /// budget, and joins credit their saved evk fetch back to the lane as
+    /// virtual time. Streaming soak only.
+    pub ordering: bool,
 }
 
 impl SoakConfig {
@@ -133,6 +139,7 @@ impl SoakConfig {
             cancel: false,
             tenants: 64,
             batching: false,
+            ordering: false,
         }
     }
 
@@ -182,12 +189,46 @@ impl SoakConfig {
             flip_probability: 0.0,
             storm_every: 0,
             stuck_window: None,
-            arrival_factor: 1.1,
+            // Slightly overloaded on purpose: lanes stay backlogged, so
+            // the busiest lane's final finish is work-bound and the
+            // ordered-fleet twin's lane credit is visible in virtual_rps.
+            arrival_factor: 0.95,
             shards: 2,
             shard_storm: None,
             tenants: 4,
             batching: true,
             ..Self::chaos(seed)
+        }
+    }
+
+    /// The ordered-fleet soak: [`batched_fleet`] with batch-aware dispatch
+    /// ordering on ([`ServingConfig::ordering`]) — the engine *forms*
+    /// same-tenant runs under the slack budget instead of merely observing
+    /// them, and every join's saved evk fetch is credited back to the lane
+    /// as virtual time. Same trace, same seed: the `ordered` gate in
+    /// `scripts/check.sh` byte-compares its snapshot across thread counts
+    /// and requires its `virtual_rps` to beat the plain overlay's.
+    ///
+    /// [`batched_fleet`]: SoakConfig::batched_fleet
+    pub fn ordered_fleet(seed: u64) -> Self {
+        Self {
+            ordering: true,
+            ..Self::batched_fleet(seed)
+        }
+    }
+
+    /// The batch+hedge storm: the hedge-chaos fault domain with
+    /// same-tenant batch serving on a small tenant pool — the two features
+    /// are composable by design (hedge re-executions bypass dispatch and
+    /// are never batch-accounted), and this scenario pins that fleet
+    /// conservation holds when both fire in one run.
+    pub fn batch_hedge_chaos(seed: u64) -> Self {
+        Self {
+            // Small enough for same-tenant runs, large enough that every
+            // shard (including storm-drained shard 0) homes a tenant.
+            tenants: 8,
+            batching: true,
+            ..Self::hedge_chaos(seed)
         }
     }
 
@@ -690,15 +731,27 @@ pub struct StreamSummary {
     pub evk_saved_bytes: u64,
     /// Same-tenant batches closed (all shards; zero with batching off).
     pub batches: u64,
+    /// Same-tenant requests pulled forward past strangers by batch-aware
+    /// ordering (all shards; zero with ordering off).
+    pub reorders: u64,
+    /// Reorder candidates denied by a bypassed request's slack budget or
+    /// the K-bypass bound (all shards).
+    pub reorder_denied_slack: u64,
+    /// Virtual ns the evk lane credit took off dispatch lanes (all
+    /// shards; 0.0 with ordering off).
+    pub evk_saved_ns: f64,
     /// Finish time of the busiest lane in the fleet (virtual ns).
     pub last_finish_ns: f64,
 }
 
 impl StreamSummary {
-    /// Virtual-time throughput: requests per virtual second.
+    /// Virtual-time throughput: *completed* requests per virtual second —
+    /// the definition EXPERIMENTS.md documents. Counting submissions would
+    /// let a run that sheds half its load claim the same throughput as one
+    /// that serves it.
     pub fn virtual_rps(&self) -> f64 {
         if self.last_finish_ns > 0.0 {
-            self.requests as f64 / (self.last_finish_ns * 1e-9)
+            self.completed as f64 / (self.last_finish_ns * 1e-9)
         } else {
             0.0
         }
@@ -741,6 +794,13 @@ impl fmt::Display for StreamSummary {
                 f,
                 ", evk {} hit / {} miss / {} saved bytes over {} batches",
                 self.evk_hit_bytes, self.evk_miss_bytes, self.evk_saved_bytes, self.batches
+            )?;
+        }
+        if self.reorders > 0 || self.reorder_denied_slack > 0 {
+            write!(
+                f,
+                ", {} reorders ({} denied), {:.0} ns credited",
+                self.reorders, self.reorder_denied_slack, self.evk_saved_ns
             )?;
         }
         Ok(())
@@ -846,6 +906,7 @@ impl StreamInvariants {
         if let Outcome::Batched {
             evk_bytes_saved,
             outcome: inner,
+            ..
         } = outcome
         {
             if *evk_bytes_saved == 0 {
@@ -1025,6 +1086,9 @@ impl StreamInvariants {
             self.summary.evk_hit_bytes += s.evk.hit_bytes;
             self.summary.evk_miss_bytes += s.evk.miss_bytes;
             self.summary.batches += s.evk.batches;
+            self.summary.reorders += s.evk.reorders;
+            self.summary.reorder_denied_slack += s.evk.reorder_denied_slack;
+            self.summary.evk_saved_ns += s.evk_saved_ns;
         }
         // Hedges execute on a sibling's registry without a fleet
         // submission, so executions = submissions + hedges.
@@ -1090,6 +1154,18 @@ impl StreamInvariants {
         {
             return Err("batching disabled but batch accounting is nonzero".into());
         }
+        if cfg.ordering {
+            if self.summary.reorders == 0 {
+                return Err("ordering enabled but no request was pulled forward".into());
+            }
+            if self.summary.evk_saved_ns <= 0.0 {
+                return Err("ordering enabled but no lane credit was granted".into());
+            }
+        } else if self.summary.reorders + self.summary.reorder_denied_slack != 0
+            || self.summary.evk_saved_ns != 0.0
+        {
+            return Err("ordering disabled but reorder accounting is nonzero".into());
+        }
         let snapshot_text = engine.render_snapshots();
         Ok(StreamOutcome {
             summary: self.summary,
@@ -1117,6 +1193,7 @@ pub fn run_soak_stream(
             queue_capacity: cfg.queue_capacity,
             cancel_over_budget: cfg.cancel,
             batching: cfg.batching,
+            ordering: cfg.ordering.then(OrderingConfig::a100_default),
             ..ServingConfig::a100_default(cfg.seed)
         },
         shard_config_for(cfg),
@@ -1317,6 +1394,71 @@ mod tests {
         assert!(s.completed > 0, "{s}");
         assert!(s.to_string().contains("evk"), "summary reports evk: {s}");
         assert!(out.snapshot_text.contains("evk: hit-bytes="));
+        let again = run_soak_stream(&cfg, None).unwrap();
+        assert_eq!(out.snapshot_text, again.snapshot_text);
+        assert_eq!(out.summary, again.summary);
+    }
+
+    #[test]
+    fn ordered_fleet_stream_soak_converts_bytes_saved_into_rps() {
+        let batched = SoakConfig {
+            requests: 400,
+            ..SoakConfig::batched_fleet(31)
+        };
+        let ordered = SoakConfig {
+            requests: 400,
+            ..SoakConfig::ordered_fleet(31)
+        };
+        let base = run_soak_stream(&batched, None).unwrap();
+        let out = run_soak_stream(&ordered, None).unwrap();
+        let s = out.summary;
+        // finish() already enforces reorders >= 1 and credit > 0; pin the
+        // headline claim: run formation converts saved bytes into a
+        // strictly higher virtual throughput at no deadline cost.
+        assert!(s.reorders > 0, "{s}");
+        assert!(s.evk_saved_ns > 0.0, "{s}");
+        assert!(
+            s.evk_saved_bytes >= base.summary.evk_saved_bytes,
+            "ordering must not amortize fewer bytes than the overlay: {} < {}",
+            s.evk_saved_bytes,
+            base.summary.evk_saved_bytes
+        );
+        assert!(
+            s.virtual_rps() > base.summary.virtual_rps(),
+            "ordered {} req/vs must beat batched {} req/vs",
+            s.virtual_rps(),
+            base.summary.virtual_rps()
+        );
+        assert!(
+            s.deadline_misses <= base.summary.deadline_misses,
+            "ordering may not mint deadline misses: {} > {}",
+            s.deadline_misses,
+            base.summary.deadline_misses
+        );
+        assert!(out.snapshot_text.contains("ordering: reorders="));
+        let again = run_soak_stream(&ordered, None).unwrap();
+        assert_eq!(out.snapshot_text, again.snapshot_text);
+        assert_eq!(out.summary, again.summary);
+    }
+
+    #[test]
+    fn batch_hedge_stream_soak_composes_and_conserves() {
+        let cfg = SoakConfig {
+            requests: 900,
+            ..SoakConfig::batch_hedge_chaos(29)
+        };
+        let out = run_soak_stream(&cfg, None).unwrap();
+        let s = out.summary;
+        // finish() enforces fleet conservation, >=1 hedge launch/win, and
+        // saved bytes > 0 under batching; pin the composed shape here.
+        assert!(s.evk_saved_bytes > 0, "{s}");
+        assert!(s.batches > 0, "{s}");
+        assert!(s.hedges_launched >= 1, "{s}");
+        assert!(s.hedges_won >= 1, "{s}");
+        assert_eq!(s.hedges_won + s.hedges_wasted, s.hedges_launched, "{s}");
+        // Hedge re-executions bypass the dispatch lane, so response-side
+        // saved bytes may lag the shard-side hit bytes — never exceed them.
+        assert!(s.evk_saved_bytes <= s.evk_hit_bytes, "{s}");
         let again = run_soak_stream(&cfg, None).unwrap();
         assert_eq!(out.snapshot_text, again.snapshot_text);
         assert_eq!(out.summary, again.summary);

@@ -210,12 +210,44 @@ if ! grep -Eq 'saved-bytes=[1-9]' "$snap_dir/batch-t1.txt"; then
 fi
 echo "  evaluation-key bytes amortized in the snapshot — ok"
 
+# Ordered-fleet gate: batch-aware dispatch ordering over the batched-fleet
+# trace. The soak binary's streaming invariants already require >=1
+# reorder and a nonzero lane credit; here we additionally byte-compare the
+# snapshot across thread counts and grep the artifact for committed
+# reorders, so a silently-disabled orderer cannot pass. The JSON gate
+# below then compares the ordered-fleet row against the batched-fleet row.
+#   ORDERED_SOAK_REQUESTS=2000 scripts/check.sh
+ORDERED_SOAK_REQUESTS="${ORDERED_SOAK_REQUESTS:-20000}"
+echo "==> ordered-fleet streaming soak ($ORDERED_SOAK_REQUESTS requests)"
+for threads in 1 8; do
+  echo "==> ordered-fleet streaming soak (ANAHEIM_THREADS=$threads)"
+  ANAHEIM_THREADS="$threads" ./target/release/soak --stream --ordered \
+    --requests "$ORDERED_SOAK_REQUESTS" \
+    --rss-budget-kb "$STREAM_SOAK_RSS_BUDGET_KB" \
+    --snapshot-out "$snap_dir/ordered-t$threads.txt"
+done
+if cmp -s "$snap_dir/ordered-t1.txt" "$snap_dir/ordered-t8.txt"; then
+  echo "  ordered-fleet snapshots byte-identical across ANAHEIM_THREADS=1/8 — ok"
+else
+  echo "FAIL: ordered-fleet snapshots differ across thread counts" >&2
+  diff "$snap_dir/ordered-t1.txt" "$snap_dir/ordered-t8.txt" | head -20 >&2
+  exit 1
+fi
+if ! grep -Eq 'reorders=[1-9]' "$snap_dir/ordered-t1.txt"; then
+  echo "FAIL: ordered-fleet soak committed zero reorders" >&2
+  exit 1
+fi
+echo "  committed reorders present in the snapshot — ok"
+
 # Evaluation-key traffic conservation gate (docs/KEYS.md): on every BENCH
 # row carrying the evk split, cached plus missed bytes must equal the
 # uncached total — the cache model reclassifies traffic, it never
 # invents or loses bytes. The MinKS row must amortize something (that is
 # the point of the single shared key), and the batched-fleet serving row's
-# saved bytes must equal its hit bytes.
+# saved bytes must equal its hit bytes. The ordered-fleet row must convert
+# the bytes it saves into a virtual-time win: at least as many bytes
+# amortized as the plain overlay, strictly higher virtual_rps, and no new
+# deadline misses.
 echo "==> evaluation-key conservation gate (BENCH_ckks.json / BENCH_serving.json)"
 python3 - <<'EOF'
 import json, sys
@@ -253,6 +285,33 @@ if b["evk_miss_bytes"] == 0:
     sys.exit("BENCH_serving.json: batch heads paid no fetches?")
 print(f"  batched-fleet saved {b['evk_bytes_saved']/1e9:.1f} GB over "
       f"{b['batches']} batches, saved == hit — ok")
+
+ordered = [r for r in serving if r["scenario"] == "ordered-fleet"]
+if not ordered:
+    sys.exit("BENCH_serving.json: no ordered-fleet row")
+o = ordered[0]
+if o["reorders"] == 0:
+    sys.exit("BENCH_serving.json: ordered-fleet committed zero reorders")
+if o["evk_saved_ns"] <= 0:
+    sys.exit("BENCH_serving.json: ordered-fleet credited zero lane time")
+if o["evk_bytes_saved"] < b["evk_bytes_saved"]:
+    sys.exit(
+        f"BENCH_serving.json: ordering amortized fewer bytes than the overlay "
+        f"({o['evk_bytes_saved']} < {b['evk_bytes_saved']})"
+    )
+if o["virtual_rps"] <= b["virtual_rps"]:
+    sys.exit(
+        f"BENCH_serving.json: ordered-fleet virtual_rps {o['virtual_rps']} "
+        f"does not beat batched-fleet {b['virtual_rps']}"
+    )
+if o["deadline_misses"] > b["deadline_misses"]:
+    sys.exit(
+        f"BENCH_serving.json: ordering minted deadline misses "
+        f"({o['deadline_misses']} > {b['deadline_misses']})"
+    )
+print(f"  ordered-fleet: {o['reorders']} reorders ({o['reorder_denied_slack']} denied), "
+      f"{o['evk_saved_ns']/1e6:.1f} ms credited, virtual_rps {o['virtual_rps']} > "
+      f"{b['virtual_rps']}, misses {o['deadline_misses']} <= {b['deadline_misses']} — ok")
 EOF
 
 # Documentation integrity gate: every relative markdown link resolves, and

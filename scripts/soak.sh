@@ -8,9 +8,9 @@
 # bit-identical across ANAHEIM_THREADS settings.
 #
 # Usage: scripts/soak.sh [--quick] [--requests N] [--seed S] [--threads-check]
-#                        [--stream] [--hedge] [--shards N] [--snapshot-out FILE]
-#                        [--trace-out FILE] [--metrics-out FILE]
-#                        [--rss-budget-kb N]
+#                        [--stream] [--hedge] [--batch] [--ordered] [--shards N]
+#                        [--snapshot-out FILE] [--trace-out FILE]
+#                        [--metrics-out FILE] [--rss-budget-kb N]
 #   --quick   200-request seeded soak with the determinism check; finishes
 #             in seconds (what scripts/check.sh runs)
 #   --stream  sharded bounded-memory streaming soak: lazy trace generation,
@@ -25,6 +25,12 @@
 #             deadline-budget cancellation and hedged re-execution on.
 #             The invariants then also require >=1 hedge launch, >=1
 #             hedge win, and >=1 over-budget cancellation.
+#   --batch   (with --stream) batched-fleet scenario: same-tenant batch
+#             serving on a small tenant pool; composes with --hedge into
+#             the batch+hedge storm.
+#   --ordered (with --stream) ordered-fleet scenario: batch-aware dispatch
+#             ordering forms same-tenant runs under the slack budget and
+#             credits saved evk fetches back to the lanes as virtual time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
